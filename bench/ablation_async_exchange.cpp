@@ -1,0 +1,38 @@
+// Ablation: asynchronous send-while-receive exchange (PGX.D style) vs a
+// bulk-synchronous exchange (send everything, barrier, then receive).
+//
+// Expectation: async overlap shortens step (5); the gap widens with
+// processor count because the barrier waits for the slowest sender.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace pgxd;
+using namespace pgxd::bench;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  declare_common_flags(flags);
+  flags.parse(argc, argv);
+  BenchEnv env = env_from_flags(flags);
+
+  print_header("Ablation: asynchronous vs bulk-synchronous data exchange",
+               "expectation: async exchange step is consistently shorter", env);
+
+  Table t({"procs", "exchange async (s)", "exchange BSP (s)", "saving",
+           "total async (s)", "total BSP (s)"});
+  for (auto p : env.procs) {
+    core::SortConfig async_cfg, bsp_cfg;
+    bsp_cfg.async_exchange = false;
+    const auto a = run_pgxd(env, p, twitter_shards(env, p), async_cfg);
+    const auto b = run_pgxd(env, p, twitter_shards(env, p), bsp_cfg);
+    const auto ae = a.stats.steps_max[core::Step::kExchange];
+    const auto be = b.stats.steps_max[core::Step::kExchange];
+    t.row({std::to_string(p), seconds(ae), seconds(be),
+           Table::fmt_pct(1.0 - static_cast<double>(ae) /
+                                    static_cast<double>(be), 1),
+           seconds(a.stats.total_time), seconds(b.stats.total_time)});
+  }
+  emit(t, flags);
+  return 0;
+}

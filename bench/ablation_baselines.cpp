@@ -1,0 +1,76 @@
+// Comparator study: the PGX.D sample sort against the Sec. II baselines —
+// distributed bitonic sort, partitioned parallel radix sort, and the Spark
+// sortByKey engine — on uniform and duplicate-heavy data.
+//
+// Expectations (the paper's related-work critique, measured):
+//   * bitonic moves entire blocks every round: far more wire bytes;
+//   * radix balances uniform keys but collapses on duplicate-heavy data
+//     (bucket granularity);
+//   * sample sort + investigator is fastest and balanced on both.
+#include <cstdio>
+
+#include "baselines/bitonic.hpp"
+#include "baselines/radix.hpp"
+#include "bench_common.hpp"
+
+using namespace pgxd;
+using namespace pgxd::bench;
+
+namespace {
+
+void compare_on(const BenchEnv& env, const std::string& name,
+                gen::Distribution dist, std::size_t p) {
+  std::printf("--- %s, %zu processors ---\n", name.c_str(), p);
+  Table t({"algorithm", "time (s)", "wire bytes", "imbalance"});
+
+  const auto pg = run_pgxd(env, p, dist_shards(env, dist, p));
+  t.row({"pgxd sample sort", seconds(pg.stats.total_time),
+         Table::fmt_bytes(pg.stats.wire_bytes_total),
+         Table::fmt(pg.stats.balance.imbalance, 3)});
+
+  {
+    rt::Cluster<baselines::BitonicSorter<Key>::Msg> cluster(cluster_config(env, p));
+    baselines::BitonicSorter<Key> bitonic(cluster);
+    bitonic.run(dist_shards(env, dist, p));
+    t.row({"bitonic", seconds(bitonic.stats().total_time),
+           Table::fmt_bytes(bitonic.stats().wire_bytes),
+           "1.000"});  // keeps block sizes by construction
+  }
+  {
+    rt::Cluster<baselines::RadixSorter<Key>::Msg> cluster(cluster_config(env, p));
+    baselines::RadixSorter<Key> radix(cluster);
+    radix.run(dist_shards(env, dist, p));
+    t.row({"radix", seconds(radix.stats().total_time),
+           Table::fmt_bytes(radix.stats().wire_bytes),
+           Table::fmt(radix.stats().balance.imbalance, 3)});
+  }
+  {
+    const auto sp = run_spark(env, p, dist_shards(env, dist, p));
+    t.row({"spark sortByKey", seconds(sp.total_time),
+           Table::fmt_bytes(sp.wire_bytes),
+           Table::fmt(sp.balance.imbalance, 3)});
+  }
+  t.print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  declare_common_flags(flags);
+  flags.declare("p", "processor count (power of two for bitonic)", "16");
+  flags.parse(argc, argv);
+  BenchEnv env = env_from_flags(flags);
+  // Bitonic needs equal blocks: trim n to a multiple of p.
+  const std::size_t p = flags.u64("p");
+  env.n -= env.n % p;
+
+  print_header("Comparator baselines: sample sort vs bitonic vs radix vs Spark",
+               "expectation: sample sort fastest; radix collapses on duplicates",
+               env);
+  compare_on(env, "uniform", gen::Distribution::kUniform, p);
+  compare_on(env, "right-skewed (duplicate-heavy)",
+             gen::Distribution::kRightSkewed, p);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Ablation: the PGX.D read-buffer size (the paper fixes 256 KB, chosen by
+// measurement in the PGX.D engine paper).
+//
+// The buffer size sets both the per-processor sample budget (X = buffer/p)
+// and the exchange chunk size. Expectation: tiny buffers pay per-message
+// overhead and undersample (imbalance); huge buffers reduce send/receive
+// overlap granularity and inflate the sampling gather; the sweet spot sits
+// in the hundreds-of-KB range.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace pgxd;
+using namespace pgxd::bench;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  declare_common_flags(flags);
+  flags.declare("p", "processor count", "16");
+  flags.parse(argc, argv);
+  BenchEnv env = env_from_flags(flags);
+  const std::size_t p = flags.u64("p");
+  const std::vector<std::uint64_t> buffers{16ull << 10, 64ull << 10,
+                                           256ull << 10, 1ull << 20,
+                                           4ull << 20};
+
+  print_header("Ablation: read-buffer size (sample budget + exchange chunking)",
+               "expectation: 256KB-1MB is the sweet spot (paper fixes 256KB)",
+               env);
+
+  Table t({"buffer", "total time (s)", "exchange (s)", "sampling (s)",
+           "imbalance", "messages"});
+  for (auto bytes : buffers) {
+    core::SortConfig cfg;
+    cfg.read_buffer_bytes = bytes;
+    rt::Cluster<Sorter::Msg> cluster(cluster_config(env, p));
+    Sorter sorter(cluster, cfg);
+    sorter.run(twitter_shards(env, p));
+    const auto& st = sorter.stats();
+    t.row({Table::fmt_bytes(bytes), seconds(st.total_time),
+           seconds(st.steps_max[core::Step::kExchange]),
+           seconds(st.steps_max[core::Step::kSampling]),
+           Table::fmt(st.balance.imbalance, 3),
+           std::to_string(cluster.fabric().total_messages())});
+  }
+  emit(t, flags);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Ablation: the Fig. 3c duplicate-splitter investigator on vs off.
+//
+// Expectation: with the investigator off, duplicate-heavy datasets
+// (right-skewed, exponential, twitter-like) collapse onto few machines —
+// the Fig. 3b failure — and total time degrades because the overloaded
+// machine's merge dominates. Uniform data is barely affected.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace pgxd;
+using namespace pgxd::bench;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  declare_common_flags(flags);
+  flags.declare("p", "processor count", "16");
+  flags.parse(argc, argv);
+  BenchEnv env = env_from_flags(flags);
+  const std::size_t p = flags.u64("p");
+
+  print_header("Ablation: duplicate-splitter investigator",
+               "expectation: off => Fig. 3b imbalance on duplicate-heavy data",
+               env);
+
+  Table t({"dataset", "investigator", "imbalance", "min share", "max share",
+           "total time (s)"});
+  auto report = [&](const std::string& name,
+                    std::vector<std::vector<Key>> shards) {
+    for (bool inv : {true, false}) {
+      core::SortConfig cfg;
+      cfg.use_investigator = inv;
+      const auto run = run_pgxd(env, p, shards, cfg);
+      t.row({name, inv ? "on" : "off",
+             Table::fmt(run.stats.balance.imbalance, 3),
+             Table::fmt_pct(run.stats.balance.min_share),
+             Table::fmt_pct(run.stats.balance.max_share),
+             seconds(run.stats.total_time)});
+    }
+  };
+
+  for (auto dist : gen::kAllDistributions)
+    report(gen::name(dist), dist_shards(env, dist, p));
+  report("twitter-like", twitter_shards(env, p));
+  emit(t, flags);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Ablation: the Fig. 2 balanced parallel merge handler vs a sequential
+// k-way heap merge for the final merge step.
+//
+// Expectation: the balanced tree parallelizes every level across the
+// machine's worker threads, so step (6) shrinks by roughly the thread
+// count over the heap merge's single-threaded n*log2(k) pass.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace pgxd;
+using namespace pgxd::bench;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  declare_common_flags(flags);
+  flags.parse(argc, argv);
+  BenchEnv env = env_from_flags(flags);
+
+  print_header("Ablation: balanced merge handler (Fig. 2) vs sequential k-way",
+               "expectation: balanced tree wins on every processor count", env);
+
+  Table t({"procs", "final-merge balanced (s)", "final-merge k-way (s)",
+           "merge speedup", "total balanced (s)", "total k-way (s)"});
+  for (auto p : env.procs) {
+    core::SortConfig balanced, kway;
+    kway.balanced_final_merge = false;
+    const auto b = run_pgxd(env, p, dist_shards(env, gen::Distribution::kUniform, p),
+                            balanced);
+    const auto k = run_pgxd(env, p, dist_shards(env, gen::Distribution::kUniform, p),
+                            kway);
+    const auto bm = b.stats.steps_max[core::Step::kFinalMerge];
+    const auto km = k.stats.steps_max[core::Step::kFinalMerge];
+    t.row({std::to_string(p), seconds(bm), seconds(km),
+           Table::fmt(static_cast<double>(km) / static_cast<double>(bm), 2) + "x",
+           seconds(b.stats.total_time), seconds(k.stats.total_time)});
+  }
+  emit(t, flags);
+  return 0;
+}

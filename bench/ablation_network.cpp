@@ -1,0 +1,73 @@
+// Network-sensitivity ablation: how the PGX.D sort responds to fabric
+// degradation — switch-core oversubscription and two-tier rack topologies
+// with oversubscribed top-of-rack up-links. The paper's testbed is a
+// non-blocking SX6512 (full bisection); this quantifies how much of the
+// sort's performance depends on that assumption. The all-to-all exchange
+// is bisection-limited, so rack oversubscription hits it roughly in
+// proportion to the share of traffic that crosses racks.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace pgxd;
+using namespace pgxd::bench;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  declare_common_flags(flags);
+  flags.declare("p", "processor count", "16");
+  flags.parse(argc, argv);
+  BenchEnv env = env_from_flags(flags);
+  const std::size_t p = flags.u64("p");
+
+  print_header("Ablation: fabric topology sensitivity",
+               "paper testbed: non-blocking switch (first row)", env);
+
+  struct Variant {
+    const char* name;
+    net::NetConfig net;
+  };
+  std::vector<Variant> variants;
+  {
+    net::NetConfig flat;
+    variants.push_back({"full bisection (paper)", flat});
+    net::NetConfig core2 = flat;
+    core2.oversubscription = 2.0;
+    variants.push_back({"switch core 2:1", core2});
+    net::NetConfig core4 = flat;
+    core4.oversubscription = 4.0;
+    variants.push_back({"switch core 4:1", core4});
+    net::NetConfig racks = flat;
+    racks.rack_size = 4;
+    racks.uplink_bandwidth_Bps = flat.link_bandwidth_Bps * 2;  // 2:1 TOR
+    racks.inter_rack_latency = 2 * sim::kMicrosecond;
+    variants.push_back({"racks of 4, 2:1 uplink", racks});
+    net::NetConfig tight = racks;
+    tight.uplink_bandwidth_Bps = flat.link_bandwidth_Bps;  // 4:1 TOR
+    variants.push_back({"racks of 4, 4:1 uplink", tight});
+  }
+
+  Table t({"fabric", "total (s)", "exchange (s)", "vs paper fabric"});
+  sim::SimTime baseline = 0;
+  for (const auto& v : variants) {
+    rt::ClusterConfig ccfg = cluster_config(env, p);
+    ccfg.net = v.net;
+    rt::Cluster<Sorter::Msg> cluster(ccfg);
+    Sorter sorter(cluster, core::SortConfig{});
+    sorter.run(twitter_shards(env, p));
+    const auto total = sorter.stats().total_time;
+    if (baseline == 0) baseline = total;
+    t.row({v.name, seconds(total),
+           seconds(sorter.stats().steps_max[core::Step::kExchange]),
+           Table::fmt(static_cast<double>(total) /
+                          static_cast<double>(baseline),
+                      2) +
+               "x"});
+  }
+  emit(t, flags);
+  std::printf("\nWith racks of 4 at p=%zu, ~%.0f%% of exchanged bytes cross "
+              "racks, so a k:1\nup-link stretches the exchange step by "
+              "roughly that share times k.\n",
+              p, 100.0 * (1.0 - 4.0 / static_cast<double>(p)));
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 10 reproduction: minimum and maximum per-processor load for three
+// sample sizes (0.004X, X, 1.4X) across processor counts, Twitter-like
+// dataset.
+//
+// Paper claims: 0.004X is "not large enough to keep balanced workloads"
+// (an average load difference of ~1.3e8 elements at 52 processors on 1B
+// keys, i.e. ~13% of n); both X and 1.4X stay balanced everywhere.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace pgxd;
+using namespace pgxd::bench;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  declare_common_flags(flags);
+  flags.parse(argc, argv);
+  BenchEnv env = env_from_flags(flags);
+  const std::vector<double> factors{0.004, 1.0, 1.4};
+
+  print_header("Figure 10: min/max per-processor load vs sample size",
+               "paper: 0.004X unbalanced; X and 1.4X balanced at every p", env);
+
+  Table t({"procs", "factor", "min load", "max load", "spread",
+           "spread/n"});
+  for (auto p : env.procs) {
+    for (double f : factors) {
+      core::SortConfig cfg;
+      cfg.sample_factor = f;
+      const auto run = run_pgxd(env, p, twitter_shards(env, p), cfg);
+      const auto& b = run.stats.balance;
+      t.row({std::to_string(p), Table::fmt(f, 3) + "X",
+             std::to_string(b.min_size), std::to_string(b.max_size),
+             std::to_string(b.spread),
+             Table::fmt_pct(static_cast<double>(b.spread) /
+                            static_cast<double>(env.n))});
+    }
+  }
+  emit(t, flags);
+  std::printf("\n'spread' is the paper's \"load difference\" (max - min "
+              "elements on a machine).\n");
+  return 0;
+}

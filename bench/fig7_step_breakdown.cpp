@@ -1,0 +1,51 @@
+// Figure 7 reproduction: per-step execution time of the PGX.D sort for the
+// normal and right-skewed distributions.
+//
+// Paper claim: "sending/receiving data costs less time than the other
+// steps" — the asynchronous, buffered exchange keeps step (5) below the
+// local-sort and merge steps.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace pgxd;
+using namespace pgxd::bench;
+
+namespace {
+
+void breakdown_for(const BenchEnv& env, const Flags& flags,
+                   gen::Distribution dist) {
+  std::printf("--- %s ---\n", gen::name(dist));
+  Table t({"procs", "local-sort", "sampling", "splitter-select",
+           "partition-plan", "send/receive", "final-merge", "total"});
+  for (auto p : env.procs) {
+    const auto run = run_pgxd(env, p, dist_shards(env, dist, p));
+    const auto& s = run.stats.steps_max;
+    t.row({std::to_string(p),
+           seconds(s[core::Step::kLocalSort]),
+           seconds(s[core::Step::kSampling]),
+           seconds(s[core::Step::kSplitterSelect]),
+           seconds(s[core::Step::kPartitionPlan]),
+           seconds(s[core::Step::kExchange]),
+           seconds(s[core::Step::kFinalMerge]),
+           seconds(run.stats.total_time)});
+  }
+  emit(t, flags);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  declare_common_flags(flags);
+  flags.parse(argc, argv);
+  BenchEnv env = env_from_flags(flags);
+
+  print_header("Figure 7: execution time of each sort step (seconds, simulated)",
+               "paper: send/receive is cheaper than local sort and merge steps",
+               env);
+  breakdown_for(env, flags, gen::Distribution::kNormal);
+  breakdown_for(env, flags, gen::Distribution::kRightSkewed);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 8 reproduction: PGX.D vs Spark sortByKey on the Twitter-like
+// graph dataset (power-law vertex-degree keys, heavy duplication).
+//
+// Paper claim: PGX.D is faster than Spark by around 2.6x at 52 processors.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace pgxd;
+using namespace pgxd::bench;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  declare_common_flags(flags);
+  flags.parse(argc, argv);
+  BenchEnv env = env_from_flags(flags);
+
+  print_header("Figure 8: Twitter-like dataset, PGX.D vs Spark (seconds, simulated)",
+               "paper: PGX.D ~2.6x faster than Spark at 52 processors", env);
+
+  Table t({"procs", "pgxd (s)", "spark (s)", "spark/pgxd", "pgxd imbalance",
+           "spark imbalance"});
+  for (auto p : env.procs) {
+    const auto pg = run_pgxd(env, p, twitter_shards(env, p));
+    const auto sp = run_spark(env, p, twitter_shards(env, p));
+    t.row({std::to_string(p), seconds(pg.stats.total_time),
+           seconds(sp.total_time),
+           Table::fmt(static_cast<double>(sp.total_time) /
+                          static_cast<double>(pg.stats.total_time),
+                      2) +
+               "x",
+           Table::fmt(pg.stats.balance.imbalance, 3),
+           Table::fmt(sp.balance.imbalance, 3)});
+  }
+  emit(t, flags);
+  std::printf("\nThe duplicate-heavy degree keys also show the balance story: "
+              "Spark's range\npartitioner concentrates the dominant key on one "
+              "reducer; the investigator\nkeeps PGX.D near 1.0.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 9 reproduction: impact of the sample size on communication
+// overhead and total execution time, Twitter-like dataset.
+//
+// Sample sizes are multiples of X = 256KB / processors (the PGX.D read
+// buffer budget). Paper claims: tiny samples (0.004X) cause load imbalance
+// *and more* communication (skewed exchange); oversized samples (1.4X) cost
+// more than X without gains; X is the operating point.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace pgxd;
+using namespace pgxd::bench;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  declare_common_flags(flags);
+  flags.declare("factors", "sample-size factors (multiples of X) to sweep",
+                "0.004,0.04,0.4,1.0,1.004,1.04,1.4");
+  flags.parse(argc, argv);
+  BenchEnv env = env_from_flags(flags);
+
+  std::vector<double> factors;
+  {
+    const std::string v = flags.str("factors");
+    std::size_t pos = 0;
+    while (pos < v.size()) {
+      const auto comma = v.find(',', pos);
+      factors.push_back(std::stod(v.substr(pos, comma - pos)));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+
+  print_header("Figure 9: sample size vs communication overhead & total time",
+               "paper: both undersampling and oversampling lose to X = 256KB/p",
+               env);
+
+  for (auto p : env.procs) {
+    std::printf("--- %llu processors (X = %llu bytes of samples per machine) ---\n",
+                static_cast<unsigned long long>(p),
+                static_cast<unsigned long long>(256 * 1024 / p));
+    Table t({"sample size", "comm overhead (s)", "total time (s)",
+             "max share", "wire bytes"});
+    for (double f : factors) {
+      core::SortConfig cfg;
+      cfg.sample_factor = f;
+      const auto run = run_pgxd(env, p, twitter_shards(env, p), cfg);
+      const auto& s = run.stats.steps_max;
+      // Communication overhead: the sampling gather plus the data exchange
+      // (the two steps whose time is wire-dominated).
+      const sim::SimTime comm = s[core::Step::kSampling] +
+                                s[core::Step::kSplitterSelect] +
+                                s[core::Step::kExchange];
+      t.row({Table::fmt(f, 3) + "X", seconds(comm),
+             seconds(run.stats.total_time),
+             Table::fmt_pct(run.stats.balance.max_share),
+             Table::fmt_bytes(run.stats.wire_bytes_total)});
+    }
+    emit(t, flags);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Microbenchmarks (google-benchmark) of the real local sorting kernels:
+// quicksort, TimSort, the balanced merge handler, and Merge-Path parallel
+// merge. These are the kernels the simulator's cost model is calibrated
+// against (runtime/cost_model.cpp).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "sort/balanced_merge.hpp"
+#include "sort/merge.hpp"
+#include "sort/parallel_sort.hpp"
+#include "sort/quicksort.hpp"
+#include "sort/timsort.hpp"
+
+namespace {
+
+using pgxd::Rng;
+
+std::vector<std::uint64_t> random_keys(std::size_t n, std::uint64_t domain,
+                                       std::uint64_t seed = 99) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = domain ? rng.bounded(domain) : rng.next();
+  return v;
+}
+
+void BM_Quicksort(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto base = random_keys(n, 0);
+  for (auto _ : state) {
+    auto v = base;
+    pgxd::sort::quicksort(std::span<std::uint64_t>(v));
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Quicksort)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 20);
+
+void BM_StdSort(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto base = random_keys(n, 0);
+  for (auto _ : state) {
+    auto v = base;
+    std::sort(v.begin(), v.end());
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_StdSort)->Arg(1 << 17)->Arg(1 << 20);
+
+void BM_TimsortRandom(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto base = random_keys(n, 0);
+  for (auto _ : state) {
+    auto v = base;
+    pgxd::sort::timsort(std::span<std::uint64_t>(v));
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TimsortRandom)->Arg(1 << 17)->Arg(1 << 20);
+
+// TimSort's home turf: data made of pre-sorted runs (the paper notes Spark
+// picked TimSort because "it performs better when the data is partially
+// sorted").
+void BM_TimsortPresortedRuns(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint64_t> base;
+  Rng rng(7);
+  const std::size_t run_len = 4096;
+  while (base.size() < n) {
+    std::vector<std::uint64_t> run(std::min(run_len, n - base.size()));
+    for (auto& x : run) x = rng.next();
+    std::sort(run.begin(), run.end());
+    base.insert(base.end(), run.begin(), run.end());
+  }
+  for (auto _ : state) {
+    auto v = base;
+    pgxd::sort::timsort(std::span<std::uint64_t>(v));
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TimsortPresortedRuns)->Arg(1 << 20);
+
+void BM_MergeInto(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto a = random_keys(n / 2, 0, 1);
+  auto b = random_keys(n / 2, 0, 2);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  std::vector<std::uint64_t> out(n);
+  for (auto _ : state) {
+    pgxd::sort::merge_into<std::uint64_t>(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MergeInto)->Arg(1 << 17)->Arg(1 << 21);
+
+void BM_BalancedMergeTree(benchmark::State& state) {
+  const auto runs = static_cast<std::size_t>(state.range(0));
+  const std::size_t per_run = (1u << 21) / runs;
+  Rng rng(5);
+  std::vector<std::uint64_t> base;
+  std::vector<std::size_t> bounds{0};
+  for (std::size_t r = 0; r < runs; ++r) {
+    std::vector<std::uint64_t> run(per_run);
+    for (auto& x : run) x = rng.next();
+    std::sort(run.begin(), run.end());
+    base.insert(base.end(), run.begin(), run.end());
+    bounds.push_back(base.size());
+  }
+  std::vector<std::uint64_t> scratch;
+  for (auto _ : state) {
+    auto v = base;
+    pgxd::sort::balanced_merge(v, bounds, scratch);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(base.size()));
+}
+BENCHMARK(BM_BalancedMergeTree)->Arg(4)->Arg(8)->Arg(32);
+
+void BM_ParallelMergePieces(benchmark::State& state) {
+  const auto pieces = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 1u << 21;
+  auto a = random_keys(n / 2, 0, 1);
+  auto b = random_keys(n / 2, 0, 2);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  std::vector<std::uint64_t> out(n);
+  pgxd::ThreadPool pool(3);
+  for (auto _ : state) {
+    pgxd::sort::parallel_merge<std::uint64_t>(a, b, out, {}, &pool, pieces);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ParallelMergePieces)->Arg(1)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Microbenchmarks (google-benchmark) of the simulation substrate itself:
+// DES event throughput, channel handoffs, and fabric transfer modeling.
+// These bound how large a cluster/problem the figure benches can sweep.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sync.hpp"
+
+namespace {
+
+using namespace pgxd::sim;
+
+Task<void> delay_chain(Simulator& sim, int hops) {
+  for (int i = 0; i < hops; ++i) co_await sim.delay(1);
+}
+
+void BM_SimDelayEvents(benchmark::State& state) {
+  const int hops = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulator sim;
+    sim.spawn(delay_chain(sim, hops));
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * hops);
+}
+BENCHMARK(BM_SimDelayEvents)->Arg(1 << 10)->Arg(1 << 14);
+
+Task<void> ping(Simulator&, Channel<int>& tx, Channel<int>& rx, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    tx.send(i);
+    (void)co_await rx.recv();
+  }
+}
+
+Task<void> pong(Simulator&, Channel<int>& rx, Channel<int>& tx, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    int v = co_await rx.recv();
+    tx.send(v);
+  }
+}
+
+void BM_ChannelPingPong(benchmark::State& state) {
+  const int rounds = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulator sim;
+    Channel<int> a(sim), b(sim);
+    sim.spawn(ping(sim, a, b, rounds));
+    sim.spawn(pong(sim, a, b, rounds));
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * rounds);
+}
+BENCHMARK(BM_ChannelPingPong)->Arg(1 << 10)->Arg(1 << 13);
+
+pgxd::sim::Task<void> all_to_all(Simulator& sim, pgxd::net::Fabric& fab,
+                                 std::size_t rank, std::size_t machines,
+                                 std::uint64_t bytes) {
+  for (std::size_t step = 1; step < machines; ++step) {
+    const std::size_t dst = (rank + step) % machines;
+    co_await fab.transfer(rank, dst, bytes);
+  }
+  (void)sim;
+}
+
+void BM_FabricAllToAll(benchmark::State& state) {
+  const auto machines = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Simulator sim;
+    pgxd::net::Fabric fab(sim, machines, pgxd::net::NetConfig{});
+    for (std::size_t r = 0; r < machines; ++r)
+      sim.spawn(all_to_all(sim, fab, r, machines, 256 * 1024));
+    sim.run();
+    benchmark::DoNotOptimize(fab.total_bytes());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(machines * (machines - 1)));
+}
+BENCHMARK(BM_FabricAllToAll)->Arg(8)->Arg(32)->Arg(52);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Microbenchmarks (google-benchmark) of the two task schedulers: the
+// single-shared-queue ThreadPool versus the WorkStealingPool, on regular
+// and on irregular (power-law) task sizes — the irregular case is why
+// PGX.D pairs its task manager with edge chunking and stealing.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "common/work_stealing_pool.hpp"
+
+namespace {
+
+using pgxd::Rng;
+
+// Busy-work proportional to `units`, opaque to the optimizer.
+void spin(std::uint64_t units) {
+  std::uint64_t acc = 0xdeadbeef;
+  for (std::uint64_t i = 0; i < units * 64; ++i)
+    acc = acc * 6364136223846793005ULL + 1442695040888963407ULL;
+  benchmark::DoNotOptimize(acc);
+}
+
+std::vector<std::uint64_t> task_sizes(bool irregular, std::size_t count) {
+  Rng rng(7);
+  std::vector<std::uint64_t> sizes(count);
+  for (auto& s : sizes) {
+    if (irregular) {
+      // Power-law: a few giant tasks, many tiny ones.
+      double u = rng.uniform();
+      while (u <= 0) u = rng.uniform();
+      s = static_cast<std::uint64_t>(std::min(std::pow(u, -1.2), 4000.0));
+    } else {
+      s = 40;
+    }
+  }
+  return sizes;
+}
+
+template <typename Pool>
+void run_tasks(Pool& pool, const std::vector<std::uint64_t>& sizes) {
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(sizes.size());
+  for (auto s : sizes) tasks.push_back([s] { spin(s); });
+  pool.run_all(std::move(tasks));
+}
+
+void BM_SharedQueueRegular(benchmark::State& state) {
+  pgxd::ThreadPool pool(3);
+  const auto sizes = task_sizes(false, 512);
+  for (auto _ : state) run_tasks(pool, sizes);
+}
+BENCHMARK(BM_SharedQueueRegular);
+
+void BM_WorkStealingRegular(benchmark::State& state) {
+  pgxd::WorkStealingPool pool(3);
+  const auto sizes = task_sizes(false, 512);
+  for (auto _ : state) run_tasks(pool, sizes);
+}
+BENCHMARK(BM_WorkStealingRegular);
+
+void BM_SharedQueueIrregular(benchmark::State& state) {
+  pgxd::ThreadPool pool(3);
+  const auto sizes = task_sizes(true, 512);
+  for (auto _ : state) run_tasks(pool, sizes);
+}
+BENCHMARK(BM_SharedQueueIrregular);
+
+void BM_WorkStealingIrregular(benchmark::State& state) {
+  pgxd::WorkStealingPool pool(3);
+  const auto sizes = task_sizes(true, 512);
+  for (auto _ : state) run_tasks(pool, sizes);
+}
+BENCHMARK(BM_WorkStealingIrregular);
+
+}  // namespace
+
+BENCHMARK_MAIN();

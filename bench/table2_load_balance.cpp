@@ -1,0 +1,46 @@
+// Table II reproduction: the share of data on each of 10 processors after
+// the PGX.D distributed sort, for all four distributions.
+//
+// Paper claim: every processor holds ~10% of the data regardless of the
+// distribution — including right-skewed and exponential, where most keys
+// duplicate a single value and Table II shows runs of processors with
+// *exactly* equal shares (the investigator's equal division at work).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace pgxd;
+using namespace pgxd::bench;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  declare_common_flags(flags);
+  flags.parse(argc, argv);
+  BenchEnv env = env_from_flags(flags);
+  const std::size_t p = 10;  // the table's fixed processor count
+
+  print_header("Table II: per-processor data share after sorting, p=10",
+               "paper: all shares ~10%, exactly-equal runs on duplicate-heavy data",
+               env);
+
+  std::vector<std::string> headers{"distribution"};
+  for (std::size_t r = 0; r < p; ++r) headers.push_back("proc" + std::to_string(r));
+  headers.push_back("imbalance");
+  Table t(std::move(headers));
+
+  for (auto dist : gen::kAllDistributions) {
+    const auto run = run_pgxd(env, p, dist_shards(env, dist, p));
+    std::vector<std::string> row{gen::name(dist)};
+    for (auto size : run.partition_sizes)
+      row.push_back(Table::fmt_pct(static_cast<double>(size) /
+                                   static_cast<double>(env.n)));
+    row.push_back(Table::fmt(run.stats.balance.imbalance, 4));
+    t.row(std::move(row));
+  }
+  emit(t, flags);
+  std::printf("\n'imbalance' = largest share / ideal share (1.0 = perfect). "
+              "Paper's Table II\nshows 9.98%%-10.02%% everywhere; the "
+              "right-skewed row has eight processors at\nexactly 9.998%% — "
+              "the duplicate run divided in equal integer slices.\n");
+  return 0;
+}

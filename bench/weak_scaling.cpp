@@ -1,0 +1,45 @@
+// Weak scaling (supplementary to the paper's strong-scaling Fig. 6): keys
+// *per machine* held constant while machines grow. Ideal weak scaling is a
+// flat line; deviations expose the O(p)-ish costs (sampling gather at the
+// master, splitter broadcast, p-1 exchange partners).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace pgxd;
+using namespace pgxd::bench;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  declare_common_flags(flags);
+  flags.declare("per-machine", "keys per machine", "131072");
+  flags.parse(argc, argv);
+  BenchEnv env = env_from_flags(flags);
+  const std::size_t per_machine = flags.u64("per-machine");
+
+  print_header("Weak scaling: fixed keys/machine, growing cluster",
+               "supplementary experiment (not in the paper)", env);
+
+  Table t({"procs", "total keys", "pgxd (s)", "efficiency", "spark (s)",
+           "spark efficiency"});
+  double pgxd_base = 0, spark_base = 0;
+  for (auto p : env.procs) {
+    BenchEnv e = env;
+    e.n = per_machine * p;
+    const auto pg = run_pgxd(e, p, dist_shards(e, gen::Distribution::kUniform, p));
+    const auto sp = run_spark(e, p, dist_shards(e, gen::Distribution::kUniform, p));
+    const double pg_s = sim::to_seconds(pg.stats.total_time);
+    const double sp_s = sim::to_seconds(sp.total_time);
+    if (pgxd_base == 0) {
+      pgxd_base = pg_s;
+      spark_base = sp_s;
+    }
+    t.row({std::to_string(p), std::to_string(e.n), Table::fmt(pg_s, 6),
+           Table::fmt_pct(pgxd_base / pg_s, 1), Table::fmt(sp_s, 6),
+           Table::fmt_pct(spark_base / sp_s, 1)});
+  }
+  emit(t, flags);
+  std::printf("\n'efficiency' = t(first processor count) / t(p); 100%% is "
+              "ideal weak scaling.\n");
+  return 0;
+}

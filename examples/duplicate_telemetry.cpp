@@ -1,0 +1,77 @@
+// Duplicate-heavy scenario: sorting telemetry severity codes where one
+// value dominates — the workload class that breaks naive sample sort
+// (Fig. 3b) and that the investigator (Fig. 3c) fixes. Runs the same sort
+// with the investigator on and off and prints the per-machine loads.
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "core/api.hpp"
+#include "core/distributed_sort.hpp"
+
+using Key = std::uint64_t;
+using Sorter = pgxd::core::DistributedSorter<Key>;
+
+namespace {
+
+// 80% of telemetry events are severity 200 ("OK"); the rest spread over a
+// small code space — a textbook "many duplicated data entries" dataset.
+std::vector<std::vector<Key>> telemetry_shards(std::size_t machines,
+                                               std::size_t per_machine) {
+  std::vector<std::vector<Key>> shards(machines);
+  for (std::size_t m = 0; m < machines; ++m) {
+    pgxd::Rng rng(pgxd::derive_seed(7, m));
+    shards[m].resize(per_machine);
+    for (auto& k : shards[m])
+      k = rng.uniform() < 0.8 ? 200 : rng.bounded(600);
+  }
+  return shards;
+}
+
+void run_with(bool investigator, std::size_t machines,
+              const std::vector<std::vector<Key>>& shards) {
+  pgxd::rt::ClusterConfig ccfg;
+  ccfg.machines = machines;
+  pgxd::rt::Cluster<Sorter::Msg> cluster(ccfg);
+  pgxd::core::SortConfig scfg;
+  scfg.use_investigator = investigator;
+  Sorter sorter(cluster, scfg);
+  sorter.run(shards);
+
+  std::printf("investigator %s: per-machine loads:", investigator ? "ON " : "OFF");
+  for (const auto& part : sorter.partitions())
+    std::printf(" %zu", part.size());
+  std::printf("\n  imbalance %.2fx, total %.4f simulated ms\n",
+              sorter.stats().balance.imbalance,
+              pgxd::sim::to_seconds(sorter.stats().total_time) * 1e3);
+
+  if (investigator) {
+    pgxd::core::SortedSequence<Key> seq(sorter.partitions());
+    std::printf("  severity-200 events: %llu (spread across machines",
+                static_cast<unsigned long long>(seq.count(200)));
+    // Which machines hold code 200? Walk the per-machine ranges.
+    for (std::size_t m = 0; m < seq.machines(); ++m) {
+      const auto range = seq.machine_range(m);
+      if (range && range->first <= 200 && 200 <= range->second)
+        std::printf(" %zu", m);
+    }
+    std::printf(")\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kMachines = 10;
+  constexpr std::size_t kPerMachine = 100'000;
+  const auto shards = telemetry_shards(kMachines, kPerMachine);
+
+  std::printf("telemetry: %zu machines x %zu events, 80%% duplicates of one "
+              "code\n\n", kMachines, kPerMachine);
+  run_with(false, kMachines, shards);
+  std::printf("\n");
+  run_with(true, kMachines, shards);
+  std::printf("\nWithout the investigator every duplicate of the dominant "
+              "code lands on one\nmachine (Fig. 3b); with it the run is "
+              "divided so all loads equalize (Fig. 3c).\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Simultaneous sorts: the library "is able to sort different data
+// simultaneously" (Sec. IV) — two independent datasets sort in one cluster
+// run, interleaving one sort's communication with the other's compute.
+// Compares the co-scheduled run against two back-to-back runs.
+#include <cstdio>
+
+#include "core/distributed_sort.hpp"
+#include "datagen/distributions.hpp"
+
+using Key = std::uint64_t;
+using Sorter = pgxd::core::DistributedSorter<Key>;
+
+namespace {
+
+std::vector<std::vector<Key>> shards_for(pgxd::gen::Distribution dist,
+                                         std::size_t n, std::size_t machines,
+                                         std::uint64_t seed) {
+  pgxd::gen::DataGenConfig cfg;
+  cfg.dist = dist;
+  cfg.seed = seed;
+  std::vector<std::vector<Key>> shards;
+  for (std::size_t r = 0; r < machines; ++r)
+    shards.push_back(pgxd::gen::generate_shard(cfg, n, machines, r));
+  return shards;
+}
+
+pgxd::rt::ClusterConfig cluster_cfg(std::size_t machines) {
+  pgxd::rt::ClusterConfig cfg;
+  cfg.machines = machines;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kMachines = 12;
+  constexpr std::size_t kKeys = 1 << 20;
+  const auto metrics = shards_for(pgxd::gen::Distribution::kExponential, kKeys,
+                                  kMachines, 1);
+  const auto ids = shards_for(pgxd::gen::Distribution::kUniform, kKeys,
+                              kMachines, 2);
+
+  // Two sorts, one simulation: distinct sort_ids keep their message tag
+  // spaces apart.
+  pgxd::rt::Cluster<Sorter::Msg> shared(cluster_cfg(kMachines));
+  Sorter sort_a(shared, pgxd::core::SortConfig{}, /*sort_id=*/0);
+  Sorter sort_b(shared, pgxd::core::SortConfig{}, /*sort_id=*/1);
+  sort_a.set_input(metrics);
+  sort_b.set_input(ids);
+  const auto together =
+      pgxd::core::sort_simultaneously<Key, std::less<Key>>(shared,
+                                                           {&sort_a, &sort_b});
+
+  // The same two sorts, back to back on fresh clusters.
+  pgxd::rt::Cluster<Sorter::Msg> c1(cluster_cfg(kMachines));
+  Sorter seq_a(c1, pgxd::core::SortConfig{});
+  seq_a.run(metrics);
+  pgxd::rt::Cluster<Sorter::Msg> c2(cluster_cfg(kMachines));
+  Sorter seq_b(c2, pgxd::core::SortConfig{});
+  seq_b.run(ids);
+  const auto apart =
+      seq_a.stats().total_time + seq_b.stats().total_time;
+
+  std::printf("two datasets of %d keys each on %zu machines:\n", 1 << 20,
+              kMachines);
+  std::printf("  back-to-back runs: %.4f simulated ms\n",
+              pgxd::sim::to_seconds(apart) * 1e3);
+  std::printf("  simultaneous run:  %.4f simulated ms (%.1f%% saved by "
+              "overlapping\n  one sort's communication with the other's "
+              "compute)\n",
+              pgxd::sim::to_seconds(together) * 1e3,
+              100.0 * (1.0 - pgxd::sim::to_seconds(together) /
+                                 pgxd::sim::to_seconds(apart)));
+
+  // Both results are complete and balanced.
+  std::printf("  dataset A balance %.3f, dataset B balance %.3f\n",
+              sort_a.stats().balance.imbalance,
+              sort_b.stats().balance.imbalance);
+  return 0;
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Regenerates every paper figure/table plus the ablations into results/,
+# one text file per experiment (add --csv in BENCH_FLAGS for plot-ready
+# output). Usage:
+#   scripts/reproduce.sh [build-dir] [results-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+RESULTS_DIR="${2:-results}"
+BENCH_FLAGS="${BENCH_FLAGS:-}"
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "build first: cmake -B $BUILD_DIR -G Ninja && cmake --build $BUILD_DIR" >&2
+  exit 1
+fi
+
+mkdir -p "$RESULTS_DIR"
+for bench in "$BUILD_DIR"/bench/*; do
+  [ -f "$bench" ] && [ -x "$bench" ] || continue
+  name="$(basename "$bench")"
+  echo "== $name"
+  # shellcheck disable=SC2086
+  "$bench" $BENCH_FLAGS > "$RESULTS_DIR/$name.txt" 2>&1
+done
+
+echo
+echo "results written to $RESULTS_DIR/:"
+ls -1 "$RESULTS_DIR"

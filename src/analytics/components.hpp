@@ -1,0 +1,155 @@
+// Distributed connected components via label propagation (treating edges
+// as undirected): every vertex repeatedly adopts the minimum label among
+// itself and its neighbours until a global fixpoint, detected with an
+// all-reduce over per-machine change flags. A second PGX.D-style analytics
+// workload over the same runtime, exercising the collectives.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "graph/csr.hpp"
+#include "graph/partition.hpp"
+#include "runtime/cluster.hpp"
+#include "runtime/collectives.hpp"
+
+namespace pgxd::analytics {
+
+struct ComponentsMsg {
+  // (vertex, candidate label) updates for vertices the receiver owns.
+  std::vector<std::pair<graph::VertexId, graph::VertexId>> updates;
+  std::uint64_t changed = 0;  // all-reduce payload
+
+  ComponentsMsg() = default;
+  ComponentsMsg(std::vector<std::pair<graph::VertexId, graph::VertexId>> u,
+                std::uint64_t c)
+      : updates(std::move(u)), changed(c) {}
+};
+
+struct ComponentsStats {
+  sim::SimTime total_time = 0;
+  unsigned rounds = 0;
+  std::uint64_t wire_bytes = 0;
+};
+
+class DistributedComponents {
+ public:
+  using Cluster = rt::Cluster<ComponentsMsg>;
+
+  DistributedComponents(Cluster& cluster, const graph::CsrGraph& graph,
+                        const graph::Partition& partition,
+                        unsigned max_rounds = 100)
+      : cluster_(cluster), sym_(symmetrize(graph)), part_(partition),
+        max_rounds_(max_rounds) {
+    PGXD_CHECK(part_.block_start.size() == cluster.size() + 1);
+  }
+
+  // Undirected view: every edge present in both directions, so push-only
+  // propagation reaches the whole component.
+  static graph::CsrGraph symmetrize(const graph::CsrGraph& g);
+
+  // Returns the component label (minimum reachable vertex id) per vertex.
+  std::vector<graph::VertexId> run() {
+    labels_.resize(sym_.num_vertices());
+    for (graph::VertexId v = 0; v < sym_.num_vertices(); ++v) labels_[v] = v;
+    rounds_completed_ = 0;
+    stats_ = ComponentsStats{};
+    stats_.total_time = cluster_.run(
+        [this](rt::Machine& m) { return machine_program(m); });
+    stats_.rounds = rounds_completed_;
+    stats_.wire_bytes = wire_bytes_;
+    return labels_;
+  }
+
+  const ComponentsStats& stats() const { return stats_; }
+
+ private:
+  static constexpr int kTagUpdates = 0;
+  static constexpr int kTagReduceGather = 1;
+  static constexpr int kTagReduceBcast = 2;
+
+  sim::Task<void> machine_program(rt::Machine& m) {
+    auto& comm = cluster_.comm();
+    const std::size_t rank = m.rank();
+    const std::size_t p = cluster_.size();
+    const graph::VertexId lo = part_.block_start[rank];
+    const graph::VertexId hi = part_.block_start[rank + 1];
+
+    for (unsigned round = 0; round < max_rounds_; ++round) {
+      // Push min labels along the symmetrized edges. Only owned labels are
+      // written locally; candidates for remote vertices travel as messages.
+      // (The labels_[u] comparison against a remote u models a ghost-cached
+      // copy used purely as a *send filter*: a stale read can only fail to
+      // suppress a redundant update, never inject information — the actual
+      // label transfer is always the message the owner applies.)
+      std::uint64_t changed = 0;
+      std::vector<std::map<graph::VertexId, graph::VertexId>> remote(p);
+      for (graph::VertexId v = lo; v < hi; ++v) {
+        for (const auto u : sym_.neighbors(v)) {
+          if (labels_[v] < labels_[u]) {
+            const std::size_t owner = part_.vertex_owner[u];
+            if (owner == rank) {
+              labels_[u] = labels_[v];
+              ++changed;
+            } else {
+              auto [it, fresh] = remote[owner].try_emplace(u, labels_[v]);
+              if (!fresh && labels_[v] < it->second) it->second = labels_[v];
+            }
+          }
+        }
+      }
+      co_await m.compute_parallel(
+          m.cost().merge_time(sym_.row_ptr()[hi] - sym_.row_ptr()[lo]));
+
+      for (std::size_t dst = 0; dst < p; ++dst) {
+        if (dst == rank) continue;
+        std::vector<std::pair<graph::VertexId, graph::VertexId>> payload(
+            remote[dst].begin(), remote[dst].end());
+        const std::uint64_t bytes = payload.size() * 8 + 8;
+        wire_bytes_ += bytes;
+        comm.post(rank, dst, kTagUpdates,
+                  ComponentsMsg(std::move(payload), 0), bytes);
+      }
+      for (std::size_t i = 0; i + 1 < p; ++i) {
+        auto msg = co_await comm.recv(rank, kTagUpdates);
+        for (const auto& [v, label] : msg.payload.updates) {
+          if (label < labels_[v]) {
+            labels_[v] = label;
+            ++changed;
+          }
+        }
+        co_await m.charge_copy(msg.payload.updates.size());
+      }
+
+      // Global fixpoint check: all-reduce of change counts.
+      ComponentsMsg my_flag({}, changed);
+      auto total = co_await rt::all_reduce(
+          comm, rank, kTagReduceGather, kTagReduceBcast, std::move(my_flag),
+          16, [](ComponentsMsg a, ComponentsMsg b) {
+            a.changed += b.changed;
+            return a;
+          });
+      if (rank == 0) rounds_completed_ = round + 1;
+      if (total.changed == 0) break;
+      co_await comm.barrier();
+    }
+    co_return;
+  }
+
+  Cluster& cluster_;
+  graph::CsrGraph sym_;
+  const graph::Partition& part_;
+  unsigned max_rounds_;
+  std::vector<graph::VertexId> labels_;
+  unsigned rounds_completed_ = 0;
+  ComponentsStats stats_;
+  std::uint64_t wire_bytes_ = 0;
+};
+
+// Single-node reference (BFS over the undirected view).
+std::vector<graph::VertexId> components_reference(const graph::CsrGraph& graph);
+
+}  // namespace pgxd::analytics

@@ -1,0 +1,161 @@
+// Distributed single-source shortest paths (synchronous Bellman-Ford
+// rounds) — the third PGX.D-style analytics workload. Edge weights are
+// derived deterministically from (src, dst) so no weight storage or
+// shipping is needed; relaxations for remote vertices travel as messages,
+// aggregated per distinct target (the ghost pattern), and termination uses
+// the all-reduce fixpoint check.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "graph/csr.hpp"
+#include "graph/partition.hpp"
+#include "runtime/cluster.hpp"
+#include "runtime/collectives.hpp"
+
+namespace pgxd::analytics {
+
+inline constexpr std::uint64_t kUnreachable =
+    std::numeric_limits<std::uint64_t>::max();
+
+// Deterministic per-edge weight in [1, max_weight].
+inline std::uint64_t edge_weight(graph::VertexId src, graph::VertexId dst,
+                                 std::uint64_t max_weight = 100) {
+  SplitMix64 sm((static_cast<std::uint64_t>(src) << 32) | dst);
+  return 1 + sm.next() % max_weight;
+}
+
+struct SsspMsg {
+  // (vertex, candidate distance) relaxations for the receiver's vertices.
+  std::vector<std::pair<graph::VertexId, std::uint64_t>> relaxations;
+  std::uint64_t changed = 0;
+
+  SsspMsg() = default;
+  SsspMsg(std::vector<std::pair<graph::VertexId, std::uint64_t>> r,
+          std::uint64_t c)
+      : relaxations(std::move(r)), changed(c) {}
+};
+
+struct SsspStats {
+  sim::SimTime total_time = 0;
+  unsigned rounds = 0;
+  std::uint64_t wire_bytes = 0;
+};
+
+class DistributedSssp {
+ public:
+  using Cluster = rt::Cluster<SsspMsg>;
+
+  DistributedSssp(Cluster& cluster, const graph::CsrGraph& graph,
+                  const graph::Partition& partition, graph::VertexId source,
+                  unsigned max_rounds = 200)
+      : cluster_(cluster), graph_(graph), part_(partition), source_(source),
+        max_rounds_(max_rounds) {
+    PGXD_CHECK(part_.block_start.size() == cluster.size() + 1);
+    PGXD_CHECK(source < graph.num_vertices());
+  }
+
+  // Returns dist[v] = weight of the shortest path source -> v (kUnreachable
+  // if none), following the stored edge directions.
+  std::vector<std::uint64_t> run() {
+    dist_.assign(graph_.num_vertices(), kUnreachable);
+    dist_[source_] = 0;
+    stats_ = SsspStats{};
+    stats_.total_time = cluster_.run(
+        [this](rt::Machine& m) { return machine_program(m); });
+    stats_.rounds = rounds_completed_;
+    stats_.wire_bytes = wire_bytes_;
+    return dist_;
+  }
+
+  const SsspStats& stats() const { return stats_; }
+
+ private:
+  static constexpr int kTagRelax = 0;
+  static constexpr int kTagReduceGather = 1;
+  static constexpr int kTagReduceBcast = 2;
+
+  sim::Task<void> machine_program(rt::Machine& m) {
+    auto& comm = cluster_.comm();
+    const std::size_t rank = m.rank();
+    const std::size_t p = cluster_.size();
+    const graph::VertexId lo = part_.block_start[rank];
+    const graph::VertexId hi = part_.block_start[rank + 1];
+
+    for (unsigned round = 0; round < max_rounds_; ++round) {
+      std::uint64_t changed = 0;
+      std::vector<std::map<graph::VertexId, std::uint64_t>> remote(p);
+      for (graph::VertexId v = lo; v < hi; ++v) {
+        if (dist_[v] == kUnreachable) continue;
+        for (const auto u : graph_.neighbors(v)) {
+          const std::uint64_t cand = dist_[v] + edge_weight(v, u);
+          const std::size_t owner = part_.vertex_owner[u];
+          if (owner == rank) {
+            if (cand < dist_[u]) {
+              dist_[u] = cand;
+              ++changed;
+            }
+          } else if (cand < dist_[u]) {  // ghost-cached filter (may be stale)
+            auto [it, fresh] = remote[owner].try_emplace(u, cand);
+            if (!fresh && cand < it->second) it->second = cand;
+          }
+        }
+      }
+      co_await m.compute_parallel(
+          m.cost().merge_time(graph_.row_ptr()[hi] - graph_.row_ptr()[lo]));
+
+      for (std::size_t dst = 0; dst < p; ++dst) {
+        if (dst == rank) continue;
+        std::vector<std::pair<graph::VertexId, std::uint64_t>> payload(
+            remote[dst].begin(), remote[dst].end());
+        const std::uint64_t bytes = payload.size() * 12 + 8;
+        wire_bytes_ += bytes;
+        comm.post(rank, dst, kTagRelax, SsspMsg(std::move(payload), 0), bytes);
+      }
+      for (std::size_t i = 0; i + 1 < p; ++i) {
+        auto msg = co_await comm.recv(rank, kTagRelax);
+        for (const auto& [v, cand] : msg.payload.relaxations) {
+          if (cand < dist_[v]) {
+            dist_[v] = cand;
+            ++changed;
+          }
+        }
+        co_await m.charge_copy(msg.payload.relaxations.size());
+      }
+
+      SsspMsg my_flag({}, changed);
+      auto total = co_await rt::all_reduce(
+          comm, rank, kTagReduceGather, kTagReduceBcast, std::move(my_flag),
+          16, [](SsspMsg a, SsspMsg b) {
+            a.changed += b.changed;
+            return a;
+          });
+      if (rank == 0) rounds_completed_ = round + 1;
+      if (total.changed == 0) break;
+      co_await comm.barrier();
+    }
+    co_return;
+  }
+
+  Cluster& cluster_;
+  const graph::CsrGraph& graph_;
+  const graph::Partition& part_;
+  graph::VertexId source_;
+  unsigned max_rounds_;
+  std::vector<std::uint64_t> dist_;
+  unsigned rounds_completed_ = 0;
+  SsspStats stats_;
+  std::uint64_t wire_bytes_ = 0;
+};
+
+// Single-node reference (Dijkstra).
+std::vector<std::uint64_t> sssp_reference(const graph::CsrGraph& graph,
+                                          graph::VertexId source);
+
+}  // namespace pgxd::analytics

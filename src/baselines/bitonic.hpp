@@ -1,0 +1,118 @@
+// Distributed block-bitonic sort (Batcher) — the Sec. II comparator.
+//
+// Classic hypercube schedule: every machine keeps a sorted block; in round
+// (k, j) machine r compare-splits its whole block with partner r^j, keeping
+// the lower or upper half according to the bitonic direction bit. The
+// defining cost the paper criticizes is visible by construction: every
+// round exchanges the *entire* block, so wire traffic is
+// O(n * log^2(p) / p) per machine versus sample sort's O(n / p).
+//
+// Requires: power-of-two machine count and equal block sizes (the classical
+// block-comparator correctness condition via the 0-1 principle).
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/stats.hpp"
+#include "runtime/cluster.hpp"
+#include "sort/merge.hpp"
+
+namespace pgxd::baselines {
+
+struct BitonicStats {
+  sim::SimTime total_time = 0;
+  std::uint64_t wire_bytes = 0;
+  std::size_t rounds = 0;
+};
+
+template <typename Key, typename Comp = std::less<Key>>
+class BitonicSorter {
+ public:
+  struct Msg {
+    std::vector<Key> keys;
+    std::size_t round = 0;
+
+    // User-declared constructors are load-bearing; see the note on
+    // rt::Message about GCC 12 and aggregate temporaries in co_await.
+    Msg() = default;
+    Msg(std::vector<Key> k, std::size_t r) : keys(std::move(k)), round(r) {}
+  };
+  using Cluster = rt::Cluster<Msg>;
+
+  explicit BitonicSorter(Cluster& cluster, Comp comp = {})
+      : cluster_(cluster), comp_(comp) {
+    output_.resize(cluster.size());
+  }
+
+  void run(std::vector<std::vector<Key>> shards) {
+    const std::size_t p = cluster_.size();
+    PGXD_CHECK(shards.size() == p);
+    PGXD_CHECK_MSG(std::has_single_bit(p), "bitonic needs 2^k machines");
+    for (std::size_t r = 1; r < p; ++r)
+      PGXD_CHECK_MSG(shards[r].size() == shards[0].size(),
+                     "bitonic needs equal block sizes");
+    input_ = std::move(shards);
+    stats_ = BitonicStats{};
+    stats_.total_time = cluster_.run(
+        [this](rt::Machine& m) { return machine_program(m); });
+    stats_.wire_bytes = wire_bytes_;
+  }
+
+  const std::vector<std::vector<Key>>& partitions() const { return output_; }
+  const BitonicStats& stats() const { return stats_; }
+
+ private:
+  sim::Task<void> machine_program(rt::Machine& m) {
+    auto& comm = cluster_.comm();
+    const std::size_t rank = m.rank();
+    const std::size_t p = cluster_.size();
+
+    std::vector<Key> block = std::move(input_[rank]);
+    const std::size_t bn = block.size();
+    std::sort(block.begin(), block.end(), comp_);
+    co_await m.charge_local_parallel_sort(bn);
+
+    std::size_t round = 0;
+    for (std::size_t k = 2; k <= p; k <<= 1) {
+      for (std::size_t j = k >> 1; j > 0; j >>= 1, ++round) {
+        const std::size_t partner = rank ^ j;
+        const bool ascending = (rank & k) == 0;
+        const bool keep_low = ascending == (rank < partner);
+
+        const std::uint64_t bytes = bn * sizeof(Key);
+        wire_bytes_ += bytes;
+        comm.post(rank, partner, static_cast<int>(round),
+                  Msg{block, round}, bytes);
+        auto msg = co_await comm.recv(rank, static_cast<int>(round));
+        PGXD_CHECK(msg.payload.round == round);
+
+        // Compare-split: merge the two sorted blocks, keep our half.
+        std::vector<Key> merged(2 * bn);
+        sort::merge_into<Key, Comp>(block, msg.payload.keys, merged, comp_);
+        co_await m.compute_parallel(m.cost().merge_time(2 * bn));
+        if (keep_low)
+          block.assign(merged.begin(), merged.begin() + bn);
+        else
+          block.assign(merged.end() - bn, merged.end());
+      }
+    }
+    if (rank == 0) stats_.rounds = round;
+    output_[rank] = std::move(block);
+    co_return;
+  }
+
+  Cluster& cluster_;
+  Comp comp_;
+  std::vector<std::vector<Key>> input_;
+  std::vector<std::vector<Key>> output_;
+  BitonicStats stats_;
+  std::uint64_t wire_bytes_ = 0;
+};
+
+}  // namespace pgxd::baselines

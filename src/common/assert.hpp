@@ -1,0 +1,39 @@
+// Always-on checked assertions for library invariants.
+//
+// PGXD_CHECK is active in all build types: the simulator and the sorting
+// library are full of invariants whose silent violation would produce
+// plausible-but-wrong benchmark numbers, so we never compile them out.
+// PGXD_DCHECK compiles out in NDEBUG builds and is for hot inner loops only.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pgxd::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "PGXD_CHECK failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace pgxd::detail
+
+#define PGXD_CHECK(expr)                                                 \
+  do {                                                                   \
+    if (!(expr)) [[unlikely]]                                            \
+      ::pgxd::detail::check_failed(#expr, __FILE__, __LINE__, nullptr);  \
+  } while (false)
+
+#define PGXD_CHECK_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) [[unlikely]]                                         \
+      ::pgxd::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#ifdef NDEBUG
+#define PGXD_DCHECK(expr) ((void)0)
+#else
+#define PGXD_DCHECK(expr) PGXD_CHECK(expr)
+#endif

@@ -1,0 +1,99 @@
+#include "common/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace pgxd {
+
+void Flags::declare(const std::string& name, const std::string& help,
+                    const std::string& default_value) {
+  PGXD_CHECK_MSG(!decls_.count(name), "duplicate flag declaration");
+  decls_[name] = Decl{help, default_value, false};
+}
+
+void Flags::parse(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "prog";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(help().c_str(), stdout);
+      std::exit(0);
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    } else if (i + 1 < argc) {
+      value = argv[++i];
+    }
+    auto it = decls_.find(name);
+    if (it == decls_.end()) {
+      std::fprintf(stderr, "unknown flag --%s\n%s", name.c_str(), help().c_str());
+      std::exit(2);
+    }
+    it->second.value = std::move(value);
+    it->second.set = true;
+  }
+}
+
+bool Flags::has(const std::string& name) const {
+  auto it = decls_.find(name);
+  PGXD_CHECK_MSG(it != decls_.end(), "flag not declared");
+  return it->second.set;
+}
+
+std::string Flags::str(const std::string& name) const {
+  auto it = decls_.find(name);
+  PGXD_CHECK_MSG(it != decls_.end(), "flag not declared");
+  return it->second.value;
+}
+
+std::int64_t Flags::i64(const std::string& name) const {
+  return std::stoll(str(name));
+}
+
+std::uint64_t Flags::u64(const std::string& name) const {
+  return std::stoull(str(name));
+}
+
+double Flags::f64(const std::string& name) const { return std::stod(str(name)); }
+
+bool Flags::boolean(const std::string& name) const {
+  const std::string v = str(name);
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+std::vector<std::uint64_t> Flags::u64_list(const std::string& name) const {
+  std::vector<std::uint64_t> out;
+  const std::string v = str(name);
+  std::size_t pos = 0;
+  while (pos < v.size()) {
+    const std::size_t comma = v.find(',', pos);
+    const std::string tok =
+        v.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (!tok.empty()) out.push_back(std::stoull(tok));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::string Flags::help() const {
+  std::string out = "usage: " + program_ + " [flags]\n";
+  for (const auto& [name, d] : decls_) {
+    out += "  --" + name;
+    if (!d.value.empty()) out += " (default: " + d.value + ")";
+    out += "\n      " + d.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace pgxd

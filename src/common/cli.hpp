@@ -1,0 +1,50 @@
+// Minimal command-line flag parsing for the benchmark harnesses.
+//
+// Flags look like `--name=value` or `--name value`; anything else is left in
+// positional(). Unknown flags are an error so typos don't silently run the
+// default configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pgxd {
+
+class Flags {
+ public:
+  // Declares a flag with a help line; call before parse().
+  void declare(const std::string& name, const std::string& help,
+               const std::string& default_value = "");
+
+  // Parses argv; prints help and exits on --help; aborts on unknown flags.
+  void parse(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string str(const std::string& name) const;
+  std::int64_t i64(const std::string& name) const;
+  std::uint64_t u64(const std::string& name) const;
+  double f64(const std::string& name) const;
+  bool boolean(const std::string& name) const;
+
+  // Parses a comma-separated list of integers, e.g. --procs=8,16,32.
+  std::vector<std::uint64_t> u64_list(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string help() const;
+
+ private:
+  struct Decl {
+    std::string help;
+    std::string value;
+    bool set = false;
+  };
+  std::map<std::string, Decl> decls_;
+  std::vector<std::string> positional_;
+  std::string program_;
+};
+
+}  // namespace pgxd

@@ -1,0 +1,127 @@
+// Deterministic, seedable random number generation.
+//
+// Every stochastic choice in the library (input generation, sampling,
+// pivot selection) flows through these generators so a (seed, parameters)
+// pair reproduces a run bit-for-bit, independent of the standard library's
+// distribution implementations.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+#include "common/assert.hpp"
+
+namespace pgxd {
+
+// SplitMix64: used to expand a user seed into generator state.
+struct SplitMix64 {
+  std::uint64_t state;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) : state(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+};
+
+// xoshiro256** 1.0 (Blackman & Vigna) — fast, high-quality, tiny state.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+    // All-zero state is invalid; SplitMix64 output makes this effectively
+    // impossible, but guard anyway.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  std::uint64_t operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Unbiased integer in [0, bound) via Lemire's multiply-shift rejection.
+  std::uint64_t bounded(std::uint64_t bound) {
+    PGXD_CHECK(bound > 0);
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Uniform double in [0, 1) with 53 bits of randomness.
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  // Standard normal via Box–Muller (cached second variate).
+  double normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = uniform();
+    // Avoid log(0); uniform() can return exactly 0.
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  // Exponential with rate lambda (mean 1/lambda).
+  double exponential(double lambda) {
+    PGXD_CHECK(lambda > 0);
+    double u = uniform();
+    while (u <= 0.0) u = uniform();
+    return -std::log(u) / lambda;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+// Derives an independent child seed, e.g. one per simulated machine.
+inline std::uint64_t derive_seed(std::uint64_t root, std::uint64_t stream) {
+  SplitMix64 sm(root ^ (0xa5a5a5a5deadbeefULL + stream * 0x9e3779b97f4a7c15ULL));
+  sm.next();
+  return sm.next();
+}
+
+}  // namespace pgxd

@@ -1,0 +1,125 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace pgxd {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double nt = na + nb;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  mean_ = (na * mean_ + nb * other.mean_) / nt;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double percentile(std::span<const double> xs, double p) {
+  PGXD_CHECK(!xs.empty());
+  PGXD_CHECK(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  PGXD_CHECK(hi > lo);
+  PGXD_CHECK(buckets > 0);
+}
+
+void Histogram::add(double x) { add_n(x, 1); }
+
+void Histogram::add_n(double x, std::uint64_t n) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto b = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
+  b = std::clamp<std::ptrdiff_t>(b, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(b)] += n;
+  total_ += n;
+}
+
+double Histogram::bucket_lo(std::size_t b) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(b) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bucket_hi(std::size_t b) const { return bucket_lo(b + 1); }
+
+std::string Histogram::render(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char buf[64];
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const int n = std::snprintf(buf, sizeof buf, "%10.3f..%-10.3f |", bucket_lo(b),
+                                bucket_hi(b));
+    out.append(buf, static_cast<std::size_t>(n));
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[b]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    out.append(bar, '#');
+    const int m = std::snprintf(buf, sizeof buf, " %llu\n",
+                                static_cast<unsigned long long>(counts_[b]));
+    out.append(buf, static_cast<std::size_t>(m));
+  }
+  return out;
+}
+
+BalanceReport balance_report(std::span<const std::uint64_t> sizes) {
+  BalanceReport r;
+  r.partitions = sizes.size();
+  if (sizes.empty()) return r;
+  r.min_size = sizes[0];
+  r.max_size = sizes[0];
+  for (auto s : sizes) {
+    r.total += s;
+    r.min_size = std::min(r.min_size, s);
+    r.max_size = std::max(r.max_size, s);
+  }
+  if (r.total > 0) {
+    r.min_share = static_cast<double>(r.min_size) / static_cast<double>(r.total);
+    r.max_share = static_cast<double>(r.max_size) / static_cast<double>(r.total);
+    const double ideal =
+        static_cast<double>(r.total) / static_cast<double>(r.partitions);
+    r.imbalance = static_cast<double>(r.max_size) / ideal;
+  }
+  r.spread = r.max_size - r.min_size;
+  return r;
+}
+
+}  // namespace pgxd

@@ -1,0 +1,80 @@
+// Small statistics toolkit used by workload generators, load-balance
+// verification, and the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pgxd {
+
+// Welford's online mean/variance; numerically stable for long streams.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Linear-interpolated percentile of an unsorted sample (copies + sorts).
+double percentile(std::span<const double> xs, double p);
+
+// Fixed-width histogram over [lo, hi); values outside are clamped into the
+// first/last bucket. Used to render the Fig. 4 distribution shapes.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  void add_n(double x, std::uint64_t n);
+
+  std::size_t buckets() const { return counts_.size(); }
+  std::uint64_t count(std::size_t b) const { return counts_[b]; }
+  std::uint64_t total() const { return total_; }
+  double bucket_lo(std::size_t b) const;
+  double bucket_hi(std::size_t b) const;
+
+  // ASCII rendering: one row per bucket, bar scaled to `width` columns.
+  std::string render(std::size_t width = 60) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+// Load-balance summary over per-partition sizes: the quantities the paper's
+// Table II and Fig. 10 report.
+struct BalanceReport {
+  std::size_t partitions = 0;
+  std::uint64_t total = 0;
+  std::uint64_t min_size = 0;
+  std::uint64_t max_size = 0;
+  double min_share = 0.0;        // min_size / total
+  double max_share = 0.0;        // max_size / total
+  double imbalance = 0.0;        // max_size / ideal  (1.0 == perfect)
+  std::uint64_t spread = 0;      // max_size - min_size (paper's "load difference")
+};
+
+BalanceReport balance_report(std::span<const std::uint64_t> sizes);
+
+}  // namespace pgxd

@@ -1,0 +1,110 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pgxd {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::fmt_pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string Table::fmt_bytes(std::uint64_t bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (bytes >= (1ULL << 30))
+    std::snprintf(buf, sizeof buf, "%.2f GiB", b / static_cast<double>(1ULL << 30));
+  else if (bytes >= (1ULL << 20))
+    std::snprintf(buf, sizeof buf, "%.2f MiB", b / static_cast<double>(1ULL << 20));
+  else if (bytes >= (1ULL << 10))
+    std::snprintf(buf, sizeof buf, "%.2f KiB", b / static_cast<double>(1ULL << 10));
+  else
+    std::snprintf(buf, sizeof buf, "%llu B", static_cast<unsigned long long>(bytes));
+  return buf;
+}
+
+std::string Table::fmt_time_s(double seconds, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f s", precision, seconds);
+  return buf;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      line += "| ";
+      line += cells[c];
+      line.append(width[c] - cells[c].size() + 1, ' ');
+    }
+    line += "|\n";
+    return line;
+  };
+
+  std::string sep = "+";
+  for (auto w : width) sep += std::string(w + 2, '-') + "+";
+  sep += "\n";
+
+  std::string out = sep + render_row(headers_) + sep;
+  for (const auto& r : rows_) out += render_row(r);
+  out += sep;
+  return out;
+}
+
+std::string Table::render_csv() const {
+  auto csv_cell = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string quoted = "\"";
+    for (char c : cell) {
+      if (c == '"') quoted += '"';
+      quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  auto csv_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) line += ',';
+      line += csv_cell(cells[c]);
+    }
+    line += '\n';
+    return line;
+  };
+  std::string out = csv_row(headers_);
+  for (const auto& r : rows_) out += csv_row(r);
+  return out;
+}
+
+void Table::print() const { std::fputs(render().c_str(), stdout); }
+
+void print_banner(const std::string& title, const std::string& subtitle) {
+  std::string bar(std::max<std::size_t>(title.size(), 60), '=');
+  std::printf("\n%s\n%s\n", bar.c_str(), title.c_str());
+  if (!subtitle.empty()) std::printf("%s\n", subtitle.c_str());
+  std::printf("%s\n", bar.c_str());
+}
+
+}  // namespace pgxd

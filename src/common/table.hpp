@@ -1,0 +1,37 @@
+// Aligned-column text tables for the benchmark harnesses; every figure and
+// table reproduction prints through this so output is uniform and diffable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pgxd {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& row(std::vector<std::string> cells);
+
+  // Formatting helpers for cells.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt_pct(double fraction, int precision = 3);  // 0.1 -> "10.000%"
+  static std::string fmt_bytes(std::uint64_t bytes);
+  static std::string fmt_time_s(double seconds, int precision = 4);
+
+  std::string render() const;
+  // Comma-separated rendering for machine consumption; cells containing
+  // commas or quotes are quoted per RFC 4180.
+  std::string render_csv() const;
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Section banner printed before each reproduced figure/table.
+void print_banner(const std::string& title, const std::string& subtitle = "");
+
+}  // namespace pgxd

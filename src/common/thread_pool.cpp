@@ -1,0 +1,110 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace pgxd {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  threads_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  PGXD_CHECK(task != nullptr);
+  if (threads_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard lock(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::run_one() {
+  std::function<void()> task;
+  {
+    std::lock_guard lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  {
+    std::lock_guard lock(mu_);
+    PGXD_CHECK(in_flight_ > 0);
+    --in_flight_;
+    if (in_flight_ == 0) idle_cv_.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::wait_idle() {
+  // Help drain the queue so waiting makes progress on any worker count.
+  while (run_one()) {
+  }
+  std::unique_lock lock(mu_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::run_all(std::vector<std::function<void()>> tasks) {
+  if (threads_.empty()) {
+    for (auto& t : tasks) t();
+    return;
+  }
+  for (auto& t : tasks) submit(std::move(t));
+  wait_idle();
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              std::size_t pieces,
+                              const std::function<void(std::size_t, std::size_t)>& body) {
+  PGXD_CHECK(end >= begin);
+  const std::size_t n = end - begin;
+  if (n == 0) return;
+  pieces = std::clamp<std::size_t>(pieces, 1, n);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(pieces);
+  for (std::size_t p = 0; p < pieces; ++p) {
+    const std::size_t lo = begin + n * p / pieces;
+    const std::size_t hi = begin + n * (p + 1) / pieces;
+    if (lo == hi) continue;
+    tasks.push_back([&body, lo, hi] { body(lo, hi); });
+  }
+  run_all(std::move(tasks));
+}
+
+}  // namespace pgxd

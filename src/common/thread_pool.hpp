@@ -1,0 +1,59 @@
+// Minimal work-queue thread pool for the shared-memory sorting library.
+//
+// The pool is intentionally simple: a mutex-protected FIFO and a completion
+// counter. Sorting submits O(threads) coarse tasks per merge level, so queue
+// contention is irrelevant; predictability and correctness are what matter.
+// A pool of size 0 or 1 executes everything inline on the caller, which is
+// also the degenerate path used when callers pass no pool at all.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pgxd {
+
+class ThreadPool {
+ public:
+  // `threads` counts *extra* workers; 0 means run everything inline.
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned workers() const { return static_cast<unsigned>(threads_.size()); }
+
+  // Enqueues a task. Tasks must not throw.
+  void submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished. The caller participates
+  // by draining the queue, so wait() makes progress even with 0 workers.
+  void wait_idle();
+
+  // Runs all tasks and waits; inline when the pool has no workers.
+  void run_all(std::vector<std::function<void()>> tasks);
+
+  // Splits [begin, end) into roughly `pieces` contiguous chunks and runs
+  // body(chunk_begin, chunk_end) for each, in parallel, then waits.
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t pieces,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  void worker_loop();
+  bool run_one();  // returns false if the queue was empty
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  // queued + executing
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace pgxd

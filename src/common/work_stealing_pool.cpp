@@ -1,0 +1,129 @@
+#include "common/work_stealing_pool.hpp"
+
+#include "common/assert.hpp"
+
+namespace pgxd {
+
+namespace {
+// Which worker (if any) the current thread is; -1 outside the pool. Each
+// pool instance tags its workers, so nested pools would collide — the
+// library only ever uses one pool per machine, and the id is reset on exit.
+thread_local std::ptrdiff_t t_worker_id = -1;
+}  // namespace
+
+WorkStealingPool::WorkStealingPool(unsigned workers) {
+  queues_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i)
+    queues_.push_back(std::make_unique<Worker>());
+  threads_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i)
+    threads_.emplace_back([this, i] { worker_loop(i); });
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  stop_.store(true, std::memory_order_release);
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkStealingPool::submit(std::function<void()> task) {
+  PGXD_CHECK(task != nullptr);
+  if (threads_.empty()) {
+    task();
+    return;
+  }
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  std::size_t target;
+  if (t_worker_id >= 0 &&
+      static_cast<std::size_t>(t_worker_id) < queues_.size()) {
+    target = static_cast<std::size_t>(t_worker_id);  // nested: stay local
+  } else {
+    target = next_victim_.fetch_add(1, std::memory_order_relaxed) %
+             queues_.size();
+  }
+  {
+    std::lock_guard lock(queues_[target]->mu);
+    queues_[target]->deque.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+bool WorkStealingPool::try_pop_own(std::size_t id, std::function<void()>& task) {
+  auto& w = *queues_[id];
+  std::lock_guard lock(w.mu);
+  if (w.deque.empty()) return false;
+  task = std::move(w.deque.back());
+  w.deque.pop_back();
+  ++w.executed;
+  return true;
+}
+
+bool WorkStealingPool::try_steal(std::size_t thief, std::function<void()>& task) {
+  const std::size_t n = queues_.size();
+  for (std::size_t k = 1; k < n; ++k) {
+    const std::size_t victim = (thief + k) % n;
+    auto& w = *queues_[victim];
+    std::lock_guard lock(w.mu);
+    if (w.deque.empty()) continue;
+    task = std::move(w.deque.front());
+    w.deque.pop_front();
+    ++queues_[thief]->stolen;
+    ++queues_[thief]->executed;
+    return true;
+  }
+  return false;
+}
+
+void WorkStealingPool::finish_one() {
+  if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard lock(idle_mu_);
+    idle_cv_.notify_all();
+  }
+}
+
+void WorkStealingPool::worker_loop(std::size_t id) {
+  t_worker_id = static_cast<std::ptrdiff_t>(id);
+  std::function<void()> task;
+  for (;;) {
+    if (try_pop_own(id, task) || try_steal(id, task)) {
+      task();
+      task = nullptr;
+      finish_one();
+      continue;
+    }
+    std::unique_lock lock(idle_mu_);
+    if (stop_.load(std::memory_order_acquire)) break;
+    // Re-check under the lock-free queues after registering as a waiter
+    // would race; a bounded wait keeps the design simple and correct.
+    work_cv_.wait_for(lock, std::chrono::milliseconds(1));
+  }
+  t_worker_id = -1;
+}
+
+void WorkStealingPool::wait_idle() {
+  PGXD_CHECK_MSG(t_worker_id == -1, "wait_idle() called from a pool worker");
+  std::unique_lock lock(idle_mu_);
+  idle_cv_.wait(lock, [this] {
+    return in_flight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void WorkStealingPool::run_all(std::vector<std::function<void()>> tasks) {
+  if (threads_.empty()) {
+    for (auto& t : tasks) t();
+    return;
+  }
+  for (auto& t : tasks) submit(std::move(t));
+  wait_idle();
+}
+
+WorkStealingPool::Stats WorkStealingPool::stats() const {
+  Stats s;
+  for (const auto& w : queues_) {
+    s.executed += w->executed;
+    s.stolen += w->stolen;
+  }
+  return s;
+}
+
+}  // namespace pgxd

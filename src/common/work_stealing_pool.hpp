@@ -1,0 +1,78 @@
+// Work-stealing task pool — the shape of PGX.D's task manager (Sec. III:
+// worker threads grab tasks from a list; idle workers take over other
+// workers' pending tasks). Each worker owns a deque: the owner pushes and
+// pops at the back (LIFO, cache-friendly for nested tasks), thieves steal
+// from the front (FIFO, taking the oldest and typically largest work).
+//
+// Compared to common/thread_pool.hpp's single shared queue, stealing keeps
+// workers busy under *irregular* task sizes — the reason PGX.D pairs it
+// with edge chunking. bench/kernels_scheduling measures the difference.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace pgxd {
+
+class WorkStealingPool {
+ public:
+  struct Stats {
+    std::uint64_t executed = 0;
+    std::uint64_t stolen = 0;
+  };
+
+  // `workers` counts extra threads; 0 runs every task inline on submit.
+  explicit WorkStealingPool(unsigned workers);
+  ~WorkStealingPool();
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  unsigned workers() const { return static_cast<unsigned>(threads_.size()); }
+
+  // Enqueues a task; callable from outside or from within a task (nested
+  // submission lands on the submitting worker's own deque). Tasks must not
+  // throw.
+  void submit(std::function<void()> task);
+
+  // Blocks until all submitted tasks (including nested ones) finished. Must
+  // be called from outside the pool's workers.
+  void wait_idle();
+
+  // Submits all tasks and waits.
+  void run_all(std::vector<std::function<void()>> tasks);
+
+  Stats stats() const;
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<std::function<void()>> deque;
+    std::uint64_t executed = 0;
+    std::uint64_t stolen = 0;
+  };
+
+  void worker_loop(std::size_t id);
+  bool try_pop_own(std::size_t id, std::function<void()>& task);
+  bool try_steal(std::size_t thief, std::function<void()>& task);
+  void finish_one();
+
+  std::vector<std::unique_ptr<Worker>> queues_;
+  std::vector<std::thread> threads_;
+  std::mutex idle_mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::atomic<std::int64_t> in_flight_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> next_victim_{0};
+};
+
+}  // namespace pgxd

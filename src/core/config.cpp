@@ -1,0 +1,17 @@
+#include "core/config.hpp"
+
+namespace pgxd::core {
+
+const char* step_name(Step s) {
+  switch (s) {
+    case Step::kLocalSort: return "local-sort";
+    case Step::kSampling: return "sampling";
+    case Step::kSplitterSelect: return "splitter-select";
+    case Step::kPartitionPlan: return "partition-plan";
+    case Step::kExchange: return "send/receive";
+    case Step::kFinalMerge: return "final-merge";
+  }
+  return "unknown";
+}
+
+}  // namespace pgxd::core

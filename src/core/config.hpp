@@ -1,0 +1,87 @@
+// Configuration and result types of the PGX.D distributed sort.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "runtime/buffered_writer.hpp"
+#include "sim/time.hpp"
+
+namespace pgxd::core {
+
+// The six steps of Sec. IV, used to index StepTimings (Fig. 7).
+enum class Step : std::size_t {
+  kLocalSort = 0,       // (1) parallel quicksort + balanced merge
+  kSampling = 1,        // (2) regular samples -> master
+  kSplitterSelect = 2,  // (3) master selects splitters, broadcast (wait time
+                        //     for non-master machines)
+  kPartitionPlan = 3,   // (4) binary search + investigator + counts exchange
+  kExchange = 4,        // (5) simultaneous send/receive of data ranges
+  kFinalMerge = 5,      // (6) balanced merge of per-source runs
+};
+inline constexpr std::size_t kStepCount = 6;
+
+const char* step_name(Step s);
+
+struct StepTimings {
+  std::array<sim::SimTime, kStepCount> t{};
+
+  sim::SimTime& operator[](Step s) { return t[static_cast<std::size_t>(s)]; }
+  sim::SimTime operator[](Step s) const { return t[static_cast<std::size_t>(s)]; }
+  sim::SimTime total() const {
+    sim::SimTime sum = 0;
+    for (auto x : t) sum += x;
+    return sum;
+  }
+  // Element-wise max; used to aggregate across machines.
+  void max_with(const StepTimings& o) {
+    for (std::size_t i = 0; i < kStepCount; ++i) t[i] = std::max(t[i], o.t[i]);
+  }
+};
+
+struct SortConfig {
+  // The PGX.D read-buffer size; X = read_buffer_bytes / machines is the
+  // per-processor sample budget (Sec. IV-B).
+  std::uint64_t read_buffer_bytes = rt::kDefaultBufferBytes;
+  // Sample size as a multiple of X (Fig. 9 sweeps 0.004 .. 1.4).
+  double sample_factor = 1.0;
+  // Fig. 3c duplicate-splitter investigator.
+  bool use_investigator = true;
+  // Fig. 2 balanced merge handler for the final merge; false = sequential
+  // k-way heap merge (ablation).
+  bool balanced_final_merge = true;
+  // Send-while-receive exchange; false = send everything, barrier, then
+  // receive (bulk-synchronous ablation).
+  bool async_exchange = true;
+  // Stream exchange data in read-buffer-sized chunks through the data
+  // manager; false sends each range as a single message.
+  bool buffered_exchange = true;
+};
+
+struct MachineStats {
+  StepTimings steps;
+  std::uint64_t received_elements = 0;
+  std::uint64_t sent_elements = 0;        // excluding the self range
+  std::uint64_t sample_count = 0;
+  std::size_t searches = 0;               // binary searches in step (4)
+  std::size_t duplicate_groups = 0;
+  std::uint64_t peak_persistent_bytes = 0;
+  std::uint64_t peak_temp_bytes = 0;
+};
+
+template <typename Key>
+struct SortStats {
+  std::vector<MachineStats> machines;
+  StepTimings steps_max;                 // per-step max across machines
+  sim::SimTime total_time = 0;
+  std::uint64_t wire_bytes_total = 0;
+  std::uint64_t wire_bytes_samples = 0;  // sampling + splitter + counts traffic
+  std::uint64_t wire_messages = 0;
+  BalanceReport balance;
+  std::vector<Key> splitters;
+};
+
+}  // namespace pgxd::core

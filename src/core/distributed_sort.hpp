@@ -1,0 +1,441 @@
+// The PGX.D distributed sorting method (Sec. IV) — the paper's primary
+// contribution, implemented as one coroutine per simulated machine over the
+// runtime substrate.
+//
+// Pipeline (Sec. IV, steps 1-6):
+//   1. Local parallel quicksort with the Fig. 2 balanced merge handler.
+//   2. Regular samples (X = read_buffer / p bytes each) sent to the master.
+//   3. Master selects p-1 splitters, broadcasts them.
+//   4. Binary search of splitters on local data, with the duplicate-splitter
+//      investigator (Fig. 3c); per-destination counts broadcast so every
+//      receiver knows its offsets up front.
+//   5. Simultaneous asynchronous send/receive of data ranges, streamed in
+//      read-buffer-sized chunks through the data-manager request buffers.
+//   6. Balanced parallel merge of the per-source sorted runs, keeping each
+//      element's previous processor and index (provenance).
+//
+// All data movement is real (the output partitions are physically sorted
+// real vectors); elapsed time is simulated through the cost model and the
+// network fabric.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <numeric>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/stats.hpp"
+#include "core/config.hpp"
+#include "core/provenance.hpp"
+#include "core/splitters.hpp"
+#include "runtime/cluster.hpp"
+#include "sim/trace.hpp"
+#include "sort/balanced_merge.hpp"
+#include "sort/kway_merge.hpp"
+#include "sort/samples.hpp"
+
+namespace pgxd::core {
+
+// One sortable element: the key plus where it came from.
+template <typename Key>
+struct Item {
+  Key key;
+  Provenance prov;
+};
+
+// Message payload for the sort's communication; which member is populated
+// depends on the tag.
+// Only keys travel on the wire. Data chunks carry `prov_base`: the chunk's
+// start offset in the sender's locally sorted sequence, from which the
+// receiver reconstructs per-element provenance — the paper's low exchange
+// volume and its "memory used for keeping previous information" (receiver-
+// side provenance arrays, Fig. 11) both follow from this design.
+template <typename Key>
+struct SortMsg {
+  std::vector<Key> keys;              // kTagSamples / kTagSplitters / kTagData
+  std::vector<std::uint64_t> counts;  // kTagCounts
+  std::uint64_t prov_base = 0;        // kTagData: sender-side start offset
+  // kTagData: offset of this chunk within the (src -> dst) range, so
+  // receivers place chunks correctly even if the fabric reorders them
+  // (e.g. under latency jitter).
+  std::uint64_t rel_offset = 0;
+
+  // User-declared constructors are load-bearing; see the note on
+  // rt::Message about GCC 12 and aggregate temporaries in co_await.
+  SortMsg() = default;
+  SortMsg(std::vector<Key> k, std::vector<std::uint64_t> c, std::uint64_t base,
+          std::uint64_t rel)
+      : keys(std::move(k)), counts(std::move(c)), prov_base(base),
+        rel_offset(rel) {}
+
+  static SortMsg of_data(std::vector<Key> v, std::uint64_t base,
+                         std::uint64_t rel) {
+    return SortMsg(std::move(v), {}, base, rel);
+  }
+  static SortMsg of_keys(std::vector<Key> v) {
+    return SortMsg(std::move(v), {}, 0, 0);
+  }
+  static SortMsg of_counts(std::vector<std::uint64_t> v) {
+    return SortMsg({}, std::move(v), 0, 0);
+  }
+};
+
+template <typename Key, typename Comp = std::less<Key>>
+class DistributedSorter {
+ public:
+  using Msg = SortMsg<Key>;
+  using Cluster = rt::Cluster<Msg>;
+  using ItemT = Item<Key>;
+
+  // Tag layout; `sort_id` offsets the whole tag space so several sorts can
+  // share one cluster run ("able to sort multiple different data
+  // simultaneously").
+  static constexpr int kTagSamples = 0;
+  static constexpr int kTagSplitters = 1;
+  static constexpr int kTagCounts = 2;
+  static constexpr int kTagData = 3;
+  static constexpr int kTagStride = 4;
+
+  // Exchange wire cost: keys only (provenance is reconstructed at the
+  // receiver from the message's source and prov_base), plus a small
+  // per-message header.
+  static constexpr std::uint64_t kDataWireBytesPerKey = sizeof(Key);
+  static constexpr std::uint64_t kChunkHeaderBytes = 16;
+  // Receiver-side storage per element: key + provenance record.
+  static constexpr std::uint64_t kStoredBytesPerItem =
+      sizeof(Key) + kProvenanceBytes;
+
+  DistributedSorter(Cluster& cluster, SortConfig cfg, int sort_id = 0,
+                    Comp comp = {})
+      : cluster_(cluster), cfg_(cfg), base_tag_(sort_id * kTagStride),
+        comp_(comp) {
+    const std::size_t p = cluster_.size();
+    input_.resize(p);
+    output_.resize(p);
+    stats_.machines.resize(p);
+  }
+
+  // Installs per-machine input shards (must be called before the cluster
+  // run that executes machine_program).
+  void set_input(std::vector<std::vector<Key>> shards) {
+    PGXD_CHECK(shards.size() == cluster_.size());
+    input_ = std::move(shards);
+  }
+
+  // Convenience: install shards, run this sort alone on the cluster, and
+  // finalize statistics.
+  void run(std::vector<std::vector<Key>> shards) {
+    set_input(std::move(shards));
+    const sim::SimTime elapsed = cluster_.run(
+        [this](rt::Machine& m) { return machine_program(m); });
+    finalize(elapsed);
+  }
+
+  // Per-machine pipeline; exposed so callers can co-schedule several sorts
+  // (see sort_simultaneously) — call finalize() with the run's elapsed time
+  // afterwards.
+  sim::Task<void> machine_program(rt::Machine& m) {
+    auto& comm = cluster_.comm();
+    const std::size_t rank = m.rank();
+    const std::size_t p = cluster_.size();
+    auto& sim = cluster_.simulator();
+    auto& mem = m.memory();
+    MachineStats& ms = stats_.machines[rank];
+    sim::SimTime mark = sim.now();
+    auto stamp = [&](Step s) {
+      ms.steps[s] = sim.now() - mark;
+      if (trace_) trace_->record(rank, step_name(s), mark, sim.now());
+      mark = sim.now();
+    };
+
+    // ---- Step 1: local sort ------------------------------------------------
+    // Provenance convention: an element's previous location is its position
+    // in its previous machine's *locally sorted* sequence (what the
+    // exchange actually ships; receivers reconstruct indices from chunk
+    // offsets, so provenance never rides the wire).
+    const std::size_t n = input_[rank].size();
+    std::vector<Key> local = input_[rank];
+    {
+      // Scratch for the in-node sort (the Fig. 2 ping-pong buffer).
+      rt::TempAlloc scratch_mem(mem, n * sizeof(Key));
+      std::sort(local.begin(), local.end(), comp_);
+      co_await m.charge_local_parallel_sort(n);
+    }
+    stamp(Step::kLocalSort);
+
+    // ---- Step 2: regular samples to the master ------------------------------
+    const std::uint64_t x_bytes =
+        std::max<std::uint64_t>(1, cfg_.read_buffer_bytes / p);
+    auto sample_count = static_cast<std::uint64_t>(
+        static_cast<double>(x_bytes) * cfg_.sample_factor /
+        static_cast<double>(sizeof(Key)));
+    sample_count = std::clamp<std::uint64_t>(sample_count, 1, std::max<std::size_t>(n, 1));
+    std::vector<Key> samples = sort::regular_samples<Key>(local, sample_count);
+    ms.sample_count = samples.size();
+    co_await m.charge_copy(samples.size());
+    if (rank != kMaster) {
+      // prov_base carries the shard size so the master can weight samples
+      // from unequal shards (Spark's RangePartitioner does the same).
+      const std::uint64_t bytes = samples.size() * sizeof(Key);
+      note_control_bytes(bytes);
+      co_await comm.send(rank, kMaster, tag(kTagSamples),
+                         Msg::of_data(samples, n, 0), bytes);
+    }
+    stamp(Step::kSampling);
+
+    // ---- Step 3: master selects splitters, broadcast -------------------------
+    if (rank == kMaster) {
+      // Gather all sample vectors into the master's one read buffer. Each
+      // sample represents shard_size/sample_count elements of its shard, so
+      // splitter selection weights samples accordingly — shards may be of
+      // very different sizes (e.g. graph partitions balanced by edges).
+      std::vector<sort::WeightedSample<Key>> pool;
+      auto add_samples = [&pool](const std::vector<Key>& keys,
+                                 std::uint64_t shard_n) {
+        if (keys.empty()) return;
+        const double w = static_cast<double>(shard_n) /
+                         static_cast<double>(keys.size());
+        for (const auto& k : keys)
+          pool.push_back(sort::WeightedSample<Key>{k, w});
+      };
+      add_samples(samples, n);
+      for (std::size_t i = 0; i + 1 < p; ++i) {
+        auto msg = co_await comm.recv(kMaster, tag(kTagSamples));
+        add_samples(msg.payload.keys, msg.payload.prov_base);
+      }
+      {
+        rt::TempAlloc pool_mem(mem, pool.size() * sizeof(Key) * 2);
+        std::sort(pool.begin(), pool.end(),
+                  [this](const sort::WeightedSample<Key>& a,
+                         const sort::WeightedSample<Key>& b) {
+                    return comp_(a.key, b.key);
+                  });
+        co_await m.compute_parallel(m.cost().sort_time(pool.size()));
+        splitters_ = sort::select_splitters_weighted<Key, Comp>(pool, p, comp_);
+      }
+      for (std::size_t dst = 0; dst < p; ++dst) {
+        const std::uint64_t bytes = splitters_.size() * sizeof(Key);
+        if (dst != kMaster) note_control_bytes(bytes);
+        comm.post(kMaster, dst, tag(kTagSplitters), Msg::of_keys(splitters_),
+                  bytes);
+      }
+    }
+    auto splitters_msg = co_await comm.recv(rank, tag(kTagSplitters));
+    const std::vector<Key> splitters = std::move(splitters_msg.payload.keys);
+    stamp(Step::kSplitterSelect);
+
+    // ---- Step 4: partition plan + counts broadcast ---------------------------
+    PartitionPlan plan = plan_partition<Key, Comp>(
+        local, splitters, cfg_.use_investigator, comp_);
+    ms.searches = plan.searches;
+    ms.duplicate_groups = plan.duplicate_groups;
+    co_await m.charge_binary_search(n, plan.searches);
+
+    const std::vector<std::uint64_t> send_counts = plan_sizes(plan);
+    for (std::size_t dst = 0; dst < p; ++dst) {
+      if (dst == rank) continue;
+      const std::uint64_t bytes = p * sizeof(std::uint64_t);
+      note_control_bytes(bytes);
+      comm.post(rank, dst, tag(kTagCounts), Msg::of_counts(send_counts), bytes);
+    }
+    // Receive everyone's counts; recv_counts[src] = elements src sends us.
+    std::vector<std::uint64_t> recv_counts(p, 0);
+    recv_counts[rank] = send_counts[rank];
+    for (std::size_t i = 0; i + 1 < p; ++i) {
+      auto msg = co_await comm.recv(rank, tag(kTagCounts));
+      PGXD_CHECK(msg.payload.counts.size() == p);
+      recv_counts[msg.src] = msg.payload.counts[rank];
+    }
+    stamp(Step::kPartitionPlan);
+
+    // ---- Step 5: simultaneous send/receive ---------------------------------
+    // "each processor knows how much data it will receive ... by applying
+    // offsets for each received data entry" — offsets per source rank:
+    std::vector<std::size_t> offsets(p + 1, 0);
+    for (std::size_t s = 0; s < p; ++s)
+      offsets[s + 1] = offsets[s] + recv_counts[s];
+    const std::size_t total_recv = offsets[p];
+
+    auto& out = output_[rank];
+    out.resize(total_recv);
+    // Result keys + provenance live to the end of the sort: persistent.
+    mem.alloc_persistent(total_recv * kStoredBytesPerItem);
+
+    const std::uint64_t chunk_elems =
+        cfg_.buffered_exchange
+            ? std::max<std::uint64_t>(1, cfg_.read_buffer_bytes / kDataWireBytesPerKey)
+            : std::numeric_limits<std::uint64_t>::max();
+
+    // Per-source write cursors; arrival order across sources is irrelevant.
+    std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+
+    // Self range: a local memory move, not fabric traffic.
+    {
+      const std::size_t lo = plan.bounds[rank];
+      const std::size_t hi = plan.bounds[rank + 1];
+      for (std::size_t i = lo; i < hi; ++i)
+        out[offsets[rank] + (i - lo)] =
+            ItemT{local[i], Provenance{static_cast<std::uint32_t>(rank), i}};
+      cursor[rank] += hi - lo;
+      co_await m.charge_copy(hi - lo);
+    }
+
+    // Sends: pack request buffers and post asynchronously (async mode) or
+    // send each chunk blocking + barrier (bulk-synchronous ablation).
+    for (std::size_t step = 1; step < p; ++step) {
+      // Ring order starting after own rank spreads incast across receivers.
+      const std::size_t dst = (rank + step) % p;
+      const std::size_t lo = plan.bounds[dst];
+      const std::size_t hi = plan.bounds[dst + 1];
+      for (std::size_t at = lo; at < hi;) {
+        const std::size_t take =
+            std::min<std::uint64_t>(hi - at, chunk_elems);
+        std::vector<Key> chunk(local.begin() + at, local.begin() + at + take);
+        const std::uint64_t bytes =
+            take * kDataWireBytesPerKey + kChunkHeaderBytes;
+        note_data_bytes(bytes);
+        ms.sent_elements += take;
+        co_await m.charge_copy(take);  // pack the request buffer
+        if (cfg_.async_exchange) {
+          comm.post(rank, dst, tag(kTagData),
+                    Msg::of_data(std::move(chunk), at, at - lo), bytes);
+        } else {
+          co_await comm.send(rank, dst, tag(kTagData),
+                             Msg::of_data(std::move(chunk), at, at - lo),
+                             bytes);
+        }
+        at += take;
+      }
+    }
+    if (!cfg_.async_exchange) co_await comm.barrier();
+
+    // Receives: place each incoming chunk at its source's base offset plus
+    // the chunk's own relative offset — correct under any arrival order —
+    // and reconstruct provenance from the sender-side base offset.
+    std::size_t expected_chunks = 0;
+    for (std::size_t s = 0; s < p; ++s) {
+      if (s == rank || recv_counts[s] == 0) continue;
+      expected_chunks += (recv_counts[s] - 1) / chunk_elems + 1;
+    }
+    for (std::size_t c = 0; c < expected_chunks; ++c) {
+      auto msg = co_await comm.recv(rank, tag(kTagData));
+      PGXD_CHECK(msg.src != rank);
+      const auto& keys = msg.payload.keys;
+      const std::uint64_t base = msg.payload.prov_base;
+      const std::size_t at = offsets[msg.src] + msg.payload.rel_offset;
+      PGXD_CHECK_MSG(at + keys.size() <= offsets[msg.src + 1],
+                     "chunk overruns its source's receive range");
+      const auto src32 = static_cast<std::uint32_t>(msg.src);
+      for (std::size_t i = 0; i < keys.size(); ++i)
+        out[at + i] = ItemT{keys[i], Provenance{src32, base + i}};
+      cursor[msg.src] += keys.size();
+      co_await m.charge_copy(keys.size());
+    }
+    for (std::size_t s = 0; s < p; ++s)
+      PGXD_CHECK_MSG(cursor[s] == offsets[s + 1],
+                     "exchange delivered wrong element counts");
+    ms.received_elements = total_recv;
+    // The local pre-sorted array can be released now.
+    local.clear();
+    local.shrink_to_fit();
+    stamp(Step::kExchange);
+
+    // ---- Step 6: final balanced merge ---------------------------------------
+    {
+      std::vector<std::size_t> bounds(offsets.begin(), offsets.end());
+      std::vector<ItemT> scratch;
+      rt::TempAlloc scratch_mem(mem, total_recv * sizeof(ItemT));
+      auto item_less = [this](const ItemT& a, const ItemT& b) {
+        return comp_(a.key, b.key);
+      };
+      std::size_t nonempty_runs = 0;
+      for (std::size_t s = 0; s < p; ++s)
+        nonempty_runs += (recv_counts[s] > 0);
+      if (cfg_.balanced_final_merge) {
+        sort::balanced_merge(out, std::move(bounds), scratch, item_less);
+        co_await m.charge_balanced_merge(total_recv,
+                                         std::max<std::size_t>(1, nonempty_runs));
+      } else {
+        // Ablation: one sequential k-way loser-tree pass (real kernel).
+        sort::kway_merge(out, bounds, scratch, item_less);
+        co_await m.charge_naive_kway_merge(
+            total_recv, std::max<std::size_t>(1, nonempty_runs));
+      }
+    }
+    stamp(Step::kFinalMerge);
+
+    ms.peak_persistent_bytes = mem.peak_persistent();
+    ms.peak_temp_bytes = mem.peak_temp();
+    co_return;
+  }
+
+  // Aggregates per-machine stats; call after the cluster run completes.
+  void finalize(sim::SimTime elapsed) {
+    stats_.total_time = elapsed;
+    stats_.steps_max = StepTimings{};
+    for (const auto& ms : stats_.machines) stats_.steps_max.max_with(ms.steps);
+    std::vector<std::uint64_t> sizes;
+    sizes.reserve(output_.size());
+    for (const auto& part : output_) sizes.push_back(part.size());
+    stats_.balance = balance_report(sizes);
+    stats_.splitters = splitters_;
+    stats_.wire_bytes_total = wire_data_bytes_ + wire_control_bytes_;
+    stats_.wire_bytes_samples = wire_control_bytes_;
+  }
+
+  const std::vector<std::vector<ItemT>>& partitions() const { return output_; }
+  std::vector<std::vector<ItemT>>& mutable_partitions() { return output_; }
+  const SortStats<Key>& stats() const { return stats_; }
+  const SortConfig& config() const { return cfg_; }
+  Cluster& cluster() { return cluster_; }
+
+  // Optional span tracing: each machine's step becomes a (lane, label,
+  // begin, end) span — see sim::Trace::render_gantt.
+  void set_trace(sim::Trace* trace) { trace_ = trace; }
+
+ private:
+  static constexpr std::size_t kMaster = 0;
+
+  int tag(int t) const { return base_tag_ + t; }
+  void note_control_bytes(std::uint64_t b) { wire_control_bytes_ += b; }
+  void note_data_bytes(std::uint64_t b) { wire_data_bytes_ += b; }
+
+  Cluster& cluster_;
+  SortConfig cfg_;
+  int base_tag_;
+  Comp comp_;
+  sim::Trace* trace_ = nullptr;
+  std::vector<std::vector<Key>> input_;
+  std::vector<std::vector<ItemT>> output_;
+  SortStats<Key> stats_;
+  std::vector<Key> splitters_;
+  std::uint64_t wire_control_bytes_ = 0;
+  std::uint64_t wire_data_bytes_ = 0;
+};
+
+// Runs several sorters over the same cluster in one simulation — the
+// paper's "sort multiple different data simultaneously". Each sorter must
+// have a distinct sort_id and its input installed via set_input().
+template <typename Key, typename Comp>
+sim::SimTime sort_simultaneously(
+    rt::Cluster<SortMsg<Key>>& cluster,
+    std::vector<DistributedSorter<Key, Comp>*> sorters) {
+  PGXD_CHECK(!sorters.empty());
+  auto& sim = cluster.simulator();
+  const sim::SimTime start = sim.now();
+  for (std::size_t r = 0; r < cluster.size(); ++r)
+    for (auto* sorter : sorters)
+      sim.spawn(sorter->machine_program(cluster.machine(r)));
+  sim.run();
+  PGXD_CHECK_MSG(sim.quiescent(), "simultaneous sort deadlocked");
+  const sim::SimTime elapsed = sim.now() - start;
+  for (auto* sorter : sorters) sorter->finalize(elapsed);
+  return elapsed;
+}
+
+}  // namespace pgxd::core

@@ -1,0 +1,280 @@
+// In-simulation distributed queries over sorted, distributed data — the
+// "high-level API exposed to the user" the paper advertises (Sec. III:
+// "retrieving top values from their graph data or implementing binary
+// search on the sorted data"), executed as cluster programs so their cost
+// (broadcast, local search, reply) is measured on the same fabric as the
+// sort. For zero-cost, host-side inspection use SortedSequence instead.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "core/api.hpp"
+#include "core/distributed_sort.hpp"
+#include "runtime/cluster.hpp"
+
+namespace pgxd::core {
+
+template <typename Key>
+struct QueryMsg {
+  std::vector<Key> keys;
+  std::vector<std::uint64_t> counts;
+
+  // User-declared constructors are load-bearing; see the note on
+  // rt::Message about GCC 12 and aggregate temporaries in co_await.
+  QueryMsg() = default;
+  QueryMsg(std::vector<Key> k, std::vector<std::uint64_t> c)
+      : keys(std::move(k)), counts(std::move(c)) {}
+};
+
+template <typename Key>
+struct QueryResult {
+  std::optional<Location> found;   // distributed_find
+  std::uint64_t count = 0;         // distributed_count
+  std::vector<Key> top;            // distributed_top_k, descending
+  sim::SimTime elapsed = 0;        // simulated query latency
+};
+
+// Runs distributed queries against the partitions produced by a
+// DistributedSorter. The cluster must be the one that produced them (or an
+// identically-sized one); rank 0 coordinates.
+template <typename Key, typename Comp = std::less<Key>>
+class DistributedQueries {
+ public:
+  using Msg = QueryMsg<Key>;
+  using Cluster = rt::Cluster<Msg>;
+  using ItemT = Item<Key>;
+
+  static constexpr int kTagRequest = 200;
+  static constexpr int kTagReply = 201;
+
+  DistributedQueries(Cluster& cluster,
+                     const std::vector<std::vector<ItemT>>& partitions,
+                     Comp comp = {})
+      : cluster_(cluster), parts_(&partitions), comp_(comp) {
+    PGXD_CHECK(partitions.size() == cluster.size());
+  }
+
+  // First occurrence of `key` (machine, index) — a broadcast + local binary
+  // search + gather of per-machine candidates.
+  QueryResult<Key> find(const Key& key) {
+    QueryResult<Key> result;
+    const sim::SimTime elapsed = cluster_.run([&](rt::Machine& m) {
+      return find_program(m, key, result);
+    });
+    result.elapsed = elapsed;
+    return result;
+  }
+
+  // Number of elements equal to `key` across the cluster.
+  QueryResult<Key> count(const Key& key) {
+    QueryResult<Key> result;
+    const sim::SimTime elapsed = cluster_.run([&](rt::Machine& m) {
+      return count_program(m, key, result);
+    });
+    result.elapsed = elapsed;
+    return result;
+  }
+
+  // Largest k keys, descending. Machines contribute only their local top-k
+  // (k * p candidate keys travel, not the dataset).
+  QueryResult<Key> top_k(std::size_t k) {
+    QueryResult<Key> result;
+    const sim::SimTime elapsed = cluster_.run([&](rt::Machine& m) {
+      return top_k_program(m, k, result);
+    });
+    result.elapsed = elapsed;
+    return result;
+  }
+
+  // The element at quantile q in [0, 1] (q=0.5 is the median). Because the
+  // data is already range-partitioned, this needs only a size gather at the
+  // coordinator plus one indexed read on the owning machine — no scan.
+  QueryResult<Key> quantile(double q) {
+    PGXD_CHECK(q >= 0.0 && q <= 1.0);
+    QueryResult<Key> result;
+    const sim::SimTime elapsed = cluster_.run([&](rt::Machine& m) {
+      return quantile_program(m, q, result);
+    });
+    result.elapsed = elapsed;
+    return result;
+  }
+
+ private:
+  static constexpr std::size_t kCoordinator = 0;
+
+  sim::Task<void> find_program(rt::Machine& m, Key key,
+                               QueryResult<Key>& result) {
+    auto& comm = cluster_.comm();
+    const std::size_t rank = m.rank();
+    const std::size_t p = cluster_.size();
+    const auto& part = (*parts_)[rank];
+
+    // Local binary search; index or "miss" (sentinel = part.size()).
+    const auto it = std::lower_bound(
+        part.begin(), part.end(), key,
+        [this](const ItemT& a, const Key& k) { return comp_(a.key, k); });
+    co_await m.charge_binary_search(part.size(), 1);
+    const bool hit = it != part.end() && !comp_(key, it->key);
+    const auto idx = static_cast<std::uint64_t>(it - part.begin());
+
+    if (rank != kCoordinator) {
+      comm.post(rank, kCoordinator, kTagReply,
+                Msg({}, {hit ? 1u : 0u, idx}), 2 * sizeof(std::uint64_t));
+      co_return;
+    }
+
+    // Coordinator: gather all replies, pick the lowest-ranked hit (global
+    // order makes it the first occurrence).
+    std::optional<Location> best;
+    if (hit) best = Location{rank, static_cast<std::size_t>(idx)};
+    std::vector<std::pair<std::size_t, std::uint64_t>> hits;
+    for (std::size_t i = 0; i + 1 < p; ++i) {
+      auto msg = co_await comm.recv(kCoordinator, kTagReply);
+      if (msg.payload.counts[0] == 1)
+        hits.emplace_back(msg.src, msg.payload.counts[1]);
+    }
+    std::sort(hits.begin(), hits.end());
+    if (!hits.empty() && (!best || hits.front().first < best->machine))
+      best = Location{hits.front().first,
+                      static_cast<std::size_t>(hits.front().second)};
+    result.found = best;
+  }
+
+  sim::Task<void> count_program(rt::Machine& m, Key key,
+                                QueryResult<Key>& result) {
+    auto& comm = cluster_.comm();
+    const std::size_t rank = m.rank();
+    const std::size_t p = cluster_.size();
+    const auto& part = (*parts_)[rank];
+
+    const auto lo = std::lower_bound(
+        part.begin(), part.end(), key,
+        [this](const ItemT& a, const Key& k) { return comp_(a.key, k); });
+    const auto hi = std::upper_bound(
+        part.begin(), part.end(), key,
+        [this](const Key& k, const ItemT& a) { return comp_(k, a.key); });
+    co_await m.charge_binary_search(part.size(), 2);
+    const auto local = static_cast<std::uint64_t>(hi - lo);
+
+    if (rank != kCoordinator) {
+      comm.post(rank, kCoordinator, kTagReply, Msg({}, {local}),
+                sizeof(std::uint64_t));
+      co_return;
+    }
+    std::uint64_t total = local;
+    for (std::size_t i = 0; i + 1 < p; ++i) {
+      auto msg = co_await comm.recv(kCoordinator, kTagReply);
+      total += msg.payload.counts[0];
+    }
+    result.count = total;
+  }
+
+  sim::Task<void> top_k_program(rt::Machine& m, std::size_t k,
+                                QueryResult<Key>& result) {
+    auto& comm = cluster_.comm();
+    const std::size_t rank = m.rank();
+    const std::size_t p = cluster_.size();
+    const auto& part = (*parts_)[rank];
+
+    // Local top-k: the tail of the sorted partition, descending.
+    std::vector<Key> local;
+    local.reserve(std::min(k, part.size()));
+    for (std::size_t i = part.size(); i-- > 0 && local.size() < k;)
+      local.push_back(part[i].key);
+    co_await m.charge_copy(local.size());
+
+    if (rank != kCoordinator) {
+      const std::uint64_t bytes = local.size() * sizeof(Key);
+      comm.post(rank, kCoordinator, kTagReply, Msg(std::move(local), {}),
+                bytes);
+      co_return;
+    }
+    // Coordinator: merge candidate lists, keep the global top-k.
+    std::vector<Key> pool = std::move(local);
+    for (std::size_t i = 0; i + 1 < p; ++i) {
+      auto msg = co_await comm.recv(kCoordinator, kTagReply);
+      pool.insert(pool.end(), msg.payload.keys.begin(),
+                  msg.payload.keys.end());
+    }
+    std::sort(pool.begin(), pool.end(),
+              [this](const Key& a, const Key& b) { return comp_(b, a); });
+    co_await m.compute_parallel(m.cost().sort_time(pool.size()));
+    if (pool.size() > k) pool.resize(k);
+    result.top = std::move(pool);
+  }
+
+  sim::Task<void> quantile_program(rt::Machine& m, double q,
+                                   QueryResult<Key>& result) {
+    auto& comm = cluster_.comm();
+    const std::size_t rank = m.rank();
+    const std::size_t p = cluster_.size();
+    const auto& part = (*parts_)[rank];
+
+    // Gather partition sizes at the coordinator.
+    if (rank != kCoordinator) {
+      comm.post(rank, kCoordinator, kTagReply,
+                Msg({}, {static_cast<std::uint64_t>(part.size())}),
+                sizeof(std::uint64_t));
+      // The owner of the target rank answers a follow-up request; everyone
+      // listens for either a request or a "not you" release.
+      auto req = co_await comm.recv(rank, kTagRequest);
+      if (req.payload.counts[0] == 1) {
+        const std::size_t idx = req.payload.counts[1];
+        PGXD_CHECK(idx < part.size());
+        Msg reply({part[idx].key}, {static_cast<std::uint64_t>(rank), idx});
+        co_await m.charge_binary_search(part.size(), 1);
+        comm.post(rank, kCoordinator, kTagReply, std::move(reply),
+                  sizeof(Key) + 16);
+      }
+      co_return;
+    }
+
+    std::vector<std::uint64_t> sizes(p, 0);
+    sizes[rank] = part.size();
+    std::uint64_t total = part.size();
+    for (std::size_t i = 0; i + 1 < p; ++i) {
+      auto msg = co_await comm.recv(kCoordinator, kTagReply);
+      sizes[msg.src] = msg.payload.counts[0];
+      total += msg.payload.counts[0];
+    }
+    if (total == 0) co_return;  // empty dataset: found stays nullopt
+
+    // Global rank of the quantile, then its owning machine + local index.
+    auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(total - 1) + 0.5);
+    std::size_t owner = 0;
+    while (owner < p && target >= sizes[owner]) {
+      target -= sizes[owner];
+      ++owner;
+    }
+    PGXD_CHECK(owner < p);
+
+    // Release the non-owners; ask the owner for its element.
+    for (std::size_t dst = 0; dst < p; ++dst) {
+      if (dst == kCoordinator) continue;
+      const bool is_owner = dst == owner;
+      comm.post(kCoordinator, dst, kTagRequest,
+                Msg({}, {is_owner ? 1u : 0u, target}), 16);
+    }
+    if (owner == kCoordinator) {
+      result.found = Location{owner, static_cast<std::size_t>(target)};
+      result.top.push_back(part[target].key);
+    } else {
+      auto reply = co_await comm.recv(kCoordinator, kTagReply);
+      result.found =
+          Location{owner, static_cast<std::size_t>(reply.payload.counts[1])};
+      result.top.push_back(reply.payload.keys[0]);
+    }
+  }
+
+  Cluster& cluster_;
+  const std::vector<std::vector<ItemT>>* parts_;
+  Comp comp_;
+};
+
+}  // namespace pgxd::core

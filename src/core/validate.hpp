@@ -1,0 +1,114 @@
+// Result validation for distributed sorts — the checks the test suite
+// applies, packaged for library users and the CLI driver: per-partition
+// order, global cross-machine order, permutation preservation (multiset
+// equality against the input), and provenance integrity.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/distributed_sort.hpp"
+
+namespace pgxd::core {
+
+struct ValidationReport {
+  bool partitions_sorted = false;   // each partition internally ordered
+  bool globally_ordered = false;    // machine m's max <= machine m+1's min
+  bool permutation_ok = false;      // output multiset == input multiset
+  bool provenance_ok = false;       // every record points at a real source
+  std::string failure;              // first failure description, if any
+
+  bool ok() const {
+    return partitions_sorted && globally_ordered && permutation_ok &&
+           provenance_ok;
+  }
+};
+
+// Validates sorter output against the original input shards. O(n log n)
+// time and O(n) extra memory (copies both sides for the multiset check).
+template <typename Key, typename Comp = std::less<Key>>
+ValidationReport validate_sorted(
+    const std::vector<std::vector<Item<Key>>>& partitions,
+    const std::vector<std::vector<Key>>& input, Comp comp = {}) {
+  ValidationReport report;
+
+  // (a) per-partition order and (b) global order.
+  report.partitions_sorted = true;
+  report.globally_ordered = true;
+  const Key* prev_max = nullptr;
+  for (std::size_t m = 0; m < partitions.size(); ++m) {
+    const auto& part = partitions[m];
+    for (std::size_t i = 1; i < part.size(); ++i) {
+      if (comp(part[i].key, part[i - 1].key)) {
+        report.partitions_sorted = false;
+        report.failure = "partition " + std::to_string(m) +
+                         " unsorted at index " + std::to_string(i);
+        return report;
+      }
+    }
+    if (!part.empty()) {
+      if (prev_max != nullptr && comp(part.front().key, *prev_max)) {
+        report.globally_ordered = false;
+        report.failure = "machine " + std::to_string(m) +
+                         " starts below its predecessor's maximum";
+        return report;
+      }
+      prev_max = &part.back().key;
+    }
+  }
+
+  // (c) permutation.
+  std::vector<Key> all_in, all_out;
+  for (const auto& shard : input)
+    all_in.insert(all_in.end(), shard.begin(), shard.end());
+  for (const auto& part : partitions)
+    for (const auto& item : part) all_out.push_back(item.key);
+  if (all_in.size() != all_out.size()) {
+    report.failure = "output has " + std::to_string(all_out.size()) +
+                     " elements, input had " + std::to_string(all_in.size());
+    return report;
+  }
+  std::sort(all_in.begin(), all_in.end(), comp);
+  std::sort(all_out.begin(), all_out.end(), comp);
+  for (std::size_t i = 0; i < all_in.size(); ++i) {
+    if (comp(all_in[i], all_out[i]) || comp(all_out[i], all_in[i])) {
+      report.failure = "output is not a permutation of the input (first "
+                       "mismatch at sorted rank " + std::to_string(i) + ")";
+      return report;
+    }
+  }
+  report.permutation_ok = true;
+
+  // (d) provenance: prev_index refers to the source machine's locally
+  // sorted shard.
+  std::vector<std::vector<Key>> sorted_shards = input;
+  for (auto& shard : sorted_shards) std::sort(shard.begin(), shard.end(), comp);
+  for (const auto& part : partitions) {
+    for (const auto& item : part) {
+      if (item.prov.prev_machine >= sorted_shards.size()) {
+        report.failure = "provenance names machine " +
+                         std::to_string(item.prov.prev_machine) +
+                         " which does not exist";
+        return report;
+      }
+      const auto& shard = sorted_shards[item.prov.prev_machine];
+      if (item.prov.prev_index >= shard.size()) {
+        report.failure = "provenance index out of range on machine " +
+                         std::to_string(item.prov.prev_machine);
+        return report;
+      }
+      const Key& src = shard[item.prov.prev_index];
+      if (comp(src, item.key) || comp(item.key, src)) {
+        report.failure = "provenance points at a different key";
+        return report;
+      }
+    }
+  }
+  report.provenance_ok = true;
+  return report;
+}
+
+}  // namespace pgxd::core

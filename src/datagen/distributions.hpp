@@ -1,0 +1,79 @@
+// Input datasets of Fig. 4: uniform, normal, right-skewed, and exponential
+// key distributions.
+//
+// The right-skewed and exponential generators deliberately produce heavy
+// duplication ("dataset containing many duplicated data entries"): they
+// concentrate mass on a small set of distinct values, which is what makes
+// naive splitter selection collapse (Fig. 3b) and what the investigator
+// (Fig. 3c) exists to fix.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace pgxd::gen {
+
+enum class Distribution {
+  kUniform,
+  kNormal,
+  kRightSkewed,
+  kExponential,
+};
+
+inline constexpr Distribution kAllDistributions[] = {
+    Distribution::kUniform, Distribution::kNormal, Distribution::kRightSkewed,
+    Distribution::kExponential};
+
+const char* name(Distribution d);
+
+struct DataGenConfig {
+  Distribution dist = Distribution::kUniform;
+  // Size of the distinct-value domain keys are drawn into. Smaller domains
+  // mean more duplication for every distribution.
+  std::uint64_t domain = 1u << 24;
+  std::uint64_t seed = 42;
+};
+
+// Draws one key.
+std::uint64_t draw(const DataGenConfig& cfg, Rng& rng);
+
+// Generates n keys.
+std::vector<std::uint64_t> generate(const DataGenConfig& cfg, std::size_t n);
+
+// Deterministic per-machine shard: machine `rank` of `machines` holds
+// total_n/machines keys (the first total_n % machines ranks hold one more),
+// drawn from an independent per-rank stream so any rank's shard can be
+// generated without materializing the rest.
+std::vector<std::uint64_t> generate_shard(const DataGenConfig& cfg,
+                                          std::size_t total_n,
+                                          std::size_t machines,
+                                          std::size_t rank);
+
+// Number of keys shard `rank` receives under generate_shard's split.
+std::size_t shard_size(std::size_t total_n, std::size_t machines,
+                       std::size_t rank);
+
+// Partially sorted data: an ascending ramp over [0, domain) with a fraction
+// `disorder` of positions swapped with random partners. disorder = 0 is
+// fully sorted; 1.0 approaches a random permutation. The workload TimSort
+// is adaptive on (the paper: "it performs better when the data is
+// partially sorted").
+std::vector<std::uint64_t> generate_almost_sorted(std::size_t n,
+                                                  std::uint64_t domain,
+                                                  double disorder,
+                                                  std::uint64_t seed);
+
+// Per-machine shard of an almost-sorted *global* sequence: machine r holds
+// the r-th contiguous slice, so the global concatenation is the almost-
+// sorted ramp.
+std::vector<std::uint64_t> almost_sorted_shard(std::size_t total_n,
+                                               std::uint64_t domain,
+                                               double disorder,
+                                               std::uint64_t seed,
+                                               std::size_t machines,
+                                               std::size_t rank);
+
+}  // namespace pgxd::gen

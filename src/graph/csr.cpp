@@ -1,0 +1,27 @@
+#include "graph/csr.hpp"
+
+namespace pgxd::graph {
+
+CsrGraph CsrGraph::from_edges(VertexId num_vertices,
+                              std::span<const Edge> edges) {
+  CsrGraph g;
+  g.row_ptr_.assign(static_cast<std::size_t>(num_vertices) + 1, 0);
+  for (const auto& e : edges) {
+    PGXD_CHECK(e.src < num_vertices && e.dst < num_vertices);
+    ++g.row_ptr_[e.src + 1];
+  }
+  for (std::size_t v = 1; v <= num_vertices; ++v)
+    g.row_ptr_[v] += g.row_ptr_[v - 1];
+  g.col_idx_.resize(edges.size());
+  std::vector<std::uint64_t> cursor(g.row_ptr_.begin(), g.row_ptr_.end() - 1);
+  for (const auto& e : edges) g.col_idx_[cursor[e.src]++] = e.dst;
+  return g;
+}
+
+std::vector<std::uint64_t> CsrGraph::in_degrees() const {
+  std::vector<std::uint64_t> deg(num_vertices(), 0);
+  for (const auto dst : col_idx_) ++deg[dst];
+  return deg;
+}
+
+}  // namespace pgxd::graph

@@ -1,0 +1,56 @@
+// Compressed Sparse Row graph storage — the data-manager representation
+// PGX.D keeps graphs in (Sec. III), and the substrate behind the Twitter
+// experiment (Fig. 8, Table III) and the graph examples.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace pgxd::graph {
+
+using VertexId = std::uint32_t;
+
+struct Edge {
+  VertexId src;
+  VertexId dst;
+};
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  // Builds from an edge list (counting sort by source; O(V + E)).
+  static CsrGraph from_edges(VertexId num_vertices, std::span<const Edge> edges);
+
+  VertexId num_vertices() const {
+    return row_ptr_.empty() ? 0 : static_cast<VertexId>(row_ptr_.size() - 1);
+  }
+  std::uint64_t num_edges() const { return col_idx_.size(); }
+
+  std::span<const VertexId> neighbors(VertexId v) const {
+    PGXD_CHECK(v < num_vertices());
+    return std::span<const VertexId>(col_idx_)
+        .subspan(row_ptr_[v], row_ptr_[v + 1] - row_ptr_[v]);
+  }
+
+  std::uint64_t out_degree(VertexId v) const {
+    PGXD_CHECK(v < num_vertices());
+    return row_ptr_[v + 1] - row_ptr_[v];
+  }
+
+  // In-degrees require a full pass; returned by value.
+  std::vector<std::uint64_t> in_degrees() const;
+
+  std::span<const std::uint64_t> row_ptr() const { return row_ptr_; }
+  std::span<const VertexId> col_idx() const { return col_idx_; }
+
+ private:
+  std::vector<std::uint64_t> row_ptr_;  // size V+1
+  std::vector<VertexId> col_idx_;       // size E
+};
+
+}  // namespace pgxd::graph

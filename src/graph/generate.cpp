@@ -1,0 +1,67 @@
+#include "graph/generate.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace pgxd::graph {
+
+std::vector<Edge> rmat_edges(const RmatConfig& cfg) {
+  PGXD_CHECK(cfg.num_vertices >= 2);
+  PGXD_CHECK(std::abs(cfg.a + cfg.b + cfg.c + cfg.d - 1.0) < 1e-9);
+  const VertexId n = std::bit_ceil(cfg.num_vertices);
+  const int levels = std::countr_zero(n);
+  Rng rng(cfg.seed);
+  std::vector<Edge> edges;
+  edges.reserve(cfg.num_edges);
+  for (std::uint64_t e = 0; e < cfg.num_edges; ++e) {
+    VertexId src = 0, dst = 0;
+    for (int l = 0; l < levels; ++l) {
+      const double u = rng.uniform();
+      src <<= 1;
+      dst <<= 1;
+      if (u < cfg.a) {
+        // top-left quadrant
+      } else if (u < cfg.a + cfg.b) {
+        dst |= 1;
+      } else if (u < cfg.a + cfg.b + cfg.c) {
+        src |= 1;
+      } else {
+        src |= 1;
+        dst |= 1;
+      }
+    }
+    // Clamp into the requested vertex range when it is not a power of two.
+    edges.push_back(Edge{src % cfg.num_vertices, dst % cfg.num_vertices});
+  }
+  return edges;
+}
+
+CsrGraph rmat_graph(const RmatConfig& cfg) {
+  const auto edges = rmat_edges(cfg);
+  return CsrGraph::from_edges(cfg.num_vertices, edges);
+}
+
+std::vector<std::uint64_t> powerlaw_degrees(std::size_t n, double alpha,
+                                            std::uint64_t max_degree,
+                                            std::uint64_t seed) {
+  PGXD_CHECK(alpha > 1.0);
+  PGXD_CHECK(max_degree >= 1);
+  Rng rng(seed);
+  std::vector<std::uint64_t> out(n);
+  // Inverse-CDF sampling of a continuous Pareto truncated at max_degree,
+  // floored to integers: P(X >= x) ~ x^(1-alpha).
+  const double inv = 1.0 / (1.0 - alpha);
+  const double cap = static_cast<double>(max_degree);
+  for (auto& d : out) {
+    double u = rng.uniform();
+    while (u <= 0.0) u = rng.uniform();
+    const double x = std::pow(u, inv);  // in [1, inf)
+    d = static_cast<std::uint64_t>(std::min(x, cap));
+  }
+  return out;
+}
+
+}  // namespace pgxd::graph

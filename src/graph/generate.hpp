@@ -1,0 +1,38 @@
+// Synthetic graph generation: RMAT (Kronecker) edges for twitter-like
+// power-law structure, plus a direct Zipf degree sampler.
+//
+// The paper evaluates on the Twitter follower graph (41.6 M vertices); we
+// cannot ship that dataset, so the Fig. 8 / Table III experiments run on an
+// RMAT graph whose degree distribution has the same power-law heavy tail —
+// the property that makes the sort keys duplicate-heavy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace pgxd::graph {
+
+struct RmatConfig {
+  VertexId num_vertices = 1 << 16;  // rounded up to a power of two
+  std::uint64_t num_edges = 1 << 20;
+  // Classic twitter-like skew parameters (a+b+c+d == 1).
+  double a = 0.57, b = 0.19, c = 0.19, d = 0.05;
+  std::uint64_t seed = 7;
+};
+
+// Generates an RMAT edge list (self-loops and duplicates allowed, as in the
+// reference generator).
+std::vector<Edge> rmat_edges(const RmatConfig& cfg);
+
+// Convenience: build the CSR directly.
+CsrGraph rmat_graph(const RmatConfig& cfg);
+
+// Samples `n` degrees from a Zipf-like power law with exponent `alpha`
+// over [1, max_degree]. Used where only the degree multiset matters.
+std::vector<std::uint64_t> powerlaw_degrees(std::size_t n, double alpha,
+                                            std::uint64_t max_degree,
+                                            std::uint64_t seed);
+
+}  // namespace pgxd::graph

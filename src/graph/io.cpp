@@ -1,0 +1,100 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/assert.hpp"
+
+namespace pgxd::graph {
+
+namespace {
+constexpr std::uint64_t kCsrMagic = 0x50475844'43535231ULL;  // "PGXDCSR1"
+}
+
+void write_edge_list(const std::filesystem::path& path,
+                     std::span<const Edge> edges) {
+  std::ofstream out(path, std::ios::trunc);
+  PGXD_CHECK_MSG(out.good(), "cannot open edge list for writing");
+  out << "# pgxd edge list: src dst\n";
+  for (const auto& e : edges) out << e.src << ' ' << e.dst << '\n';
+  PGXD_CHECK_MSG(out.good(), "edge list write failed");
+}
+
+CsrGraph read_edge_list(const std::filesystem::path& path,
+                        VertexId num_vertices) {
+  std::ifstream in(path);
+  PGXD_CHECK_MSG(in.good(), "cannot open edge list for reading");
+  std::vector<Edge> edges;
+  VertexId max_vertex = 0;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::uint64_t src = 0, dst = 0;
+    if (!(fields >> src >> dst)) {
+      std::fprintf(stderr, "malformed edge at %s:%zu: '%s'\n",
+                   path.string().c_str(), line_no, line.c_str());
+      PGXD_CHECK_MSG(false, "malformed edge list line");
+    }
+    edges.push_back(Edge{static_cast<VertexId>(src), static_cast<VertexId>(dst)});
+    max_vertex = std::max({max_vertex, static_cast<VertexId>(src),
+                           static_cast<VertexId>(dst)});
+  }
+  if (num_vertices == 0) num_vertices = edges.empty() ? 0 : max_vertex + 1;
+  return CsrGraph::from_edges(num_vertices, edges);
+}
+
+void write_csr_binary(const std::filesystem::path& path, const CsrGraph& g) {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  PGXD_CHECK_MSG(out.good(), "cannot open CSR file for writing");
+  auto put_u64 = [&](std::uint64_t v) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof v);
+  };
+  put_u64(kCsrMagic);
+  put_u64(g.num_vertices());
+  put_u64(g.num_edges());
+  const auto row = g.row_ptr();
+  out.write(reinterpret_cast<const char*>(row.data()),
+            static_cast<std::streamsize>(row.size_bytes()));
+  const auto col = g.col_idx();
+  out.write(reinterpret_cast<const char*>(col.data()),
+            static_cast<std::streamsize>(col.size_bytes()));
+  PGXD_CHECK_MSG(out.good(), "CSR write failed");
+}
+
+CsrGraph read_csr_binary(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  PGXD_CHECK_MSG(in.good(), "cannot open CSR file for reading");
+  auto get_u64 = [&] {
+    std::uint64_t v = 0;
+    in.read(reinterpret_cast<char*>(&v), sizeof v);
+    return v;
+  };
+  PGXD_CHECK_MSG(get_u64() == kCsrMagic, "not a pgxd CSR file");
+  const auto v_count = get_u64();
+  const auto e_count = get_u64();
+
+  // Rebuild via the edge path to keep CsrGraph's construction invariants in
+  // one place (counting sort is linear; reload stays O(V + E)).
+  std::vector<std::uint64_t> row(v_count + 1);
+  in.read(reinterpret_cast<char*>(row.data()),
+          static_cast<std::streamsize>(row.size() * sizeof(std::uint64_t)));
+  std::vector<VertexId> col(e_count);
+  in.read(reinterpret_cast<char*>(col.data()),
+          static_cast<std::streamsize>(col.size() * sizeof(VertexId)));
+  PGXD_CHECK_MSG(in.good(), "truncated CSR file");
+
+  std::vector<Edge> edges;
+  edges.reserve(e_count);
+  for (VertexId v = 0; v < v_count; ++v)
+    for (auto i = row[v]; i < row[v + 1]; ++i)
+      edges.push_back(Edge{v, col[i]});
+  return CsrGraph::from_edges(static_cast<VertexId>(v_count), edges);
+}
+
+}  // namespace pgxd::graph

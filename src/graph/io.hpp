@@ -1,0 +1,28 @@
+// Graph file I/O — the "graph loading" half of the PGX.D data manager:
+// text edge lists (one "src dst" pair per line, '#' comments) and a compact
+// binary CSR format for fast reloads.
+#pragma once
+
+#include <filesystem>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace pgxd::graph {
+
+// Writes "src dst\n" lines. Overwrites the file.
+void write_edge_list(const std::filesystem::path& path,
+                     std::span<const Edge> edges);
+
+// Reads an edge list; ignores blank lines and lines starting with '#'.
+// Aborts on malformed lines. If num_vertices is 0 it is inferred as
+// max(vertex id) + 1.
+CsrGraph read_edge_list(const std::filesystem::path& path,
+                        VertexId num_vertices = 0);
+
+// Binary CSR: magic, vertex count, edge count, row_ptr[], col_idx[].
+void write_csr_binary(const std::filesystem::path& path, const CsrGraph& g);
+CsrGraph read_csr_binary(const std::filesystem::path& path);
+
+}  // namespace pgxd::graph

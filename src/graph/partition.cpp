@@ -1,0 +1,101 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/assert.hpp"
+
+namespace pgxd::graph {
+
+Partition partition_by_edges(const CsrGraph& g, std::size_t machines) {
+  PGXD_CHECK(machines >= 1);
+  const VertexId v_count = g.num_vertices();
+  Partition p;
+  p.vertex_owner.assign(v_count, 0);
+  p.block_start.assign(machines + 1, v_count);
+  p.block_start[0] = 0;
+
+  const std::uint64_t total = g.num_edges();
+  const auto row = g.row_ptr();
+  // Greedy sweep: close machine m's block once it holds >= (m+1)/machines of
+  // all edges. Guarantees every machine gets a (possibly empty) block.
+  std::size_t m = 0;
+  for (VertexId v = 0; v < v_count; ++v) {
+    while (m + 1 < machines &&
+           row[v] * machines >= total * (m + 1)) {
+      p.block_start[++m] = v;
+    }
+    p.vertex_owner[v] = static_cast<std::uint32_t>(m);
+  }
+  for (std::size_t b = m + 1; b <= machines; ++b) p.block_start[b] = v_count;
+  return p;
+}
+
+GhostStats ghost_stats(const CsrGraph& g, const Partition& p,
+                       std::size_t machine) {
+  GhostStats s;
+  std::unordered_set<VertexId> ghosts;
+  const VertexId lo = p.block_start[machine];
+  const VertexId hi = p.block_start[machine + 1];
+  for (VertexId v = lo; v < hi; ++v) {
+    for (const VertexId u : g.neighbors(v)) {
+      if (p.vertex_owner[u] != machine) {
+        ++s.crossing_edges;
+        ghosts.insert(u);
+      }
+    }
+  }
+  s.ghost_vertices = ghosts.size();
+  s.message_reduction =
+      s.ghost_vertices == 0
+          ? 1.0
+          : static_cast<double>(s.crossing_edges) /
+                static_cast<double>(s.ghost_vertices);
+  return s;
+}
+
+GhostStats total_ghost_stats(const CsrGraph& g, const Partition& p) {
+  GhostStats total;
+  const std::size_t machines = p.block_start.size() - 1;
+  for (std::size_t m = 0; m < machines; ++m) {
+    const GhostStats s = ghost_stats(g, p, m);
+    total.crossing_edges += s.crossing_edges;
+    total.ghost_vertices += s.ghost_vertices;
+  }
+  total.message_reduction =
+      total.ghost_vertices == 0
+          ? 1.0
+          : static_cast<double>(total.crossing_edges) /
+                static_cast<double>(total.ghost_vertices);
+  return total;
+}
+
+std::vector<EdgeChunk> edge_chunks(const CsrGraph& g, const Partition& p,
+                                   std::size_t machine, std::size_t chunks) {
+  PGXD_CHECK(chunks >= 1);
+  const VertexId lo = p.block_start[machine];
+  const VertexId hi = p.block_start[machine + 1];
+  const auto row = g.row_ptr();
+  const std::uint64_t first = row[lo];
+  const std::uint64_t last = row[hi];
+  const std::uint64_t edges = last - first;
+  std::vector<EdgeChunk> out;
+  if (edges == 0 || lo == hi) return out;
+  chunks = std::min<std::size_t>(chunks, edges);
+  out.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::uint64_t off_lo = first + edges * c / chunks;
+    const std::uint64_t off_hi = first + edges * (c + 1) / chunks;
+    if (off_lo == off_hi) continue;
+    // Vertices covering [off_lo, off_hi): binary search in row_ptr.
+    const auto vb = std::upper_bound(row.begin() + lo, row.begin() + hi + 1,
+                                     off_lo) - row.begin() - 1;
+    const auto ve = std::upper_bound(row.begin() + lo, row.begin() + hi + 1,
+                                     off_hi - 1) - row.begin() - 1;
+    out.push_back(EdgeChunk{static_cast<VertexId>(vb),
+                            static_cast<VertexId>(ve), off_lo, off_hi});
+  }
+  return out;
+}
+
+}  // namespace pgxd::graph

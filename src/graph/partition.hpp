@@ -1,0 +1,55 @@
+// PGX.D data-manager graph features the paper cites (Sec. III): vertex
+// partitioning across machines, ghost-node selection (caching remote
+// endpoints of crossing edges to cut communication), and edge chunking
+// (splitting each machine's edge set into equal-work chunks for the task
+// manager).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace pgxd::graph {
+
+struct Partition {
+  // vertex_owner[v] = machine owning v; vertices are assigned in contiguous
+  // blocks balanced by edge count.
+  std::vector<std::uint32_t> vertex_owner;
+  // first vertex of each machine's block (size machines+1).
+  std::vector<VertexId> block_start;
+};
+
+// Contiguous vertex blocks with (approximately) equal total out-degree.
+Partition partition_by_edges(const CsrGraph& g, std::size_t machines);
+
+struct GhostStats {
+  std::uint64_t crossing_edges = 0;   // edges whose endpoints differ in owner
+  std::uint64_t ghost_vertices = 0;   // distinct remote endpoints cached
+  // Messages a pull-based step would send without ghosts (one per crossing
+  // edge) vs with ghosts (one per distinct remote endpoint).
+  double message_reduction = 0.0;
+};
+
+// Ghost-node selection for one machine: distinct remote endpoints of its
+// crossing edges.
+GhostStats ghost_stats(const CsrGraph& g, const Partition& p,
+                       std::size_t machine);
+
+// Aggregate over all machines.
+GhostStats total_ghost_stats(const CsrGraph& g, const Partition& p);
+
+struct EdgeChunk {
+  VertexId first_vertex;
+  VertexId last_vertex;       // inclusive
+  std::uint64_t first_offset; // CSR offset of the chunk's first edge
+  std::uint64_t last_offset;  // one past the chunk's last edge
+};
+
+// Splits machine `m`'s edges into `chunks` pieces of near-equal edge count,
+// allowing a vertex's adjacency list to span a chunk boundary — PGX.D's
+// edge-chunking strategy for intra-machine load balance.
+std::vector<EdgeChunk> edge_chunks(const CsrGraph& g, const Partition& p,
+                                   std::size_t machine, std::size_t chunks);
+
+}  // namespace pgxd::graph

@@ -1,0 +1,39 @@
+#include "graph/twitter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "datagen/distributions.hpp"
+#include "graph/generate.hpp"
+
+namespace pgxd::graph {
+
+std::uint64_t degree_to_key(std::uint64_t degree, std::uint64_t max_degree,
+                            double jitter) {
+  PGXD_CHECK(max_degree >= 1);
+  PGXD_CHECK(jitter >= 0.0 && jitter < 1.0);
+  if (degree < 1) degree = 1;
+  if (degree > max_degree) degree = max_degree;
+  const double t = std::log(static_cast<double>(degree) + jitter) /
+                   std::log(static_cast<double>(max_degree) + 1.0);
+  const double key = t * static_cast<double>(kTwitterKeyMax);
+  return static_cast<std::uint64_t>(
+      std::clamp(key, 0.0, static_cast<double>(kTwitterKeyMax)));
+}
+
+std::vector<std::uint64_t> twitter_shard(const TwitterConfig& cfg,
+                                         std::size_t machines,
+                                         std::size_t rank) {
+  const std::size_t n = gen::shard_size(cfg.total_keys, machines, rank);
+  auto degrees =
+      powerlaw_degrees(n, cfg.alpha, cfg.max_degree, derive_seed(cfg.seed, rank));
+  Rng jitter_rng(derive_seed(cfg.seed ^ 0x717e5ULL, rank));
+  std::vector<std::uint64_t> keys(n);
+  for (std::size_t i = 0; i < n; ++i)
+    keys[i] = degree_to_key(degrees[i], cfg.max_degree, jitter_rng.uniform());
+  return keys;
+}
+
+}  // namespace pgxd::graph

@@ -1,0 +1,140 @@
+// Flow-level cluster network model.
+//
+// Models the paper's testbed fabric (Mellanox Connect-IB NICs + SX6512
+// switch): every machine has a full-duplex NIC whose TX and RX sides
+// serialize traffic at link bandwidth, connected through a switch with
+// configurable oversubscription (1.0 = full bisection, matching a
+// non-blocking SX6512). A message transfer costs
+//
+//   per-message overhead  +  bytes/bw on the TX port   (serialization)
+//   + fabric latency                                    (propagation+switch)
+//   + bytes/bw on the RX port                           (delivery)
+//
+// with FIFO queueing at every port, which is what makes incast patterns
+// (everyone sending samples to the master) cost what they should.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace pgxd::net {
+
+// FIFO-reservation resource: callers occupy it back-to-back in call order.
+// Cheaper and exactly as deterministic as a semaphore-based model for
+// serial links.
+class SerialLink {
+ public:
+  // Reserves the link for `duration` starting at its next free instant and
+  // returns an awaitable that completes when the reservation ends.
+  auto occupy(sim::Simulator& sim, sim::SimTime duration) {
+    PGXD_CHECK(duration >= 0);
+    const sim::SimTime start = std::max(sim.now(), next_free_);
+    next_free_ = start + duration;
+    busy_ += duration;
+    return sim.delay(next_free_ - sim.now());
+  }
+
+  sim::SimTime next_free() const { return next_free_; }
+  sim::SimTime busy_time() const { return busy_; }
+
+ private:
+  sim::SimTime next_free_ = 0;
+  sim::SimTime busy_ = 0;
+};
+
+struct NetConfig {
+  // Effective per-port bandwidth. 56 Gb/s raw FDR InfiniBand delivers about
+  // 6 GB/s of payload after encoding/protocol overhead.
+  double link_bandwidth_Bps = 6.0e9;
+  // One-way end-to-end latency through the switch.
+  sim::SimTime latency = 2 * sim::kMicrosecond;
+  // Software/NIC cost paid per message on the send side (the LogP 'o').
+  sim::SimTime per_message_overhead = 1 * sim::kMicrosecond;
+  // >1.0 models a blocking switch core; 1.0 = full bisection bandwidth.
+  double oversubscription = 1.0;
+
+  // Optional two-tier topology: machines group into racks of `rack_size`
+  // (0 = flat network). Traffic between racks traverses the source rack's
+  // shared up-link and the destination rack's shared down-link at
+  // `uplink_bandwidth_Bps` (0 = link rate) and pays `inter_rack_latency`
+  // on top of `latency`. An up-link slower than rack_size * link rate
+  // models top-of-rack oversubscription.
+  std::size_t rack_size = 0;
+  double uplink_bandwidth_Bps = 0;
+  sim::SimTime inter_rack_latency = 0;
+
+  // Latency jitter: each transfer pays an extra uniform [0, jitter_ns)
+  // drawn from a deterministic per-fabric stream. Zero disables. Used by
+  // robustness tests to perturb message arrival orderings — engines must
+  // stay correct under any interleaving the fabric can produce.
+  sim::SimTime jitter_ns = 0;
+  std::uint64_t jitter_seed = 0x71771e;
+};
+
+struct NicStats {
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+};
+
+class Fabric {
+ public:
+  Fabric(sim::Simulator& sim, std::size_t machines, const NetConfig& cfg);
+
+  std::size_t machines() const { return nics_.size(); }
+  const NetConfig& config() const { return cfg_; }
+
+  // Moves `bytes` from machine `src` to machine `dst`; completes when the
+  // last byte has been delivered at dst. src == dst is a caller error: local
+  // movement is memory traffic, modeled by the runtime's cost model.
+  sim::Task<void> transfer(std::size_t src, std::size_t dst, std::uint64_t bytes);
+
+  // Uncontended duration of a single transfer (for tests / cost estimates).
+  sim::SimTime uncontended_duration(std::uint64_t bytes) const;
+
+  const NicStats& stats(std::size_t machine) const { return stats_[machine]; }
+  std::uint64_t total_bytes() const;
+  std::uint64_t total_messages() const;
+  sim::SimTime tx_busy(std::size_t machine) const { return nics_[machine].tx.busy_time(); }
+  sim::SimTime rx_busy(std::size_t machine) const { return nics_[machine].rx.busy_time(); }
+
+  // Rack of a machine under the two-tier topology (machine id / rack_size);
+  // always 0 on a flat network.
+  std::size_t rack_of(std::size_t machine) const {
+    return cfg_.rack_size ? machine / cfg_.rack_size : 0;
+  }
+  std::uint64_t inter_rack_bytes() const { return inter_rack_bytes_; }
+
+ private:
+  sim::SimTime wire_time(std::uint64_t bytes) const;
+
+  struct Nic {
+    SerialLink tx;
+    SerialLink rx;
+  };
+  struct Rack {
+    SerialLink up;    // traffic leaving the rack
+    SerialLink down;  // traffic entering the rack
+  };
+
+  sim::Simulator& sim_;
+  NetConfig cfg_;
+  std::vector<Nic> nics_;
+  std::vector<NicStats> stats_;
+  SerialLink switch_core_;
+  double switch_core_bandwidth_Bps_;
+  std::vector<Rack> racks_;
+  double uplink_bandwidth_Bps_ = 0;
+  std::uint64_t inter_rack_bytes_ = 0;
+  Rng jitter_rng_{0};
+};
+
+}  // namespace pgxd::net

@@ -1,0 +1,82 @@
+// Data-manager request buffers (Sec. III "Data Manager").
+//
+// PGX.D accumulates small remote writes into fixed-size request buffers
+// (256 KB by default), flushing a buffer when it fills or when the worker
+// thread finishes its scheduled tasks. The sorting method inherits this:
+// the data exchange streams each outgoing range as a sequence of
+// buffer-sized messages, which is what lets receivers start merging /
+// placing data while senders are still sending.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace pgxd::rt {
+
+inline constexpr std::uint64_t kDefaultBufferBytes = 256 * 1024;
+
+template <typename T>
+class BufferedWriter {
+ public:
+  // `emit(dst, elements)` is called with each full (or flushed) buffer.
+  using Emit = std::function<void(std::size_t dst, std::vector<T> elements)>;
+
+  BufferedWriter(std::size_t destinations, std::uint64_t buffer_bytes, Emit emit)
+      : capacity_elems_(std::max<std::uint64_t>(1, buffer_bytes / sizeof(T))),
+        buffers_(destinations), emit_(std::move(emit)) {
+    PGXD_CHECK(emit_ != nullptr);
+  }
+
+  std::uint64_t capacity_elements() const { return capacity_elems_; }
+
+  // Appends elements destined for `dst`, emitting full buffers as they fill.
+  void write(std::size_t dst, std::span<const T> elements) {
+    PGXD_CHECK(dst < buffers_.size());
+    auto& buf = buffers_[dst];
+    std::size_t offset = 0;
+    while (offset < elements.size()) {
+      const std::size_t room = capacity_elems_ - buf.size();
+      const std::size_t take = std::min(room, elements.size() - offset);
+      buf.insert(buf.end(), elements.begin() + offset,
+                 elements.begin() + offset + take);
+      offset += take;
+      if (buf.size() == capacity_elems_) flush(dst);
+    }
+  }
+
+  void write_one(std::size_t dst, const T& element) {
+    write(dst, std::span<const T>(&element, 1));
+  }
+
+  // Sends whatever is pending for `dst` (no-op when empty).
+  void flush(std::size_t dst) {
+    PGXD_CHECK(dst < buffers_.size());
+    auto& buf = buffers_[dst];
+    if (buf.empty()) return;
+    std::vector<T> out;
+    out.swap(buf);
+    buf.reserve(capacity_elems_);
+    ++flushes_;
+    emit_(dst, std::move(out));
+  }
+
+  // "…or the worker thread has completed all its scheduled tasks."
+  void flush_all() {
+    for (std::size_t d = 0; d < buffers_.size(); ++d) flush(d);
+  }
+
+  std::size_t pending(std::size_t dst) const { return buffers_[dst].size(); }
+  std::uint64_t flushes() const { return flushes_; }
+
+ private:
+  std::uint64_t capacity_elems_;
+  std::vector<std::vector<T>> buffers_;
+  Emit emit_;
+  std::uint64_t flushes_ = 0;
+};
+
+}  // namespace pgxd::rt

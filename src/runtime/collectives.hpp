@@ -1,0 +1,176 @@
+// Collective operations over Comm — the reusable building blocks of the
+// engines' communication patterns (sample gather, splitter broadcast,
+// counts all-to-all). Each collective is a per-rank coroutine: every
+// machine calls the same function with its own rank and payload, mirroring
+// MPI's SPMD convention.
+//
+// Tag discipline: each call uses caller-provided tags; concurrent
+// collectives on one cluster must use distinct tags.
+//
+// Every public entry point is a non-coroutine wrapper that names its
+// payload before entering the *_impl coroutine: GCC 12 mishandles prvalue
+// arguments bound to coroutine by-value parameters (see the note on
+// rt::Message). Callers beware of a related GCC 12 limitation: a temporary
+// built from a braced initializer-list (e.g. `std::vector<int>{1, 2}`)
+// inside a co_await full-expression fails to compile ("array used as
+// initializer") because the list's backing array cannot be spilled to the
+// coroutine frame — name such payloads in a local first.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "runtime/comm.hpp"
+#include "sim/task.hpp"
+
+namespace pgxd::rt {
+
+namespace detail {
+
+template <typename Payload>
+sim::Task<Payload> broadcast_impl(Comm<Payload>& comm, std::size_t rank,
+                                  std::size_t root, int tag, Payload value,
+                                  std::uint64_t bytes) {
+  if (rank == root) {
+    for (std::size_t dst = 0; dst < comm.machines(); ++dst)
+      comm.post(root, dst, tag, value, bytes);
+  }
+  auto msg = co_await comm.recv(rank, tag);
+  co_return std::move(msg.payload);
+}
+
+template <typename Payload>
+sim::Task<std::vector<Payload>> gather_impl(Comm<Payload>& comm,
+                                            std::size_t rank,
+                                            std::size_t root, int tag,
+                                            Payload value,
+                                            std::uint64_t bytes) {
+  const std::size_t p = comm.machines();
+  std::vector<Payload> out;
+  if (rank != root) {
+    co_await comm.send(rank, root, tag, std::move(value), bytes);
+    co_return out;
+  }
+  out.resize(p);
+  out[root] = std::move(value);
+  for (std::size_t i = 0; i + 1 < p; ++i) {
+    auto msg = co_await comm.recv(root, tag);
+    out[msg.src] = std::move(msg.payload);
+  }
+  co_return out;
+}
+
+template <typename Payload>
+sim::Task<std::vector<Payload>> all_gather_impl(Comm<Payload>& comm,
+                                                std::size_t rank, int tag,
+                                                Payload value,
+                                                std::uint64_t bytes) {
+  const std::size_t p = comm.machines();
+  std::vector<Payload> out(p);
+  for (std::size_t step = 1; step < p; ++step) {
+    const std::size_t dst = (rank + step) % p;
+    comm.post(rank, dst, tag, value, bytes);
+  }
+  out[rank] = std::move(value);
+  for (std::size_t i = 0; i + 1 < p; ++i) {
+    auto msg = co_await comm.recv(rank, tag);
+    out[msg.src] = std::move(msg.payload);
+  }
+  co_return out;
+}
+
+template <typename Payload, typename Op>
+sim::Task<Payload> all_reduce_impl(Comm<Payload>& comm, std::size_t rank,
+                                   int gather_tag, int bcast_tag,
+                                   Payload value, std::uint64_t bytes, Op op) {
+  auto gathered = co_await gather_impl(comm, rank, /*root=*/std::size_t{0},
+                                       gather_tag, std::move(value), bytes);
+  Payload combined{};
+  if (rank == 0) {
+    PGXD_CHECK(!gathered.empty());
+    combined = std::move(gathered[0]);
+    for (std::size_t s = 1; s < gathered.size(); ++s)
+      combined = op(std::move(combined), std::move(gathered[s]));
+  }
+  auto result = co_await broadcast_impl(comm, rank, /*root=*/std::size_t{0},
+                                        bcast_tag, std::move(combined), bytes);
+  co_return result;
+}
+
+template <typename Payload>
+sim::Task<std::vector<Payload>> all_to_all_impl(
+    Comm<Payload>& comm, std::size_t rank, int tag,
+    std::vector<Payload> values, std::vector<std::uint64_t> bytes) {
+  const std::size_t p = comm.machines();
+  PGXD_CHECK(values.size() == p);
+  PGXD_CHECK(bytes.size() == p);
+  std::vector<Payload> out(p);
+  for (std::size_t step = 1; step < p; ++step) {
+    const std::size_t dst = (rank + step) % p;
+    comm.post(rank, dst, tag, std::move(values[dst]), bytes[dst]);
+  }
+  out[rank] = std::move(values[rank]);
+  for (std::size_t i = 0; i + 1 < p; ++i) {
+    auto msg = co_await comm.recv(rank, tag);
+    out[msg.src] = std::move(msg.payload);
+  }
+  co_return out;
+}
+
+}  // namespace detail
+
+// Broadcast: root's value reaches every rank (including the root itself).
+// Returns each rank's received copy.
+template <typename Payload>
+sim::Task<Payload> broadcast(Comm<Payload>& comm, std::size_t rank,
+                             std::size_t root, int tag, Payload value,
+                             std::uint64_t bytes) {
+  return detail::broadcast_impl(comm, rank, root, tag, std::move(value),
+                                bytes);
+}
+
+// Gather: every rank's value arrives at the root. The root receives the
+// vector indexed by source rank; other ranks receive an empty vector.
+template <typename Payload>
+sim::Task<std::vector<Payload>> gather(Comm<Payload>& comm, std::size_t rank,
+                                       std::size_t root, int tag,
+                                       Payload value, std::uint64_t bytes) {
+  return detail::gather_impl(comm, rank, root, tag, std::move(value), bytes);
+}
+
+// All-gather: every rank ends with every rank's value (indexed by source).
+template <typename Payload>
+sim::Task<std::vector<Payload>> all_gather(Comm<Payload>& comm,
+                                           std::size_t rank, int tag,
+                                           Payload value,
+                                           std::uint64_t bytes) {
+  return detail::all_gather_impl(comm, rank, tag, std::move(value), bytes);
+}
+
+// All-reduce: combine every rank's value with `op` (associative and
+// commutative); every rank receives the combined result. Payload must be
+// default-constructible.
+template <typename Payload, typename Op>
+sim::Task<Payload> all_reduce(Comm<Payload>& comm, std::size_t rank,
+                              int gather_tag, int bcast_tag, Payload value,
+                              std::uint64_t bytes, Op op) {
+  return detail::all_reduce_impl(comm, rank, gather_tag, bcast_tag,
+                                 std::move(value), bytes, std::move(op));
+}
+
+// All-to-all: rank r sends values[d] to rank d and receives one payload
+// from every rank (indexed by source). values.size() must equal the
+// machine count; values[rank] transfers locally.
+template <typename Payload>
+sim::Task<std::vector<Payload>> all_to_all(Comm<Payload>& comm,
+                                           std::size_t rank, int tag,
+                                           std::vector<Payload> values,
+                                           std::vector<std::uint64_t> bytes) {
+  return detail::all_to_all_impl(comm, rank, tag, std::move(values),
+                                 std::move(bytes));
+}
+
+}  // namespace pgxd::rt

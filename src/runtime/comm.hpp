@@ -1,0 +1,143 @@
+// Communication manager — the runtime's message layer over the simulated
+// fabric, mirroring PGX.D's communication manager (Sec. III).
+//
+// Semantics the sorting algorithm relies on:
+//   * post() is asynchronous: the sender keeps computing while the transfer
+//     proceeds as its own simulation process ("reading/writing data from/to
+//     the remote processors asynchronously").
+//   * Per (src, dst) message order is FIFO (TX and RX ports are FIFO and
+//     fabric latency is constant).
+//   * recv(rank, tag) waits only for the next message of that tag — there
+//     is no global barrier hidden in the receive path.
+//
+// The payload type is a template parameter; each engine (the PGX.D sort,
+// the Spark baseline, the comparator baselines) instantiates Comm with its
+// own message variant.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "net/fabric.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace pgxd::rt {
+
+// NOTE: every message/payload type in this codebase carries user-declared
+// constructors instead of being a plain aggregate. This is load-bearing:
+// GCC 12 miscompiles aggregate-initialized temporaries that live across a
+// co_await suspension (the temporary and its moved-to frame copy end up
+// sharing ownership — double free). A user-declared constructor routes the
+// temporary through normal init paths, which are handled correctly. See
+// tests/runtime_test.cpp: Comm.PrvaluePayloadRegression.
+template <typename Payload>
+struct Message {
+  std::size_t src = 0;
+  int tag = 0;
+  std::uint64_t bytes = 0;  // modeled wire size
+  Payload payload{};
+
+  Message() = default;
+  Message(std::size_t src_in, int tag_in, std::uint64_t bytes_in, Payload p)
+      : src(src_in), tag(tag_in), bytes(bytes_in), payload(std::move(p)) {}
+};
+
+template <typename Payload>
+class Comm {
+ public:
+  using Msg = Message<Payload>;
+
+  Comm(sim::Simulator& sim, net::Fabric& fabric)
+      : sim_(sim), fabric_(fabric), machines_(fabric.machines()),
+        barrier_(sim, fabric.machines()), mailboxes_(fabric.machines()) {}
+
+  std::size_t machines() const { return machines_; }
+  sim::Simulator& simulator() { return sim_; }
+  net::Fabric& fabric() { return fabric_; }
+
+  // Asynchronous send: returns immediately; the payload is delivered to
+  // dst's mailbox when the simulated transfer completes. Local (src == dst)
+  // posts deliver at the current instant without touching the fabric.
+  void post(std::size_t src, std::size_t dst, int tag, Payload payload,
+            std::uint64_t bytes) {
+    PGXD_CHECK(src < machines_ && dst < machines_);
+    Msg msg{src, tag, bytes, std::move(payload)};
+    if (src == dst) {
+      mailbox(dst, tag).send(std::move(msg));
+      return;
+    }
+    sim_.spawn(deliver(src, dst, tag, std::move(msg)));
+  }
+
+  // Blocking send: completes when the payload has been delivered.
+  //
+  // Deliberately a non-coroutine wrapper: GCC 12 miscompiles *prvalue*
+  // arguments bound to coroutine by-value parameters (the temporary and the
+  // frame copy end up sharing ownership — double free). Materializing the
+  // argument as this function's named parameter and forwarding an xvalue
+  // into the coroutine sidesteps that; see tests/sim_test.cpp's
+  // PrvaluePayloadRegression.
+  sim::Task<void> send(std::size_t src, std::size_t dst, int tag,
+                       Payload payload, std::uint64_t bytes) {
+    return send_impl(src, dst, tag, std::move(payload), bytes);
+  }
+
+  // Next message for (rank, tag); FIFO within the tag.
+  auto recv(std::size_t rank, int tag) {
+    PGXD_CHECK(rank < machines_);
+    return mailbox(rank, tag).recv();
+  }
+
+  // Receives `count` messages of `tag`, in arrival order.
+  sim::Task<std::vector<Msg>> recv_n(std::size_t rank, int tag,
+                                     std::size_t count) {
+    std::vector<Msg> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+      out.push_back(co_await mailbox(rank, tag).recv());
+    co_return out;
+  }
+
+  // Full-cluster barrier (used between paper steps where required, and
+  // heavily by the Spark baseline's stage boundaries).
+  auto barrier() { return barrier_.arrive(); }
+
+  std::size_t pending(std::size_t rank, int tag) {
+    return mailbox(rank, tag).size();
+  }
+
+ private:
+  sim::Task<void> send_impl(std::size_t src, std::size_t dst, int tag,
+                            Payload payload, std::uint64_t bytes) {
+    PGXD_CHECK(src < machines_ && dst < machines_);
+    Msg msg{src, tag, bytes, std::move(payload)};
+    if (src != dst) co_await fabric_.transfer(src, dst, bytes);
+    mailbox(dst, tag).send(std::move(msg));
+  }
+
+  // Only ever invoked with xvalue `msg` (see send() for why).
+  sim::Task<void> deliver(std::size_t src, std::size_t dst, int tag, Msg msg) {
+    co_await fabric_.transfer(src, dst, msg.bytes);
+    mailbox(dst, tag).send(std::move(msg));
+  }
+
+  sim::Channel<Msg>& mailbox(std::size_t rank, int tag) {
+    auto& slot = mailboxes_[rank][tag];
+    if (!slot) slot = std::make_unique<sim::Channel<Msg>>(sim_);
+    return *slot;
+  }
+
+  sim::Simulator& sim_;
+  net::Fabric& fabric_;
+  std::size_t machines_;
+  sim::Barrier barrier_;
+  std::vector<std::map<int, std::unique_ptr<sim::Channel<Msg>>>> mailboxes_;
+};
+
+}  // namespace pgxd::rt

@@ -1,0 +1,174 @@
+#include "runtime/cost_model.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "sort/quicksort.hpp"
+
+namespace pgxd::rt {
+
+namespace {
+
+double log2_of(std::size_t n) {
+  return n > 1 ? std::log2(static_cast<double>(n)) : 1.0;
+}
+
+sim::SimTime ns(double x) { return static_cast<sim::SimTime>(std::ceil(x)); }
+
+}  // namespace
+
+double CostModel::effective_workers(unsigned workers) const {
+  if (workers <= 1) return 1.0;
+  return 1.0 + (static_cast<double>(workers) - 1.0) * parallel_efficiency;
+}
+
+sim::SimTime CostModel::sort_time(std::size_t n) const {
+  if (n < 2) return 0;
+  return ns(sort_ns_per_elem_log * static_cast<double>(n) * log2_of(n));
+}
+
+sim::SimTime CostModel::merge_time(std::size_t n) const {
+  return ns(merge_ns_per_elem * static_cast<double>(n));
+}
+
+sim::SimTime CostModel::copy_time(std::size_t n) const {
+  return ns(copy_ns_per_elem * static_cast<double>(n));
+}
+
+sim::SimTime CostModel::binary_search_time(std::size_t n,
+                                           std::size_t searches) const {
+  return ns(search_ns_per_probe * log2_of(std::max<std::size_t>(n, 2)) *
+            static_cast<double>(searches));
+}
+
+sim::SimTime CostModel::parallel(sim::SimTime serial_cost, unsigned workers,
+                                 std::size_t tasks) const {
+  if (tasks == 0) tasks = workers;
+  const double waves =
+      std::ceil(static_cast<double>(tasks) / std::max(1u, workers));
+  return ns(static_cast<double>(serial_cost) / effective_workers(workers) +
+            task_overhead_ns * waves);
+}
+
+sim::SimTime CostModel::local_parallel_sort_time(std::size_t n,
+                                                 unsigned workers) const {
+  if (n < 2) return 0;
+  workers = std::max(1u, workers);
+  const std::size_t chunk = (n + workers - 1) / workers;
+  // All chunks sort concurrently at parallel efficiency; the per-chunk sort
+  // is serial within its thread.
+  const double chunk_sort =
+      sort_ns_per_elem_log * static_cast<double>(chunk) * log2_of(chunk);
+  const double slowdown =
+      static_cast<double>(workers) / effective_workers(workers);
+  sim::SimTime t = ns(chunk_sort * slowdown + task_overhead_ns);
+  t += balanced_merge_time(n, workers, workers);
+  return t;
+}
+
+sim::SimTime CostModel::balanced_merge_time(std::size_t n, std::size_t runs,
+                                            unsigned workers) const {
+  if (runs <= 1 || n == 0) return 0;
+  const auto levels =
+      static_cast<std::size_t>(std::bit_width(runs - 1));  // ceil(log2(runs))
+  sim::SimTime total = 0;
+  for (std::size_t l = 0; l < levels; ++l)
+    total += parallel(merge_time(n), workers);
+  return total;
+}
+
+sim::SimTime CostModel::naive_kway_merge_time(std::size_t n,
+                                              std::size_t runs) const {
+  if (runs <= 1 || n == 0) return 0;
+  // Binary heap of k runs: every element pays log2(k) comparisons plus the
+  // move, all on one thread.
+  const double per_elem =
+      merge_ns_per_elem * std::max(1.0, log2_of(runs));
+  return ns(per_elem * static_cast<double>(n));
+}
+
+sim::SimTime CostModel::adaptive_sort_time(std::size_t n,
+                                           std::size_t runs) const {
+  if (n < 2) return 0;
+  runs = std::max<std::size_t>(1, runs);
+  const auto levels =
+      static_cast<double>(std::bit_width(runs - 1));  // ceil(log2(runs))
+  return ns(copy_ns_per_elem * static_cast<double>(n) +      // run detection
+            merge_ns_per_elem * static_cast<double>(n) * std::max(1.0, levels));
+}
+
+CostModel calibrate(std::size_t sample_n) {
+  using Clock = std::chrono::steady_clock;
+  CostModel m;
+  sample_n = std::max<std::size_t>(sample_n, 1 << 16);
+
+  Rng rng(0xC0FFEE);
+  std::vector<std::uint64_t> data(sample_n);
+  for (auto& x : data) x = rng.next();
+
+  // Sort constant.
+  {
+    auto v = data;
+    const auto t0 = Clock::now();
+    sort::quicksort(std::span<std::uint64_t>(v));
+    const auto dt = std::chrono::duration<double, std::nano>(Clock::now() - t0);
+    m.sort_ns_per_elem_log =
+        dt.count() / (static_cast<double>(sample_n) *
+                      std::log2(static_cast<double>(sample_n)));
+  }
+
+  // Merge constant.
+  {
+    auto a = std::vector<std::uint64_t>(data.begin(), data.begin() + sample_n / 2);
+    auto b = std::vector<std::uint64_t>(data.begin() + sample_n / 2, data.end());
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    std::vector<std::uint64_t> out(sample_n);
+    const auto t0 = Clock::now();
+    std::merge(a.begin(), a.end(), b.begin(), b.end(), out.begin());
+    const auto dt = std::chrono::duration<double, std::nano>(Clock::now() - t0);
+    m.merge_ns_per_elem = dt.count() / static_cast<double>(sample_n);
+  }
+
+  // Copy constant.
+  {
+    std::vector<std::uint64_t> out(sample_n);
+    const auto t0 = Clock::now();
+    std::memcpy(out.data(), data.data(), sample_n * sizeof(std::uint64_t));
+    const auto dt = std::chrono::duration<double, std::nano>(Clock::now() - t0);
+    m.copy_ns_per_elem = std::max(0.05, dt.count() / static_cast<double>(sample_n));
+  }
+
+  // Binary-search probe constant.
+  {
+    auto v = data;
+    std::sort(v.begin(), v.end());
+    constexpr std::size_t kProbes = 100000;
+    Rng probe_rng(7);
+    std::uint64_t acc = 0;
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < kProbes; ++i) {
+      const std::uint64_t key = probe_rng.next();
+      acc += static_cast<std::uint64_t>(
+          std::lower_bound(v.begin(), v.end(), key) - v.begin());
+    }
+    volatile std::uint64_t sink = acc;
+    const auto dt = std::chrono::duration<double, std::nano>(Clock::now() - t0);
+    m.search_ns_per_probe =
+        dt.count() / (static_cast<double>(kProbes) *
+                      std::log2(static_cast<double>(sample_n)));
+    (void)sink;
+  }
+
+  PGXD_CHECK(m.sort_ns_per_elem_log > 0);
+  PGXD_CHECK(m.merge_ns_per_elem > 0);
+  return m;
+}
+
+}  // namespace pgxd::rt

@@ -1,0 +1,71 @@
+// Compute cost model for simulated machines.
+//
+// The simulator executes every algorithm on real data but charges virtual
+// time for the compute phases through this model, so a 52-machine,
+// 32-thread-per-machine run is timeable on one host. Constants default to a
+// Xeon E5-2660-class node (the paper's testbed, Table I) and can be
+// recalibrated against this host's real kernels (see calibrate()).
+//
+// All helpers return simulated nanoseconds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace pgxd::rt {
+
+struct CostModel {
+  // Comparison sort: c * n * log2(n). 2 ns/(elem*level) matches a
+  // Sandy-Bridge-class Xeon E5-2660 sorting 64-bit keys.
+  double sort_ns_per_elem_log = 2.0;
+  // Sequential two-way merge / partition scan: c * n.
+  double merge_ns_per_elem = 1.6;
+  // Bulk copy (memcpy-ish): c * n.
+  double copy_ns_per_elem = 0.5;
+  // One binary-search probe (dependent cache miss).
+  double search_ns_per_probe = 12.0;
+  // Spawn+join cost of one parallel task on the task manager.
+  double task_overhead_ns = 1500.0;
+  // Fraction of linear speedup the in-node parallel phases achieve
+  // (memory-bandwidth ceiling across 2 sockets).
+  double parallel_efficiency = 0.75;
+
+  // Number of "effective" workers after the efficiency haircut.
+  double effective_workers(unsigned workers) const;
+
+  sim::SimTime sort_time(std::size_t n) const;
+  sim::SimTime merge_time(std::size_t n) const;
+  sim::SimTime copy_time(std::size_t n) const;
+  sim::SimTime binary_search_time(std::size_t n, std::size_t searches) const;
+
+  // Serial cost split across `workers` with per-task overhead.
+  sim::SimTime parallel(sim::SimTime serial_cost, unsigned workers,
+                        std::size_t tasks = 0) const;
+
+  // Paper step (1): equal chunks per worker thread (parallel quicksort) plus
+  // the Fig. 2 balanced merge tree.
+  sim::SimTime local_parallel_sort_time(std::size_t n, unsigned workers) const;
+
+  // Fig. 2 tree over `runs` equal runs totalling n elements: ceil(log2 runs)
+  // levels, each moving n elements with all merges parallelized.
+  sim::SimTime balanced_merge_time(std::size_t n, std::size_t runs,
+                                   unsigned workers) const;
+
+  // Ablation baseline: one sequential k-way heap merge (n log2 k compares,
+  // no intra-merge parallelism).
+  sim::SimTime naive_kway_merge_time(std::size_t n, std::size_t runs) const;
+
+  // Adaptive mergesort (TimSort) on data that decomposed into `runs`
+  // natural runs: O(n) run detection plus n * ceil(log2 runs) of merging.
+  // Already-sorted input (runs == 1) costs a single scan — the property
+  // the paper cites for Spark choosing TimSort.
+  sim::SimTime adaptive_sort_time(std::size_t n, std::size_t runs) const;
+};
+
+// Measures this host's real kernels (quicksort, merge, copy, binary search)
+// and returns a model scaled to them. `sample_n` controls calibration cost.
+CostModel calibrate(std::size_t sample_n = 1 << 20);
+
+}  // namespace pgxd::rt

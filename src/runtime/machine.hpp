@@ -1,0 +1,72 @@
+// Machine and task-manager abstractions.
+//
+// A Machine is one simulated processor: `threads` worker threads (Table I:
+// 32 per node), a memory tracker, and compute-charging helpers that route
+// through the cost model. The task-manager behaviour of PGX.D (worker
+// threads grab tasks from a list; parallel regions are chunked) is modeled
+// by CostModel::parallel's task-wave accounting.
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "runtime/cost_model.hpp"
+#include "runtime/memory.hpp"
+#include "sim/simulator.hpp"
+
+namespace pgxd::rt {
+
+class Machine {
+ public:
+  Machine(sim::Simulator& sim, const CostModel& cost, std::size_t rank,
+          unsigned threads, std::uint64_t seed)
+      : sim_(sim), cost_(cost), rank_(rank), threads_(threads),
+        rng_(derive_seed(seed, rank)) {
+    PGXD_CHECK(threads >= 1);
+  }
+
+  std::size_t rank() const { return rank_; }
+  unsigned threads() const { return threads_; }
+  Rng& rng() { return rng_; }
+  MemoryTracker& memory() { return mem_; }
+  const CostModel& cost() const { return cost_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  // Serial compute on one worker thread.
+  auto compute(sim::SimTime t) { return sim_.delay(t); }
+
+  // Compute a serial cost in parallel across this machine's threads.
+  auto compute_parallel(sim::SimTime serial_cost, std::size_t tasks = 0) {
+    return sim_.delay(cost_.parallel(serial_cost, threads_, tasks));
+  }
+
+  // Paper step (1): local parallel quicksort + Fig. 2 balanced merge.
+  auto charge_local_parallel_sort(std::size_t n) {
+    return sim_.delay(cost_.local_parallel_sort_time(n, threads_));
+  }
+
+  auto charge_balanced_merge(std::size_t n, std::size_t runs) {
+    return sim_.delay(cost_.balanced_merge_time(n, runs, threads_));
+  }
+
+  auto charge_naive_kway_merge(std::size_t n, std::size_t runs) {
+    return sim_.delay(cost_.naive_kway_merge_time(n, runs));
+  }
+
+  auto charge_copy(std::size_t n) { return sim_.delay(cost_.copy_time(n)); }
+
+  auto charge_binary_search(std::size_t n, std::size_t searches) {
+    return sim_.delay(cost_.binary_search_time(n, searches));
+  }
+
+ private:
+  sim::Simulator& sim_;
+  const CostModel& cost_;
+  std::size_t rank_;
+  unsigned threads_;
+  Rng rng_;
+  MemoryTracker mem_;
+};
+
+}  // namespace pgxd::rt

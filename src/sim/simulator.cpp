@@ -1,0 +1,116 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pgxd::sim {
+
+namespace {
+// The simulator whose step() is currently on the stack. Single-threaded
+// simulation; thread_local only so independent simulators on different
+// threads don't interfere.
+thread_local Simulator* g_current_simulator = nullptr;
+}  // namespace
+
+Simulator* Simulator::current() { return g_current_simulator; }
+
+namespace detail {
+
+void PromiseBase::reclaim_root(Simulator* sim, std::coroutine_handle<> h,
+                               PromiseBase& promise) {
+  sim->reclaim(h, promise);
+}
+
+void PromiseBase::schedule_continuation(std::coroutine_handle<> c) {
+  Simulator* sim = Simulator::current();
+  PGXD_CHECK_MSG(sim != nullptr,
+                 "a sim::Task completed outside of a simulator step");
+  sim->schedule_now(c);
+}
+
+}  // namespace detail
+
+Simulator::~Simulator() {
+  // Destroy still-suspended root frames (their nested child frames are
+  // destroyed transitively through the Task members they hold).
+  for (auto h : roots_)
+    if (h) h.destroy();
+}
+
+void Simulator::schedule_at(SimTime at, std::coroutine_handle<> h) {
+  PGXD_CHECK_MSG(at >= now_, "scheduling into the past");
+  PGXD_CHECK(h != nullptr);
+  queue_.push(Scheduled{at, next_seq_++, h});
+}
+
+void Simulator::spawn(Task<void> task) {
+  auto h = task.release();
+  PGXD_CHECK_MSG(h != nullptr, "spawning an empty task");
+  h.promise().owner = this;
+  roots_.push_back(h);
+  ++live_roots_;
+  schedule_now(h);
+}
+
+void Simulator::reclaim(std::coroutine_handle<> h, detail::PromiseBase& promise) {
+  if (promise.exception) {
+    // A root process died with no awaiter to receive the exception. The
+    // simulation state is unreliable from here on; fail loudly.
+    try {
+      std::rethrow_exception(promise.exception);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "sim: unhandled exception in root process: %s\n",
+                   e.what());
+    } catch (...) {
+      std::fprintf(stderr, "sim: unhandled non-standard exception in root process\n");
+    }
+    std::abort();
+  }
+  reclaimed_.push_back(h);
+  PGXD_CHECK(live_roots_ > 0);
+  --live_roots_;
+}
+
+void Simulator::drain_reclaimed() {
+  for (auto h : reclaimed_) {
+    auto it = std::find(roots_.begin(), roots_.end(), h);
+    PGXD_CHECK_MSG(it != roots_.end(), "reclaimed frame is not a known root");
+    *it = roots_.back();
+    roots_.pop_back();
+    h.destroy();
+  }
+  reclaimed_.clear();
+}
+
+void Simulator::step(const Scheduled& ev) {
+  now_ = ev.at;
+  ++events_processed_;
+  Simulator* const prev = g_current_simulator;
+  g_current_simulator = this;
+  ev.handle.resume();
+  g_current_simulator = prev;
+  drain_reclaimed();
+}
+
+SimTime Simulator::run() {
+  while (!queue_.empty()) {
+    Scheduled ev = queue_.top();
+    queue_.pop();
+    step(ev);
+  }
+  return now_;
+}
+
+SimTime Simulator::run_until(SimTime t) {
+  PGXD_CHECK(t >= now_);
+  while (!queue_.empty() && queue_.top().at <= t) {
+    Scheduled ev = queue_.top();
+    queue_.pop();
+    step(ev);
+  }
+  now_ = t;
+  return now_;
+}
+
+}  // namespace pgxd::sim

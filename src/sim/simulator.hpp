@@ -1,0 +1,100 @@
+// Discrete-event simulator core.
+//
+// Single-threaded and deterministic: runnable events are totally ordered by
+// (timestamp, insertion sequence), so two runs with the same seeds produce
+// identical traces. Processes are sim::Task coroutines; all wake-ups —
+// delays, channel sends, barrier releases — go through the event queue
+// rather than resuming inline, which keeps the ordering discipline in one
+// place.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace pgxd::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+  ~Simulator();
+
+  SimTime now() const { return now_; }
+
+  // Schedules a suspended coroutine to be resumed at absolute time `at`.
+  // This is the single wake-up entry point used by all awaitables.
+  void schedule_at(SimTime at, std::coroutine_handle<> h);
+  void schedule_now(std::coroutine_handle<> h) { schedule_at(now_, h); }
+
+  // Registers a root process; it starts at the current time. The simulator
+  // owns the coroutine frame from this point on.
+  void spawn(Task<void> task);
+
+  // Timed suspension: `co_await sim.delay(dt)`.
+  auto delay(SimTime dt) {
+    struct Awaiter {
+      Simulator& sim;
+      SimTime dt;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sim.schedule_at(sim.now_ + dt, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    PGXD_CHECK_MSG(dt >= 0, "negative delay");
+    return Awaiter{*this, dt};
+  }
+
+  // Runs until no events remain. Returns the final simulated time. Processes
+  // still suspended on synchronization objects are left suspended (their
+  // frames are destroyed with the simulator); use `quiescent()` to detect
+  // that situation in tests.
+  SimTime run();
+
+  // Runs events with timestamp <= t, then sets now() = t.
+  SimTime run_until(SimTime t);
+
+  // True when every spawned root process has run to completion.
+  bool quiescent() const { return live_roots_ == 0; }
+
+  // The simulator currently executing an event (null outside step()). Used
+  // by task final-awaiters to schedule their continuations.
+  static Simulator* current();
+
+  std::uint64_t events_processed() const { return events_processed_; }
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  friend struct detail::PromiseBase;
+
+  struct Scheduled {
+    SimTime at;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;
+
+    bool operator>(const Scheduled& o) const {
+      return at != o.at ? at > o.at : seq > o.seq;
+    }
+  };
+
+  void reclaim(std::coroutine_handle<> h, detail::PromiseBase& promise);
+  void drain_reclaimed();
+  void step(const Scheduled& ev);
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::size_t live_roots_ = 0;
+  std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<>> queue_;
+  std::vector<std::coroutine_handle<>> reclaimed_;
+  std::vector<std::coroutine_handle<>> roots_;  // frames owned by the simulator
+};
+
+}  // namespace pgxd::sim

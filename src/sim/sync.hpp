@@ -1,0 +1,225 @@
+// Synchronization primitives for simulation processes.
+//
+// All wake-ups are routed through Simulator::schedule_* — a primitive never
+// resumes a waiter inline — so event ordering stays deterministic and a
+// firing process keeps running until its own next suspension point, exactly
+// like a SimPy-style kernel.
+//
+// Semaphore and Channel use *direct handoff*: a released permit or sent
+// value destined for a queued waiter is handed to that waiter's awaiter
+// object rather than returned to the shared pool, so a process that calls
+// acquire()/recv() between the wake-up being scheduled and the waiter
+// actually resuming cannot steal it.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "sim/simulator.hpp"
+
+namespace pgxd::sim {
+
+// One-shot event with any number of waiters. Waiting after fire() completes
+// immediately.
+class Event {
+ public:
+  explicit Event(Simulator& sim) : sim_(sim) {}
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  void fire() {
+    if (fired_) return;
+    fired_ = true;
+    for (auto h : waiters_) sim_.schedule_now(h);
+    waiters_.clear();
+  }
+
+  bool fired() const { return fired_; }
+
+  auto wait() {
+    struct Awaiter {
+      Event& ev;
+      bool await_ready() const noexcept { return ev.fired_; }
+      void await_suspend(std::coroutine_handle<> h) { ev.waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Simulator& sim_;
+  bool fired_ = false;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+// Cyclic barrier over a fixed number of participants; reusable across
+// rounds. The last arriver of a round does not suspend; it releases the
+// round's waiters and continues.
+class Barrier {
+ public:
+  Barrier(Simulator& sim, std::size_t participants)
+      : sim_(sim), participants_(participants) {
+    PGXD_CHECK(participants > 0);
+  }
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  auto arrive() {
+    struct Awaiter {
+      Barrier& b;
+      bool await_ready() const noexcept { return false; }
+      // Returning false resumes immediately (last arriver path).
+      bool await_suspend(std::coroutine_handle<> h) {
+        ++b.arrived_;
+        if (b.arrived_ == b.participants_) {
+          b.arrived_ = 0;
+          for (auto w : b.waiters_) b.sim_.schedule_now(w);
+          b.waiters_.clear();
+          return false;
+        }
+        b.waiters_.push_back(h);
+        return true;
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  std::size_t waiting() const { return arrived_; }
+
+ private:
+  Simulator& sim_;
+  std::size_t participants_;
+  std::size_t arrived_ = 0;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+// Counted semaphore with FIFO grant order and direct handoff.
+class Semaphore {
+ public:
+  Semaphore(Simulator& sim, std::size_t permits) : sim_(sim), permits_(permits) {}
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  struct [[nodiscard]] AcquireAwaiter {
+    Semaphore& s;
+    std::coroutine_handle<> handle;
+    bool granted = false;  // permit handed directly by release()
+
+    bool await_ready() const noexcept {
+      return s.permits_ > 0 && s.waiters_.empty();
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      s.waiters_.push_back(this);
+    }
+    void await_resume() noexcept {
+      if (granted) return;  // handed off; pool untouched
+      PGXD_DCHECK(s.permits_ > 0);
+      --s.permits_;
+    }
+  };
+
+  AcquireAwaiter acquire() { return AcquireAwaiter{*this, {}, false}; }
+
+  void release() {
+    if (!waiters_.empty()) {
+      AcquireAwaiter* w = waiters_.front();
+      waiters_.pop_front();
+      w->granted = true;
+      sim_.schedule_now(w->handle);
+      return;
+    }
+    ++permits_;
+  }
+
+  std::size_t available() const { return permits_; }
+  std::size_t waiting() const { return waiters_.size(); }
+
+ private:
+  Simulator& sim_;
+  std::size_t permits_;
+  std::deque<AcquireAwaiter*> waiters_;
+};
+
+// RAII permit for Semaphore within a coroutine scope.
+class SemaphoreGuard {
+ public:
+  explicit SemaphoreGuard(Semaphore& s) : sem_(&s) {}
+  SemaphoreGuard(SemaphoreGuard&& o) noexcept : sem_(std::exchange(o.sem_, nullptr)) {}
+  SemaphoreGuard(const SemaphoreGuard&) = delete;
+  SemaphoreGuard& operator=(const SemaphoreGuard&) = delete;
+  SemaphoreGuard& operator=(SemaphoreGuard&&) = delete;
+  ~SemaphoreGuard() {
+    if (sem_) sem_->release();
+  }
+
+ private:
+  Semaphore* sem_;
+};
+
+// Unbounded FIFO channel. send() never suspends; recv() suspends until a
+// value is available. Values are delivered in send order; receivers are
+// served in arrival order, each receiving its value by direct handoff.
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Simulator& sim) : sim_(sim) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  struct [[nodiscard]] RecvAwaiter {
+    Channel& ch;
+    std::coroutine_handle<> handle;
+    std::optional<T> handed;
+
+    bool await_ready() const noexcept {
+      return !ch.values_.empty() && ch.waiters_.empty();
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      ch.waiters_.push_back(this);
+    }
+    T await_resume() {
+      if (handed) return std::move(*handed);
+      PGXD_CHECK_MSG(!ch.values_.empty(), "channel resumed without a value");
+      T v = std::move(ch.values_.front());
+      ch.values_.pop_front();
+      return v;
+    }
+  };
+
+  void send(T value) {
+    if (!waiters_.empty()) {
+      RecvAwaiter* w = waiters_.front();
+      waiters_.pop_front();
+      w->handed = std::move(value);
+      sim_.schedule_now(w->handle);
+      return;
+    }
+    values_.push_back(std::move(value));
+  }
+
+  RecvAwaiter recv() { return RecvAwaiter{*this, {}, std::nullopt}; }
+
+  std::optional<T> try_recv() {
+    if (values_.empty() || !waiters_.empty()) return std::nullopt;
+    T v = std::move(values_.front());
+    values_.pop_front();
+    return v;
+  }
+
+  // Unclaimed values (not counting values already handed to waking receivers).
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+ private:
+  Simulator& sim_;
+  std::deque<T> values_;
+  std::deque<RecvAwaiter*> waiters_;
+};
+
+}  // namespace pgxd::sim

@@ -1,0 +1,30 @@
+// Simulated time: signed 64-bit nanoseconds.
+//
+// Integer time keeps the event queue total order exact (no FP rounding drift
+// between runs or platforms); helpers convert to/from seconds at the edges.
+#pragma once
+
+#include <cstdint>
+
+namespace pgxd::sim {
+
+using SimTime = std::int64_t;  // nanoseconds since simulation start
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1000;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+constexpr SimTime from_seconds(double s) {
+  return static_cast<SimTime>(s * static_cast<double>(kSecond));
+}
+
+constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+constexpr SimTime from_micros(double us) {
+  return static_cast<SimTime>(us * static_cast<double>(kMicrosecond));
+}
+
+}  // namespace pgxd::sim

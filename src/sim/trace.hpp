@@ -1,0 +1,92 @@
+// Span tracing for simulations: engines record (lane, label, begin, end)
+// spans — one lane per machine — and the collector renders an ASCII Gantt
+// chart. Used by the timeline bench to show how the asynchronous exchange
+// overlaps steps across machines, and handy when debugging any engine.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "sim/time.hpp"
+
+namespace pgxd::sim {
+
+class Trace {
+ public:
+  struct Span {
+    std::size_t lane;
+    std::string label;
+    SimTime begin;
+    SimTime end;
+  };
+
+  void record(std::size_t lane, std::string label, SimTime begin, SimTime end) {
+    PGXD_CHECK(end >= begin);
+    spans_.push_back(Span{lane, std::move(label), begin, end});
+  }
+
+  const std::vector<Span>& spans() const { return spans_; }
+  void clear() { spans_.clear(); }
+
+  // One row per lane; spans drawn with one letter per distinct label (in
+  // first-appearance order), '.' for idle. Overlapping spans in a lane keep
+  // the later letter. A legend precedes the chart.
+  std::string render_gantt(std::size_t width = 100) const {
+    if (spans_.empty()) return "(no spans)\n";
+    SimTime t_min = spans_.front().begin, t_max = spans_.front().end;
+    std::size_t max_lane = 0;
+    for (const auto& s : spans_) {
+      t_min = std::min(t_min, s.begin);
+      t_max = std::max(t_max, s.end);
+      max_lane = std::max(max_lane, s.lane);
+    }
+    if (t_max == t_min) t_max = t_min + 1;
+
+    // Stable label -> letter mapping.
+    std::map<std::string, char> letter_of;
+    std::string legend;
+    char next = 'A';
+    for (const auto& s : spans_) {
+      if (letter_of.count(s.label)) continue;
+      letter_of[s.label] = next;
+      legend += "  ";
+      legend += next;
+      legend += " = " + s.label + "\n";
+      next = next == 'Z' ? 'a' : static_cast<char>(next + 1);
+    }
+
+    std::vector<std::string> rows(max_lane + 1, std::string(width, '.'));
+    auto col = [&](SimTime t) {
+      const auto c = static_cast<std::size_t>(
+          static_cast<double>(t - t_min) / static_cast<double>(t_max - t_min) *
+          static_cast<double>(width));
+      return std::min(c, width - 1);
+    };
+    for (const auto& s : spans_) {
+      const char ch = letter_of[s.label];
+      for (std::size_t c = col(s.begin); c <= col(s.end); ++c)
+        rows[s.lane][c] = ch;
+    }
+
+    std::string out = "legend:\n" + legend;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "time: %.6f .. %.6f s\n", to_seconds(t_min),
+                  to_seconds(t_max));
+    out += buf;
+    for (std::size_t lane = 0; lane < rows.size(); ++lane) {
+      std::snprintf(buf, sizeof buf, "m%02zu |", lane);
+      out += buf;
+      out += rows[lane];
+      out += "|\n";
+    }
+    return out;
+  }
+
+ private:
+  std::vector<Span> spans_;
+};
+
+}  // namespace pgxd::sim

@@ -1,0 +1,47 @@
+// when_all: run a batch of sim::Task<void> concurrently inside a parent
+// coroutine and resume the parent when every one has completed. The member
+// tasks are spawned as independent processes that signal a shared latch;
+// this keeps the single-continuation Task model (a Task can only be
+// awaited by one parent) while supporting fork/join structure.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace pgxd::sim {
+
+namespace detail {
+
+struct Latch {
+  explicit Latch(Simulator& sim, std::size_t count)
+      : remaining(count), done(sim) {}
+  std::size_t remaining;
+  Event done;
+};
+
+inline Task<void> run_and_count(Task<void> task,
+                                std::shared_ptr<Latch> latch) {
+  co_await std::move(task);
+  PGXD_CHECK(latch->remaining > 0);
+  if (--latch->remaining == 0) latch->done.fire();
+}
+
+}  // namespace detail
+
+// Runs all tasks concurrently; completes when the last one finishes.
+// Exceptions in member tasks are fatal (they escape a root process).
+inline Task<void> when_all(Simulator& sim, std::vector<Task<void>> tasks) {
+  if (tasks.empty()) co_return;
+  auto latch = std::make_shared<detail::Latch>(sim, tasks.size());
+  for (auto& t : tasks)
+    sim.spawn(detail::run_and_count(std::move(t), latch));
+  co_await latch->done.wait();
+}
+
+}  // namespace pgxd::sim

@@ -1,0 +1,127 @@
+// The paper's "handler" for balanced merging (Fig. 2).
+//
+// Input: one contiguous buffer holding R sorted runs (run r occupies
+// [bounds[r], bounds[r+1])). Runs are merged pairwise per level — run 1 into
+// run 0, run 3 into run 2, ... — so when the runs start equal-sized (one per
+// worker thread), every merge at every level joins partners of (almost)
+// equal size; and each level's merges execute in parallel, with every merge
+// itself split across threads via Merge-Path co-ranking. Levels ping-pong
+// between the data buffer and one scratch buffer of equal size.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/thread_pool.hpp"
+#include "sort/merge.hpp"
+
+namespace pgxd::sort {
+
+// One merge at one level of the Fig. 2 tree: runs `left` and `right` of the
+// previous level combine into one run.
+struct MergePair {
+  std::size_t left;
+  std::size_t right;
+};
+
+// The full merge schedule for `runs` initial runs: schedule[l] lists the
+// pairs merged at level l. A run with no partner at a level carries over.
+// For runs == 8 this reproduces Fig. 2 exactly:
+//   level 0: (0,1) (2,3) (4,5) (6,7); level 1: (0,2) (4,6); level 2: (0,4)
+// where pair indices are positions in the *previous* level's run list.
+inline std::vector<std::vector<MergePair>> merge_schedule(std::size_t runs) {
+  std::vector<std::vector<MergePair>> levels;
+  std::size_t remaining = runs;
+  while (remaining > 1) {
+    std::vector<MergePair> level;
+    for (std::size_t i = 0; i + 1 < remaining; i += 2)
+      level.push_back(MergePair{i, i + 1});
+    levels.push_back(std::move(level));
+    remaining = remaining / 2 + remaining % 2;
+  }
+  return levels;
+}
+
+// Statistics the cost model and tests consume.
+struct BalancedMergeStats {
+  std::size_t levels = 0;
+  std::size_t merges = 0;
+  std::size_t elements_moved = 0;  // total elements written across levels
+};
+
+// Merges the runs described by `bounds` (size R+1, bounds[0] == 0,
+// bounds[R] == data.size(), non-decreasing) into fully sorted order in
+// `data`, using `scratch` (resized to data.size()) as the ping-pong buffer.
+// `pool` may be null for sequential execution. Returns per-run statistics.
+template <typename T, typename Comp = std::less<T>>
+BalancedMergeStats balanced_merge(std::vector<T>& data,
+                                  std::vector<std::size_t> bounds,
+                                  std::vector<T>& scratch, Comp comp = {},
+                                  ThreadPool* pool = nullptr) {
+  PGXD_CHECK(!bounds.empty());
+  PGXD_CHECK(bounds.front() == 0);
+  PGXD_CHECK(bounds.back() == data.size());
+  BalancedMergeStats stats;
+  if (bounds.size() <= 2) return stats;  // zero or one run: already sorted
+
+  scratch.resize(data.size());
+  T* src = data.data();
+  T* dst = scratch.data();
+  const std::size_t total_workers = pool ? pool->workers() + 1 : 1;
+
+  while (bounds.size() > 2) {
+    const std::size_t run_count = bounds.size() - 1;
+    std::vector<std::size_t> next_bounds;
+    next_bounds.reserve(run_count / 2 + 2);
+    next_bounds.push_back(0);
+
+    std::vector<std::function<void()>> tasks;
+    const std::size_t merges = run_count / 2;
+    const std::size_t pieces_per_merge =
+        merges > 0 ? std::max<std::size_t>(1, total_workers / merges) : 1;
+
+    for (std::size_t r = 0; r + 1 < run_count; r += 2) {
+      const std::size_t lo = bounds[r];
+      const std::size_t mid = bounds[r + 1];
+      const std::size_t hi = bounds[r + 2];
+      append_merge_tasks<T, Comp>(
+          std::span<const T>(src + lo, mid - lo),
+          std::span<const T>(src + mid, hi - mid),
+          std::span<T>(dst + lo, hi - lo), comp, pieces_per_merge, tasks);
+      next_bounds.push_back(hi);
+      ++stats.merges;
+      stats.elements_moved += hi - lo;
+    }
+    if (run_count % 2 == 1) {
+      // Odd tail: copy through so the ping-pong buffers stay consistent.
+      const std::size_t lo = bounds[run_count - 1];
+      const std::size_t hi = bounds[run_count];
+      tasks.push_back([src, dst, lo, hi] {
+        std::copy(src + lo, src + hi, dst + lo);
+      });
+      next_bounds.push_back(hi);
+      stats.elements_moved += hi - lo;
+    }
+
+    if (pool)
+      pool->run_all(std::move(tasks));
+    else
+      for (auto& t : tasks) t();
+
+    std::swap(src, dst);
+    bounds = std::move(next_bounds);
+    ++stats.levels;
+  }
+
+  if (src != data.data()) {
+    // Result landed in scratch after an odd number of levels.
+    std::copy(src, src + data.size(), data.data());
+  }
+  return stats;
+}
+
+}  // namespace pgxd::sort

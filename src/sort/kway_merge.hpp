@@ -1,0 +1,97 @@
+// Sequential k-way merge with a loser tree — the classical alternative to
+// the paper's Fig. 2 balanced merge tree, used as the real data path of the
+// merge-strategy ablation. One comparison per element per tree level
+// (log2 k), but inherently sequential: no intra-merge parallelism.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace pgxd::sort {
+
+struct KwayMergeStats {
+  std::size_t runs = 0;
+  std::uint64_t comparisons = 0;
+};
+
+// Merges the sorted runs described by `bounds` (size R+1, bounds[0] == 0,
+// bounds[R] == data.size()) into sorted order in `data`, via one pass
+// through a loser tree. Stable across runs (ties resolve to the lower run
+// index).
+template <typename T, typename Comp = std::less<T>>
+KwayMergeStats kway_merge(std::vector<T>& data,
+                          const std::vector<std::size_t>& bounds,
+                          std::vector<T>& scratch, Comp comp = {}) {
+  PGXD_CHECK(!bounds.empty());
+  PGXD_CHECK(bounds.front() == 0);
+  PGXD_CHECK(bounds.back() == data.size());
+  KwayMergeStats stats;
+  const std::size_t runs = bounds.size() - 1;
+  stats.runs = runs;
+  if (runs <= 1) return stats;
+
+  scratch.resize(data.size());
+
+  // Tournament tree over k leaves (padded to a power of two with exhausted
+  // sentinels). tree_[i] holds the *loser* run index at internal node i;
+  // the overall winner is tracked separately.
+  const std::size_t k = std::bit_ceil(runs);
+  std::vector<std::size_t> cursor(runs);
+  for (std::size_t r = 0; r < runs; ++r) cursor[r] = bounds[r];
+
+  auto exhausted = [&](std::size_t r) {
+    return r >= runs || cursor[r] >= bounds[r + 1];
+  };
+  // Comparison with stability: run a beats run b if a's head < b's head, or
+  // equal heads with a < b. An exhausted run always loses.
+  auto beats = [&](std::size_t a, std::size_t b) {
+    if (exhausted(b)) return true;
+    if (exhausted(a)) return false;
+    ++stats.comparisons;
+    if (comp(data[cursor[a]], data[cursor[b]])) return true;
+    if (comp(data[cursor[b]], data[cursor[a]])) return false;
+    return a < b;
+  };
+
+  // Build: play the tournament bottom-up.
+  std::vector<std::size_t> losers(k, k);  // internal nodes, index 1..k-1 used
+  std::size_t winner;
+  {
+    std::vector<std::size_t> level(k);
+    for (std::size_t i = 0; i < k; ++i) level[i] = i;
+    std::size_t width = k;
+    std::size_t node_base = k;
+    while (width > 1) {
+      width /= 2;
+      node_base /= 2;
+      for (std::size_t i = 0; i < width; ++i) {
+        const std::size_t a = level[2 * i], b = level[2 * i + 1];
+        const bool a_wins = beats(a, b);
+        losers[node_base + i] = a_wins ? b : a;
+        level[i] = a_wins ? a : b;
+      }
+    }
+    winner = level[0];
+  }
+
+  for (std::size_t out = 0; out < data.size(); ++out) {
+    PGXD_DCHECK(!exhausted(winner));
+    scratch[out] = data[cursor[winner]];
+    ++cursor[winner];
+    // Replay the winner's path to the root.
+    std::size_t node = (k + winner) / 2;
+    while (node >= 1) {
+      if (beats(losers[node], winner)) std::swap(losers[node], winner);
+      node /= 2;
+    }
+  }
+  data.swap(scratch);
+  return stats;
+}
+
+}  // namespace pgxd::sort

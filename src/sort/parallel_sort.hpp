@@ -1,0 +1,74 @@
+// Step (1) of the paper's pipeline: local parallel sort.
+//
+// "data is divided equally among a number of the worker threads ... each
+// worker thread sorts its data locally. Sorted data from each thread is
+// merged together by keeping balanced merging." — Sec. IV-A.
+//
+// The chunking guarantees the Fig. 2 merge tree starts from equal-sized
+// runs, which is what makes every later merge balanced.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/thread_pool.hpp"
+#include "sort/balanced_merge.hpp"
+#include "sort/quicksort.hpp"
+
+namespace pgxd::sort {
+
+struct ParallelSortStats {
+  std::size_t chunks = 0;
+  BalancedMergeStats merge;
+};
+
+// Sorts `data` using `chunks` equal pieces (defaults to pool workers + 1).
+// `scratch` is reused across calls to avoid reallocation in the hot path.
+template <typename T, typename Comp = std::less<T>>
+ParallelSortStats parallel_sort(std::vector<T>& data, std::vector<T>& scratch,
+                                Comp comp = {}, ThreadPool* pool = nullptr,
+                                std::size_t chunks = 0) {
+  ParallelSortStats stats;
+  const std::size_t n = data.size();
+  if (chunks == 0) chunks = pool ? pool->workers() + 1 : 1;
+  // Don't create chunks smaller than the insertion-sort cutoff.
+  chunks = std::max<std::size_t>(
+      1, std::min(chunks, n / (kInsertionCutoff + 1) + 1));
+  stats.chunks = chunks;
+
+  if (chunks == 1 || n < 2) {
+    quicksort(std::span<T>(data), comp);
+    return stats;
+  }
+
+  std::vector<std::size_t> bounds(chunks + 1);
+  for (std::size_t c = 0; c <= chunks; ++c) bounds[c] = n * c / chunks;
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const auto chunk = std::span<T>(data).subspan(bounds[c], bounds[c + 1] - bounds[c]);
+    tasks.push_back([chunk, comp] { quicksort(chunk, comp); });
+  }
+  if (pool)
+    pool->run_all(std::move(tasks));
+  else
+    for (auto& t : tasks) t();
+
+  stats.merge = balanced_merge(data, std::move(bounds), scratch, comp, pool);
+  return stats;
+}
+
+// Convenience overload that owns its scratch buffer.
+template <typename T, typename Comp = std::less<T>>
+ParallelSortStats parallel_sort(std::vector<T>& data, Comp comp = {},
+                                ThreadPool* pool = nullptr,
+                                std::size_t chunks = 0) {
+  std::vector<T> scratch;
+  return parallel_sort(data, scratch, comp, pool, chunks);
+}
+
+}  // namespace pgxd::sort

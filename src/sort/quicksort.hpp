@@ -1,0 +1,95 @@
+// Quicksort with the standard production hardening: median-of-three pivots,
+// insertion sort below a cutoff, recursion on the smaller side only, and a
+// heapsort fallback past 2*log2(n) depth so adversarial inputs stay
+// O(n log n). This is the per-thread local sort of the paper's step (1).
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace pgxd::sort {
+
+inline constexpr std::size_t kInsertionCutoff = 24;
+
+// Straight insertion sort; the base case for quicksort.
+template <typename T, typename Comp = std::less<T>>
+void insertion_sort(std::span<T> data, Comp comp = {}) {
+  for (std::size_t i = 1; i < data.size(); ++i) {
+    T value = std::move(data[i]);
+    std::size_t j = i;
+    while (j > 0 && comp(value, data[j - 1])) {
+      data[j] = std::move(data[j - 1]);
+      --j;
+    }
+    data[j] = std::move(value);
+  }
+}
+
+namespace detail {
+
+// Sorts {a, b, c} in place and leaves the median in b.
+template <typename T, typename Comp>
+void median_of_three(T& a, T& b, T& c, Comp comp) {
+  if (comp(b, a)) std::swap(a, b);
+  if (comp(c, b)) {
+    std::swap(b, c);
+    if (comp(b, a)) std::swap(a, b);
+  }
+}
+
+// Hoare partition around the median-of-three pivot; returns the cut point.
+// Elements equal to the pivot may land on either side (fine for sorting).
+template <typename T, typename Comp>
+std::size_t partition(std::span<T> data, Comp comp) {
+  const std::size_t n = data.size();
+  median_of_three(data[0], data[n / 2], data[n - 1], comp);
+  const T pivot = data[n / 2];
+  std::size_t i = 0, j = n - 1;
+  for (;;) {
+    while (comp(data[i], pivot)) ++i;
+    while (comp(pivot, data[j])) --j;
+    if (i >= j) return j + 1;
+    std::swap(data[i], data[j]);
+    ++i;
+    --j;
+  }
+}
+
+template <typename T, typename Comp>
+void introsort_loop(std::span<T> data, Comp comp, int depth_budget) {
+  while (data.size() > kInsertionCutoff) {
+    if (depth_budget-- == 0) {
+      std::make_heap(data.begin(), data.end(), comp);
+      std::sort_heap(data.begin(), data.end(), comp);
+      return;
+    }
+    const std::size_t cut = partition(data, comp);
+    PGXD_DCHECK(cut > 0 && cut < data.size());
+    // Recurse on the smaller half; iterate on the larger.
+    if (cut < data.size() - cut) {
+      introsort_loop(data.first(cut), comp, depth_budget);
+      data = data.subspan(cut);
+    } else {
+      introsort_loop(data.subspan(cut), comp, depth_budget);
+      data = data.first(cut);
+    }
+  }
+  insertion_sort(data, comp);
+}
+
+}  // namespace detail
+
+template <typename T, typename Comp = std::less<T>>
+void quicksort(std::span<T> data, Comp comp = {}) {
+  if (data.size() < 2) return;
+  const int depth_budget = 2 * std::bit_width(data.size());
+  detail::introsort_loop(data, comp, depth_budget);
+}
+
+}  // namespace pgxd::sort

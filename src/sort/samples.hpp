@@ -1,0 +1,97 @@
+// Regular sampling and splitter selection — steps (2) and (3) of the
+// paper's pipeline.
+//
+// Each processor draws `count` regular samples from its locally sorted
+// data; the master merges all received samples and selects p-1 final
+// splitters at regular positions.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace pgxd::sort {
+
+// Picks `count` regular samples from sorted `data`: sample i sits at
+// position (i+1) * n / (count+1), i.e. the interior quantile boundaries.
+// If count >= n, returns a copy of the data (every element is a sample).
+template <typename T>
+std::vector<T> regular_samples(std::span<const T> data, std::size_t count) {
+  const std::size_t n = data.size();
+  if (count >= n) return std::vector<T>(data.begin(), data.end());
+  std::vector<T> samples;
+  samples.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    samples.push_back(data[(i + 1) * n / (count + 1)]);
+  return samples;
+}
+
+// Selects `parts - 1` splitters at regular positions from the *sorted*
+// pool of gathered samples. The splitter for boundary j sits at the
+// j/parts quantile of the sample pool. A pool smaller than parts-1 yields
+// duplicated splitters (handled downstream by the investigator); an empty
+// pool yields default-constructed splitters, which only happens when the
+// whole dataset is (close to) empty.
+template <typename T, typename Comp = std::less<T>>
+std::vector<T> select_splitters(std::span<const T> sorted_samples,
+                                std::size_t parts,
+                                [[maybe_unused]] Comp comp = {}) {
+  PGXD_CHECK(parts >= 1);
+  PGXD_DCHECK(std::is_sorted(sorted_samples.begin(), sorted_samples.end(), comp));
+  std::vector<T> splitters;
+  if (parts == 1) return splitters;
+  const std::size_t m = sorted_samples.size();
+  if (m == 0) return std::vector<T>(parts - 1, T{});
+  splitters.reserve(parts - 1);
+  for (std::size_t j = 1; j < parts; ++j)
+    splitters.push_back(sorted_samples[j * m / parts]);
+  return splitters;
+}
+
+// Weighted splitter selection for *unequal* shard sizes: sample j from a
+// shard of n_i elements drawn as s_i regular samples represents n_i / s_i
+// elements. Splitters sit at equal cumulative-weight positions, so shards
+// of different sizes (e.g. graph partitions balanced by edges, not
+// vertices) still yield balanced destinations.
+template <typename T>
+struct WeightedSample {
+  T key;
+  double weight;
+};
+
+template <typename T, typename Comp = std::less<T>>
+std::vector<T> select_splitters_weighted(
+    std::span<const WeightedSample<T>> sorted_samples, std::size_t parts,
+    [[maybe_unused]] Comp comp = {}) {
+  PGXD_CHECK(parts >= 1);
+  std::vector<T> splitters;
+  if (parts == 1) return splitters;
+  if (sorted_samples.empty()) return std::vector<T>(parts - 1, T{});
+  PGXD_DCHECK(std::is_sorted(
+      sorted_samples.begin(), sorted_samples.end(),
+      [&](const WeightedSample<T>& a, const WeightedSample<T>& b) {
+        return comp(a.key, b.key);
+      }));
+  double total = 0;
+  for (const auto& s : sorted_samples) total += s.weight;
+  splitters.reserve(parts - 1);
+  double cum = 0;
+  std::size_t i = 0;
+  for (std::size_t j = 1; j < parts; ++j) {
+    const double target = total * static_cast<double>(j) /
+                          static_cast<double>(parts);
+    while (i + 1 < sorted_samples.size() &&
+           cum + sorted_samples[i].weight < target) {
+      cum += sorted_samples[i].weight;
+      ++i;
+    }
+    splitters.push_back(sorted_samples[i].key);
+  }
+  return splitters;
+}
+
+}  // namespace pgxd::sort

@@ -1,0 +1,527 @@
+// TimSort (Peters, 2002) — the local sort used by Spark's sortByKey path,
+// which the paper uses as its baseline's in-node sort and whose
+// "performance optimizations ... are also applied in the proposed sorting
+// technique" (Sec. II).
+//
+// This is a faithful port of the classic implementation: natural-run
+// detection with descending-run reversal, binary-insertion extension of
+// short runs to minrun, the merge-collapse stack invariants (including the
+// 2015 corrected two-deep check), and galloping merges with the adaptive
+// min-gallop threshold.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace pgxd::sort {
+
+struct TimSortStats {
+  std::size_t runs_found = 0;
+  std::size_t merges = 0;
+  std::size_t galloped_elements = 0;
+};
+
+namespace detail {
+
+template <typename T, typename Comp>
+class TimSorter {
+ public:
+  static constexpr std::size_t kMinMerge = 64;
+  static constexpr std::size_t kInitialMinGallop = 7;
+
+  TimSorter(std::span<T> data, Comp comp) : a_(data), comp_(comp) {}
+
+  TimSortStats sort() {
+    const std::size_t n = a_.size();
+    if (n < 2) return stats_;
+
+    if (n < kMinMerge) {
+      // Tiny array: one run, extended by binary insertion.
+      const std::size_t run = count_run_and_make_ascending(0, n);
+      binary_insertion_sort(0, n, run);
+      stats_.runs_found = 1;
+      return stats_;
+    }
+
+    const std::size_t min_run = compute_min_run(n);
+    std::size_t lo = 0;
+    std::size_t remaining = n;
+    do {
+      std::size_t run_len = count_run_and_make_ascending(lo, a_.size());
+      ++stats_.runs_found;
+      if (run_len < min_run) {
+        const std::size_t force = std::min(remaining, min_run);
+        binary_insertion_sort(lo, lo + force, run_len);
+        run_len = force;
+      }
+      push_run(lo, run_len);
+      merge_collapse();
+      lo += run_len;
+      remaining -= run_len;
+    } while (remaining != 0);
+
+    merge_force_collapse();
+    PGXD_CHECK(stack_.size() == 1);
+    return stats_;
+  }
+
+  // minrun: a power-of-two-friendly run target in [kMinMerge/2, kMinMerge].
+  static std::size_t compute_min_run(std::size_t n) {
+    std::size_t r = 0;
+    while (n >= kMinMerge) {
+      r |= n & 1;
+      n >>= 1;
+    }
+    return n + r;
+  }
+
+ private:
+  struct Run {
+    std::size_t base;
+    std::size_t len;
+  };
+
+  bool lt(const T& x, const T& y) const { return comp_(x, y); }
+  bool le(const T& x, const T& y) const { return !comp_(y, x); }
+
+  // Finds the natural run starting at lo; reverses strictly-descending runs
+  // (strictness preserves stability). Returns the run length.
+  std::size_t count_run_and_make_ascending(std::size_t lo, std::size_t hi) {
+    PGXD_DCHECK(lo < hi);
+    std::size_t i = lo + 1;
+    if (i == hi) return 1;
+    if (lt(a_[i], a_[lo])) {
+      // Strictly descending.
+      while (i + 1 < hi && lt(a_[i + 1], a_[i])) ++i;
+      std::reverse(a_.begin() + lo, a_.begin() + i + 1);
+    } else {
+      // Non-descending.
+      while (i + 1 < hi && le(a_[i], a_[i + 1])) ++i;
+    }
+    return i + 1 - lo;
+  }
+
+  // Sorts [lo, hi) given that [lo, lo+start) is already sorted.
+  void binary_insertion_sort(std::size_t lo, std::size_t hi, std::size_t start) {
+    if (start == 0) start = 1;
+    for (std::size_t i = lo + start; i < hi; ++i) {
+      T pivot = std::move(a_[i]);
+      // Find insertion point: leftmost position where pivot < a_[pos] keeps
+      // stability (insert after equals).
+      std::size_t left = lo, right = i;
+      while (left < right) {
+        const std::size_t mid = left + (right - left) / 2;
+        if (lt(pivot, a_[mid]))
+          right = mid;
+        else
+          left = mid + 1;
+      }
+      for (std::size_t j = i; j > left; --j) a_[j] = std::move(a_[j - 1]);
+      a_[left] = std::move(pivot);
+    }
+  }
+
+  void push_run(std::size_t base, std::size_t len) {
+    stack_.push_back(Run{base, len});
+  }
+
+  // Maintains the TimSort stack invariants (with the corrected check that
+  // also inspects the run four-from-top, per the 2015 de Gouw et al. fix):
+  //   len[i-2] > len[i-1] + len[i]   and   len[i-1] > len[i]
+  void merge_collapse() {
+    while (stack_.size() > 1) {
+      std::size_t n = stack_.size() - 2;
+      const bool violation_a =
+          (n >= 1 && stack_[n - 1].len <= stack_[n].len + stack_[n + 1].len) ||
+          (n >= 2 && stack_[n - 2].len <= stack_[n - 1].len + stack_[n].len);
+      if (violation_a) {
+        if (stack_[n - 1].len < stack_[n + 1].len) --n;
+        merge_at(n);
+      } else if (stack_[n].len <= stack_[n + 1].len) {
+        merge_at(n);
+      } else {
+        break;
+      }
+    }
+  }
+
+  void merge_force_collapse() {
+    while (stack_.size() > 1) {
+      std::size_t n = stack_.size() - 2;
+      if (n >= 1 && stack_[n - 1].len < stack_[n + 1].len) --n;
+      merge_at(n);
+    }
+  }
+
+  // Locates key in sorted [base, base+len) returning the *leftmost* index at
+  // which key could be inserted; gallops outward from `hint`.
+  std::size_t gallop_left(const T& key, std::size_t base, std::size_t len,
+                          std::size_t hint) {
+    PGXD_DCHECK(hint < len);
+    std::size_t last_ofs = 0, ofs = 1;
+    if (lt(a_[base + hint], key)) {
+      // Gallop right until a_[base+hint+last_ofs] < key <= a_[base+hint+ofs].
+      const std::size_t max_ofs = len - hint;
+      while (ofs < max_ofs && lt(a_[base + hint + ofs], key)) {
+        last_ofs = ofs;
+        ofs = ofs * 2 + 1;
+      }
+      if (ofs > max_ofs) ofs = max_ofs;
+      last_ofs += hint;
+      ofs += hint;
+    } else {
+      // Gallop left until a_[base+hint-ofs] < key <= a_[base+hint-last_ofs].
+      const std::size_t max_ofs = hint + 1;
+      while (ofs < max_ofs && !lt(a_[base + hint - ofs], key)) {
+        last_ofs = ofs;
+        ofs = ofs * 2 + 1;
+      }
+      if (ofs > max_ofs) ofs = max_ofs;
+      const std::size_t tmp = last_ofs;
+      last_ofs = hint + 1 >= ofs ? hint + 1 - ofs : 0;
+      ofs = hint - tmp;
+    }
+    PGXD_DCHECK(last_ofs <= ofs && ofs <= len);
+    // Binary search in (last_ofs, ofs].
+    std::size_t lo = last_ofs, hi = ofs;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (lt(a_[base + mid], key))
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    return lo;
+  }
+
+  // Like gallop_left but returns the *rightmost* insertion point.
+  std::size_t gallop_right(const T& key, std::size_t base, std::size_t len,
+                           std::size_t hint) {
+    PGXD_DCHECK(hint < len);
+    std::size_t last_ofs = 0, ofs = 1;
+    if (lt(key, a_[base + hint])) {
+      // Gallop left until a_[base+hint-ofs] <= key < a_[base+hint-last_ofs].
+      const std::size_t max_ofs = hint + 1;
+      while (ofs < max_ofs && lt(key, a_[base + hint - ofs])) {
+        last_ofs = ofs;
+        ofs = ofs * 2 + 1;
+      }
+      if (ofs > max_ofs) ofs = max_ofs;
+      const std::size_t tmp = last_ofs;
+      last_ofs = hint + 1 >= ofs ? hint + 1 - ofs : 0;
+      ofs = hint - tmp;
+    } else {
+      // Gallop right until a_[base+hint+last_ofs] <= key < a_[base+hint+ofs].
+      const std::size_t max_ofs = len - hint;
+      while (ofs < max_ofs && !lt(key, a_[base + hint + ofs])) {
+        last_ofs = ofs;
+        ofs = ofs * 2 + 1;
+      }
+      if (ofs > max_ofs) ofs = max_ofs;
+      last_ofs += hint;
+      ofs += hint;
+    }
+    PGXD_DCHECK(last_ofs <= ofs && ofs <= len);
+    std::size_t lo = last_ofs, hi = ofs;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (lt(key, a_[base + mid]))
+        hi = mid;
+      else
+        lo = mid + 1;
+    }
+    return lo;
+  }
+
+  void merge_at(std::size_t i) {
+    PGXD_DCHECK(i + 1 < stack_.size());
+    std::size_t base1 = stack_[i].base;
+    std::size_t len1 = stack_[i].len;
+    const std::size_t base2 = stack_[i + 1].base;
+    std::size_t len2 = stack_[i + 1].len;
+    PGXD_DCHECK(base1 + len1 == base2);
+    ++stats_.merges;
+
+    stack_[i].len = len1 + len2;
+    if (i + 2 < stack_.size()) stack_[i + 1] = stack_[i + 2];
+    stack_.pop_back();
+
+    // Skip elements of run1 already in place (all <= first of run2).
+    const std::size_t k = gallop_right(a_[base2], base1, len1, 0);
+    base1 += k;
+    len1 -= k;
+    if (len1 == 0) return;
+
+    // Skip elements of run2 already in place (all >= last of run1).
+    len2 = gallop_left(a_[base1 + len1 - 1], base2, len2, len2 - 1);
+    if (len2 == 0) return;
+
+    if (len1 <= len2)
+      merge_lo(base1, len1, base2, len2);
+    else
+      merge_hi(base1, len1, base2, len2);
+  }
+
+  // Merge with run1 copied to temp; fills left-to-right. len1 <= len2.
+  void merge_lo(std::size_t base1, std::size_t len1, std::size_t base2,
+                std::size_t len2) {
+    tmp_.assign(std::make_move_iterator(a_.begin() + base1),
+                std::make_move_iterator(a_.begin() + base1 + len1));
+    std::size_t c1 = 0;          // index into tmp_
+    std::size_t c2 = base2;      // index into a_
+    std::size_t dest = base1;
+
+    a_[dest++] = std::move(a_[c2++]);
+    if (--len2 == 0) {
+      std::move(tmp_.begin() + c1, tmp_.begin() + c1 + len1, a_.begin() + dest);
+      return;
+    }
+    if (len1 == 1) {
+      std::move(a_.begin() + c2, a_.begin() + c2 + len2, a_.begin() + dest);
+      a_[dest + len2] = std::move(tmp_[c1]);
+      return;
+    }
+
+    std::size_t min_gallop = min_gallop_;
+    for (;;) {
+      std::size_t count1 = 0, count2 = 0;
+      // One-pair-at-a-time mode.
+      bool broke_out = false;
+      do {
+        if (lt(a_[c2], tmp_[c1])) {
+          a_[dest++] = std::move(a_[c2++]);
+          count2++;
+          count1 = 0;
+          if (--len2 == 0) {
+            broke_out = true;
+            break;
+          }
+        } else {
+          a_[dest++] = std::move(tmp_[c1++]);
+          count1++;
+          count2 = 0;
+          if (--len1 == 1) {
+            broke_out = true;
+            break;
+          }
+        }
+      } while ((count1 | count2) < min_gallop);
+      if (broke_out) break;
+
+      // Galloping mode.
+      do {
+        count1 = gallop_right_in(a_[c2], tmp_, c1, len1);
+        if (count1 != 0) {
+          std::move(tmp_.begin() + c1, tmp_.begin() + c1 + count1,
+                    a_.begin() + dest);
+          dest += count1;
+          c1 += count1;
+          len1 -= count1;
+          stats_.galloped_elements += count1;
+          if (len1 <= 1) {
+            broke_out = true;
+            break;
+          }
+        }
+        a_[dest++] = std::move(a_[c2++]);
+        if (--len2 == 0) {
+          broke_out = true;
+          break;
+        }
+
+        count2 = gallop_left(tmp_[c1], c2, len2, 0);
+        if (count2 != 0) {
+          std::move(a_.begin() + c2, a_.begin() + c2 + count2, a_.begin() + dest);
+          dest += count2;
+          c2 += count2;
+          len2 -= count2;
+          stats_.galloped_elements += count2;
+          if (len2 == 0) {
+            broke_out = true;
+            break;
+          }
+        }
+        a_[dest++] = std::move(tmp_[c1++]);
+        if (--len1 == 1) {
+          broke_out = true;
+          break;
+        }
+        if (min_gallop > 0) --min_gallop;
+      } while (count1 >= kInitialMinGallop || count2 >= kInitialMinGallop);
+      if (broke_out) break;
+      min_gallop += 2;  // penalize leaving gallop mode
+    }
+    min_gallop_ = std::max<std::size_t>(min_gallop, 1);
+
+    if (len1 == 1) {
+      std::move(a_.begin() + c2, a_.begin() + c2 + len2, a_.begin() + dest);
+      a_[dest + len2] = std::move(tmp_[c1]);
+    } else if (len1 > 1) {
+      PGXD_DCHECK(len2 == 0);
+      std::move(tmp_.begin() + c1, tmp_.begin() + c1 + len1, a_.begin() + dest);
+    }
+  }
+
+  // Merge with run2 copied to temp; fills right-to-left. len1 > len2.
+  void merge_hi(std::size_t base1, std::size_t len1, std::size_t base2,
+                std::size_t len2) {
+    tmp_.assign(std::make_move_iterator(a_.begin() + base2),
+                std::make_move_iterator(a_.begin() + base2 + len2));
+    std::ptrdiff_t c1 = static_cast<std::ptrdiff_t>(base1 + len1 - 1);
+    std::ptrdiff_t c2 = static_cast<std::ptrdiff_t>(len2 - 1);  // into tmp_
+    std::ptrdiff_t dest = static_cast<std::ptrdiff_t>(base2 + len2 - 1);
+
+    a_[dest--] = std::move(a_[c1--]);
+    if (--len1 == 0) {
+      std::move(tmp_.begin(), tmp_.begin() + len2,
+                a_.begin() + (dest - static_cast<std::ptrdiff_t>(len2) + 1));
+      return;
+    }
+    if (len2 == 1) {
+      dest -= static_cast<std::ptrdiff_t>(len1);
+      c1 -= static_cast<std::ptrdiff_t>(len1);
+      std::move_backward(a_.begin() + c1 + 1, a_.begin() + c1 + 1 + len1,
+                         a_.begin() + dest + 1 + len1);
+      a_[dest] = std::move(tmp_[c2]);
+      return;
+    }
+
+    std::size_t min_gallop = min_gallop_;
+    const std::size_t run1_base = base1;
+    for (;;) {
+      std::size_t count1 = 0, count2 = 0;
+      bool broke_out = false;
+      do {
+        if (lt(tmp_[c2], a_[c1])) {
+          a_[dest--] = std::move(a_[c1--]);
+          count1++;
+          count2 = 0;
+          if (--len1 == 0) {
+            broke_out = true;
+            break;
+          }
+        } else {
+          a_[dest--] = std::move(tmp_[c2--]);
+          count2++;
+          count1 = 0;
+          if (--len2 == 1) {
+            broke_out = true;
+            break;
+          }
+        }
+      } while ((count1 | count2) < min_gallop);
+      if (broke_out) break;
+
+      do {
+        count1 = len1 - gallop_right(tmp_[c2], run1_base, len1, len1 - 1);
+        if (count1 != 0) {
+          dest -= static_cast<std::ptrdiff_t>(count1);
+          c1 -= static_cast<std::ptrdiff_t>(count1);
+          std::move_backward(a_.begin() + c1 + 1, a_.begin() + c1 + 1 + count1,
+                             a_.begin() + dest + 1 + count1);
+          len1 -= count1;
+          stats_.galloped_elements += count1;
+          if (len1 == 0) {
+            broke_out = true;
+            break;
+          }
+        }
+        a_[dest--] = std::move(tmp_[c2--]);
+        if (--len2 == 1) {
+          broke_out = true;
+          break;
+        }
+
+        count2 = len2 - gallop_left_in(a_[c1], tmp_, 0, len2);
+        if (count2 != 0) {
+          dest -= static_cast<std::ptrdiff_t>(count2);
+          c2 -= static_cast<std::ptrdiff_t>(count2);
+          std::move(tmp_.begin() + c2 + 1, tmp_.begin() + c2 + 1 + count2,
+                    a_.begin() + dest + 1);
+          len2 -= count2;
+          stats_.galloped_elements += count2;
+          if (len2 <= 1) {
+            broke_out = true;
+            break;
+          }
+        }
+        a_[dest--] = std::move(a_[c1--]);
+        if (--len1 == 0) {
+          broke_out = true;
+          break;
+        }
+        if (min_gallop > 0) --min_gallop;
+      } while (count1 >= kInitialMinGallop || count2 >= kInitialMinGallop);
+      if (broke_out) break;
+      min_gallop += 2;
+    }
+    min_gallop_ = std::max<std::size_t>(min_gallop, 1);
+
+    if (len2 == 1) {
+      PGXD_DCHECK(len1 > 0);
+      dest -= static_cast<std::ptrdiff_t>(len1);
+      c1 -= static_cast<std::ptrdiff_t>(len1);
+      std::move_backward(a_.begin() + c1 + 1, a_.begin() + c1 + 1 + len1,
+                         a_.begin() + dest + 1 + len1);
+      a_[dest] = std::move(tmp_[c2]);
+    } else if (len2 > 1) {
+      PGXD_DCHECK(len1 == 0);
+      std::move(tmp_.begin(), tmp_.begin() + len2,
+                a_.begin() + (dest - static_cast<std::ptrdiff_t>(len2) + 1));
+    }
+  }
+
+  // Binary searches over the temp buffer (merge_lo's run1 / merge_hi's run2
+  // live there). Plain binary search: the asymptotic win of galloping comes
+  // from the main-array searches, and the temp run is the shorter side by
+  // construction. Returns the offset *within* [base, base+len).
+  std::size_t gallop_right_in(const T& key, const std::vector<T>& buf,
+                              std::size_t base, std::size_t len) {
+    std::size_t lo = base, hi = base + len;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (lt(key, buf[mid]))
+        hi = mid;
+      else
+        lo = mid + 1;
+    }
+    return lo - base;
+  }
+
+  std::size_t gallop_left_in(const T& key, const std::vector<T>& buf,
+                             std::size_t base, std::size_t len) {
+    std::size_t lo = base, hi = base + len;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (lt(buf[mid], key))
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    return lo - base;
+  }
+
+  std::span<T> a_;
+  Comp comp_;
+  std::vector<T> tmp_;
+  std::vector<Run> stack_;
+  std::size_t min_gallop_ = kInitialMinGallop;
+  TimSortStats stats_;
+};
+
+}  // namespace detail
+
+// Stable adaptive mergesort; O(n) on already-sorted or reverse-sorted input.
+template <typename T, typename Comp = std::less<T>>
+TimSortStats timsort(std::span<T> data, Comp comp = {}) {
+  detail::TimSorter<T, Comp> sorter(data, comp);
+  return sorter.sort();
+}
+
+}  // namespace pgxd::sort

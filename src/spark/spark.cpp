@@ -1,0 +1,14 @@
+#include "spark/sort_by_key.hpp"
+
+namespace pgxd::spark {
+
+const char* stage_name(Stage s) {
+  switch (s) {
+    case Stage::kSample: return "sample";
+    case Stage::kMapShuffle: return "map/shuffle-write";
+    case Stage::kReduceSort: return "reduce/fetch+sort";
+  }
+  return "unknown";
+}
+
+}  // namespace pgxd::spark

@@ -1,0 +1,260 @@
+// Tests for the distributed graph analytics (PageRank, connected
+// components) against single-node references.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "analytics/components.hpp"
+#include "analytics/pagerank.hpp"
+#include "analytics/sssp.hpp"
+#include "graph/generate.hpp"
+
+namespace pgxd::analytics {
+namespace {
+
+rt::ClusterConfig cluster_cfg(std::size_t machines) {
+  rt::ClusterConfig cfg;
+  cfg.machines = machines;
+  cfg.threads_per_machine = 4;
+  return cfg;
+}
+
+graph::CsrGraph test_graph(std::uint64_t seed = 7) {
+  graph::RmatConfig gcfg;
+  gcfg.num_vertices = 1 << 10;
+  gcfg.num_edges = 1 << 13;
+  gcfg.seed = seed;
+  return graph::rmat_graph(gcfg);
+}
+
+// --- PageRank ----------------------------------------------------------------
+
+class PageRankSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PageRankSweep, MatchesReferenceAcrossMachineCounts) {
+  const std::size_t machines = GetParam();
+  const auto g = test_graph();
+  const auto part = graph::partition_by_edges(g, machines);
+  rt::Cluster<PageRankMsg> cluster(cluster_cfg(machines));
+  DistributedPageRank pr(cluster, g, part);
+  const auto ranks = pr.run();
+  const auto expect = pagerank_reference(g, 20, 0.85);
+  ASSERT_EQ(ranks.size(), expect.size());
+  for (std::size_t v = 0; v < ranks.size(); ++v)
+    ASSERT_NEAR(ranks[v], expect[v], 1e-12) << "vertex " << v;
+  EXPECT_GT(pr.stats().total_time, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, PageRankSweep,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(PageRank, RanksSumToOneIsh) {
+  const auto g = test_graph(9);
+  const auto part = graph::partition_by_edges(g, 4);
+  rt::Cluster<PageRankMsg> cluster(cluster_cfg(4));
+  DistributedPageRank pr(cluster, g, part);
+  const auto ranks = pr.run();
+  double sum = 0;
+  for (auto r : ranks) sum += r;
+  // Dangling vertices leak rank mass; with RMAT's many zero-degree
+  // vertices the sum settles below 1 but must stay positive and bounded.
+  EXPECT_GT(sum, 0.1);
+  EXPECT_LE(sum, 1.0 + 1e-9);
+}
+
+TEST(PageRank, HubsOutrankLeaves) {
+  const auto g = test_graph(11);
+  const auto part = graph::partition_by_edges(g, 4);
+  rt::Cluster<PageRankMsg> cluster(cluster_cfg(4));
+  DistributedPageRank pr(cluster, g, part);
+  const auto ranks = pr.run();
+  const auto in_deg = g.in_degrees();
+  // The most-cited vertex must outrank any zero-in-degree vertex.
+  const auto hub = static_cast<std::size_t>(
+      std::max_element(in_deg.begin(), in_deg.end()) - in_deg.begin());
+  for (std::size_t v = 0; v < ranks.size(); ++v)
+    if (in_deg[v] == 0) {
+      ASSERT_GT(ranks[hub], ranks[v]);
+    }
+}
+
+TEST(PageRank, GhostAggregationReducesWireBytes) {
+  const auto g = test_graph(13);
+  const auto part = graph::partition_by_edges(g, 8);
+
+  PageRankConfig with, without;
+  without.ghost_aggregation = false;
+  with.iterations = without.iterations = 5;
+
+  rt::Cluster<PageRankMsg> c1(cluster_cfg(8));
+  DistributedPageRank pr1(c1, g, part, with);
+  const auto r1 = pr1.run();
+  rt::Cluster<PageRankMsg> c2(cluster_cfg(8));
+  DistributedPageRank pr2(c2, g, part, without);
+  const auto r2 = pr2.run();
+
+  // Same math, different message shapes.
+  for (std::size_t v = 0; v < r1.size(); ++v) ASSERT_NEAR(r1[v], r2[v], 1e-12);
+  // RMAT crossing edges greatly outnumber distinct ghost targets.
+  EXPECT_LT(pr1.stats().wire_bytes, pr2.stats().wire_bytes / 2);
+  EXPECT_LE(pr1.stats().total_time, pr2.stats().total_time);
+}
+
+TEST(PageRank, DeterministicAcrossRuns) {
+  const auto g = test_graph(15);
+  const auto part = graph::partition_by_edges(g, 4);
+  auto run_once = [&] {
+    rt::Cluster<PageRankMsg> cluster(cluster_cfg(4));
+    DistributedPageRank pr(cluster, g, part);
+    pr.run();
+    return pr.stats().total_time;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+// --- Connected components ------------------------------------------------------
+
+class ComponentsSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ComponentsSweep, MatchesReference) {
+  const std::size_t machines = GetParam();
+  const auto g = test_graph(21);
+  const auto part = graph::partition_by_edges(g, machines);
+  rt::Cluster<ComponentsMsg> cluster(cluster_cfg(machines));
+  DistributedComponents cc(cluster, g, part);
+  const auto labels = cc.run();
+  const auto expect = components_reference(g);
+  ASSERT_EQ(labels.size(), expect.size());
+  for (std::size_t v = 0; v < labels.size(); ++v)
+    ASSERT_EQ(labels[v], expect[v]) << "vertex " << v;
+  EXPECT_GT(cc.stats().rounds, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, ComponentsSweep,
+                         ::testing::Values(1, 3, 8));
+
+TEST(Components, DisconnectedCliques) {
+  // Three disjoint triangles plus isolated vertices.
+  std::vector<graph::Edge> edges;
+  for (graph::VertexId base : {0u, 3u, 6u}) {
+    edges.push_back({base, base + 1});
+    edges.push_back({base + 1, base + 2});
+    edges.push_back({base + 2, base});
+  }
+  const auto g = graph::CsrGraph::from_edges(12, edges);
+  const auto part = graph::partition_by_edges(g, 4);
+  rt::Cluster<ComponentsMsg> cluster(cluster_cfg(4));
+  DistributedComponents cc(cluster, g, part);
+  const auto labels = cc.run();
+  EXPECT_EQ(labels[0], 0u);
+  EXPECT_EQ(labels[1], 0u);
+  EXPECT_EQ(labels[2], 0u);
+  EXPECT_EQ(labels[4], 3u);
+  EXPECT_EQ(labels[8], 6u);
+  for (graph::VertexId v = 9; v < 12; ++v) EXPECT_EQ(labels[v], v);
+}
+
+TEST(Components, PathSpanningAllMachines) {
+  // A single path 0-1-2-...-63: the worst case for label propagation
+  // (labels travel one hop per round) across machine boundaries.
+  std::vector<graph::Edge> edges;
+  for (graph::VertexId v = 0; v + 1 < 64; ++v) edges.push_back({v, v + 1});
+  const auto g = graph::CsrGraph::from_edges(64, edges);
+  const auto part = graph::partition_by_edges(g, 8);
+  rt::Cluster<ComponentsMsg> cluster(cluster_cfg(8));
+  DistributedComponents cc(cluster, g, part);
+  const auto labels = cc.run();
+  for (auto l : labels) EXPECT_EQ(l, 0u);
+  EXPECT_GT(cc.stats().rounds, 2u);  // needed multiple propagation rounds
+}
+
+TEST(Components, ConvergesEarlyOnTinyGraph) {
+  std::vector<graph::Edge> edges{{0, 1}};
+  const auto g = graph::CsrGraph::from_edges(4, edges);
+  const auto part = graph::partition_by_edges(g, 2);
+  rt::Cluster<ComponentsMsg> cluster(cluster_cfg(2));
+  DistributedComponents cc(cluster, g, part, /*max_rounds=*/100);
+  const auto labels = cc.run();
+  EXPECT_EQ(labels[1], 0u);
+  EXPECT_LT(cc.stats().rounds, 5u);
+}
+
+TEST(Components, LabelsArePartitionRepresentatives) {
+  // Every label must be the minimum vertex id of its component; labels form
+  // an equivalence relation consistent with the edges.
+  const auto g = test_graph(23);
+  const auto part = graph::partition_by_edges(g, 6);
+  rt::Cluster<ComponentsMsg> cluster(cluster_cfg(6));
+  DistributedComponents cc(cluster, g, part);
+  const auto labels = cc.run();
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_LE(labels[v], v);
+    EXPECT_EQ(labels[labels[v]], labels[v]);  // representative is fixed point
+    for (const auto u : g.neighbors(v)) EXPECT_EQ(labels[u], labels[v]);
+  }
+}
+
+// --- Single-source shortest paths ---------------------------------------------
+
+class SsspSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SsspSweep, MatchesDijkstra) {
+  const std::size_t machines = GetParam();
+  const auto g = test_graph(31);
+  const auto part = graph::partition_by_edges(g, machines);
+  rt::Cluster<SsspMsg> cluster(cluster_cfg(machines));
+  DistributedSssp sssp(cluster, g, part, /*source=*/0);
+  const auto dist = sssp.run();
+  const auto expect = sssp_reference(g, 0);
+  ASSERT_EQ(dist.size(), expect.size());
+  for (std::size_t v = 0; v < dist.size(); ++v)
+    ASSERT_EQ(dist[v], expect[v]) << "vertex " << v;
+  EXPECT_GT(sssp.stats().rounds, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, SsspSweep, ::testing::Values(1, 4, 8));
+
+TEST(Sssp, SourceIsZeroAndUnreachableStaysMax) {
+  std::vector<graph::Edge> edges{{0, 1}, {1, 2}};
+  const auto g = graph::CsrGraph::from_edges(5, edges);
+  const auto part = graph::partition_by_edges(g, 2);
+  rt::Cluster<SsspMsg> cluster(cluster_cfg(2));
+  DistributedSssp sssp(cluster, g, part, 0);
+  const auto dist = sssp.run();
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], edge_weight(0, 1));
+  EXPECT_EQ(dist[2], edge_weight(0, 1) + edge_weight(1, 2));
+  EXPECT_EQ(dist[3], kUnreachable);
+  EXPECT_EQ(dist[4], kUnreachable);
+}
+
+TEST(Sssp, PathGraphNeedsManyRounds) {
+  // Relaxations travel one hop per round across machine boundaries.
+  std::vector<graph::Edge> edges;
+  for (graph::VertexId v = 0; v + 1 < 48; ++v) edges.push_back({v, v + 1});
+  const auto g = graph::CsrGraph::from_edges(48, edges);
+  const auto part = graph::partition_by_edges(g, 6);
+  rt::Cluster<SsspMsg> cluster(cluster_cfg(6));
+  DistributedSssp sssp(cluster, g, part, 0);
+  const auto dist = sssp.run();
+  const auto expect = sssp_reference(g, 0);
+  EXPECT_EQ(dist, expect);
+  EXPECT_GT(sssp.stats().rounds, 3u);
+}
+
+TEST(Sssp, EdgeWeightsDeterministicAndBounded) {
+  for (graph::VertexId s = 0; s < 20; ++s)
+    for (graph::VertexId d = 0; d < 20; ++d) {
+      const auto w = edge_weight(s, d);
+      EXPECT_GE(w, 1u);
+      EXPECT_LE(w, 100u);
+      EXPECT_EQ(w, edge_weight(s, d));
+    }
+}
+
+}  // namespace
+}  // namespace pgxd::analytics

@@ -1,0 +1,196 @@
+// Tests for the Fig. 2 balanced merge handler and the full local parallel
+// sort (paper step 1).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "sort/balanced_merge.hpp"
+#include "sort/parallel_sort.hpp"
+
+namespace pgxd::sort {
+namespace {
+
+TEST(MergeSchedule, EightRunsReproducesFigure2) {
+  const auto levels = merge_schedule(8);
+  ASSERT_EQ(levels.size(), 3u);
+  // Level 0: (0,1) (2,3) (4,5) (6,7) — threads 1->0, 3->2, 5->4, 7->6.
+  ASSERT_EQ(levels[0].size(), 4u);
+  for (std::size_t m = 0; m < 4; ++m) {
+    EXPECT_EQ(levels[0][m].left, 2 * m);
+    EXPECT_EQ(levels[0][m].right, 2 * m + 1);
+  }
+  // Level 1 (indices within the 4 surviving runs): (0,1) (2,3), i.e. the
+  // original threads 2->0 and 6->4.
+  ASSERT_EQ(levels[1].size(), 2u);
+  // Level 2: final merge, original thread 4 -> 0.
+  ASSERT_EQ(levels[2].size(), 1u);
+}
+
+TEST(MergeSchedule, OddRunCounts) {
+  const auto levels = merge_schedule(5);
+  // 5 -> 3 -> 2 -> 1: three levels with 2, 1, 1 merges.
+  ASSERT_EQ(levels.size(), 3u);
+  EXPECT_EQ(levels[0].size(), 2u);
+  EXPECT_EQ(levels[1].size(), 1u);
+  EXPECT_EQ(levels[2].size(), 1u);
+}
+
+TEST(MergeSchedule, TrivialCounts) {
+  EXPECT_TRUE(merge_schedule(0).empty());
+  EXPECT_TRUE(merge_schedule(1).empty());
+  EXPECT_EQ(merge_schedule(2).size(), 1u);
+}
+
+std::vector<std::uint64_t> make_runs(std::size_t runs, std::size_t per_run,
+                                     std::uint64_t seed,
+                                     std::vector<std::size_t>& bounds) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> data;
+  bounds.clear();
+  bounds.push_back(0);
+  for (std::size_t r = 0; r < runs; ++r) {
+    std::vector<std::uint64_t> run(per_run);
+    for (auto& x : run) x = rng.bounded(1 << 20);
+    std::sort(run.begin(), run.end());
+    data.insert(data.end(), run.begin(), run.end());
+    bounds.push_back(data.size());
+  }
+  return data;
+}
+
+class BalancedMergeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BalancedMergeSweep, SortsForAnyRunCount) {
+  const std::size_t runs = GetParam();
+  std::vector<std::size_t> bounds;
+  auto data = make_runs(runs, 1000, runs + 5, bounds);
+  auto expect = data;
+  std::sort(expect.begin(), expect.end());
+  std::vector<std::uint64_t> scratch;
+  const auto stats = balanced_merge(data, bounds, scratch);
+  EXPECT_EQ(data, expect);
+  if (runs > 1) {
+    EXPECT_EQ(stats.levels, merge_schedule(runs).size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RunCounts, BalancedMergeSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 16, 31, 32));
+
+TEST(BalancedMerge, UnevenRunSizes) {
+  std::vector<std::size_t> bounds{0};
+  std::vector<std::uint64_t> data;
+  Rng rng(77);
+  for (std::size_t len : {0u, 5u, 10000u, 1u, 300u, 0u, 42u}) {
+    std::vector<std::uint64_t> run(len);
+    for (auto& x : run) x = rng.next();
+    std::sort(run.begin(), run.end());
+    data.insert(data.end(), run.begin(), run.end());
+    bounds.push_back(data.size());
+  }
+  auto expect = data;
+  std::sort(expect.begin(), expect.end());
+  std::vector<std::uint64_t> scratch;
+  balanced_merge(data, bounds, scratch);
+  EXPECT_EQ(data, expect);
+}
+
+TEST(BalancedMerge, WithThreadPoolMatchesSequential) {
+  ThreadPool pool(4);
+  std::vector<std::size_t> bounds;
+  auto data = make_runs(8, 50000, 9, bounds);
+  auto seq = data;
+  auto seq_bounds = bounds;
+  std::vector<std::uint64_t> scratch1, scratch2;
+  balanced_merge(seq, seq_bounds, scratch1);
+  balanced_merge(data, bounds, scratch2, std::less<std::uint64_t>{}, &pool);
+  EXPECT_EQ(data, seq);
+}
+
+TEST(BalancedMerge, ElementsMovedCountsLevelTraffic) {
+  // 4 equal runs of 100: every level moves all 400 elements.
+  std::vector<std::size_t> bounds;
+  auto data = make_runs(4, 100, 13, bounds);
+  std::vector<std::uint64_t> scratch;
+  const auto stats = balanced_merge(data, bounds, scratch);
+  EXPECT_EQ(stats.levels, 2u);
+  EXPECT_EQ(stats.merges, 3u);
+  EXPECT_EQ(stats.elements_moved, 800u);
+}
+
+TEST(BalancedMerge, EmptyAndSingleRun) {
+  std::vector<std::uint64_t> data;
+  std::vector<std::uint64_t> scratch;
+  auto stats = balanced_merge(data, {0}, scratch);
+  EXPECT_EQ(stats.levels, 0u);
+
+  data = {5, 6, 7};
+  stats = balanced_merge(data, {0, 3}, scratch);
+  EXPECT_EQ(stats.levels, 0u);
+  EXPECT_EQ(data, (std::vector<std::uint64_t>{5, 6, 7}));
+}
+
+// --- parallel_sort -----------------------------------------------------------
+
+class ParallelSortSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(ParallelSortSweep, MatchesStdSortAcrossChunkCounts) {
+  const auto [n, chunks] = GetParam();
+  Rng rng(n + chunks);
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = rng.bounded(10000);
+  auto expect = v;
+  std::sort(expect.begin(), expect.end());
+  ThreadPool pool(3);
+  std::vector<std::uint64_t> scratch;
+  const auto stats =
+      parallel_sort(v, scratch, std::less<std::uint64_t>{}, &pool, chunks);
+  EXPECT_EQ(v, expect);
+  EXPECT_GE(stats.chunks, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndChunks, ParallelSortSweep,
+    ::testing::Combine(::testing::Values(0, 1, 100, 1000, 100000),
+                       ::testing::Values(1, 2, 7, 8, 32)));
+
+TEST(ParallelSort, ChunkCountClampedForTinyInputs) {
+  std::vector<std::uint64_t> v{3, 1, 2};
+  std::vector<std::uint64_t> scratch;
+  const auto stats = parallel_sort(v, scratch, std::less<std::uint64_t>{},
+                                   nullptr, 32);
+  EXPECT_EQ(v, (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(stats.chunks, 1u);
+}
+
+TEST(ParallelSort, EqualChunksProduceBalancedTree) {
+  // 8 equal chunks: the Fig. 2 tree has 3 levels and 7 merges.
+  std::vector<std::uint64_t> v(80000);
+  Rng rng(31);
+  for (auto& x : v) x = rng.next();
+  std::vector<std::uint64_t> scratch;
+  const auto stats =
+      parallel_sort(v, scratch, std::less<std::uint64_t>{}, nullptr, 8);
+  EXPECT_EQ(stats.chunks, 8u);
+  EXPECT_EQ(stats.merge.levels, 3u);
+  EXPECT_EQ(stats.merge.merges, 7u);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(ParallelSort, DuplicateHeavyInput) {
+  std::vector<std::uint64_t> v(50000);
+  Rng rng(37);
+  for (auto& x : v) x = rng.bounded(3);
+  ThreadPool pool(2);
+  std::vector<std::uint64_t> scratch;
+  parallel_sort(v, scratch, std::less<std::uint64_t>{}, &pool, 8);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+}  // namespace
+}  // namespace pgxd::sort

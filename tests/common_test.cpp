@@ -1,0 +1,244 @@
+// Tests for the common toolkit: RNG determinism and distribution sanity,
+// statistics, histograms, balance reports, CLI parsing, tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace pgxd {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, (1ULL << 40)}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.bounded(bound), bound);
+  }
+}
+
+TEST(Rng, BoundedIsRoughlyUniform) {
+  Rng rng(99);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.bounded(kBound)];
+  for (auto c : counts) {
+    EXPECT_GT(c, kSamples / 10 * 0.9);
+    EXPECT_LT(c, kSamples / 10 * 1.1);
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  RunningStats st;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    st.add(u);
+  }
+  EXPECT_NEAR(st.mean(), 0.5, 0.01);
+  EXPECT_NEAR(st.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(11);
+  RunningStats st;
+  for (int i = 0; i < 200000; ++i) st.add(rng.normal(10.0, 3.0));
+  EXPECT_NEAR(st.mean(), 10.0, 0.05);
+  EXPECT_NEAR(st.stddev(), 3.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(13);
+  RunningStats st;
+  for (int i = 0; i < 200000; ++i) st.add(rng.exponential(2.0));
+  EXPECT_NEAR(st.mean(), 0.5, 0.01);
+  EXPECT_GE(st.min(), 0.0);
+}
+
+TEST(DeriveSeed, IndependentStreams) {
+  const auto s0 = derive_seed(42, 0);
+  const auto s1 = derive_seed(42, 1);
+  EXPECT_NE(s0, s1);
+  EXPECT_EQ(derive_seed(42, 0), s0);  // stable
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats st;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) st.add(x);
+  EXPECT_EQ(st.count(), 4u);
+  EXPECT_DOUBLE_EQ(st.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(st.variance(), 1.25);
+  EXPECT_DOUBLE_EQ(st.min(), 1.0);
+  EXPECT_DOUBLE_EQ(st.max(), 4.0);
+  EXPECT_DOUBLE_EQ(st.sum(), 10.0);
+}
+
+TEST(RunningStats, MergeMatchesCombinedStream) {
+  Rng rng(3);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal();
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(5.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 5.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> xs{4.0, 1.0, 3.0, 2.0};  // sorted: 1 2 3 4
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 1.75);
+}
+
+TEST(Percentile, SingleElement) {
+  const std::vector<double> xs{7.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 7.0);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);   // clamps into bucket 0
+  h.add(0.5);
+  h.add(9.9);
+  h.add(25.0);   // clamps into last bucket
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(1), 4.0);
+}
+
+TEST(Histogram, RenderShowsBars) {
+  Histogram h(0.0, 2.0, 2);
+  h.add_n(0.5, 10);
+  h.add_n(1.5, 5);
+  const std::string s = h.render(10);
+  EXPECT_NE(s.find("##########"), std::string::npos);
+  EXPECT_NE(s.find("#####"), std::string::npos);
+}
+
+TEST(BalanceReport, PerfectBalance) {
+  const std::vector<std::uint64_t> sizes{100, 100, 100, 100};
+  const auto r = balance_report(sizes);
+  EXPECT_EQ(r.total, 400u);
+  EXPECT_DOUBLE_EQ(r.imbalance, 1.0);
+  EXPECT_EQ(r.spread, 0u);
+  EXPECT_DOUBLE_EQ(r.min_share, 0.25);
+  EXPECT_DOUBLE_EQ(r.max_share, 0.25);
+}
+
+TEST(BalanceReport, SkewDetected) {
+  const std::vector<std::uint64_t> sizes{10, 10, 10, 70};
+  const auto r = balance_report(sizes);
+  EXPECT_DOUBLE_EQ(r.imbalance, 70.0 / 25.0);
+  EXPECT_EQ(r.spread, 60u);
+  EXPECT_DOUBLE_EQ(r.max_share, 0.7);
+}
+
+TEST(BalanceReport, EmptyInput) {
+  const auto r = balance_report({});
+  EXPECT_EQ(r.partitions, 0u);
+  EXPECT_EQ(r.total, 0u);
+}
+
+TEST(Flags, ParsesTypedValues) {
+  Flags f;
+  f.declare("n", "element count", "1024");
+  f.declare("ratio", "a ratio", "0.5");
+  f.declare("name", "a name", "x");
+  f.declare("on", "a bool", "false");
+  const char* argv[] = {"prog", "--n=4096", "--ratio", "2.5", "--on=true", "pos"};
+  f.parse(6, const_cast<char**>(argv));
+  EXPECT_EQ(f.u64("n"), 4096u);
+  EXPECT_DOUBLE_EQ(f.f64("ratio"), 2.5);
+  EXPECT_EQ(f.str("name"), "x");  // default preserved
+  EXPECT_TRUE(f.boolean("on"));
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "pos");
+  EXPECT_TRUE(f.has("n"));
+  EXPECT_FALSE(f.has("name"));
+}
+
+TEST(Flags, ListParsing) {
+  Flags f;
+  f.declare("procs", "processor counts", "8,16,32");
+  const char* argv[] = {"prog"};
+  f.parse(1, const_cast<char**>(argv));
+  EXPECT_EQ(f.u64_list("procs"), (std::vector<std::uint64_t>{8, 16, 32}));
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"proc", "share"});
+  t.row({"0", "9.998%"});
+  t.row({"1", "10.002%"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("| proc |"), std::string::npos);
+  EXPECT_NE(s.find("9.998%"), std::string::npos);
+  // Separator lines appear 3 times (top, below header, bottom).
+  std::size_t seps = 0, pos = 0;
+  while ((pos = s.find("\n+", pos)) != std::string::npos) {
+    ++seps;
+    pos += 2;
+  }
+  EXPECT_EQ(seps + (s.rfind("+", 0) == 0 ? 1 : 0), 3u);
+}
+
+TEST(Table, RenderCsv) {
+  Table t({"name", "value"});
+  t.row({"plain", "1"});
+  t.row({"with,comma", "2"});
+  t.row({"with\"quote", "3"});
+  const std::string csv = t.render_csv();
+  EXPECT_EQ(csv,
+            "name,value\n"
+            "plain,1\n"
+            "\"with,comma\",2\n"
+            "\"with\"\"quote\",3\n");
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt_pct(0.09998), "9.998%");
+  EXPECT_EQ(Table::fmt_bytes(256 * 1024), "256.00 KiB");
+  EXPECT_EQ(Table::fmt_bytes(3), "3 B");
+  EXPECT_EQ(Table::fmt_time_s(1.5, 2), "1.50 s");
+}
+
+}  // namespace
+}  // namespace pgxd

@@ -1,0 +1,184 @@
+// Tests for the Fig. 4 input generators: determinism, sharding, and the
+// statistical shape of each distribution (including the duplication
+// behaviour the investigator experiments rely on).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "datagen/distributions.hpp"
+
+namespace pgxd::gen {
+namespace {
+
+std::size_t distinct_count(const std::vector<std::uint64_t>& v) {
+  return std::unordered_set<std::uint64_t>(v.begin(), v.end()).size();
+}
+
+TEST(Distributions, Names) {
+  EXPECT_STREQ(name(Distribution::kUniform), "uniform");
+  EXPECT_STREQ(name(Distribution::kNormal), "normal");
+  EXPECT_STREQ(name(Distribution::kRightSkewed), "right-skewed");
+  EXPECT_STREQ(name(Distribution::kExponential), "exponential");
+}
+
+class GeneratorSweep : public ::testing::TestWithParam<Distribution> {};
+
+TEST_P(GeneratorSweep, DeterministicAndInDomain) {
+  DataGenConfig cfg;
+  cfg.dist = GetParam();
+  cfg.domain = 10000;
+  cfg.seed = 7;
+  const auto a = generate(cfg, 5000);
+  const auto b = generate(cfg, 5000);
+  EXPECT_EQ(a, b);
+  for (auto k : a) EXPECT_LT(k, cfg.domain);
+}
+
+TEST_P(GeneratorSweep, ShardsAreIndependentOfMachineCount) {
+  DataGenConfig cfg;
+  cfg.dist = GetParam();
+  cfg.seed = 11;
+  // Shard r of p machines is always derived from stream r.
+  const auto s0 = generate_shard(cfg, 1000, 4, 2);
+  const auto s1 = generate_shard(cfg, 1000, 4, 2);
+  EXPECT_EQ(s0, s1);
+  const auto other = generate_shard(cfg, 1000, 4, 3);
+  EXPECT_NE(s0, other);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, GeneratorSweep,
+                         ::testing::ValuesIn(kAllDistributions));
+
+TEST(Distributions, ShardSizesSumToTotal) {
+  for (std::size_t total : {0u, 1u, 999u, 1000u, 1001u}) {
+    for (std::size_t p : {1u, 3u, 8u}) {
+      std::size_t sum = 0;
+      for (std::size_t r = 0; r < p; ++r) sum += shard_size(total, p, r);
+      EXPECT_EQ(sum, total);
+      // Sizes differ by at most one.
+      EXPECT_LE(shard_size(total, p, 0), shard_size(total, p, p - 1) + 1);
+    }
+  }
+}
+
+TEST(Distributions, UniformIsFlat) {
+  DataGenConfig cfg;
+  cfg.dist = Distribution::kUniform;
+  cfg.domain = 100;
+  const auto v = generate(cfg, 100000);
+  Histogram h(0, 100, 10);
+  for (auto k : v) h.add(static_cast<double>(k));
+  for (std::size_t b = 0; b < 10; ++b) {
+    EXPECT_GT(h.count(b), 9000u);
+    EXPECT_LT(h.count(b), 11000u);
+  }
+}
+
+TEST(Distributions, NormalIsCenteredAndSymmetric) {
+  DataGenConfig cfg;
+  cfg.dist = Distribution::kNormal;
+  cfg.domain = 1 << 20;
+  const auto v = generate(cfg, 100000);
+  RunningStats st;
+  for (auto k : v) st.add(static_cast<double>(k));
+  const double mid = static_cast<double>(cfg.domain) / 2;
+  EXPECT_NEAR(st.mean(), mid, mid * 0.01);
+  EXPECT_NEAR(st.stddev(), static_cast<double>(cfg.domain) / 8,
+              static_cast<double>(cfg.domain) / 8 * 0.05);
+}
+
+TEST(Distributions, RightSkewedMassAtLowValues) {
+  DataGenConfig cfg;
+  cfg.dist = Distribution::kRightSkewed;
+  cfg.domain = 1 << 20;
+  const auto v = generate(cfg, 100000);
+  std::size_t low = 0;
+  for (auto k : v) low += (k < cfg.domain / 10);
+  // u^6: P(X < domain/10) = (0.1)^(1/6) ~ 0.68.
+  EXPECT_GT(low, 60000u);
+  // Mean far below the midpoint.
+  RunningStats st;
+  for (auto k : v) st.add(static_cast<double>(k));
+  EXPECT_LT(st.mean(), static_cast<double>(cfg.domain) / 4);
+}
+
+TEST(Distributions, ExponentialTailDecays) {
+  DataGenConfig cfg;
+  cfg.dist = Distribution::kExponential;
+  cfg.domain = 1 << 20;
+  const auto v = generate(cfg, 100000);
+  RunningStats st;
+  for (auto k : v) st.add(static_cast<double>(k));
+  // Mean ~ domain/16.
+  EXPECT_NEAR(st.mean(), static_cast<double>(cfg.domain) / 16,
+              static_cast<double>(cfg.domain) / 16 * 0.05);
+  std::size_t above_half = 0;
+  for (auto k : v) above_half += (k > cfg.domain / 2);
+  EXPECT_LT(above_half, 100u);  // e^-8 tail
+}
+
+TEST(Distributions, SkewedDistributionsDuplicateHeavily) {
+  // At a small domain, right-skewed and exponential concentrate onto far
+  // fewer distinct values than uniform — the duplication property the
+  // investigator experiments need.
+  constexpr std::size_t kN = 50000;
+  DataGenConfig cfg;
+  cfg.domain = 1 << 16;
+  cfg.dist = Distribution::kUniform;
+  const auto uni = distinct_count(generate(cfg, kN));
+  cfg.dist = Distribution::kRightSkewed;
+  const auto skew = distinct_count(generate(cfg, kN));
+  cfg.dist = Distribution::kExponential;
+  const auto expo = distinct_count(generate(cfg, kN));
+  EXPECT_LT(skew, uni / 2);
+  EXPECT_LT(expo, uni / 2);
+}
+
+TEST(AlmostSorted, FullySortedAtZeroDisorder) {
+  const auto v = generate_almost_sorted(10000, 1 << 20, 0.0, 5);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+  EXPECT_EQ(v.front(), 0u);
+  EXPECT_EQ(v.back(), (1u << 20) - 1);
+}
+
+TEST(AlmostSorted, DisorderScalesInversions) {
+  auto count_descents = [](const std::vector<std::uint64_t>& v) {
+    std::size_t d = 0;
+    for (std::size_t i = 1; i < v.size(); ++i) d += (v[i] < v[i - 1]);
+    return d;
+  };
+  const auto mild = generate_almost_sorted(50000, 1 << 20, 0.01, 5);
+  const auto heavy = generate_almost_sorted(50000, 1 << 20, 0.5, 5);
+  EXPECT_GT(count_descents(mild), 0u);
+  EXPECT_GT(count_descents(heavy), count_descents(mild) * 5);
+}
+
+TEST(AlmostSorted, ShardsTileTheGlobalSequence) {
+  const auto full = generate_almost_sorted(999, 1 << 16, 0.1, 9);
+  std::vector<std::uint64_t> stitched;
+  for (std::size_t r = 0; r < 4; ++r) {
+    const auto shard = almost_sorted_shard(999, 1 << 16, 0.1, 9, 4, r);
+    stitched.insert(stitched.end(), shard.begin(), shard.end());
+  }
+  EXPECT_EQ(stitched, full);
+}
+
+TEST(AlmostSorted, EmptyAndSingle) {
+  EXPECT_TRUE(generate_almost_sorted(0, 100, 0.5, 1).empty());
+  const auto one = generate_almost_sorted(1, 100, 0.0, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 0u);
+}
+
+TEST(Distributions, SeedChangesOutput) {
+  DataGenConfig a, b;
+  a.seed = 1;
+  b.seed = 2;
+  EXPECT_NE(generate(a, 100), generate(b, 100));
+}
+
+}  // namespace
+}  // namespace pgxd::gen

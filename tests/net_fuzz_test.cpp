@@ -1,0 +1,133 @@
+// Randomized property tests for the network model: byte conservation,
+// per-pair FIFO delivery, latency lower bounds, and replay determinism
+// under random traffic patterns.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/fabric.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sync.hpp"
+
+namespace pgxd::net {
+namespace {
+
+struct Delivery {
+  std::size_t src;
+  std::size_t dst;
+  std::uint64_t bytes;
+  std::uint64_t seq;       // per-(src,dst) sequence number
+  sim::SimTime sent_at;
+  sim::SimTime arrived_at;
+};
+
+struct FuzzNet {
+  sim::Simulator sim;
+  std::unique_ptr<Fabric> fabric;
+  std::vector<Delivery> deliveries;
+};
+
+sim::Task<void> traffic_source(FuzzNet& w, std::size_t src,
+                               std::uint64_t seed, int messages,
+                               std::vector<std::uint64_t>& seq_counter) {
+  Rng rng(seed);
+  const std::size_t p = w.fabric->machines();
+  for (int i = 0; i < messages; ++i) {
+    co_await w.sim.delay(static_cast<sim::SimTime>(rng.bounded(2000)));
+    std::size_t dst = rng.bounded(p - 1);
+    if (dst >= src) ++dst;  // never self
+    const std::uint64_t bytes = 1 + rng.bounded(8192);
+    const std::uint64_t seq = seq_counter[src * p + dst]++;
+    const sim::SimTime sent = w.sim.now();
+    co_await w.fabric->transfer(src, dst, bytes);
+    w.deliveries.push_back(Delivery{src, dst, bytes, seq, sent, w.sim.now()});
+  }
+}
+
+struct NetFuzzOutcome {
+  std::uint64_t checksum = 0;
+  sim::SimTime end = 0;
+};
+
+NetFuzzOutcome run_net_fuzz(std::uint64_t seed, std::size_t machines,
+                            int msgs_per_machine) {
+  FuzzNet w;
+  NetConfig cfg;
+  cfg.link_bandwidth_Bps = 1e9;
+  cfg.latency = 150;
+  cfg.per_message_overhead = 20;
+  w.fabric = std::make_unique<Fabric>(w.sim, machines, cfg);
+  std::vector<std::uint64_t> seq_counter(machines * machines, 0);
+  for (std::size_t s = 0; s < machines; ++s)
+    w.sim.spawn(traffic_source(w, s, derive_seed(seed, s), msgs_per_machine,
+                               seq_counter));
+  w.sim.run();
+  EXPECT_TRUE(w.sim.quiescent());
+
+  // Conservation: fabric counters match observed deliveries.
+  std::uint64_t sent_bytes = 0;
+  std::map<std::size_t, std::uint64_t> recv_per_machine;
+  for (const auto& d : w.deliveries) {
+    sent_bytes += d.bytes;
+    recv_per_machine[d.dst] += d.bytes;
+  }
+  EXPECT_EQ(w.fabric->total_bytes(), sent_bytes);
+  EXPECT_EQ(w.fabric->total_messages(), w.deliveries.size());
+  for (std::size_t m = 0; m < machines; ++m)
+    EXPECT_EQ(w.fabric->stats(m).bytes_received, recv_per_machine[m]);
+
+  // Latency lower bound: no message beats the uncontended duration.
+  for (const auto& d : w.deliveries)
+    EXPECT_GE(d.arrived_at - d.sent_at, w.fabric->uncontended_duration(d.bytes));
+
+  NetFuzzOutcome out;
+  out.end = w.sim.now();
+  for (const auto& d : w.deliveries)
+    out.checksum = out.checksum * 1099511628211ULL +
+                   (d.src ^ (d.dst << 8) ^ d.bytes ^
+                    static_cast<std::uint64_t>(d.arrived_at));
+  return out;
+}
+
+class NetFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NetFuzz, ConservesBytesAndRespectsLatency) {
+  run_net_fuzz(GetParam(), 6, 40);
+}
+
+TEST_P(NetFuzz, ReplaysIdentically) {
+  const auto a = run_net_fuzz(GetParam(), 5, 25);
+  const auto b = run_net_fuzz(GetParam(), 5, 25);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(a.end, b.end);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetFuzz, ::testing::Values(2, 9, 16, 25, 36));
+
+// FIFO per (src, dst): a sender's back-to-back messages to one destination
+// arrive in order even under heavy cross traffic. (traffic_source awaits
+// each transfer, so per-source FIFO is trivial there; this test posts
+// *concurrent* transfers from one source.)
+sim::Task<void> burst(FuzzNet& w, std::size_t src, std::size_t dst, int count,
+                      std::vector<int>& arrivals, int id) {
+  co_await w.fabric->transfer(src, dst, 500 + static_cast<std::uint64_t>(id));
+  arrivals.push_back(id);
+  (void)count;
+}
+
+TEST(NetFuzz, ConcurrentTransfersFromOneSourceArriveInIssueOrder) {
+  FuzzNet w;
+  w.fabric = std::make_unique<Fabric>(w.sim, 2, NetConfig{});
+  std::vector<int> arrivals;
+  for (int id = 0; id < 10; ++id)
+    w.sim.spawn(burst(w, 0, 1, 10, arrivals, id));
+  w.sim.run();
+  ASSERT_EQ(arrivals.size(), 10u);
+  for (int id = 0; id < 10; ++id) EXPECT_EQ(arrivals[id], id);
+}
+
+}  // namespace
+}  // namespace pgxd::net

@@ -1,0 +1,412 @@
+// Tests for the discrete-event simulation kernel: deterministic ordering,
+// coroutine task composition, and the synchronization primitives.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace pgxd::sim {
+namespace {
+
+TEST(SimTime, Conversions) {
+  EXPECT_EQ(from_seconds(1.0), kSecond);
+  EXPECT_EQ(from_seconds(0.5), 500 * kMillisecond);
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_EQ(from_micros(2.5), 2500);
+}
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_TRUE(sim.quiescent());
+  EXPECT_EQ(sim.run(), 0);
+}
+
+Task<void> delay_then_record(Simulator& sim, SimTime dt,
+                             std::vector<SimTime>& log) {
+  co_await sim.delay(dt);
+  log.push_back(sim.now());
+}
+
+TEST(Simulator, DelayAdvancesClock) {
+  Simulator sim;
+  std::vector<SimTime> log;
+  sim.spawn(delay_then_record(sim, 150, log));
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], 150);
+  EXPECT_EQ(sim.now(), 150);
+  EXPECT_TRUE(sim.quiescent());
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<SimTime> log;
+  sim.spawn(delay_then_record(sim, 300, log));
+  sim.spawn(delay_then_record(sim, 100, log));
+  sim.spawn(delay_then_record(sim, 200, log));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<SimTime>{100, 200, 300}));
+}
+
+Task<void> tagged_delay(Simulator& sim, SimTime dt, int tag,
+                        std::vector<int>& log) {
+  co_await sim.delay(dt);
+  log.push_back(tag);
+}
+
+TEST(Simulator, SimultaneousEventsKeepSpawnOrder) {
+  // Equal timestamps break ties by insertion sequence — determinism.
+  Simulator sim;
+  std::vector<int> log;
+  for (int i = 0; i < 8; ++i) sim.spawn(tagged_delay(sim, 50, i, log));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  std::vector<SimTime> log;
+  sim.spawn(delay_then_record(sim, 100, log));
+  sim.spawn(delay_then_record(sim, 500, log));
+  sim.run_until(250);
+  EXPECT_EQ(log, (std::vector<SimTime>{100}));
+  EXPECT_EQ(sim.now(), 250);
+  EXPECT_FALSE(sim.quiescent());
+  sim.run();
+  EXPECT_EQ(log, (std::vector<SimTime>{100, 500}));
+  EXPECT_TRUE(sim.quiescent());
+}
+
+Task<int> compute_answer(Simulator& sim) {
+  co_await sim.delay(10);
+  co_return 42;
+}
+
+Task<void> await_child(Simulator& sim, int& out) {
+  out = co_await compute_answer(sim);
+}
+
+TEST(Task, AwaitChildPropagatesValue) {
+  Simulator sim;
+  int out = 0;
+  sim.spawn(await_child(sim, out));
+  sim.run();
+  EXPECT_EQ(out, 42);
+  EXPECT_EQ(sim.now(), 10);
+}
+
+Task<int> thrower(Simulator& sim) {
+  co_await sim.delay(5);
+  throw std::runtime_error("boom");
+}
+
+Task<void> catcher(Simulator& sim, std::string& msg) {
+  try {
+    (void)co_await thrower(sim);
+  } catch (const std::runtime_error& e) {
+    msg = e.what();
+  }
+}
+
+TEST(Task, ExceptionPropagatesToAwaiter) {
+  Simulator sim;
+  std::string msg;
+  sim.spawn(catcher(sim, msg));
+  sim.run();
+  EXPECT_EQ(msg, "boom");
+}
+
+Task<void> nested_inner(Simulator& sim, std::vector<int>& log) {
+  co_await sim.delay(1);
+  log.push_back(2);
+}
+
+Task<void> nested_outer(Simulator& sim, std::vector<int>& log) {
+  log.push_back(1);
+  co_await nested_inner(sim, log);
+  log.push_back(3);
+}
+
+TEST(Task, NestedAwaitRunsInOrder) {
+  Simulator sim;
+  std::vector<int> log;
+  sim.spawn(nested_outer(sim, log));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+// --- Event ---------------------------------------------------------------
+
+Task<void> wait_event(Simulator& sim, Event& ev, std::vector<SimTime>& log) {
+  co_await ev.wait();
+  log.push_back(sim.now());
+}
+
+Task<void> fire_at(Simulator& sim, Event& ev, SimTime at) {
+  co_await sim.delay(at);
+  ev.fire();
+}
+
+TEST(Event, ReleasesAllWaitersAtFireTime) {
+  Simulator sim;
+  Event ev(sim);
+  std::vector<SimTime> log;
+  sim.spawn(wait_event(sim, ev, log));
+  sim.spawn(wait_event(sim, ev, log));
+  sim.spawn(wait_event(sim, ev, log));
+  sim.spawn(fire_at(sim, ev, 77));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<SimTime>{77, 77, 77}));
+}
+
+TEST(Event, WaitAfterFireDoesNotBlock) {
+  Simulator sim;
+  Event ev(sim);
+  std::vector<SimTime> log;
+  ev.fire();
+  sim.spawn(wait_event(sim, ev, log));
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], 0);
+  EXPECT_TRUE(sim.quiescent());
+}
+
+// --- Barrier ---------------------------------------------------------------
+
+Task<void> barrier_rounds(Simulator& sim, Barrier& bar, int id, SimTime work,
+                          std::vector<std::pair<int, SimTime>>& log,
+                          int rounds) {
+  for (int r = 0; r < rounds; ++r) {
+    co_await sim.delay(work * (id + 1));
+    co_await bar.arrive();
+    log.emplace_back(id, sim.now());
+  }
+}
+
+TEST(Barrier, AllParticipantsLeaveAtSlowestArrival) {
+  Simulator sim;
+  Barrier bar(sim, 3);
+  std::vector<std::pair<int, SimTime>> log;
+  for (int id = 0; id < 3; ++id)
+    sim.spawn(barrier_rounds(sim, bar, id, 10, log, 1));
+  sim.run();
+  ASSERT_EQ(log.size(), 3u);
+  for (const auto& [id, t] : log) EXPECT_EQ(t, 30) << "participant " << id;
+  EXPECT_TRUE(sim.quiescent());
+}
+
+TEST(Barrier, ReusableAcrossRounds) {
+  // An early re-arrival in round 2 must not sneak through the barrier.
+  Simulator sim;
+  Barrier bar(sim, 3);
+  std::vector<std::pair<int, SimTime>> log;
+  for (int id = 0; id < 3; ++id)
+    sim.spawn(barrier_rounds(sim, bar, id, 10, log, 3));
+  sim.run();
+  ASSERT_EQ(log.size(), 9u);
+  // Round r completes when the slowest participant (id 2, 30ns/round) arrives.
+  for (std::size_t i = 0; i < log.size(); ++i)
+    EXPECT_EQ(log[i].second, 30 * (1 + static_cast<SimTime>(i / 3)));
+  EXPECT_TRUE(sim.quiescent());
+}
+
+TEST(Barrier, SingleParticipantNeverBlocks) {
+  Simulator sim;
+  Barrier bar(sim, 1);
+  std::vector<std::pair<int, SimTime>> log;
+  sim.spawn(barrier_rounds(sim, bar, 0, 5, log, 4));
+  sim.run();
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_TRUE(sim.quiescent());
+}
+
+// --- Semaphore ---------------------------------------------------------------
+
+Task<void> hold_permit(Simulator& sim, Semaphore& sem, SimTime hold, int id,
+                       std::vector<std::pair<int, SimTime>>& acquired) {
+  co_await sem.acquire();
+  acquired.emplace_back(id, sim.now());
+  co_await sim.delay(hold);
+  sem.release();
+}
+
+TEST(Semaphore, SerializesWhenSinglePermit) {
+  Simulator sim;
+  Semaphore sem(sim, 1);
+  std::vector<std::pair<int, SimTime>> acquired;
+  for (int id = 0; id < 4; ++id) sim.spawn(hold_permit(sim, sem, 100, id, acquired));
+  sim.run();
+  ASSERT_EQ(acquired.size(), 4u);
+  // FIFO: each acquires exactly when the previous holder releases.
+  for (int id = 0; id < 4; ++id) {
+    EXPECT_EQ(acquired[id].first, id);
+    EXPECT_EQ(acquired[id].second, 100 * id);
+  }
+  EXPECT_EQ(sem.available(), 1u);
+}
+
+Task<void> late_thief(Simulator& sim, Semaphore& sem, SimTime at,
+                      std::vector<std::pair<int, SimTime>>& acquired) {
+  co_await sim.delay(at);
+  co_await sem.acquire();
+  acquired.emplace_back(99, sim.now());
+  sem.release();
+}
+
+TEST(Semaphore, ReleasedPermitGoesToQueuedWaiterNotNewcomer) {
+  Simulator sim;
+  Semaphore sem(sim, 1);
+  std::vector<std::pair<int, SimTime>> acquired;
+  sim.spawn(hold_permit(sim, sem, 100, 0, acquired));  // holds [0, 100)
+  sim.spawn(hold_permit(sim, sem, 50, 1, acquired));   // queued at t=0
+  sim.spawn(late_thief(sim, sem, 100, acquired));      // arrives as 0 releases
+  sim.run();
+  ASSERT_EQ(acquired.size(), 3u);
+  EXPECT_EQ(acquired[1].first, 1) << "queued waiter must beat the newcomer";
+  EXPECT_EQ(acquired[1].second, 100);
+  EXPECT_EQ(acquired[2].first, 99);
+  EXPECT_EQ(acquired[2].second, 150);
+}
+
+TEST(Semaphore, MultiplePermitsAdmitConcurrently) {
+  Simulator sim;
+  Semaphore sem(sim, 3);
+  std::vector<std::pair<int, SimTime>> acquired;
+  for (int id = 0; id < 5; ++id) sim.spawn(hold_permit(sim, sem, 100, id, acquired));
+  sim.run();
+  ASSERT_EQ(acquired.size(), 5u);
+  EXPECT_EQ(acquired[0].second, 0);
+  EXPECT_EQ(acquired[1].second, 0);
+  EXPECT_EQ(acquired[2].second, 0);
+  EXPECT_EQ(acquired[3].second, 100);
+  EXPECT_EQ(acquired[4].second, 100);
+}
+
+// --- Channel ---------------------------------------------------------------
+
+Task<void> producer(Simulator& sim, Channel<int>& ch, int count, SimTime gap) {
+  for (int i = 0; i < count; ++i) {
+    co_await sim.delay(gap);
+    ch.send(i);
+  }
+}
+
+Task<void> consumer(Simulator& sim, Channel<int>& ch, int count,
+                    std::vector<std::pair<int, SimTime>>& got) {
+  for (int i = 0; i < count; ++i) {
+    int v = co_await ch.recv();
+    got.emplace_back(v, sim.now());
+  }
+}
+
+TEST(Channel, DeliversInSendOrderAtSendTime) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  std::vector<std::pair<int, SimTime>> got;
+  sim.spawn(consumer(sim, ch, 3, got));
+  sim.spawn(producer(sim, ch, 3, 10));
+  sim.run();
+  ASSERT_EQ(got.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(got[i].first, i);
+    EXPECT_EQ(got[i].second, 10 * (i + 1));
+  }
+  EXPECT_TRUE(sim.quiescent());
+}
+
+TEST(Channel, BufferedValuesReadableWithoutBlocking) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  ch.send(7);
+  ch.send(8);
+  EXPECT_EQ(ch.size(), 2u);
+  std::vector<std::pair<int, SimTime>> got;
+  sim.spawn(consumer(sim, ch, 2, got));
+  sim.run();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].first, 7);
+  EXPECT_EQ(got[1].first, 8);
+  EXPECT_EQ(got[0].second, 0);
+}
+
+Task<void> single_recv(Simulator& sim, Channel<int>& ch,
+                       std::vector<std::pair<int, SimTime>>& got, SimTime at) {
+  co_await sim.delay(at);
+  int v = co_await ch.recv();
+  got.emplace_back(v, sim.now());
+}
+
+TEST(Channel, QueuedReceiverBeatsNewcomer) {
+  // A value sent while a receiver waits must go to that receiver even if a
+  // second receiver shows up at the same instant.
+  Simulator sim;
+  Channel<int> ch(sim);
+  std::vector<std::pair<int, SimTime>> got;
+  sim.spawn(single_recv(sim, ch, got, 0));    // waits from t=0
+  sim.spawn(producer(sim, ch, 1, 50));        // sends value 0 at t=50
+  sim.spawn(single_recv(sim, ch, got, 50));   // arrives exactly at send time
+  sim.spawn(producer(sim, ch, 1, 60));        // second value at t=60
+  sim.run();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].second, 50);
+  EXPECT_EQ(got[1].second, 60);
+}
+
+TEST(Channel, TryRecvOnlyWhenNoWaiters) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  EXPECT_FALSE(ch.try_recv().has_value());
+  ch.send(5);
+  auto v = ch.try_recv();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 5);
+  EXPECT_FALSE(ch.try_recv().has_value());
+}
+
+// --- Stress: many interacting processes remain deterministic ---------------
+
+Task<void> ring_node(Simulator& sim, Channel<int>& in, Channel<int>& out,
+                     int hops, std::vector<int>& log, int id) {
+  for (;;) {
+    int token = co_await in.recv();
+    log.push_back(id);
+    if (token >= hops) co_return;
+    co_await sim.delay(3);
+    out.send(token + 1);
+  }
+}
+
+TEST(Simulator, TokenRingIsDeterministic) {
+  // A token circulates a ring of 5 processes 4 full laps; both runs must
+  // produce the identical visit log and final clock.
+  auto run_once = [](std::vector<int>& log) {
+    Simulator sim;
+    constexpr int kNodes = 5;
+    constexpr int kHops = 20;
+    std::vector<std::unique_ptr<Channel<int>>> chans;
+    for (int i = 0; i < kNodes; ++i)
+      chans.push_back(std::make_unique<Channel<int>>(sim));
+    for (int i = 0; i < kNodes; ++i)
+      sim.spawn(ring_node(sim, *chans[i], *chans[(i + 1) % kNodes], kHops, log, i));
+    chans[0]->send(0);
+    sim.run();
+    return sim.now();
+  };
+  std::vector<int> log1, log2;
+  const SimTime t1 = run_once(log1);
+  const SimTime t2 = run_once(log2);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(log1, log2);
+  EXPECT_EQ(log1.size(), 21u);
+  EXPECT_EQ(t1, 3 * 20);
+}
+
+}  // namespace
+}  // namespace pgxd::sim

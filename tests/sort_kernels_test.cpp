@@ -1,0 +1,310 @@
+// Tests for merge kernels, co-ranking, quicksort, and the thread pool.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "sort/merge.hpp"
+#include "sort/quicksort.hpp"
+#include "sort/samples.hpp"
+
+namespace pgxd::sort {
+namespace {
+
+std::vector<std::uint64_t> random_vec(std::size_t n, std::uint64_t seed,
+                                      std::uint64_t domain = ~0ULL) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = domain == ~0ULL ? rng.next() : rng.bounded(domain);
+  return v;
+}
+
+// --- ThreadPool ------------------------------------------------------------
+
+TEST(ThreadPool, InlineWhenZeroWorkers) {
+  ThreadPool pool(0);
+  int ran = 0;
+  pool.submit([&] { ++ran; });
+  EXPECT_EQ(ran, 1);  // executed synchronously
+}
+
+TEST(ThreadPool, RunAllExecutesEverything) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 100; ++i) tasks.push_back([&] { ++count; });
+  pool.run_all(std::move(tasks));
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, 7, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, 3, [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, WaitIdleAfterManySubmits) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 500; ++i) pool.submit([&] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 500);
+}
+
+// --- merge_into / co_rank ----------------------------------------------------
+
+TEST(MergeInto, BasicMerge) {
+  const std::vector<int> a{1, 3, 5}, b{2, 4, 6};
+  std::vector<int> out(6);
+  merge_into<int>(a, b, out);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(MergeInto, EmptySides) {
+  const std::vector<int> a{1, 2}, empty;
+  std::vector<int> out(2);
+  merge_into<int>(a, empty, out);
+  EXPECT_EQ(out, a);
+  merge_into<int>(empty, a, out);
+  EXPECT_EQ(out, a);
+}
+
+struct Tagged {
+  int key;
+  int source;  // 0 = from a, 1 = from b
+};
+struct TaggedLess {
+  bool operator()(const Tagged& x, const Tagged& y) const { return x.key < y.key; }
+};
+
+TEST(MergeInto, StableOnTies) {
+  const std::vector<Tagged> a{{1, 0}, {2, 0}, {2, 0}};
+  const std::vector<Tagged> b{{1, 1}, {2, 1}, {3, 1}};
+  std::vector<Tagged> out(6);
+  merge_into<Tagged, TaggedLess>(a, b, out, {});
+  // Within equal keys, all a-elements precede all b-elements.
+  EXPECT_EQ(out[0].source, 0);  // 1 from a
+  EXPECT_EQ(out[1].source, 1);  // 1 from b
+  EXPECT_EQ(out[2].source, 0);  // 2 from a
+  EXPECT_EQ(out[3].source, 0);  // 2 from a
+  EXPECT_EQ(out[4].source, 1);  // 2 from b
+  EXPECT_EQ(out[5].source, 1);  // 3 from b
+}
+
+TEST(CoRank, SplitsMatchSequentialMergePrefix) {
+  // Property: for every k, the multiset a[0..i) ∪ b[0..j) equals the first k
+  // elements of the merged output.
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    auto a = random_vec(97, seed, 50);        // heavy duplication
+    auto b = random_vec(55, seed + 10, 50);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    std::vector<std::uint64_t> merged(a.size() + b.size());
+    merge_into<std::uint64_t>(a, b, merged);
+    for (std::size_t k = 0; k <= merged.size(); ++k) {
+      const std::size_t i = co_rank<std::uint64_t>(k, a, b);
+      const std::size_t j = k - i;
+      ASSERT_LE(i, a.size());
+      ASSERT_LE(j, b.size());
+      std::vector<std::uint64_t> prefix(a.begin(), a.begin() + i);
+      prefix.insert(prefix.end(), b.begin(), b.begin() + j);
+      std::sort(prefix.begin(), prefix.end());
+      std::vector<std::uint64_t> expect(merged.begin(), merged.begin() + k);
+      std::sort(expect.begin(), expect.end());
+      ASSERT_EQ(prefix, expect) << "k=" << k << " seed=" << seed;
+    }
+  }
+}
+
+TEST(CoRank, AllEqualElements) {
+  const std::vector<int> a(10, 7), b(6, 7);
+  for (std::size_t k = 0; k <= 16; ++k) {
+    const std::size_t i = co_rank<int>(k, a, b);
+    // Stability: take everything possible from a first.
+    EXPECT_EQ(i, std::min<std::size_t>(k, 10));
+  }
+}
+
+TEST(CoRank, DisjointRanges) {
+  const std::vector<int> a{1, 2, 3}, b{10, 11};
+  EXPECT_EQ(co_rank<int>(2, a, b), 2u);
+  EXPECT_EQ(co_rank<int>(3, a, b), 3u);
+  EXPECT_EQ(co_rank<int>(4, a, b), 3u);
+  // And reversed: all of b sorts before a.
+  const std::vector<int> c{10, 11}, d{1, 2};
+  EXPECT_EQ(co_rank<int>(2, c, d), 0u);
+}
+
+class ParallelMergeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ParallelMergeSweep, MatchesSequentialMerge) {
+  const std::size_t n = GetParam();
+  ThreadPool pool(3);
+  auto a = random_vec(n, 42 + n, 1000);
+  auto b = random_vec(n * 2 / 3 + 1, 77 + n, 1000);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  std::vector<std::uint64_t> expect(a.size() + b.size()), got(a.size() + b.size());
+  merge_into<std::uint64_t>(a, b, expect);
+  parallel_merge<std::uint64_t>(a, b, got, {}, &pool, 5);
+  EXPECT_EQ(got, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ParallelMergeSweep,
+                         ::testing::Values(0, 1, 2, 10, 100, 4096, 10000, 50000));
+
+// --- quicksort ------------------------------------------------------------
+
+class QuicksortSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(QuicksortSweep, MatchesStdSort) {
+  auto v = random_vec(GetParam(), 11 + GetParam());
+  auto expect = v;
+  std::sort(expect.begin(), expect.end());
+  quicksort(std::span<std::uint64_t>(v));
+  EXPECT_EQ(v, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, QuicksortSweep,
+                         ::testing::Values(0, 1, 2, 3, 10, 24, 25, 100, 1000,
+                                           65536));
+
+TEST(Quicksort, AdversarialPatterns) {
+  // Sorted, reverse-sorted, all-equal, organ pipe, few distinct values.
+  std::vector<std::vector<std::uint64_t>> inputs;
+  std::vector<std::uint64_t> v(5000);
+  std::iota(v.begin(), v.end(), 0);
+  inputs.push_back(v);
+  std::reverse(v.begin(), v.end());
+  inputs.push_back(v);
+  inputs.push_back(std::vector<std::uint64_t>(5000, 42));
+  std::vector<std::uint64_t> pipe;
+  for (std::uint64_t i = 0; i < 2500; ++i) pipe.push_back(i);
+  for (std::uint64_t i = 2500; i > 0; --i) pipe.push_back(i);
+  inputs.push_back(pipe);
+  inputs.push_back(random_vec(5000, 9, 3));
+  for (auto& in : inputs) {
+    auto expect = in;
+    std::sort(expect.begin(), expect.end());
+    quicksort(std::span<std::uint64_t>(in));
+    EXPECT_EQ(in, expect);
+  }
+}
+
+TEST(Quicksort, CustomComparatorDescending) {
+  auto v = random_vec(1000, 5);
+  quicksort(std::span<std::uint64_t>(v), std::greater<std::uint64_t>{});
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end(), std::greater<std::uint64_t>{}));
+}
+
+TEST(InsertionSort, SmallInputs) {
+  for (std::size_t n : {0u, 1u, 2u, 5u, 23u}) {
+    auto v = random_vec(n, n + 100);
+    auto expect = v;
+    std::sort(expect.begin(), expect.end());
+    insertion_sort(std::span<std::uint64_t>(v));
+    EXPECT_EQ(v, expect);
+  }
+}
+
+// --- sampling ------------------------------------------------------------
+
+TEST(RegularSamples, PositionsAreQuantiles) {
+  std::vector<std::uint64_t> data(100);
+  std::iota(data.begin(), data.end(), 0);
+  const auto s = regular_samples<std::uint64_t>(data, 4);
+  // positions (i+1)*100/5 = 20, 40, 60, 80
+  EXPECT_EQ(s, (std::vector<std::uint64_t>{20, 40, 60, 80}));
+}
+
+TEST(RegularSamples, CountGeSizeReturnsAll) {
+  const std::vector<std::uint64_t> data{3, 5, 9};
+  EXPECT_EQ(regular_samples<std::uint64_t>(data, 10), data);
+  EXPECT_EQ(regular_samples<std::uint64_t>(data, 3), data);
+}
+
+TEST(RegularSamples, SamplesAreSortedSubset) {
+  auto data = random_vec(1000, 21);
+  std::sort(data.begin(), data.end());
+  const auto s = regular_samples<std::uint64_t>(data, 37);
+  EXPECT_EQ(s.size(), 37u);
+  EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+  for (auto x : s)
+    EXPECT_TRUE(std::binary_search(data.begin(), data.end(), x));
+}
+
+TEST(SelectSplitters, CountAndOrder) {
+  std::vector<std::uint64_t> samples(100);
+  std::iota(samples.begin(), samples.end(), 0);
+  const auto sp = select_splitters<std::uint64_t>(samples, 10);
+  EXPECT_EQ(sp.size(), 9u);
+  EXPECT_TRUE(std::is_sorted(sp.begin(), sp.end()));
+  // Splitters sit at the j/10 quantiles.
+  EXPECT_EQ(sp[0], 10u);
+  EXPECT_EQ(sp[8], 90u);
+}
+
+TEST(SelectSplitters, SinglePartition) {
+  const std::vector<std::uint64_t> samples{1, 2, 3};
+  EXPECT_TRUE(select_splitters<std::uint64_t>(samples, 1).empty());
+}
+
+TEST(SelectSplittersWeighted, EqualWeightsMatchUnweighted) {
+  std::vector<std::uint64_t> samples(100);
+  std::iota(samples.begin(), samples.end(), 0);
+  std::vector<WeightedSample<std::uint64_t>> weighted;
+  for (auto s : samples) weighted.push_back({s, 3.0});
+  const auto a = select_splitters<std::uint64_t>(samples, 10);
+  const auto b = select_splitters_weighted<std::uint64_t>(weighted, 10);
+  // Same quantile targets; boundary rounding may differ by one sample.
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t j = 0; j < a.size(); ++j)
+    EXPECT_NEAR(static_cast<double>(a[j]), static_cast<double>(b[j]), 1.0);
+}
+
+TEST(SelectSplittersWeighted, HeavyShardDominatesSplitters) {
+  // Shard A: keys 0..9 with weight 1000 each (a big shard, coarsely
+  // sampled); shard B: keys 1000..1099 with weight 1 each (a tiny shard,
+  // densely sampled). With 2 parts, the median splitter must fall inside
+  // shard A's range, not at the unweighted sample median (~key 1000).
+  std::vector<WeightedSample<std::uint64_t>> pool;
+  for (std::uint64_t k = 0; k < 10; ++k) pool.push_back({k, 1000.0});
+  for (std::uint64_t k = 1000; k < 1100; ++k) pool.push_back({k, 1.0});
+  const auto sp = select_splitters_weighted<std::uint64_t>(pool, 2);
+  ASSERT_EQ(sp.size(), 1u);
+  EXPECT_LT(sp[0], 10u);
+}
+
+TEST(SelectSplittersWeighted, EmptyPoolYieldsDefaults) {
+  const auto sp = select_splitters_weighted<std::uint64_t>({}, 4);
+  EXPECT_EQ(sp, (std::vector<std::uint64_t>{0, 0, 0}));
+}
+
+TEST(SelectSplitters, UniformSamplesGiveUniformSplitters) {
+  // Splitters of a uniform sample pool should be near the true quantiles.
+  auto samples = random_vec(10000, 31, 1000000);
+  std::sort(samples.begin(), samples.end());
+  const auto sp = select_splitters<std::uint64_t>(samples, 8);
+  for (std::size_t j = 0; j < sp.size(); ++j) {
+    const double expected = 1000000.0 * static_cast<double>(j + 1) / 8.0;
+    EXPECT_NEAR(static_cast<double>(sp[j]), expected, 25000.0);
+  }
+}
+
+}  // namespace
+}  // namespace pgxd::sort

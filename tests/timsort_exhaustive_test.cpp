@@ -1,0 +1,128 @@
+// Exhaustive small-input validation of TimSort (and the other kernels):
+// every permutation of n <= 8 distinct elements and every 0/1 sequence of
+// length <= 14 must sort correctly and stably. The 0-1 sequences are the
+// classic comparator-network completeness check; permutations catch
+// index/boundary bugs in run detection and the merge machinery.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "sort/quicksort.hpp"
+#include "sort/radix_sort.hpp"
+#include "sort/timsort.hpp"
+
+namespace pgxd::sort {
+namespace {
+
+TEST(TimsortExhaustive, AllPermutationsUpTo8) {
+  for (std::size_t n = 0; n <= 8; ++n) {
+    std::vector<int> base(n);
+    std::iota(base.begin(), base.end(), 0);
+    std::vector<int> perm = base;
+    do {
+      auto v = perm;
+      timsort(std::span<int>(v));
+      ASSERT_EQ(v, base) << "n=" << n;
+    } while (std::next_permutation(perm.begin(), perm.end()));
+  }
+}
+
+TEST(TimsortExhaustive, AllZeroOneSequencesUpTo14) {
+  for (std::size_t n = 1; n <= 14; ++n) {
+    for (std::uint32_t bits = 0; bits < (1u << n); ++bits) {
+      std::vector<int> v(n);
+      for (std::size_t i = 0; i < n; ++i) v[i] = (bits >> i) & 1;
+      auto expect = v;
+      std::sort(expect.begin(), expect.end());
+      timsort(std::span<int>(v));
+      ASSERT_EQ(v, expect) << "n=" << n << " bits=" << bits;
+    }
+  }
+}
+
+struct Tagged {
+  int key;
+  int tag;
+};
+
+TEST(TimsortExhaustive, StabilityOnAllTaggedZeroOneSequencesUpTo10) {
+  for (std::size_t n = 2; n <= 10; ++n) {
+    for (std::uint32_t bits = 0; bits < (1u << n); ++bits) {
+      std::vector<Tagged> v(n);
+      for (std::size_t i = 0; i < n; ++i)
+        v[i] = Tagged{static_cast<int>((bits >> i) & 1), static_cast<int>(i)};
+      auto expect = v;
+      std::stable_sort(expect.begin(), expect.end(),
+                       [](const Tagged& a, const Tagged& b) {
+                         return a.key < b.key;
+                       });
+      timsort(std::span<Tagged>(v), [](const Tagged& a, const Tagged& b) {
+        return a.key < b.key;
+      });
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(v[i].key, expect[i].key) << "n=" << n << " bits=" << bits;
+        ASSERT_EQ(v[i].tag, expect[i].tag)
+            << "stability broken: n=" << n << " bits=" << bits;
+      }
+    }
+  }
+}
+
+TEST(QuicksortExhaustive, AllPermutationsUpTo8) {
+  for (std::size_t n = 0; n <= 8; ++n) {
+    std::vector<int> base(n);
+    std::iota(base.begin(), base.end(), 0);
+    std::vector<int> perm = base;
+    do {
+      auto v = perm;
+      quicksort(std::span<int>(v));
+      ASSERT_EQ(v, base) << "n=" << n;
+    } while (std::next_permutation(perm.begin(), perm.end()));
+  }
+}
+
+TEST(QuicksortExhaustive, AllZeroOneSequencesUpTo14) {
+  for (std::size_t n = 1; n <= 14; ++n) {
+    for (std::uint32_t bits = 0; bits < (1u << n); ++bits) {
+      std::vector<int> v(n);
+      for (std::size_t i = 0; i < n; ++i) v[i] = (bits >> i) & 1;
+      auto expect = v;
+      std::sort(expect.begin(), expect.end());
+      quicksort(std::span<int>(v));
+      ASSERT_EQ(v, expect) << "n=" << n << " bits=" << bits;
+    }
+  }
+}
+
+TEST(RadixSortExhaustive, AllPermutationsUpTo8) {
+  for (std::size_t n = 0; n <= 8; ++n) {
+    std::vector<std::uint64_t> base(n);
+    std::iota(base.begin(), base.end(), 0);
+    std::vector<std::uint64_t> perm = base;
+    do {
+      auto v = perm;
+      radix_sort(v);
+      ASSERT_EQ(v, base) << "n=" << n;
+    } while (std::next_permutation(perm.begin(), perm.end()));
+  }
+}
+
+// Insertion sort is the base case of both quicksort and TimSort; test it
+// exhaustively too (it is also used standalone for tiny inputs).
+TEST(InsertionSortExhaustive, AllPermutationsUpTo7) {
+  for (std::size_t n = 0; n <= 7; ++n) {
+    std::vector<int> base(n);
+    std::iota(base.begin(), base.end(), 0);
+    std::vector<int> perm = base;
+    do {
+      auto v = perm;
+      insertion_sort(std::span<int>(v));
+      ASSERT_EQ(v, base) << "n=" << n;
+    } while (std::next_permutation(perm.begin(), perm.end()));
+  }
+}
+
+}  // namespace
+}  // namespace pgxd::sort

@@ -1,0 +1,172 @@
+// Tests for the TimSort implementation: correctness against std::stable_sort
+// across adversarial patterns, stability, adaptivity, and minrun math.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sort/timsort.hpp"
+
+namespace pgxd::sort {
+namespace {
+
+using detail::TimSorter;
+
+TEST(MinRun, MatchesReferenceValues) {
+  using S = TimSorter<int, std::less<int>>;
+  // n < 64 returns n itself.
+  EXPECT_EQ(S::compute_min_run(63), 63u);
+  EXPECT_EQ(S::compute_min_run(64), 32u);
+  EXPECT_EQ(S::compute_min_run(65), 33u);   // 65 = 0b1000001 -> 32 + 1
+  EXPECT_EQ(S::compute_min_run(1024), 32u); // exact power of two
+  EXPECT_EQ(S::compute_min_run(1000), 63u); // corrected: 1000>>4=62, r=1
+  // minrun is always in [32, 64] for n >= 64.
+  for (std::size_t n = 64; n < 100000; n = n * 2 + 7) {
+    const std::size_t mr = S::compute_min_run(n);
+    EXPECT_GE(mr, 32u);
+    EXPECT_LE(mr, 64u);
+  }
+}
+
+class TimsortRandomSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {};
+
+TEST_P(TimsortRandomSweep, MatchesStdSort) {
+  const auto [n, domain] = GetParam();
+  Rng rng(n * 31 + domain);
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = rng.bounded(domain);
+  auto expect = v;
+  std::sort(expect.begin(), expect.end());
+  timsort(std::span<std::uint64_t>(v));
+  EXPECT_EQ(v, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndDomains, TimsortRandomSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2, 63, 64, 65, 100, 1000, 4096,
+                                         100000),
+                       ::testing::Values(2, 10, 1ULL << 40)));
+
+TEST(Timsort, AlreadySortedUsesOneRunAndNoMerges) {
+  std::vector<int> v(10000);
+  std::iota(v.begin(), v.end(), 0);
+  const auto stats = timsort(std::span<int>(v));
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+  EXPECT_EQ(stats.runs_found, 1u);
+  EXPECT_EQ(stats.merges, 0u);
+}
+
+TEST(Timsort, ReverseSortedIsOneReversedRun) {
+  std::vector<int> v(10000);
+  std::iota(v.begin(), v.end(), 0);
+  std::reverse(v.begin(), v.end());
+  const auto stats = timsort(std::span<int>(v));
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+  EXPECT_EQ(stats.runs_found, 1u);
+}
+
+TEST(Timsort, PartiallySortedFindsLongRuns) {
+  // Eight sorted blocks of 4096: run detection should find ~8 runs, far
+  // fewer than random data's n/minrun.
+  std::vector<int> v;
+  Rng rng(3);
+  for (int b = 0; b < 8; ++b) {
+    std::vector<int> block(4096);
+    for (auto& x : block) x = static_cast<int>(rng.bounded(1 << 20));
+    std::sort(block.begin(), block.end());
+    v.insert(v.end(), block.begin(), block.end());
+  }
+  const auto stats = timsort(std::span<int>(v));
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+  EXPECT_LE(stats.runs_found, 16u);
+}
+
+struct Rec {
+  int key;
+  int seq;
+};
+struct RecLess {
+  bool operator()(const Rec& a, const Rec& b) const { return a.key < b.key; }
+};
+
+TEST(Timsort, StableOnHeavilyDuplicatedKeys) {
+  Rng rng(17);
+  std::vector<Rec> v(20000);
+  for (int i = 0; i < 20000; ++i)
+    v[i] = Rec{static_cast<int>(rng.bounded(5)), i};
+  auto expect = v;
+  std::stable_sort(expect.begin(), expect.end(), RecLess{});
+  timsort(std::span<Rec>(v), RecLess{});
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(v[i].key, expect[i].key);
+    EXPECT_EQ(v[i].seq, expect[i].seq) << "stability broken at " << i;
+  }
+}
+
+TEST(Timsort, GallopingTriggersOnBlockPatterns) {
+  // Two interleaved pre-sorted halves with disjoint dense ranges force long
+  // gallop copies when merged.
+  std::vector<int> v;
+  for (int i = 0; i < 50000; ++i) v.push_back(i);
+  for (int i = 0; i < 50000; ++i) v.push_back(i + 50000);
+  std::rotate(v.begin(), v.begin() + 50000, v.end());  // second half first
+  const auto stats = timsort(std::span<int>(v));
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+  EXPECT_GT(stats.galloped_elements, 10000u);
+}
+
+TEST(Timsort, SawtoothManyRuns) {
+  std::vector<int> v;
+  Rng rng(23);
+  for (int cycle = 0; cycle < 300; ++cycle) {
+    const int len = 10 + static_cast<int>(rng.bounded(200));
+    const bool asc = rng.bounded(2) == 0;
+    for (int i = 0; i < len; ++i) v.push_back(asc ? i : len - i);
+  }
+  auto expect = v;
+  std::sort(expect.begin(), expect.end());
+  timsort(std::span<int>(v));
+  EXPECT_EQ(v, expect);
+}
+
+TEST(Timsort, StringsSort) {
+  std::vector<std::string> v{"pear", "apple", "fig", "apple", "banana", "date",
+                             "cherry", "fig", "apple"};
+  auto expect = v;
+  std::stable_sort(expect.begin(), expect.end());
+  timsort(std::span<std::string>(v));
+  EXPECT_EQ(v, expect);
+}
+
+TEST(Timsort, DescendingComparator) {
+  Rng rng(29);
+  std::vector<std::uint64_t> v(30000);
+  for (auto& x : v) x = rng.bounded(100);
+  timsort(std::span<std::uint64_t>(v), std::greater<std::uint64_t>{});
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end(), std::greater<std::uint64_t>{}));
+}
+
+TEST(Timsort, AllEqual) {
+  std::vector<int> v(100000, 7);
+  const auto stats = timsort(std::span<int>(v));
+  EXPECT_EQ(stats.runs_found, 1u);
+  EXPECT_TRUE(std::all_of(v.begin(), v.end(), [](int x) { return x == 7; }));
+}
+
+TEST(Timsort, OrganPipe) {
+  std::vector<int> v;
+  for (int i = 0; i < 30000; ++i) v.push_back(i);
+  for (int i = 30000; i > 0; --i) v.push_back(i);
+  auto expect = v;
+  std::sort(expect.begin(), expect.end());
+  const auto stats = timsort(std::span<int>(v));
+  EXPECT_EQ(v, expect);
+  EXPECT_EQ(stats.runs_found, 2u);  // one ascending + one descending run
+}
+
+}  // namespace
+}  // namespace pgxd::sort

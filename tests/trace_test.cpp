@@ -1,0 +1,97 @@
+// Tests for the span tracer and its Gantt rendering, plus the sorter's
+// trace integration.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/distributed_sort.hpp"
+#include "datagen/distributions.hpp"
+#include "sim/trace.hpp"
+
+namespace pgxd {
+namespace {
+
+TEST(Trace, RecordsSpans) {
+  sim::Trace t;
+  t.record(0, "work", 0, 100);
+  t.record(1, "wait", 50, 150);
+  ASSERT_EQ(t.spans().size(), 2u);
+  EXPECT_EQ(t.spans()[0].label, "work");
+  EXPECT_EQ(t.spans()[1].lane, 1u);
+  t.clear();
+  EXPECT_TRUE(t.spans().empty());
+}
+
+TEST(Trace, EmptyGantt) {
+  sim::Trace t;
+  EXPECT_EQ(t.render_gantt(), "(no spans)\n");
+}
+
+TEST(Trace, GanttLayout) {
+  sim::Trace t;
+  t.record(0, "alpha", 0, 50);
+  t.record(0, "beta", 50, 100);
+  t.record(1, "alpha", 0, 100);
+  const std::string g = t.render_gantt(20);
+  // Legend lists labels in first-appearance order.
+  EXPECT_NE(g.find("A = alpha"), std::string::npos);
+  EXPECT_NE(g.find("B = beta"), std::string::npos);
+  // Two lanes rendered.
+  EXPECT_NE(g.find("m00 |"), std::string::npos);
+  EXPECT_NE(g.find("m01 |"), std::string::npos);
+  // Lane 0: first half A, second half B; lane 1 all A.
+  const auto l0 = g.find("m00 |") + 5;
+  EXPECT_EQ(g[l0], 'A');
+  EXPECT_EQ(g[l0 + 19], 'B');
+  const auto l1 = g.find("m01 |") + 5;
+  EXPECT_EQ(g[l1], 'A');
+  EXPECT_EQ(g[l1 + 19], 'A');
+}
+
+TEST(Trace, ZeroLengthSpanStillVisible) {
+  sim::Trace t;
+  t.record(0, "blip", 10, 10);
+  t.record(0, "base", 0, 100);
+  const std::string g = t.render_gantt(50);
+  EXPECT_NE(g.find('A'), std::string::npos);
+}
+
+TEST(Trace, RejectsBackwardSpan) {
+  sim::Trace t;
+  EXPECT_DEATH(t.record(0, "bad", 100, 50), "end >= begin");
+}
+
+TEST(Trace, SorterEmitsSixSpansPerMachine) {
+  using Sorter = core::DistributedSorter<std::uint64_t>;
+  const std::size_t machines = 3;
+  gen::DataGenConfig dcfg;
+  std::vector<std::vector<std::uint64_t>> shards;
+  for (std::size_t r = 0; r < machines; ++r)
+    shards.push_back(gen::generate_shard(dcfg, 9000, machines, r));
+
+  rt::ClusterConfig ccfg;
+  ccfg.machines = machines;
+  ccfg.threads_per_machine = 4;
+  rt::Cluster<Sorter::Msg> cluster(ccfg);
+  sim::Trace trace;
+  Sorter sorter(cluster, core::SortConfig{});
+  sorter.set_trace(&trace);
+  sorter.run(shards);
+
+  EXPECT_EQ(trace.spans().size(), machines * core::kStepCount);
+  // Spans within a lane are contiguous and ordered.
+  for (std::size_t lane = 0; lane < machines; ++lane) {
+    sim::SimTime prev_end = 0;
+    for (const auto& s : trace.spans()) {
+      if (s.lane != lane) continue;
+      EXPECT_EQ(s.begin, prev_end);
+      prev_end = s.end;
+    }
+  }
+  const std::string g = trace.render_gantt(60);
+  EXPECT_NE(g.find("local-sort"), std::string::npos);
+  EXPECT_NE(g.find("send/receive"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pgxd

@@ -1,0 +1,105 @@
+// Tests for the result validator: it must accept correct output and
+// pinpoint each class of corruption.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/distributed_sort.hpp"
+#include "core/validate.hpp"
+#include "datagen/distributions.hpp"
+
+namespace pgxd::core {
+namespace {
+
+using Key = std::uint64_t;
+using Sorter = DistributedSorter<Key>;
+using ItemT = Item<Key>;
+
+class ValidateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    gen::DataGenConfig dcfg;
+    dcfg.seed = 3;
+    for (std::size_t r = 0; r < 4; ++r)
+      input_.push_back(gen::generate_shard(dcfg, 8000, 4, r));
+
+    rt::ClusterConfig ccfg;
+    ccfg.machines = 4;
+    ccfg.threads_per_machine = 4;
+    rt::Cluster<Sorter::Msg> cluster(ccfg);
+    Sorter sorter(cluster, SortConfig{});
+    sorter.run(input_);
+    parts_ = sorter.partitions();
+  }
+
+  std::vector<std::vector<Key>> input_;
+  std::vector<std::vector<ItemT>> parts_;
+};
+
+TEST_F(ValidateTest, AcceptsCorrectOutput) {
+  const auto report = validate_sorted(parts_, input_);
+  EXPECT_TRUE(report.ok()) << report.failure;
+  EXPECT_TRUE(report.partitions_sorted);
+  EXPECT_TRUE(report.globally_ordered);
+  EXPECT_TRUE(report.permutation_ok);
+  EXPECT_TRUE(report.provenance_ok);
+  EXPECT_TRUE(report.failure.empty());
+}
+
+TEST_F(ValidateTest, DetectsLocalDisorder) {
+  std::swap(parts_[1][10], parts_[1][500]);
+  const auto report = validate_sorted(parts_, input_);
+  EXPECT_FALSE(report.ok());
+  EXPECT_FALSE(report.partitions_sorted);
+  EXPECT_NE(report.failure.find("partition 1"), std::string::npos);
+}
+
+TEST_F(ValidateTest, DetectsGlobalDisorder) {
+  // Swap whole partitions: each remains sorted, global order breaks.
+  std::swap(parts_[0], parts_[3]);
+  const auto report = validate_sorted(parts_, input_);
+  EXPECT_FALSE(report.ok());
+  EXPECT_FALSE(report.globally_ordered);
+}
+
+TEST_F(ValidateTest, DetectsLostElement) {
+  parts_[2].pop_back();
+  const auto report = validate_sorted(parts_, input_);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.failure.find("elements"), std::string::npos);
+}
+
+TEST_F(ValidateTest, DetectsMutatedKey) {
+  // Replace a key with one that keeps order locally but breaks the
+  // multiset (duplicate an adjacent value).
+  auto& part = parts_[2];
+  ASSERT_GT(part.size(), 2u);
+  part[1].key = part[0].key;
+  const auto report = validate_sorted(parts_, input_);
+  EXPECT_FALSE(report.ok());
+  EXPECT_FALSE(report.permutation_ok);
+}
+
+TEST_F(ValidateTest, DetectsBrokenProvenanceMachine) {
+  parts_[0][0].prov.prev_machine = 99;
+  const auto report = validate_sorted(parts_, input_);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.failure.find("machine 99"), std::string::npos);
+}
+
+TEST_F(ValidateTest, DetectsBrokenProvenanceIndex) {
+  parts_[0][0].prov.prev_index = 1u << 30;
+  const auto report = validate_sorted(parts_, input_);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.failure.find("out of range"), std::string::npos);
+}
+
+TEST(Validate, EmptyEverything) {
+  const std::vector<std::vector<ItemT>> parts(3);
+  const std::vector<std::vector<Key>> input(3);
+  const auto report = validate_sorted(parts, input);
+  EXPECT_TRUE(report.ok());
+}
+
+}  // namespace
+}  // namespace pgxd::core

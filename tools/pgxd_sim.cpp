@@ -1,0 +1,272 @@
+// pgxd_sim — command-line driver for the simulated sorting engines.
+//
+// Runs any engine (pgxd sample sort, spark sortByKey, bitonic, radix) on
+// any workload at any cluster size, validates the result, and prints a
+// full report: step/stage times, per-machine loads, wire traffic, memory,
+// and (optionally) an ASCII Gantt timeline of the sort steps.
+//
+// Examples:
+//   pgxd_sim --engine=pgxd --dist=twitter --n=4194304 --p=32 --gantt=true
+//   pgxd_sim --engine=spark --dist=right-skewed --p=10
+//   pgxd_sim --engine=radix --dist=uniform --p=8 --csv=true
+#include <cstdio>
+#include <string>
+
+#include "baselines/bitonic.hpp"
+#include "baselines/radix.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/distributed_sort.hpp"
+#include "core/validate.hpp"
+#include "datagen/distributions.hpp"
+#include "graph/twitter.hpp"
+#include "sim/trace.hpp"
+#include "spark/sort_by_key.hpp"
+
+namespace {
+
+using Key = std::uint64_t;
+using pgxd::Table;
+
+struct Options {
+  std::string engine;
+  std::string dist;
+  std::size_t n = 0;
+  std::size_t p = 0;
+  unsigned threads = 32;
+  std::uint64_t seed = 2017;
+  bool csv = false;
+  bool gantt = false;
+  bool validate = true;
+  pgxd::core::SortConfig sort_cfg;
+};
+
+std::vector<std::vector<Key>> make_shards(const Options& opt) {
+  std::vector<std::vector<Key>> shards;
+  if (opt.dist == "twitter") {
+    pgxd::graph::TwitterConfig tcfg;
+    tcfg.total_keys = opt.n;
+    tcfg.seed = opt.seed;
+    for (std::size_t r = 0; r < opt.p; ++r)
+      shards.push_back(pgxd::graph::twitter_shard(tcfg, opt.p, r));
+    return shards;
+  }
+  pgxd::gen::DataGenConfig dcfg;
+  dcfg.seed = opt.seed;
+  bool known = false;
+  for (auto d : pgxd::gen::kAllDistributions) {
+    if (opt.dist == pgxd::gen::name(d)) {
+      dcfg.dist = d;
+      known = true;
+    }
+  }
+  if (!known) {
+    std::fprintf(stderr, "unknown --dist '%s'\n", opt.dist.c_str());
+    std::exit(2);
+  }
+  for (std::size_t r = 0; r < opt.p; ++r)
+    shards.push_back(pgxd::gen::generate_shard(dcfg, opt.n, opt.p, r));
+  return shards;
+}
+
+pgxd::rt::ClusterConfig cluster_config(const Options& opt) {
+  pgxd::rt::ClusterConfig cfg;
+  cfg.machines = opt.p;
+  cfg.threads_per_machine = opt.threads;
+  cfg.seed = opt.seed;
+  return cfg;
+}
+
+void print_loads(const Options& opt, const std::vector<std::uint64_t>& sizes) {
+  Table t({"machine", "elements", "share"});
+  std::uint64_t total = 0;
+  for (auto s : sizes) total += s;
+  for (std::size_t m = 0; m < sizes.size(); ++m)
+    t.row({std::to_string(m), std::to_string(sizes[m]),
+           Table::fmt_pct(total ? static_cast<double>(sizes[m]) /
+                                      static_cast<double>(total)
+                                : 0.0)});
+  if (opt.csv)
+    std::fputs(t.render_csv().c_str(), stdout);
+  else
+    t.print();
+}
+
+int run_pgxd(const Options& opt) {
+  using Sorter = pgxd::core::DistributedSorter<Key>;
+  auto shards = make_shards(opt);
+  const auto input = shards;
+
+  pgxd::rt::Cluster<Sorter::Msg> cluster(cluster_config(opt));
+  pgxd::sim::Trace trace;
+  Sorter sorter(cluster, opt.sort_cfg);
+  if (opt.gantt) sorter.set_trace(&trace);
+  sorter.run(std::move(shards));
+  const auto& st = sorter.stats();
+
+  std::printf("engine pgxd: sorted %zu keys on %zu machines in %.6f "
+              "simulated s\n\n", opt.n, opt.p,
+              pgxd::sim::to_seconds(st.total_time));
+
+  Table steps({"step", "max across machines (s)"});
+  for (std::size_t s = 0; s < pgxd::core::kStepCount; ++s)
+    steps.row({pgxd::core::step_name(static_cast<pgxd::core::Step>(s)),
+               Table::fmt(pgxd::sim::to_seconds(
+                              st.steps_max[static_cast<pgxd::core::Step>(s)]),
+                          6)});
+  if (opt.csv)
+    std::fputs(steps.render_csv().c_str(), stdout);
+  else
+    steps.print();
+
+  std::printf("\nwire: %s total (%s control), %llu fabric messages\n",
+              Table::fmt_bytes(st.wire_bytes_total).c_str(),
+              Table::fmt_bytes(st.wire_bytes_samples).c_str(),
+              static_cast<unsigned long long>(cluster.fabric().total_messages()));
+  std::printf("balance: imbalance %.4f (min %s, max %s)\n\n",
+              st.balance.imbalance,
+              Table::fmt_pct(st.balance.min_share).c_str(),
+              Table::fmt_pct(st.balance.max_share).c_str());
+
+  std::vector<std::uint64_t> sizes;
+  for (const auto& part : sorter.partitions()) sizes.push_back(part.size());
+  print_loads(opt, sizes);
+
+  if (opt.gantt) {
+    std::printf("\nstep timeline:\n%s", trace.render_gantt(96).c_str());
+  }
+
+  if (opt.validate) {
+    const auto report = pgxd::core::validate_sorted(sorter.partitions(), input);
+    std::printf("\nvalidation: %s%s%s\n", report.ok() ? "OK" : "FAILED — ",
+                report.ok() ? "" : report.failure.c_str(),
+                report.ok()
+                    ? " (order, global order, permutation, provenance)"
+                    : "");
+    if (!report.ok()) return 1;
+  }
+  return 0;
+}
+
+template <typename Engine>
+int report_keys_engine(const Options& opt, Engine& engine,
+                       pgxd::sim::SimTime total,
+                       std::uint64_t wire_bytes) {
+  std::printf("engine %s: sorted %zu keys on %zu machines in %.6f "
+              "simulated s\n", opt.engine.c_str(), opt.n, opt.p,
+              pgxd::sim::to_seconds(total));
+  std::printf("wire: %s\n\n", Table::fmt_bytes(wire_bytes).c_str());
+  std::vector<std::uint64_t> sizes;
+  for (const auto& part : engine.partitions()) sizes.push_back(part.size());
+  print_loads(opt, sizes);
+
+  if (opt.validate) {
+    // Key-only engines: check order + permutation.
+    std::vector<Key> all_out;
+    const Key* prev = nullptr;
+    for (const auto& part : engine.partitions()) {
+      for (const auto& k : part) {
+        if (prev != nullptr && k < *prev) {
+          std::printf("\nvalidation: FAILED — global order violated\n");
+          return 1;
+        }
+        prev = &k;
+        all_out.push_back(k);
+      }
+    }
+    if (all_out.size() != opt.n) {
+      std::printf("\nvalidation: FAILED — element count mismatch\n");
+      return 1;
+    }
+    std::printf("\nvalidation: OK (order, count)\n");
+  }
+  return 0;
+}
+
+int run_spark(const Options& opt) {
+  using Spark = pgxd::spark::SparkSortByKey<Key>;
+  pgxd::rt::Cluster<Spark::Msg> cluster(cluster_config(opt));
+  Spark spark(cluster);
+  spark.run(make_shards(opt));
+  const auto& st = spark.stats();
+  Table stages({"stage", "max across machines (s)"});
+  for (std::size_t s = 0; s < pgxd::spark::kStageCount; ++s)
+    stages.row({pgxd::spark::stage_name(static_cast<pgxd::spark::Stage>(s)),
+                Table::fmt(pgxd::sim::to_seconds(
+                               st[static_cast<pgxd::spark::Stage>(s)]),
+                           6)});
+  const int rc = report_keys_engine(opt, spark, st.total_time, st.wire_bytes);
+  std::printf("\n");
+  if (opt.csv)
+    std::fputs(stages.render_csv().c_str(), stdout);
+  else
+    stages.print();
+  return rc;
+}
+
+int run_bitonic(const Options& opt) {
+  using Bitonic = pgxd::baselines::BitonicSorter<Key>;
+  pgxd::rt::Cluster<Bitonic::Msg> cluster(cluster_config(opt));
+  Bitonic sorter(cluster);
+  sorter.run(make_shards(opt));
+  return report_keys_engine(opt, sorter, sorter.stats().total_time,
+                            sorter.stats().wire_bytes);
+}
+
+int run_radix(const Options& opt) {
+  using Radix = pgxd::baselines::RadixSorter<Key>;
+  pgxd::rt::Cluster<Radix::Msg> cluster(cluster_config(opt));
+  Radix sorter(cluster);
+  sorter.run(make_shards(opt));
+  return report_keys_engine(opt, sorter, sorter.stats().total_time,
+                            sorter.stats().wire_bytes);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pgxd::Flags flags;
+  flags.declare("engine", "pgxd | spark | bitonic | radix", "pgxd");
+  flags.declare("dist",
+                "uniform | normal | right-skewed | exponential | twitter",
+                "uniform");
+  flags.declare("n", "total keys", "1048576");
+  flags.declare("p", "machines", "8");
+  flags.declare("threads", "worker threads per machine", "32");
+  flags.declare("seed", "root seed", "2017");
+  flags.declare("csv", "emit tables as CSV", "false");
+  flags.declare("gantt", "print the step timeline (pgxd only)", "false");
+  flags.declare("validate", "validate the sorted result", "true");
+  flags.declare("investigator", "duplicate-splitter investigator (pgxd)", "true");
+  flags.declare("async", "asynchronous exchange (pgxd)", "true");
+  flags.declare("balanced-merge", "Fig. 2 final merge (pgxd)", "true");
+  flags.declare("buffered", "256KB-chunked exchange (pgxd)", "true");
+  flags.declare("sample-factor", "sample size in multiples of X (pgxd)", "1.0");
+  flags.declare("buffer-bytes", "read buffer size in bytes (pgxd)", "262144");
+  flags.parse(argc, argv);
+
+  Options opt;
+  opt.engine = flags.str("engine");
+  opt.dist = flags.str("dist");
+  opt.n = flags.u64("n");
+  opt.p = flags.u64("p");
+  opt.threads = static_cast<unsigned>(flags.u64("threads"));
+  opt.seed = flags.u64("seed");
+  opt.csv = flags.boolean("csv");
+  opt.gantt = flags.boolean("gantt");
+  opt.validate = flags.boolean("validate");
+  opt.sort_cfg.use_investigator = flags.boolean("investigator");
+  opt.sort_cfg.async_exchange = flags.boolean("async");
+  opt.sort_cfg.balanced_final_merge = flags.boolean("balanced-merge");
+  opt.sort_cfg.buffered_exchange = flags.boolean("buffered");
+  opt.sort_cfg.sample_factor = flags.f64("sample-factor");
+  opt.sort_cfg.read_buffer_bytes = flags.u64("buffer-bytes");
+
+  if (opt.engine == "pgxd") return run_pgxd(opt);
+  if (opt.engine == "spark") return run_spark(opt);
+  if (opt.engine == "bitonic") return run_bitonic(opt);
+  if (opt.engine == "radix") return run_radix(opt);
+  std::fprintf(stderr, "unknown --engine '%s'\n%s", opt.engine.c_str(),
+               flags.help().c_str());
+  return 2;
+}
