@@ -1,0 +1,58 @@
+// Fault-tolerance ablation: sort completion time and retransmission
+// traffic as a function of the fabric's message drop rate, with the
+// reliable-delivery layer (ack/retry/backoff) enabled. The clean row uses
+// the same reliable configuration, so the delta against drop rate isolates
+// recovery cost (RTO stalls + retransmitted bytes) from ack overhead.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace pgxd;
+using namespace pgxd::bench;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  declare_common_flags(flags);
+  flags.declare("p", "processor count", "16");
+  flags.parse(argc, argv);
+  BenchEnv env = env_from_flags(flags);
+  const std::size_t p = flags.u64("p");
+
+  print_header("Ablation: drop rate vs sort completion (reliable delivery)",
+               "exactly-once sorting survives a lossy fabric; cost grows "
+               "with the drop rate",
+               env);
+
+  const double drop_rates[] = {0.0, 0.01, 0.02, 0.05, 0.10};
+
+  Table t({"drop rate", "total (s)", "retransmits", "retx MB", "acks",
+           "vs clean"});
+  sim::SimTime baseline = 0;
+  for (const double drop : drop_rates) {
+    rt::ClusterConfig ccfg = cluster_config(env, p);
+    ccfg.net.faults.drop_prob = drop;
+    ccfg.reliable.enabled = true;
+    rt::Cluster<Sorter::Msg> cluster(ccfg);
+    core::SortConfig scfg;
+    Sorter sorter(cluster, scfg);
+    sorter.run(dist_shards(env, gen::Distribution::kUniform, p));
+    const auto total = sorter.stats().total_time;
+    if (baseline == 0) baseline = total;
+    const auto& rs = cluster.comm().reliable_stats();
+    t.row({Table::fmt(100.0 * drop, 1) + "%", seconds(total),
+           std::to_string(rs.retransmits),
+           Table::fmt(static_cast<double>(rs.retransmitted_bytes) / 1.0e6, 2),
+           std::to_string(rs.acks_sent),
+           Table::fmt(static_cast<double>(total) /
+                          static_cast<double>(baseline),
+                      2) +
+               "x"});
+  }
+  emit(t, flags);
+  std::printf(
+      "\nEvery row sorts to the same exactly-once-audited output; the only\n"
+      "difference is recovery work. Retransmitted bytes grow roughly\n"
+      "linearly with the drop rate, while completion time also absorbs the\n"
+      "RTO stalls of chunks whose first copy (or ack) was lost.\n");
+  return 0;
+}

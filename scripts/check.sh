@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Sanitizer check: configure, build, and run the full test suite under the
+# given sanitizer(s). Usage:
+#
+#   scripts/check.sh                 # ASan + UBSan (the default)
+#   scripts/check.sh thread          # TSan
+#   scripts/check.sh undefined       # UBSan alone
+#
+# Each sanitizer combination gets its own build tree (build-san-<name>), so
+# switching between them never forces a full reconfigure of the main build.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SAN="${1:-address,undefined}"
+BUILD_DIR="build-san-${SAN//,/-}"
+
+cmake -B "${BUILD_DIR}" -S . -DPGXD_SANITIZE="${SAN}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+
+# abort_on_error makes sanitizer findings fail the test process the same way
+# PGXD_CHECK does; detect_leaks stays on wherever ASan supports it.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"

@@ -59,6 +59,10 @@ struct SortConfig {
   // Stream exchange data in read-buffer-sized chunks through the data
   // manager; false sends each range as a single message.
   bool buffered_exchange = true;
+  // Post-merge exactly-once audit: every element's provenance is checked to
+  // appear exactly once (no chunk lost, duplicated, or misplaced by the
+  // exchange). Cheap real work outside the simulated cost model.
+  bool audit_exchange = true;
 };
 
 struct MachineStats {
@@ -68,6 +72,9 @@ struct MachineStats {
   std::uint64_t sample_count = 0;
   std::size_t searches = 0;               // binary searches in step (4)
   std::size_t duplicate_groups = 0;
+  // Exchange chunks discarded as fabric-level duplicates (only non-zero on
+  // a duplicating fabric without reliable delivery).
+  std::uint64_t duplicate_chunks = 0;
   std::uint64_t peak_persistent_bytes = 0;
   std::uint64_t peak_temp_bytes = 0;
 };

@@ -24,6 +24,7 @@
 #include <functional>
 #include <limits>
 #include <numeric>
+#include <set>
 #include <span>
 #include <utility>
 #include <vector>
@@ -204,8 +205,16 @@ class DistributedSorter {
           pool.push_back(sort::WeightedSample<Key>{k, w});
       };
       add_samples(samples, n);
-      for (std::size_t i = 0; i + 1 < p; ++i) {
+      // Wait for p-1 distinct sources, not p-1 messages: on a duplicating
+      // fabric without reliable delivery a shard's samples can arrive
+      // twice, and counting messages would starve another shard.
+      std::vector<bool> sampled(p, false);
+      sampled[kMaster] = true;
+      for (std::size_t distinct = 1; distinct < p;) {
         auto msg = co_await comm.recv(kMaster, tag(kTagSamples));
+        if (sampled[msg.src]) continue;
+        sampled[msg.src] = true;
+        ++distinct;
         add_samples(msg.payload.keys, msg.payload.prov_base);
       }
       {
@@ -244,11 +253,18 @@ class DistributedSorter {
       comm.post(rank, dst, tag(kTagCounts), Msg::of_counts(send_counts), bytes);
     }
     // Receive everyone's counts; recv_counts[src] = elements src sends us.
+    // As with the sample gather, wait for distinct sources so duplicated
+    // counts messages cannot starve a source.
     std::vector<std::uint64_t> recv_counts(p, 0);
     recv_counts[rank] = send_counts[rank];
-    for (std::size_t i = 0; i + 1 < p; ++i) {
+    std::vector<bool> counted(p, false);
+    counted[rank] = true;
+    for (std::size_t distinct = 1; distinct < p;) {
       auto msg = co_await comm.recv(rank, tag(kTagCounts));
       PGXD_CHECK(msg.payload.counts.size() == p);
+      if (counted[msg.src]) continue;
+      counted[msg.src] = true;
+      ++distinct;
       recv_counts[msg.src] = msg.payload.counts[rank];
     }
     stamp(Step::kPartitionPlan);
@@ -316,15 +332,20 @@ class DistributedSorter {
 
     // Receives: place each incoming chunk at its source's base offset plus
     // the chunk's own relative offset — correct under any arrival order —
-    // and reconstruct provenance from the sender-side base offset.
-    std::size_t expected_chunks = 0;
-    for (std::size_t s = 0; s < p; ++s) {
-      if (s == rank || recv_counts[s] == 0) continue;
-      expected_chunks += (recv_counts[s] - 1) / chunk_elems + 1;
-    }
-    for (std::size_t c = 0; c < expected_chunks; ++c) {
+    // and reconstruct provenance from the sender-side base offset. The
+    // loop counts placed *elements*, not messages, and discards chunks
+    // whose (src, rel_offset) was already placed, so it stays correct when
+    // a duplicating fabric redelivers a chunk.
+    const std::size_t remote_expected = total_recv - recv_counts[rank];
+    std::size_t remote_placed = 0;
+    std::vector<std::set<std::uint64_t>> seen_chunks(p);
+    while (remote_placed < remote_expected) {
       auto msg = co_await comm.recv(rank, tag(kTagData));
       PGXD_CHECK(msg.src != rank);
+      if (!seen_chunks[msg.src].insert(msg.payload.rel_offset).second) {
+        ++ms.duplicate_chunks;
+        continue;
+      }
       const auto& keys = msg.payload.keys;
       const std::uint64_t base = msg.payload.prov_base;
       const std::size_t at = offsets[msg.src] + msg.payload.rel_offset;
@@ -334,6 +355,7 @@ class DistributedSorter {
       for (std::size_t i = 0; i < keys.size(); ++i)
         out[at + i] = ItemT{keys[i], Provenance{src32, base + i}};
       cursor[msg.src] += keys.size();
+      remote_placed += keys.size();
       co_await m.charge_copy(keys.size());
     }
     for (std::size_t s = 0; s < p; ++s)
@@ -368,6 +390,32 @@ class DistributedSorter {
       }
     }
     stamp(Step::kFinalMerge);
+
+    // ---- Exactly-once audit -------------------------------------------------
+    // Provenance makes delivery auditable: for every source, the previous
+    // indices present in the merged output must be recv_counts[src]
+    // distinct contiguous integers — any drop, duplicate, or misplacement
+    // by the exchange (or the reliable-delivery layer under fault
+    // injection) breaks that. Pure host-side verification; costs no
+    // simulated time.
+    if (cfg_.audit_exchange) {
+      std::vector<std::vector<std::uint64_t>> prev_indices(p);
+      for (std::size_t s = 0; s < p; ++s) prev_indices[s].reserve(recv_counts[s]);
+      for (const ItemT& item : out) {
+        PGXD_CHECK(item.prov.prev_machine < p);
+        prev_indices[item.prov.prev_machine].push_back(item.prov.prev_index);
+      }
+      for (std::size_t s = 0; s < p; ++s) {
+        PGXD_CHECK_MSG(prev_indices[s].size() == recv_counts[s],
+                       "exactly-once audit: received element count from a "
+                       "source disagrees with its announced count");
+        std::sort(prev_indices[s].begin(), prev_indices[s].end());
+        for (std::size_t i = 1; i < prev_indices[s].size(); ++i)
+          PGXD_CHECK_MSG(prev_indices[s][i] == prev_indices[s][i - 1] + 1,
+                         "exactly-once audit: an element was duplicated or "
+                         "lost in the exchange");
+      }
+    }
 
     ms.peak_persistent_bytes = mem.peak_persistent();
     ms.peak_temp_bytes = mem.peak_temp();

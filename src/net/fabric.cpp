@@ -9,6 +9,20 @@ Fabric::Fabric(sim::Simulator& sim, std::size_t machines, const NetConfig& cfg)
   PGXD_CHECK(machines > 0);
   PGXD_CHECK(cfg.link_bandwidth_Bps > 0);
   PGXD_CHECK(cfg.oversubscription >= 1.0);
+  const FaultConfig& fc = cfg.faults;
+  PGXD_CHECK(fc.drop_prob >= 0.0 && fc.drop_prob < 1.0);
+  PGXD_CHECK(fc.duplicate_prob >= 0.0 && fc.duplicate_prob <= 1.0);
+  PGXD_CHECK(fc.blackout_period >= 0 && fc.degrade_period >= 0);
+  PGXD_CHECK(fc.blackout_duration <= std::max<sim::SimTime>(fc.blackout_period, 0));
+  PGXD_CHECK(fc.degrade_duration <= std::max<sim::SimTime>(fc.degrade_period, 0));
+  PGXD_CHECK(fc.degrade_factor >= 1.0);
+  PGXD_CHECK(fc.slow_nic_factor >= 1.0);
+  nic_wire_factor_.assign(machines, 1.0);
+  for (std::size_t m : fc.slow_nics) {
+    PGXD_CHECK_MSG(m < machines, "slow_nics names a machine out of range");
+    nic_wire_factor_[m] = fc.slow_nic_factor;
+  }
+  fault_rng_ = Rng(fc.seed);
   // A non-blocking switch core carries every port at line rate; with
   // oversubscription f, aggregate core bandwidth shrinks by f.
   switch_core_bandwidth_Bps_ = cfg.link_bandwidth_Bps *
@@ -35,8 +49,18 @@ sim::SimTime Fabric::uncontended_duration(std::uint64_t bytes) const {
   return cfg_.per_message_overhead + wire_time(bytes) + cfg_.latency;
 }
 
-sim::Task<void> Fabric::transfer(std::size_t src, std::size_t dst,
-                                 std::uint64_t bytes) {
+sim::SimTime Fabric::port_wire_time(std::size_t machine, sim::SimTime wire,
+                                    sim::SimTime at) const {
+  double factor = nic_wire_factor_[machine];
+  if (in_window(at, cfg_.faults.degrade_period, cfg_.faults.degrade_duration))
+    factor *= cfg_.faults.degrade_factor;
+  if (factor == 1.0) return wire;
+  return static_cast<sim::SimTime>(
+      std::ceil(static_cast<double>(wire) * factor));
+}
+
+sim::Task<Delivery> Fabric::transfer(std::size_t src, std::size_t dst,
+                                     std::uint64_t bytes) {
   PGXD_CHECK(src < nics_.size() && dst < nics_.size());
   PGXD_CHECK_MSG(src != dst, "local transfers do not traverse the fabric");
 
@@ -45,8 +69,25 @@ sim::Task<void> Fabric::transfer(std::size_t src, std::size_t dst,
 
   const sim::SimTime wire = wire_time(bytes);
 
+  // Per-message fault decisions, drawn up front (in process execution
+  // order) from the dedicated fault stream so they replay exactly.
+  const FaultConfig& fc = cfg_.faults;
+  bool drop = fc.drop_prob > 0 && fault_rng_.uniform() < fc.drop_prob;
+  const bool dup =
+      !drop && fc.duplicate_prob > 0 && fault_rng_.uniform() < fc.duplicate_prob;
+
   // Send side: software overhead, then the TX port serializes the payload.
-  co_await nics_[src].tx.occupy(sim_, cfg_.per_message_overhead + wire);
+  co_await nics_[src].tx.occupy(
+      sim_, cfg_.per_message_overhead + port_wire_time(src, wire, sim_.now()));
+
+  // The message enters the switch now; a blackout window active at this
+  // instant (or a loss drawn above) kills it before the RX port.
+  if (!drop && in_window(sim_.now(), fc.blackout_period, fc.blackout_duration))
+    drop = true;
+  if (drop) {
+    stats_[dst].messages_dropped += 1;
+    co_return Delivery{0};
+  }
 
   // Switch core contention (a no-op-sized reservation at full bisection).
   if (cfg_.oversubscription > 1.0) {
@@ -80,11 +121,16 @@ sim::Task<void> Fabric::transfer(std::size_t src, std::size_t dst,
   // still serializing at src, so only the final segment is charged here.
   // We approximate cut-through as full store-and-forward for short messages
   // and charge the RX port the full wire time; this keeps incast costs
-  // honest (N senders into one RX port serialize to N * wire).
-  co_await nics_[dst].rx.occupy(sim_, wire);
+  // honest (N senders into one RX port serialize to N * wire). A duplicate
+  // crosses the RX port twice, back to back.
+  const int copies = dup ? 2 : 1;
+  for (int c = 0; c < copies; ++c)
+    co_await nics_[dst].rx.occupy(sim_, port_wire_time(dst, wire, sim_.now()));
 
-  stats_[dst].bytes_received += bytes;
-  stats_[dst].messages_received += 1;
+  stats_[dst].bytes_received += static_cast<std::uint64_t>(copies) * bytes;
+  stats_[dst].messages_received += static_cast<std::uint64_t>(copies);
+  if (dup) stats_[dst].messages_duplicated += 1;
+  co_return Delivery{copies};
 }
 
 std::uint64_t Fabric::total_bytes() const {
@@ -96,6 +142,18 @@ std::uint64_t Fabric::total_bytes() const {
 std::uint64_t Fabric::total_messages() const {
   std::uint64_t total = 0;
   for (const auto& s : stats_) total += s.messages_sent;
+  return total;
+}
+
+std::uint64_t Fabric::total_dropped() const {
+  std::uint64_t total = 0;
+  for (const auto& s : stats_) total += s.messages_dropped;
+  return total;
+}
+
+std::uint64_t Fabric::total_duplicated() const {
+  std::uint64_t total = 0;
+  for (const auto& s : stats_) total += s.messages_duplicated;
   return total;
 }
 

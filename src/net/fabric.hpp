@@ -49,6 +49,53 @@ class SerialLink {
   sim::SimTime busy_ = 0;
 };
 
+// Fault-injection model. The fabric can lose or duplicate individual
+// messages, open transient blackout/degradation windows, and slow down
+// individual NICs. Per-message decisions come from one dedicated seeded
+// RNG stream (independent of latency jitter) and the windows are pure
+// functions of simulated time, so a (seed, config) pair replays
+// bit-identically — chaos runs are as reproducible as clean ones.
+struct FaultConfig {
+  // Per-message loss probability: the message pays its TX cost, then
+  // vanishes in the fabric before reaching the RX port.
+  double drop_prob = 0.0;
+  // Per-message probability that the RX port delivers two copies (e.g. a
+  // retransmitting link layer whose original was not actually lost).
+  double duplicate_prob = 0.0;
+  // Blackout windows: within every `blackout_period`, messages entering
+  // the switch during the first `blackout_duration` are lost. 0 disables.
+  sim::SimTime blackout_period = 0;
+  sim::SimTime blackout_duration = 0;
+  // Degradation windows: port serialization slows by `degrade_factor` for
+  // the first `degrade_duration` of every `degrade_period`. 0 disables.
+  sim::SimTime degrade_period = 0;
+  sim::SimTime degrade_duration = 0;
+  double degrade_factor = 4.0;
+  // Machines whose NIC serializes slower than line rate on both ports
+  // (wire-time multiplier), modeling a flaky or mis-negotiated link.
+  std::vector<std::size_t> slow_nics;
+  double slow_nic_factor = 1.0;
+  // Seed of the fault-decision stream.
+  std::uint64_t seed = 0xfa017;
+
+  bool any() const {
+    return drop_prob > 0 || duplicate_prob > 0 ||
+           (blackout_period > 0 && blackout_duration > 0) ||
+           (degrade_period > 0 && degrade_duration > 0) ||
+           (!slow_nics.empty() && slow_nic_factor != 1.0);
+  }
+};
+
+// Outcome of one transfer under fault injection. copies == 0: the message
+// was dropped (the awaiting sender still paid the TX-side cost); 1: normal
+// delivery; 2: the RX port delivered a duplicate.
+struct Delivery {
+  int copies = 1;
+
+  bool delivered() const { return copies > 0; }
+  bool duplicated() const { return copies > 1; }
+};
+
 struct NetConfig {
   // Effective per-port bandwidth. 56 Gb/s raw FDR InfiniBand delivers about
   // 6 GB/s of payload after encoding/protocol overhead.
@@ -76,6 +123,9 @@ struct NetConfig {
   // stay correct under any interleaving the fabric can produce.
   sim::SimTime jitter_ns = 0;
   std::uint64_t jitter_seed = 0x71771e;
+
+  // Fault injection; FaultConfig{} (the default) is a perfect fabric.
+  FaultConfig faults{};
 };
 
 struct NicStats {
@@ -83,6 +133,12 @@ struct NicStats {
   std::uint64_t bytes_received = 0;
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_received = 0;
+  // Fault counters, attributed to the receiving NIC: messages that never
+  // reached it, and messages it delivered twice. A duplicate also counts
+  // twice in messages_received/bytes_received (both copies crossed the RX
+  // port).
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_duplicated = 0;
 };
 
 class Fabric {
@@ -93,9 +149,12 @@ class Fabric {
   const NetConfig& config() const { return cfg_; }
 
   // Moves `bytes` from machine `src` to machine `dst`; completes when the
-  // last byte has been delivered at dst. src == dst is a caller error: local
-  // movement is memory traffic, modeled by the runtime's cost model.
-  sim::Task<void> transfer(std::size_t src, std::size_t dst, std::uint64_t bytes);
+  // last byte has been delivered at dst (or, for a dropped message, when
+  // the fabric lost it), reporting the delivery outcome. With faults
+  // disabled the outcome is always one copy. src == dst is a caller error:
+  // local movement is memory traffic, modeled by the runtime's cost model.
+  sim::Task<Delivery> transfer(std::size_t src, std::size_t dst,
+                               std::uint64_t bytes);
 
   // Uncontended duration of a single transfer (for tests / cost estimates).
   sim::SimTime uncontended_duration(std::uint64_t bytes) const;
@@ -113,8 +172,22 @@ class Fabric {
   }
   std::uint64_t inter_rack_bytes() const { return inter_rack_bytes_; }
 
+  // Fault-counter aggregates.
+  std::uint64_t total_dropped() const;
+  std::uint64_t total_duplicated() const;
+
  private:
   sim::SimTime wire_time(std::uint64_t bytes) const;
+  // Phase-aligned transient window test: t falls in the first `duration`
+  // of its `period`.
+  static bool in_window(sim::SimTime t, sim::SimTime period,
+                        sim::SimTime duration) {
+    return period > 0 && duration > 0 && t % period < duration;
+  }
+  // Wire time through one machine's port, including its slow-NIC factor
+  // and any degradation window active at time `at`.
+  sim::SimTime port_wire_time(std::size_t machine, sim::SimTime wire,
+                              sim::SimTime at) const;
 
   struct Nic {
     SerialLink tx;
@@ -135,6 +208,8 @@ class Fabric {
   double uplink_bandwidth_Bps_ = 0;
   std::uint64_t inter_rack_bytes_ = 0;
   Rng jitter_rng_{0};
+  Rng fault_rng_{0};
+  std::vector<double> nic_wire_factor_;  // per-machine slow-NIC multiplier
 };
 
 }  // namespace pgxd::net

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -25,13 +26,22 @@ struct ClusterConfig {
   net::NetConfig net{};
   CostModel cost{};
   std::uint64_t seed = 0x5eed;
+  // Ack/retry/backoff delivery (off by default: the clean path is
+  // byte-identical to a Comm without the reliable layer).
+  ReliableConfig reliable{};
+  // Permit messages left in mailboxes at the end of a run. Only legitimate
+  // for engines that tolerate fabric-level duplicates at the application
+  // layer (trailing duplicate copies can arrive after the receive loops
+  // are done); everything else should drain every mailbox.
+  bool allow_undrained = false;
 };
 
 template <typename Payload>
 class Cluster {
  public:
   explicit Cluster(const ClusterConfig& cfg)
-      : cfg_(cfg), fabric_(sim_, cfg.machines, cfg.net), comm_(sim_, fabric_) {
+      : cfg_(cfg), fabric_(sim_, cfg.machines, cfg.net),
+        comm_(sim_, fabric_, cfg.reliable) {
     PGXD_CHECK(cfg.machines >= 1);
     machines_.reserve(cfg.machines);
     for (std::size_t r = 0; r < cfg.machines; ++r)
@@ -53,9 +63,21 @@ class Cluster {
     const sim::SimTime start = sim_.now();
     for (auto& m : machines_) sim_.spawn(factory(*m));
     sim_.run();
-    PGXD_CHECK_MSG(sim_.quiescent(),
-                   "cluster run ended with blocked machine processes "
-                   "(deadlock: a recv without a matching send?)");
+    if (!sim_.quiescent()) {
+      const std::string diag =
+          "cluster run ended with blocked machine processes (deadlock: a "
+          "recv without a matching send, or the fabric lost a message?); "
+          "blocked receives:" +
+          comm_.blocked_report();
+      PGXD_CHECK_MSG(false, diag.c_str());
+    }
+    if (!cfg_.allow_undrained && comm_.total_pending() > 0) {
+      const std::string diag =
+          "cluster run ended with undrained mailboxes (stray messages "
+          "nobody received):" +
+          comm_.stray_report();
+      PGXD_CHECK_MSG(false, diag.c_str());
+    }
     return sim_.now() - start;
   }
 

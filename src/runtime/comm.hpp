@@ -5,27 +5,47 @@
 //   * post() is asynchronous: the sender keeps computing while the transfer
 //     proceeds as its own simulation process ("reading/writing data from/to
 //     the remote processors asynchronously").
-//   * Per (src, dst) message order is FIFO (TX and RX ports are FIFO and
-//     fabric latency is constant).
+//   * In the default (unreliable) mode, per (src, dst) message order is
+//     FIFO (TX and RX ports are FIFO and fabric latency is constant).
 //   * recv(rank, tag) waits only for the next message of that tag — there
 //     is no global barrier hidden in the receive path.
+//
+// Reliable mode (ReliableConfig::enabled) layers an ack/retry/backoff
+// protocol on top of a faulty fabric (net::FaultConfig):
+//   * every remote message is stamped with a per-(src,dst) sequence number;
+//   * the receiver acks every arriving data frame (including duplicates —
+//     a duplicate usually means the previous ack was lost) and suppresses
+//     redelivery through a per-pair dedup window, so the mailbox sees each
+//     message exactly once;
+//   * the sender retransmits on an RTO timer with capped exponential
+//     backoff until acked (sim::Timeout — the ack handler cancels the
+//     pending timer, so a completed message leaves no stray clock events);
+//   * a message that exhausts its retry budget aborts the run loudly.
+// Retransmission breaks per-pair FIFO ordering — engines running over a
+// lossy fabric must tolerate reordering (the sort's data chunks carry
+// explicit offsets for exactly this reason).
 //
 // The payload type is a template parameter; each engine (the PGX.D sort,
 // the Spark baseline, the comparator baselines) instantiates Comm with its
 // own message variant.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/rng.hpp"
 #include "net/fabric.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
+#include "sim/timeout.hpp"
 
 namespace pgxd::rt {
 
@@ -48,22 +68,60 @@ struct Message {
       : src(src_in), tag(tag_in), bytes(bytes_in), payload(std::move(p)) {}
 };
 
+// Reliable-delivery protocol parameters.
+struct ReliableConfig {
+  bool enabled = false;
+  // First retransmission timeout; doubles per attempt up to max_rto.
+  sim::SimTime initial_rto = 1 * sim::kMillisecond;
+  sim::SimTime max_rto = 20 * sim::kMillisecond;
+  // Transmissions (first + retries) before the run aborts.
+  int max_attempts = 40;
+  // Modeled wire size of an ack frame.
+  std::uint64_t ack_wire_bytes = 16;
+  // Each armed RTO is stretched by uniform [0, backoff_jitter * rto),
+  // drawn from a dedicated seeded stream. Without jitter, the doubling
+  // backoff phase-locks with periodic fault windows (every retry of a
+  // message can land inside the same blackout, forever); with it, retries
+  // walk out of the window. Deterministic: same seed, same jitter.
+  double backoff_jitter = 0.5;
+  std::uint64_t seed = 0xac4;
+};
+
+struct ReliableStats {
+  std::uint64_t frames_sent = 0;  // first transmissions
+  std::uint64_t retransmits = 0;
+  std::uint64_t retransmitted_bytes = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t acks_received = 0;  // ack frames that survived the fabric
+  std::uint64_t duplicates_suppressed = 0;  // receiver-side dedup hits
+};
+
 template <typename Payload>
 class Comm {
  public:
   using Msg = Message<Payload>;
 
-  Comm(sim::Simulator& sim, net::Fabric& fabric)
-      : sim_(sim), fabric_(fabric), machines_(fabric.machines()),
-        barrier_(sim, fabric.machines()), mailboxes_(fabric.machines()) {}
+  Comm(sim::Simulator& sim, net::Fabric& fabric, ReliableConfig rcfg = {})
+      : sim_(sim), fabric_(fabric), machines_(fabric.machines()), rcfg_(rcfg),
+        barrier_(sim, fabric.machines()), mailboxes_(fabric.machines()),
+        inflight_(machines_ * machines_), next_seq_(machines_ * machines_, 0),
+        dedup_(machines_ * machines_) {
+    PGXD_CHECK(rcfg_.initial_rto > 0 && rcfg_.max_rto >= rcfg_.initial_rto);
+    PGXD_CHECK(rcfg_.max_attempts >= 1);
+    PGXD_CHECK(rcfg_.backoff_jitter >= 0.0);
+    backoff_rng_ = Rng(rcfg_.seed);
+  }
 
   std::size_t machines() const { return machines_; }
   sim::Simulator& simulator() { return sim_; }
   net::Fabric& fabric() { return fabric_; }
+  const ReliableConfig& reliable_config() const { return rcfg_; }
+  const ReliableStats& reliable_stats() const { return rstats_; }
 
   // Asynchronous send: returns immediately; the payload is delivered to
-  // dst's mailbox when the simulated transfer completes. Local (src == dst)
-  // posts deliver at the current instant without touching the fabric.
+  // dst's mailbox when the simulated transfer completes (in reliable mode:
+  // when the first surviving copy arrives). Local (src == dst) posts
+  // deliver at the current instant without touching the fabric.
   void post(std::size_t src, std::size_t dst, int tag, Payload payload,
             std::uint64_t bytes) {
     PGXD_CHECK(src < machines_ && dst < machines_);
@@ -72,10 +130,16 @@ class Comm {
       mailbox(dst, tag).send(std::move(msg));
       return;
     }
+    if (rcfg_.enabled) {
+      sim_.spawn(reliable_send_proc(src, dst, tag,
+                                    enqueue(src, dst, std::move(msg), bytes)));
+      return;
+    }
     sim_.spawn(deliver(src, dst, tag, std::move(msg)));
   }
 
-  // Blocking send: completes when the payload has been delivered.
+  // Blocking send: completes when the payload has been delivered (reliable
+  // mode: when the delivery has been acknowledged).
   //
   // Deliberately a non-coroutine wrapper: GCC 12 miscompiles *prvalue*
   // arguments bound to coroutine by-value parameters (the temporary and the
@@ -112,19 +176,201 @@ class Comm {
     return mailbox(rank, tag).size();
   }
 
+  // Messages delivered but never received, across all ranks and tags. A
+  // clean engine drains every mailbox; leftovers hide protocol bugs.
+  std::size_t total_pending() const {
+    std::size_t n = 0;
+    for (const auto& boxes : mailboxes_)
+      for (const auto& [tag, ch] : boxes) n += ch->size();
+    return n;
+  }
+
+  // Names the receives still blocked after a run — which ranks are stuck
+  // waiting on which tags — for the cluster's deadlock diagnostics.
+  std::string blocked_report() const {
+    std::string out;
+    for (std::size_t rank = 0; rank < mailboxes_.size(); ++rank)
+      for (const auto& [tag, ch] : mailboxes_[rank])
+        if (ch->waiting() > 0)
+          out += " rank " + std::to_string(rank) + " waits on tag " +
+                 std::to_string(tag) + " (" + std::to_string(ch->waiting()) +
+                 " recv)";
+    if (barrier_.waiting() > 0)
+      out += " [" + std::to_string(barrier_.waiting()) +
+             " rank(s) stuck at the barrier]";
+    if (out.empty()) out = " (none — processes are blocked elsewhere)";
+    return out;
+  }
+
+  // Names mailboxes holding undelivered messages after a run.
+  std::string stray_report() const {
+    std::string out;
+    for (std::size_t rank = 0; rank < mailboxes_.size(); ++rank)
+      for (const auto& [tag, ch] : mailboxes_[rank])
+        if (!ch->empty())
+          out += " rank " + std::to_string(rank) + " tag " +
+                 std::to_string(tag) + " (" + std::to_string(ch->size()) +
+                 " msg)";
+    return out;
+  }
+
  private:
+  // Sender-side record of an unacknowledged message. The payload stays
+  // here until the first accepted delivery (the receiver dedups, so
+  // retransmits never need it again — only the modeled byte count rides
+  // subsequent attempts).
+  struct InFlight {
+    Msg msg;
+    std::uint64_t bytes = 0;
+    bool acked = false;
+    bool delivered = false;  // payload handed to the receiver's mailbox
+    sim::Timeout* timer = nullptr;  // current attempt's RTO, cancellable
+
+    InFlight(Msg m, std::uint64_t b) : msg(std::move(m)), bytes(b) {}
+  };
+
+  // Receiver-side exactly-once filter: per (src,dst) pair, a watermark of
+  // contiguously-seen sequence numbers plus the out-of-order set above it
+  // (compacted as the gap fills), so memory stays proportional to the
+  // reorder window, not the message count.
+  struct DedupWindow {
+    std::uint64_t next_expected = 0;
+    std::set<std::uint64_t> above;
+
+    bool accept(std::uint64_t seq) {
+      if (seq < next_expected) return false;
+      if (!above.insert(seq).second) return false;
+      auto it = above.begin();
+      while (it != above.end() && *it == next_expected) {
+        it = above.erase(it);
+        ++next_expected;
+      }
+      return true;
+    }
+  };
+
+  std::size_t pair_index(std::size_t src, std::size_t dst) const {
+    return src * machines_ + dst;
+  }
+
+  std::uint64_t enqueue(std::size_t src, std::size_t dst, Msg msg,
+                        std::uint64_t bytes) {
+    const std::size_t pi = pair_index(src, dst);
+    const std::uint64_t seq = next_seq_[pi]++;
+    inflight_[pi].emplace(seq, std::make_shared<InFlight>(std::move(msg), bytes));
+    return seq;
+  }
+
   sim::Task<void> send_impl(std::size_t src, std::size_t dst, int tag,
                             Payload payload, std::uint64_t bytes) {
     PGXD_CHECK(src < machines_ && dst < machines_);
     Msg msg{src, tag, bytes, std::move(payload)};
-    if (src != dst) co_await fabric_.transfer(src, dst, bytes);
-    mailbox(dst, tag).send(std::move(msg));
+    if (src == dst) {
+      mailbox(dst, tag).send(std::move(msg));
+      co_return;
+    }
+    if (rcfg_.enabled) {
+      co_await reliable_send_proc(src, dst, tag,
+                                  enqueue(src, dst, std::move(msg), bytes));
+      co_return;
+    }
+    co_await deliver(src, dst, tag, std::move(msg));
   }
 
   // Only ever invoked with xvalue `msg` (see send() for why).
+  //
+  // Unreliable mode maps fault outcomes straight onto the mailbox: a
+  // duplicated message arrives twice (engines that opt into a duplicating
+  // fabric without reliable delivery must dedup at the application layer)
+  // and a dropped message is simply lost — the resulting blocked receive
+  // surfaces in Cluster::run's quiescence diagnostics.
   sim::Task<void> deliver(std::size_t src, std::size_t dst, int tag, Msg msg) {
-    co_await fabric_.transfer(src, dst, msg.bytes);
+    const net::Delivery d = co_await fabric_.transfer(src, dst, msg.bytes);
+    if (!d.delivered()) co_return;
+    for (int c = 1; c < d.copies; ++c) {
+      Msg copy = msg;
+      mailbox(dst, tag).send(std::move(copy));
+    }
     mailbox(dst, tag).send(std::move(msg));
+  }
+
+  // The ack/retry state machine for one message: transmit, arm the RTO,
+  // retransmit with doubled (capped) RTO until the ack arrives. The ack
+  // handler cancels the armed timer, so the loop wakes at the ack instant
+  // and the cancelled deadline never advances the clock.
+  sim::Task<void> reliable_send_proc(std::size_t src, std::size_t dst, int tag,
+                                     std::uint64_t seq) {
+    auto& slot = inflight_[pair_index(src, dst)];
+    std::shared_ptr<InFlight> rec = slot.at(seq);
+    sim::SimTime rto = rcfg_.initial_rto;
+    for (int attempt = 0;; ++attempt) {
+      PGXD_CHECK_MSG(attempt < rcfg_.max_attempts,
+                     "reliable delivery exhausted its retry budget "
+                     "(fabric too lossy for max_attempts/max_rto?)");
+      if (attempt == 0) {
+        ++rstats_.frames_sent;
+      } else {
+        ++rstats_.retransmits;
+        rstats_.retransmitted_bytes += rec->bytes;
+      }
+      const net::Delivery d = co_await fabric_.transfer(src, dst, rec->bytes);
+      for (int c = 0; c < d.copies; ++c)
+        on_data_frame(src, dst, tag, seq, *rec);
+      if (!rec->acked) {
+        sim::Timeout timer(sim_, jittered(rto));
+        rec->timer = &timer;
+        co_await timer.wait();
+        rec->timer = nullptr;
+      }
+      if (rec->acked) {
+        slot.erase(seq);
+        co_return;
+      }
+      rto = std::min<sim::SimTime>(rto * 2, rcfg_.max_rto);
+    }
+  }
+
+  // Receiver side of a data frame (same address space: invoked directly by
+  // the completing transfer). Delivers to the mailbox exactly once per
+  // seq; always acks, because a duplicate frame usually means a lost ack.
+  void on_data_frame(std::size_t src, std::size_t dst, int tag,
+                     std::uint64_t seq, InFlight& rec) {
+    if (dedup_[pair_index(src, dst)].accept(seq)) {
+      PGXD_CHECK(!rec.delivered);
+      rec.delivered = true;
+      mailbox(dst, tag).send(std::move(rec.msg));
+    } else {
+      ++rstats_.duplicates_suppressed;
+    }
+    sim_.spawn(ack_proc(dst, src, seq));
+  }
+
+  // Ack frame: real (droppable, duplicable) fabric traffic back to the
+  // sender.
+  sim::Task<void> ack_proc(std::size_t from, std::size_t to,
+                           std::uint64_t seq) {
+    ++rstats_.acks_sent;
+    const net::Delivery d =
+        co_await fabric_.transfer(from, to, rcfg_.ack_wire_bytes);
+    if (d.delivered()) on_ack(to, from, seq);
+  }
+
+  void on_ack(std::size_t src, std::size_t dst, std::uint64_t seq) {
+    ++rstats_.acks_received;
+    auto& slot = inflight_[pair_index(src, dst)];
+    auto it = slot.find(seq);
+    if (it == slot.end()) return;  // duplicate ack for a completed message
+    InFlight& rec = *it->second;
+    if (rec.acked) return;
+    rec.acked = true;
+    if (rec.timer != nullptr) rec.timer->cancel();
+  }
+
+  sim::SimTime jittered(sim::SimTime rto) {
+    const auto span = static_cast<std::uint64_t>(
+        static_cast<double>(rto) * rcfg_.backoff_jitter);
+    if (span == 0) return rto;
+    return rto + static_cast<sim::SimTime>(backoff_rng_.bounded(span + 1));
   }
 
   sim::Channel<Msg>& mailbox(std::size_t rank, int tag) {
@@ -136,8 +382,15 @@ class Comm {
   sim::Simulator& sim_;
   net::Fabric& fabric_;
   std::size_t machines_;
+  ReliableConfig rcfg_;
+  ReliableStats rstats_;
   sim::Barrier barrier_;
   std::vector<std::map<int, std::unique_ptr<sim::Channel<Msg>>>> mailboxes_;
+  // Reliable-mode state, indexed by pair_index(src, dst).
+  std::vector<std::map<std::uint64_t, std::shared_ptr<InFlight>>> inflight_;
+  std::vector<std::uint64_t> next_seq_;
+  std::vector<DedupWindow> dedup_;
+  Rng backoff_rng_{0};
 };
 
 }  // namespace pgxd::rt

@@ -44,6 +44,20 @@ void Simulator::schedule_at(SimTime at, std::coroutine_handle<> h) {
   queue_.push(Scheduled{at, next_seq_++, h});
 }
 
+std::uint64_t Simulator::schedule_cancellable(SimTime at,
+                                              std::coroutine_handle<> h) {
+  const std::uint64_t ticket = next_seq_;
+  schedule_at(at, h);
+  cancellable_live_.insert(ticket);
+  return ticket;
+}
+
+bool Simulator::cancel(std::uint64_t ticket) {
+  if (cancellable_live_.erase(ticket) == 0) return false;
+  cancelled_.insert(ticket);
+  return true;
+}
+
 void Simulator::spawn(Task<void> task) {
   auto h = task.release();
   PGXD_CHECK_MSG(h != nullptr, "spawning an empty task");
@@ -97,6 +111,8 @@ SimTime Simulator::run() {
   while (!queue_.empty()) {
     Scheduled ev = queue_.top();
     queue_.pop();
+    if (cancelled_.erase(ev.seq)) continue;  // cancelled timer: never fires
+    cancellable_live_.erase(ev.seq);
     step(ev);
   }
   return now_;
@@ -107,6 +123,8 @@ SimTime Simulator::run_until(SimTime t) {
   while (!queue_.empty() && queue_.top().at <= t) {
     Scheduled ev = queue_.top();
     queue_.pop();
+    if (cancelled_.erase(ev.seq)) continue;
+    cancellable_live_.erase(ev.seq);
     step(ev);
   }
   now_ = t;

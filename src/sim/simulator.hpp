@@ -11,6 +11,7 @@
 #include <coroutine>
 #include <cstdint>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -32,6 +33,15 @@ class Simulator {
   // This is the single wake-up entry point used by all awaitables.
   void schedule_at(SimTime at, std::coroutine_handle<> h);
   void schedule_now(std::coroutine_handle<> h) { schedule_at(now_, h); }
+
+  // Like schedule_at, but returns a ticket that can remove the wake-up
+  // before it fires (see cancel). Timeout builds on this so an abandoned
+  // deadline neither resumes its waiter nor advances the clock to it.
+  std::uint64_t schedule_cancellable(SimTime at, std::coroutine_handle<> h);
+
+  // Removes a cancellable wake-up. Returns true if it was still pending
+  // (it will now never fire); false if it already fired or was cancelled.
+  bool cancel(std::uint64_t ticket);
 
   // Registers a root process; it starts at the current time. The simulator
   // owns the coroutine frame from this point on.
@@ -69,7 +79,9 @@ class Simulator {
   static Simulator* current();
 
   std::uint64_t events_processed() const { return events_processed_; }
-  std::size_t pending_events() const { return queue_.size(); }
+  std::size_t pending_events() const {
+    return queue_.size() - cancelled_.size();
+  }
 
  private:
   friend struct detail::PromiseBase;
@@ -93,6 +105,10 @@ class Simulator {
   std::uint64_t events_processed_ = 0;
   std::size_t live_roots_ = 0;
   std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<>> queue_;
+  // Cancellation is lazy: a cancelled seq stays in the heap and is skipped
+  // (without advancing the clock) when it reaches the top.
+  std::unordered_set<std::uint64_t> cancellable_live_;
+  std::unordered_set<std::uint64_t> cancelled_;
   std::vector<std::coroutine_handle<>> reclaimed_;
   std::vector<std::coroutine_handle<>> roots_;  // frames owned by the simulator
 };

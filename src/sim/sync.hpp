@@ -215,6 +215,9 @@ class Channel {
   // Unclaimed values (not counting values already handed to waking receivers).
   std::size_t size() const { return values_.size(); }
   bool empty() const { return values_.empty(); }
+  // Receivers currently suspended in recv() (diagnostics: a non-empty
+  // waiter list at the end of a run names who is blocked on what).
+  std::size_t waiting() const { return waiters_.size(); }
 
  private:
   Simulator& sim_;

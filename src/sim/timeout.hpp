@@ -1,0 +1,79 @@
+// Cancellable timeout: a one-shot timer that a single process can await.
+//
+// `co_await t.wait()` resumes the waiter when the deadline arrives — or
+// immediately, at the cancelling instant, if cancel() runs first.
+// Cancellation removes the queued deadline event from the simulator
+// entirely, so an abandoned timeout neither resumes anyone at the deadline
+// nor advances the clock to it: a run's end time is unaffected by timers
+// that never fired. expired() distinguishes the two wake-up reasons.
+//
+// This is the primitive behind the reliable-delivery retransmission timer
+// (runtime/comm.hpp): the ack handler cancels the in-flight attempt's
+// timeout, waking the sender's retry loop at the ack's arrival instant.
+#pragma once
+
+#include <coroutine>
+
+#include "common/assert.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace pgxd::sim {
+
+class Timeout {
+ public:
+  Timeout(Simulator& sim, SimTime dt) : sim_(sim), deadline_(sim.now() + dt) {
+    PGXD_CHECK_MSG(dt >= 0, "negative timeout");
+  }
+  Timeout(const Timeout&) = delete;
+  Timeout& operator=(const Timeout&) = delete;
+  ~Timeout() {
+    PGXD_CHECK_MSG(waiter_ == nullptr, "Timeout destroyed while awaited");
+  }
+
+  SimTime deadline() const { return deadline_; }
+  // The deadline actually arrived (as opposed to a cancel() wake-up).
+  bool expired() const { return expired_; }
+  bool cancelled() const { return cancelled_; }
+
+  // Cancels the timeout; idempotent, and a no-op after expiry. If a
+  // process is suspended in wait(), it is woken at the current instant
+  // (through the event queue, like every wake-up) with expired() == false.
+  void cancel() {
+    if (expired_ || cancelled_) return;
+    cancelled_ = true;
+    if (waiter_ != nullptr) {
+      sim_.cancel(ticket_);
+      sim_.schedule_now(waiter_);
+    }
+  }
+
+  // One-shot, single waiter: resumes at the deadline or upon cancel(),
+  // whichever comes first (immediately if either already happened).
+  auto wait() {
+    struct Awaiter {
+      Timeout& t;
+      bool await_ready() const noexcept { return t.cancelled_ || t.expired_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        PGXD_CHECK_MSG(t.waiter_ == nullptr, "Timeout supports one waiter");
+        t.waiter_ = h;
+        t.ticket_ = t.sim_.schedule_cancellable(t.deadline_, h);
+      }
+      void await_resume() noexcept {
+        t.waiter_ = nullptr;
+        if (!t.cancelled_) t.expired_ = true;
+      }
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Simulator& sim_;
+  SimTime deadline_;
+  std::coroutine_handle<> waiter_;
+  std::uint64_t ticket_ = 0;
+  bool expired_ = false;
+  bool cancelled_ = false;
+};
+
+}  // namespace pgxd::sim

@@ -1,0 +1,59 @@
+// when_any: run a batch of sim::Task<void> concurrently inside a parent
+// coroutine and resume the parent as soon as the FIRST member completes,
+// returning its index. The companion of when_all for race-shaped waits
+// ("ack or timeout", "first replica to answer").
+//
+// The losing tasks keep running as detached processes — the Task model has
+// no preemption — and must complete on their own for the simulation to
+// reach quiescence. Give long-lived losers cancellable state (e.g. a
+// sim::Timeout the winner's continuation cancels) so they wind down
+// promptly instead of holding the clock hostage.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace pgxd::sim {
+
+namespace detail {
+
+struct AnyState {
+  explicit AnyState(Simulator& sim) : first(sim) {}
+  bool done = false;
+  std::size_t winner = 0;
+  Event first;
+};
+
+inline Task<void> run_and_race(Task<void> task, std::size_t index,
+                               std::shared_ptr<AnyState> state) {
+  co_await std::move(task);
+  if (!state->done) {
+    state->done = true;
+    state->winner = index;
+    state->first.fire();
+  }
+}
+
+}  // namespace detail
+
+// Runs all tasks concurrently; completes when the first one finishes and
+// returns its index. Ties (same-instant completions) go to the task whose
+// completion event was scheduled first — deterministic like everything
+// else. Exceptions in member tasks are fatal (they escape a root process).
+inline Task<std::size_t> when_any(Simulator& sim,
+                                  std::vector<Task<void>> tasks) {
+  PGXD_CHECK_MSG(!tasks.empty(), "when_any over an empty batch");
+  auto state = std::make_shared<detail::AnyState>(sim);
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    sim.spawn(detail::run_and_race(std::move(tasks[i]), i, state));
+  co_await state->first.wait();
+  co_return state->winner;
+}
+
+}  // namespace pgxd::sim

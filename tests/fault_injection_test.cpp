@@ -1,0 +1,347 @@
+// Chaos suite: the full distributed sort over a faulty fabric with the
+// reliable-delivery layer enabled. Sweeps fault profiles (drop rates up to
+// 10%, duplication, blackout windows, degraded links, slow NICs) across
+// the Fig. 4 data distributions and asserts the same postconditions as a
+// clean run — globally sorted output, exactly-once provenance — plus
+// determinism: identical seeds give bit-identical results and times.
+//
+// Also covers the harness diagnostics that ride along: the quiescence
+// failure message naming blocked ranks/tags, and the end-of-run stray-
+// message check.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/distributed_sort.hpp"
+#include "datagen/distributions.hpp"
+#include "net/fabric.hpp"
+#include "runtime/cluster.hpp"
+
+namespace pgxd::core {
+namespace {
+
+using Key = std::uint64_t;
+using Sorter = DistributedSorter<Key>;
+using Msg = SortMsg<Key>;
+
+std::vector<std::vector<Key>> make_shards(gen::Distribution dist,
+                                          std::size_t total_n,
+                                          std::size_t machines,
+                                          std::uint64_t seed = 42) {
+  gen::DataGenConfig dcfg;
+  dcfg.dist = dist;
+  dcfg.domain = 1 << 20;
+  dcfg.seed = seed;
+  std::vector<std::vector<Key>> shards;
+  for (std::size_t r = 0; r < machines; ++r)
+    shards.push_back(gen::generate_shard(dcfg, total_n, machines, r));
+  return shards;
+}
+
+// A small read buffer makes the exchange stream many chunks per pair, so a
+// given drop rate hits plenty of individual messages.
+SortConfig chunky_sort_config() {
+  SortConfig cfg;
+  cfg.read_buffer_bytes = 4096;
+  return cfg;
+}
+
+rt::ClusterConfig faulty_cluster(std::size_t machines,
+                                 const net::FaultConfig& faults,
+                                 bool reliable = true) {
+  rt::ClusterConfig cfg;
+  cfg.machines = machines;
+  cfg.threads_per_machine = 8;
+  cfg.net.faults = faults;
+  cfg.reliable.enabled = reliable;
+  return cfg;
+}
+
+void verify_sorted(const Sorter& sorter,
+                   const std::vector<std::vector<Key>>& input) {
+  const auto& parts = sorter.partitions();
+  const Key* prev_max = nullptr;
+  for (const auto& part : parts) {
+    for (std::size_t i = 1; i < part.size(); ++i)
+      ASSERT_LE(part[i - 1].key, part[i].key);
+    if (!part.empty()) {
+      if (prev_max != nullptr) {
+        ASSERT_LE(*prev_max, part.front().key);
+      }
+      prev_max = &part.back().key;
+    }
+  }
+  std::vector<Key> all_in, all_out;
+  for (const auto& shard : input)
+    all_in.insert(all_in.end(), shard.begin(), shard.end());
+  for (const auto& part : parts)
+    for (const auto& item : part) all_out.push_back(item.key);
+  ASSERT_EQ(all_in.size(), all_out.size());
+  std::sort(all_in.begin(), all_in.end());
+  std::sort(all_out.begin(), all_out.end());
+  ASSERT_EQ(all_in, all_out);
+}
+
+// Bit-exact fingerprint of a run: every output element (key + provenance)
+// plus the simulated completion time.
+std::uint64_t fingerprint(const Sorter& sorter) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) { h = (h ^ v) * 1099511628211ULL; };
+  for (const auto& part : sorter.partitions())
+    for (const auto& item : part) {
+      mix(item.key);
+      mix(item.prov.prev_machine);
+      mix(item.prov.prev_index);
+    }
+  mix(static_cast<std::uint64_t>(sorter.stats().total_time));
+  return h;
+}
+
+struct FaultProfile {
+  const char* label;
+  net::FaultConfig faults;
+};
+
+std::vector<FaultProfile> chaos_profiles() {
+  std::vector<FaultProfile> out;
+  {
+    net::FaultConfig fc;
+    fc.drop_prob = 0.02;
+    out.push_back({"drop2", fc});
+  }
+  {
+    net::FaultConfig fc;
+    fc.drop_prob = 0.10;
+    out.push_back({"drop10", fc});
+  }
+  {
+    net::FaultConfig fc;
+    fc.duplicate_prob = 0.10;
+    out.push_back({"dup10", fc});
+  }
+  {
+    net::FaultConfig fc;
+    fc.drop_prob = 0.05;
+    fc.duplicate_prob = 0.05;
+    out.push_back({"drop5dup5", fc});
+  }
+  {
+    net::FaultConfig fc;
+    fc.drop_prob = 0.02;
+    fc.blackout_period = 2 * sim::kMillisecond;
+    fc.blackout_duration = 200 * sim::kMicrosecond;
+    out.push_back({"blackout", fc});
+  }
+  {
+    net::FaultConfig fc;
+    fc.drop_prob = 0.02;
+    fc.degrade_period = 1 * sim::kMillisecond;
+    fc.degrade_duration = 250 * sim::kMicrosecond;
+    fc.degrade_factor = 4.0;
+    fc.slow_nics = {1};
+    fc.slow_nic_factor = 2.0;
+    out.push_back({"degraded", fc});
+  }
+  return out;
+}
+
+class ChaosSweep
+    : public ::testing::TestWithParam<std::tuple<gen::Distribution, int>> {};
+
+TEST_P(ChaosSweep, SortsCorrectlyOverFaultyFabric) {
+  const auto [dist, profile_idx] = GetParam();
+  const FaultProfile profile =
+      chaos_profiles()[static_cast<std::size_t>(profile_idx)];
+  const std::size_t p = 5;
+  auto shards = make_shards(dist, 20000, p);
+
+  rt::Cluster<Msg> cluster(faulty_cluster(p, profile.faults));
+  Sorter sorter(cluster, chunky_sort_config());
+  sorter.run(shards);  // audit_exchange asserts exactly-once internally
+  verify_sorted(sorter, shards);
+
+  const auto& rs = cluster.comm().reliable_stats();
+  const auto& fabric = cluster.fabric();
+  if (profile.faults.drop_prob > 0) {
+    EXPECT_GT(fabric.total_dropped(), 0u);
+    EXPECT_GT(rs.retransmits, 0u);
+  }
+  if (profile.faults.duplicate_prob > 0) {
+    EXPECT_GT(fabric.total_duplicated(), 0u);
+    EXPECT_GT(rs.duplicates_suppressed, 0u);
+  }
+  // Every data frame eventually acked; no element ever reached the sorter
+  // twice (the dedup window absorbed every redelivery).
+  EXPECT_GT(rs.frames_sent, 0u);
+  EXPECT_GE(rs.acks_sent, rs.frames_sent);
+  for (const auto& ms : sorter.stats().machines)
+    EXPECT_EQ(ms.duplicate_chunks, 0u);
+}
+
+TEST_P(ChaosSweep, IdenticalSeedsAreBitIdentical) {
+  const auto [dist, profile_idx] = GetParam();
+  const FaultProfile profile =
+      chaos_profiles()[static_cast<std::size_t>(profile_idx)];
+  const std::size_t p = 5;
+  auto run_once = [&]() {
+    auto shards = make_shards(dist, 8000, p);
+    rt::Cluster<Msg> cluster(faulty_cluster(p, profile.faults));
+    Sorter sorter(cluster, chunky_sort_config());
+    sorter.run(shards);
+    return fingerprint(sorter);
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Chaos, ChaosSweep,
+    ::testing::Combine(::testing::Values(gen::Distribution::kUniform,
+                                         gen::Distribution::kNormal,
+                                         gen::Distribution::kRightSkewed,
+                                         gen::Distribution::kExponential),
+                       ::testing::Values(0, 1, 2, 3, 4, 5)));
+
+// Reliable mode over a PERFECT fabric: still correct, no retransmissions,
+// and the ack overhead stays modest relative to the clean run.
+TEST(ReliableClean, NoFaultsMeansNoRetries) {
+  const std::size_t p = 5;
+  auto shards = make_shards(gen::Distribution::kUniform, 20000, p);
+
+  rt::Cluster<Msg> plain_cluster(faulty_cluster(p, {}, /*reliable=*/false));
+  Sorter plain(plain_cluster, chunky_sort_config());
+  plain.run(shards);
+  verify_sorted(plain, shards);
+
+  rt::Cluster<Msg> rel_cluster(faulty_cluster(p, {}, /*reliable=*/true));
+  Sorter reliable(rel_cluster, chunky_sort_config());
+  reliable.run(shards);
+  verify_sorted(reliable, shards);
+
+  const auto& rs = rel_cluster.comm().reliable_stats();
+  EXPECT_EQ(rs.retransmits, 0u);
+  EXPECT_EQ(rs.duplicates_suppressed, 0u);
+  EXPECT_EQ(rs.acks_received, rs.frames_sent);
+  // Acks ride the fabric, so a reliable run is a bit slower than plain —
+  // but only by ack traffic, never by timers (RTO events are cancelled).
+  EXPECT_GE(reliable.stats().total_time, plain.stats().total_time);
+  EXPECT_LT(static_cast<double>(reliable.stats().total_time),
+            1.25 * static_cast<double>(plain.stats().total_time));
+}
+
+// A duplicating-but-lossless fabric WITHOUT the reliable layer: the sorter
+// itself must absorb duplicates (distinct-source gathers, chunk dedup by
+// rel_offset). Trailing duplicate copies can sit in mailboxes at the end,
+// so the run opts into allow_undrained.
+TEST(AppLevelDedup, DuplicatingFabricWithoutReliableLayer) {
+  const std::size_t p = 5;
+  auto shards = make_shards(gen::Distribution::kExponential, 20000, p);
+  net::FaultConfig fc;
+  fc.duplicate_prob = 0.15;
+  rt::ClusterConfig ccfg = faulty_cluster(p, fc, /*reliable=*/false);
+  ccfg.allow_undrained = true;
+  rt::Cluster<Msg> cluster(ccfg);
+  Sorter sorter(cluster, chunky_sort_config());
+  sorter.run(shards);
+  verify_sorted(sorter, shards);
+
+  std::uint64_t dup_chunks = 0;
+  for (const auto& ms : sorter.stats().machines)
+    dup_chunks += ms.duplicate_chunks;
+  EXPECT_GT(cluster.fabric().total_duplicated(), 0u);
+  EXPECT_GT(dup_chunks, 0u);
+}
+
+// Retry budget: a fabric whose blackout never ends defeats retransmission;
+// the sender must fail loudly instead of retrying forever.
+TEST(ReliableDeath, ExhaustedRetryBudgetAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto doomed = [] {
+    net::FaultConfig fc;
+    fc.blackout_period = 1;
+    fc.blackout_duration = 1;  // every message dropped, forever
+    rt::ClusterConfig ccfg;
+    ccfg.machines = 2;
+    ccfg.threads_per_machine = 8;
+    ccfg.net.faults = fc;
+    ccfg.reliable.enabled = true;
+    ccfg.reliable.max_attempts = 4;
+    rt::Cluster<Msg> cluster(ccfg);
+    cluster.run([&cluster](rt::Machine& m) -> sim::Task<void> {
+      auto& comm = cluster.comm();
+      if (m.rank() == 0) {
+        // Braced-list payloads are named first (GCC 12 cannot keep an
+        // initializer_list temporary alive across a suspension).
+        std::vector<Key> keys{1, 2, 3};
+        co_await comm.send(0, 1, /*tag=*/7, Msg::of_keys(std::move(keys)), 24);
+      } else {
+        co_await comm.recv(1, /*tag=*/7);
+      }
+    });
+  };
+  EXPECT_DEATH(doomed(), "retry budget");
+}
+
+// Satellite diagnostics: a deadlocked run names the blocked ranks and tags.
+TEST(ClusterDiagnostics, QuiescenceFailureNamesBlockedRanksAndTags) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto deadlocked = [] {
+    rt::ClusterConfig ccfg;
+    ccfg.machines = 3;
+    ccfg.threads_per_machine = 8;
+    rt::Cluster<Msg> cluster(ccfg);
+    cluster.run([&cluster](rt::Machine& m) -> sim::Task<void> {
+      // Rank 2 waits on tag 9 but nobody ever sends to it.
+      if (m.rank() == 2) co_await cluster.comm().recv(2, /*tag=*/9);
+      co_return;
+    });
+  };
+  EXPECT_DEATH(deadlocked(), "rank 2 waits on tag 9");
+}
+
+// Satellite diagnostics: stray (sent but never received) messages fail the
+// run and are named.
+TEST(ClusterDiagnostics, UndrainedMailboxesAreFlagged) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto leaky = [] {
+    rt::ClusterConfig ccfg;
+    ccfg.machines = 2;
+    ccfg.threads_per_machine = 8;
+    rt::Cluster<Msg> cluster(ccfg);
+    cluster.run([&cluster](rt::Machine& m) -> sim::Task<void> {
+      if (m.rank() == 0) {
+        std::vector<Key> keys{42};
+        co_await cluster.comm().send(0, 1, /*tag=*/5,
+                                     Msg::of_keys(std::move(keys)), 8);
+      }
+      co_return;  // rank 1 never receives it
+    });
+  };
+  EXPECT_DEATH(leaky(), "undrained mailboxes");
+}
+
+// total_pending counts exactly the unreceived messages.
+TEST(ClusterDiagnostics, TotalPendingCountsStrays) {
+  rt::ClusterConfig ccfg;
+  ccfg.machines = 2;
+  ccfg.threads_per_machine = 8;
+  ccfg.allow_undrained = true;
+  rt::Cluster<Msg> cluster(ccfg);
+  EXPECT_EQ(cluster.comm().total_pending(), 0u);
+  cluster.run([&cluster](rt::Machine& m) -> sim::Task<void> {
+    if (m.rank() == 0) {
+      std::vector<Key> a{1};
+      co_await cluster.comm().send(0, 1, /*tag=*/5,
+                                   Msg::of_keys(std::move(a)), 8);
+      std::vector<Key> b{2};
+      co_await cluster.comm().send(0, 1, /*tag=*/6,
+                                   Msg::of_keys(std::move(b)), 8);
+    }
+    co_return;
+  });
+  EXPECT_EQ(cluster.comm().total_pending(), 2u);
+}
+
+}  // namespace
+}  // namespace pgxd::core

@@ -1,6 +1,8 @@
 // Randomized property tests for the network model: byte conservation,
 // per-pair FIFO delivery, latency lower bounds, and replay determinism
-// under random traffic patterns.
+// under random traffic patterns — on clean fabrics and on fabrics with a
+// fuzzed FaultConfig (drops, duplicates, blackout/degradation windows,
+// slow NICs).
 #include <gtest/gtest.h>
 
 #include <map>
@@ -15,19 +17,22 @@
 namespace pgxd::net {
 namespace {
 
-struct Delivery {
+// One observed transfer outcome (the test-side ledger the fabric's own
+// counters are checked against).
+struct Observed {
   std::size_t src;
   std::size_t dst;
   std::uint64_t bytes;
   std::uint64_t seq;       // per-(src,dst) sequence number
   sim::SimTime sent_at;
   sim::SimTime arrived_at;
+  int copies;
 };
 
 struct FuzzNet {
   sim::Simulator sim;
   std::unique_ptr<Fabric> fabric;
-  std::vector<Delivery> deliveries;
+  std::vector<Observed> observed;
 };
 
 sim::Task<void> traffic_source(FuzzNet& w, std::size_t src,
@@ -42,23 +47,29 @@ sim::Task<void> traffic_source(FuzzNet& w, std::size_t src,
     const std::uint64_t bytes = 1 + rng.bounded(8192);
     const std::uint64_t seq = seq_counter[src * p + dst]++;
     const sim::SimTime sent = w.sim.now();
-    co_await w.fabric->transfer(src, dst, bytes);
-    w.deliveries.push_back(Delivery{src, dst, bytes, seq, sent, w.sim.now()});
+    const Delivery d = co_await w.fabric->transfer(src, dst, bytes);
+    w.observed.push_back(
+        Observed{src, dst, bytes, seq, sent, w.sim.now(), d.copies});
   }
 }
 
 struct NetFuzzOutcome {
   std::uint64_t checksum = 0;
   sim::SimTime end = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
 };
 
 NetFuzzOutcome run_net_fuzz(std::uint64_t seed, std::size_t machines,
-                            int msgs_per_machine) {
+                            int msgs_per_machine,
+                            const FaultConfig& faults = {}) {
   FuzzNet w;
   NetConfig cfg;
   cfg.link_bandwidth_Bps = 1e9;
   cfg.latency = 150;
   cfg.per_message_overhead = 20;
+  cfg.faults = faults;
   w.fabric = std::make_unique<Fabric>(w.sim, machines, cfg);
   std::vector<std::uint64_t> seq_counter(machines * machines, 0);
   for (std::size_t s = 0; s < machines; ++s)
@@ -67,28 +78,47 @@ NetFuzzOutcome run_net_fuzz(std::uint64_t seed, std::size_t machines,
   w.sim.run();
   EXPECT_TRUE(w.sim.quiescent());
 
-  // Conservation: fabric counters match observed deliveries.
+  // Conservation: fabric counters match observed outcomes. Senders are
+  // charged for every message (a dropped one still paid its TX cost);
+  // receivers see exactly the delivered copies.
   std::uint64_t sent_bytes = 0;
-  std::map<std::size_t, std::uint64_t> recv_per_machine;
-  for (const auto& d : w.deliveries) {
-    sent_bytes += d.bytes;
-    recv_per_machine[d.dst] += d.bytes;
+  std::map<std::size_t, std::uint64_t> recv_bytes_per_machine;
+  std::map<std::size_t, std::uint64_t> recv_msgs_per_machine;
+  NetFuzzOutcome out;
+  for (const auto& o : w.observed) {
+    sent_bytes += o.bytes;
+    recv_bytes_per_machine[o.dst] +=
+        static_cast<std::uint64_t>(o.copies) * o.bytes;
+    recv_msgs_per_machine[o.dst] += static_cast<std::uint64_t>(o.copies);
+    if (o.copies == 0) ++out.dropped;
+    if (o.copies >= 1) ++out.delivered;
+    if (o.copies == 2) ++out.duplicated;
+    EXPECT_LE(o.copies, 2);
   }
   EXPECT_EQ(w.fabric->total_bytes(), sent_bytes);
-  EXPECT_EQ(w.fabric->total_messages(), w.deliveries.size());
-  for (std::size_t m = 0; m < machines; ++m)
-    EXPECT_EQ(w.fabric->stats(m).bytes_received, recv_per_machine[m]);
+  EXPECT_EQ(w.fabric->total_messages(), w.observed.size());
+  EXPECT_EQ(w.fabric->total_dropped(), out.dropped);
+  EXPECT_EQ(w.fabric->total_duplicated(), out.duplicated);
+  for (std::size_t m = 0; m < machines; ++m) {
+    EXPECT_EQ(w.fabric->stats(m).bytes_received, recv_bytes_per_machine[m]);
+    EXPECT_EQ(w.fabric->stats(m).messages_received, recv_msgs_per_machine[m]);
+  }
 
-  // Latency lower bound: no message beats the uncontended duration.
-  for (const auto& d : w.deliveries)
-    EXPECT_GE(d.arrived_at - d.sent_at, w.fabric->uncontended_duration(d.bytes));
+  // Latency lower bound: no delivered message beats the uncontended
+  // duration (slow NICs and degradation windows only ever add time).
+  for (const auto& o : w.observed) {
+    if (o.copies >= 1) {
+      EXPECT_GE(o.arrived_at - o.sent_at,
+                w.fabric->uncontended_duration(o.bytes));
+    }
+  }
 
-  NetFuzzOutcome out;
   out.end = w.sim.now();
-  for (const auto& d : w.deliveries)
+  for (const auto& o : w.observed)
     out.checksum = out.checksum * 1099511628211ULL +
-                   (d.src ^ (d.dst << 8) ^ d.bytes ^
-                    static_cast<std::uint64_t>(d.arrived_at));
+                   (o.src ^ (o.dst << 8) ^ o.bytes ^
+                    static_cast<std::uint64_t>(o.arrived_at) ^
+                    (static_cast<std::uint64_t>(o.copies) << 32));
   return out;
 }
 
@@ -105,7 +135,110 @@ TEST_P(NetFuzz, ReplaysIdentically) {
   EXPECT_EQ(a.end, b.end);
 }
 
+// Fault config fuzzed from the test seed: every mechanism enabled with
+// random-but-valid parameters, so the property checks run under arbitrary
+// combinations of drop, duplication, windows, and slow NICs.
+FaultConfig fuzz_faults(std::uint64_t seed, std::size_t machines) {
+  Rng rng(derive_seed(seed, 0xfa));
+  FaultConfig fc;
+  fc.drop_prob = 0.30 * rng.uniform();
+  fc.duplicate_prob = 0.30 * rng.uniform();
+  fc.blackout_period = 20'000 + static_cast<sim::SimTime>(rng.bounded(80'000));
+  fc.blackout_duration =
+      static_cast<sim::SimTime>(rng.bounded(fc.blackout_period / 4 + 1));
+  fc.degrade_period = 20'000 + static_cast<sim::SimTime>(rng.bounded(80'000));
+  fc.degrade_duration =
+      static_cast<sim::SimTime>(rng.bounded(fc.degrade_period / 2 + 1));
+  fc.degrade_factor = 1.0 + 4.0 * rng.uniform();
+  fc.slow_nics = {rng.bounded(machines)};
+  fc.slow_nic_factor = 1.0 + 2.0 * rng.uniform();
+  fc.seed = derive_seed(seed, 0x10c);
+  return fc;
+}
+
+TEST_P(NetFuzz, ConservesBytesUnderFuzzedFaults) {
+  run_net_fuzz(GetParam(), 6, 40, fuzz_faults(GetParam(), 6));
+}
+
+TEST_P(NetFuzz, FaultyFabricReplaysIdentically) {
+  const FaultConfig fc = fuzz_faults(GetParam(), 5);
+  const auto a = run_net_fuzz(GetParam(), 5, 25, fc);
+  const auto b = run_net_fuzz(GetParam(), 5, 25, fc);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(a.end, b.end);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.duplicated, b.duplicated);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, NetFuzz, ::testing::Values(2, 9, 16, 25, 36));
+
+// Targeted fault-rate checks on one representative seed.
+TEST(NetFaults, DropRateMatchesConfiguredProbability) {
+  FaultConfig fc;
+  fc.drop_prob = 0.5;
+  const auto out = run_net_fuzz(7, 6, 120, fc);
+  const double total = static_cast<double>(out.dropped + out.delivered);
+  const double frac = static_cast<double>(out.dropped) / total;
+  EXPECT_GT(frac, 0.4);
+  EXPECT_LT(frac, 0.6);
+}
+
+TEST(NetFaults, DuplicateRateMatchesConfiguredProbability) {
+  FaultConfig fc;
+  fc.duplicate_prob = 0.5;
+  const auto out = run_net_fuzz(7, 6, 120, fc);
+  EXPECT_EQ(out.dropped, 0u);
+  const double frac = static_cast<double>(out.duplicated) /
+                      static_cast<double>(out.delivered);
+  EXPECT_GT(frac, 0.4);
+  EXPECT_LT(frac, 0.6);
+}
+
+TEST(NetFaults, PermanentBlackoutDropsEverything) {
+  FaultConfig fc;
+  fc.blackout_period = 1'000'000;
+  fc.blackout_duration = 1'000'000;  // the window never closes
+  const auto out = run_net_fuzz(3, 4, 30, fc);
+  EXPECT_EQ(out.delivered, 0u);
+  EXPECT_EQ(out.dropped, 4u * 30u);
+}
+
+TEST(NetFaults, SlowNicStretchesItsTransfers) {
+  auto one_transfer = [&](const FaultConfig& fc) {
+    FuzzNet w;
+    NetConfig cfg;
+    cfg.link_bandwidth_Bps = 1e9;
+    cfg.faults = fc;
+    w.fabric = std::make_unique<Fabric>(w.sim, 2, cfg);
+    std::vector<std::uint64_t> seq(4, 0);
+    w.sim.spawn(traffic_source(w, 0, 1, 1, seq));
+    w.sim.run();
+    return w.sim.now();
+  };
+  FaultConfig slow;
+  slow.slow_nics = {1};
+  slow.slow_nic_factor = 3.0;
+  EXPECT_GT(one_transfer(slow), one_transfer(FaultConfig{}));
+}
+
+TEST(NetFaults, DegradationWindowStretchesTransfersInsideIt) {
+  auto one_transfer = [&](const FaultConfig& fc) {
+    FuzzNet w;
+    NetConfig cfg;
+    cfg.link_bandwidth_Bps = 1e9;
+    cfg.faults = fc;
+    w.fabric = std::make_unique<Fabric>(w.sim, 2, cfg);
+    std::vector<std::uint64_t> seq(4, 0);
+    w.sim.spawn(traffic_source(w, 0, 1, 1, seq));
+    w.sim.run();
+    return w.sim.now();
+  };
+  FaultConfig degraded;
+  degraded.degrade_period = 1'000'000'000;
+  degraded.degrade_duration = 1'000'000'000;  // always inside the window
+  degraded.degrade_factor = 4.0;
+  EXPECT_GT(one_transfer(degraded), one_transfer(FaultConfig{}));
+}
 
 // FIFO per (src, dst): a sender's back-to-back messages to one destination
 // arrive in order even under heavy cross traffic. (traffic_source awaits

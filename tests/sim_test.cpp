@@ -10,6 +10,8 @@
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
+#include "sim/timeout.hpp"
+#include "sim/when_any.hpp"
 
 namespace pgxd::sim {
 namespace {
@@ -406,6 +408,150 @@ TEST(Simulator, TokenRingIsDeterministic) {
   EXPECT_EQ(log1, log2);
   EXPECT_EQ(log1.size(), 21u);
   EXPECT_EQ(t1, 3 * 20);
+}
+
+struct TimeoutWake {
+  SimTime at;
+  bool expired;
+};
+
+Task<void> await_timeout(Simulator& sim, Timeout& t,
+                         std::vector<TimeoutWake>& log) {
+  co_await t.wait();
+  log.push_back(TimeoutWake{sim.now(), t.expired()});
+}
+
+Task<void> cancel_after(Simulator& sim, Timeout& t, SimTime dt) {
+  co_await sim.delay(dt);
+  t.cancel();
+}
+
+TEST(Timeout, FiresAtDeadline) {
+  Simulator sim;
+  Timeout t(sim, 500);
+  std::vector<TimeoutWake> log;
+  sim.spawn(await_timeout(sim, t, log));
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].at, 500);
+  EXPECT_TRUE(log[0].expired);
+  EXPECT_FALSE(t.cancelled());
+  EXPECT_EQ(sim.now(), 500);
+}
+
+TEST(Timeout, CancelWakesWaiterAtCancelInstant) {
+  Simulator sim;
+  Timeout t(sim, 1000);
+  std::vector<TimeoutWake> log;
+  sim.spawn(await_timeout(sim, t, log));
+  sim.spawn(cancel_after(sim, t, 200));
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].at, 200);
+  EXPECT_FALSE(log[0].expired);
+  EXPECT_TRUE(t.cancelled());
+  // The cancelled deadline event must not drag the clock out to 1000: a
+  // timer that never fired cannot affect a run's measured end time.
+  EXPECT_EQ(sim.now(), 200);
+  EXPECT_TRUE(sim.quiescent());
+}
+
+TEST(Timeout, CancelBeforeWaitCompletesImmediately) {
+  Simulator sim;
+  Timeout t(sim, 700);
+  t.cancel();
+  std::vector<TimeoutWake> log;
+  sim.spawn(await_timeout(sim, t, log));
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].at, 0);
+  EXPECT_FALSE(log[0].expired);
+  EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(Timeout, CancelAfterExpiryIsANoOp) {
+  Simulator sim;
+  Timeout t(sim, 50);
+  std::vector<TimeoutWake> log;
+  sim.spawn(await_timeout(sim, t, log));
+  sim.run();
+  t.cancel();
+  EXPECT_TRUE(t.expired());
+  EXPECT_FALSE(t.cancelled());
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_TRUE(log[0].expired);
+}
+
+Task<void> race_and_record(
+    Simulator& sim, std::vector<Task<void>> tasks,
+    std::vector<std::pair<std::size_t, SimTime>>& log) {
+  const std::size_t winner = co_await when_any(sim, std::move(tasks));
+  log.push_back({winner, sim.now()});
+}
+
+TEST(WhenAny, ResumesAtFirstCompletionWithItsIndex) {
+  Simulator sim;
+  std::vector<SimTime> done;
+  std::vector<Task<void>> tasks;
+  tasks.push_back(delay_then_record(sim, 300, done));
+  tasks.push_back(delay_then_record(sim, 100, done));
+  tasks.push_back(delay_then_record(sim, 200, done));
+  std::vector<std::pair<std::size_t, SimTime>> log;
+  sim.spawn(race_and_record(sim, std::move(tasks), log));
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].first, 1u);   // the 100-tick task wins
+  EXPECT_EQ(log[0].second, 100);
+  // Losers keep running to completion; the run reaches quiescence.
+  EXPECT_EQ(done, (std::vector<SimTime>{100, 200, 300}));
+  EXPECT_EQ(sim.now(), 300);
+  EXPECT_TRUE(sim.quiescent());
+}
+
+TEST(WhenAny, TieBreaksByBatchOrder) {
+  Simulator sim;
+  std::vector<SimTime> done;
+  std::vector<Task<void>> tasks;
+  tasks.push_back(delay_then_record(sim, 100, done));
+  tasks.push_back(delay_then_record(sim, 100, done));
+  std::vector<std::pair<std::size_t, SimTime>> log;
+  sim.spawn(race_and_record(sim, std::move(tasks), log));
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].first, 0u);
+  EXPECT_EQ(log[0].second, 100);
+}
+
+Task<void> timeout_vs_event(Simulator& sim, Event& ev, SimTime rto,
+                            std::vector<TimeoutWake>& log) {
+  Timeout t(sim, rto);
+  std::vector<Task<void>> race;
+  race.push_back(await_timeout(sim, t, log));
+  race.push_back([](Simulator&, Event& e, Timeout& to) -> Task<void> {
+    co_await e.wait();
+    to.cancel();
+  }(sim, ev, t));
+  co_await when_any(sim, std::move(race));
+  // Both racers complete (the loser is the cancelled timer's waiter, woken
+  // by cancel), so the stack-allocated Timeout dies with no waiter left.
+  co_await sim.delay(0);
+}
+
+TEST(WhenAny, AckOrTimeoutPatternCancelsTheLoser) {
+  Simulator sim;
+  Event ack(sim);
+  std::vector<TimeoutWake> log;
+  sim.spawn(timeout_vs_event(sim, ack, 1000, log));
+  sim.spawn([](Simulator& s, Event& e) -> Task<void> {
+    co_await s.delay(40);
+    e.fire();
+  }(sim, ack));
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].at, 40);
+  EXPECT_FALSE(log[0].expired);
+  EXPECT_EQ(sim.now(), 40);  // the 1000-tick deadline never fires
+  EXPECT_TRUE(sim.quiescent());
 }
 
 }  // namespace
