@@ -13,6 +13,7 @@
 #include "sort/merge.hpp"
 #include "sort/parallel_sort.hpp"
 #include "sort/quicksort.hpp"
+#include "sort/soa_merge.hpp"
 #include "sort/timsort.hpp"
 
 namespace {
@@ -39,6 +40,56 @@ void BM_Quicksort(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_Quicksort)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 20);
+
+// Duplicate-heavy input: the pdqsort-style equal-range fast path should keep
+// this at least as fast as the uniform case, never slower.
+void BM_QuicksortDupHeavy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto base = random_keys(n, 100);
+  for (auto _ : state) {
+    auto v = base;
+    pgxd::sort::quicksort(std::span<std::uint64_t>(v));
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_QuicksortDupHeavy)->Arg(1 << 20);
+
+// Skewed input: values cluster near zero with a long tail (variable-width
+// draws), stressing uneven pivot splits.
+void BM_QuicksortSkewed(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(41);
+  std::vector<std::uint64_t> base(n);
+  for (auto& x : base) x = rng.next() >> (rng.bounded(56));
+  for (auto _ : state) {
+    auto v = base;
+    pgxd::sort::quicksort(std::span<std::uint64_t>(v));
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_QuicksortSkewed)->Arg(1 << 20);
+
+// Ablation: scalar Hoare partition instead of the branchless block
+// partition. The gap between this and BM_Quicksort is the win attributable
+// to the block scheme on branch-miss-heavy uniform data.
+void BM_QuicksortClassicPartition(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto base = random_keys(n, 0);
+  pgxd::sort::QuicksortConfig cfg;
+  cfg.block_partition = false;
+  for (auto _ : state) {
+    auto v = base;
+    pgxd::sort::quicksort(std::span<std::uint64_t>(v), {}, cfg);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_QuicksortClassicPartition)->Arg(1 << 20);
 
 void BM_StdSort(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -129,6 +180,75 @@ void BM_BalancedMergeTree(benchmark::State& state) {
                           static_cast<std::int64_t>(base.size()));
 }
 BENCHMARK(BM_BalancedMergeTree)->Arg(4)->Arg(8)->Arg(32);
+
+// AoS final merge as the distributed sorter's fallback path runs it:
+// full key+provenance records (24 bytes with padding) through every level
+// of the Fig. 2 tree. Baseline for BM_BalancedMergeSoaTree.
+void BM_BalancedMergeItemTree(benchmark::State& state) {
+  struct FatItem {
+    std::uint64_t key;
+    std::uint32_t src;
+    std::uint64_t idx;
+  };
+  const auto runs = static_cast<std::size_t>(state.range(0));
+  const std::size_t per_run = (1u << 21) / runs;
+  Rng rng(5);
+  std::vector<FatItem> base;
+  std::vector<std::size_t> bounds{0};
+  for (std::size_t r = 0; r < runs; ++r) {
+    std::vector<std::uint64_t> run(per_run);
+    for (auto& x : run) x = rng.next();
+    std::sort(run.begin(), run.end());
+    for (std::size_t i = 0; i < run.size(); ++i)
+      base.push_back({run[i], static_cast<std::uint32_t>(r), i});
+    bounds.push_back(base.size());
+  }
+  std::vector<FatItem> scratch;
+  const auto less = [](const FatItem& a, const FatItem& b) {
+    return a.key < b.key;
+  };
+  for (auto _ : state) {
+    auto v = base;
+    pgxd::sort::balanced_merge(v, bounds, scratch, less);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(base.size()));
+}
+BENCHMARK(BM_BalancedMergeItemTree)->Arg(4)->Arg(8)->Arg(32);
+
+// SoA merge tree: keys plus a u32 permutation through the same Fig. 2
+// schedule, as the distributed sorter's default final merge runs it — 12
+// payload bytes per element per level instead of BM_BalancedMergeItemTree's
+// 24 (BM_BalancedMergeTree above is the keys-only lower bound).
+void BM_BalancedMergeSoaTree(benchmark::State& state) {
+  const auto runs = static_cast<std::size_t>(state.range(0));
+  const std::size_t per_run = (1u << 21) / runs;
+  Rng rng(5);
+  std::vector<std::uint64_t> base;
+  std::vector<std::size_t> bounds{0};
+  for (std::size_t r = 0; r < runs; ++r) {
+    std::vector<std::uint64_t> run(per_run);
+    for (auto& x : run) x = rng.next();
+    std::sort(run.begin(), run.end());
+    base.insert(base.end(), run.begin(), run.end());
+    bounds.push_back(base.size());
+  }
+  std::vector<std::uint32_t> perm_base(base.size());
+  std::vector<std::uint64_t> key_scratch;
+  std::vector<std::uint32_t> perm_scratch;
+  for (auto _ : state) {
+    auto keys = base;
+    auto perm = perm_base;
+    pgxd::sort::balanced_merge_soa(keys, perm, bounds, key_scratch,
+                                   perm_scratch);
+    benchmark::DoNotOptimize(keys.data());
+    benchmark::DoNotOptimize(perm.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(base.size()));
+}
+BENCHMARK(BM_BalancedMergeSoaTree)->Arg(4)->Arg(8)->Arg(32);
 
 void BM_ParallelMergePieces(benchmark::State& state) {
   const auto pieces = static_cast<std::size_t>(state.range(0));

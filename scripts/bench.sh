@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Performance baseline: builds the benchmark suite in Release (-O3 -DNDEBUG),
+# runs the google-benchmark kernel suites plus a wall-clock end-to-end run of
+# the Figure 5 simulation, and folds everything into one machine-readable
+# snapshot. Usage:
+#
+#   scripts/bench.sh                   # writes results/BENCH_sort.json
+#   scripts/bench.sh /tmp/now.json     # write elsewhere (perf-gate compares
+#                                      # a fresh file against the committed one)
+#
+# The committed results/BENCH_sort.json is the regression reference for
+# `scripts/check.sh perf`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT="${1:-results/BENCH_sort.json}"
+BUILD_DIR="${BUILD_DIR:-build-release}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+  --target kernels_local_sort kernels_network fig5_total_time
+
+# Kernel microbenchmarks, JSON so the perf gate can diff items_per_second.
+"$BUILD_DIR/bench/kernels_local_sort" \
+  --benchmark_format=json --benchmark_min_time=0.2 \
+  > "$TMP/local_sort.json"
+"$BUILD_DIR/bench/kernels_network" \
+  --benchmark_format=json --benchmark_min_time=0.2 \
+  > "$TMP/network.json"
+
+# End-to-end: wall-clock seconds to run the Fig. 5 sweep (real sorting work
+# inside the simulator — local sorts, exchanges, merges — not simulated time).
+E2E_START=$(date +%s.%N)
+"$BUILD_DIR/bench/fig5_total_time" > "$TMP/fig5.txt"
+E2E_SECS=$(python3 -c "import time,sys; print(f'{time.time()-float(sys.argv[1]):.3f}')" "$E2E_START")
+
+python3 - "$TMP" "$OUT" "$E2E_SECS" <<'PY'
+import json, sys
+tmp, out, e2e = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+def kernels(path):
+    with open(path) as f:
+        doc = json.load(f)
+    res = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        res[b["name"]] = {
+            "items_per_second": b.get("items_per_second"),
+            "real_time_ns": b.get("real_time"),
+        }
+    return res
+
+snapshot = {
+    "schema": 1,
+    "build_type": "Release",
+    "kernels_local_sort": kernels(f"{tmp}/local_sort.json"),
+    "kernels_network": kernels(f"{tmp}/network.json"),
+    "e2e": {"fig5_total_time_wall_seconds": e2e},
+}
+with open(out, "w") as f:
+    json.dump(snapshot, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out}")
+PY

@@ -1,18 +1,74 @@
 #!/usr/bin/env bash
-# Sanitizer check: configure, build, and run the full test suite under the
-# given sanitizer(s). Usage:
+# Build-and-verify entry point. Usage:
 #
-#   scripts/check.sh                 # ASan + UBSan (the default)
+#   scripts/check.sh                 # ASan + UBSan test suite (the default)
 #   scripts/check.sh thread          # TSan
 #   scripts/check.sh undefined       # UBSan alone
+#   scripts/check.sh release         # -O3 -DNDEBUG build + full test suite
+#   scripts/check.sh perf            # Release benches vs committed
+#                                    # results/BENCH_sort.json; fails on a
+#                                    # >30% throughput regression
 #
-# Each sanitizer combination gets its own build tree (build-san-<name>), so
-# switching between them never forces a full reconfigure of the main build.
+# Each mode gets its own build tree, so switching between them never forces
+# a full reconfigure of the main build.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-SAN="${1:-address,undefined}"
+MODE="${1:-address,undefined}"
+
+case "$MODE" in
+  release)
+    BUILD_DIR="build-release"
+    cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build "$BUILD_DIR" -j "$(nproc)"
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+    exit 0
+    ;;
+
+  perf)
+    BASELINE="results/BENCH_sort.json"
+    [ -f "$BASELINE" ] || {
+      echo "no committed baseline at $BASELINE; run scripts/bench.sh first" >&2
+      exit 1
+    }
+    NOW="$(mktemp /tmp/bench_now.XXXXXX.json)"
+    trap 'rm -f "$NOW"' EXIT
+    scripts/bench.sh "$NOW"
+    python3 - "$BASELINE" "$NOW" <<'PY'
+import json, sys
+
+THRESHOLD = 0.30  # fail when throughput drops by more than this
+
+with open(sys.argv[1]) as f: base = json.load(f)
+with open(sys.argv[2]) as f: now = json.load(f)
+
+failures = []
+for suite in ("kernels_local_sort", "kernels_network"):
+    for name, b in base.get(suite, {}).items():
+        n = now.get(suite, {}).get(name)
+        ref = (b or {}).get("items_per_second")
+        cur = (n or {}).get("items_per_second")
+        if not ref or not cur:
+            continue  # new/removed benchmark or timing-only entry: not a gate
+        ratio = cur / ref
+        mark = "FAIL" if ratio < 1.0 - THRESHOLD else "ok"
+        print(f"{mark:4s} {suite}/{name}: {cur/1e6:8.2f} M/s vs {ref/1e6:8.2f} M/s ({ratio:5.2f}x)")
+        if ratio < 1.0 - THRESHOLD:
+            failures.append(name)
+
+if failures:
+    print(f"\nperf gate FAILED: >{THRESHOLD:.0%} regression in: {', '.join(failures)}")
+    sys.exit(1)
+print(f"\nperf gate passed (threshold: {THRESHOLD:.0%} drop in items/s)")
+PY
+    exit 0
+    ;;
+esac
+
+# Sanitizer modes: configure, build, and run the full test suite under the
+# given sanitizer(s).
+SAN="$MODE"
 BUILD_DIR="build-san-${SAN//,/-}"
 
 cmake -B "${BUILD_DIR}" -S . -DPGXD_SANITIZE="${SAN}" \

@@ -7,12 +7,16 @@
 // also the degenerate path used when callers pass no pool at all.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace pgxd {
@@ -37,6 +41,36 @@ class ThreadPool {
 
   // Runs all tasks and waits; inline when the pool has no workers.
   void run_all(std::vector<std::function<void()>> tasks);
+
+  // Index-based variant for the sorting hot path: runs body(i) for every
+  // i in [0, count) across the workers and the caller, then waits. Work is
+  // claimed through a shared atomic cursor by O(workers) runner closures, so
+  // the cost is independent of `count` — no per-index heap allocation, unlike
+  // the task-vector overload. `body` must be safe to invoke concurrently for
+  // distinct indices and must not throw.
+  template <typename F>
+  void run_all(std::size_t count, F&& body) {
+    if (count == 0) return;
+    if (threads_.empty()) {
+      for (std::size_t i = 0; i < count; ++i) body(i);
+      return;
+    }
+    auto next = std::make_shared<std::atomic<std::size_t>>(0);
+    // &body outlives the runners: we drain and wait below.
+    std::remove_reference_t<F>* fn = &body;
+    const std::size_t runners = std::min<std::size_t>(workers(), count);
+    for (std::size_t k = 0; k < runners; ++k)
+      submit([next, fn, count] {
+        for (std::size_t i = next->fetch_add(1, std::memory_order_relaxed);
+             i < count; i = next->fetch_add(1, std::memory_order_relaxed))
+          (*fn)(i);
+      });
+    // The caller participates through the same cursor.
+    for (std::size_t i = next->fetch_add(1, std::memory_order_relaxed);
+         i < count; i = next->fetch_add(1, std::memory_order_relaxed))
+      (*fn)(i);
+    wait_idle();
+  }
 
   // Splits [begin, end) into roughly `pieces` contiguous chunks and runs
   // body(chunk_begin, chunk_end) for each, in parallel, then waits.

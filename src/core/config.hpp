@@ -63,6 +63,17 @@ struct SortConfig {
   // appear exactly once (no chunk lost, duplicated, or misplaced by the
   // exchange). Cheap real work outside the simulated cost model.
   bool audit_exchange = true;
+  // Structure-of-arrays final merge: bare keys plus a compact u32
+  // permutation travel through the Fig. 2 tree and provenance is
+  // reconstructed once at the end — each level moves sizeof(Key) + 4 bytes
+  // per element instead of sizeof(Item). false = merge full Item records
+  // (ablation). Only applies with balanced_final_merge; partitions beyond
+  // u32 indexing fall back to the AoS path automatically.
+  bool soa_final_merge = true;
+  // Lease exchange chunk buffers from a recycling pool instead of
+  // allocating one vector per chunk; false = fresh allocation per chunk
+  // (ablation).
+  bool use_buffer_pool = true;
 };
 
 struct MachineStats {

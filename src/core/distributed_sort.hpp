@@ -24,7 +24,7 @@
 #include <functional>
 #include <limits>
 #include <numeric>
-#include <set>
+#include <optional>
 #include <span>
 #include <utility>
 #include <vector>
@@ -38,7 +38,9 @@
 #include "sim/trace.hpp"
 #include "sort/balanced_merge.hpp"
 #include "sort/kway_merge.hpp"
+#include "sort/quicksort.hpp"
 #include "sort/samples.hpp"
+#include "sort/soa_merge.hpp"
 
 namespace pgxd::core {
 
@@ -164,7 +166,7 @@ class DistributedSorter {
     {
       // Scratch for the in-node sort (the Fig. 2 ping-pong buffer).
       rt::TempAlloc scratch_mem(mem, n * sizeof(Key));
-      std::sort(local.begin(), local.end(), comp_);
+      sort::quicksort(std::span<Key>(local), comp_);
       co_await m.charge_local_parallel_sort(n);
     }
     stamp(Step::kLocalSort);
@@ -290,28 +292,139 @@ class DistributedSorter {
     // Per-source write cursors; arrival order across sources is irrelevant.
     std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
 
+    // SoA exchange+merge path: the receiver stores bare keys at their final
+    // offsets plus one range-start per source, merges keys with a compact
+    // u32 permutation, and materializes Item records (key + reconstructed
+    // provenance) once at the very end. Item records are built per element
+    // in the AoS path instead. Falls back to AoS for the k-way ablation and
+    // for partitions beyond u32 indexing.
+    const bool soa = cfg_.soa_final_merge && cfg_.balanced_final_merge &&
+                     total_recv <= std::numeric_limits<std::uint32_t>::max();
+    const bool use_pool = cfg_.use_buffer_pool;
+    // PGX.D keeps a fixed set of request buffers per machine; this is the
+    // cluster-wide equivalent (the pool is shared — one address space).
+    // Once this many leases are outstanding and the free list is dry, a
+    // sender must recycle an arrived chunk before leasing another, which
+    // bounds exchange allocations at O(p) instead of O(chunks).
+    const std::int64_t pool_cap =
+        static_cast<std::int64_t>(std::max<std::size_t>(2 * p, 8));
+    std::vector<Key> recv_keys;
+    std::optional<rt::TempAlloc> recv_keys_mem;
+    // src_lo[s]: start of the (s -> rank) range in s's locally sorted
+    // sequence, learned from any of s's chunks (prov_base - rel_offset).
+    // The provenance of the element at receive position q is then
+    // src_lo[s] + (q - offsets[s]) for the s whose range contains q.
+    std::vector<std::uint64_t> src_lo(p, 0);
+    if (soa) {
+      recv_keys.resize(total_recv);
+      recv_keys_mem.emplace(mem, total_recv * sizeof(Key));
+    }
+
     // Self range: a local memory move, not fabric traffic.
     {
       const std::size_t lo = plan.bounds[rank];
       const std::size_t hi = plan.bounds[rank + 1];
-      for (std::size_t i = lo; i < hi; ++i)
-        out[offsets[rank] + (i - lo)] =
-            ItemT{local[i], Provenance{static_cast<std::uint32_t>(rank), i}};
+      if (soa) {
+        src_lo[rank] = lo;
+        std::copy(local.begin() + lo, local.begin() + hi,
+                  recv_keys.begin() + offsets[rank]);
+      } else {
+        for (std::size_t i = lo; i < hi; ++i)
+          out[offsets[rank] + (i - lo)] =
+              ItemT{local[i], Provenance{static_cast<std::uint32_t>(rank), i}};
+      }
       cursor[rank] += hi - lo;
       co_await m.charge_copy(hi - lo);
     }
 
-    // Sends: pack request buffers and post asynchronously (async mode) or
-    // send each chunk blocking + barrier (bulk-synchronous ablation).
+    // Chunk dedup bitmap (replaces a per-source std::set of offsets): a
+    // source's chunks sit at rel_offset = c * chunk_elems, so chunk c of
+    // source s maps to bit c of that source's word range. O(p + chunks/64)
+    // memory, zero allocations per chunk.
+    std::vector<std::size_t> seen_base(p + 1, 0);
+    for (std::size_t s = 0; s < p; ++s) {
+      std::uint64_t nchunks = 0;
+      if (s != rank && recv_counts[s] > 0)
+        nchunks = cfg_.buffered_exchange
+                      ? (recv_counts[s] + chunk_elems - 1) / chunk_elems
+                      : 1;
+      seen_base[s + 1] =
+          seen_base[s] + static_cast<std::size_t>((nchunks + 63) / 64);
+    }
+    std::vector<std::uint64_t> seen_words(seen_base[p], 0);
+
+    const std::size_t remote_expected = total_recv - recv_counts[rank];
+    std::size_t remote_placed = 0;
+
+    // Places one arriving chunk — dedup, copy to its final offset,
+    // provenance/range-start bookkeeping, buffer return to the pool — and
+    // returns the elements placed (0 for a duplicate). The caller charges
+    // the simulated copy cost.
+    auto place_chunk = [&](auto& msg) -> std::size_t {
+      PGXD_CHECK(msg.src != rank);
+      auto& keys = msg.payload.keys;
+      const std::uint64_t cidx = msg.payload.rel_offset / chunk_elems;
+      const std::size_t word =
+          seen_base[msg.src] + static_cast<std::size_t>(cidx / 64);
+      PGXD_CHECK_MSG(word < seen_base[msg.src + 1],
+                     "chunk offset beyond its source's announced range");
+      const std::uint64_t bit = std::uint64_t{1} << (cidx % 64);
+      if (seen_words[word] & bit) {
+        ++ms.duplicate_chunks;
+        if (use_pool) pool_.release(std::move(keys));
+        return 0;
+      }
+      seen_words[word] |= bit;
+      const std::uint64_t base = msg.payload.prov_base;
+      const std::size_t at = offsets[msg.src] + msg.payload.rel_offset;
+      PGXD_CHECK_MSG(at + keys.size() <= offsets[msg.src + 1],
+                     "chunk overruns its source's receive range");
+      if (soa) {
+        src_lo[msg.src] = base - msg.payload.rel_offset;
+        std::copy(keys.begin(), keys.end(), recv_keys.begin() + at);
+      } else {
+        const auto src32 = static_cast<std::uint32_t>(msg.src);
+        for (std::size_t i = 0; i < keys.size(); ++i)
+          out[at + i] = ItemT{keys[i], Provenance{src32, base + i}};
+      }
+      const std::size_t placed = keys.size();
+      cursor[msg.src] += placed;
+      remote_placed += placed;
+      if (use_pool) pool_.release(std::move(keys));
+      return placed;
+    };
+
+    // Sends: lease a chunk buffer from the pool, pack it from a span slice
+    // of the local array (one reserve either way), and post asynchronously
+    // (async mode) or send blocking + barrier (bulk-synchronous ablation).
+    // In async mode the loop also drains chunks that have already arrived —
+    // the paper's "simultaneous asynchronous send/receive" — which both
+    // overlaps the copies and returns buffers to the pool for re-lease.
     for (std::size_t step = 1; step < p; ++step) {
       // Ring order starting after own rank spreads incast across receivers.
       const std::size_t dst = (rank + step) % p;
       const std::size_t lo = plan.bounds[dst];
       const std::size_t hi = plan.bounds[dst + 1];
       for (std::size_t at = lo; at < hi;) {
+        // Backpressure: with the pool dry and the outstanding cap reached,
+        // block on a receive — placing the arrived chunk returns its buffer
+        // — instead of allocating yet another. Deadlock-free: we only block
+        // while peers still owe us data, and every outstanding buffer is in
+        // flight to (or queued at) a machine that is still draining.
+        while (use_pool && cfg_.async_exchange &&
+               remote_placed < remote_expected && pool_.free_buffers() == 0 &&
+               pool_.outstanding() >= pool_cap) {
+          auto msg = co_await comm.recv(rank, tag(kTagData));
+          const std::size_t placed = place_chunk(msg);
+          if (placed > 0) co_await m.charge_copy(placed);
+        }
         const std::size_t take =
             std::min<std::uint64_t>(hi - at, chunk_elems);
-        std::vector<Key> chunk(local.begin() + at, local.begin() + at + take);
+        const std::span<const Key> slice(local.data() + at, take);
+        std::vector<Key> chunk =
+            use_pool ? pool_.acquire(take) : std::vector<Key>();
+        chunk.reserve(take);
+        chunk.assign(slice.begin(), slice.end());
         const std::uint64_t bytes =
             take * kDataWireBytesPerKey + kChunkHeaderBytes;
         note_data_bytes(bytes);
@@ -320,6 +433,12 @@ class DistributedSorter {
         if (cfg_.async_exchange) {
           comm.post(rank, dst, tag(kTagData),
                     Msg::of_data(std::move(chunk), at, at - lo), bytes);
+          while (remote_placed < remote_expected &&
+                 comm.pending(rank, tag(kTagData)) > 0) {
+            auto msg = co_await comm.recv(rank, tag(kTagData));
+            const std::size_t placed = place_chunk(msg);
+            if (placed > 0) co_await m.charge_copy(placed);
+          }
         } else {
           co_await comm.send(rank, dst, tag(kTagData),
                              Msg::of_data(std::move(chunk), at, at - lo),
@@ -332,31 +451,13 @@ class DistributedSorter {
 
     // Receives: place each incoming chunk at its source's base offset plus
     // the chunk's own relative offset — correct under any arrival order —
-    // and reconstruct provenance from the sender-side base offset. The
-    // loop counts placed *elements*, not messages, and discards chunks
-    // whose (src, rel_offset) was already placed, so it stays correct when
-    // a duplicating fabric redelivers a chunk.
-    const std::size_t remote_expected = total_recv - recv_counts[rank];
-    std::size_t remote_placed = 0;
-    std::vector<std::set<std::uint64_t>> seen_chunks(p);
+    // discarding chunks whose (src, chunk index) bit was already set, so
+    // the loop stays correct when a duplicating fabric redelivers a chunk.
+    // It counts placed *elements*, not messages.
     while (remote_placed < remote_expected) {
       auto msg = co_await comm.recv(rank, tag(kTagData));
-      PGXD_CHECK(msg.src != rank);
-      if (!seen_chunks[msg.src].insert(msg.payload.rel_offset).second) {
-        ++ms.duplicate_chunks;
-        continue;
-      }
-      const auto& keys = msg.payload.keys;
-      const std::uint64_t base = msg.payload.prov_base;
-      const std::size_t at = offsets[msg.src] + msg.payload.rel_offset;
-      PGXD_CHECK_MSG(at + keys.size() <= offsets[msg.src + 1],
-                     "chunk overruns its source's receive range");
-      const auto src32 = static_cast<std::uint32_t>(msg.src);
-      for (std::size_t i = 0; i < keys.size(); ++i)
-        out[at + i] = ItemT{keys[i], Provenance{src32, base + i}};
-      cursor[msg.src] += keys.size();
-      remote_placed += keys.size();
-      co_await m.charge_copy(keys.size());
+      const std::size_t placed = place_chunk(msg);
+      if (placed > 0) co_await m.charge_copy(placed);
     }
     for (std::size_t s = 0; s < p; ++s)
       PGXD_CHECK_MSG(cursor[s] == offsets[s + 1],
@@ -370,25 +471,59 @@ class DistributedSorter {
     // ---- Step 6: final balanced merge ---------------------------------------
     {
       std::vector<std::size_t> bounds(offsets.begin(), offsets.end());
-      std::vector<ItemT> scratch;
-      rt::TempAlloc scratch_mem(mem, total_recv * sizeof(ItemT));
-      auto item_less = [this](const ItemT& a, const ItemT& b) {
-        return comp_(a.key, b.key);
-      };
       std::size_t nonempty_runs = 0;
       for (std::size_t s = 0; s < p; ++s)
         nonempty_runs += (recv_counts[s] > 0);
-      if (cfg_.balanced_final_merge) {
-        sort::balanced_merge(out, std::move(bounds), scratch, item_less);
-        co_await m.charge_balanced_merge(total_recv,
-                                         std::max<std::size_t>(1, nonempty_runs));
-      } else {
-        // Ablation: one sequential k-way loser-tree pass (real kernel).
-        sort::kway_merge(out, bounds, scratch, item_less);
-        co_await m.charge_naive_kway_merge(
+      if (soa) {
+        // Keys + u32 permutation travel through the Fig. 2 tree (each level
+        // moves sizeof(Key) + 4 bytes per element instead of sizeof(Item));
+        // the output partition is then written directly from whichever
+        // ping-pong buffer holds the result — no staging copy-back — with
+        // provenance reconstructed from each element's pre-merge position q.
+        std::vector<std::uint32_t> perm(total_recv);
+        std::iota(perm.begin(), perm.end(), 0u);
+        std::vector<Key> key_scratch;
+        std::vector<std::uint32_t> perm_scratch;
+        rt::TempAlloc scratch_mem(
+            mem, total_recv * (sizeof(Key) + 2 * sizeof(std::uint32_t)));
+        const auto res = sort::balanced_merge_soa(
+            recv_keys, perm, std::move(bounds), key_scratch, perm_scratch,
+            comp_);
+        const std::vector<Key>& mk = res.in_scratch ? key_scratch : recv_keys;
+        const std::vector<std::uint32_t>& mp =
+            res.in_scratch ? perm_scratch : perm;
+        for (std::size_t i = 0; i < total_recv; ++i) {
+          const std::size_t q = mp[i];
+          const std::size_t s =
+              static_cast<std::size_t>(
+                  std::upper_bound(offsets.begin(), offsets.end(), q) -
+                  offsets.begin()) -
+              1;
+          out[i] = ItemT{mk[i], Provenance{static_cast<std::uint32_t>(s),
+                                           src_lo[s] + (q - offsets[s])}};
+        }
+        co_await m.charge_balanced_merge(
             total_recv, std::max<std::size_t>(1, nonempty_runs));
+      } else {
+        std::vector<ItemT> scratch;
+        rt::TempAlloc scratch_mem(mem, total_recv * sizeof(ItemT));
+        auto item_less = [this](const ItemT& a, const ItemT& b) {
+          return comp_(a.key, b.key);
+        };
+        if (cfg_.balanced_final_merge) {
+          sort::balanced_merge(out, std::move(bounds), scratch, item_less);
+          co_await m.charge_balanced_merge(
+              total_recv, std::max<std::size_t>(1, nonempty_runs));
+        } else {
+          // Ablation: one sequential k-way loser-tree pass (real kernel).
+          sort::kway_merge(out, bounds, scratch, item_less);
+          co_await m.charge_naive_kway_merge(
+              total_recv, std::max<std::size_t>(1, nonempty_runs));
+        }
       }
     }
+    recv_keys = std::vector<Key>();
+    recv_keys_mem.reset();
     stamp(Step::kFinalMerge);
 
     // ---- Exactly-once audit -------------------------------------------------
@@ -441,6 +576,9 @@ class DistributedSorter {
   const SortStats<Key>& stats() const { return stats_; }
   const SortConfig& config() const { return cfg_; }
   Cluster& cluster() { return cluster_; }
+  // Exchange buffer-pool counters (shared across the simulated machines,
+  // which live in one address space).
+  const rt::BufferPoolStats& pool_stats() const { return pool_.stats(); }
 
   // Optional span tracing: each machine's step becomes a (lane, label,
   // begin, end) span — see sim::Trace::render_gantt.
@@ -464,6 +602,10 @@ class DistributedSorter {
   std::vector<Key> splitters_;
   std::uint64_t wire_control_bytes_ = 0;
   std::uint64_t wire_data_bytes_ = 0;
+  // Exchange chunk buffers: leased by senders, returned by receivers. One
+  // pool for the whole cluster — the simulation shares an address space, so
+  // a buffer posted by machine A is the same storage machine B receives.
+  rt::BufferPool<Key> pool_;
 };
 
 // Runs several sorters over the same cluster in one simulation — the

@@ -5,7 +5,10 @@
 #pragma once
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "common/assert.hpp"
 
@@ -74,6 +77,75 @@ class TempAlloc {
  private:
   MemoryTracker* mem_;
   std::uint64_t bytes_;
+};
+
+struct BufferPoolStats {
+  std::uint64_t leases = 0;        // acquire() calls
+  std::uint64_t reuses = 0;        // leases served from the free list
+  std::uint64_t fresh_allocs = 0;  // leases that had to allocate
+  std::uint64_t returns = 0;       // release() calls
+  std::size_t peak_free = 0;       // high-water mark of the free list
+};
+
+// Recycling pool of vector buffers for the exchange hot path: chunk
+// payloads are leased here by the sender and returned by the receiver once
+// placed, so a steady-state exchange allocates O(outstanding buffers) ≈ O(p)
+// vectors total instead of one per chunk — including under reliable-mode
+// retransmits, which resend modeled bytes only and never touch a payload
+// after its first delivery.
+//
+// Not thread-safe: machines in this codebase are cooperatively scheduled
+// coroutines in one OS thread, so lease/release never race.
+template <typename T>
+class BufferPool {
+ public:
+  // Leases a buffer with capacity >= reserve_hint, empty. Reuses the most
+  // recently returned buffer when one is available.
+  std::vector<T> acquire(std::size_t reserve_hint) {
+    ++stats_.leases;
+    std::vector<T> buf;
+    if (!free_.empty()) {
+      ++stats_.reuses;
+      buf = std::move(free_.back());
+      free_.pop_back();
+      buf.clear();
+    } else {
+      ++stats_.fresh_allocs;
+    }
+    buf.reserve(reserve_hint);
+    return buf;
+  }
+
+  // Returns a buffer to the free list. Any buffer is accepted — a
+  // duplicating fabric clones messages, so returns may outnumber leases —
+  // but storage already on the free list is rejected loudly: releasing the
+  // same allocation twice would alias two future leases.
+  void release(std::vector<T>&& buf) {
+    ++stats_.returns;
+    if (buf.capacity() == 0) return;  // moved-from or never allocated
+    for (const auto& f : free_)
+      PGXD_CHECK_MSG(f.data() != buf.data(),
+                     "buffer pool: storage released twice");
+    free_.push_back(std::move(buf));
+    stats_.peak_free = std::max(stats_.peak_free, free_.size());
+  }
+
+  std::size_t free_buffers() const { return free_.size(); }
+
+  // Leased-but-unreturned buffers. Signed: a duplicating fabric returns
+  // cloned storage that was never leased, which can push returns past
+  // leases — that undercounts outstanding, which only ever relaxes
+  // backpressure, never wedges it.
+  std::int64_t outstanding() const {
+    return static_cast<std::int64_t>(stats_.leases) -
+           static_cast<std::int64_t>(stats_.returns);
+  }
+
+  const BufferPoolStats& stats() const { return stats_; }
+
+ private:
+  std::vector<std::vector<T>> free_;
+  BufferPoolStats stats_;
 };
 
 }  // namespace pgxd::rt

@@ -7,8 +7,13 @@
 // equal size; and each level's merges execute in parallel, with every merge
 // itself split across threads via Merge-Path co-ranking. Levels ping-pong
 // between the data buffer and one scratch buffer of equal size.
+//
+// Each level's work is a flat vector of MergeSegment descriptors (reused
+// across levels) dispatched through ThreadPool::run_all's index-based
+// overload, so a merge of any size performs O(1) heap allocations.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <functional>
 #include <span>
@@ -73,13 +78,15 @@ BalancedMergeStats balanced_merge(std::vector<T>& data,
   T* dst = scratch.data();
   const std::size_t total_workers = pool ? pool->workers() + 1 : 1;
 
+  std::vector<MergeSegment<T>> segs;  // reused across levels
+  std::vector<std::size_t> next_bounds;
   while (bounds.size() > 2) {
     const std::size_t run_count = bounds.size() - 1;
-    std::vector<std::size_t> next_bounds;
+    next_bounds.clear();
     next_bounds.reserve(run_count / 2 + 2);
     next_bounds.push_back(0);
 
-    std::vector<std::function<void()>> tasks;
+    segs.clear();
     const std::size_t merges = run_count / 2;
     const std::size_t pieces_per_merge =
         merges > 0 ? std::max<std::size_t>(1, total_workers / merges) : 1;
@@ -88,32 +95,32 @@ BalancedMergeStats balanced_merge(std::vector<T>& data,
       const std::size_t lo = bounds[r];
       const std::size_t mid = bounds[r + 1];
       const std::size_t hi = bounds[r + 2];
-      append_merge_tasks<T, Comp>(
+      append_merge_segments<T, Comp>(
           std::span<const T>(src + lo, mid - lo),
           std::span<const T>(src + mid, hi - mid),
-          std::span<T>(dst + lo, hi - lo), comp, pieces_per_merge, tasks);
+          std::span<T>(dst + lo, hi - lo), comp, pieces_per_merge, segs);
       next_bounds.push_back(hi);
       ++stats.merges;
       stats.elements_moved += hi - lo;
     }
     if (run_count % 2 == 1) {
-      // Odd tail: copy through so the ping-pong buffers stay consistent.
+      // Odd tail: copy through so the ping-pong buffers stay consistent
+      // (a merge segment with an empty b side is a straight copy).
       const std::size_t lo = bounds[run_count - 1];
       const std::size_t hi = bounds[run_count];
-      tasks.push_back([src, dst, lo, hi] {
-        std::copy(src + lo, src + hi, dst + lo);
-      });
+      segs.push_back(MergeSegment<T>{src + lo, src + hi, dst + lo, hi - lo, 0});
       next_bounds.push_back(hi);
       stats.elements_moved += hi - lo;
     }
 
     if (pool)
-      pool->run_all(std::move(tasks));
+      pool->run_all(segs.size(),
+                    [&](std::size_t i) { run_merge_segment(segs[i], comp); });
     else
-      for (auto& t : tasks) t();
+      for (const auto& seg : segs) run_merge_segment(seg, comp);
 
     std::swap(src, dst);
-    bounds = std::move(next_bounds);
+    bounds.swap(next_bounds);
     ++stats.levels;
   }
 

@@ -1,6 +1,11 @@
 // Merge kernels: stable two-way merge, Merge-Path co-ranking, and a
 // parallel merge that splits the output range across a thread pool.
 //
+// Parallel work is described by plain MergeSegment records (pointer + length
+// pairs) instead of heap-allocated closures: one level of the Fig. 2 merge
+// tree appends its segments into a caller-owned vector that is reused across
+// levels, so scheduling a merge costs zero allocations in the steady state.
+//
 // Stability convention everywhere: on ties, elements of the first ("a")
 // input precede elements of the second ("b") input.
 #pragma once
@@ -8,6 +13,7 @@
 #include <cstddef>
 #include <functional>
 #include <span>
+#include <vector>
 
 #include "common/assert.hpp"
 #include "common/thread_pool.hpp"
@@ -55,14 +61,32 @@ std::size_t co_rank(std::size_t k, std::span<const T> a, std::span<const T> b,
 // more than it saves.
 inline constexpr std::size_t kMinMergePiece = 4096;
 
-// Cuts the stable merge of a and b into `pieces` independent segment tasks
-// (via co_rank) and appends them to `tasks` without running them. Used by
-// the balanced merge handler to build one flat task list per merge level,
-// so nothing ever blocks inside a pool worker.
+// One independent piece of a stable two-way merge: a POD descriptor, cheap
+// to store in a reusable vector and to hand to a pool worker by index.
+template <typename T>
+struct MergeSegment {
+  const T* a = nullptr;
+  const T* b = nullptr;
+  T* out = nullptr;
+  std::size_t a_n = 0;
+  std::size_t b_n = 0;
+};
+
 template <typename T, typename Comp = std::less<T>>
-void append_merge_tasks(std::span<const T> a, std::span<const T> b,
-                        std::span<T> out, Comp comp, std::size_t pieces,
-                        std::vector<std::function<void()>>& tasks) {
+void run_merge_segment(const MergeSegment<T>& seg, Comp comp = {}) {
+  merge_into(std::span<const T>(seg.a, seg.a_n),
+             std::span<const T>(seg.b, seg.b_n),
+             std::span<T>(seg.out, seg.a_n + seg.b_n), comp);
+}
+
+// Cuts the stable merge of a and b into `pieces` independent segments (via
+// co_rank) and appends them to `segs` without running them. Used by the
+// balanced merge handler to build one flat segment list per merge level, so
+// nothing ever blocks inside a pool worker.
+template <typename T, typename Comp = std::less<T>>
+void append_merge_segments(std::span<const T> a, std::span<const T> b,
+                           std::span<T> out, Comp comp, std::size_t pieces,
+                           std::vector<MergeSegment<T>>& segs) {
   PGXD_CHECK(out.size() == a.size() + b.size());
   const std::size_t n = out.size();
   if (n == 0) return;
@@ -75,12 +99,8 @@ void append_merge_tasks(std::span<const T> a, std::span<const T> b,
     const std::size_t i = (p == pieces) ? a.size() : co_rank(k, a, b, comp);
     const std::size_t j0 = prev_k - prev_i;
     const std::size_t j1 = k - i;
-    const auto sub_a = a.subspan(prev_i, i - prev_i);
-    const auto sub_b = b.subspan(j0, j1 - j0);
-    const auto sub_out = out.subspan(prev_k, k - prev_k);
-    tasks.push_back([sub_a, sub_b, sub_out, comp] {
-      merge_into(sub_a, sub_b, sub_out, comp);
-    });
+    segs.push_back(MergeSegment<T>{a.data() + prev_i, b.data() + j0,
+                                   out.data() + prev_k, i - prev_i, j1 - j0});
     prev_k = k;
     prev_i = i;
   }
@@ -100,10 +120,11 @@ void parallel_merge(std::span<const T> a, std::span<const T> b, std::span<T> out
     merge_into(a, b, out, comp);
     return;
   }
-  std::vector<std::function<void()>> tasks;
-  tasks.reserve(pieces);
-  append_merge_tasks(a, b, out, comp, pieces, tasks);
-  pool->run_all(std::move(tasks));
+  std::vector<MergeSegment<T>> segs;
+  segs.reserve(pieces);
+  append_merge_segments(a, b, out, comp, pieces, segs);
+  pool->run_all(segs.size(),
+                [&](std::size_t i) { run_merge_segment(segs[i], comp); });
 }
 
 }  // namespace pgxd::sort

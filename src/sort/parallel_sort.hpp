@@ -30,7 +30,8 @@ struct ParallelSortStats {
 template <typename T, typename Comp = std::less<T>>
 ParallelSortStats parallel_sort(std::vector<T>& data, std::vector<T>& scratch,
                                 Comp comp = {}, ThreadPool* pool = nullptr,
-                                std::size_t chunks = 0) {
+                                std::size_t chunks = 0,
+                                const QuicksortConfig& qcfg = {}) {
   ParallelSortStats stats;
   const std::size_t n = data.size();
   if (chunks == 0) chunks = pool ? pool->workers() + 1 : 1;
@@ -40,23 +41,23 @@ ParallelSortStats parallel_sort(std::vector<T>& data, std::vector<T>& scratch,
   stats.chunks = chunks;
 
   if (chunks == 1 || n < 2) {
-    quicksort(std::span<T>(data), comp);
+    quicksort(std::span<T>(data), comp, qcfg);
     return stats;
   }
 
   std::vector<std::size_t> bounds(chunks + 1);
   for (std::size_t c = 0; c <= chunks; ++c) bounds[c] = n * c / chunks;
 
-  std::vector<std::function<void()>> tasks;
-  tasks.reserve(chunks);
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const auto chunk = std::span<T>(data).subspan(bounds[c], bounds[c + 1] - bounds[c]);
-    tasks.push_back([chunk, comp] { quicksort(chunk, comp); });
-  }
+  // Dispatch by chunk index through the allocation-free run_all overload —
+  // no per-chunk closure is ever heap-allocated.
+  const auto sort_chunk = [&](std::size_t c) {
+    quicksort(std::span<T>(data).subspan(bounds[c], bounds[c + 1] - bounds[c]),
+              comp, qcfg);
+  };
   if (pool)
-    pool->run_all(std::move(tasks));
+    pool->run_all(chunks, sort_chunk);
   else
-    for (auto& t : tasks) t();
+    for (std::size_t c = 0; c < chunks; ++c) sort_chunk(c);
 
   stats.merge = balanced_merge(data, std::move(bounds), scratch, comp, pool);
   return stats;
@@ -66,9 +67,10 @@ ParallelSortStats parallel_sort(std::vector<T>& data, std::vector<T>& scratch,
 template <typename T, typename Comp = std::less<T>>
 ParallelSortStats parallel_sort(std::vector<T>& data, Comp comp = {},
                                 ThreadPool* pool = nullptr,
-                                std::size_t chunks = 0) {
+                                std::size_t chunks = 0,
+                                const QuicksortConfig& qcfg = {}) {
   std::vector<T> scratch;
-  return parallel_sort(data, scratch, comp, pool, chunks);
+  return parallel_sort(data, scratch, comp, pool, chunks, qcfg);
 }
 
 }  // namespace pgxd::sort

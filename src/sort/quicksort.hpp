@@ -1,12 +1,31 @@
-// Quicksort with the standard production hardening: median-of-three pivots,
+// Quicksort with the standard production hardening — median-of-three pivots,
 // insertion sort below a cutoff, recursion on the smaller side only, and a
 // heapsort fallback past 2*log2(n) depth so adversarial inputs stay
-// O(n log n). This is the per-thread local sort of the paper's step (1).
+// O(n log n) — plus two hot-path refinements:
+//
+//   * a branchless *block partition* (BlockQuicksort-style): comparison
+//     results are buffered as offset indices in two small fixed-size blocks
+//     and the misplaced pairs are swapped in a tight loop, so the partition
+//     carries no data-dependent branch on the comparison outcome (the branch
+//     mispredictions of a Hoare loop on random keys are what dominate its
+//     runtime);
+//   * an *equal-elements fast path*: when the chosen pivot compares equal to
+//     the predecessor of the current range (the element just left of it,
+//     already in final position), the whole range is known to start at the
+//     pivot value, and one left-binding partition pass peels off the entire
+//     run of duplicates in O(n) instead of recursing on it — duplicate-heavy
+//     inputs (the paper's right-skewed distribution, Table II) sort in
+//     O(n log #distinct).
+//
+// Both refinements are individually switchable via QuicksortConfig so the
+// bench suite can attribute their wins. This is the per-thread local sort of
+// the paper's step (1).
 #pragma once
 
 #include <algorithm>
 #include <bit>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <utility>
@@ -16,6 +35,16 @@
 namespace pgxd::sort {
 
 inline constexpr std::size_t kInsertionCutoff = 24;
+
+// Elements classified per partition block; offsets must fit in uint8_t.
+inline constexpr std::size_t kPartitionBlock = 64;
+
+struct QuicksortConfig {
+  // Branchless buffered cmp/swap partition; false = scalar Hoare-style loop.
+  bool block_partition = true;
+  // Peel pivot-equal runs in one pass (duplicate-heavy inputs).
+  bool equal_fast_path = true;
+};
 
 // Straight insertion sort; the base case for quicksort.
 template <typename T, typename Comp = std::less<T>>
@@ -43,41 +72,240 @@ void median_of_three(T& a, T& b, T& c, Comp comp) {
   }
 }
 
-// Hoare partition around the median-of-three pivot; returns the cut point.
-// Elements equal to the pivot may land on either side (fine for sorting).
+// Pivot selection shared by both partition kernels: sorts data[mid], data[0],
+// data[n-1] so the median lands at data[0] (the pivot slot), with
+// data[mid] <= pivot <= data[n-1] serving as scan sentinels.
 template <typename T, typename Comp>
-std::size_t partition(std::span<T> data, Comp comp) {
+void pivot_to_front(std::span<T> data, Comp comp) {
   const std::size_t n = data.size();
-  median_of_three(data[0], data[n / 2], data[n - 1], comp);
-  const T pivot = data[n / 2];
-  std::size_t i = 0, j = n - 1;
-  for (;;) {
-    while (comp(data[i], pivot)) ++i;
-    while (comp(pivot, data[j])) --j;
-    if (i >= j) return j + 1;
-    std::swap(data[i], data[j]);
-    ++i;
-    --j;
-  }
+  median_of_three(data[n / 2], data[0], data[n - 1], comp);
 }
 
+// Scalar partition around the pivot at data[0]: on return the pivot sits at
+// the returned index, everything left of it is < pivot and everything right
+// of it is >= pivot. The pivot is excluded from both sides, so recursion
+// always makes progress.
 template <typename T, typename Comp>
-void introsort_loop(std::span<T> data, Comp comp, int depth_budget) {
+std::size_t partition_right(std::span<T> data, Comp comp) {
+  const std::size_t n = data.size();
+  T pivot = std::move(data[0]);
+  std::size_t first = 0;
+  std::size_t last = n;
+  // data[n-1] >= pivot (pivot_to_front), so this scan cannot run off the end.
+  while (comp(data[++first], pivot)) {
+  }
+  // If no element < pivot was skipped, the right scan has no sentinel on its
+  // left and must be bounds-checked.
+  if (first - 1 == 0) {
+    while (first < last && !comp(data[--last], pivot)) {
+    }
+  } else {
+    while (!comp(data[--last], pivot)) {
+    }
+  }
+  while (first < last) {
+    std::swap(data[first], data[last]);
+    while (comp(data[++first], pivot)) {
+    }
+    while (!comp(data[--last], pivot)) {
+    }
+  }
+  const std::size_t pivot_pos = first - 1;
+  if (pivot_pos != 0) data[0] = std::move(data[pivot_pos]);
+  data[pivot_pos] = std::move(pivot);
+  return pivot_pos;
+}
+
+// Branchless block partition around the pivot at data[0] (BlockQuicksort /
+// pdqsort technique). Same contract as partition_right. Each block pass
+// writes candidate offsets unconditionally and advances the count by the
+// comparison result, so the comparison never feeds a branch; the swap pass
+// then pairs misplaced elements from both ends.
+template <typename T, typename Comp>
+std::size_t partition_right_block(std::span<T> data, Comp comp) {
+  const std::size_t n = data.size();
+  const T pivot = data[0];
+
+  std::uint8_t offs_l[kPartitionBlock];
+  std::uint8_t offs_r[kPartitionBlock];
+  // Partition region: [l, r). Invariant: [1, l) < pivot, [r, n) >= pivot.
+  // A block with pending offsets ([l, l+kPartitionBlock) when nl > 0,
+  // [r-kPartitionBlock, r) when nr > 0) is classified but not yet swapped.
+  std::size_t l = 1;
+  std::size_t r = n;
+  std::size_t nl = 0, nr = 0;  // pending offsets per side
+  std::size_t sl = 0, sr = 0;  // consumed prefix of each offset buffer
+
+  const auto swap_pending = [&](std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i)
+      std::swap(data[l + offs_l[sl + i]], data[r - 1 - offs_r[sr + i]]);
+    nl -= count;
+    nr -= count;
+    sl += count;
+    sr += count;
+  };
+
+  while (r - l > 2 * kPartitionBlock) {
+    if (nl == 0) {
+      sl = 0;
+      for (std::size_t i = 0; i < kPartitionBlock; ++i) {
+        offs_l[nl] = static_cast<std::uint8_t>(i);
+        nl += !comp(data[l + i], pivot);  // >= pivot: must move right
+      }
+    }
+    if (nr == 0) {
+      sr = 0;
+      for (std::size_t i = 0; i < kPartitionBlock; ++i) {
+        offs_r[nr] = static_cast<std::uint8_t>(i);
+        nr += comp(data[r - 1 - i], pivot);  // < pivot: must move left
+      }
+    }
+    swap_pending(std::min(nl, nr));
+    if (nl == 0) l += kPartitionBlock;
+    if (nr == 0) r -= kPartitionBlock;
+  }
+
+  // Final (possibly short) blocks. At most one side still has pending
+  // offsets here (swap_pending zeroes the smaller side every round).
+  PGXD_DCHECK(nl == 0 || nr == 0);
+  const std::size_t unknown = (r - l) - ((nl | nr) ? kPartitionBlock : 0);
+  std::size_t lsz = 0, rsz = 0;
+  if (nl > 0) {
+    lsz = kPartitionBlock;
+    rsz = unknown;
+  } else if (nr > 0) {
+    lsz = unknown;
+    rsz = kPartitionBlock;
+  } else {
+    lsz = unknown / 2;
+    rsz = unknown - lsz;
+  }
+  if (nl == 0 && lsz > 0) {
+    sl = 0;
+    for (std::size_t i = 0; i < lsz; ++i) {
+      offs_l[nl] = static_cast<std::uint8_t>(i);
+      nl += !comp(data[l + i], pivot);
+    }
+  }
+  if (nr == 0 && rsz > 0) {
+    sr = 0;
+    for (std::size_t i = 0; i < rsz; ++i) {
+      offs_r[nr] = static_cast<std::uint8_t>(i);
+      nr += comp(data[r - 1 - i], pivot);
+    }
+  }
+  swap_pending(std::min(nl, nr));
+  // A fully-fixed final block joins its side's finished zone.
+  if (nl == 0) l += lsz;
+  if (nr == 0) r -= rsz;
+
+  // Stragglers on one side: fold them into the boundary. Offsets are
+  // processed from the highest down (left side) / lowest position up (right
+  // side), so each swap partner is either a correctly-placed element or the
+  // straggler itself (a harmless self-swap).
+  std::size_t cut;
+  if (nl > 0) {
+    while (nl > 0) {
+      --nl;
+      std::swap(data[l + offs_l[sl + nl]], data[--r]);
+    }
+    cut = r;
+  } else if (nr > 0) {
+    while (nr > 0) {
+      --nr;
+      std::swap(data[r - 1 - offs_r[sr + nr]], data[l]);
+      ++l;
+    }
+    cut = l;
+  } else {
+    PGXD_DCHECK(l == r);
+    cut = l;
+  }
+
+  // Place the pivot at the boundary; exclude it from both sides.
+  const std::size_t pivot_pos = cut - 1;
+  if (pivot_pos != 0) data[0] = std::move(data[pivot_pos]);
+  data[pivot_pos] = pivot;
+  return pivot_pos;
+}
+
+// Left-binding partition around the pivot at data[0]: elements *equal* to
+// the pivot gather on the left, elements greater on the right; returns the
+// pivot's final index q, with [0, q] all == pivot. Precondition (enforced by
+// the caller): the pivot is the minimum of the range, so "not greater" means
+// "equal". This is the duplicate fast path — the whole equal run is done in
+// one pass and never recursed into.
+template <typename T, typename Comp>
+std::size_t partition_left(std::span<T> data, Comp comp) {
+  const std::size_t n = data.size();
+  T pivot = std::move(data[0]);
+  std::size_t first = 0;
+  std::size_t last = n;
+  // Scan from the right for an element <= pivot. Slot 0 held the pivot, so
+  // it acts as an unconditional stop (== pivot) without reading the
+  // moved-from value.
+  for (;;) {
+    --last;
+    if (last == 0 || !comp(pivot, data[last])) break;
+  }
+  if (last == n - 1) {
+    // The scan stopped immediately: no element > pivot is known to the
+    // right, so the left scan needs bounds checks.
+    while (first < last && !comp(pivot, data[++first])) {
+    }
+  } else {
+    // data[last + 1] > pivot acts as the left scan's sentinel.
+    while (!comp(pivot, data[++first])) {
+    }
+  }
+  while (first < last) {
+    std::swap(data[first], data[last]);
+    while (comp(pivot, data[--last])) {
+    }
+    while (!comp(pivot, data[++first])) {
+    }
+  }
+  const std::size_t pivot_pos = last;
+  if (pivot_pos != 0) data[0] = std::move(data[pivot_pos]);
+  data[pivot_pos] = std::move(pivot);
+  return pivot_pos;
+}
+
+// `pred` points at the element immediately left of `data` in the enclosing
+// buffer once that element is in its final sorted position (null for the
+// leftmost range). Since pred <= everything in data, a pivot equal to pred
+// is the range minimum — the trigger for the equal-elements fast path.
+template <typename T, typename Comp>
+void introsort_loop(std::span<T> data, Comp comp, int depth_budget,
+                    const T* pred, const QuicksortConfig& cfg) {
   while (data.size() > kInsertionCutoff) {
     if (depth_budget-- == 0) {
       std::make_heap(data.begin(), data.end(), comp);
       std::sort_heap(data.begin(), data.end(), comp);
       return;
     }
-    const std::size_t cut = partition(data, comp);
-    PGXD_DCHECK(cut > 0 && cut < data.size());
-    // Recurse on the smaller half; iterate on the larger.
-    if (cut < data.size() - cut) {
-      introsort_loop(data.first(cut), comp, depth_budget);
-      data = data.subspan(cut);
+    pivot_to_front(data, comp);
+    if (cfg.equal_fast_path && pred != nullptr && !comp(*pred, data[0])) {
+      // Pivot == predecessor == range minimum: peel the duplicate run.
+      const std::size_t q = partition_left(data, comp);
+      pred = &data[q];
+      data = data.subspan(q + 1);
+      continue;
+    }
+    const std::size_t cut = cfg.block_partition
+                                ? partition_right_block(data, comp)
+                                : partition_right(data, comp);
+    // The pivot at `cut` is final: recurse on the smaller side, iterate on
+    // the larger, threading the correct predecessor into each.
+    std::span<T> left = data.first(cut);
+    std::span<T> right = data.subspan(cut + 1);
+    if (left.size() < right.size()) {
+      introsort_loop(left, comp, depth_budget, pred, cfg);
+      pred = &data[cut];
+      data = right;
     } else {
-      introsort_loop(data.subspan(cut), comp, depth_budget);
-      data = data.first(cut);
+      introsort_loop(right, comp, depth_budget, &data[cut], cfg);
+      data = left;
     }
   }
   insertion_sort(data, comp);
@@ -86,10 +314,12 @@ void introsort_loop(std::span<T> data, Comp comp, int depth_budget) {
 }  // namespace detail
 
 template <typename T, typename Comp = std::less<T>>
-void quicksort(std::span<T> data, Comp comp = {}) {
+void quicksort(std::span<T> data, Comp comp = {},
+               const QuicksortConfig& cfg = {}) {
   if (data.size() < 2) return;
   const int depth_budget = 2 * std::bit_width(data.size());
-  detail::introsort_loop(data, comp, depth_budget);
+  detail::introsort_loop(data, comp, depth_budget,
+                         static_cast<const T*>(nullptr), cfg);
 }
 
 }  // namespace pgxd::sort

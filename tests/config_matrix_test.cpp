@@ -1,7 +1,9 @@
 // Property sweep over the full SortConfig switch matrix: every combination
-// of {investigator, balanced merge, async exchange, buffered exchange}
-// must produce a correct sort on both easy and adversarial data. Catches
-// interactions between ablation paths that single-switch tests miss.
+// of {investigator, balanced merge, async exchange, buffered exchange,
+// SoA final merge} must produce a correct sort on both easy and adversarial
+// data. Catches interactions between ablation paths that single-switch
+// tests miss. (The buffer pool stays at its default — on — here; its
+// on/off behaviour has dedicated coverage in buffer_pool_test.)
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -21,6 +23,7 @@ struct MatrixParam {
   bool balanced_merge;
   bool async_exchange;
   bool buffered;
+  bool soa_merge;
   gen::Distribution dist;
 };
 
@@ -41,6 +44,7 @@ TEST_P(ConfigMatrix, SortsCorrectly) {
   cfg.balanced_final_merge = param.balanced_merge;
   cfg.async_exchange = param.async_exchange;
   cfg.buffered_exchange = param.buffered;
+  cfg.soa_final_merge = param.soa_merge;
 
   rt::ClusterConfig ccfg;
   ccfg.machines = machines;
@@ -60,9 +64,10 @@ std::vector<MatrixParam> all_combinations() {
     for (bool bal : {true, false})
       for (bool async_ex : {true, false})
         for (bool buf : {true, false})
-          for (auto dist : {gen::Distribution::kUniform,
-                            gen::Distribution::kRightSkewed})
-            out.push_back(MatrixParam{inv, bal, async_ex, buf, dist});
+          for (bool soa : {true, false})
+            for (auto dist : {gen::Distribution::kUniform,
+                              gen::Distribution::kRightSkewed})
+              out.push_back(MatrixParam{inv, bal, async_ex, buf, soa, dist});
   return out;
 }
 
@@ -73,6 +78,7 @@ std::string matrix_name(const ::testing::TestParamInfo<MatrixParam>& info) {
   name += p.balanced_merge ? "Bal" : "Kway";
   name += p.async_exchange ? "Async" : "Bsp";
   name += p.buffered ? "Buf" : "Whole";
+  name += p.soa_merge ? "Soa" : "Aos";
   name += p.dist == gen::Distribution::kUniform ? "Uniform" : "Skewed";
   return name;
 }

@@ -206,6 +206,92 @@ TEST(Quicksort, AdversarialPatterns) {
   }
 }
 
+// Oracle sweep: every partition-kernel configuration (block/scalar ×
+// equal-fast-path on/off) against std::sort over adversarial patterns, with
+// sizes crossing the 2*kPartitionBlock boundary where the block kernel's
+// final short blocks kick in.
+std::vector<std::uint64_t> make_pattern(const std::string& pattern,
+                                        std::size_t n, std::uint64_t seed) {
+  std::vector<std::uint64_t> v(n);
+  if (pattern == "all_equal") {
+    std::fill(v.begin(), v.end(), 42);
+  } else if (pattern == "two_value") {
+    Rng rng(seed);
+    for (auto& x : v) x = rng.bounded(2);
+  } else if (pattern == "organ_pipe") {
+    for (std::size_t i = 0; i < n; ++i) v[i] = std::min(i, n - i);
+  } else if (pattern == "presorted") {
+    std::iota(v.begin(), v.end(), 0);
+  } else if (pattern == "reverse") {
+    for (std::size_t i = 0; i < n; ++i) v[i] = n - i;
+  } else if (pattern == "random") {
+    Rng rng(seed);
+    for (auto& x : v) x = rng.next();
+  } else if (pattern == "few_distinct") {
+    Rng rng(seed);
+    for (auto& x : v) x = rng.bounded(7);
+  } else {
+    ADD_FAILURE() << "unknown pattern " << pattern;
+  }
+  return v;
+}
+
+class QuicksortConfigSweep
+    : public ::testing::TestWithParam<std::tuple<bool, bool, std::string>> {};
+
+TEST_P(QuicksortConfigSweep, OracleAcrossPatternsAndSizes) {
+  const auto [block, equal_fast, pattern] = GetParam();
+  const QuicksortConfig cfg{block, equal_fast};
+  // Sizes straddling the insertion cutoff and the 2*kPartitionBlock = 128
+  // block-partition boundary, plus sizes deep into the blocked main loop.
+  for (std::size_t n : {0u, 1u, 2u, 24u, 25u, 63u, 64u, 127u, 128u, 129u,
+                        191u, 192u, 300u, 1000u, 5000u}) {
+    auto v = make_pattern(pattern, n, n * 31 + 7);
+    auto expect = v;
+    std::sort(expect.begin(), expect.end());
+    quicksort(std::span<std::uint64_t>(v), std::less<std::uint64_t>{}, cfg);
+    ASSERT_EQ(v, expect) << "pattern=" << pattern << " n=" << n
+                         << " block=" << block << " eq=" << equal_fast;
+  }
+}
+
+std::string quicksort_config_name(
+    const ::testing::TestParamInfo<std::tuple<bool, bool, std::string>>& info) {
+  const bool block = std::get<0>(info.param);
+  const bool equal_fast = std::get<1>(info.param);
+  return std::get<2>(info.param) + (block ? "_block" : "_scalar") +
+         (equal_fast ? "_eqfast" : "_noeq");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, QuicksortConfigSweep,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool(),
+                       ::testing::Values("all_equal", "two_value",
+                                         "organ_pipe", "presorted", "reverse",
+                                         "random", "few_distinct")),
+    quicksort_config_name);
+
+TEST(ThreadPool, IndexedRunAllCoversEveryIndexOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.run_all(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, IndexedRunAllInlineWithZeroWorkers) {
+  ThreadPool pool(0);
+  std::vector<int> hits(100, 0);
+  pool.run_all(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (int h : hits) ASSERT_EQ(h, 1);
+}
+
+TEST(ThreadPool, IndexedRunAllEmpty) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.run_all(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
 TEST(Quicksort, CustomComparatorDescending) {
   auto v = random_vec(1000, 5);
   quicksort(std::span<std::uint64_t>(v), std::greater<std::uint64_t>{});
