@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_async_exchange.dir/ablation_async_exchange.cpp.o"
+  "CMakeFiles/ablation_async_exchange.dir/ablation_async_exchange.cpp.o.d"
+  "ablation_async_exchange"
+  "ablation_async_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_async_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

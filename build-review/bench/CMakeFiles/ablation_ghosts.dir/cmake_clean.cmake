@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ghosts.dir/ablation_ghosts.cpp.o"
+  "CMakeFiles/ablation_ghosts.dir/ablation_ghosts.cpp.o.d"
+  "ablation_ghosts"
+  "ablation_ghosts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ghosts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

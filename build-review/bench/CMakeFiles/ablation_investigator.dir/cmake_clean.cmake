@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_investigator.dir/ablation_investigator.cpp.o"
+  "CMakeFiles/ablation_investigator.dir/ablation_investigator.cpp.o.d"
+  "ablation_investigator"
+  "ablation_investigator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_investigator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_job_size.dir/ablation_job_size.cpp.o"
+  "CMakeFiles/ablation_job_size.dir/ablation_job_size.cpp.o.d"
+  "ablation_job_size"
+  "ablation_job_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_job_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_merge_strategy.dir/ablation_merge_strategy.cpp.o"
+  "CMakeFiles/ablation_merge_strategy.dir/ablation_merge_strategy.cpp.o.d"
+  "ablation_merge_strategy"
+  "ablation_merge_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_merge_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_presorted.dir/ablation_presorted.cpp.o"
+  "CMakeFiles/ablation_presorted.dir/ablation_presorted.cpp.o.d"
+  "ablation_presorted"
+  "ablation_presorted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_presorted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_load_minmax.dir/fig10_load_minmax.cpp.o"
+  "CMakeFiles/fig10_load_minmax.dir/fig10_load_minmax.cpp.o.d"
+  "fig10_load_minmax"
+  "fig10_load_minmax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_load_minmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

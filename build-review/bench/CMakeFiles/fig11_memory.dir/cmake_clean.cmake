@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_memory.dir/fig11_memory.cpp.o"
+  "CMakeFiles/fig11_memory.dir/fig11_memory.cpp.o.d"
+  "fig11_memory"
+  "fig11_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

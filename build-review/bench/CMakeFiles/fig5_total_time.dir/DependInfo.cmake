@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_total_time.cpp" "bench/CMakeFiles/fig5_total_time.dir/fig5_total_time.cpp.o" "gcc" "bench/CMakeFiles/fig5_total_time.dir/fig5_total_time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/pgxd_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/spark/CMakeFiles/pgxd_spark.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/datagen/CMakeFiles/pgxd_datagen.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/pgxd_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/runtime/CMakeFiles/pgxd_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/pgxd_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/pgxd_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/pgxd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_strong_scaling.dir/fig6_strong_scaling.cpp.o"
+  "CMakeFiles/fig6_strong_scaling.dir/fig6_strong_scaling.cpp.o.d"
+  "fig6_strong_scaling"
+  "fig6_strong_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_strong_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

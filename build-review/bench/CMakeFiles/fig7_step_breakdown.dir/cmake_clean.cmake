@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_step_breakdown.dir/fig7_step_breakdown.cpp.o"
+  "CMakeFiles/fig7_step_breakdown.dir/fig7_step_breakdown.cpp.o.d"
+  "fig7_step_breakdown"
+  "fig7_step_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_step_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

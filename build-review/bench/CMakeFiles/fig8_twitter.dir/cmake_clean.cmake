@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_twitter.dir/fig8_twitter.cpp.o"
+  "CMakeFiles/fig8_twitter.dir/fig8_twitter.cpp.o.d"
+  "fig8_twitter"
+  "fig8_twitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_twitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_sample_size.dir/fig9_sample_size.cpp.o"
+  "CMakeFiles/fig9_sample_size.dir/fig9_sample_size.cpp.o.d"
+  "fig9_sample_size"
+  "fig9_sample_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_sample_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels_local_sort.dir/kernels_local_sort.cpp.o"
+  "CMakeFiles/kernels_local_sort.dir/kernels_local_sort.cpp.o.d"
+  "kernels_local_sort"
+  "kernels_local_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_local_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

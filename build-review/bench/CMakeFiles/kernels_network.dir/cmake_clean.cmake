@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels_network.dir/kernels_network.cpp.o"
+  "CMakeFiles/kernels_network.dir/kernels_network.cpp.o.d"
+  "kernels_network"
+  "kernels_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels_scheduling.dir/kernels_scheduling.cpp.o"
+  "CMakeFiles/kernels_scheduling.dir/kernels_scheduling.cpp.o.d"
+  "kernels_scheduling"
+  "kernels_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

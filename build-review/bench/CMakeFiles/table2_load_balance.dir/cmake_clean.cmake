@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_load_balance.dir/table2_load_balance.cpp.o"
+  "CMakeFiles/table2_load_balance.dir/table2_load_balance.cpp.o.d"
+  "table2_load_balance"
+  "table2_load_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_load_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

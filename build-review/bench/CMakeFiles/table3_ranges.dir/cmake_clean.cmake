@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_ranges.dir/table3_ranges.cpp.o"
+  "CMakeFiles/table3_ranges.dir/table3_ranges.cpp.o.d"
+  "table3_ranges"
+  "table3_ranges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_ranges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

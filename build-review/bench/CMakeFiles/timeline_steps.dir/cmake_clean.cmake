@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeline_steps.dir/timeline_steps.cpp.o"
+  "CMakeFiles/timeline_steps.dir/timeline_steps.cpp.o.d"
+  "timeline_steps"
+  "timeline_steps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeline_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

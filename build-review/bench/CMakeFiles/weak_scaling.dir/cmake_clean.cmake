@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weak_scaling.dir/weak_scaling.cpp.o"
+  "CMakeFiles/weak_scaling.dir/weak_scaling.cpp.o.d"
+  "weak_scaling"
+  "weak_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weak_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duplicate_telemetry.dir/duplicate_telemetry.cpp.o"
+  "CMakeFiles/duplicate_telemetry.dir/duplicate_telemetry.cpp.o.d"
+  "duplicate_telemetry"
+  "duplicate_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duplicate_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

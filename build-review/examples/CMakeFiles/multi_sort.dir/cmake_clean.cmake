@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_sort.dir/multi_sort.cpp.o"
+  "CMakeFiles/multi_sort.dir/multi_sort.cpp.o.d"
+  "multi_sort"
+  "multi_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

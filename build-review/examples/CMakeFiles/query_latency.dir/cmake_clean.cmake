@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_latency.dir/query_latency.cpp.o"
+  "CMakeFiles/query_latency.dir/query_latency.cpp.o.d"
+  "query_latency"
+  "query_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twitter_degree_sort.dir/twitter_degree_sort.cpp.o"
+  "CMakeFiles/twitter_degree_sort.dir/twitter_degree_sort.cpp.o.d"
+  "twitter_degree_sort"
+  "twitter_degree_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twitter_degree_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgxd_analytics.dir/analytics.cpp.o"
+  "CMakeFiles/pgxd_analytics.dir/analytics.cpp.o.d"
+  "libpgxd_analytics.a"
+  "libpgxd_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgxd_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgxd_common.dir/cli.cpp.o"
+  "CMakeFiles/pgxd_common.dir/cli.cpp.o.d"
+  "CMakeFiles/pgxd_common.dir/stats.cpp.o"
+  "CMakeFiles/pgxd_common.dir/stats.cpp.o.d"
+  "CMakeFiles/pgxd_common.dir/table.cpp.o"
+  "CMakeFiles/pgxd_common.dir/table.cpp.o.d"
+  "CMakeFiles/pgxd_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/pgxd_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/pgxd_common.dir/work_stealing_pool.cpp.o"
+  "CMakeFiles/pgxd_common.dir/work_stealing_pool.cpp.o.d"
+  "libpgxd_common.a"
+  "libpgxd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgxd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgxd_core.dir/config.cpp.o"
+  "CMakeFiles/pgxd_core.dir/config.cpp.o.d"
+  "libpgxd_core.a"
+  "libpgxd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgxd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgxd_datagen.dir/distributions.cpp.o"
+  "CMakeFiles/pgxd_datagen.dir/distributions.cpp.o.d"
+  "libpgxd_datagen.a"
+  "libpgxd_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgxd_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/csr.cpp" "src/graph/CMakeFiles/pgxd_graph.dir/csr.cpp.o" "gcc" "src/graph/CMakeFiles/pgxd_graph.dir/csr.cpp.o.d"
+  "/root/repo/src/graph/generate.cpp" "src/graph/CMakeFiles/pgxd_graph.dir/generate.cpp.o" "gcc" "src/graph/CMakeFiles/pgxd_graph.dir/generate.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/graph/CMakeFiles/pgxd_graph.dir/io.cpp.o" "gcc" "src/graph/CMakeFiles/pgxd_graph.dir/io.cpp.o.d"
+  "/root/repo/src/graph/partition.cpp" "src/graph/CMakeFiles/pgxd_graph.dir/partition.cpp.o" "gcc" "src/graph/CMakeFiles/pgxd_graph.dir/partition.cpp.o.d"
+  "/root/repo/src/graph/twitter.cpp" "src/graph/CMakeFiles/pgxd_graph.dir/twitter.cpp.o" "gcc" "src/graph/CMakeFiles/pgxd_graph.dir/twitter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/pgxd_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/datagen/CMakeFiles/pgxd_datagen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgxd_graph.dir/csr.cpp.o"
+  "CMakeFiles/pgxd_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/pgxd_graph.dir/generate.cpp.o"
+  "CMakeFiles/pgxd_graph.dir/generate.cpp.o.d"
+  "CMakeFiles/pgxd_graph.dir/io.cpp.o"
+  "CMakeFiles/pgxd_graph.dir/io.cpp.o.d"
+  "CMakeFiles/pgxd_graph.dir/partition.cpp.o"
+  "CMakeFiles/pgxd_graph.dir/partition.cpp.o.d"
+  "CMakeFiles/pgxd_graph.dir/twitter.cpp.o"
+  "CMakeFiles/pgxd_graph.dir/twitter.cpp.o.d"
+  "libpgxd_graph.a"
+  "libpgxd_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgxd_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

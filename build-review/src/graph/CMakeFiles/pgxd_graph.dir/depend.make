@@ -1,0 +1,2 @@
+# Empty dependencies file for pgxd_graph.
+# This may be replaced when dependencies are built.

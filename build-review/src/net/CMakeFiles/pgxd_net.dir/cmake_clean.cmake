@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgxd_net.dir/fabric.cpp.o"
+  "CMakeFiles/pgxd_net.dir/fabric.cpp.o.d"
+  "libpgxd_net.a"
+  "libpgxd_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgxd_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

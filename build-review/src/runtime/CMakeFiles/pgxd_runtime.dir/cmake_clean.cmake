@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgxd_runtime.dir/cost_model.cpp.o"
+  "CMakeFiles/pgxd_runtime.dir/cost_model.cpp.o.d"
+  "libpgxd_runtime.a"
+  "libpgxd_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgxd_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

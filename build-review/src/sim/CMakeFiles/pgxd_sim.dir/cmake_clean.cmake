@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgxd_sim.dir/simulator.cpp.o"
+  "CMakeFiles/pgxd_sim.dir/simulator.cpp.o.d"
+  "libpgxd_sim.a"
+  "libpgxd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgxd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgxd_spark.dir/spark.cpp.o"
+  "CMakeFiles/pgxd_spark.dir/spark.cpp.o.d"
+  "libpgxd_spark.a"
+  "libpgxd_spark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgxd_spark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pgxd_spark.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balanced_merge_test.dir/balanced_merge_test.cpp.o"
+  "CMakeFiles/balanced_merge_test.dir/balanced_merge_test.cpp.o.d"
+  "balanced_merge_test"
+  "balanced_merge_test.pdb"
+  "balanced_merge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balanced_merge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_sort_test.dir/distributed_sort_test.cpp.o"
+  "CMakeFiles/distributed_sort_test.dir/distributed_sort_test.cpp.o.d"
+  "distributed_sort_test"
+  "distributed_sort_test.pdb"
+  "distributed_sort_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_sort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

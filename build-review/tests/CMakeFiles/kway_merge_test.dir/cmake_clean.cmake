@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kway_merge_test.dir/kway_merge_test.cpp.o"
+  "CMakeFiles/kway_merge_test.dir/kway_merge_test.cpp.o.d"
+  "kway_merge_test"
+  "kway_merge_test.pdb"
+  "kway_merge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kway_merge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

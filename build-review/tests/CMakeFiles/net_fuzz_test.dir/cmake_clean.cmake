@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_fuzz_test.dir/net_fuzz_test.cpp.o"
+  "CMakeFiles/net_fuzz_test.dir/net_fuzz_test.cpp.o.d"
+  "net_fuzz_test"
+  "net_fuzz_test.pdb"
+  "net_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

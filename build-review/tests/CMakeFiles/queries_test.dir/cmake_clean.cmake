@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queries_test.dir/queries_test.cpp.o"
+  "CMakeFiles/queries_test.dir/queries_test.cpp.o.d"
+  "queries_test"
+  "queries_test.pdb"
+  "queries_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queries_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radix_sort_test.dir/radix_sort_test.cpp.o"
+  "CMakeFiles/radix_sort_test.dir/radix_sort_test.cpp.o.d"
+  "radix_sort_test"
+  "radix_sort_test.pdb"
+  "radix_sort_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radix_sort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

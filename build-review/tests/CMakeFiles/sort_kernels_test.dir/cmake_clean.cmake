@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sort_kernels_test.dir/sort_kernels_test.cpp.o"
+  "CMakeFiles/sort_kernels_test.dir/sort_kernels_test.cpp.o.d"
+  "sort_kernels_test"
+  "sort_kernels_test.pdb"
+  "sort_kernels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sort_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spark_test.dir/spark_test.cpp.o"
+  "CMakeFiles/spark_test.dir/spark_test.cpp.o.d"
+  "spark_test"
+  "spark_test.pdb"
+  "spark_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spark_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitters_test.dir/splitters_test.cpp.o"
+  "CMakeFiles/splitters_test.dir/splitters_test.cpp.o.d"
+  "splitters_test"
+  "splitters_test.pdb"
+  "splitters_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

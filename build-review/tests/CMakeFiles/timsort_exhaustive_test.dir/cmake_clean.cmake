@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timsort_exhaustive_test.dir/timsort_exhaustive_test.cpp.o"
+  "CMakeFiles/timsort_exhaustive_test.dir/timsort_exhaustive_test.cpp.o.d"
+  "timsort_exhaustive_test"
+  "timsort_exhaustive_test.pdb"
+  "timsort_exhaustive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timsort_exhaustive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

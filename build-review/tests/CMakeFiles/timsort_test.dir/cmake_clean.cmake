@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timsort_test.dir/timsort_test.cpp.o"
+  "CMakeFiles/timsort_test.dir/timsort_test.cpp.o.d"
+  "timsort_test"
+  "timsort_test.pdb"
+  "timsort_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timsort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/work_stealing_test.dir/work_stealing_test.cpp.o"
+  "CMakeFiles/work_stealing_test.dir/work_stealing_test.cpp.o.d"
+  "work_stealing_test"
+  "work_stealing_test.pdb"
+  "work_stealing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/work_stealing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/common_test[1]_include.cmake")
+include("/root/repo/build-review/tests/sim_test[1]_include.cmake")
+include("/root/repo/build-review/tests/net_test[1]_include.cmake")
+include("/root/repo/build-review/tests/sort_kernels_test[1]_include.cmake")
+include("/root/repo/build-review/tests/timsort_test[1]_include.cmake")
+include("/root/repo/build-review/tests/balanced_merge_test[1]_include.cmake")
+include("/root/repo/build-review/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build-review/tests/splitters_test[1]_include.cmake")
+include("/root/repo/build-review/tests/distributed_sort_test[1]_include.cmake")
+include("/root/repo/build-review/tests/datagen_test[1]_include.cmake")
+include("/root/repo/build-review/tests/graph_test[1]_include.cmake")
+include("/root/repo/build-review/tests/spark_test[1]_include.cmake")
+include("/root/repo/build-review/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build-review/tests/queries_test[1]_include.cmake")
+include("/root/repo/build-review/tests/radix_sort_test[1]_include.cmake")
+include("/root/repo/build-review/tests/sim_fuzz_test[1]_include.cmake")
+include("/root/repo/build-review/tests/timsort_exhaustive_test[1]_include.cmake")
+include("/root/repo/build-review/tests/collectives_test[1]_include.cmake")
+include("/root/repo/build-review/tests/trace_test[1]_include.cmake")
+include("/root/repo/build-review/tests/net_fuzz_test[1]_include.cmake")
+include("/root/repo/build-review/tests/validate_test[1]_include.cmake")
+include("/root/repo/build-review/tests/analytics_test[1]_include.cmake")
+include("/root/repo/build-review/tests/kway_merge_test[1]_include.cmake")
+include("/root/repo/build-review/tests/config_matrix_test[1]_include.cmake")
+include("/root/repo/build-review/tests/work_stealing_test[1]_include.cmake")
+include("/root/repo/build-review/tests/fault_injection_test[1]_include.cmake")
+include("/root/repo/build-review/tests/buffer_pool_test[1]_include.cmake")

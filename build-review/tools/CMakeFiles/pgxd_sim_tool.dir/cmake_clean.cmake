@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgxd_sim_tool.dir/pgxd_sim.cpp.o"
+  "CMakeFiles/pgxd_sim_tool.dir/pgxd_sim.cpp.o.d"
+  "pgxd_sim"
+  "pgxd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgxd_sim_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
