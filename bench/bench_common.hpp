@@ -17,6 +17,7 @@
 #include "common/table.hpp"
 #include "core/api.hpp"
 #include "core/distributed_sort.hpp"
+#include "core/sort_report.hpp"
 #include "datagen/distributions.hpp"
 #include "graph/twitter.hpp"
 #include "runtime/cluster.hpp"
@@ -112,20 +113,41 @@ inline std::vector<std::vector<Key>> twitter_shards(const BenchEnv& env,
 
 struct PgxdRun {
   core::SortStats<Key> stats;
+  // Telemetry flight recorder: phase timings, load balance, splitter error,
+  // network/pool counters, merged metrics. Benches read from here.
+  core::SortReport report;
   std::vector<std::uint64_t> partition_sizes;
   std::vector<std::pair<Key, Key>> partition_ranges;  // (min,max), empty->0,0
   std::vector<std::uint64_t> peak_persistent;
   std::vector<std::uint64_t> peak_temp;
 };
 
+// Benches used to read step timings straight out of the raw per-machine
+// stats; PgxdRun::report.phases is the supported surface now.
+[[deprecated("read phase timings from PgxdRun::report.phases instead")]]
+inline const core::StepTimings& private_step_timings(const PgxdRun& run) {
+  return run.stats.steps_max;
+}
+
 inline PgxdRun run_pgxd(const BenchEnv& env, std::size_t p,
                         std::vector<std::vector<Key>> shards,
-                        const core::SortConfig& cfg = {}) {
+                        core::SortConfig cfg = {},
+                        const std::string& distribution = "unknown") {
+  // cfg.telemetry follows $PGXD_TELEMETRY by default; the report's phase /
+  // load / splitter sections are always populated, registry-backed sections
+  // only when telemetry is on (scripts/check.sh telemetry measures the
+  // on-vs-off overhead through these benches).
   rt::Cluster<Sorter::Msg> cluster(cluster_config(env, p));
   Sorter sorter(cluster, cfg);
   sorter.run(std::move(shards));
   PgxdRun run;
   run.stats = sorter.stats();
+  core::SortRunInfo info;
+  info.distribution = distribution;
+  info.n = env.n;
+  info.machines = p;
+  info.seed = env.seed;
+  run.report = core::build_sort_report(sorter, std::move(info));
   for (const auto& part : sorter.partitions()) {
     run.partition_sizes.push_back(part.size());
     if (part.empty())

@@ -13,22 +13,25 @@ using namespace pgxd::bench;
 
 namespace {
 
+// Reads per-step times from the run's SortReport: each PhaseReport carries
+// the Fig. 7 display name and the per-rank max, so the table header and the
+// rows come from the same telemetry the JSON export serves.
 void breakdown_for(const BenchEnv& env, const Flags& flags,
                    gen::Distribution dist) {
   std::printf("--- %s ---\n", gen::name(dist));
-  Table t({"procs", "local-sort", "sampling", "splitter-select",
-           "partition-plan", "send/receive", "final-merge", "total"});
+  std::vector<std::string> header{"procs"};
+  for (std::size_t i = 0; i < core::kStepCount; ++i)
+    header.push_back(core::step_name(static_cast<core::Step>(i)));
+  header.push_back("total");
+  Table t(header);
   for (auto p : env.procs) {
-    const auto run = run_pgxd(env, p, dist_shards(env, dist, p));
-    const auto& s = run.stats.steps_max;
-    t.row({std::to_string(p),
-           seconds(s[core::Step::kLocalSort]),
-           seconds(s[core::Step::kSampling]),
-           seconds(s[core::Step::kSplitterSelect]),
-           seconds(s[core::Step::kPartitionPlan]),
-           seconds(s[core::Step::kExchange]),
-           seconds(s[core::Step::kFinalMerge]),
-           seconds(run.stats.total_time)});
+    const auto run =
+        run_pgxd(env, p, dist_shards(env, dist, p), {}, gen::name(dist));
+    std::vector<std::string> row{std::to_string(p)};
+    for (const auto& phase : run.report.phases)
+      row.push_back(seconds(phase.max_ns));
+    row.push_back(seconds(run.report.total_time_ns));
+    t.row(row);
   }
   emit(t, flags);
   std::printf("\n");

@@ -5,8 +5,10 @@
 // machines flow through send/receive at their own pace; in the BSP chart
 // every machine waits at the exchange barrier.
 #include <cstdio>
+#include <string>
 
 #include "bench_common.hpp"
+#include "obs/chrome_trace.hpp"
 #include "sim/trace.hpp"
 
 using namespace pgxd;
@@ -14,7 +16,22 @@ using namespace pgxd::bench;
 
 namespace {
 
-void run_with(const BenchEnv& env, std::size_t p, bool async_exchange) {
+void write_chrome(const sim::Trace& trace, const std::string& path,
+                  const std::string& process_name) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  const std::string json = obs::chrome_trace_json(trace, process_name);
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("(chrome trace written to %s — load in Perfetto or "
+              "chrome://tracing)\n", path.c_str());
+}
+
+void run_with(const BenchEnv& env, std::size_t p, bool async_exchange,
+              const std::string& chrome_prefix) {
   sim::Trace trace;
   rt::Cluster<Sorter::Msg> cluster(cluster_config(env, p));
   core::SortConfig cfg;
@@ -23,10 +40,14 @@ void run_with(const BenchEnv& env, std::size_t p, bool async_exchange) {
   sorter.set_trace(&trace);
   sorter.run(twitter_shards(env, p));
 
-  std::printf("--- %s exchange: total %.6f s ---\n",
-              async_exchange ? "asynchronous" : "bulk-synchronous",
+  const char* label = async_exchange ? "asynchronous" : "bulk-synchronous";
+  std::printf("--- %s exchange: total %.6f s ---\n", label,
               sim::to_seconds(sorter.stats().total_time));
   std::fputs(trace.render_gantt(96).c_str(), stdout);
+  if (!chrome_prefix.empty())
+    write_chrome(trace,
+                 chrome_prefix + (async_exchange ? ".async.json" : ".bsp.json"),
+                 std::string("pgxd-sort-") + label);
   std::printf("\n");
 }
 
@@ -36,15 +57,19 @@ int main(int argc, char** argv) {
   Flags flags;
   declare_common_flags(flags);
   flags.declare("p", "processor count for the timeline", "8");
+  flags.declare("chrome",
+                "prefix for Chrome trace_event JSON dumps of each timeline "
+                "(writes <prefix>.async.json etc.); empty = no dumps", "");
   flags.parse(argc, argv);
   BenchEnv env = env_from_flags(flags);
   const std::size_t p = flags.u64("p");
+  const std::string chrome = flags.str("chrome");
 
   print_header("Step timeline: async vs bulk-synchronous exchange, vs Spark",
                "one lane per machine; letters are sort steps / Spark stages",
                env);
-  run_with(env, p, /*async_exchange=*/true);
-  run_with(env, p, /*async_exchange=*/false);
+  run_with(env, p, /*async_exchange=*/true, chrome);
+  run_with(env, p, /*async_exchange=*/false, chrome);
 
   // The Spark baseline's stage structure on the same data — every machine
   // marches through the barriers in lockstep.
@@ -56,5 +81,6 @@ int main(int argc, char** argv) {
   std::printf("--- spark sortByKey: total %.6f s ---\n",
               sim::to_seconds(spark.stats().total_time));
   std::fputs(trace.render_gantt(96).c_str(), stdout);
+  if (!chrome.empty()) write_chrome(trace, chrome + ".spark.json", "spark");
   return 0;
 }

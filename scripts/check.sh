@@ -8,6 +8,11 @@
 #   scripts/check.sh perf            # Release benches vs committed
 #                                    # results/BENCH_sort.json; fails on a
 #                                    # >30% throughput regression
+#   scripts/check.sh telemetry       # Release suite with PGXD_TELEMETRY=1,
+#                                    # pgxd_sim --report/--trace smoke test
+#                                    # validated against the checked-in
+#                                    # schema, and a <3% telemetry-overhead
+#                                    # gate on the fig5 e2e workload
 #
 # Each mode gets its own build tree, so switching between them never forces
 # a full reconfigure of the main build.
@@ -23,6 +28,65 @@ case "$MODE" in
     cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
     cmake --build "$BUILD_DIR" -j "$(nproc)"
     ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+    exit 0
+    ;;
+
+  telemetry)
+    BUILD_DIR="build-release"
+    cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+    # 1. The whole tier-1 suite with every sort instrumented
+    #    (SortConfig::telemetry defaults from this env var).
+    PGXD_TELEMETRY=1 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+    # 2. Flight-recorder smoke test: 4-rank exponential sort, report +
+    #    chrome trace, then schema + semantic validation.
+    TMP="$(mktemp -d /tmp/pgxd_telemetry.XXXXXX)"
+    trap 'rm -rf "$TMP"' EXIT
+    "$BUILD_DIR/tools/pgxd_sim" --dist=exponential --n=200000 --p=4 \
+      --report="$TMP/report.json" --trace="$TMP/trace.json"
+    python3 tools/validate_report.py "$TMP/report.json" tools/report_schema.json
+    python3 - "$TMP/trace.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f: doc = json.load(f)
+events = doc["traceEvents"]
+complete = [e for e in events if e.get("ph") == "X"]
+names = {e["name"] for e in complete}
+want = {"local-sort", "sampling", "splitter-select",
+        "partition-plan", "send/receive", "final-merge"}
+missing = want - names
+assert not missing, f"chrome trace missing steps: {missing}"
+assert all("ts" in e and "dur" in e for e in complete)
+print(f"OK: chrome trace has {len(complete)} spans over {len(names)} step names")
+PY
+
+    # 3. Overhead gate: the fig5 e2e workload with telemetry off vs on must
+    #    stay within 3% wall-clock (best of N to shave scheduler noise).
+    python3 - "$BUILD_DIR" <<'PY'
+import subprocess, sys, time
+
+build = sys.argv[1]
+cmd = [f"{build}/bench/fig5_total_time", "--n=2097152", "--procs=8,16"]
+
+def best_of(env_extra, runs=3):
+    best = float("inf")
+    for _ in range(runs):
+        env = dict(**__import__("os").environ, **env_extra)
+        t0 = time.monotonic()
+        subprocess.run(cmd, check=True, env=env, stdout=subprocess.DEVNULL)
+        best = min(best, time.monotonic() - t0)
+    return best
+
+off = best_of({"PGXD_TELEMETRY": "0"})
+on = best_of({"PGXD_TELEMETRY": "1"})
+ratio = on / off
+print(f"telemetry overhead: off {off:.3f}s, on {on:.3f}s ({ratio:.4f}x)")
+if ratio > 1.03:
+    print(f"FAIL: telemetry overhead {ratio - 1:.1%} exceeds the 3% budget")
+    sys.exit(1)
+print("telemetry overhead gate passed (<3%)")
+PY
     exit 0
     ;;
 

@@ -7,6 +7,16 @@
 
 namespace pgxd {
 
+// splitmix64 step: cheap, well-mixed, deterministic. Not shared with any
+// workload RNG — reservoir decisions must not perturb data generation.
+std::uint64_t RunningStats::next_rand() {
+  rng_state_ += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = rng_state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 void RunningStats::add(double x) {
   if (n_ == 0) {
     min_ = max_ = x;
@@ -19,6 +29,15 @@ void RunningStats::add(double x) {
   const double delta = x - mean_;
   mean_ += delta / static_cast<double>(n_);
   m2_ += delta * (x - mean_);
+
+  // Algorithm R: element n (1-based) replaces a uniformly random slot with
+  // probability capacity/n once the reservoir is full.
+  if (reservoir_.size() < kReservoirCapacity) {
+    reservoir_.push_back(x);
+  } else {
+    const std::uint64_t j = next_rand() % n_;
+    if (j < kReservoirCapacity) reservoir_[j] = x;
+  }
 }
 
 double RunningStats::variance() const {
@@ -27,12 +46,50 @@ double RunningStats::variance() const {
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
+double RunningStats::quantile(double q) const {
+  if (n_ == 0) return 0.0;
+  PGXD_CHECK(q >= 0.0 && q <= 1.0);
+  // Exact extremes come from the full stream, not the sample.
+  if (q == 0.0) return min_;
+  if (q == 1.0) return max_;
+  std::vector<double> sorted(reservoir_);
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
 void RunningStats::merge(const RunningStats& other) {
   if (other.n_ == 0) return;
   if (n_ == 0) {
     *this = other;
     return;
   }
+
+  // Merge the reservoirs before n_ changes: fill each output slot from this
+  // reservoir with probability n/(n + other.n), else from the other's, with
+  // a uniform pick (with replacement) inside the chosen reservoir. When the
+  // combined streams fit in one reservoir, concatenation is exact.
+  if (n_ + other.n_ <= kReservoirCapacity) {
+    reservoir_.insert(reservoir_.end(), other.reservoir_.begin(),
+                      other.reservoir_.end());
+  } else {
+    std::vector<double> merged;
+    merged.reserve(kReservoirCapacity);
+    // Fold the other stream's RNG position in so merge order matters
+    // deterministically, not semantically.
+    rng_state_ ^= other.rng_state_ * 0x2545f4914f6cdd1dull;
+    for (std::size_t i = 0; i < kReservoirCapacity; ++i) {
+      const std::uint64_t pick = next_rand() % (n_ + other.n_);
+      const std::vector<double>& src =
+          pick < n_ ? reservoir_ : other.reservoir_;
+      merged.push_back(src[next_rand() % src.size()]);
+    }
+    reservoir_ = std::move(merged);
+  }
+
   const auto na = static_cast<double>(n_);
   const auto nb = static_cast<double>(other.n_);
   const double delta = other.mean_ - mean_;

@@ -11,8 +11,19 @@
 namespace pgxd {
 
 // Welford's online mean/variance; numerically stable for long streams.
+//
+// Also keeps a fixed-size deterministic reservoir (Algorithm R with an
+// internal LCG stream, capacity kReservoirCapacity) so quantile() works on
+// unbounded streams in O(capacity) memory. Quantiles are exact while
+// count() <= capacity and approximate beyond it; merge() folds two
+// reservoirs with selection probabilities proportional to the merged stream
+// sizes, so merge-then-quantile tracks quantile-of-the-whole-stream within
+// sampling error (tests pin the agreement bound). Everything is
+// deterministic: same add/merge sequence, same quantiles.
 class RunningStats {
  public:
+  static constexpr std::size_t kReservoirCapacity = 256;
+
   void add(double x);
 
   std::size_t count() const { return n_; }
@@ -23,15 +34,24 @@ class RunningStats {
   double max() const { return n_ ? max_ : 0.0; }
   double sum() const { return sum_; }
 
+  // Linear-interpolated quantile estimate from the reservoir, q in [0, 1].
+  // Returns 0 for an empty stream; q=0 / q=1 report the exact stream
+  // min/max.
+  double quantile(double q) const;
+
   void merge(const RunningStats& other);
 
  private:
+  std::uint64_t next_rand();
+
   std::size_t n_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
   double sum_ = 0.0;
+  std::vector<double> reservoir_;
+  std::uint64_t rng_state_ = 0x9e3779b97f4a7c15ull;
 };
 
 // Linear-interpolated percentile of an unsorted sample (copies + sorts).

@@ -1,6 +1,17 @@
 #include "core/config.hpp"
 
+#include <cstdlib>
+#include <cstring>
+
 namespace pgxd::core {
+
+bool telemetry_default() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("PGXD_TELEMETRY");
+    return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+  }();
+  return enabled;
+}
 
 const char* step_name(Step s) {
   switch (s) {
@@ -10,6 +21,18 @@ const char* step_name(Step s) {
     case Step::kPartitionPlan: return "partition-plan";
     case Step::kExchange: return "send/receive";
     case Step::kFinalMerge: return "final-merge";
+  }
+  return "unknown";
+}
+
+const char* step_metric_suffix(Step s) {
+  switch (s) {
+    case Step::kLocalSort: return "local_sort";
+    case Step::kSampling: return "sampling";
+    case Step::kSplitterSelect: return "splitter_select";
+    case Step::kPartitionPlan: return "partition_plan";
+    case Step::kExchange: return "exchange";
+    case Step::kFinalMerge: return "final_merge";
   }
   return "unknown";
 }

@@ -25,6 +25,15 @@ enum class Step : std::size_t {
 inline constexpr std::size_t kStepCount = 6;
 
 const char* step_name(Step s);
+// Metric-name-safe step suffix ("send/receive" -> "exchange"): step timings
+// appear in the registry as sort.step.<suffix>_ns.
+const char* step_metric_suffix(Step s);
+
+// Default for SortConfig::telemetry: true when the PGXD_TELEMETRY
+// environment variable is set to anything but "0" or empty. Lets
+// scripts/check.sh run the whole test suite instrumented without touching
+// any call site; explicit assignment always wins. Read once and cached.
+bool telemetry_default();
 
 struct StepTimings {
   std::array<sim::SimTime, kStepCount> t{};
@@ -74,6 +83,13 @@ struct SortConfig {
   // allocating one vector per chunk; false = fresh allocation per chunk
   // (ablation).
   bool use_buffer_pool = true;
+  // Telemetry master switch: per-rank obs::MetricsRegistry population and
+  // SortReport support. Near-zero cost — every instrumentation point is a
+  // branch on this flag, and the counters themselves are plain integer adds
+  // outside the simulated cost model. Span tracing stays independently
+  // controlled by set_trace(). Defaults from $PGXD_TELEMETRY (see
+  // telemetry_default) so the whole suite can run instrumented.
+  bool telemetry = telemetry_default();
 };
 
 struct MachineStats {

@@ -34,6 +34,7 @@
 #include "core/config.hpp"
 #include "core/provenance.hpp"
 #include "core/splitters.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/cluster.hpp"
 #include "sim/trace.hpp"
 #include "sort/balanced_merge.hpp"
@@ -121,6 +122,7 @@ class DistributedSorter {
     input_.resize(p);
     output_.resize(p);
     stats_.machines.resize(p);
+    metrics_.resize(p);
   }
 
   // Installs per-machine input shards (must be called before the cluster
@@ -149,10 +151,22 @@ class DistributedSorter {
     auto& sim = cluster_.simulator();
     auto& mem = m.memory();
     MachineStats& ms = stats_.machines[rank];
+    obs::MetricsRegistry& reg = metrics_[rank];
+    const bool telemetry = cfg_.telemetry;
     sim::SimTime mark = sim.now();
-    auto stamp = [&](Step s) {
+    // Closes the current paper step: per-step timing, a trace span tagged
+    // with the bytes the step moved, and (telemetry on) a step-duration
+    // gauge in the rank's registry.
+    auto stamp = [&](Step s, std::uint64_t bytes = 0) {
       ms.steps[s] = sim.now() - mark;
-      if (trace_) trace_->record(rank, step_name(s), mark, sim.now());
+      if (trace_) trace_->record(rank, step_name(s), mark, sim.now(), bytes);
+      if (telemetry) {
+        reg.gauge(std::string("sort.step.") + step_metric_suffix(s) + "_ns")
+            .set(static_cast<double>(ms.steps[s]));
+        reg.counter(std::string("sort.step.") + step_metric_suffix(s) +
+                    "_bytes")
+            .inc(bytes);
+      }
       mark = sim.now();
     };
 
@@ -169,7 +183,8 @@ class DistributedSorter {
       sort::quicksort(std::span<Key>(local), comp_);
       co_await m.charge_local_parallel_sort(n);
     }
-    stamp(Step::kLocalSort);
+    if (telemetry) reg.counter("sort.local.items").inc(n);
+    stamp(Step::kLocalSort, n * sizeof(Key));
 
     // ---- Step 2: regular samples to the master ------------------------------
     const std::uint64_t x_bytes =
@@ -189,7 +204,8 @@ class DistributedSorter {
       co_await comm.send(rank, kMaster, tag(kTagSamples),
                          Msg::of_data(samples, n, 0), bytes);
     }
-    stamp(Step::kSampling);
+    if (telemetry) reg.counter("sort.sampling.samples").inc(samples.size());
+    stamp(Step::kSampling, samples.size() * sizeof(Key));
 
     // ---- Step 3: master selects splitters, broadcast -------------------------
     if (rank == kMaster) {
@@ -238,7 +254,7 @@ class DistributedSorter {
     }
     auto splitters_msg = co_await comm.recv(rank, tag(kTagSplitters));
     const std::vector<Key> splitters = std::move(splitters_msg.payload.keys);
-    stamp(Step::kSplitterSelect);
+    stamp(Step::kSplitterSelect, splitters.size() * sizeof(Key));
 
     // ---- Step 4: partition plan + counts broadcast ---------------------------
     PartitionPlan plan = plan_partition<Key, Comp>(
@@ -269,7 +285,11 @@ class DistributedSorter {
       ++distinct;
       recv_counts[msg.src] = msg.payload.counts[rank];
     }
-    stamp(Step::kPartitionPlan);
+    if (telemetry) {
+      reg.counter("sort.plan.searches").inc(plan.searches);
+      reg.counter("sort.plan.duplicate_groups").inc(plan.duplicate_groups);
+    }
+    stamp(Step::kPartitionPlan, p * sizeof(std::uint64_t));
 
     // ---- Step 5: simultaneous send/receive ---------------------------------
     // "each processor knows how much data it will receive ... by applying
@@ -355,6 +375,28 @@ class DistributedSorter {
 
     const std::size_t remote_expected = total_recv - recv_counts[rank];
     std::size_t remote_placed = 0;
+    // Wire bytes this rank put on the fabric during the exchange (span
+    // metadata for the send/receive step).
+    std::uint64_t exchange_wire_sent = 0;
+
+    // Hot-loop instruments, resolved once: per-chunk telemetry is then a
+    // pointer-guarded integer add.
+    obs::Counter* c_chunks_sent = nullptr;
+    obs::Counter* c_chunks_recv = nullptr;
+    obs::Counter* c_dup_chunks = nullptr;
+    obs::Counter* c_items_sent = nullptr;
+    obs::Counter* c_items_recv = nullptr;
+    obs::Counter* c_wire_sent = nullptr;
+    obs::LogHistogram* h_chunk_elems = nullptr;
+    if (telemetry) {
+      c_chunks_sent = &reg.counter("sort.exchange.chunks_sent");
+      c_chunks_recv = &reg.counter("sort.exchange.chunks_received");
+      c_dup_chunks = &reg.counter("sort.exchange.duplicate_chunks");
+      c_items_sent = &reg.counter("sort.exchange.items_sent");
+      c_items_recv = &reg.counter("sort.exchange.items_received");
+      c_wire_sent = &reg.counter("sort.exchange.wire_bytes_sent");
+      h_chunk_elems = &reg.histogram("sort.exchange.chunk_elems");
+    }
 
     // Places one arriving chunk — dedup, copy to its final offset,
     // provenance/range-start bookkeeping, buffer return to the pool — and
@@ -369,8 +411,10 @@ class DistributedSorter {
       PGXD_CHECK_MSG(word < seen_base[msg.src + 1],
                      "chunk offset beyond its source's announced range");
       const std::uint64_t bit = std::uint64_t{1} << (cidx % 64);
+      if (c_chunks_recv) c_chunks_recv->inc();
       if (seen_words[word] & bit) {
         ++ms.duplicate_chunks;
+        if (c_dup_chunks) c_dup_chunks->inc();
         if (use_pool) pool_.release(std::move(keys));
         return 0;
       }
@@ -390,6 +434,7 @@ class DistributedSorter {
       const std::size_t placed = keys.size();
       cursor[msg.src] += placed;
       remote_placed += placed;
+      if (c_items_recv) c_items_recv->inc(placed);
       if (use_pool) pool_.release(std::move(keys));
       return placed;
     };
@@ -429,6 +474,13 @@ class DistributedSorter {
             take * kDataWireBytesPerKey + kChunkHeaderBytes;
         note_data_bytes(bytes);
         ms.sent_elements += take;
+        exchange_wire_sent += bytes;
+        if (c_chunks_sent) {
+          c_chunks_sent->inc();
+          c_items_sent->inc(take);
+          c_wire_sent->inc(bytes);
+          h_chunk_elems->add(take);
+        }
         co_await m.charge_copy(take);  // pack the request buffer
         if (cfg_.async_exchange) {
           comm.post(rank, dst, tag(kTagData),
@@ -466,7 +518,7 @@ class DistributedSorter {
     // The local pre-sorted array can be released now.
     local.clear();
     local.shrink_to_fit();
-    stamp(Step::kExchange);
+    stamp(Step::kExchange, exchange_wire_sent);
 
     // ---- Step 6: final balanced merge ---------------------------------------
     {
@@ -524,7 +576,7 @@ class DistributedSorter {
     }
     recv_keys = std::vector<Key>();
     recv_keys_mem.reset();
-    stamp(Step::kFinalMerge);
+    stamp(Step::kFinalMerge, total_recv * kStoredBytesPerItem);
 
     // ---- Exactly-once audit -------------------------------------------------
     // Provenance makes delivery auditable: for every source, the previous
@@ -554,6 +606,14 @@ class DistributedSorter {
 
     ms.peak_persistent_bytes = mem.peak_persistent();
     ms.peak_temp_bytes = mem.peak_temp();
+    if (telemetry) {
+      reg.counter("sort.load.items").inc(total_recv);
+      reg.counter("sort.load.bytes").inc(total_recv * kStoredBytesPerItem);
+      reg.gauge("sort.memory.peak_persistent_bytes")
+          .set(static_cast<double>(ms.peak_persistent_bytes));
+      reg.gauge("sort.memory.peak_temp_bytes")
+          .set(static_cast<double>(ms.peak_temp_bytes));
+    }
     co_return;
   }
 
@@ -569,6 +629,21 @@ class DistributedSorter {
     stats_.splitters = splitters_;
     stats_.wire_bytes_total = wire_data_bytes_ + wire_control_bytes_;
     stats_.wire_bytes_samples = wire_control_bytes_;
+    if (cfg_.telemetry) {
+      // Fold the substrate's counters into the per-rank registries: NIC
+      // traffic/fault counters, the comm layer's reliable-delivery stats
+      // (rank 0), and the shared exchange buffer pool (rank 0 — the pool is
+      // cluster-wide).
+      for (std::size_t r = 0; r < metrics_.size(); ++r)
+        cluster_.export_metrics(metrics_[r], r);
+      const rt::BufferPoolStats& ps = pool_.stats();
+      obs::MetricsRegistry& reg0 = metrics_[0];
+      reg0.counter("sort.pool.leases").inc(ps.leases);
+      reg0.counter("sort.pool.reuses").inc(ps.reuses);
+      reg0.counter("sort.pool.fresh_allocs").inc(ps.fresh_allocs);
+      reg0.counter("sort.pool.returns").inc(ps.returns);
+      reg0.gauge("sort.pool.peak_free").set(static_cast<double>(ps.peak_free));
+    }
   }
 
   const std::vector<std::vector<ItemT>>& partitions() const { return output_; }
@@ -576,13 +651,31 @@ class DistributedSorter {
   const SortStats<Key>& stats() const { return stats_; }
   const SortConfig& config() const { return cfg_; }
   Cluster& cluster() { return cluster_; }
+  const Cluster& cluster() const { return cluster_; }
   // Exchange buffer-pool counters (shared across the simulated machines,
   // which live in one address space).
   const rt::BufferPoolStats& pool_stats() const { return pool_.stats(); }
 
+  // Per-rank telemetry (populated when SortConfig::telemetry is on).
+  const obs::MetricsRegistry& metrics(std::size_t rank) const {
+    return metrics_[rank];
+  }
+  const std::vector<obs::MetricsRegistry>& per_rank_metrics() const {
+    return metrics_;
+  }
+  // Cluster-wide view: counters sum, gauges keep the max, histograms merge.
+  obs::MetricsRegistry merged_metrics() const {
+    return obs::merge_all(metrics_);
+  }
+
   // Optional span tracing: each machine's step becomes a (lane, label,
-  // begin, end) span — see sim::Trace::render_gantt.
-  void set_trace(sim::Trace* trace) { trace_ = trace; }
+  // begin, end, bytes) span — see sim::Trace::render_gantt and
+  // obs::chrome_trace_json. Declares the cluster size as the lane count so
+  // span-less ranks still show up.
+  void set_trace(sim::Trace* trace) {
+    trace_ = trace;
+    if (trace_) trace_->set_lane_count(cluster_.size());
+  }
 
  private:
   static constexpr std::size_t kMaster = 0;
@@ -596,6 +689,7 @@ class DistributedSorter {
   int base_tag_;
   Comp comp_;
   sim::Trace* trace_ = nullptr;
+  std::vector<obs::MetricsRegistry> metrics_;  // one per rank
   std::vector<std::vector<Key>> input_;
   std::vector<std::vector<ItemT>> output_;
   SortStats<Key> stats_;

@@ -157,4 +157,19 @@ std::uint64_t Fabric::total_duplicated() const {
   return total;
 }
 
+void Fabric::export_metrics(obs::MetricsRegistry& reg,
+                            std::size_t machine) const {
+  const NicStats& s = stats_[machine];
+  reg.counter("net.nic.bytes_sent").inc(s.bytes_sent);
+  reg.counter("net.nic.bytes_received").inc(s.bytes_received);
+  reg.counter("net.nic.messages_sent").inc(s.messages_sent);
+  reg.counter("net.nic.messages_received").inc(s.messages_received);
+  reg.counter("net.nic.messages_dropped").inc(s.messages_dropped);
+  reg.counter("net.nic.messages_duplicated").inc(s.messages_duplicated);
+  reg.gauge("net.nic.tx_busy_ns")
+      .set(static_cast<double>(nics_[machine].tx.busy_time()));
+  reg.gauge("net.nic.rx_busy_ns")
+      .set(static_cast<double>(nics_[machine].rx.busy_time()));
+}
+
 }  // namespace pgxd::net

@@ -20,6 +20,7 @@
 
 #include "common/assert.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
@@ -175,6 +176,11 @@ class Fabric {
   // Fault-counter aggregates.
   std::uint64_t total_dropped() const;
   std::uint64_t total_duplicated() const;
+
+  // Telemetry export: one machine's NicStats as net.nic.* counters plus its
+  // port busy times as net.nic.*_busy_ns gauges — per-rank registries merge
+  // into cluster totals (counters add, gauges keep the max).
+  void export_metrics(obs::MetricsRegistry& reg, std::size_t machine) const;
 
  private:
   sim::SimTime wire_time(std::uint64_t bytes) const;

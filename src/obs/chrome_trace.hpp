@@ -1,0 +1,73 @@
+// Chrome trace_event exporter for sim::Trace spans: produces the JSON
+// object format ({"traceEvents": [...], "displayTimeUnit": "ms"}) that
+// chrome://tracing and Perfetto load directly. Each trace lane becomes a
+// thread ("rank N") of one process; every span is a complete ("ph": "X")
+// event with microsecond timestamps and its byte metadata under args.
+#pragma once
+
+#include <string>
+
+#include "obs/json.hpp"
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+
+namespace pgxd::obs {
+
+// Serializes `trace` as a Chrome trace_event JSON document. `process_name`
+// labels the single process row in the viewer.
+inline std::string chrome_trace_json(const sim::Trace& trace,
+                                     const std::string& process_name = "pgxd") {
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+
+  // Metadata events: one process name, one named thread per lane (emitted
+  // for every lane, including span-less ones, so rank numbering in the
+  // viewer matches the cluster).
+  w.begin_object();
+  w.kv("name", "process_name");
+  w.kv("ph", "M");
+  w.kv("pid", 0);
+  w.kv("tid", 0);
+  w.key("args");
+  w.begin_object();
+  w.kv("name", process_name);
+  w.end_object();
+  w.end_object();
+  for (std::size_t lane = 0; lane < trace.lane_count(); ++lane) {
+    w.begin_object();
+    w.kv("name", "thread_name");
+    w.kv("ph", "M");
+    w.kv("pid", 0);
+    w.kv("tid", static_cast<std::uint64_t>(lane));
+    w.key("args");
+    w.begin_object();
+    w.kv("name", "rank " + std::to_string(lane));
+    w.end_object();
+    w.end_object();
+  }
+
+  for (const auto& s : trace.spans()) {
+    w.begin_object();
+    w.kv("name", s.label);
+    w.kv("ph", "X");
+    w.kv("pid", 0);
+    w.kv("tid", static_cast<std::uint64_t>(s.lane));
+    // trace_event timestamps are microseconds; SimTime is integer ns.
+    w.kv("ts", static_cast<double>(s.begin) / 1e3);
+    w.kv("dur", static_cast<double>(s.end - s.begin) / 1e3);
+    w.key("args");
+    w.begin_object();
+    w.kv("bytes", s.bytes);
+    w.end_object();
+    w.end_object();
+  }
+
+  w.end_array();
+  w.kv("displayTimeUnit", "ms");
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace pgxd::obs

@@ -1,0 +1,156 @@
+// Minimal JSON emitter for telemetry exports (SortReport, metrics dumps,
+// Chrome trace_event files). Write-only by design: the repository has no
+// JSON dependency, and the telemetry consumers (Perfetto, the report schema
+// validator, plotting scripts) only need us to *produce* valid documents.
+//
+// The writer is a push API with explicit begin/end calls; nesting is
+// validated with PGXD_CHECK so a malformed emitter crashes in tests instead
+// of producing silently broken reports. Doubles are emitted with %.17g
+// (round-trippable); NaN/Inf — which JSON cannot represent — are emitted as
+// null.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace pgxd::obs {
+
+class JsonWriter {
+ public:
+  void begin_object() {
+    comma();
+    out_ += '{';
+    stack_.push_back(Frame{/*array=*/false, /*count=*/0});
+    key_pending_ = false;
+  }
+  void end_object() {
+    PGXD_CHECK_MSG(!stack_.empty() && !stack_.back().array,
+                   "json: end_object without matching begin_object");
+    PGXD_CHECK_MSG(!key_pending_, "json: object key without a value");
+    out_ += '}';
+    stack_.pop_back();
+  }
+  void begin_array() {
+    comma();
+    out_ += '[';
+    stack_.push_back(Frame{/*array=*/true, /*count=*/0});
+    key_pending_ = false;
+  }
+  void end_array() {
+    PGXD_CHECK_MSG(!stack_.empty() && stack_.back().array,
+                   "json: end_array without matching begin_array");
+    out_ += ']';
+    stack_.pop_back();
+  }
+
+  // Names the next value inside an object.
+  void key(std::string_view k) {
+    PGXD_CHECK_MSG(!stack_.empty() && !stack_.back().array,
+                   "json: key outside an object");
+    PGXD_CHECK_MSG(!key_pending_, "json: two keys in a row");
+    if (stack_.back().count++ > 0) out_ += ',';
+    append_string(k);
+    out_ += ':';
+    key_pending_ = true;
+  }
+
+  void value(std::string_view s) {
+    comma();
+    append_string(s);
+  }
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(bool b) {
+    comma();
+    out_ += b ? "true" : "false";
+  }
+  void value(double d) {
+    comma();
+    if (!std::isfinite(d)) {
+      out_ += "null";
+      return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    out_ += buf;
+  }
+  void value(std::uint64_t v) {
+    comma();
+    out_ += std::to_string(v);
+  }
+  void value(std::int64_t v) {
+    comma();
+    out_ += std::to_string(v);
+  }
+  // Unambiguous helpers for common integer types.
+  void value(std::uint32_t v) { value(static_cast<std::uint64_t>(v)); }
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void null() {
+    comma();
+    out_ += "null";
+  }
+
+  // Convenience: key + scalar in one call.
+  template <typename T>
+  void kv(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+
+  // The finished document; all containers must be closed.
+  const std::string& str() const {
+    PGXD_CHECK_MSG(stack_.empty(), "json: unclosed object/array");
+    return out_;
+  }
+
+ private:
+  struct Frame {
+    bool array;
+    std::size_t count;
+  };
+
+  // Separator bookkeeping shared by every value-producing call.
+  void comma() {
+    if (key_pending_) {
+      key_pending_ = false;
+      return;  // the key already wrote its separator
+    }
+    if (!stack_.empty()) {
+      PGXD_CHECK_MSG(stack_.back().array, "json: object value without a key");
+      if (stack_.back().count++ > 0) out_ += ',';
+    }
+  }
+
+  void append_string(std::string_view s) {
+    out_ += '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\r': out_ += "\\r"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool key_pending_ = false;
+};
+
+}  // namespace pgxd::obs

@@ -12,6 +12,7 @@
 
 #include "common/assert.hpp"
 #include "net/fabric.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/cost_model.hpp"
 #include "runtime/machine.hpp"
@@ -52,9 +53,19 @@ class Cluster {
   const ClusterConfig& config() const { return cfg_; }
   sim::Simulator& simulator() { return sim_; }
   net::Fabric& fabric() { return fabric_; }
+  const net::Fabric& fabric() const { return fabric_; }
   Comm<Payload>& comm() { return comm_; }
+  const Comm<Payload>& comm() const { return comm_; }
   Machine& machine(std::size_t rank) { return *machines_[rank]; }
   std::size_t size() const { return machines_.size(); }
+
+  // Telemetry export for one rank: its NIC counters plus the comm layer's
+  // protocol counters. Per-rank registries merged across the cluster yield
+  // fabric-wide totals.
+  void export_metrics(obs::MetricsRegistry& reg, std::size_t rank) const {
+    fabric_.export_metrics(reg, rank);
+    if (rank == 0) comm_.export_metrics(reg);  // cluster-wide, count once
+  }
 
   // Spawns factory(machine) for every rank and runs the simulation to
   // quiescence. Returns the elapsed simulated time of this run.

@@ -115,8 +115,24 @@ class Comm {
   std::size_t machines() const { return machines_; }
   sim::Simulator& simulator() { return sim_; }
   net::Fabric& fabric() { return fabric_; }
+  const net::Fabric& fabric() const { return fabric_; }
   const ReliableConfig& reliable_config() const { return rcfg_; }
   const ReliableStats& reliable_stats() const { return rstats_; }
+
+  // Telemetry export: the reliable-delivery protocol counters as
+  // comm.reliable.* (zeros when the reliable layer is off — the schema
+  // stays stable either way). Comm-wide, not per-rank: the ack/retry state
+  // machine is shared across the cluster's pairs.
+  void export_metrics(obs::MetricsRegistry& reg) const {
+    reg.counter("comm.reliable.frames_sent").inc(rstats_.frames_sent);
+    reg.counter("comm.reliable.retransmits").inc(rstats_.retransmits);
+    reg.counter("comm.reliable.retransmitted_bytes")
+        .inc(rstats_.retransmitted_bytes);
+    reg.counter("comm.reliable.acks_sent").inc(rstats_.acks_sent);
+    reg.counter("comm.reliable.acks_received").inc(rstats_.acks_received);
+    reg.counter("comm.reliable.duplicates_suppressed")
+        .inc(rstats_.duplicates_suppressed);
+  }
 
   // Asynchronous send: returns immediately; the payload is delivered to
   // dst's mailbox when the simulated transfer completes (in reliable mode:

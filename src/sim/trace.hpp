@@ -1,7 +1,10 @@
 // Span tracing for simulations: engines record (lane, label, begin, end)
-// spans — one lane per machine — and the collector renders an ASCII Gantt
-// chart. Used by the timeline bench to show how the asynchronous exchange
-// overlaps steps across machines, and handy when debugging any engine.
+// spans — one lane per machine — optionally tagged with metadata (bytes
+// moved), and the collector renders an ASCII Gantt chart. The obs layer
+// exports the same spans as a Chrome trace_event JSON file
+// (obs/chrome_trace.hpp) for chrome://tracing / Perfetto. Used by the
+// timeline bench to show how the asynchronous exchange overlaps steps
+// across machines, and handy when debugging any engine.
 #pragma once
 
 #include <cstdint>
@@ -21,44 +24,83 @@ class Trace {
     std::string label;
     SimTime begin;
     SimTime end;
+    // Optional metadata: bytes this span moved (0 = not applicable). Shown
+    // as span args in the Chrome trace export.
+    std::uint64_t bytes = 0;
   };
 
-  void record(std::size_t lane, std::string label, SimTime begin, SimTime end) {
+  void record(std::size_t lane, std::string label, SimTime begin, SimTime end,
+              std::uint64_t bytes = 0) {
     PGXD_CHECK(end >= begin);
-    spans_.push_back(Span{lane, std::move(label), begin, end});
+    spans_.push_back(Span{lane, std::move(label), begin, end, bytes});
   }
 
   const std::vector<Span>& spans() const { return spans_; }
-  void clear() { spans_.clear(); }
+  void clear() {
+    spans_.clear();
+    lane_count_ = 0;
+  }
 
-  // One row per lane; spans drawn with one letter per distinct label (in
+  // Declares the total number of lanes (machines), so lanes that recorded
+  // no spans still render as empty rows — without this, a rank with no
+  // activity would silently drop off the end of the chart and the trace
+  // export, making per-rank charts disagree with the cluster size.
+  void set_lane_count(std::size_t n) { lane_count_ = n; }
+  // Lanes to render: the declared count or the highest recorded lane + 1,
+  // whichever is larger (interior empty lanes always render either way).
+  std::size_t lane_count() const {
+    std::size_t n = lane_count_;
+    for (const auto& s : spans_) n = std::max(n, s.lane + 1);
+    return n;
+  }
+
+  // One row per lane; spans drawn with one glyph per distinct label (in
   // first-appearance order), '.' for idle. Overlapping spans in a lane keep
-  // the later letter. A legend precedes the chart.
+  // the later glyph. A legend precedes the chart. The glyph alphabet is
+  // A-Z, a-z, 0-9; labels beyond 62 share the '*' glyph (the legend says
+  // so) instead of walking off into punctuation.
   std::string render_gantt(std::size_t width = 100) const {
-    if (spans_.empty()) return "(no spans)\n";
-    SimTime t_min = spans_.front().begin, t_max = spans_.front().end;
-    std::size_t max_lane = 0;
-    for (const auto& s : spans_) {
-      t_min = std::min(t_min, s.begin);
-      t_max = std::max(t_max, s.end);
-      max_lane = std::max(max_lane, s.lane);
-    }
-    if (t_max == t_min) t_max = t_min + 1;
+    const std::size_t lanes = lane_count();
+    if (spans_.empty() && lanes == 0) return "(no spans)\n";
 
-    // Stable label -> letter mapping.
-    std::map<std::string, char> letter_of;
+    SimTime t_min = 0, t_max = 1;
+    if (!spans_.empty()) {
+      t_min = spans_.front().begin;
+      t_max = spans_.front().end;
+      for (const auto& s : spans_) {
+        t_min = std::min(t_min, s.begin);
+        t_max = std::max(t_max, s.end);
+      }
+      if (t_max == t_min) t_max = t_min + 1;
+    }
+
+    // Stable label -> glyph mapping in first-appearance order.
+    static constexpr char kGlyphs[] =
+        "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+    static constexpr std::size_t kGlyphCount = sizeof(kGlyphs) - 1;
+    static constexpr char kOverflowGlyph = '*';
+    std::map<std::string, char> glyph_of;
     std::string legend;
-    char next = 'A';
+    bool overflowed = false;
     for (const auto& s : spans_) {
-      if (letter_of.count(s.label)) continue;
-      letter_of[s.label] = next;
-      legend += "  ";
-      legend += next;
-      legend += " = " + s.label + "\n";
-      next = next == 'Z' ? 'a' : static_cast<char>(next + 1);
+      if (glyph_of.count(s.label)) continue;
+      const std::size_t idx = glyph_of.size();
+      const char g = idx < kGlyphCount ? kGlyphs[idx] : kOverflowGlyph;
+      glyph_of[s.label] = g;
+      if (idx < kGlyphCount) {
+        legend += "  ";
+        legend += g;
+        legend += " = " + s.label + "\n";
+      } else {
+        overflowed = true;
+      }
     }
+    if (overflowed)
+      legend += std::string("  ") + kOverflowGlyph +
+                " = (labels beyond the " + std::to_string(kGlyphCount) +
+                "-glyph alphabet share this mark)\n";
 
-    std::vector<std::string> rows(max_lane + 1, std::string(width, '.'));
+    std::vector<std::string> rows(lanes, std::string(width, '.'));
     auto col = [&](SimTime t) {
       const auto c = static_cast<std::size_t>(
           static_cast<double>(t - t_min) / static_cast<double>(t_max - t_min) *
@@ -66,7 +108,7 @@ class Trace {
       return std::min(c, width - 1);
     };
     for (const auto& s : spans_) {
-      const char ch = letter_of[s.label];
+      const char ch = glyph_of[s.label];
       for (std::size_t c = col(s.begin); c <= col(s.end); ++c)
         rows[s.lane][c] = ch;
     }
@@ -87,6 +129,7 @@ class Trace {
 
  private:
   std::vector<Span> spans_;
+  std::size_t lane_count_ = 0;
 };
 
 }  // namespace pgxd::sim

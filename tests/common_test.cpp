@@ -118,6 +118,77 @@ TEST(RunningStats, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(b.mean(), 5.0);
 }
 
+TEST(RunningStats, QuantileExactWhileWithinReservoir) {
+  RunningStats st;
+  for (int i = 100; i >= 1; --i) st.add(i);  // 1..100, reverse order
+  ASSERT_LE(st.count(), RunningStats::kReservoirCapacity);
+  EXPECT_DOUBLE_EQ(st.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(st.quantile(1.0), 100.0);
+  EXPECT_NEAR(st.quantile(0.5), 50.5, 0.51);
+  EXPECT_NEAR(st.quantile(0.25), 25.75, 0.76);
+}
+
+TEST(RunningStats, QuantileEmptyStreamIsZero) {
+  RunningStats st;
+  EXPECT_DOUBLE_EQ(st.quantile(0.5), 0.0);
+}
+
+TEST(RunningStats, QuantileApproximatesLongStream) {
+  // 100k uniform values: the 256-sample reservoir's median should land
+  // within a few percent of the true median (binomial sampling error,
+  // ~1/sqrt(256) ≈ 6%; allow 3 sigma).
+  Rng rng(17);
+  RunningStats st;
+  for (int i = 0; i < 100000; ++i) st.add(rng.uniform());
+  EXPECT_NEAR(st.quantile(0.5), 0.5, 0.19);
+  EXPECT_NEAR(st.quantile(0.9), 0.9, 0.12);
+  EXPECT_DOUBLE_EQ(st.quantile(0.0), st.min());
+  EXPECT_DOUBLE_EQ(st.quantile(1.0), st.max());
+}
+
+TEST(RunningStats, QuantileDeterministicForSameSequence) {
+  RunningStats a, b;
+  Rng r1(5), r2(5);
+  for (int i = 0; i < 10000; ++i) a.add(r1.uniform());
+  for (int i = 0; i < 10000; ++i) b.add(r2.uniform());
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), b.quantile(0.5));
+  EXPECT_DOUBLE_EQ(a.quantile(0.99), b.quantile(0.99));
+}
+
+TEST(RunningStats, MergeThenQuantileAgreesWithQuantileOfWholeStream) {
+  // Satellite check: splitting one stream over 8 partial stats and merging
+  // must give quantiles consistent with a single stats fed the whole
+  // stream, within reservoir sampling error.
+  Rng rng(23);
+  RunningStats whole;
+  std::vector<RunningStats> parts(8);
+  for (int i = 0; i < 80000; ++i) {
+    const double x = rng.uniform();
+    whole.add(x);
+    parts[i % 8].add(x);
+  }
+  RunningStats merged;
+  for (const auto& p : parts) merged.merge(p);
+  EXPECT_EQ(merged.count(), whole.count());
+  for (double q : {0.25, 0.5, 0.75, 0.9}) {
+    EXPECT_NEAR(merged.quantile(q), q, 0.19) << "q=" << q;
+    EXPECT_NEAR(merged.quantile(q), whole.quantile(q), 0.30) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(merged.quantile(1.0), whole.quantile(1.0));
+  EXPECT_DOUBLE_EQ(merged.quantile(0.0), whole.quantile(0.0));
+}
+
+TEST(RunningStats, MergeSmallReservoirsIsExactConcatenation) {
+  RunningStats a, b;
+  for (double x : {1.0, 2.0, 3.0}) a.add(x);
+  for (double x : {4.0, 5.0}) b.add(x);
+  a.merge(b);  // 5 values total, far under capacity: quantiles are exact
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(a.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(a.quantile(1.0), 5.0);
+}
+
 TEST(Percentile, InterpolatesLinearly) {
   const std::vector<double> xs{4.0, 1.0, 3.0, 2.0};  // sorted: 1 2 3 4
   EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);

@@ -13,6 +13,7 @@
 #include "common/rng.hpp"
 #include "core/api.hpp"
 #include "core/distributed_sort.hpp"
+#include "core/sort_report.hpp"
 #include "datagen/distributions.hpp"
 
 namespace pgxd::core {
@@ -624,6 +625,108 @@ TEST_F(ApiTest, MachineRangesAscend) {
     }
     prev_hi = range->second;
   }
+}
+
+// --------------------------------------------------------------- SortReport
+
+// Table II's headline result on the right-skewed distribution: per-rank load
+// stays within 1% of uniform (max/min <= 1.01) at p=10, and the flight
+// recorder reports it that way.
+TEST(SortReport, RightSkewedLoadMaxOverMinWithinOnePercent) {
+  const std::size_t machines = 10;
+  const std::size_t total_n = 100000;
+  auto shards = make_shards(gen::Distribution::kRightSkewed, total_n, machines);
+
+  rt::Cluster<Sorter::Msg> cluster(test_cluster(machines));
+  SortConfig cfg;
+  cfg.telemetry = true;
+  Sorter sorter(cluster, cfg);
+  sorter.run(std::move(shards));
+
+  SortRunInfo info;
+  info.distribution = "right-skewed";
+  info.n = total_n;
+  info.seed = 42;
+  const SortReport rep = build_sort_report(sorter, std::move(info));
+
+  EXPECT_EQ(rep.run.machines, machines);
+  EXPECT_EQ(rep.items.total, total_n);
+  EXPECT_LE(rep.items.max_over_min, 1.01);
+  EXPECT_GE(rep.items.max_over_min, 1.0);
+  EXPECT_EQ(rep.bytes.total, total_n * Sorter::kStoredBytesPerItem);
+  EXPECT_DOUBLE_EQ(rep.bytes.max_over_min, rep.items.max_over_min);
+  // Splitter boundaries track the ideal p-quantiles to the same tolerance.
+  EXPECT_EQ(rep.splitters.boundary_error.size(), machines - 1);
+  EXPECT_LE(rep.splitters.max_error, 0.01);
+}
+
+// The report covers every Fig. 7 step by display name, the timings are
+// internally consistent, and the telemetry counters cross-check against the
+// raw SortStats.
+TEST(SortReport, CoversAllStepsAndMatchesStats) {
+  const std::size_t machines = 4;
+  const std::size_t total_n = 20000;
+  auto shards = make_shards(gen::Distribution::kExponential, total_n, machines);
+
+  rt::Cluster<Sorter::Msg> cluster(test_cluster(machines));
+  SortConfig cfg;
+  cfg.telemetry = true;
+  Sorter sorter(cluster, cfg);
+  sorter.run(std::move(shards));
+  const SortReport rep = build_sort_report(sorter, SortRunInfo{});
+
+  ASSERT_EQ(rep.phases.size(), kStepCount);
+  for (std::size_t i = 0; i < kStepCount; ++i) {
+    const Step s = static_cast<Step>(i);
+    EXPECT_EQ(rep.phases[i].name, step_name(s));
+    EXPECT_LE(rep.phases[i].min_ns, rep.phases[i].mean_ns);
+    EXPECT_LE(rep.phases[i].mean_ns, static_cast<double>(rep.phases[i].max_ns));
+    EXPECT_EQ(rep.phases[i].max_ns, sorter.stats().steps_max[s]);
+  }
+  EXPECT_EQ(rep.total_time_ns, sorter.stats().total_time);
+
+  // The merged registry agrees with the raw stats and the fabric.
+  const auto& m = rep.metrics;
+  EXPECT_EQ(m.counter_value("sort.load.items"), total_n);
+  std::uint64_t sent = 0;
+  for (const auto& ms : sorter.stats().machines) sent += ms.sent_elements;
+  EXPECT_EQ(m.counter_value("sort.exchange.items_sent"), sent);
+  EXPECT_GT(rep.network.bytes_sent, 0u);
+  EXPECT_EQ(rep.network.messages_dropped, 0u);
+  EXPECT_GT(rep.pool.leases, 0u);
+  EXPECT_DOUBLE_EQ(
+      rep.pool.hit_rate,
+      static_cast<double>(rep.pool.reuses) / static_cast<double>(rep.pool.leases));
+
+  // And the JSON serialization is a complete, non-trivial document.
+  const std::string json = rep.to_json();
+  for (const char* needle :
+       {"\"phases\"", "\"local-sort\"", "\"send/receive\"", "\"final-merge\"",
+        "\"load\"", "\"splitters\"", "\"network\"", "\"pool\"", "\"metrics\""})
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+}
+
+// Telemetry off: the sort still runs, per-rank registries stay empty, and
+// the report's registry-backed sections read zero while the stats-backed
+// sections stay populated.
+TEST(SortReport, TelemetryOffLeavesRegistriesEmpty) {
+  const std::size_t machines = 3;
+  auto shards = make_shards(gen::Distribution::kUniform, 9000, machines);
+  const auto input = shards;
+
+  rt::Cluster<Sorter::Msg> cluster(test_cluster(machines));
+  SortConfig cfg;
+  cfg.telemetry = false;
+  Sorter sorter(cluster, cfg);
+  sorter.run(std::move(shards));
+  verify_sorted(sorter, input);
+
+  for (std::size_t r = 0; r < machines; ++r)
+    EXPECT_TRUE(sorter.metrics(r).counters().empty()) << "rank " << r;
+  const SortReport rep = build_sort_report(sorter, SortRunInfo{});
+  EXPECT_EQ(rep.network.bytes_sent, 0u);
+  EXPECT_EQ(rep.items.total, 9000u);
+  EXPECT_GT(rep.total_time_ns, 0);
 }
 
 }  // namespace

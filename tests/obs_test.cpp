@@ -1,0 +1,259 @@
+// Tests for the observability layer: JSON emitter, metrics registry
+// (counters, gauges, log-linear + fixed histograms, cross-rank merge), and
+// the Chrome trace_event exporter.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "sim/trace.hpp"
+
+namespace pgxd {
+namespace {
+
+// ---------------------------------------------------------------- JsonWriter
+
+TEST(JsonWriter, NestedDocument) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("name", "pgxd");
+  w.kv("n", std::uint64_t{42});
+  w.kv("ratio", 0.5);
+  w.kv("ok", true);
+  w.key("list");
+  w.begin_array();
+  w.value(std::uint64_t{1});
+  w.value(std::uint64_t{2});
+  w.end_array();
+  w.key("nested");
+  w.begin_object();
+  w.kv("x", std::int64_t{-3});
+  w.end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"pgxd\",\"n\":42,\"ratio\":0.5,\"ok\":true,"
+            "\"list\":[1,2],\"nested\":{\"x\":-3}}");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("s", "a\"b\\c\nd");
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"s\":\"a\\\"b\\\\c\\nd\"}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  obs::JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(1.5);
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null,null,1.5]");
+}
+
+TEST(JsonWriterDeath, RejectsMalformedNesting) {
+  EXPECT_DEATH(
+      {
+        obs::JsonWriter w;
+        w.begin_object();
+        w.value(1.0);  // object value without a key
+      },
+      "without a key");
+}
+
+// ------------------------------------------------------------ Counter/Gauge
+
+TEST(Metrics, CounterAccumulatesAndMergesByAddition) {
+  obs::Counter a, b;
+  a.inc();
+  a.inc(4);
+  b.inc(10);
+  a.merge(b);
+  EXPECT_EQ(a.value(), 15u);
+}
+
+TEST(Metrics, GaugeMergesByMax) {
+  obs::Gauge a, b;
+  a.set(3.0);
+  b.set(7.0);
+  a.merge(b);
+  EXPECT_EQ(a.value(), 7.0);
+  b.merge(a);
+  EXPECT_EQ(b.value(), 7.0);
+}
+
+// -------------------------------------------------------------- LogHistogram
+
+TEST(LogHistogram, SmallValuesAreExact) {
+  obs::LogHistogram h;
+  for (std::uint64_t v = 0; v < obs::LogHistogram::kSubBuckets; ++v)
+    EXPECT_EQ(obs::LogHistogram::bucket_floor(v), v);
+}
+
+TEST(LogHistogram, BucketFloorWithinRelativeErrorBound) {
+  // Log-linear with 32 sub-buckets per octave: floor(v) <= v and the bucket
+  // width is at most v / 16, so floor(v) > v * (1 - 1/16).
+  for (std::uint64_t v : {100ull, 1000ull, 123456ull, 1ull << 40,
+                          (1ull << 63) + 12345ull}) {
+    const std::uint64_t f = obs::LogHistogram::bucket_floor(v);
+    EXPECT_LE(f, v);
+    EXPECT_GT(static_cast<double>(f), static_cast<double>(v) * (1.0 - 1.0 / 16));
+  }
+}
+
+TEST(LogHistogram, MomentsAndQuantiles) {
+  obs::LogHistogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.add(v);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_EQ(h.sum(), 500500u);
+  // Quantile lands within one sub-bucket (1/16 relative) of the true value.
+  const double p50 = static_cast<double>(h.quantile(0.5));
+  EXPECT_GT(p50, 500.0 * (1.0 - 1.0 / 16));
+  EXPECT_LE(p50, 500.0 * (1.0 + 1.0 / 16));
+  const double p99 = static_cast<double>(h.quantile(0.99));
+  EXPECT_GT(p99, 990.0 * (1.0 - 1.0 / 16));
+  EXPECT_LE(p99, 1000.0);
+}
+
+TEST(LogHistogram, MergeMatchesCombinedStream) {
+  obs::LogHistogram all, a, b;
+  for (std::uint64_t v = 0; v < 5000; ++v) {
+    const std::uint64_t x = (v * 2654435761u) % 100000;
+    all.add(x);
+    (v % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+  EXPECT_EQ(a.sum(), all.sum());
+  for (double q : {0.1, 0.5, 0.9, 0.99})
+    EXPECT_EQ(a.quantile(q), all.quantile(q));
+}
+
+TEST(LogHistogram, WeightedAdd) {
+  obs::LogHistogram h;
+  h.add(10, 100);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.sum(), 1000u);
+  EXPECT_EQ(h.quantile(0.5), 10u);
+}
+
+// ------------------------------------------------------------ FixedHistogram
+
+TEST(FixedHistogram, ClampsOutOfRangeIntoEdgeBuckets) {
+  obs::FixedHistogram h(0.0, 10.0, 10);
+  h.add(-5.0);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(25.0);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bucket_count(0), 2u);  // -5 clamps down
+  EXPECT_EQ(h.bucket_count(9), 2u);  // 25 clamps up
+}
+
+TEST(FixedHistogram, MergeRequiresIdenticalLayout) {
+  obs::FixedHistogram a(0.0, 1.0, 4), b(0.0, 1.0, 4);
+  a.add(0.1);
+  b.add(0.9);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  obs::FixedHistogram c(0.0, 2.0, 4);
+  EXPECT_DEATH(a.merge(c), "");
+}
+
+// ------------------------------------------------------------------ Registry
+
+TEST(MetricsRegistry, InstrumentsCreatedOnFirstUseWithStableRefs) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("sort.exchange.chunks_sent");
+  c.inc(3);
+  // Creating more instruments must not invalidate the first reference.
+  for (int i = 0; i < 100; ++i)
+    reg.counter("filler." + std::to_string(i)).inc();
+  c.inc(2);
+  EXPECT_EQ(reg.counter_value("sort.exchange.chunks_sent"), 5u);
+  EXPECT_EQ(reg.counter_value("never.created"), 0u);
+}
+
+TEST(MetricsRegistry, MergeFoldsAllInstrumentKinds) {
+  obs::MetricsRegistry a, b;
+  a.counter("c").inc(1);
+  b.counter("c").inc(2);
+  b.counter("only_b").inc(7);
+  a.gauge("g").set(5.0);
+  b.gauge("g").set(3.0);
+  a.histogram("h").add(10);
+  b.histogram("h").add(1000);
+  a.merge(b);
+  EXPECT_EQ(a.counter_value("c"), 3u);
+  EXPECT_EQ(a.counter_value("only_b"), 7u);
+  EXPECT_EQ(a.gauge_value("g"), 5.0);
+  EXPECT_EQ(a.histograms().at("h").count(), 2u);
+  EXPECT_EQ(a.histograms().at("h").max(), 1000u);
+}
+
+TEST(MetricsRegistry, MergeAllAcrossRanks) {
+  std::vector<obs::MetricsRegistry> ranks(4);
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    ranks[r].counter("sort.load.items").inc(100 * (r + 1));
+    ranks[r].gauge("sort.memory.peak_temp_bytes").set(1000.0 * (r + 1));
+  }
+  const obs::MetricsRegistry merged = obs::merge_all(ranks);
+  EXPECT_EQ(merged.counter_value("sort.load.items"), 1000u);
+  EXPECT_EQ(merged.gauge_value("sort.memory.peak_temp_bytes"), 4000.0);
+}
+
+TEST(MetricsRegistry, WriteJsonEmitsEverySection) {
+  obs::MetricsRegistry reg;
+  reg.counter("a.b.c").inc(9);
+  reg.gauge("d.e.f").set(2.5);
+  reg.histogram("g.h.i").add(100);
+  reg.fixed_histogram("j.k.l", 0.0, 1.0, 4).add(0.3);
+  obs::JsonWriter w;
+  reg.write_json(w);
+  const std::string& s = w.str();
+  EXPECT_NE(s.find("\"counters\""), std::string::npos);
+  EXPECT_NE(s.find("\"a.b.c\":9"), std::string::npos);
+  EXPECT_NE(s.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(s.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(s.find("\"p99\""), std::string::npos);
+  EXPECT_NE(s.find("\"fixed_histograms\""), std::string::npos);
+}
+
+// -------------------------------------------------------------- Chrome trace
+
+TEST(ChromeTrace, EmitsMetadataAndCompleteEvents) {
+  sim::Trace t;
+  t.set_lane_count(3);  // lane 2 has no spans but still gets a thread name
+  t.record(0, "local-sort", 0, 2000, /*bytes=*/64);
+  t.record(1, "send/receive", 1000, 5000);
+  const std::string json = obs::chrome_trace_json(t, "test-proc");
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("test-proc"), std::string::npos);
+  EXPECT_NE(json.find("rank 2"), std::string::npos);  // declared empty lane
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"local-sort\""), std::string::npos);
+  // ts/dur are microseconds: the 2000ns span becomes dur 2.
+  EXPECT_NE(json.find("\"dur\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"bytes\":64"), std::string::npos);
+}
+
+TEST(ChromeTrace, EmptyTraceIsStillValidDocument) {
+  sim::Trace t;
+  const std::string json = obs::chrome_trace_json(t);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pgxd

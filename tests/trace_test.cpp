@@ -48,6 +48,50 @@ TEST(Trace, GanttLayout) {
   EXPECT_EQ(g[l1 + 19], 'A');
 }
 
+TEST(Trace, SpanKeepsByteMetadata) {
+  sim::Trace t;
+  t.record(0, "exchange", 0, 100, /*bytes=*/4096);
+  t.record(0, "merge", 100, 200);
+  ASSERT_EQ(t.spans().size(), 2u);
+  EXPECT_EQ(t.spans()[0].bytes, 4096u);
+  EXPECT_EQ(t.spans()[1].bytes, 0u);
+}
+
+TEST(Trace, DeclaredEmptyLanesStillRender) {
+  sim::Trace t;
+  t.set_lane_count(4);
+  t.record(1, "work", 0, 100);  // lanes 0, 2, 3 have no spans
+  EXPECT_EQ(t.lane_count(), 4u);
+  const std::string g = t.render_gantt(20);
+  for (const char* lane : {"m00 |", "m01 |", "m02 |", "m03 |"})
+    EXPECT_NE(g.find(lane), std::string::npos) << lane;
+}
+
+TEST(Trace, LaneCountGrowsWithRecordedLanes) {
+  sim::Trace t;
+  t.set_lane_count(2);
+  t.record(5, "work", 0, 10);  // recording beyond the declared count wins
+  EXPECT_EQ(t.lane_count(), 6u);
+  t.clear();
+  EXPECT_EQ(t.lane_count(), 0u);
+}
+
+TEST(Trace, ManyLabelsShareOverflowGlyphInsteadOfGarbage) {
+  sim::Trace t;
+  // 70 distinct labels: 62 get their own glyph (A-Z, a-z, 0-9), the rest
+  // share '*' and the legend says so.
+  for (int i = 0; i < 70; ++i)
+    t.record(0, "label" + std::to_string(i), i * 10, i * 10 + 10);
+  const std::string g = t.render_gantt(280);
+  EXPECT_NE(g.find("A = label0"), std::string::npos);
+  EXPECT_NE(g.find("a = label26"), std::string::npos);
+  EXPECT_NE(g.find("0 = label52"), std::string::npos);
+  EXPECT_NE(g.find("* ="), std::string::npos);
+  // No control characters or punctuation drift past the glyph alphabet.
+  for (char c : g)
+    EXPECT_TRUE(c == '\n' || (c >= 0x20 && c < 0x7f)) << static_cast<int>(c);
+}
+
 TEST(Trace, ZeroLengthSpanStillVisible) {
   sim::Trace t;
   t.record(0, "blip", 10, 10);

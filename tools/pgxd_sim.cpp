@@ -9,6 +9,7 @@
 //   pgxd_sim --engine=pgxd --dist=twitter --n=4194304 --p=32 --gantt=true
 //   pgxd_sim --engine=spark --dist=right-skewed --p=10
 //   pgxd_sim --engine=radix --dist=uniform --p=8 --csv=true
+//   pgxd_sim --dist=exponential --p=4 --report=out.json --trace=out.trace.json
 #include <cstdio>
 #include <string>
 
@@ -17,9 +18,11 @@
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/distributed_sort.hpp"
+#include "core/sort_report.hpp"
 #include "core/validate.hpp"
 #include "datagen/distributions.hpp"
 #include "graph/twitter.hpp"
+#include "obs/chrome_trace.hpp"
 #include "sim/trace.hpp"
 #include "spark/sort_by_key.hpp"
 
@@ -38,8 +41,21 @@ struct Options {
   bool csv = false;
   bool gantt = false;
   bool validate = true;
+  std::string report_path;  // SortReport JSON (pgxd engine only)
+  std::string trace_path;   // Chrome trace_event JSON (pgxd engine only)
   pgxd::core::SortConfig sort_cfg;
 };
+
+bool write_file(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  return true;
+}
 
 std::vector<std::vector<Key>> make_shards(const Options& opt) {
   std::vector<std::vector<Key>> shards;
@@ -99,8 +115,9 @@ int run_pgxd(const Options& opt) {
 
   pgxd::rt::Cluster<Sorter::Msg> cluster(cluster_config(opt));
   pgxd::sim::Trace trace;
+  const bool want_trace = opt.gantt || !opt.trace_path.empty();
   Sorter sorter(cluster, opt.sort_cfg);
-  if (opt.gantt) sorter.set_trace(&trace);
+  if (want_trace) sorter.set_trace(&trace);
   sorter.run(std::move(shards));
   const auto& st = sorter.stats();
 
@@ -134,6 +151,24 @@ int run_pgxd(const Options& opt) {
 
   if (opt.gantt) {
     std::printf("\nstep timeline:\n%s", trace.render_gantt(96).c_str());
+  }
+
+  if (!opt.report_path.empty()) {
+    pgxd::core::SortRunInfo info;
+    info.engine = "pgxd";
+    info.distribution = opt.dist;
+    info.n = opt.n;
+    info.machines = opt.p;
+    info.seed = opt.seed;
+    const auto report = pgxd::core::build_sort_report(sorter, std::move(info));
+    if (!write_file(opt.report_path, report.to_json() + "\n")) return 1;
+    std::printf("\nsort report written to %s\n", opt.report_path.c_str());
+  }
+  if (!opt.trace_path.empty()) {
+    if (!write_file(opt.trace_path, pgxd::obs::chrome_trace_json(trace)))
+      return 1;
+    std::printf("chrome trace written to %s — load in Perfetto or "
+                "chrome://tracing\n", opt.trace_path.c_str());
   }
 
   if (opt.validate) {
@@ -236,6 +271,12 @@ int main(int argc, char** argv) {
   flags.declare("seed", "root seed", "2017");
   flags.declare("csv", "emit tables as CSV", "false");
   flags.declare("gantt", "print the step timeline (pgxd only)", "false");
+  flags.declare("report",
+                "write the SortReport flight-recorder JSON here (pgxd only; "
+                "implies telemetry)", "");
+  flags.declare("trace",
+                "write a Chrome trace_event JSON of the step spans here "
+                "(pgxd only)", "");
   flags.declare("validate", "validate the sorted result", "true");
   flags.declare("investigator", "duplicate-splitter investigator (pgxd)", "true");
   flags.declare("async", "asynchronous exchange (pgxd)", "true");
@@ -255,6 +296,9 @@ int main(int argc, char** argv) {
   opt.csv = flags.boolean("csv");
   opt.gantt = flags.boolean("gantt");
   opt.validate = flags.boolean("validate");
+  opt.report_path = flags.str("report");
+  opt.trace_path = flags.str("trace");
+  if (!opt.report_path.empty()) opt.sort_cfg.telemetry = true;
   opt.sort_cfg.use_investigator = flags.boolean("investigator");
   opt.sort_cfg.async_exchange = flags.boolean("async");
   opt.sort_cfg.balanced_final_merge = flags.boolean("balanced-merge");

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Validate a SortReport JSON document against tools/report_schema.json.
+
+Implements the small JSON-Schema subset the checked-in schema uses (type,
+properties, required, additionalProperties, items, enum, minimum, minItems)
+so no third-party dependency is needed, then applies semantic checks the
+schema language cannot express:
+
+  * the phases cover all six Fig. 7 step names, each exactly once;
+  * per-phase and per-load min <= mean <= max;
+  * load totals match run.n, and splitter boundary_error has machines-1
+    entries bounded by max_error;
+  * required sort.* metric counters are present in the merged registry.
+
+Usage: validate_report.py report.json [schema.json]
+Exit code 0 on success; prints every violation and exits 1 otherwise.
+"""
+
+import json
+import os
+import sys
+
+STEP_NAMES = [
+    "local-sort", "sampling", "splitter-select",
+    "partition-plan", "send/receive", "final-merge",
+]
+
+REQUIRED_COUNTERS = [
+    "sort.load.items",
+    "sort.exchange.chunks_sent",
+    "sort.exchange.items_received",
+    "net.nic.bytes_sent",
+    "net.nic.messages_sent",
+]
+
+
+def type_ok(value, expected):
+    if expected == "object":
+        return isinstance(value, dict)
+    if expected == "array":
+        return isinstance(value, list)
+    if expected == "string":
+        return isinstance(value, str)
+    if expected == "boolean":
+        return isinstance(value, bool)
+    if expected == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if expected == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if expected == "null":
+        return value is None
+    return False
+
+
+def validate(value, schema, path, errors):
+    expected = schema.get("type")
+    if expected is not None and not type_ok(value, expected):
+        errors.append("%s: expected %s, got %s" %
+                      (path, expected, type(value).__name__))
+        return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append("%s: %r not in enum %r" % (path, value, schema["enum"]))
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool) and value < schema["minimum"]:
+        errors.append("%s: %r < minimum %r" % (path, value, schema["minimum"]))
+    if isinstance(value, dict):
+        for req in schema.get("required", []):
+            if req not in value:
+                errors.append("%s: missing required key %r" % (path, req))
+        props = schema.get("properties", {})
+        for key, sub in props.items():
+            if key in value:
+                validate(value[key], sub, "%s.%s" % (path, key), errors)
+        if schema.get("additionalProperties") is False:
+            for key in value:
+                if key not in props:
+                    errors.append("%s: unexpected key %r" % (path, key))
+    if isinstance(value, list):
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            errors.append("%s: %d items < minItems %d" %
+                          (path, len(value), schema["minItems"]))
+        items = schema.get("items")
+        if items is not None:
+            for i, item in enumerate(value):
+                validate(item, items, "%s[%d]" % (path, i), errors)
+
+
+def semantic_checks(doc, errors):
+    phases = doc.get("phases", [])
+    names = [p.get("name") for p in phases]
+    for step in STEP_NAMES:
+        if names.count(step) != 1:
+            errors.append("phases: step %r appears %d times, want exactly 1" %
+                          (step, names.count(step)))
+    for p in phases:
+        lo, mid, hi = p.get("min_ns", 0), p.get("mean_ns", 0), p.get("max_ns", 0)
+        if not (lo <= mid <= hi):
+            errors.append("phase %r: min/mean/max out of order (%r, %r, %r)" %
+                          (p.get("name"), lo, mid, hi))
+
+    run = doc.get("run", {})
+    machines = run.get("machines", 0)
+    for unit in ("items", "bytes"):
+        load = doc.get("load", {}).get(unit, {})
+        lo, mid, hi = load.get("min", 0), load.get("mean", 0), load.get("max", 0)
+        if not (lo <= mid <= hi):
+            errors.append("load.%s: min/mean/max out of order (%r, %r, %r)" %
+                          (unit, lo, mid, hi))
+    if doc.get("load", {}).get("items", {}).get("total") != run.get("n"):
+        errors.append("load.items.total != run.n")
+
+    boundary = doc.get("splitters", {}).get("boundary_error", [])
+    if machines and len(boundary) != machines - 1:
+        errors.append("splitters.boundary_error: %d entries, want machines-1=%d"
+                      % (len(boundary), machines - 1))
+    max_err = doc.get("splitters", {}).get("max_error", 0)
+    for i, e in enumerate(boundary):
+        if e > max_err + 1e-12:
+            errors.append("splitters.boundary_error[%d]=%r exceeds max_error=%r"
+                          % (i, e, max_err))
+
+    counters = doc.get("metrics", {}).get("counters", {})
+    for name in REQUIRED_COUNTERS:
+        if name not in counters:
+            errors.append("metrics.counters: missing %r" % name)
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    report_path = argv[1]
+    schema_path = argv[2] if len(argv) == 3 else \
+        os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                     "report_schema.json")
+    with open(report_path) as f:
+        doc = json.load(f)
+    with open(schema_path) as f:
+        schema = json.load(f)
+
+    errors = []
+    validate(doc, schema, "$", errors)
+    if not errors:  # semantic checks assume the shape is right
+        semantic_checks(doc, errors)
+    if errors:
+        for e in errors:
+            print("FAIL: %s" % e)
+        return 1
+    print("OK: %s matches %s (%d phases, %d counters)" %
+          (report_path, os.path.basename(schema_path),
+           len(doc.get("phases", [])),
+           len(doc.get("metrics", {}).get("counters", {}))))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
