@@ -2,7 +2,8 @@
 # Build-and-verify entry point. Usage:
 #
 #   scripts/check.sh                 # ASan + UBSan test suite (the default)
-#   scripts/check.sh thread          # TSan
+#   scripts/check.sh tsan            # ThreadSanitizer test suite (alias:
+#                                    # thread); the TSan fleet is kept clean
 #   scripts/check.sh undefined       # UBSan alone
 #   scripts/check.sh release         # -O3 -DNDEBUG build + full test suite
 #   scripts/check.sh perf            # Release benches vs committed
@@ -13,38 +14,90 @@
 #                                    # validated against the checked-in
 #                                    # schema, and a <3% telemetry-overhead
 #                                    # gate on the fig5 e2e workload
+#   scripts/check.sh lint            # the static-analysis wall: custom
+#                                    # linter (self-test + repo), a
+#                                    # PGXD_WERROR=ON build (-Wall -Wextra
+#                                    # -Wshadow -Wconversion as errors), and
+#                                    # clang-tidy over compile_commands.json
+#                                    # when a clang-tidy binary exists
 #
 # Each mode gets its own build tree, so switching between them never forces
-# a full reconfigure of the main build.
+# a full reconfigure of the main build. Every mode propagates non-zero exit
+# codes (set -euo pipefail; helpers never swallow a failing stage).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 MODE="${1:-address,undefined}"
+JOBS="$(nproc)"
+
+# One configure+build path for every mode: configure_build <dir> [cmake
+# options...]. A cached tree reconfigures incrementally; options differing
+# from the cache (e.g. a new PGXD_SANITIZE) trigger the usual CMake rebuild.
+configure_build() {
+  local dir="$1"
+  shift
+  cmake -B "$dir" -S . "$@"
+  cmake --build "$dir" -j "$JOBS"
+}
+
+run_suite() {
+  ctest --test-dir "$1" --output-on-failure -j "$JOBS"
+}
 
 case "$MODE" in
   release)
-    BUILD_DIR="build-release"
-    cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-    cmake --build "$BUILD_DIR" -j "$(nproc)"
-    ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+    configure_build build-release -DCMAKE_BUILD_TYPE=Release
+    run_suite build-release
+    exit 0
+    ;;
+
+  lint)
+    echo "== lint 1/4: custom linter self-test (tests/lint_selftest) =="
+    python3 tools/lint_pgxd.py --selftest tests/lint_selftest
+
+    echo "== lint 2/4: custom linter over the repo =="
+    python3 tools/lint_pgxd.py
+
+    echo "== lint 3/4: warnings-as-errors build (PGXD_WERROR=ON) =="
+    configure_build build-werror -DPGXD_WERROR=ON \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+
+    echo "== lint 4/4: clang-tidy (checked-in .clang-tidy) =="
+    TIDY=""
+    for cand in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+                clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+      if command -v "$cand" > /dev/null 2>&1; then
+        TIDY="$cand"
+        break
+      fi
+    done
+    if [ -z "$TIDY" ]; then
+      echo "NOTE: no clang-tidy binary on PATH — step skipped (the config"
+      echo "      and compile_commands.json are ready; install clang-tidy"
+      echo "      to run it: build-werror/compile_commands.json)."
+      exit 0
+    fi
+    # Sources only; headers are covered through HeaderFilterRegex.
+    git ls-files 'src/**/*.cpp' 'tests/*.cpp' 'bench/*.cpp' \
+        'examples/*.cpp' 'tools/*.cpp' |
+      grep -v '^tests/lint_selftest/' |
+      xargs -r "$TIDY" -p build-werror --quiet --warnings-as-errors='*'
     exit 0
     ;;
 
   telemetry)
-    BUILD_DIR="build-release"
-    cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-    cmake --build "$BUILD_DIR" -j "$(nproc)"
+    configure_build build-release -DCMAKE_BUILD_TYPE=Release
 
     # 1. The whole tier-1 suite with every sort instrumented
     #    (SortConfig::telemetry defaults from this env var).
-    PGXD_TELEMETRY=1 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+    PGXD_TELEMETRY=1 run_suite build-release
 
     # 2. Flight-recorder smoke test: 4-rank exponential sort, report +
     #    chrome trace, then schema + semantic validation.
     TMP="$(mktemp -d /tmp/pgxd_telemetry.XXXXXX)"
     trap 'rm -rf "$TMP"' EXIT
-    "$BUILD_DIR/tools/pgxd_sim" --dist=exponential --n=200000 --p=4 \
+    build-release/tools/pgxd_sim --dist=exponential --n=200000 --p=4 \
       --report="$TMP/report.json" --trace="$TMP/trace.json"
     python3 tools/validate_report.py "$TMP/report.json" tools/report_schema.json
     python3 - "$TMP/trace.json" <<'PY'
@@ -63,7 +116,7 @@ PY
 
     # 3. Overhead gate: the fig5 e2e workload with telemetry off vs on must
     #    stay within 3% wall-clock (best of N to shave scheduler noise).
-    python3 - "$BUILD_DIR" <<'PY'
+    python3 - build-release <<'PY'
 import subprocess, sys, time
 
 build = sys.argv[1]
@@ -128,6 +181,10 @@ print(f"\nperf gate passed (threshold: {THRESHOLD:.0%} drop in items/s)")
 PY
     exit 0
     ;;
+
+  tsan)
+    MODE="thread"
+    ;;
 esac
 
 # Sanitizer modes: configure, build, and run the full test suite under the
@@ -135,13 +192,15 @@ esac
 SAN="$MODE"
 BUILD_DIR="build-san-${SAN//,/-}"
 
-cmake -B "${BUILD_DIR}" -S . -DPGXD_SANITIZE="${SAN}" \
+configure_build "$BUILD_DIR" -DPGXD_SANITIZE="$SAN" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "${BUILD_DIR}" -j "$(nproc)"
 
-# abort_on_error makes sanitizer findings fail the test process the same way
-# PGXD_CHECK does; detect_leaks stays on wherever ASan supports it.
+# abort_on_error/halt_on_error make sanitizer findings fail the test process
+# the same way PGXD_CHECK does; detect_leaks stays on wherever ASan supports
+# it. TSan keeps its history buffer large enough for the merge-tree tests'
+# long synchronization chains.
 export ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1:history_size=7}"
 
-ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
+run_suite "$BUILD_DIR"

@@ -104,7 +104,8 @@ class RadixSorter {
         auto msg = co_await comm.recv(kMaster, kTagMax);
         global_max = std::max(global_max, msg.payload.max_key);
       }
-      const unsigned width = global_max ? std::bit_width(global_max) : 1;
+      const unsigned width =
+          global_max ? static_cast<unsigned>(std::bit_width(global_max)) : 1;
       master_shift_ = width > cfg_.high_bits ? width - cfg_.high_bits : 0;
       for (std::size_t dst = 0; dst < p; ++dst) {
         comm.post(kMaster, dst, kTagAssign, Msg{{}, {master_shift_}, 0}, 8);

@@ -54,7 +54,7 @@ bool WorkStealingPool::try_pop_own(std::size_t id, std::function<void()>& task) 
   if (w.deque.empty()) return false;
   task = std::move(w.deque.back());
   w.deque.pop_back();
-  ++w.executed;
+  w.executed.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -67,8 +67,8 @@ bool WorkStealingPool::try_steal(std::size_t thief, std::function<void()>& task)
     if (w.deque.empty()) continue;
     task = std::move(w.deque.front());
     w.deque.pop_front();
-    ++queues_[thief]->stolen;
-    ++queues_[thief]->executed;
+    queues_[thief]->stolen.fetch_add(1, std::memory_order_relaxed);
+    queues_[thief]->executed.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
   return false;
@@ -120,8 +120,8 @@ void WorkStealingPool::run_all(std::vector<std::function<void()>> tasks) {
 WorkStealingPool::Stats WorkStealingPool::stats() const {
   Stats s;
   for (const auto& w : queues_) {
-    s.executed += w->executed;
-    s.stolen += w->stolen;
+    s.executed += w->executed.load(std::memory_order_relaxed);
+    s.stolen += w->stolen.load(std::memory_order_relaxed);
   }
   return s;
 }

@@ -56,8 +56,13 @@ class WorkStealingPool {
   struct Worker {
     std::mutex mu;
     std::deque<std::function<void()>> deque;
-    std::uint64_t executed = 0;
-    std::uint64_t stolen = 0;
+    // Atomics, not plain counters: the thief bumps its own tallies while
+    // holding the *victim's* deque lock, and stats() reads every worker's
+    // tallies without taking any deque lock. Relaxed is enough — stats()
+    // is only expected to be exact after wait_idle(), whose acquire on
+    // in_flight_ orders all prior task bookkeeping.
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> stolen{0};
   };
 
   void worker_loop(std::size_t id);

@@ -15,7 +15,7 @@ namespace pgxd::obs {
 
 std::size_t LogHistogram::bucket_index(std::uint64_t v) {
   if (v < kSubBuckets) return static_cast<std::size_t>(v);
-  const int w = std::bit_width(v);  // > kSubBits
+  const int w = static_cast<int>(std::bit_width(v));  // > kSubBits
   const int octave = w - kSubBits;
   const auto sub = static_cast<std::size_t>(
       (v >> (w - kSubBits)) & ((kSubBuckets / 2) - 1));

@@ -2,11 +2,14 @@
 // persistent ("RSS": result arrays + provenance bookkeeping that live to the
 // end of the sort) versus temporary (scratch that is freed before the sort
 // returns).
+// pgxd-lint: hot-path  (tools/lint_pgxd.py: no std::function, naked new,
+// or std::set in this file)
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -94,24 +97,31 @@ struct BufferPoolStats {
 // retransmits, which resend modeled bytes only and never touch a payload
 // after its first delivery.
 //
-// Not thread-safe: machines in this codebase are cooperatively scheduled
-// coroutines in one OS thread, so lease/release never race.
+// Thread-safety contract: acquire()/release()/free_buffers()/outstanding()
+// may race freely (a mutex guards the free list and tallies — uncontended
+// in the simulator, where machines are cooperatively scheduled coroutines
+// in one OS thread). stats() returns an unlocked reference and is for
+// quiescent reads only: after a sort completes or between exchanges, never
+// concurrently with lease/release traffic.
 template <typename T>
 class BufferPool {
  public:
   // Leases a buffer with capacity >= reserve_hint, empty. Reuses the most
   // recently returned buffer when one is available.
   std::vector<T> acquire(std::size_t reserve_hint) {
-    ++stats_.leases;
     std::vector<T> buf;
-    if (!free_.empty()) {
-      ++stats_.reuses;
-      buf = std::move(free_.back());
-      free_.pop_back();
-      buf.clear();
-    } else {
-      ++stats_.fresh_allocs;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.leases;
+      if (!free_.empty()) {
+        ++stats_.reuses;
+        buf = std::move(free_.back());
+        free_.pop_back();
+      } else {
+        ++stats_.fresh_allocs;
+      }
     }
+    buf.clear();
     buf.reserve(reserve_hint);
     return buf;
   }
@@ -121,6 +131,7 @@ class BufferPool {
   // but storage already on the free list is rejected loudly: releasing the
   // same allocation twice would alias two future leases.
   void release(std::vector<T>&& buf) {
+    std::lock_guard<std::mutex> lock(mu_);
     ++stats_.returns;
     if (buf.capacity() == 0) return;  // moved-from or never allocated
     for (const auto& f : free_)
@@ -130,20 +141,26 @@ class BufferPool {
     stats_.peak_free = std::max(stats_.peak_free, free_.size());
   }
 
-  std::size_t free_buffers() const { return free_.size(); }
+  std::size_t free_buffers() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return free_.size();
+  }
 
   // Leased-but-unreturned buffers. Signed: a duplicating fabric returns
   // cloned storage that was never leased, which can push returns past
   // leases — that undercounts outstanding, which only ever relaxes
   // backpressure, never wedges it.
   std::int64_t outstanding() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return static_cast<std::int64_t>(stats_.leases) -
            static_cast<std::int64_t>(stats_.returns);
   }
 
+  // Quiescent-state read (see the class comment).
   const BufferPoolStats& stats() const { return stats_; }
 
  private:
+  mutable std::mutex mu_;
   std::vector<std::vector<T>> free_;
   BufferPoolStats stats_;
 };

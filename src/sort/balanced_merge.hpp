@@ -11,6 +11,8 @@
 // Each level's work is a flat vector of MergeSegment descriptors (reused
 // across levels) dispatched through ThreadPool::run_all's index-based
 // overload, so a merge of any size performs O(1) heap allocations.
+// pgxd-lint: hot-path  (tools/lint_pgxd.py: no std::function, naked new,
+// or std::set in this file)
 #pragma once
 
 #include <algorithm>

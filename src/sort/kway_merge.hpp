@@ -2,6 +2,8 @@
 // the paper's Fig. 2 balanced merge tree, used as the real data path of the
 // merge-strategy ablation. One comparison per element per tree level
 // (log2 k), but inherently sequential: no intra-merge parallelism.
+// pgxd-lint: hot-path  (tools/lint_pgxd.py: no std::function, naked new,
+// or std::set in this file)
 #pragma once
 
 #include <bit>

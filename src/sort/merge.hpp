@@ -8,6 +8,8 @@
 //
 // Stability convention everywhere: on ties, elements of the first ("a")
 // input precede elements of the second ("b") input.
+// pgxd-lint: hot-path  (tools/lint_pgxd.py: no std::function, naked new,
+// or std::set in this file)
 #pragma once
 
 #include <cstddef>

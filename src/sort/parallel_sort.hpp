@@ -6,6 +6,8 @@
 //
 // The chunking guarantees the Fig. 2 merge tree starts from equal-sized
 // runs, which is what makes every later merge balanced.
+// pgxd-lint: hot-path  (tools/lint_pgxd.py: no std::function, naked new,
+// or std::set in this file)
 #pragma once
 
 #include <cstddef>

@@ -20,6 +20,8 @@
 // Both refinements are individually switchable via QuicksortConfig so the
 // bench suite can attribute their wins. This is the per-thread local sort of
 // the paper's step (1).
+// pgxd-lint: hot-path  (tools/lint_pgxd.py: no std::function, naked new,
+// or std::set in this file)
 #pragma once
 
 #include <algorithm>
@@ -317,7 +319,7 @@ template <typename T, typename Comp = std::less<T>>
 void quicksort(std::span<T> data, Comp comp = {},
                const QuicksortConfig& cfg = {}) {
   if (data.size() < 2) return;
-  const int depth_budget = 2 * std::bit_width(data.size());
+  const int depth_budget = 2 * static_cast<int>(std::bit_width(data.size()));
   detail::introsort_loop(data, comp, depth_budget,
                          static_cast<const T*>(nullptr), cfg);
 }

@@ -5,6 +5,8 @@
 // Counting sort per digit, ping-ponging between the input and a scratch
 // buffer. Only the digits below `significant_bits` are processed, so the
 // distributed baseline can skip the digits its partitioning already fixed.
+// pgxd-lint: hot-path  (tools/lint_pgxd.py: no std::function, naked new,
+// or std::set in this file)
 #pragma once
 
 #include <algorithm>
@@ -39,7 +41,7 @@ RadixSortStats radix_sort(std::vector<Key>& data, std::vector<Key>& scratch,
   if (significant_bits == 0) {
     Key all = 0;
     for (const auto& k : data) all |= k;
-    significant_bits = all ? std::bit_width(all) : 1;
+    significant_bits = all ? static_cast<unsigned>(std::bit_width(all)) : 1;
   }
   PGXD_CHECK(significant_bits <= sizeof(Key) * 8);
 

@@ -4,6 +4,8 @@
 // Each processor draws `count` regular samples from its locally sorted
 // data; the master merges all received samples and selects p-1 final
 // splitters at regular positions.
+// pgxd-lint: hot-path  (tools/lint_pgxd.py: no std::function, naked new,
+// or std::set in this file)
 #pragma once
 
 #include <algorithm>

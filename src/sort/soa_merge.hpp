@@ -15,6 +15,8 @@
 // Stability: ties resolve toward the run with the lower index (same
 // convention as merge_into), so with an identity-initialized permutation,
 // equal keys keep ascending permutation values throughout.
+// pgxd-lint: hot-path  (tools/lint_pgxd.py: no std::function, naked new,
+// or std::set in this file)
 #pragma once
 
 #include <algorithm>

@@ -8,6 +8,8 @@
 // short runs to minrun, the merge-collapse stack invariants (including the
 // 2015 corrected two-deep check), and galloping merges with the adaptive
 // min-gallop threshold.
+// pgxd-lint: hot-path  (tools/lint_pgxd.py: no std::function, naked new,
+// or std::set in this file)
 #pragma once
 
 #include <algorithm>

@@ -167,8 +167,9 @@ void check_soa_merge(std::vector<std::uint64_t> keys,
     ASSERT_FALSE(seen[q]) << "permutation repeats source index " << q;
     seen[q] = true;
     ASSERT_EQ(mk[i], original[q]) << "perm does not map back to its key";
-    if (i > 0 && mk[i] == mk[i - 1])
+    if (i > 0 && mk[i] == mk[i - 1]) {
       ASSERT_LT(mp[i - 1], mp[i]) << "equal keys must keep ascending perm";
+    }
   }
 }
 

@@ -42,11 +42,17 @@ void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
   ++g_allocs;
   return std::malloc(size);
 }
+// GCC flags free() inside a replaced operator delete as a mismatched
+// allocation pair; it cannot see that the paired operator new above
+// allocates with malloc, so the pairing is exactly right here.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete(void* p, const std::nothrow_t&) noexcept {
   std::free(p);
 }
+#pragma GCC diagnostic pop
 
 namespace pgxd {
 namespace {

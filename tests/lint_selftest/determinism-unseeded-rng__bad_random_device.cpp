@@ -1,0 +1,11 @@
+// Fixture: a system-entropy RNG inside the determinism contract must flag —
+// every stream must replay bit-identically from its seed.
+// pgxd-lint: determinism-scope
+
+#include <random>
+
+unsigned draw() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  return gen();
+}

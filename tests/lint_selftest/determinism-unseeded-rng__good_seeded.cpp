@@ -1,0 +1,9 @@
+// Fixture: an explicitly seeded engine is clean.
+// pgxd-lint: determinism-scope
+
+#include <random>
+
+unsigned draw(unsigned long long seed) {
+  std::mt19937_64 gen(seed);
+  return static_cast<unsigned>(gen());
+}

@@ -1,0 +1,9 @@
+// Fixture: reading a real clock inside the determinism contract must flag —
+// simulated components take time only from sim::Simulator::now().
+// pgxd-lint: determinism-scope
+
+#include <chrono>
+
+long long stamp() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,5 @@
+// Fixture: simulated time plumbed through a parameter is clean; the word
+// "clock" in comments (the simulated clock advances) must not flag.
+// pgxd-lint: determinism-scope
+
+long long stamp(long long sim_now_ns) { return sim_now_ns; }

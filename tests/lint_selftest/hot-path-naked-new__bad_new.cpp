@@ -1,0 +1,8 @@
+// Fixture: naked new in a hot-path file must flag.
+// pgxd-lint: hot-path
+
+struct Node {
+  int v = 0;
+};
+
+Node* make_node() { return new Node(); }

@@ -1,0 +1,12 @@
+// Fixture: container-owned storage in a hot-path file is clean; the word
+// "new" in comments (a new buffer) or strings ("new") must not flag.
+// pgxd-lint: hot-path
+
+#include <string>
+#include <vector>
+
+std::vector<int> make_nodes(int n) {
+  const std::string label = "brand new nodes";
+  (void)label;
+  return std::vector<int>(static_cast<unsigned>(n), 0);
+}

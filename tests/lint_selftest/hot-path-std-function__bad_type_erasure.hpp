@@ -1,0 +1,7 @@
+// Fixture: std::function inside a hot-path file must flag.
+// pgxd-lint: hot-path
+#pragma once
+
+#include <functional>
+
+inline void dispatch(const std::function<void()>& task) { task(); }

@@ -1,0 +1,9 @@
+// Fixture: hot-path dispatch through a template parameter is the blessed
+// pattern (no type erasure, no per-call allocation).
+// pgxd-lint: hot-path
+#pragma once
+
+template <typename F>
+void dispatch(F&& task) {
+  task();
+}

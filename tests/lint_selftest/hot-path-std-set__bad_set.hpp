@@ -1,0 +1,8 @@
+// Fixture: std::set in a hot-path file must flag (node-per-element
+// allocation and pointer chasing).
+// pgxd-lint: hot-path
+#pragma once
+
+#include <set>
+
+inline bool seen(std::set<int>& s, int v) { return !s.insert(v).second; }

@@ -1,0 +1,9 @@
+// Fixture: a justified suppression silences the rule (and the
+// nolint-justification rule accepts it because it carries a reason).
+// pgxd-lint: hot-path
+#pragma once
+
+#include <set>
+
+// pgxd-lint: allow(hot-path-std-set) -- cold fallback, off the per-item path
+inline bool seen(std::set<int>& s, int v) { return !s.insert(v).second; }

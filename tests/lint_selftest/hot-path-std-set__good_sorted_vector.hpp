@@ -1,0 +1,11 @@
+// Fixture: sorted-vector membership in a hot-path file is the blessed
+// pattern.
+// pgxd-lint: hot-path
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+inline bool seen(const std::vector<int>& sorted, int v) {
+  return std::binary_search(sorted.begin(), sorted.end(), v);
+}

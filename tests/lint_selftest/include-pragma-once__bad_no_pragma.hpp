@@ -1,0 +1,3 @@
+// Fixture: a header without #pragma once must flag.
+
+inline int twice(int v) { return v * 2; }

@@ -1,0 +1,5 @@
+// Fixture: the file comment may precede #pragma once; anything else may
+// not.
+#pragma once
+
+inline int twice(int v) { return v * 2; }

@@ -1,0 +1,6 @@
+// Fixture: uphill relative includes must flag — all includes resolve from
+// the src/ root so files can move without editing their includers.
+
+#include "../common/rng.hpp"
+
+int use() { return 0; }

@@ -1,0 +1,5 @@
+// Fixture: src/-rooted includes are clean.
+
+#include "common/rng.hpp"
+
+int use() { return 0; }

@@ -1,0 +1,3 @@
+// Fixture: a bare NOLINT (no check name, no reason) must flag.
+
+int magic() { return 42; }  // NOLINT

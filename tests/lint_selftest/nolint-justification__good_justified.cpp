@@ -1,0 +1,4 @@
+// Fixture: a NOLINT naming its check and carrying a reason is clean.
+
+// NOLINTNEXTLINE(cppcoreguidelines-avoid-magic-numbers): the answer is fixed
+int magic() { return 42; }

@@ -1,0 +1,12 @@
+// Fixture: a [&]-capturing lambda coroutine must flag even outside spawn —
+// the frame outlives the enclosing scope across any suspension point.
+
+struct Awaitable {};
+
+void run(int& total) {
+  auto body = [&]() {
+    co_await Awaitable{};
+    total += 1;
+  };
+  (void)body;
+}

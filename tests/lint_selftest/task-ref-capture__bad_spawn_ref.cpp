@@ -1,0 +1,16 @@
+// Fixture: a by-reference lambda handed to a coroutine spawn must flag —
+// the captures dangle as soon as the enclosing frame unwinds while the
+// spawned task is still suspended.
+
+struct FakeTask {};
+struct FakeSim {
+  template <typename F>
+  void spawn(F&&) {}
+};
+
+void launch(FakeSim& sim, int& total) {
+  sim.spawn([&total]() -> FakeTask {
+    total += 1;
+    return {};
+  });
+}

@@ -1,0 +1,15 @@
+// Fixture: by-value captures into a spawned task are clean, and a plain
+// (non-coroutine) [&] lambda that runs synchronously is also clean.
+
+struct FakeTask {};
+struct FakeSim {
+  template <typename F>
+  void spawn(F&&) {}
+};
+
+void launch(FakeSim& sim, int total) {
+  sim.spawn([total]() -> FakeTask { return {}; });
+  int local = 0;
+  auto bump = [&] { local += total; };
+  bump();
+}

@@ -1,0 +1,17 @@
+// Fixture: resolving an instrument by name inside a loop must flag — the
+// map probe belongs outside, the loop bumps the cached reference.
+
+struct Counter {
+  void inc(unsigned long long n = 1) { v += n; }
+  unsigned long long v = 0;
+};
+struct Registry {
+  Counter& counter(const char*) { return c; }
+  Counter c;
+};
+
+void record(Registry& reg, int n) {
+  for (int i = 0; i < n; ++i) {
+    reg.counter("sort.exchange.items_sent").inc();
+  }
+}

@@ -1,0 +1,17 @@
+// Fixture: resolve once outside the loop, bump the cached reference inside.
+
+struct Counter {
+  void inc(unsigned long long n = 1) { v += n; }
+  unsigned long long v = 0;
+};
+struct Registry {
+  Counter& counter(const char*) { return c; }
+  Counter c;
+};
+
+void record(Registry& reg, int n) {
+  Counter& items = reg.counter("sort.exchange.items_sent");
+  for (int i = 0; i < n; ++i) {
+    items.inc();
+  }
+}

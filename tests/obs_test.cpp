@@ -205,7 +205,8 @@ TEST(MetricsRegistry, MergeAllAcrossRanks) {
   std::vector<obs::MetricsRegistry> ranks(4);
   for (std::size_t r = 0; r < ranks.size(); ++r) {
     ranks[r].counter("sort.load.items").inc(100 * (r + 1));
-    ranks[r].gauge("sort.memory.peak_temp_bytes").set(1000.0 * (r + 1));
+    ranks[r].gauge("sort.memory.peak_temp_bytes")
+        .set(1000.0 * static_cast<double>(r + 1));
   }
   const obs::MetricsRegistry merged = obs::merge_all(ranks);
   EXPECT_EQ(merged.counter_value("sort.load.items"), 1000u);
