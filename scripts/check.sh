@@ -14,6 +14,12 @@
 #                                    # validated against the checked-in
 #                                    # schema, and a <3% telemetry-overhead
 #                                    # gate on the fig5 e2e workload
+#   scripts/check.sh chaos           # crash-stop gate: release build, the
+#                                    # crash/recovery/fault test suites, and
+#                                    # a pgxd_sim --crash sweep (kill a rank
+#                                    # at several instants x {restart, not},
+#                                    # master death, recovery report
+#                                    # validated against the schema)
 #   scripts/check.sh lint            # the static-analysis wall: custom
 #                                    # linter (self-test + repo), a
 #                                    # PGXD_WERROR=ON build (-Wall -Wextra
@@ -83,6 +89,37 @@ case "$MODE" in
         'examples/*.cpp' 'tools/*.cpp' |
       grep -v '^tests/lint_selftest/' |
       xargs -r "$TIDY" -p build-werror --quiet --warnings-as-errors='*'
+    exit 0
+    ;;
+
+  chaos)
+    configure_build build-release -DCMAKE_BUILD_TYPE=Release
+
+    # 1. The crash-stop test suites: fabric crash schedule + FaultConfig
+    #    validation (net_fuzz), detector / fail-fast / bounded collectives
+    #    (recovery), and the kill-a-rank-in-every-phase matrix plus the
+    #    chaos sweep that rides in fault_injection. The binaries run
+    #    directly (ctest registers individual case names, not binaries).
+    for t in net_fuzz_test recovery_test fault_injection_test; do
+      echo "== chaos suite: $t =="
+      "build-release/tests/$t"
+    done
+
+    # 2. End-to-end kill-a-rank sweep through the CLI: several crash
+    #    instants x {crash-stop forever, reboot}, plus a master (rank 0)
+    #    death. Every run must re-sort on the survivors and pass the
+    #    order/permutation/exactly-once validation (pgxd_sim exits non-zero
+    #    otherwise); the last run's flight recorder must match the schema.
+    TMP="$(mktemp -d /tmp/pgxd_chaos.XXXXXX)"
+    trap 'rm -rf "$TMP"' EXIT
+    for crash in "2@50" "2@120" "2@200" "2@120:2000" "0@100"; do
+      echo "== chaos sweep: --crash $crash =="
+      build-release/tools/pgxd_sim --n=200000 --p=5 --recovery \
+        --crash="$crash" --report="$TMP/report.json" > "$TMP/run.log"
+      grep -E 'recovery:|validation:' "$TMP/run.log"
+    done
+    python3 tools/validate_report.py "$TMP/report.json" tools/report_schema.json
+    echo "chaos gate passed"
     exit 0
     ;;
 

@@ -28,18 +28,24 @@ void Flags::parse(int argc, char** argv) {
     }
     std::string name = arg.substr(2);
     std::string value;
+    bool bare = false;
     if (auto eq = name.find('='); eq != std::string::npos) {
       value = name.substr(eq + 1);
       name = name.substr(0, eq);
-    } else if (i + 1 < argc) {
+    } else if (i + 1 < argc &&
+               std::string(argv[i + 1]).rfind("--", 0) != 0) {
       value = argv[++i];
+    } else {
+      // `--flag` followed by another flag (or nothing) is a bare boolean:
+      // consuming the next argv here would silently eat that flag.
+      bare = true;
     }
     auto it = decls_.find(name);
     if (it == decls_.end()) {
       std::fprintf(stderr, "unknown flag --%s\n%s", name.c_str(), help().c_str());
       std::exit(2);
     }
-    it->second.value = std::move(value);
+    it->second.value = bare ? "true" : std::move(value);
     it->second.set = true;
   }
 }

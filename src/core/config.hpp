@@ -51,6 +51,53 @@ struct StepTimings {
   }
 };
 
+// Crash-recovery policy for the sort (tentpole of the robustness layer).
+// With recovery enabled the sorter runs every receive deadline-aware
+// (polling for abort/control frames and failure-detector suspicion), and a
+// host-side supervisor — the stand-in for the cluster scheduler — re-runs
+// the sort on the surviving membership whenever a member crash-stops
+// mid-attempt. Requires SortConfig::async_exchange (the bulk-synchronous
+// ablation's full-cluster barrier cannot span a shrunk membership) and a
+// cluster with reliable fail-fast delivery plus the failure detector.
+struct RecoveryConfig {
+  bool enabled = false;
+  // Failed attempts the supervisor will re-run before declaring the sort
+  // unrecoverable (attempts = 1 + max_recoveries).
+  int max_recoveries = 3;
+  // Fewer survivors than this is unrecoverable: a one-rank "cluster" could
+  // technically sort, but the job's capacity contract is void.
+  std::size_t min_members = 2;
+  // Poll quantum for deadline-aware receives; 0 derives a default from the
+  // failure detector's timeout (half of it, floored at 100us).
+  sim::SimTime poll = 0;
+  // Straggler hedging: when the exchange receive loop has waited longer
+  // than max(hedge_floor, hedge_multiplier * q95 inter-chunk gap) with
+  // chunks still missing, re-request them from the lagging senders instead
+  // of riding out their full RTO backoff — a slow NIC degrades throughput
+  // rather than stalling the merge barrier.
+  bool hedge_rerequests = true;
+  sim::SimTime hedge_floor = 2 * sim::kMillisecond;
+  double hedge_multiplier = 4.0;
+};
+
+// Outcome of the recovery supervisor for one sort run; all zeros when no
+// failure was ever detected (final_members == machine count then).
+struct RecoveryStats {
+  std::uint64_t recoveries = 0;          // failed attempts that were re-run
+  int final_attempt = 0;                 // 0 = first attempt succeeded
+  std::size_t final_members = 0;         // ranks that produced the output
+  std::uint64_t regenerated_shards = 0;  // dead ranks' inputs rebuilt
+  std::uint64_t abort_broadcasts = 0;    // abort fan-outs initiated
+  std::uint64_t hedged_rerequests = 0;   // straggler re-request frames sent
+  std::uint64_t hedged_chunks_resent = 0;
+  // Simulated machine-time thrown away by aborted attempts (elapsed x
+  // participating ranks, summed over failed attempts).
+  sim::SimTime wasted_work_ns = 0;
+  // Crash instant -> end of the aborted attempt, per failed attempt.
+  sim::SimTime time_to_recover_total_ns = 0;
+  sim::SimTime time_to_recover_max_ns = 0;
+};
+
 struct SortConfig {
   // The PGX.D read-buffer size; X = read_buffer_bytes / machines is the
   // per-processor sample budget (Sec. IV-B).
@@ -90,6 +137,9 @@ struct SortConfig {
   // controlled by set_trace(). Defaults from $PGXD_TELEMETRY (see
   // telemetry_default) so the whole suite can run instrumented.
   bool telemetry = telemetry_default();
+  // Crash-stop recovery (see RecoveryConfig); disabled by default, and the
+  // clean path is byte-identical with it disabled.
+  RecoveryConfig recovery{};
 };
 
 struct MachineStats {
@@ -116,6 +166,7 @@ struct SortStats {
   std::uint64_t wire_messages = 0;
   BalanceReport balance;
   std::vector<Key> splitters;
+  RecoveryStats recovery;
 };
 
 }  // namespace pgxd::core

@@ -17,6 +17,20 @@
 // All data movement is real (the output partitions are physically sorted
 // real vectors); elapsed time is simulated through the cost model and the
 // network fabric.
+//
+// Crash-stop recovery (SortConfig::recovery): the whole pipeline is
+// parameterized over an *attempt membership* — an ordered subset of the
+// cluster's ranks with member 0 as master — so the same code runs the clean
+// p-rank sort and a shrunk (p-1)-rank re-run. A host-side supervisor
+// (run_recovering) detects a member crash after each attempt, regenerates
+// the dead rank's input shard from its deterministic source, and re-runs on
+// the survivors; inside an attempt every receive polls for abort/control
+// frames and failure-detector suspicion so survivors abandon a doomed
+// attempt in bounded time instead of deadlocking, and exchange receivers
+// hedge re-requests for straggling chunks off a quantile-based deadline so
+// a slow NIC degrades throughput rather than stalling the merge barrier.
+// With recovery disabled the clean path is byte-identical to before: every
+// receive is a plain blocking recv and no control traffic exists.
 #pragma once
 
 #include <algorithm>
@@ -26,6 +40,7 @@
 #include <numeric>
 #include <optional>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -36,6 +51,7 @@
 #include "core/splitters.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/cluster.hpp"
+#include "runtime/errors.hpp"
 #include "sim/trace.hpp"
 #include "sort/balanced_merge.hpp"
 #include "sort/kway_merge.hpp"
@@ -62,7 +78,7 @@ struct Item {
 template <typename Key>
 struct SortMsg {
   std::vector<Key> keys;              // kTagSamples / kTagSplitters / kTagData
-  std::vector<std::uint64_t> counts;  // kTagCounts
+  std::vector<std::uint64_t> counts;  // kTagCounts / kTagCtrl
   std::uint64_t prov_base = 0;        // kTagData: sender-side start offset
   // kTagData: offset of this chunk within the (src -> dst) range, so
   // receivers place chunks correctly even if the fabric reorders them
@@ -95,15 +111,23 @@ class DistributedSorter {
   using Msg = SortMsg<Key>;
   using Cluster = rt::Cluster<Msg>;
   using ItemT = Item<Key>;
+  using Envelope = rt::Message<Msg>;
 
   // Tag layout; `sort_id` offsets the whole tag space so several sorts can
   // share one cluster run ("able to sort multiple different data
-  // simultaneously").
+  // simultaneously"). kTagCtrl carries the recovery layer's out-of-band
+  // frames (abort fan-outs, straggler re-requests); tags 5-7 are reserved.
   static constexpr int kTagSamples = 0;
   static constexpr int kTagSplitters = 1;
   static constexpr int kTagCounts = 2;
   static constexpr int kTagData = 3;
-  static constexpr int kTagStride = 4;
+  static constexpr int kTagCtrl = 4;
+  static constexpr int kTagStride = 8;
+
+  // Control-frame kinds (counts[0]); counts[1] is the attempt number.
+  static constexpr std::uint64_t kCtrlAbort = 1;
+  // counts[2..] are the missing chunk indices of the addressed source.
+  static constexpr std::uint64_t kCtrlReRequest = 2;
 
   // Exchange wire cost: keys only (provenance is reconstructed at the
   // receiver from the message's source and prov_base), plus a small
@@ -132,22 +156,540 @@ class DistributedSorter {
     input_ = std::move(shards);
   }
 
+  // Deterministic regeneration of a dead rank's input shard — the stand-in
+  // for durable storage. Defaults to replaying the shard installed via
+  // set_input (the host still holds it); drivers whose shards come from
+  // seeded datagen can install a regenerator instead to model "re-read
+  // from the seed, not from the crashed node's memory".
+  void set_shard_source(std::function<std::vector<Key>(std::size_t)> src) {
+    shard_source_ = std::move(src);
+  }
+
   // Convenience: install shards, run this sort alone on the cluster, and
-  // finalize statistics.
+  // finalize statistics. With SortConfig::recovery enabled this runs the
+  // crash-recovery supervisor instead of a single cluster run.
   void run(std::vector<std::vector<Key>> shards) {
     set_input(std::move(shards));
+    if (cfg_.recovery.enabled) {
+      run_recovering();
+      return;
+    }
     const sim::SimTime elapsed = cluster_.run(
         [this](rt::Machine& m) { return machine_program(m); });
     finalize(elapsed);
   }
 
-  // Per-machine pipeline; exposed so callers can co-schedule several sorts
-  // (see sort_simultaneously) — call finalize() with the run's elapsed time
-  // afterwards.
+  // Per-machine pipeline over the full membership; exposed so callers can
+  // co-schedule several sorts (see sort_simultaneously) — call finalize()
+  // with the run's elapsed time afterwards. Not a coroutine (GCC 12: a
+  // prvalue argument bound to a coroutine by-value parameter miscompiles).
   sim::Task<void> machine_program(rt::Machine& m) {
+    std::vector<std::size_t> members(cluster_.size());
+    std::iota(members.begin(), members.end(), std::size_t{0});
+    AttemptCtx ctx(0, std::move(members));
+    return sort_attempt_impl(m, std::move(ctx));
+  }
+
+  // Aggregates per-machine stats; call after the cluster run completes.
+  void finalize(sim::SimTime elapsed) {
+    stats_.total_time = elapsed;
+    stats_.steps_max = StepTimings{};
+    for (const auto& ms : stats_.machines) stats_.steps_max.max_with(ms.steps);
+    // Balance over the ranks that produced output: after a recovery the
+    // dead ranks' partitions are empty by construction, and counting them
+    // would report a meaningless imbalance.
+    std::vector<std::uint64_t> sizes;
+    if (!final_members_.empty()) {
+      sizes.reserve(final_members_.size());
+      for (std::size_t r : final_members_) sizes.push_back(output_[r].size());
+    } else {
+      sizes.reserve(output_.size());
+      for (const auto& part : output_) sizes.push_back(part.size());
+    }
+    stats_.balance = balance_report(sizes);
+    stats_.splitters = splitters_;
+    stats_.wire_bytes_total = wire_data_bytes_ + wire_control_bytes_;
+    stats_.wire_bytes_samples = wire_control_bytes_;
+    if (stats_.recovery.final_members == 0)
+      stats_.recovery.final_members = output_.size();
+    if (cfg_.telemetry) {
+      // Fold the substrate's counters into the per-rank registries: NIC
+      // traffic/fault counters, the comm layer's reliable-delivery stats
+      // (rank 0), and the shared exchange buffer pool (rank 0 — the pool is
+      // cluster-wide).
+      for (std::size_t r = 0; r < metrics_.size(); ++r)
+        cluster_.export_metrics(metrics_[r], r);
+      const rt::BufferPoolStats& ps = pool_.stats();
+      obs::MetricsRegistry& reg0 = metrics_[0];
+      reg0.counter("sort.pool.leases").inc(ps.leases);
+      reg0.counter("sort.pool.reuses").inc(ps.reuses);
+      reg0.counter("sort.pool.fresh_allocs").inc(ps.fresh_allocs);
+      reg0.counter("sort.pool.returns").inc(ps.returns);
+      reg0.gauge("sort.pool.peak_free").set(static_cast<double>(ps.peak_free));
+      if (cfg_.recovery.enabled) {
+        const RecoveryStats& rc = stats_.recovery;
+        reg0.counter("sort.recovery.recoveries").inc(rc.recoveries);
+        reg0.counter("sort.recovery.regenerated_shards")
+            .inc(rc.regenerated_shards);
+        reg0.counter("sort.recovery.abort_broadcasts").inc(rc.abort_broadcasts);
+        reg0.counter("sort.recovery.hedged_rerequests")
+            .inc(rc.hedged_rerequests);
+        reg0.counter("sort.recovery.hedged_chunks_resent")
+            .inc(rc.hedged_chunks_resent);
+        reg0.gauge("sort.recovery.wasted_work_ns")
+            .set(static_cast<double>(rc.wasted_work_ns));
+        reg0.gauge("sort.recovery.time_to_recover_max_ns")
+            .set(static_cast<double>(rc.time_to_recover_max_ns));
+      }
+    }
+  }
+
+  const std::vector<std::vector<ItemT>>& partitions() const { return output_; }
+  std::vector<std::vector<ItemT>>& mutable_partitions() { return output_; }
+  const SortStats<Key>& stats() const { return stats_; }
+  const SortConfig& config() const { return cfg_; }
+  Cluster& cluster() { return cluster_; }
+  const Cluster& cluster() const { return cluster_; }
+  // Ranks that produced the final output; equals 0..p-1 unless a recovery
+  // shrank the membership.
+  const std::vector<std::size_t>& final_members() const {
+    return final_members_;
+  }
+  // Exchange buffer-pool counters (shared across the simulated machines,
+  // which live in one address space).
+  const rt::BufferPoolStats& pool_stats() const { return pool_.stats(); }
+
+  // Per-rank telemetry (populated when SortConfig::telemetry is on).
+  const obs::MetricsRegistry& metrics(std::size_t rank) const {
+    return metrics_[rank];
+  }
+  const std::vector<obs::MetricsRegistry>& per_rank_metrics() const {
+    return metrics_;
+  }
+  // Cluster-wide view: counters sum, gauges keep the max, histograms merge.
+  obs::MetricsRegistry merged_metrics() const {
+    return obs::merge_all(metrics_);
+  }
+
+  // Optional span tracing: each machine's step becomes a (lane, label,
+  // begin, end, bytes) span — see sim::Trace::render_gantt and
+  // obs::chrome_trace_json. Declares the cluster size as the lane count so
+  // span-less ranks still show up.
+  void set_trace(sim::Trace* trace) {
+    trace_ = trace;
+    if (trace_) trace_->set_lane_count(cluster_.size());
+  }
+
+ private:
+  // One sort attempt's membership: an ordered subset of the cluster's
+  // physical ranks; members[0] is the master. The clean path runs attempt 0
+  // over all p ranks.
+  struct AttemptCtx {
+    int attempt = 0;
+    std::vector<std::size_t> members;
+
+    AttemptCtx() = default;
+    AttemptCtx(int a, std::vector<std::size_t> m)
+        : attempt(a), members(std::move(m)) {}
+  };
+
+  enum class AttemptOutcome { kNotRun, kOk, kCrashed, kAborted };
+
+  // Sender-side state a rank exposes while its exchange window is open, so
+  // it can service straggler re-requests against its still-live sorted
+  // array. Pointers are only dereferenced between exchange start and
+  // local.clear(); recv_sort receives nullptr outside that window.
+  struct ExchangeState {
+    const std::vector<Key>* local = nullptr;
+    const PartitionPlan* plan = nullptr;
+    std::uint64_t chunk_elems = 0;
+    bool use_pool = false;
+
+    ExchangeState() = default;
+  };
+
+  // Receiver-side straggler tracking for the exchange: inter-chunk arrival
+  // gaps feed a q95-based hedge deadline; the chunk-dedup bitmap tells us
+  // exactly which chunks are still missing per source.
+  struct RecvProgress {
+    const std::vector<std::size_t>* seen_base = nullptr;     // member-indexed
+    const std::vector<std::uint64_t>* seen_words = nullptr;
+    const std::vector<std::uint64_t>* recv_counts = nullptr; // member-indexed
+    std::uint64_t chunk_elems = 0;
+    sim::SimTime last_arrival = 0;
+    sim::SimTime last_hedge = 0;
+    std::vector<sim::SimTime> gaps;
+
+    RecvProgress() = default;
+  };
+
+  static constexpr std::size_t kHedgeMaxChunksPerSource = 8;
+  static constexpr std::size_t kHedgeMinGapSamples = 8;
+  static constexpr std::size_t kHedgeMaxGapSamples = 512;
+
+  int tag(int t) const { return base_tag_ + t; }
+  void note_control_bytes(std::uint64_t b) { wire_control_bytes_ += b; }
+  void note_data_bytes(std::uint64_t b) { wire_data_bytes_ += b; }
+
+  std::vector<Key> regenerate_shard(std::size_t rank) const {
+    return shard_source_ ? shard_source_(rank) : input_[rank];
+  }
+
+  // Poll quantum for deadline-aware receives under recovery: explicit
+  // config wins, else half the detector timeout (floored) so suspicion is
+  // noticed within one or two polls of becoming observable.
+  sim::SimTime poll_quantum() {
+    if (cfg_.recovery.poll > 0) return cfg_.recovery.poll;
+    if (rt::FailureDetector* det = cluster_.detector())
+      return std::max<sim::SimTime>(det->config().timeout / 2,
+                                    100 * sim::kMicrosecond);
+    return sim::kMillisecond;
+  }
+
+  // Crash-recovery supervisor: run attempts over the live membership until
+  // one completes with no member crashing mid-flight, regenerating dead
+  // ranks' shards and re-running on the survivors after each failure.
+  // Plays the role of the cluster scheduler / driver, hence host code.
+  void run_recovering() {
+    PGXD_CHECK_MSG(cfg_.async_exchange,
+                   "recovery requires SortConfig::async_exchange (the "
+                   "bulk-synchronous ablation's full-cluster barrier cannot "
+                   "span a shrunk membership)");
+    auto& comm = cluster_.comm();
+    PGXD_CHECK_MSG(
+        comm.reliable_config().enabled && comm.reliable_config().fail_fast,
+        "recovery requires reliable fail-fast delivery "
+        "(ClusterConfig::reliable.enabled + fail_fast)");
+    PGXD_CHECK_MSG(cluster_.detector() != nullptr,
+                   "recovery requires the failure detector "
+                   "(ClusterConfig::detector.enabled)");
+    PGXD_CHECK_MSG(cluster_.config().allow_undrained,
+                   "recovery requires ClusterConfig::allow_undrained "
+                   "(aborted attempts and hedged re-sends leave stray "
+                   "frames behind by design)");
+    recovery_active_ = true;
+    auto& sim = cluster_.simulator();
+    auto& fabric = cluster_.fabric();
+    const std::size_t p = cluster_.size();
+    const sim::SimTime run_start = sim.now();
+    for (int attempt = 0;; ++attempt) {
+      PGXD_CHECK_MSG(attempt <= cfg_.recovery.max_recoveries,
+                     "unrecoverable sort: recovery budget exhausted "
+                     "(max_recoveries consecutive attempts failed)");
+      std::vector<std::size_t> members;
+      for (std::size_t r = 0; r < p; ++r)
+        if (!fabric.down(r, sim.now())) members.push_back(r);
+      PGXD_CHECK_MSG(
+          members.size() >= std::max<std::size_t>(cfg_.recovery.min_members, 1),
+          "unrecoverable sort: surviving membership fell below "
+          "RecoveryConfig::min_members");
+      // Attempt inputs: each survivor keeps its own shard; dead ranks'
+      // shards are deterministically regenerated and dealt round-robin to
+      // the survivors (datagen seeds stand in for durable storage).
+      attempt_input_.assign(p, {});
+      for (std::size_t r : members) attempt_input_[r] = input_[r];
+      std::size_t dead_seen = 0;
+      for (std::size_t r = 0; r < p; ++r) {
+        if (!fabric.down(r, sim.now())) continue;
+        const std::size_t owner = members[dead_seen++ % members.size()];
+        std::vector<Key> shard = regenerate_shard(r);
+        attempt_input_[owner].insert(attempt_input_[owner].end(),
+                                     shard.begin(), shard.end());
+        ++stats_.recovery.regenerated_shards;
+      }
+      for (auto& part : output_) {
+        part.clear();
+        part.shrink_to_fit();
+      }
+      stats_.machines.assign(p, MachineStats{});
+      outcomes_.assign(p, AttemptOutcome::kNotRun);
+      abort_sent_.assign(p, 0);
+      const sim::SimTime t0 = sim.now();
+      const sim::SimTime elapsed = cluster_.run_on(
+          members, [this, attempt, &members](rt::Machine& m) {
+            AttemptCtx ctx(attempt, members);
+            return resilient_program(m, std::move(ctx));
+          });
+      const sim::SimTime t1 = sim.now();
+      // Aborted attempts strand frames in mailboxes and their buffers with
+      // them; a clean slate per attempt keeps chunk dedup and pool
+      // backpressure honest.
+      comm.drain_mailboxes();
+      pool_.reconcile_after_drain();
+      bool failed = false;
+      std::optional<sim::SimTime> first_crash;
+      for (std::size_t r : members) {
+        if (outcomes_[r] != AttemptOutcome::kOk) failed = true;
+        // crashed_within catches crashes no coroutine observed (e.g. a
+        // rank dying inside its final merge with all comm already done).
+        if (const auto at = fabric.crashed_within(r, t0, t1)) {
+          failed = true;
+          if (!first_crash || *at < *first_crash) first_crash = *at;
+        }
+      }
+      if (!failed) {
+        stats_.recovery.final_attempt = attempt;
+        stats_.recovery.final_members = members.size();
+        final_members_ = members;
+        recovery_active_ = false;
+        attempt_input_.clear();
+        finalize(sim.now() - run_start);
+        return;
+      }
+      ++stats_.recovery.recoveries;
+      stats_.recovery.wasted_work_ns +=
+          elapsed * static_cast<sim::SimTime>(members.size());
+      if (first_crash) {
+        const sim::SimTime ttr = t1 - *first_crash;
+        stats_.recovery.time_to_recover_total_ns += ttr;
+        stats_.recovery.time_to_recover_max_ns =
+            std::max(stats_.recovery.time_to_recover_max_ns, ttr);
+      }
+    }
+  }
+
+  // Crash-tolerant per-member program: translates the failure exceptions
+  // into per-rank attempt outcomes so one rank's death never aborts the
+  // whole simulation. Not a coroutine (GCC 12 pattern).
+  sim::Task<void> resilient_program(rt::Machine& m, AttemptCtx ctx) {
+    return resilient_program_impl(m, std::move(ctx));
+  }
+
+  sim::Task<void> resilient_program_impl(rt::Machine& m, AttemptCtx ctx) {
+    const std::size_t rank = m.rank();
+    std::size_t unreachable_peer = rank;
+    try {
+      AttemptCtx attempt_ctx = ctx;
+      co_await sort_attempt(m, std::move(attempt_ctx));
+      outcomes_[rank] = AttemptOutcome::kOk;
+      co_return;
+    } catch (const rt::RankCrashedError&) {
+      outcomes_[rank] = AttemptOutcome::kCrashed;
+      co_return;
+    } catch (const rt::SortAbortedError&) {
+      outcomes_[rank] = AttemptOutcome::kAborted;
+      co_return;
+    } catch (const rt::PeerUnreachableError& e) {
+      // This rank noticed the failure through a failed send before the
+      // detector did; fan the abort out so the other survivors stop too.
+      // (No co_await is legal in a catch handler; abort_attempt only posts.)
+      outcomes_[rank] = AttemptOutcome::kAborted;
+      unreachable_peer = e.dst();
+    }
+    abort_attempt(ctx, rank, unreachable_peer);
+  }
+
+  // Not a coroutine (GCC 12 pattern).
+  sim::Task<void> sort_attempt(rt::Machine& m, AttemptCtx ctx) {
+    return sort_attempt_impl(m, std::move(ctx));
+  }
+
+  // Fans the abort decision out to the other members (once per rank per
+  // attempt) so every survivor abandons the attempt within one poll
+  // quantum. Plain posts — safe to call from exception handlers.
+  void abort_attempt(const AttemptCtx& ctx, std::size_t rank,
+                     std::size_t dead) {
+    if (!abort_sent_.empty() && abort_sent_[rank] != 0) return;
+    if (!abort_sent_.empty()) abort_sent_[rank] = 1;
+    if (cluster_.fabric().down(rank, cluster_.simulator().now()))
+      return;  // a crashed rank cannot fan out
+    ++stats_.recovery.abort_broadcasts;
+    for (std::size_t peer : ctx.members) {
+      if (peer == rank) continue;
+      std::vector<std::uint64_t> c;
+      c.push_back(kCtrlAbort);
+      c.push_back(static_cast<std::uint64_t>(ctx.attempt));
+      c.push_back(dead);
+      const std::uint64_t bytes = c.size() * sizeof(std::uint64_t);
+      note_control_bytes(bytes);
+      Msg msg = Msg::of_counts(std::move(c));
+      cluster_.comm().post(rank, peer, tag(kTagCtrl), std::move(msg), bytes);
+    }
+  }
+
+  // Drains this rank's control mailbox: abort frames raise SortAbortedError;
+  // straggler re-requests are serviced when the rank's exchange window is
+  // open (xs != nullptr), else dropped — the requester's reliable-layer
+  // retransmissions still deliver the original chunks.
+  sim::Task<void> service_ctrl(rt::Machine& m, const AttemptCtx& ctx,
+                               const ExchangeState* xs) {
+    auto& comm = cluster_.comm();
+    const std::size_t rank = m.rank();
+    for (;;) {
+      std::optional<Envelope> c = comm.try_recv(rank, tag(kTagCtrl));
+      if (!c) co_return;
+      PGXD_CHECK_MSG(!c->payload.counts.empty(),
+                     "empty control frame in the sort's ctrl mailbox");
+      const std::uint64_t kind = c->payload.counts[0];
+      if (kind == kCtrlAbort) {
+        throw rt::SortAbortedError("abort frame from rank " +
+                                   std::to_string(c->src));
+      }
+      if (kind == kCtrlReRequest && xs != nullptr) {
+        co_await resend_chunks(m, ctx, *c, *xs);
+      }
+    }
+  }
+
+  // Re-sends the requested exchange chunks to a straggling receiver from
+  // this rank's still-live sorted array. Duplicates are harmless: the
+  // receiver's chunk-dedup bitmap drops whichever copy arrives second.
+  sim::Task<void> resend_chunks(rt::Machine& m, const AttemptCtx& ctx,
+                                const Envelope& req, const ExchangeState& xs) {
+    const std::size_t requester = req.src;
+    const std::size_t q = ctx.members.size();
+    std::size_t j = q;
+    for (std::size_t k = 0; k < q; ++k)
+      if (ctx.members[k] == requester) j = k;
+    if (j == q) co_return;  // not a member of this attempt: stale frame
+    const std::size_t lo = xs.plan->bounds[j];
+    const std::size_t hi = xs.plan->bounds[j + 1];
+    for (std::size_t i = 2; i < req.payload.counts.size(); ++i) {
+      const std::uint64_t cidx = req.payload.counts[i];
+      const std::size_t at =
+          lo + static_cast<std::size_t>(cidx * xs.chunk_elems);
+      if (at >= hi) continue;  // malformed or stale index: ignore
+      const std::size_t take = std::min<std::uint64_t>(
+          hi - at, xs.chunk_elems);
+      std::vector<Key> chunk =
+          xs.use_pool ? pool_.acquire(take) : std::vector<Key>();
+      chunk.reserve(take);
+      chunk.assign(xs.local->begin() + static_cast<std::ptrdiff_t>(at),
+                   xs.local->begin() + static_cast<std::ptrdiff_t>(at + take));
+      const std::uint64_t bytes = take * kDataWireBytesPerKey +
+                                  kChunkHeaderBytes;
+      note_data_bytes(bytes);
+      ++stats_.recovery.hedged_chunks_resent;
+      co_await m.charge_copy(take);
+      Msg out = Msg::of_data(std::move(chunk), at, at - lo);
+      cluster_.comm().post(m.rank(), requester, tag(kTagData), std::move(out),
+                           bytes);
+    }
+  }
+
+  // Quantile-based hedge deadline: 4x (configurable) the q95 inter-chunk
+  // arrival gap once enough samples exist, floored so a quiet start never
+  // triggers spurious re-requests.
+  sim::SimTime hedge_deadline(const RecvProgress& rp) const {
+    sim::SimTime d = cfg_.recovery.hedge_floor;
+    if (rp.gaps.size() >= kHedgeMinGapSamples) {
+      std::vector<sim::SimTime> tmp(rp.gaps);
+      const std::size_t k = (tmp.size() * 95) / 100;
+      std::nth_element(tmp.begin(),
+                       tmp.begin() + static_cast<std::ptrdiff_t>(k),
+                       tmp.end());
+      const auto scaled = static_cast<sim::SimTime>(
+          static_cast<double>(tmp[k]) * cfg_.recovery.hedge_multiplier);
+      d = std::max(d, scaled);
+    }
+    return d;
+  }
+
+  // When the exchange has gone quiet past the hedge deadline with chunks
+  // still missing, re-request them (derived from the dedup bitmap's unset
+  // bits) from each lagging source. Rate-limited by the same deadline so a
+  // stalled receive loop does not spam the fabric.
+  void maybe_hedge(rt::Machine& m, const AttemptCtx& ctx, RecvProgress& rp) {
+    if (!cfg_.recovery.hedge_rerequests) return;
+    auto& sim = cluster_.simulator();
+    const sim::SimTime now = sim.now();
+    const sim::SimTime deadline = hedge_deadline(rp);
+    if (now - rp.last_arrival < deadline) return;
+    if (rp.last_hedge != 0 && now - rp.last_hedge < deadline) return;
+    rp.last_hedge = now;
+    const std::size_t rank = m.rank();
+    const std::size_t q = ctx.members.size();
+    std::size_t idx = q;
+    for (std::size_t j = 0; j < q; ++j)
+      if (ctx.members[j] == rank) idx = j;
+    for (std::size_t j = 0; j < q; ++j) {
+      if (j == idx) continue;
+      const std::uint64_t cnt = (*rp.recv_counts)[j];
+      if (cnt == 0) continue;
+      const std::uint64_t nchunks =
+          rp.chunk_elems == std::numeric_limits<std::uint64_t>::max()
+              ? 1
+              : (cnt + rp.chunk_elems - 1) / rp.chunk_elems;
+      std::vector<std::uint64_t> missing;
+      for (std::uint64_t c = 0;
+           c < nchunks && missing.size() < kHedgeMaxChunksPerSource; ++c) {
+        const std::size_t word =
+            (*rp.seen_base)[j] + static_cast<std::size_t>(c / 64);
+        const std::uint64_t bit = std::uint64_t{1} << (c % 64);
+        if (((*rp.seen_words)[word] & bit) == 0) missing.push_back(c);
+      }
+      if (missing.empty()) continue;
+      std::vector<std::uint64_t> req;
+      req.reserve(2 + missing.size());
+      req.push_back(kCtrlReRequest);
+      req.push_back(static_cast<std::uint64_t>(ctx.attempt));
+      req.insert(req.end(), missing.begin(), missing.end());
+      const std::uint64_t bytes = req.size() * sizeof(std::uint64_t);
+      note_control_bytes(bytes);
+      ++stats_.recovery.hedged_rerequests;
+      Msg msg = Msg::of_counts(std::move(req));
+      cluster_.comm().post(rank, ctx.members[j], tag(kTagCtrl),
+                           std::move(msg), bytes);
+    }
+  }
+
+  // The sort's one receive primitive. Clean path (recovery off): a plain
+  // blocking recv, byte-identical to the pre-recovery sorter. Recovery
+  // path: a bounded poll loop that (a) dies promptly if this rank crashed,
+  // (b) services control frames (aborts, straggler re-requests), (c) turns
+  // failure-detector suspicion of any member into an attempt abort, and
+  // (d) hedges exchange re-requests when progress stalls.
+  sim::Task<Envelope> recv_sort(rt::Machine& m, const AttemptCtx& ctx, int tg,
+                                const ExchangeState* xs, RecvProgress* rp) {
+    auto& comm = cluster_.comm();
+    const std::size_t rank = m.rank();
+    if (!recovery_active_) {
+      Envelope v = co_await comm.recv(rank, tg);
+      co_return v;
+    }
+    auto& sim = cluster_.simulator();
+    rt::FailureDetector* det = cluster_.detector();
+    const sim::SimTime poll = poll_quantum();
+    for (;;) {
+      comm.throw_if_crashed(rank);
+      co_await service_ctrl(m, ctx, xs);
+      if (det != nullptr) {
+        const auto dead = det->first_suspected(rank, ctx.members);
+        if (dead) {
+          abort_attempt(ctx, rank, *dead);
+          throw rt::SortAbortedError("rank " + std::to_string(*dead) +
+                                     " suspected crashed");
+        }
+      }
+      const sim::SimTime deadline = sim.now() + poll;
+      auto got = co_await comm.recv_until(rank, tg, deadline);
+      if (got) {
+        if (rp != nullptr) {
+          const sim::SimTime gap = sim.now() - rp->last_arrival;
+          rp->last_arrival = sim.now();
+          if (gap > 0 && rp->gaps.size() < kHedgeMaxGapSamples)
+            rp->gaps.push_back(gap);
+        }
+        co_return std::move(*got);
+      }
+      if (rp != nullptr) maybe_hedge(m, ctx, *rp);
+    }
+  }
+
+  // One member's pipeline for one attempt, in member-index space: all
+  // per-source bookkeeping is indexed 0..q-1 over ctx.members; provenance
+  // and endpoints stay in physical rank space.
+  sim::Task<void> sort_attempt_impl(rt::Machine& m, AttemptCtx ctx) {
     auto& comm = cluster_.comm();
     const std::size_t rank = m.rank();
     const std::size_t p = cluster_.size();
+    const std::size_t q = ctx.members.size();
+    const std::size_t master = ctx.members[0];
+    // Physical rank -> member index (q = not a member of this attempt).
+    std::vector<std::size_t> midx(p, q);
+    for (std::size_t j = 0; j < q; ++j) midx[ctx.members[j]] = j;
+    const std::size_t idx = midx[rank];
+    PGXD_CHECK_MSG(idx < q, "sort attempt spawned on a non-member rank");
     auto& sim = cluster_.simulator();
     auto& mem = m.memory();
     MachineStats& ms = stats_.machines[rank];
@@ -175,8 +717,10 @@ class DistributedSorter {
     // in its previous machine's *locally sorted* sequence (what the
     // exchange actually ships; receivers reconstruct indices from chunk
     // offsets, so provenance never rides the wire).
-    const std::size_t n = input_[rank].size();
-    std::vector<Key> local = input_[rank];
+    const std::vector<Key>& shard =
+        recovery_active_ ? attempt_input_[rank] : input_[rank];
+    const std::size_t n = shard.size();
+    std::vector<Key> local = shard;
     {
       // Scratch for the in-node sort (the Fig. 2 ping-pong buffer).
       rt::TempAlloc scratch_mem(mem, n * sizeof(Key));
@@ -188,7 +732,7 @@ class DistributedSorter {
 
     // ---- Step 2: regular samples to the master ------------------------------
     const std::uint64_t x_bytes =
-        std::max<std::uint64_t>(1, cfg_.read_buffer_bytes / p);
+        std::max<std::uint64_t>(1, cfg_.read_buffer_bytes / q);
     auto sample_count = static_cast<std::uint64_t>(
         static_cast<double>(x_bytes) * cfg_.sample_factor /
         static_cast<double>(sizeof(Key)));
@@ -196,19 +740,19 @@ class DistributedSorter {
     std::vector<Key> samples = sort::regular_samples<Key>(local, sample_count);
     ms.sample_count = samples.size();
     co_await m.charge_copy(samples.size());
-    if (rank != kMaster) {
+    if (rank != master) {
       // prov_base carries the shard size so the master can weight samples
       // from unequal shards (Spark's RangePartitioner does the same).
       const std::uint64_t bytes = samples.size() * sizeof(Key);
       note_control_bytes(bytes);
-      co_await comm.send(rank, kMaster, tag(kTagSamples),
+      co_await comm.send(rank, master, tag(kTagSamples),
                          Msg::of_data(samples, n, 0), bytes);
     }
     if (telemetry) reg.counter("sort.sampling.samples").inc(samples.size());
     stamp(Step::kSampling, samples.size() * sizeof(Key));
 
     // ---- Step 3: master selects splitters, broadcast -------------------------
-    if (rank == kMaster) {
+    if (rank == master) {
       // Gather all sample vectors into the master's one read buffer. Each
       // sample represents shard_size/sample_count elements of its shard, so
       // splitter selection weights samples accordingly — shards may be of
@@ -223,15 +767,19 @@ class DistributedSorter {
           pool.push_back(sort::WeightedSample<Key>{k, w});
       };
       add_samples(samples, n);
-      // Wait for p-1 distinct sources, not p-1 messages: on a duplicating
+      // Wait for q-1 distinct sources, not q-1 messages: on a duplicating
       // fabric without reliable delivery a shard's samples can arrive
       // twice, and counting messages would starve another shard.
-      std::vector<bool> sampled(p, false);
-      sampled[kMaster] = true;
-      for (std::size_t distinct = 1; distinct < p;) {
-        auto msg = co_await comm.recv(kMaster, tag(kTagSamples));
-        if (sampled[msg.src]) continue;
-        sampled[msg.src] = true;
+      std::vector<bool> sampled(q, false);
+      sampled[idx] = true;
+      for (std::size_t distinct = 1; distinct < q;) {
+        auto msg = co_await recv_sort(m, ctx, tag(kTagSamples), nullptr,
+                                      nullptr);
+        const std::size_t sj = midx[msg.src];
+        PGXD_CHECK_MSG(sj < q,
+                       "samples from a rank outside the attempt membership");
+        if (sampled[sj]) continue;
+        sampled[sj] = true;
         ++distinct;
         add_samples(msg.payload.keys, msg.payload.prov_base);
       }
@@ -243,16 +791,18 @@ class DistributedSorter {
                     return comp_(a.key, b.key);
                   });
         co_await m.compute_parallel(m.cost().sort_time(pool.size()));
-        splitters_ = sort::select_splitters_weighted<Key, Comp>(pool, p, comp_);
+        splitters_ = sort::select_splitters_weighted<Key, Comp>(pool, q, comp_);
       }
-      for (std::size_t dst = 0; dst < p; ++dst) {
+      for (std::size_t j = 0; j < q; ++j) {
+        const std::size_t dst = ctx.members[j];
         const std::uint64_t bytes = splitters_.size() * sizeof(Key);
-        if (dst != kMaster) note_control_bytes(bytes);
-        comm.post(kMaster, dst, tag(kTagSplitters), Msg::of_keys(splitters_),
+        if (dst != master) note_control_bytes(bytes);
+        comm.post(master, dst, tag(kTagSplitters), Msg::of_keys(splitters_),
                   bytes);
       }
     }
-    auto splitters_msg = co_await comm.recv(rank, tag(kTagSplitters));
+    auto splitters_msg = co_await recv_sort(m, ctx, tag(kTagSplitters),
+                                            nullptr, nullptr);
     const std::vector<Key> splitters = std::move(splitters_msg.payload.keys);
     stamp(Step::kSplitterSelect, splitters.size() * sizeof(Key));
 
@@ -264,40 +814,44 @@ class DistributedSorter {
     co_await m.charge_binary_search(n, plan.searches);
 
     const std::vector<std::uint64_t> send_counts = plan_sizes(plan);
-    for (std::size_t dst = 0; dst < p; ++dst) {
+    for (std::size_t j = 0; j < q; ++j) {
+      const std::size_t dst = ctx.members[j];
       if (dst == rank) continue;
-      const std::uint64_t bytes = p * sizeof(std::uint64_t);
+      const std::uint64_t bytes = q * sizeof(std::uint64_t);
       note_control_bytes(bytes);
       comm.post(rank, dst, tag(kTagCounts), Msg::of_counts(send_counts), bytes);
     }
-    // Receive everyone's counts; recv_counts[src] = elements src sends us.
-    // As with the sample gather, wait for distinct sources so duplicated
-    // counts messages cannot starve a source.
-    std::vector<std::uint64_t> recv_counts(p, 0);
-    recv_counts[rank] = send_counts[rank];
-    std::vector<bool> counted(p, false);
-    counted[rank] = true;
-    for (std::size_t distinct = 1; distinct < p;) {
-      auto msg = co_await comm.recv(rank, tag(kTagCounts));
-      PGXD_CHECK(msg.payload.counts.size() == p);
-      if (counted[msg.src]) continue;
-      counted[msg.src] = true;
+    // Receive everyone's counts; recv_counts[j] = elements member j sends
+    // us. As with the sample gather, wait for distinct sources so
+    // duplicated counts messages cannot starve a source.
+    std::vector<std::uint64_t> recv_counts(q, 0);
+    recv_counts[idx] = send_counts[idx];
+    std::vector<bool> counted(q, false);
+    counted[idx] = true;
+    for (std::size_t distinct = 1; distinct < q;) {
+      auto msg = co_await recv_sort(m, ctx, tag(kTagCounts), nullptr, nullptr);
+      PGXD_CHECK(msg.payload.counts.size() == q);
+      const std::size_t sj = midx[msg.src];
+      PGXD_CHECK_MSG(sj < q,
+                     "counts from a rank outside the attempt membership");
+      if (counted[sj]) continue;
+      counted[sj] = true;
       ++distinct;
-      recv_counts[msg.src] = msg.payload.counts[rank];
+      recv_counts[sj] = msg.payload.counts[idx];
     }
     if (telemetry) {
       reg.counter("sort.plan.searches").inc(plan.searches);
       reg.counter("sort.plan.duplicate_groups").inc(plan.duplicate_groups);
     }
-    stamp(Step::kPartitionPlan, p * sizeof(std::uint64_t));
+    stamp(Step::kPartitionPlan, q * sizeof(std::uint64_t));
 
     // ---- Step 5: simultaneous send/receive ---------------------------------
     // "each processor knows how much data it will receive ... by applying
-    // offsets for each received data entry" — offsets per source rank:
-    std::vector<std::size_t> offsets(p + 1, 0);
-    for (std::size_t s = 0; s < p; ++s)
+    // offsets for each received data entry" — offsets per source member:
+    std::vector<std::size_t> offsets(q + 1, 0);
+    for (std::size_t s = 0; s < q; ++s)
       offsets[s + 1] = offsets[s] + recv_counts[s];
-    const std::size_t total_recv = offsets[p];
+    const std::size_t total_recv = offsets[q];
 
     auto& out = output_[rank];
     out.resize(total_recv);
@@ -325,16 +879,16 @@ class DistributedSorter {
     // cluster-wide equivalent (the pool is shared — one address space).
     // Once this many leases are outstanding and the free list is dry, a
     // sender must recycle an arrived chunk before leasing another, which
-    // bounds exchange allocations at O(p) instead of O(chunks).
+    // bounds exchange allocations at O(q) instead of O(chunks).
     const std::int64_t pool_cap =
-        static_cast<std::int64_t>(std::max<std::size_t>(2 * p, 8));
+        static_cast<std::int64_t>(std::max<std::size_t>(2 * q, 8));
     std::vector<Key> recv_keys;
     std::optional<rt::TempAlloc> recv_keys_mem;
-    // src_lo[s]: start of the (s -> rank) range in s's locally sorted
-    // sequence, learned from any of s's chunks (prov_base - rel_offset).
-    // The provenance of the element at receive position q is then
-    // src_lo[s] + (q - offsets[s]) for the s whose range contains q.
-    std::vector<std::uint64_t> src_lo(p, 0);
+    // src_lo[s]: start of the (member s -> rank) range in s's locally
+    // sorted sequence, learned from any of s's chunks (prov_base -
+    // rel_offset). The provenance of the element at receive position pos is
+    // then src_lo[s] + (pos - offsets[s]) for the s whose range contains it.
+    std::vector<std::uint64_t> src_lo(q, 0);
     if (soa) {
       recv_keys.resize(total_recv);
       recv_keys_mem.emplace(mem, total_recv * sizeof(Key));
@@ -342,38 +896,40 @@ class DistributedSorter {
 
     // Self range: a local memory move, not fabric traffic.
     {
-      const std::size_t lo = plan.bounds[rank];
-      const std::size_t hi = plan.bounds[rank + 1];
+      const std::size_t lo = plan.bounds[idx];
+      const std::size_t hi = plan.bounds[idx + 1];
       if (soa) {
-        src_lo[rank] = lo;
-        std::copy(local.begin() + lo, local.begin() + hi,
-                  recv_keys.begin() + offsets[rank]);
+        src_lo[idx] = lo;
+        std::copy(local.begin() + static_cast<std::ptrdiff_t>(lo),
+                  local.begin() + static_cast<std::ptrdiff_t>(hi),
+                  recv_keys.begin() + static_cast<std::ptrdiff_t>(offsets[idx]));
       } else {
         for (std::size_t i = lo; i < hi; ++i)
-          out[offsets[rank] + (i - lo)] =
+          out[offsets[idx] + (i - lo)] =
               ItemT{local[i], Provenance{static_cast<std::uint32_t>(rank), i}};
       }
-      cursor[rank] += hi - lo;
+      cursor[idx] += hi - lo;
       co_await m.charge_copy(hi - lo);
     }
 
     // Chunk dedup bitmap (replaces a per-source std::set of offsets): a
     // source's chunks sit at rel_offset = c * chunk_elems, so chunk c of
-    // source s maps to bit c of that source's word range. O(p + chunks/64)
-    // memory, zero allocations per chunk.
-    std::vector<std::size_t> seen_base(p + 1, 0);
-    for (std::size_t s = 0; s < p; ++s) {
+    // member s maps to bit c of that member's word range. O(q + chunks/64)
+    // memory, zero allocations per chunk. Doubles as the straggler hedge's
+    // missing-chunk ledger.
+    std::vector<std::size_t> seen_base(q + 1, 0);
+    for (std::size_t s = 0; s < q; ++s) {
       std::uint64_t nchunks = 0;
-      if (s != rank && recv_counts[s] > 0)
+      if (s != idx && recv_counts[s] > 0)
         nchunks = cfg_.buffered_exchange
                       ? (recv_counts[s] + chunk_elems - 1) / chunk_elems
                       : 1;
       seen_base[s + 1] =
           seen_base[s] + static_cast<std::size_t>((nchunks + 63) / 64);
     }
-    std::vector<std::uint64_t> seen_words(seen_base[p], 0);
+    std::vector<std::uint64_t> seen_words(seen_base[q], 0);
 
-    const std::size_t remote_expected = total_recv - recv_counts[rank];
+    const std::size_t remote_expected = total_recv - recv_counts[idx];
     std::size_t remote_placed = 0;
     // Wire bytes this rank put on the fabric during the exchange (span
     // metadata for the send/receive step).
@@ -404,11 +960,14 @@ class DistributedSorter {
     // the simulated copy cost.
     auto place_chunk = [&](auto& msg) -> std::size_t {
       PGXD_CHECK(msg.src != rank);
+      const std::size_t sj = midx[msg.src];
+      PGXD_CHECK_MSG(sj < q,
+                     "data chunk from a rank outside the attempt membership");
       auto& keys = msg.payload.keys;
       const std::uint64_t cidx = msg.payload.rel_offset / chunk_elems;
       const std::size_t word =
-          seen_base[msg.src] + static_cast<std::size_t>(cidx / 64);
-      PGXD_CHECK_MSG(word < seen_base[msg.src + 1],
+          seen_base[sj] + static_cast<std::size_t>(cidx / 64);
+      PGXD_CHECK_MSG(word < seen_base[sj + 1],
                      "chunk offset beyond its source's announced range");
       const std::uint64_t bit = std::uint64_t{1} << (cidx % 64);
       if (c_chunks_recv) c_chunks_recv->inc();
@@ -420,24 +979,40 @@ class DistributedSorter {
       }
       seen_words[word] |= bit;
       const std::uint64_t base = msg.payload.prov_base;
-      const std::size_t at = offsets[msg.src] + msg.payload.rel_offset;
-      PGXD_CHECK_MSG(at + keys.size() <= offsets[msg.src + 1],
+      const std::size_t at = offsets[sj] + msg.payload.rel_offset;
+      PGXD_CHECK_MSG(at + keys.size() <= offsets[sj + 1],
                      "chunk overruns its source's receive range");
       if (soa) {
-        src_lo[msg.src] = base - msg.payload.rel_offset;
-        std::copy(keys.begin(), keys.end(), recv_keys.begin() + at);
+        src_lo[sj] = base - msg.payload.rel_offset;
+        std::copy(keys.begin(), keys.end(),
+                  recv_keys.begin() + static_cast<std::ptrdiff_t>(at));
       } else {
         const auto src32 = static_cast<std::uint32_t>(msg.src);
         for (std::size_t i = 0; i < keys.size(); ++i)
           out[at + i] = ItemT{keys[i], Provenance{src32, base + i}};
       }
       const std::size_t placed = keys.size();
-      cursor[msg.src] += placed;
+      cursor[sj] += placed;
       remote_placed += placed;
       if (c_items_recv) c_items_recv->inc(placed);
       if (use_pool) pool_.release(std::move(keys));
       return placed;
     };
+
+    // Sender-side service window for straggler re-requests, and receiver-
+    // side progress tracking for hedging; both dormant unless a recovery
+    // supervisor is driving this attempt.
+    ExchangeState xs;
+    xs.local = &local;
+    xs.plan = &plan;
+    xs.chunk_elems = chunk_elems;
+    xs.use_pool = use_pool;
+    RecvProgress rp;
+    rp.seen_base = &seen_base;
+    rp.seen_words = &seen_words;
+    rp.recv_counts = &recv_counts;
+    rp.chunk_elems = chunk_elems;
+    rp.last_arrival = sim.now();
 
     // Sends: lease a chunk buffer from the pool, pack it from a span slice
     // of the local array (one reserve either way), and post asynchronously
@@ -445,11 +1020,13 @@ class DistributedSorter {
     // In async mode the loop also drains chunks that have already arrived —
     // the paper's "simultaneous asynchronous send/receive" — which both
     // overlaps the copies and returns buffers to the pool for re-lease.
-    for (std::size_t step = 1; step < p; ++step) {
-      // Ring order starting after own rank spreads incast across receivers.
-      const std::size_t dst = (rank + step) % p;
-      const std::size_t lo = plan.bounds[dst];
-      const std::size_t hi = plan.bounds[dst + 1];
+    for (std::size_t step = 1; step < q; ++step) {
+      // Ring order starting after own member index spreads incast across
+      // receivers.
+      const std::size_t dstj = (idx + step) % q;
+      const std::size_t dst = ctx.members[dstj];
+      const std::size_t lo = plan.bounds[dstj];
+      const std::size_t hi = plan.bounds[dstj + 1];
       for (std::size_t at = lo; at < hi;) {
         // Backpressure: with the pool dry and the outstanding cap reached,
         // block on a receive — placing the arrived chunk returns its buffer
@@ -459,7 +1036,7 @@ class DistributedSorter {
         while (use_pool && cfg_.async_exchange &&
                remote_placed < remote_expected && pool_.free_buffers() == 0 &&
                pool_.outstanding() >= pool_cap) {
-          auto msg = co_await comm.recv(rank, tag(kTagData));
+          auto msg = co_await recv_sort(m, ctx, tag(kTagData), &xs, &rp);
           const std::size_t placed = place_chunk(msg);
           if (placed > 0) co_await m.charge_copy(placed);
         }
@@ -487,7 +1064,7 @@ class DistributedSorter {
                     Msg::of_data(std::move(chunk), at, at - lo), bytes);
           while (remote_placed < remote_expected &&
                  comm.pending(rank, tag(kTagData)) > 0) {
-            auto msg = co_await comm.recv(rank, tag(kTagData));
+            auto msg = co_await recv_sort(m, ctx, tag(kTagData), &xs, &rp);
             const std::size_t placed = place_chunk(msg);
             if (placed > 0) co_await m.charge_copy(placed);
           }
@@ -507,15 +1084,16 @@ class DistributedSorter {
     // the loop stays correct when a duplicating fabric redelivers a chunk.
     // It counts placed *elements*, not messages.
     while (remote_placed < remote_expected) {
-      auto msg = co_await comm.recv(rank, tag(kTagData));
+      auto msg = co_await recv_sort(m, ctx, tag(kTagData), &xs, &rp);
       const std::size_t placed = place_chunk(msg);
       if (placed > 0) co_await m.charge_copy(placed);
     }
-    for (std::size_t s = 0; s < p; ++s)
+    for (std::size_t s = 0; s < q; ++s)
       PGXD_CHECK_MSG(cursor[s] == offsets[s + 1],
                      "exchange delivered wrong element counts");
     ms.received_elements = total_recv;
-    // The local pre-sorted array can be released now.
+    // The local pre-sorted array can be released now; no recv_sort call
+    // below passes &xs, so no re-request can touch the freed storage.
     local.clear();
     local.shrink_to_fit();
     stamp(Step::kExchange, exchange_wire_sent);
@@ -524,14 +1102,14 @@ class DistributedSorter {
     {
       std::vector<std::size_t> bounds(offsets.begin(), offsets.end());
       std::size_t nonempty_runs = 0;
-      for (std::size_t s = 0; s < p; ++s)
+      for (std::size_t s = 0; s < q; ++s)
         nonempty_runs += (recv_counts[s] > 0);
       if (soa) {
         // Keys + u32 permutation travel through the Fig. 2 tree (each level
         // moves sizeof(Key) + 4 bytes per element instead of sizeof(Item));
         // the output partition is then written directly from whichever
         // ping-pong buffer holds the result — no staging copy-back — with
-        // provenance reconstructed from each element's pre-merge position q.
+        // provenance reconstructed from each element's pre-merge position.
         std::vector<std::uint32_t> perm(total_recv);
         std::iota(perm.begin(), perm.end(), 0u);
         std::vector<Key> key_scratch;
@@ -545,14 +1123,16 @@ class DistributedSorter {
         const std::vector<std::uint32_t>& mp =
             res.in_scratch ? perm_scratch : perm;
         for (std::size_t i = 0; i < total_recv; ++i) {
-          const std::size_t q = mp[i];
+          const std::size_t pos = mp[i];
           const std::size_t s =
               static_cast<std::size_t>(
-                  std::upper_bound(offsets.begin(), offsets.end(), q) -
+                  std::upper_bound(offsets.begin(), offsets.end(), pos) -
                   offsets.begin()) -
               1;
-          out[i] = ItemT{mk[i], Provenance{static_cast<std::uint32_t>(s),
-                                           src_lo[s] + (q - offsets[s])}};
+          out[i] =
+              ItemT{mk[i],
+                    Provenance{static_cast<std::uint32_t>(ctx.members[s]),
+                               src_lo[s] + (pos - offsets[s])}};
         }
         co_await m.charge_balanced_merge(
             total_recv, std::max<std::size_t>(1, nonempty_runs));
@@ -583,16 +1163,21 @@ class DistributedSorter {
     // indices present in the merged output must be recv_counts[src]
     // distinct contiguous integers — any drop, duplicate, or misplacement
     // by the exchange (or the reliable-delivery layer under fault
-    // injection) breaks that. Pure host-side verification; costs no
-    // simulated time.
+    // injection, or a hedged re-send slipping past dedup) breaks that.
+    // Pure host-side verification; costs no simulated time.
     if (cfg_.audit_exchange) {
-      std::vector<std::vector<std::uint64_t>> prev_indices(p);
-      for (std::size_t s = 0; s < p; ++s) prev_indices[s].reserve(recv_counts[s]);
+      std::vector<std::vector<std::uint64_t>> prev_indices(q);
+      for (std::size_t s = 0; s < q; ++s)
+        prev_indices[s].reserve(recv_counts[s]);
       for (const ItemT& item : out) {
         PGXD_CHECK(item.prov.prev_machine < p);
-        prev_indices[item.prov.prev_machine].push_back(item.prov.prev_index);
+        const std::size_t sj = midx[item.prov.prev_machine];
+        PGXD_CHECK_MSG(sj < q,
+                       "exactly-once audit: element attributed to a rank "
+                       "outside the attempt membership");
+        prev_indices[sj].push_back(item.prov.prev_index);
       }
-      for (std::size_t s = 0; s < p; ++s) {
+      for (std::size_t s = 0; s < q; ++s) {
         PGXD_CHECK_MSG(prev_indices[s].size() == recv_counts[s],
                        "exactly-once audit: received element count from a "
                        "source disagrees with its announced count");
@@ -617,73 +1202,6 @@ class DistributedSorter {
     co_return;
   }
 
-  // Aggregates per-machine stats; call after the cluster run completes.
-  void finalize(sim::SimTime elapsed) {
-    stats_.total_time = elapsed;
-    stats_.steps_max = StepTimings{};
-    for (const auto& ms : stats_.machines) stats_.steps_max.max_with(ms.steps);
-    std::vector<std::uint64_t> sizes;
-    sizes.reserve(output_.size());
-    for (const auto& part : output_) sizes.push_back(part.size());
-    stats_.balance = balance_report(sizes);
-    stats_.splitters = splitters_;
-    stats_.wire_bytes_total = wire_data_bytes_ + wire_control_bytes_;
-    stats_.wire_bytes_samples = wire_control_bytes_;
-    if (cfg_.telemetry) {
-      // Fold the substrate's counters into the per-rank registries: NIC
-      // traffic/fault counters, the comm layer's reliable-delivery stats
-      // (rank 0), and the shared exchange buffer pool (rank 0 — the pool is
-      // cluster-wide).
-      for (std::size_t r = 0; r < metrics_.size(); ++r)
-        cluster_.export_metrics(metrics_[r], r);
-      const rt::BufferPoolStats& ps = pool_.stats();
-      obs::MetricsRegistry& reg0 = metrics_[0];
-      reg0.counter("sort.pool.leases").inc(ps.leases);
-      reg0.counter("sort.pool.reuses").inc(ps.reuses);
-      reg0.counter("sort.pool.fresh_allocs").inc(ps.fresh_allocs);
-      reg0.counter("sort.pool.returns").inc(ps.returns);
-      reg0.gauge("sort.pool.peak_free").set(static_cast<double>(ps.peak_free));
-    }
-  }
-
-  const std::vector<std::vector<ItemT>>& partitions() const { return output_; }
-  std::vector<std::vector<ItemT>>& mutable_partitions() { return output_; }
-  const SortStats<Key>& stats() const { return stats_; }
-  const SortConfig& config() const { return cfg_; }
-  Cluster& cluster() { return cluster_; }
-  const Cluster& cluster() const { return cluster_; }
-  // Exchange buffer-pool counters (shared across the simulated machines,
-  // which live in one address space).
-  const rt::BufferPoolStats& pool_stats() const { return pool_.stats(); }
-
-  // Per-rank telemetry (populated when SortConfig::telemetry is on).
-  const obs::MetricsRegistry& metrics(std::size_t rank) const {
-    return metrics_[rank];
-  }
-  const std::vector<obs::MetricsRegistry>& per_rank_metrics() const {
-    return metrics_;
-  }
-  // Cluster-wide view: counters sum, gauges keep the max, histograms merge.
-  obs::MetricsRegistry merged_metrics() const {
-    return obs::merge_all(metrics_);
-  }
-
-  // Optional span tracing: each machine's step becomes a (lane, label,
-  // begin, end, bytes) span — see sim::Trace::render_gantt and
-  // obs::chrome_trace_json. Declares the cluster size as the lane count so
-  // span-less ranks still show up.
-  void set_trace(sim::Trace* trace) {
-    trace_ = trace;
-    if (trace_) trace_->set_lane_count(cluster_.size());
-  }
-
- private:
-  static constexpr std::size_t kMaster = 0;
-
-  int tag(int t) const { return base_tag_ + t; }
-  void note_control_bytes(std::uint64_t b) { wire_control_bytes_ += b; }
-  void note_data_bytes(std::uint64_t b) { wire_data_bytes_ += b; }
-
   Cluster& cluster_;
   SortConfig cfg_;
   int base_tag_;
@@ -696,6 +1214,15 @@ class DistributedSorter {
   std::vector<Key> splitters_;
   std::uint64_t wire_control_bytes_ = 0;
   std::uint64_t wire_data_bytes_ = 0;
+  // Recovery supervisor state (only populated between run_recovering's
+  // entry and its success): per-attempt inputs with dead shards re-dealt,
+  // per-rank attempt outcomes, and the once-per-rank abort fan-out guard.
+  bool recovery_active_ = false;
+  std::vector<std::vector<Key>> attempt_input_;
+  std::vector<AttemptOutcome> outcomes_;
+  std::vector<char> abort_sent_;
+  std::vector<std::size_t> final_members_;
+  std::function<std::vector<Key>(std::size_t)> shard_source_;
   // Exchange chunk buffers: leased by senders, returned by receivers. One
   // pool for the whole cluster — the simulation shares an address space, so
   // a buffer posted by machine A is the same storage machine B receives.
@@ -704,7 +1231,9 @@ class DistributedSorter {
 
 // Runs several sorters over the same cluster in one simulation — the
 // paper's "sort multiple different data simultaneously". Each sorter must
-// have a distinct sort_id and its input installed via set_input().
+// have a distinct sort_id and its input installed via set_input(). Not
+// recovery-aware: crash scheduling during a simultaneous run is undefined
+// behavior at the application layer (use DistributedSorter::run).
 template <typename Key, typename Comp>
 sim::SimTime sort_simultaneously(
     rt::Cluster<SortMsg<Key>>& cluster,

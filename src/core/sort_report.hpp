@@ -80,6 +80,25 @@ struct PoolReport {
   double hit_rate = 0.0;  // reuses / leases
 };
 
+// Crash-recovery outcome of the run. Always emitted: a clean run reads as
+// enabled=false with all-zero counters and final_members == machines, so
+// report consumers never branch on the section's presence.
+struct RecoveryReport {
+  bool enabled = false;
+  std::uint64_t recoveries = 0;
+  std::int64_t final_attempt = 0;
+  std::uint64_t final_members = 0;
+  std::uint64_t regenerated_shards = 0;
+  std::uint64_t abort_broadcasts = 0;
+  std::uint64_t hedged_rerequests = 0;
+  std::uint64_t hedged_chunks_resent = 0;
+  std::uint64_t detector_suspicions = 0;
+  std::uint64_t detector_heartbeats_sent = 0;
+  sim::SimTime wasted_work_ns = 0;
+  sim::SimTime time_to_recover_max_ns = 0;
+  double time_to_recover_mean_ns = 0.0;
+};
+
 struct SortReport {
   SortRunInfo run;
   sim::SimTime total_time_ns = 0;
@@ -89,6 +108,7 @@ struct SortReport {
   SplitterReport splitters;
   NetworkReport network;
   PoolReport pool;
+  RecoveryReport recovery;
   obs::MetricsRegistry metrics;  // cluster-wide merge of per-rank registries
 
   std::string to_json() const {
@@ -159,6 +179,23 @@ struct SortReport {
     w.kv("returns", pool.returns);
     w.kv("hit_rate", pool.hit_rate);
     w.end_object();
+    w.key("recovery");
+    w.begin_object();
+    w.kv("enabled", recovery.enabled);
+    w.kv("recoveries", recovery.recoveries);
+    w.kv("final_attempt", recovery.final_attempt);
+    w.kv("final_members", recovery.final_members);
+    w.kv("regenerated_shards", recovery.regenerated_shards);
+    w.kv("abort_broadcasts", recovery.abort_broadcasts);
+    w.kv("hedged_rerequests", recovery.hedged_rerequests);
+    w.kv("hedged_chunks_resent", recovery.hedged_chunks_resent);
+    w.kv("detector_suspicions", recovery.detector_suspicions);
+    w.kv("detector_heartbeats_sent", recovery.detector_heartbeats_sent);
+    w.kv("wasted_work_ns", static_cast<std::int64_t>(recovery.wasted_work_ns));
+    w.kv("time_to_recover_max_ns",
+         static_cast<std::int64_t>(recovery.time_to_recover_max_ns));
+    w.kv("time_to_recover_mean_ns", recovery.time_to_recover_mean_ns);
+    w.end_object();
     w.key("metrics");
     metrics.write_json(w);
     w.end_object();
@@ -199,12 +236,20 @@ SortReport build_sort_report(const Sorter& sorter, SortRunInfo run) {
     rep.phases.push_back(std::move(ph));
   }
 
-  auto fill_load = [p](LoadReport& l, std::uint64_t total, std::uint64_t mn,
-                       std::uint64_t mx, double ideal_denominator) {
+  // Load balance is judged against the membership that actually held data:
+  // after a recovery onto survivors, a dead rank's empty partition would
+  // otherwise drag the mean below every live rank's share.
+  const std::size_t holders =
+      stats.recovery.final_members ? stats.recovery.final_members : p;
+  auto fill_load = [holders](LoadReport& l, std::uint64_t total,
+                             std::uint64_t mn, std::uint64_t mx,
+                             double ideal_denominator) {
     l.total = total;
     l.min = mn;
     l.max = mx;
-    l.mean = p ? static_cast<double>(total) / static_cast<double>(p) : 0.0;
+    l.mean = holders ? static_cast<double>(total) /
+                           static_cast<double>(holders)
+                     : 0.0;
     l.max_over_min =
         static_cast<double>(mx) / static_cast<double>(mn > 0 ? mn : 1);
     l.imbalance = ideal_denominator > 0.0
@@ -213,7 +258,8 @@ SortReport build_sort_report(const Sorter& sorter, SortRunInfo run) {
   };
   const auto& bal = stats.balance;
   const double ideal_items =
-      p ? static_cast<double>(bal.total) / static_cast<double>(p) : 0.0;
+      holders ? static_cast<double>(bal.total) / static_cast<double>(holders)
+              : 0.0;
   fill_load(rep.items, bal.total, bal.min_size, bal.max_size, ideal_items);
   constexpr std::uint64_t kBpi = Sorter::kStoredBytesPerItem;
   fill_load(rep.bytes, bal.total * kBpi, bal.min_size * kBpi,
@@ -251,6 +297,27 @@ SortReport build_sort_report(const Sorter& sorter, SortRunInfo run) {
       m.counter_value("comm.reliable.duplicates_suppressed");
   rep.network.duplicate_chunks =
       m.counter_value("sort.exchange.duplicate_chunks");
+
+  const auto& rc = stats.recovery;
+  rep.recovery.enabled = sorter.config().recovery.enabled;
+  rep.recovery.recoveries = rc.recoveries;
+  rep.recovery.final_attempt = rc.final_attempt;
+  rep.recovery.final_members =
+      rc.final_members ? static_cast<std::uint64_t>(rc.final_members)
+                       : static_cast<std::uint64_t>(p);
+  rep.recovery.regenerated_shards = rc.regenerated_shards;
+  rep.recovery.abort_broadcasts = rc.abort_broadcasts;
+  rep.recovery.hedged_rerequests = rc.hedged_rerequests;
+  rep.recovery.hedged_chunks_resent = rc.hedged_chunks_resent;
+  rep.recovery.detector_suspicions = m.counter_value("detector.suspicions");
+  rep.recovery.detector_heartbeats_sent =
+      m.counter_value("detector.heartbeats_sent");
+  rep.recovery.wasted_work_ns = rc.wasted_work_ns;
+  rep.recovery.time_to_recover_max_ns = rc.time_to_recover_max_ns;
+  rep.recovery.time_to_recover_mean_ns =
+      rc.recoveries ? static_cast<double>(rc.time_to_recover_total_ns) /
+                          static_cast<double>(rc.recoveries)
+                    : 0.0;
 
   const auto& ps = sorter.pool_stats();
   rep.pool.leases = ps.leases;

@@ -4,24 +4,45 @@
 
 namespace pgxd::net {
 
+void FaultConfig::validate(std::size_t machines) const {
+  PGXD_CHECK_MSG(drop_prob >= 0.0 && drop_prob < 1.0,
+                 "FaultConfig: drop_prob must lie in [0, 1)");
+  PGXD_CHECK_MSG(duplicate_prob >= 0.0 && duplicate_prob <= 1.0,
+                 "FaultConfig: duplicate_prob must lie in [0, 1]");
+  PGXD_CHECK_MSG(blackout_period >= 0 && blackout_duration >= 0,
+                 "FaultConfig: blackout window must be non-negative");
+  PGXD_CHECK_MSG(degrade_period >= 0 && degrade_duration >= 0,
+                 "FaultConfig: degrade window must be non-negative");
+  PGXD_CHECK_MSG(blackout_duration <= std::max<sim::SimTime>(blackout_period, 0),
+                 "FaultConfig: blackout_duration must not exceed blackout_period");
+  PGXD_CHECK_MSG(degrade_duration <= std::max<sim::SimTime>(degrade_period, 0),
+                 "FaultConfig: degrade_duration must not exceed degrade_period");
+  PGXD_CHECK_MSG(degrade_factor >= 1.0,
+                 "FaultConfig: degrade_factor must be >= 1 (windows slow links "
+                 "down, never speed them up)");
+  PGXD_CHECK_MSG(slow_nic_factor >= 1.0,
+                 "FaultConfig: slow_nic_factor must be >= 1");
+  for (std::size_t m : slow_nics)
+    PGXD_CHECK_MSG(m < machines, "FaultConfig: slow_nics names a machine out "
+                                 "of range");
+  for (const CrashEvent& c : crashes) {
+    PGXD_CHECK_MSG(c.rank < machines,
+                   "FaultConfig: crashes names a rank out of range");
+    PGXD_CHECK_MSG(c.at >= 0, "FaultConfig: crash_time must be non-negative");
+    PGXD_CHECK_MSG(c.restart_after >= 0,
+                   "FaultConfig: restart_after must be non-negative");
+  }
+}
+
 Fabric::Fabric(sim::Simulator& sim, std::size_t machines, const NetConfig& cfg)
     : sim_(sim), cfg_(cfg), nics_(machines), stats_(machines) {
   PGXD_CHECK(machines > 0);
   PGXD_CHECK(cfg.link_bandwidth_Bps > 0);
   PGXD_CHECK(cfg.oversubscription >= 1.0);
   const FaultConfig& fc = cfg.faults;
-  PGXD_CHECK(fc.drop_prob >= 0.0 && fc.drop_prob < 1.0);
-  PGXD_CHECK(fc.duplicate_prob >= 0.0 && fc.duplicate_prob <= 1.0);
-  PGXD_CHECK(fc.blackout_period >= 0 && fc.degrade_period >= 0);
-  PGXD_CHECK(fc.blackout_duration <= std::max<sim::SimTime>(fc.blackout_period, 0));
-  PGXD_CHECK(fc.degrade_duration <= std::max<sim::SimTime>(fc.degrade_period, 0));
-  PGXD_CHECK(fc.degrade_factor >= 1.0);
-  PGXD_CHECK(fc.slow_nic_factor >= 1.0);
+  fc.validate(machines);
   nic_wire_factor_.assign(machines, 1.0);
-  for (std::size_t m : fc.slow_nics) {
-    PGXD_CHECK_MSG(m < machines, "slow_nics names a machine out of range");
-    nic_wire_factor_[m] = fc.slow_nic_factor;
-  }
+  for (std::size_t m : fc.slow_nics) nic_wire_factor_[m] = fc.slow_nic_factor;
   fault_rng_ = Rng(fc.seed);
   // A non-blocking switch core carries every port at line rate; with
   // oversubscription f, aggregate core bandwidth shrinks by f.
@@ -63,6 +84,14 @@ sim::Task<Delivery> Fabric::transfer(std::size_t src, std::size_t dst,
                                      std::uint64_t bytes) {
   PGXD_CHECK(src < nics_.size() && dst < nics_.size());
   PGXD_CHECK_MSG(src != dst, "local transfers do not traverse the fabric");
+
+  // A crash-stopped source transmits nothing: the message dies at zero
+  // cost and zero port occupancy, before any accounting — a dead host
+  // issues no DMA and pays no overhead.
+  if (down(src, sim_.now())) {
+    stats_[src].messages_crash_dropped += 1;
+    co_return Delivery{0};
+  }
 
   stats_[src].bytes_sent += bytes;
   stats_[src].messages_sent += 1;
@@ -116,6 +145,15 @@ sim::Task<Delivery> Fabric::transfer(std::size_t src, std::size_t dst,
         jitter_rng_.bounded(static_cast<std::uint64_t>(cfg_.jitter_ns)));
   co_await sim_.delay(propagation);
 
+  // A destination that is crash-stopped when the head of the message
+  // arrives has a dark RX port: the fabric discards the payload silently
+  // (the sender already paid the TX cost — exactly the asymmetry that
+  // makes retransmitting to a dead peer expensive).
+  if (down(dst, sim_.now())) {
+    stats_[dst].messages_crash_dropped += 1;
+    co_return Delivery{0};
+  }
+
   // Receive side: the RX port serializes delivery into the host.
   // Cut-through: the head of the message reached dst while the tail was
   // still serializing at src, so only the final segment is charged here.
@@ -157,6 +195,12 @@ std::uint64_t Fabric::total_duplicated() const {
   return total;
 }
 
+std::uint64_t Fabric::total_crash_dropped() const {
+  std::uint64_t total = 0;
+  for (const auto& s : stats_) total += s.messages_crash_dropped;
+  return total;
+}
+
 void Fabric::export_metrics(obs::MetricsRegistry& reg,
                             std::size_t machine) const {
   const NicStats& s = stats_[machine];
@@ -166,6 +210,7 @@ void Fabric::export_metrics(obs::MetricsRegistry& reg,
   reg.counter("net.nic.messages_received").inc(s.messages_received);
   reg.counter("net.nic.messages_dropped").inc(s.messages_dropped);
   reg.counter("net.nic.messages_duplicated").inc(s.messages_duplicated);
+  reg.counter("net.nic.messages_crash_dropped").inc(s.messages_crash_dropped);
   reg.gauge("net.nic.tx_busy_ns")
       .set(static_cast<double>(nics_[machine].tx.busy_time()));
   reg.gauge("net.nic.rx_busy_ns")

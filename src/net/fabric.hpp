@@ -16,6 +16,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -50,11 +51,30 @@ class SerialLink {
   sim::SimTime busy_ = 0;
 };
 
+// One entry of the deterministic crash-stop schedule: machine `rank` dies
+// at simulated time `at` — its TX port transmits nothing (messages vanish
+// at zero cost: a dead host issues no DMA) and traffic addressed to it is
+// silently discarded before its RX port. `restart_after == 0` means the
+// rank never comes back; otherwise its *ports* light up again at
+// `at + restart_after` (the machine rebooted) — whatever process was
+// running on it is still gone, which is the application layer's problem.
+struct CrashEvent {
+  std::size_t rank = 0;
+  sim::SimTime at = 0;
+  sim::SimTime restart_after = 0;  // 0 = crash-stop forever
+
+  CrashEvent() = default;
+  CrashEvent(std::size_t rank_, sim::SimTime at_,
+             sim::SimTime restart_after_ = 0)
+      : rank(rank_), at(at_), restart_after(restart_after_) {}
+};
+
 // Fault-injection model. The fabric can lose or duplicate individual
-// messages, open transient blackout/degradation windows, and slow down
-// individual NICs. Per-message decisions come from one dedicated seeded
-// RNG stream (independent of latency jitter) and the windows are pure
-// functions of simulated time, so a (seed, config) pair replays
+// messages, open transient blackout/degradation windows, slow down
+// individual NICs, and crash-stop whole machines on a schedule.
+// Per-message decisions come from one dedicated seeded RNG stream
+// (independent of latency jitter) and the windows and crash schedule are
+// pure functions of simulated time, so a (seed, config) pair replays
 // bit-identically — chaos runs are as reproducible as clean ones.
 struct FaultConfig {
   // Per-message loss probability: the message pays its TX cost, then
@@ -76,6 +96,9 @@ struct FaultConfig {
   // (wire-time multiplier), modeling a flaky or mis-negotiated link.
   std::vector<std::size_t> slow_nics;
   double slow_nic_factor = 1.0;
+  // Deterministic crash-stop schedule (see CrashEvent). Entries may target
+  // the same rank more than once (crash, restart, crash again).
+  std::vector<CrashEvent> crashes;
   // Seed of the fault-decision stream.
   std::uint64_t seed = 0xfa017;
 
@@ -83,8 +106,14 @@ struct FaultConfig {
     return drop_prob > 0 || duplicate_prob > 0 ||
            (blackout_period > 0 && blackout_duration > 0) ||
            (degrade_period > 0 && degrade_duration > 0) ||
-           (!slow_nics.empty() && slow_nic_factor != 1.0);
+           (!slow_nics.empty() && slow_nic_factor != 1.0) || !crashes.empty();
   }
+
+  // Rejects nonsensical configurations with a named error instead of
+  // letting them silently skew a chaos run (a probability of 1.5, a window
+  // longer than its period, a degrade factor that *speeds links up*...).
+  // Called by the Fabric constructor; `machines` bounds rank references.
+  void validate(std::size_t machines) const;
 };
 
 // Outcome of one transfer under fault injection. copies == 0: the message
@@ -140,6 +169,11 @@ struct NicStats {
   // port).
   std::uint64_t messages_dropped = 0;
   std::uint64_t messages_duplicated = 0;
+  // Messages lost to a crash-stop machine, attributed to the dead NIC:
+  // counted at the sender when the *source* was down (it transmitted
+  // nothing) and at the receiver when the *destination* was down (the
+  // fabric delivered into a dark port).
+  std::uint64_t messages_crash_dropped = 0;
 };
 
 class Fabric {
@@ -176,6 +210,33 @@ class Fabric {
   // Fault-counter aggregates.
   std::uint64_t total_dropped() const;
   std::uint64_t total_duplicated() const;
+  std::uint64_t total_crash_dropped() const;
+
+  // Crash-stop status: true when `machine` is dead at time `t` under the
+  // configured crash schedule — a pure function of (schedule, t), so every
+  // component (fabric, comm, detector, supervisor) agrees on liveness
+  // without any shared mutable state.
+  bool down(std::size_t machine, sim::SimTime t) const {
+    for (const CrashEvent& c : cfg_.faults.crashes) {
+      if (c.rank != machine || t < c.at) continue;
+      if (c.restart_after == 0 || t < c.at + c.restart_after) return true;
+    }
+    return false;
+  }
+
+  // Earliest crash instant of `machine` in the half-open window (t0, t1],
+  // if any — the recovery supervisor's "did anyone die during this
+  // attempt?" query.
+  std::optional<sim::SimTime> crashed_within(std::size_t machine,
+                                             sim::SimTime t0,
+                                             sim::SimTime t1) const {
+    std::optional<sim::SimTime> first;
+    for (const CrashEvent& c : cfg_.faults.crashes) {
+      if (c.rank != machine || c.at <= t0 || c.at > t1) continue;
+      if (!first || c.at < *first) first = c.at;
+    }
+    return first;
+  }
 
   // Telemetry export: one machine's NicStats as net.nic.* counters plus its
   // port busy times as net.nic.*_busy_ns gauges — per-rank registries merge

@@ -15,6 +15,7 @@
 #include "obs/metrics.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/cost_model.hpp"
+#include "runtime/failure_detector.hpp"
 #include "runtime/machine.hpp"
 #include "sim/simulator.hpp"
 #include "sim/task.hpp"
@@ -35,6 +36,11 @@ struct ClusterConfig {
   // layer (trailing duplicate copies can arrive after the receive loops
   // are done); everything else should drain every mailbox.
   bool allow_undrained = false;
+  // Heartbeat failure detector (off by default). When enabled, the cluster
+  // runs one heartbeat process per rank alongside the machine programs,
+  // wires detector suspicion into the Comm layer's fail-fast retransmit
+  // loops, and stops the heartbeats when the last program completes.
+  DetectorConfig detector{};
 };
 
 template <typename Payload>
@@ -48,6 +54,14 @@ class Cluster {
     for (std::size_t r = 0; r < cfg.machines; ++r)
       machines_.push_back(std::make_unique<Machine>(
           sim_, cfg_.cost, r, cfg.threads_per_machine, cfg.seed));
+    if (cfg_.detector.enabled) {
+      detector_ =
+          std::make_unique<FailureDetector>(sim_, fabric_, cfg_.detector);
+      comm_.set_suspicion_hook(
+          [det = detector_.get()](std::size_t observer, std::size_t peer) {
+            return det->suspects(observer, peer);
+          });
+    }
   }
 
   const ClusterConfig& config() const { return cfg_; }
@@ -58,28 +72,53 @@ class Cluster {
   const Comm<Payload>& comm() const { return comm_; }
   Machine& machine(std::size_t rank) { return *machines_[rank]; }
   std::size_t size() const { return machines_.size(); }
+  // Null unless ClusterConfig::detector.enabled.
+  FailureDetector* detector() { return detector_.get(); }
 
   // Telemetry export for one rank: its NIC counters plus the comm layer's
   // protocol counters. Per-rank registries merged across the cluster yield
   // fabric-wide totals.
   void export_metrics(obs::MetricsRegistry& reg, std::size_t rank) const {
     fabric_.export_metrics(reg, rank);
-    if (rank == 0) comm_.export_metrics(reg);  // cluster-wide, count once
+    if (rank == 0) {
+      comm_.export_metrics(reg);  // cluster-wide, count once
+      if (detector_) detector_->export_metrics(reg);
+    }
   }
 
   // Spawns factory(machine) for every rank and runs the simulation to
   // quiescence. Returns the elapsed simulated time of this run.
-  sim::SimTime run(
-      const std::function<sim::Task<void>(Machine&)>& factory) {
+  sim::SimTime run(const std::function<sim::Task<void>(Machine&)>& factory) {
+    std::vector<std::size_t> ranks(machines_.size());
+    for (std::size_t r = 0; r < ranks.size(); ++r) ranks[r] = r;
+    return run_on(ranks, factory);
+  }
+
+  // Spawns factory(machine) for the given subset of ranks only — the
+  // recovery supervisor's re-run over a shrunk membership — and runs the
+  // simulation to quiescence. With the failure detector enabled, heartbeat
+  // loops (re)start for the whole cluster and are stopped once the last
+  // spawned program completes; detector processes are therefore invisible
+  // to quiescence accounting beyond that point.
+  sim::SimTime run_on(const std::vector<std::size_t>& ranks,
+                      const std::function<sim::Task<void>(Machine&)>& factory) {
+    PGXD_CHECK(!ranks.empty());
     const sim::SimTime start = sim_.now();
-    for (auto& m : machines_) sim_.spawn(factory(*m));
+    remaining_programs_ = ranks.size();
+    if (detector_) detector_->start();
+    for (std::size_t r : ranks) {
+      PGXD_CHECK(r < machines_.size());
+      sim_.spawn(wrap_completion(factory(*machines_[r])));
+    }
     sim_.run();
     if (!sim_.quiescent()) {
-      const std::string diag =
+      std::string diag =
           "cluster run ended with blocked machine processes (deadlock: a "
           "recv without a matching send, or the fabric lost a message?); "
           "blocked receives:" +
           comm_.blocked_report();
+      if (comm_.any_unreachable())
+        diag += "; peers marked unreachable:" + comm_.unreachable_report();
       PGXD_CHECK_MSG(false, diag.c_str());
     }
     if (!cfg_.allow_undrained && comm_.total_pending() > 0) {
@@ -93,11 +132,31 @@ class Cluster {
   }
 
  private:
+  // Non-coroutine wrapper (GCC 12: a prvalue Task argument bound to a
+  // coroutine by-value parameter miscompiles; materialize it here and
+  // forward an xvalue).
+  sim::Task<void> wrap_completion(sim::Task<void> program) {
+    return wrap_completion_impl(std::move(program));
+  }
+
+  // Counts program completions so the detector's heartbeat loops stop as
+  // soon as the last machine program finishes (not at some wall-clock
+  // horizon). An exception escaping `program` aborts the simulation as
+  // before — engines that want crash tolerance install their own catching
+  // wrapper underneath this one.
+  sim::Task<void> wrap_completion_impl(sim::Task<void> program) {
+    co_await std::move(program);
+    PGXD_CHECK(remaining_programs_ > 0);
+    if (--remaining_programs_ == 0 && detector_) detector_->request_stop();
+  }
+
   ClusterConfig cfg_;
   sim::Simulator sim_;
   net::Fabric fabric_;
   Comm<Payload> comm_;
   std::vector<std::unique_ptr<Machine>> machines_;
+  std::unique_ptr<FailureDetector> detector_;
+  std::size_t remaining_programs_ = 0;
 };
 
 }  // namespace pgxd::rt

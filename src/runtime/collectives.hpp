@@ -19,12 +19,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
 #include "runtime/comm.hpp"
 #include "sim/task.hpp"
+#include "sim/time.hpp"
 
 namespace pgxd::rt {
 
@@ -122,6 +124,124 @@ sim::Task<std::vector<Payload>> all_to_all_impl(
 
 }  // namespace detail
 
+// ---- Deadline-aware (crash-tolerant) variants --------------------------
+//
+// Each bounded collective resolves to std::nullopt instead of deadlocking
+// when a participant cannot complete by the absolute sim-time `deadline`:
+// the participant that gives up posts a zero-payload *abort frame* to
+// every rank on `abort_tag`, and any participant that sees one resolves
+// nullopt immediately — one failure collapses the whole collective at
+// detection speed rather than at everyone's deadline. A participant that
+// is itself crash-stopped unwinds with RankCrashedError instead.
+//
+// All participants must pass the same deadline (SPMD convention, like the
+// tags). Abort frames may arrive after a participant already resolved;
+// callers running under faults should drain mailboxes between phases or
+// run with allow_undrained. Payload must be default-constructible (abort
+// frames carry Payload{}).
+
+inline constexpr std::uint64_t kAbortFrameBytes = 8;
+
+// Polling quantum for bounded receives: short enough to see abort frames
+// promptly, long enough that the cancelled-timer churn stays negligible.
+inline constexpr sim::SimTime kBoundedPoll = 500 * sim::kMicrosecond;
+
+namespace detail {
+
+template <typename Payload>
+void post_abort_frames(Comm<Payload>& comm, std::size_t rank, int abort_tag) {
+  for (std::size_t dst = 0; dst < comm.machines(); ++dst) {
+    if (dst == rank) continue;
+    Payload empty{};
+    comm.post(rank, dst, abort_tag, std::move(empty), kAbortFrameBytes);
+  }
+}
+
+// Core bounded receive: next message of `tag`, or nullopt on abort frame /
+// deadline (originating the abort broadcast in the deadline case).
+template <typename Payload>
+sim::Task<std::optional<Message<Payload>>> bounded_recv_impl(
+    Comm<Payload>& comm, std::size_t rank, int tag, int abort_tag,
+    sim::SimTime deadline) {
+  auto& sim = comm.simulator();
+  for (;;) {
+    comm.throw_if_crashed(rank);
+    if (comm.try_recv(rank, abort_tag)) {
+      while (comm.try_recv(rank, abort_tag)) {}
+      co_return std::nullopt;
+    }
+    if (sim.now() >= deadline) {
+      post_abort_frames(comm, rank, abort_tag);
+      co_return std::nullopt;
+    }
+    const sim::SimTime slice =
+        std::min<sim::SimTime>(deadline, sim.now() + kBoundedPoll);
+    auto got = co_await comm.recv_until(rank, tag, slice);
+    if (got) co_return got;
+  }
+}
+
+template <typename Payload>
+sim::Task<std::optional<Payload>> bounded_broadcast_impl(
+    Comm<Payload>& comm, std::size_t rank, std::size_t root, int tag,
+    int abort_tag, Payload value, std::uint64_t bytes, sim::SimTime deadline) {
+  if (rank == root) {
+    for (std::size_t dst = 0; dst < comm.machines(); ++dst)
+      comm.post(root, dst, tag, value, bytes);
+  }
+  auto msg =
+      co_await bounded_recv_impl(comm, rank, tag, abort_tag, deadline);
+  if (!msg) co_return std::nullopt;
+  co_return std::move(msg->payload);
+}
+
+template <typename Payload>
+sim::Task<std::optional<std::vector<Payload>>> bounded_gather_impl(
+    Comm<Payload>& comm, std::size_t rank, std::size_t root, int tag,
+    int abort_tag, Payload value, std::uint64_t bytes, sim::SimTime deadline) {
+  const std::size_t p = comm.machines();
+  if (rank != root) {
+    // Posted, not awaited: a dead root must not wedge the contributors.
+    comm.post(rank, root, tag, std::move(value), bytes);
+    std::vector<Payload> empty;
+    co_return std::optional<std::vector<Payload>>(std::move(empty));
+  }
+  std::vector<Payload> out(p);
+  out[root] = std::move(value);
+  for (std::size_t i = 0; i + 1 < p; ++i) {
+    auto msg =
+        co_await bounded_recv_impl(comm, root, tag, abort_tag, deadline);
+    if (!msg) co_return std::nullopt;
+    out[msg->src] = std::move(msg->payload);
+  }
+  co_return std::optional<std::vector<Payload>>(std::move(out));
+}
+
+template <typename Payload>
+sim::Task<std::optional<std::vector<Payload>>> bounded_all_to_all_impl(
+    Comm<Payload>& comm, std::size_t rank, int tag, int abort_tag,
+    std::vector<Payload> values, std::vector<std::uint64_t> bytes,
+    sim::SimTime deadline) {
+  const std::size_t p = comm.machines();
+  PGXD_CHECK(values.size() == p);
+  PGXD_CHECK(bytes.size() == p);
+  std::vector<Payload> out(p);
+  for (std::size_t step = 1; step < p; ++step) {
+    const std::size_t dst = (rank + step) % p;
+    comm.post(rank, dst, tag, std::move(values[dst]), bytes[dst]);
+  }
+  out[rank] = std::move(values[rank]);
+  for (std::size_t i = 0; i + 1 < p; ++i) {
+    auto msg =
+        co_await bounded_recv_impl(comm, rank, tag, abort_tag, deadline);
+    if (!msg) co_return std::nullopt;
+    out[msg->src] = std::move(msg->payload);
+  }
+  co_return std::optional<std::vector<Payload>>(std::move(out));
+}
+
+}  // namespace detail
+
 // Broadcast: root's value reaches every rank (including the root itself).
 // Returns each rank's received copy.
 template <typename Payload>
@@ -171,6 +291,40 @@ sim::Task<std::vector<Payload>> all_to_all(Comm<Payload>& comm,
                                            std::vector<std::uint64_t> bytes) {
   return detail::all_to_all_impl(comm, rank, tag, std::move(values),
                                  std::move(bytes));
+}
+
+// Deadline-aware broadcast: like broadcast(), but resolves nullopt when the
+// value has not arrived by `deadline` or any participant aborted. See the
+// bounded-variant contract above.
+template <typename Payload>
+sim::Task<std::optional<Payload>> bounded_broadcast(
+    Comm<Payload>& comm, std::size_t rank, std::size_t root, int tag,
+    int abort_tag, Payload value, std::uint64_t bytes, sim::SimTime deadline) {
+  return detail::bounded_broadcast_impl(comm, rank, root, tag, abort_tag,
+                                        std::move(value), bytes, deadline);
+}
+
+// Deadline-aware gather: the root resolves nullopt when any contribution
+// is missing at `deadline`; contributors post-and-go (an empty vector,
+// immediately), so a dead root cannot wedge them.
+template <typename Payload>
+sim::Task<std::optional<std::vector<Payload>>> bounded_gather(
+    Comm<Payload>& comm, std::size_t rank, std::size_t root, int tag,
+    int abort_tag, Payload value, std::uint64_t bytes, sim::SimTime deadline) {
+  return detail::bounded_gather_impl(comm, rank, root, tag, abort_tag,
+                                     std::move(value), bytes, deadline);
+}
+
+// Deadline-aware all-to-all: every participant resolves nullopt when its
+// inbound set is incomplete at `deadline` or any participant aborted.
+template <typename Payload>
+sim::Task<std::optional<std::vector<Payload>>> bounded_all_to_all(
+    Comm<Payload>& comm, std::size_t rank, int tag, int abort_tag,
+    std::vector<Payload> values, std::vector<std::uint64_t> bytes,
+    sim::SimTime deadline) {
+  return detail::bounded_all_to_all_impl(comm, rank, tag, abort_tag,
+                                         std::move(values), std::move(bytes),
+                                         deadline);
 }
 
 }  // namespace pgxd::rt

@@ -32,8 +32,10 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <utility>
@@ -42,6 +44,7 @@
 #include "common/assert.hpp"
 #include "common/rng.hpp"
 #include "net/fabric.hpp"
+#include "runtime/errors.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
@@ -85,6 +88,15 @@ struct ReliableConfig {
   // walk out of the window. Deterministic: same seed, same jitter.
   double backoff_jitter = 0.5;
   std::uint64_t seed = 0xac4;
+  // Crash tolerance: when true, a message that exhausts its retry budget —
+  // or whose destination the failure detector suspects dead — gives up
+  // with a PeerUnreachable outcome (awaited sends throw
+  // PeerUnreachableError, posts drop silently) instead of aborting the
+  // whole run, and the destination is marked unreachable so later sends
+  // fail at the source without burning a retry ladder each. Off by
+  // default: on a merely-lossy fabric, budget exhaustion is a
+  // configuration bug and should stay loud.
+  bool fail_fast = false;
 };
 
 struct ReliableStats {
@@ -94,6 +106,10 @@ struct ReliableStats {
   std::uint64_t acks_sent = 0;
   std::uint64_t acks_received = 0;  // ack frames that survived the fabric
   std::uint64_t duplicates_suppressed = 0;  // receiver-side dedup hits
+  // Fail-fast outcomes: sends abandoned because the destination exhausted
+  // its retry budget, was suspected dead, or was already marked
+  // unreachable (counted once per abandoned message).
+  std::uint64_t peer_unreachable = 0;
 };
 
 template <typename Payload>
@@ -105,7 +121,7 @@ class Comm {
       : sim_(sim), fabric_(fabric), machines_(fabric.machines()), rcfg_(rcfg),
         barrier_(sim, fabric.machines()), mailboxes_(fabric.machines()),
         inflight_(machines_ * machines_), next_seq_(machines_ * machines_, 0),
-        dedup_(machines_ * machines_) {
+        dedup_(machines_ * machines_), unreachable_(fabric.machines(), 0) {
     PGXD_CHECK(rcfg_.initial_rto > 0 && rcfg_.max_rto >= rcfg_.initial_rto);
     PGXD_CHECK(rcfg_.max_attempts >= 1);
     PGXD_CHECK(rcfg_.backoff_jitter >= 0.0);
@@ -132,6 +148,43 @@ class Comm {
     reg.counter("comm.reliable.acks_received").inc(rstats_.acks_received);
     reg.counter("comm.reliable.duplicates_suppressed")
         .inc(rstats_.duplicates_suppressed);
+    reg.counter("comm.reliable.peer_unreachable").inc(rstats_.peer_unreachable);
+  }
+
+  // Failure-detector integration: the hook answers "does `observer`
+  // currently suspect `peer` crashed?". Consulted by fail-fast retransmit
+  // loops so a send to a suspected-dead peer gives up at the next retry
+  // instead of riding out the whole budget.
+  void set_suspicion_hook(
+      std::function<bool(std::size_t, std::size_t)> hook) {
+    suspects_ = std::move(hook);
+  }
+
+  // Raises RankCrashedError when `rank` is crash-stopped right now — the
+  // DES analogue of the process dying mid-instruction. Every comm
+  // operation a rank initiates passes through this, so a crashed rank's
+  // program unwinds at its next communication instead of computing into
+  // the void.
+  void throw_if_crashed(std::size_t rank) const {
+    if (fabric_.down(rank, sim_.now()))
+      throw RankCrashedError(rank, sim_.now());
+  }
+
+  bool is_unreachable(std::size_t dst) const {
+    return unreachable_[dst] != 0;
+  }
+  bool any_unreachable() const {
+    return std::any_of(unreachable_.begin(), unreachable_.end(),
+                       [](char u) { return u != 0; });
+  }
+
+  // Names peers marked unreachable by fail-fast sends, for Cluster::run's
+  // end-of-run diagnostics.
+  std::string unreachable_report() const {
+    std::string out;
+    for (std::size_t dst = 0; dst < unreachable_.size(); ++dst)
+      if (unreachable_[dst] != 0) out += " rank " + std::to_string(dst);
+    return out;
   }
 
   // Asynchronous send: returns immediately; the payload is delivered to
@@ -141,14 +194,21 @@ class Comm {
   void post(std::size_t src, std::size_t dst, int tag, Payload payload,
             std::uint64_t bytes) {
     PGXD_CHECK(src < machines_ && dst < machines_);
+    throw_if_crashed(src);
     Msg msg{src, tag, bytes, std::move(payload)};
     if (src == dst) {
       mailbox(dst, tag).send(std::move(msg));
       return;
     }
     if (rcfg_.enabled) {
-      sim_.spawn(reliable_send_proc(src, dst, tag,
-                                    enqueue(src, dst, std::move(msg), bytes)));
+      if (rcfg_.fail_fast && unreachable_[dst] != 0) {
+        // The destination is already known dead: drop at the source
+        // instead of burning a full retry ladder per message.
+        ++rstats_.peer_unreachable;
+        return;
+      }
+      sim_.spawn(post_send_proc(src, dst, tag,
+                                enqueue(src, dst, std::move(msg), bytes)));
       return;
     }
     sim_.spawn(deliver(src, dst, tag, std::move(msg)));
@@ -172,6 +232,22 @@ class Comm {
   auto recv(std::size_t rank, int tag) {
     PGXD_CHECK(rank < machines_);
     return mailbox(rank, tag).recv();
+  }
+
+  // Deadline-bounded receive: resolves to the next message of `tag`, or to
+  // std::nullopt if none arrived by the absolute sim-time `deadline`. A
+  // receive satisfied before its deadline cancels the timer without
+  // advancing the clock, so polling loops built on this are timing-neutral
+  // on the fast path.
+  auto recv_until(std::size_t rank, int tag, sim::SimTime deadline) {
+    PGXD_CHECK(rank < machines_);
+    return mailbox(rank, tag).recv_until(deadline);
+  }
+
+  // Non-blocking receive: the next queued message of `tag`, if any.
+  std::optional<Msg> try_recv(std::size_t rank, int tag) {
+    PGXD_CHECK(rank < machines_);
+    return mailbox(rank, tag).try_recv();
   }
 
   // Receives `count` messages of `tag`, in arrival order.
@@ -216,6 +292,20 @@ class Comm {
              " rank(s) stuck at the barrier]";
     if (out.empty()) out = " (none — processes are blocked elsewhere)";
     return out;
+  }
+
+  // Between-attempts reset for the recovery supervisor: discards every
+  // undelivered mailbox message and forgets unreachable markings, so an
+  // aborted attempt's stragglers cannot contaminate the re-run. Only valid
+  // at quiescence (no receiver may still be waiting).
+  void drain_mailboxes() {
+    for (auto& boxes : mailboxes_)
+      for (auto& [tag, ch] : boxes) {
+        PGXD_CHECK_MSG(ch->waiting() == 0,
+                       "drain_mailboxes with a receiver still blocked");
+        ch->clear();
+      }
+    std::fill(unreachable_.begin(), unreachable_.end(), char{0});
   }
 
   // Names mailboxes holding undelivered messages after a run.
@@ -280,17 +370,36 @@ class Comm {
   sim::Task<void> send_impl(std::size_t src, std::size_t dst, int tag,
                             Payload payload, std::uint64_t bytes) {
     PGXD_CHECK(src < machines_ && dst < machines_);
+    throw_if_crashed(src);
     Msg msg{src, tag, bytes, std::move(payload)};
     if (src == dst) {
       mailbox(dst, tag).send(std::move(msg));
       co_return;
     }
     if (rcfg_.enabled) {
-      co_await reliable_send_proc(src, dst, tag,
-                                  enqueue(src, dst, std::move(msg), bytes));
+      if (rcfg_.fail_fast && unreachable_[dst] != 0) {
+        ++rstats_.peer_unreachable;
+        throw PeerUnreachableError(src, dst);
+      }
+      const bool acked = co_await reliable_send_proc(
+          src, dst, tag, enqueue(src, dst, std::move(msg), bytes));
+      if (!acked) {
+        // Either the sender itself died mid-protocol or the destination is
+        // unreachable — surface whichever the awaiting program can act on.
+        throw_if_crashed(src);
+        throw PeerUnreachableError(src, dst);
+      }
       co_return;
     }
     co_await deliver(src, dst, tag, std::move(msg));
+  }
+
+  // Void adapter so post() can spawn the bool-returning retransmit loop as
+  // a root process (fire-and-forget posts ignore the outcome; the
+  // unreachable marking and stats carry the signal instead).
+  sim::Task<void> post_send_proc(std::size_t src, std::size_t dst, int tag,
+                                 std::uint64_t seq) {
+    (void)co_await reliable_send_proc(src, dst, tag, seq);
   }
 
   // Only ever invoked with xvalue `msg` (see send() for why).
@@ -313,16 +422,33 @@ class Comm {
   // The ack/retry state machine for one message: transmit, arm the RTO,
   // retransmit with doubled (capped) RTO until the ack arrives. The ack
   // handler cancels the armed timer, so the loop wakes at the ack instant
-  // and the cancelled deadline never advances the clock.
-  sim::Task<void> reliable_send_proc(std::size_t src, std::size_t dst, int tag,
+  // and the cancelled deadline never advances the clock. Returns true when
+  // the message was acked; false when it was abandoned — because the
+  // sender itself crash-stopped mid-protocol (the frame dies with the
+  // host) or, in fail-fast mode, because the destination exhausted the
+  // retry budget or is suspected dead. Without fail_fast, budget
+  // exhaustion aborts the run loudly.
+  sim::Task<bool> reliable_send_proc(std::size_t src, std::size_t dst, int tag,
                                      std::uint64_t seq) {
     auto& slot = inflight_[pair_index(src, dst)];
     std::shared_ptr<InFlight> rec = slot.at(seq);
     sim::SimTime rto = rcfg_.initial_rto;
     for (int attempt = 0;; ++attempt) {
-      PGXD_CHECK_MSG(attempt < rcfg_.max_attempts,
-                     "reliable delivery exhausted its retry budget "
-                     "(fabric too lossy for max_attempts/max_rto?)");
+      if (fabric_.down(src, sim_.now())) {
+        slot.erase(seq);
+        co_return false;
+      }
+      const bool give_up = rcfg_.fail_fast && attempt > 0 &&
+                           (unreachable_[dst] != 0 || suspected(src, dst));
+      if (attempt >= rcfg_.max_attempts || give_up) {
+        PGXD_CHECK_MSG(rcfg_.fail_fast,
+                       "reliable delivery exhausted its retry budget "
+                       "(fabric too lossy for max_attempts/max_rto?)");
+        ++rstats_.peer_unreachable;
+        unreachable_[dst] = 1;
+        slot.erase(seq);
+        co_return false;
+      }
       if (attempt == 0) {
         ++rstats_.frames_sent;
       } else {
@@ -340,10 +466,14 @@ class Comm {
       }
       if (rec->acked) {
         slot.erase(seq);
-        co_return;
+        co_return true;
       }
       rto = std::min<sim::SimTime>(rto * 2, rcfg_.max_rto);
     }
+  }
+
+  bool suspected(std::size_t observer, std::size_t peer) const {
+    return suspects_ && suspects_(observer, peer);
   }
 
   // Receiver side of a data frame (same address space: invoked directly by
@@ -406,6 +536,9 @@ class Comm {
   std::vector<std::map<std::uint64_t, std::shared_ptr<InFlight>>> inflight_;
   std::vector<std::uint64_t> next_seq_;
   std::vector<DedupWindow> dedup_;
+  // Destinations given up on by fail-fast sends (reset by drain_mailboxes).
+  std::vector<char> unreachable_;
+  std::function<bool(std::size_t, std::size_t)> suspects_;
   Rng backoff_rng_{0};
 };
 

@@ -1,0 +1,71 @@
+// Failure outcomes surfaced by the runtime under crash-stop faults.
+//
+// These are the *recoverable* surface: a coroutine stack that hits one of
+// them unwinds to whatever supervisor wrapper the engine installed (see
+// DistributedSorter's resilient program), which converts the exception
+// into a per-rank attempt outcome. They deliberately do NOT inherit from
+// each other — a handler that wants "any failure" catches the common base.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace pgxd::rt {
+
+// Common base so supervisors can catch every crash-tolerance outcome with
+// one handler while tests still discriminate by concrete type.
+class FailureError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Raised on a rank's own coroutine stack when the rank is discovered to be
+// crash-stopped (the DES analogue of the process dying: any comm operation
+// attempted at or after the crash instant unwinds instead of executing).
+class RankCrashedError : public FailureError {
+ public:
+  RankCrashedError(std::size_t rank, sim::SimTime at)
+      : FailureError("rank " + std::to_string(rank) +
+                     " crash-stopped at t=" + std::to_string(at) + "ns"),
+        rank_(rank),
+        at_(at) {}
+
+  std::size_t rank() const { return rank_; }
+  sim::SimTime at() const { return at_; }
+
+ private:
+  std::size_t rank_;
+  sim::SimTime at_;
+};
+
+// Raised by a fail-fast reliable send whose destination exhausted the
+// retransmit budget or is suspected dead by the failure detector.
+class PeerUnreachableError : public FailureError {
+ public:
+  PeerUnreachableError(std::size_t src, std::size_t dst)
+      : FailureError("peer " + std::to_string(dst) + " unreachable from rank " +
+                     std::to_string(src) +
+                     " (retry budget exhausted or suspected crashed)"),
+        src_(src),
+        dst_(dst) {}
+
+  std::size_t src() const { return src_; }
+  std::size_t dst() const { return dst_; }
+
+ private:
+  std::size_t src_;
+  std::size_t dst_;
+};
+
+// Raised when a participant learns (via the abort broadcast or its own
+// failure detector) that the current cooperative phase is being torn down.
+class SortAbortedError : public FailureError {
+ public:
+  explicit SortAbortedError(const std::string& reason)
+      : FailureError("sort attempt aborted: " + reason) {}
+};
+
+}  // namespace pgxd::rt

@@ -1,0 +1,190 @@
+// Heartbeat-based crash failure detector.
+//
+// Every rank runs a detector process that sends a small heartbeat frame to
+// every peer once per `interval` (real fabric traffic: heartbeats pay port
+// occupancy, can be dropped by fault windows, and die with a crashed
+// host). Each delivery refreshes the receiver's per-peer "last heard"
+// clock; an observer *suspects* a peer once it has heard nothing for
+// longer than `timeout`.
+//
+// Failure model notes:
+//   * Crash-stop is modeled faithfully at the process level: a rank whose
+//     machine crash-stops exits its heartbeat loop permanently for the
+//     run, even if the machine's ports later restart — the OS rebooted,
+//     but the process that was heartbeating is gone. A restarted rank
+//     resumes heartbeating only when the detector is restarted (i.e. the
+//     next recovery attempt re-admits it).
+//   * Suspicion is observer-local and recomputed on demand from simulated
+//     time — no shared "dead set" — so detection latency and asymmetric
+//     connectivity behave like a real φ-style detector's would.
+//   * With timeout >= a few intervals, false positives require the fabric
+//     to drop several consecutive heartbeats; the DES makes the tradeoff
+//     (interval x timeout vs. detection latency) exactly reproducible.
+//
+// The watchdog bounds the whole cluster run: heartbeat loops are the only
+// perpetual processes in the DES, so a deadlocked program under crash
+// faults would otherwise let the simulation spin forever on heartbeats. A
+// loop that outlives `watchdog` aborts the run with a named error instead
+// of hanging.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "net/fabric.hpp"
+#include "obs/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+#include "sim/timeout.hpp"
+
+namespace pgxd::rt {
+
+struct DetectorConfig {
+  bool enabled = false;
+  // Heartbeat period per (sender, peer) pair.
+  sim::SimTime interval = 1 * sim::kMillisecond;
+  // Silence threshold before an observer suspects a peer. Must be >=
+  // interval; several intervals keeps the false-positive rate negligible
+  // on a lossy-but-alive fabric.
+  sim::SimTime timeout = 5 * sim::kMillisecond;
+  // Modeled wire size of one heartbeat frame.
+  std::uint64_t heartbeat_wire_bytes = 16;
+  // Hard ceiling on how long heartbeat loops may outlive start(); crossing
+  // it means the cluster's programs are deadlocked and aborts loudly.
+  sim::SimTime watchdog = 30 * sim::kSecond;
+};
+
+struct DetectorStats {
+  std::uint64_t heartbeats_sent = 0;
+  std::uint64_t heartbeats_delivered = 0;
+  std::uint64_t suspicions = 0;  // alive -> suspected transitions observed
+  std::uint64_t clears = 0;      // suspected -> alive (peer heard again)
+};
+
+class FailureDetector {
+ public:
+  FailureDetector(sim::Simulator& sim, net::Fabric& fabric, DetectorConfig cfg)
+      : sim_(sim),
+        fabric_(fabric),
+        cfg_(cfg),
+        p_(fabric.machines()),
+        last_heard_(p_ * p_, 0),
+        suspected_(p_ * p_, 0),
+        timers_(p_, nullptr) {
+    PGXD_CHECK_MSG(cfg.interval > 0, "DetectorConfig: interval must be > 0");
+    PGXD_CHECK_MSG(cfg.timeout >= cfg.interval,
+                   "DetectorConfig: timeout must be >= interval");
+    PGXD_CHECK_MSG(cfg.watchdog > cfg.timeout,
+                   "DetectorConfig: watchdog must exceed timeout");
+  }
+  FailureDetector(const FailureDetector&) = delete;
+  FailureDetector& operator=(const FailureDetector&) = delete;
+
+  // Spawns one heartbeat loop per rank and resets all suspicion state
+  // (every rank starts presumed alive as of now). Call once per cluster
+  // run; request_stop() winds the loops down.
+  void start() {
+    stopping_ = false;
+    started_at_ = sim_.now();
+    std::fill(last_heard_.begin(), last_heard_.end(), sim_.now());
+    std::fill(suspected_.begin(), suspected_.end(), char{0});
+    for (std::size_t r = 0; r < p_; ++r) sim_.spawn(heartbeat_loop(r));
+  }
+
+  // Asks every heartbeat loop to exit at its next wakeup and cancels
+  // pending interval timers so the simulator can reach quiescence.
+  void request_stop() {
+    stopping_ = true;
+    for (sim::Timeout* t : timers_)
+      if (t != nullptr) t->cancel();
+  }
+
+  bool stopping() const { return stopping_; }
+
+  // Observer-local suspicion: `observer` has heard nothing from `peer` for
+  // longer than the timeout. Transition edges feed the stats counters.
+  bool suspects(std::size_t observer, std::size_t peer) const {
+    if (observer == peer) return false;
+    const std::size_t i = observer * p_ + peer;
+    const bool s = sim_.now() - last_heard_[i] > cfg_.timeout;
+    if (s && suspected_[i] == 0) {
+      suspected_[i] = 1;
+      ++stats_.suspicions;
+    }
+    return s;
+  }
+
+  // First member of `peers` that `observer` currently suspects, if any.
+  std::optional<std::size_t> first_suspected(
+      std::size_t observer, const std::vector<std::size_t>& peers) const {
+    for (std::size_t peer : peers)
+      if (peer != observer && suspects(observer, peer)) return peer;
+    return std::nullopt;
+  }
+
+  const DetectorStats& stats() const { return stats_; }
+  const DetectorConfig& config() const { return cfg_; }
+
+  void export_metrics(obs::MetricsRegistry& reg) const {
+    reg.counter("detector.heartbeats_sent").inc(stats_.heartbeats_sent);
+    reg.counter("detector.heartbeats_delivered")
+        .inc(stats_.heartbeats_delivered);
+    reg.counter("detector.suspicions").inc(stats_.suspicions);
+    reg.counter("detector.clears").inc(stats_.clears);
+  }
+
+ private:
+  sim::Task<void> heartbeat_loop(std::size_t rank) {
+    while (!stopping_) {
+      PGXD_CHECK_MSG(sim_.now() - started_at_ <= cfg_.watchdog,
+                     "failure-detector watchdog expired: cluster programs "
+                     "still blocked past the watchdog horizon (deadlock "
+                     "under crash faults?)");
+      // Crash-stop kills the heartbeat *process*: even if the machine's
+      // ports restart later, this loop stays dead for the rest of the run.
+      if (fabric_.down(rank, sim_.now())) co_return;
+      for (std::size_t peer = 0; peer < p_; ++peer) {
+        if (peer == rank || stopping_) continue;
+        ++stats_.heartbeats_sent;
+        const net::Delivery d =
+            co_await fabric_.transfer(rank, peer, cfg_.heartbeat_wire_bytes);
+        if (d.delivered()) heard(peer, rank);
+      }
+      if (stopping_) break;
+      sim::Timeout tick(sim_, cfg_.interval);
+      timers_[rank] = &tick;
+      co_await tick.wait();
+      timers_[rank] = nullptr;
+    }
+  }
+
+  void heard(std::size_t observer, std::size_t peer) {
+    ++stats_.heartbeats_delivered;
+    const std::size_t i = observer * p_ + peer;
+    last_heard_[i] = sim_.now();
+    if (suspected_[i] != 0) {
+      suspected_[i] = 0;
+      ++stats_.clears;
+    }
+  }
+
+  sim::Simulator& sim_;
+  net::Fabric& fabric_;
+  DetectorConfig cfg_;
+  std::size_t p_;
+  bool stopping_ = false;
+  sim::SimTime started_at_ = 0;
+  // last_heard_[observer * p + peer]: when observer last heard peer.
+  // Mutable alongside stats_/suspected_ because suspects() is a logically
+  // const query that records transition edges for telemetry.
+  std::vector<sim::SimTime> last_heard_;
+  mutable std::vector<char> suspected_;
+  mutable DetectorStats stats_;
+  std::vector<sim::Timeout*> timers_;
+};
+
+}  // namespace pgxd::rt

@@ -141,6 +141,16 @@ class BufferPool {
     stats_.peak_free = std::max(stats_.peak_free, free_.size());
   }
 
+  // Recovery-supervisor hook, quiescent-state only: buffers leased into an
+  // aborted attempt are destroyed along with the drained mailboxes and can
+  // never be release()d, which would leave `outstanding` permanently
+  // inflated and eventually wedge the next attempt's backpressure loop.
+  // Reconciling counts every unreturned lease as returned-by-destruction.
+  void reconcile_after_drain() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.returns = std::max(stats_.returns, stats_.leases);
+  }
+
   std::size_t free_buffers() const {
     std::lock_guard<std::mutex> lock(mu_);
     return free_.size();

@@ -12,7 +12,9 @@
 // actually resuming cannot steal it.
 #pragma once
 
+#include <algorithm>
 #include <coroutine>
+#include <cstdint>
 #include <deque>
 #include <optional>
 #include <utility>
@@ -164,6 +166,12 @@ class SemaphoreGuard {
 // Unbounded FIFO channel. send() never suspends; recv() suspends until a
 // value is available. Values are delivered in send order; receivers are
 // served in arrival order, each receiving its value by direct handoff.
+//
+// recv_until(deadline) is the timed variant: it resolves to the next value
+// or, if none arrives by the absolute deadline, to std::nullopt. The
+// deadline is a cancellable simulator event — a receive satisfied before
+// its deadline cancels the timer, and a cancelled timer never advances the
+// clock, so timed receives on the fast path are timing-neutral.
 template <typename T>
 class Channel {
  public:
@@ -171,20 +179,30 @@ class Channel {
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
 
-  struct [[nodiscard]] RecvAwaiter {
-    Channel& ch;
+  // Queued-receiver record shared by the plain and timed awaiters. send()
+  // hands the value into `handed`; a non-zero `ticket` names the waiter's
+  // pending deadline event, which send() cancels on handoff (the cancel
+  // always succeeds: a waiter whose timer fired has already removed itself
+  // from the queue before anyone could observe it).
+  struct Waiter {
     std::coroutine_handle<> handle;
     std::optional<T> handed;
+    std::uint64_t ticket = 0;
+  };
+
+  struct [[nodiscard]] RecvAwaiter {
+    Channel& ch;
+    Waiter w;
 
     bool await_ready() const noexcept {
       return !ch.values_.empty() && ch.waiters_.empty();
     }
     void await_suspend(std::coroutine_handle<> h) {
-      handle = h;
-      ch.waiters_.push_back(this);
+      w.handle = h;
+      ch.waiters_.push_back(&w);
     }
     T await_resume() {
-      if (handed) return std::move(*handed);
+      if (w.handed) return std::move(*w.handed);
       PGXD_CHECK_MSG(!ch.values_.empty(), "channel resumed without a value");
       T v = std::move(ch.values_.front());
       ch.values_.pop_front();
@@ -192,10 +210,48 @@ class Channel {
     }
   };
 
+  struct [[nodiscard]] RecvUntilAwaiter {
+    Channel& ch;
+    SimTime deadline;
+    Waiter w;
+
+    bool await_ready() const noexcept {
+      return (!ch.values_.empty() && ch.waiters_.empty()) ||
+             deadline <= ch.sim_.now();
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      w.handle = h;
+      ch.waiters_.push_back(&w);
+      w.ticket = ch.sim_.schedule_cancellable(deadline, h);
+    }
+    std::optional<T> await_resume() {
+      if (w.handed) return std::move(w.handed);
+      // Woken by the deadline (still queued): leave empty-handed.
+      auto it = std::find(ch.waiters_.begin(), ch.waiters_.end(), &w);
+      if (it != ch.waiters_.end()) {
+        ch.waiters_.erase(it);
+        return std::nullopt;
+      }
+      // Never suspended: take a ready value if one is claimable, else the
+      // deadline had already passed on entry.
+      if (!ch.values_.empty() && ch.waiters_.empty()) {
+        std::optional<T> v = std::move(ch.values_.front());
+        ch.values_.pop_front();
+        return v;
+      }
+      return std::nullopt;
+    }
+  };
+
   void send(T value) {
     if (!waiters_.empty()) {
-      RecvAwaiter* w = waiters_.front();
+      Waiter* w = waiters_.front();
       waiters_.pop_front();
+      if (w->ticket != 0) {
+        const bool pending = sim_.cancel(w->ticket);
+        PGXD_CHECK_MSG(pending, "timed channel receiver woken twice");
+        w->ticket = 0;
+      }
       w->handed = std::move(value);
       sim_.schedule_now(w->handle);
       return;
@@ -203,7 +259,11 @@ class Channel {
     values_.push_back(std::move(value));
   }
 
-  RecvAwaiter recv() { return RecvAwaiter{*this, {}, std::nullopt}; }
+  RecvAwaiter recv() { return RecvAwaiter{*this, Waiter{}}; }
+
+  RecvUntilAwaiter recv_until(SimTime deadline) {
+    return RecvUntilAwaiter{*this, deadline, Waiter{}};
+  }
 
   std::optional<T> try_recv() {
     if (values_.empty() || !waiters_.empty()) return std::nullopt;
@@ -211,6 +271,11 @@ class Channel {
     values_.pop_front();
     return v;
   }
+
+  // Discards all unclaimed values (queued receivers, if any, stay queued).
+  // The recovery supervisor's between-attempts reset: messages from an
+  // aborted attempt must not leak into the next one.
+  void clear() { values_.clear(); }
 
   // Unclaimed values (not counting values already handed to waking receivers).
   std::size_t size() const { return values_.size(); }
@@ -222,7 +287,7 @@ class Channel {
  private:
   Simulator& sim_;
   std::deque<T> values_;
-  std::deque<RecvAwaiter*> waiters_;
+  std::deque<Waiter*> waiters_;
 };
 
 }  // namespace pgxd::sim

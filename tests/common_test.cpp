@@ -266,6 +266,21 @@ TEST(Flags, ParsesTypedValues) {
   EXPECT_FALSE(f.has("name"));
 }
 
+TEST(Flags, BareBooleanDoesNotEatTheNextFlag) {
+  // `--recovery --crash=...` must parse as {recovery=true, crash=...}: the
+  // old parser consumed `--crash=...` as recovery's *value*, silently
+  // dropping both flags.
+  Flags f;
+  f.declare("recovery", "a bool", "false");
+  f.declare("crash", "a schedule", "");
+  f.declare("tail", "a trailing bool", "false");
+  const char* argv[] = {"prog", "--recovery", "--crash=2@150", "--tail"};
+  f.parse(4, const_cast<char**>(argv));
+  EXPECT_TRUE(f.boolean("recovery"));
+  EXPECT_EQ(f.str("crash"), "2@150");
+  EXPECT_TRUE(f.boolean("tail"));  // bare flag at end of argv
+}
+
 TEST(Flags, ListParsing) {
   Flags f;
   f.declare("procs", "processor counts", "8,16,32");

@@ -343,5 +343,247 @@ TEST(ClusterDiagnostics, TotalPendingCountsStrays) {
   EXPECT_EQ(cluster.comm().total_pending(), 2u);
 }
 
+// ---- Crash-stop chaos: rank failures and phase-level recovery ----------
+//
+// The recovery stack under test: deterministic crash schedule in the
+// fabric, heartbeat failure detector, fail-fast reliable delivery, and the
+// sorter's attempt-loop supervisor (abort the wounded attempt, regenerate
+// the dead rank's shard, re-run on the survivors). Crash instants are
+// aimed by fractions of a clean pilot run's duration so every sort phase
+// of attempt 0 gets killed somewhere in the matrix.
+
+rt::ClusterConfig recovery_cluster(std::size_t machines,
+                                   const net::FaultConfig& faults) {
+  rt::ClusterConfig cfg = faulty_cluster(machines, faults);
+  cfg.reliable.fail_fast = true;
+  cfg.detector.enabled = true;
+  cfg.allow_undrained = true;  // aborted attempts strand frames by design
+  return cfg;
+}
+
+SortConfig recovery_sort_config() {
+  SortConfig cfg = chunky_sort_config();
+  cfg.recovery.enabled = true;
+  return cfg;
+}
+
+// Simulated duration of one clean run over the identical stack (detector
+// heartbeats included), used to aim crash instants inside attempt 0.
+sim::SimTime clean_recovery_total(const std::vector<std::vector<Key>>& shards) {
+  rt::Cluster<Msg> cluster(recovery_cluster(shards.size(), {}));
+  Sorter sorter(cluster, recovery_sort_config());
+  sorter.run(shards);
+  return sorter.stats().total_time;
+}
+
+class CrashChaos : public ::testing::TestWithParam<std::tuple<double, bool>> {};
+
+TEST_P(CrashChaos, KilledRankRecoversToACorrectSort) {
+  const auto [fraction, restart] = GetParam();
+  const std::size_t p = 5;
+  auto shards = make_shards(gen::Distribution::kUniform, 20000, p);
+  const sim::SimTime clean_total = clean_recovery_total(shards);
+  ASSERT_GT(clean_total, 0);
+
+  net::FaultConfig fc;
+  const auto crash_at =
+      static_cast<sim::SimTime>(fraction * static_cast<double>(clean_total));
+  fc.crashes = {net::CrashEvent{
+      2, crash_at, restart ? 2 * sim::kMillisecond : sim::SimTime{0}}};
+  rt::Cluster<Msg> cluster(recovery_cluster(p, fc));
+  Sorter sorter(cluster, recovery_sort_config());
+  // Datagen stands in for durable storage: the supervisor regenerates the
+  // dead rank's input shard from its seed instead of reading a dead disk.
+  sorter.set_shard_source([&shards](std::size_t r) { return shards[r]; });
+  sorter.run(shards);  // audit_exchange asserts exactly-once internally
+  verify_sorted(sorter, shards);
+
+  const auto& rec = sorter.stats().recovery;
+  EXPECT_GE(rec.recoveries, 1u);
+  EXPECT_GE(rec.final_attempt, 1);
+  EXPECT_GT(rec.wasted_work_ns, 0);
+  EXPECT_GT(rec.time_to_recover_max_ns, 0);
+  if (restart) {
+    // The rebooted rank rejoins if it was back before attempt 1 started.
+    EXPECT_GE(rec.final_members, 4u);
+  } else {
+    EXPECT_EQ(rec.final_members, 4u);
+    EXPECT_TRUE(sorter.partitions()[2].empty());
+    EXPECT_GE(rec.regenerated_shards, 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EveryPhase, CrashChaos,
+    ::testing::Combine(::testing::Values(0.05, 0.25, 0.45, 0.65, 0.9),
+                       ::testing::Bool()));
+
+TEST(CrashRecovery, MasterDeathPromotesTheNextSurvivor) {
+  const std::size_t p = 5;
+  auto shards = make_shards(gen::Distribution::kNormal, 20000, p);
+  const sim::SimTime clean_total = clean_recovery_total(shards);
+
+  net::FaultConfig fc;
+  fc.crashes = {net::CrashEvent{0, clean_total * 3 / 10}};
+  rt::Cluster<Msg> cluster(recovery_cluster(p, fc));
+  Sorter sorter(cluster, recovery_sort_config());
+  sorter.run(shards);
+  verify_sorted(sorter, shards);
+
+  const auto& rec = sorter.stats().recovery;
+  EXPECT_GE(rec.recoveries, 1u);
+  EXPECT_EQ(rec.final_members, 4u);
+  EXPECT_TRUE(sorter.partitions()[0].empty());
+  ASSERT_FALSE(sorter.final_members().empty());
+  EXPECT_EQ(sorter.final_members().front(), 1u);  // promoted master
+}
+
+TEST(CrashRecovery, RankDeadBeforeTheRunIsExcludedWithoutARerun) {
+  const std::size_t p = 5;
+  auto shards = make_shards(gen::Distribution::kExponential, 20000, p);
+  net::FaultConfig fc;
+  fc.crashes = {net::CrashEvent{2, 0}};  // dead before attempt 0 starts
+  rt::Cluster<Msg> cluster(recovery_cluster(p, fc));
+  Sorter sorter(cluster, recovery_sort_config());
+  sorter.run(shards);
+  verify_sorted(sorter, shards);
+
+  const auto& rec = sorter.stats().recovery;
+  EXPECT_EQ(rec.recoveries, 0u);
+  EXPECT_EQ(rec.final_attempt, 0);
+  EXPECT_EQ(rec.final_members, 4u);
+  EXPECT_GE(rec.regenerated_shards, 1u);
+  EXPECT_EQ(rec.wasted_work_ns, 0);
+  EXPECT_TRUE(sorter.partitions()[2].empty());
+}
+
+TEST(CrashRecovery, CrashDuringFabricFaultsStillRecovers) {
+  const std::size_t p = 5;
+  auto shards = make_shards(gen::Distribution::kRightSkewed, 20000, p);
+  const sim::SimTime clean_total = clean_recovery_total(shards);
+
+  net::FaultConfig fc;
+  fc.drop_prob = 0.02;
+  fc.blackout_period = 2 * sim::kMillisecond;
+  fc.blackout_duration = 200 * sim::kMicrosecond;
+  fc.crashes = {net::CrashEvent{2, clean_total * 2 / 5}};
+  rt::Cluster<Msg> cluster(recovery_cluster(p, fc));
+  Sorter sorter(cluster, recovery_sort_config());
+  sorter.run(shards);
+  verify_sorted(sorter, shards);
+  EXPECT_GE(sorter.stats().recovery.recoveries, 1u);
+  EXPECT_EQ(sorter.stats().recovery.final_members, 4u);
+}
+
+TEST(CrashRecovery, StragglerHedgingFiresWhileWaitingOnTheDeadRank) {
+  const std::size_t p = 5;
+  auto shards = make_shards(gen::Distribution::kUniform, 20000, p);
+  const sim::SimTime clean_total = clean_recovery_total(shards);
+
+  net::FaultConfig fc;
+  fc.crashes = {net::CrashEvent{2, clean_total * 8 / 10}};  // mid-exchange
+  rt::Cluster<Msg> cluster(recovery_cluster(p, fc));
+  SortConfig scfg = recovery_sort_config();
+  // Hedge deadline well below the detector timeout, so re-requests fire
+  // while the survivors are still waiting rather than after the abort.
+  scfg.recovery.hedge_floor = 1 * sim::kMillisecond;
+  Sorter sorter(cluster, scfg);
+  sorter.run(shards);
+  verify_sorted(sorter, shards);
+  EXPECT_GE(sorter.stats().recovery.hedged_rerequests, 1u);
+}
+
+TEST(CrashRecovery, IdenticalCrashSchedulesAreBitIdentical) {
+  const std::size_t p = 5;
+  auto run_once = [&]() {
+    auto shards = make_shards(gen::Distribution::kUniform, 8000, p);
+    const sim::SimTime clean_total = clean_recovery_total(shards);
+    net::FaultConfig fc;
+    fc.crashes = {net::CrashEvent{2, clean_total / 2}};
+    rt::Cluster<Msg> cluster(recovery_cluster(p, fc));
+    Sorter sorter(cluster, recovery_sort_config());
+    sorter.run(shards);
+    return fingerprint(sorter);
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+// No-fault cost of the crash-tolerance stack: the detector's heartbeats
+// stay under the 3% telemetry-style overhead gate, and the recovery
+// machinery itself (deadline polling, ctrl tags, supervisor) is
+// bit-identical to a detector-only run on a healthy fabric.
+TEST(CrashRecovery, NoFaultOverheadStaysUnderTheGate) {
+  const std::size_t p = 5;
+  auto shards = make_shards(gen::Distribution::kUniform, 20000, p);
+
+  rt::ClusterConfig base_cfg = faulty_cluster(p, {});
+  base_cfg.reliable.fail_fast = true;
+  rt::Cluster<Msg> base_cluster(base_cfg);
+  Sorter base(base_cluster, chunky_sort_config());
+  base.run(shards);
+  verify_sorted(base, shards);
+
+  rt::Cluster<Msg> det_cluster(recovery_cluster(p, {}));
+  Sorter det(det_cluster, chunky_sort_config());
+  det.run(shards);
+  verify_sorted(det, shards);
+  EXPECT_LT(static_cast<double>(det.stats().total_time),
+            1.03 * static_cast<double>(base.stats().total_time));
+
+  rt::Cluster<Msg> rec_cluster(recovery_cluster(p, {}));
+  Sorter rec(rec_cluster, recovery_sort_config());
+  rec.run(shards);
+  verify_sorted(rec, shards);
+  EXPECT_EQ(fingerprint(rec), fingerprint(det));
+  EXPECT_EQ(rec.stats().recovery.recoveries, 0u);
+  EXPECT_EQ(rec.stats().recovery.final_members, p);
+}
+
+TEST(CrashRecoveryDeath, DoubleFailureBelowMinMembersIsUnrecoverable) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto doomed = [] {
+    const std::size_t p = 4;
+    auto shards = make_shards(gen::Distribution::kUniform, 8000, p);
+    net::FaultConfig fc;
+    fc.crashes = {net::CrashEvent{2, 0}, net::CrashEvent{3, 0}};
+    rt::Cluster<Msg> cluster(recovery_cluster(p, fc));
+    SortConfig scfg = recovery_sort_config();
+    scfg.recovery.min_members = 3;  // 2 survivors void the contract
+    Sorter sorter(cluster, scfg);
+    sorter.run(shards);
+  };
+  EXPECT_DEATH(doomed(), "unrecoverable sort: surviving membership");
+}
+
+TEST(CrashRecoveryDeath, ExhaustedRecoveryBudgetIsUnrecoverable) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto doomed = [] {
+    const std::size_t p = 5;
+    auto shards = make_shards(gen::Distribution::kUniform, 8000, p);
+    const sim::SimTime clean_total = clean_recovery_total(shards);
+    net::FaultConfig fc;
+    fc.crashes = {net::CrashEvent{2, clean_total / 2}};
+    rt::Cluster<Msg> cluster(recovery_cluster(p, fc));
+    SortConfig scfg = recovery_sort_config();
+    scfg.recovery.max_recoveries = 0;  // the one failed attempt exhausts it
+    Sorter sorter(cluster, scfg);
+    sorter.run(shards);
+  };
+  EXPECT_DEATH(doomed(), "unrecoverable sort: recovery budget exhausted");
+}
+
+TEST(CrashRecoveryDeath, RecoveryPrerequisitesAreChecked) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto doomed = [] {
+    const std::size_t p = 3;
+    auto shards = make_shards(gen::Distribution::kUniform, 3000, p);
+    // Plain cluster: no reliable fail-fast layer, no failure detector.
+    rt::Cluster<Msg> cluster(faulty_cluster(p, {}, /*reliable=*/false));
+    Sorter sorter(cluster, recovery_sort_config());
+    sorter.run(shards);
+  };
+  EXPECT_DEATH(doomed(), "recovery requires");
+}
+
 }  // namespace
 }  // namespace pgxd::core

@@ -240,6 +240,201 @@ TEST(NetFaults, DegradationWindowStretchesTransfersInsideIt) {
   EXPECT_GT(one_transfer(degraded), one_transfer(FaultConfig{}));
 }
 
+// FaultConfig is validated on Fabric construction: nonsensical settings
+// die with a named error instead of silently skewing a chaos run.
+TEST(FaultConfigValidation, RejectsNonsensicalSettings) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto build = [](const FaultConfig& fc) {
+    sim::Simulator sim;
+    NetConfig cfg;
+    cfg.faults = fc;
+    Fabric fabric(sim, 2, cfg);
+  };
+  {
+    FaultConfig fc;
+    fc.drop_prob = 1.5;
+    EXPECT_DEATH(build(fc), "drop_prob must lie");
+  }
+  {
+    FaultConfig fc;
+    fc.duplicate_prob = -0.1;
+    EXPECT_DEATH(build(fc), "duplicate_prob must lie");
+  }
+  {
+    FaultConfig fc;
+    fc.blackout_period = 1000;
+    fc.blackout_duration = 2000;
+    EXPECT_DEATH(build(fc), "blackout_duration must not exceed");
+  }
+  {
+    FaultConfig fc;
+    fc.degrade_period = 1000;
+    fc.degrade_duration = 1000;
+    fc.degrade_factor = 0.5;  // would speed links up
+    EXPECT_DEATH(build(fc), "degrade_factor must be >= 1");
+  }
+  {
+    FaultConfig fc;
+    fc.slow_nics = {7};  // only machines 0 and 1 exist
+    fc.slow_nic_factor = 2.0;
+    EXPECT_DEATH(build(fc), "slow_nics names a machine out");
+  }
+  {
+    FaultConfig fc;
+    fc.crashes = {CrashEvent{7, 1000}};
+    EXPECT_DEATH(build(fc), "crashes names a rank out of range");
+  }
+  {
+    FaultConfig fc;
+    fc.crashes = {CrashEvent{1, -5}};
+    EXPECT_DEATH(build(fc), "crash_time must be non-negative");
+  }
+  {
+    FaultConfig fc;
+    fc.crashes = {CrashEvent{1, 1000, -1}};
+    EXPECT_DEATH(build(fc), "restart_after must be non-negative");
+  }
+}
+
+// ---- Crash-stop schedule ------------------------------------------------
+
+// One transfer src -> dst issued at `issue_at`; returns the Delivery.
+struct CrashProbe {
+  sim::Simulator sim;
+  std::unique_ptr<Fabric> fabric;
+  Delivery out{0};
+
+  explicit CrashProbe(const FaultConfig& fc, std::size_t machines = 2) {
+    NetConfig cfg;
+    cfg.link_bandwidth_Bps = 1e9;
+    cfg.faults = fc;
+    fabric = std::make_unique<Fabric>(sim, machines, cfg);
+  }
+  CrashProbe(const CrashProbe&) = delete;
+  CrashProbe& operator=(const CrashProbe&) = delete;
+
+  Delivery transfer_at(sim::SimTime issue_at, std::size_t src,
+                       std::size_t dst, std::uint64_t bytes = 4096) {
+    sim.spawn(probe(issue_at, src, dst, bytes));
+    sim.run();
+    return out;
+  }
+
+  sim::Task<void> probe(sim::SimTime issue_at, std::size_t src,
+                        std::size_t dst, std::uint64_t bytes) {
+    co_await sim.delay(issue_at - sim.now());
+    out = co_await fabric->transfer(src, dst, bytes);
+  }
+};
+
+TEST(NetCrash, DeadSourceTransmitsNothing) {
+  FaultConfig fc;
+  fc.crashes = {CrashEvent{0, 1000}};
+  CrashProbe w(fc);
+  const Delivery d = w.transfer_at(2000, 0, 1);
+  EXPECT_EQ(d.copies, 0);
+  // The message died before any TX accounting: no bytes, no port time.
+  EXPECT_EQ(w.fabric->stats(0).bytes_sent, 0u);
+  EXPECT_EQ(w.fabric->stats(0).messages_sent, 0u);
+  EXPECT_EQ(w.fabric->stats(0).messages_crash_dropped, 1u);
+  EXPECT_EQ(w.fabric->total_crash_dropped(), 1u);
+}
+
+TEST(NetCrash, DeadDestinationHasADarkRxPort) {
+  FaultConfig fc;
+  fc.crashes = {CrashEvent{1, 1000}};
+  CrashProbe w(fc);
+  const Delivery d = w.transfer_at(2000, 0, 1);
+  EXPECT_EQ(d.copies, 0);
+  // The sender still paid the TX-side cost; the payload was discarded
+  // silently at the dead RX port.
+  EXPECT_GT(w.fabric->stats(0).bytes_sent, 0u);
+  EXPECT_EQ(w.fabric->stats(1).bytes_received, 0u);
+  EXPECT_EQ(w.fabric->stats(1).messages_crash_dropped, 1u);
+}
+
+TEST(NetCrash, RestartLightsThePortsBackUp) {
+  FaultConfig fc;
+  // The RX-dark check happens when the head of the message reaches the
+  // destination port (~7 us after issue with the default 2 us latency,
+  // 1 us overhead, and ~4 us TX serialization), so the probes are placed
+  // by *arrival* time relative to the [10 us, 30 us) dark window.
+  fc.crashes = {CrashEvent{1, 10'000, /*restart_after=*/20'000}};
+  CrashProbe before(fc), during(fc), after(fc);
+  EXPECT_EQ(before.transfer_at(0, 0, 1).copies, 1);      // arrives pre-crash
+  EXPECT_EQ(during.transfer_at(5000, 0, 1).copies, 0);   // dark window
+  EXPECT_EQ(after.transfer_at(40'000, 0, 1).copies, 1);  // rebooted
+}
+
+TEST(NetCrash, CrashStopForeverNeverComesBack) {
+  FaultConfig fc;
+  fc.crashes = {CrashEvent{1, 1000}};  // restart_after == 0: forever
+  CrashProbe w(fc);
+  EXPECT_EQ(w.transfer_at(1'000'000'000, 0, 1).copies, 0);
+}
+
+TEST(NetCrash, DownIsAPureFunctionOfTheSchedule) {
+  FaultConfig fc;
+  fc.crashes = {CrashEvent{1, 1000, 2000}, CrashEvent{1, 10000}};
+  CrashProbe w(fc);
+  EXPECT_FALSE(w.fabric->down(1, 999));
+  EXPECT_TRUE(w.fabric->down(1, 1000));   // first crash
+  EXPECT_TRUE(w.fabric->down(1, 2999));
+  EXPECT_FALSE(w.fabric->down(1, 3000));  // restarted
+  EXPECT_TRUE(w.fabric->down(1, 10000));  // crashed again, forever
+  EXPECT_FALSE(w.fabric->down(0, 10000));
+  EXPECT_FALSE(w.fabric->crashed_within(1, 3000, 9999).has_value());
+  const auto at = w.fabric->crashed_within(1, 3000, 20000);
+  ASSERT_TRUE(at.has_value());
+  EXPECT_EQ(*at, 10000);
+}
+
+// Like run_net_fuzz but without the byte-conservation ledger: crash drops
+// are exempt from TX accounting by design (a dead host issues no DMA), so
+// only replay identity and the crash-stop properties are checked here.
+NetFuzzOutcome run_crash_fuzz(std::uint64_t seed, std::size_t machines,
+                              int msgs_per_machine,
+                              const FaultConfig& faults) {
+  FuzzNet w;
+  NetConfig cfg;
+  cfg.link_bandwidth_Bps = 1e9;
+  cfg.latency = 150;
+  cfg.per_message_overhead = 20;
+  cfg.faults = faults;
+  w.fabric = std::make_unique<Fabric>(w.sim, machines, cfg);
+  std::vector<std::uint64_t> seq_counter(machines * machines, 0);
+  for (std::size_t s = 0; s < machines; ++s)
+    w.sim.spawn(traffic_source(w, s, derive_seed(seed, s), msgs_per_machine,
+                               seq_counter));
+  w.sim.run();
+  EXPECT_TRUE(w.sim.quiescent());
+  NetFuzzOutcome out;
+  for (const auto& o : w.observed) {
+    // A transfer issued by a crash-stopped source never delivers.
+    if (w.fabric->down(o.src, o.sent_at)) {
+      EXPECT_EQ(o.copies, 0);
+    }
+    if (o.copies == 0) ++out.dropped;
+    out.checksum = out.checksum * 1099511628211ULL +
+                   (o.src ^ (o.dst << 8) ^ o.bytes ^
+                    static_cast<std::uint64_t>(o.arrived_at) ^
+                    (static_cast<std::uint64_t>(o.copies) << 32));
+  }
+  out.end = w.sim.now();
+  return out;
+}
+
+TEST(NetCrash, FuzzedTrafficOverACrashScheduleReplaysIdentically) {
+  FaultConfig fc = fuzz_faults(11, 5);
+  fc.crashes = {CrashEvent{2, 30'000}, CrashEvent{4, 50'000, 40'000}};
+  const auto a = run_crash_fuzz(11, 5, 25, fc);
+  const auto b = run_crash_fuzz(11, 5, 25, fc);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(a.end, b.end);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_GT(a.dropped, 0u);
+}
+
 // FIFO per (src, dst): a sender's back-to-back messages to one destination
 // arrive in order even under heavy cross traffic. (traffic_source awaits
 // each transfer, so per-source FIFO is trivial there; this test posts

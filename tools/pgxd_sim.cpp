@@ -43,8 +43,49 @@ struct Options {
   bool validate = true;
   std::string report_path;  // SortReport JSON (pgxd engine only)
   std::string trace_path;   // Chrome trace_event JSON (pgxd engine only)
+  // Crash-stop fault schedule (pgxd only) and the machinery that survives
+  // it: heartbeat failure detector + fail-fast reliable delivery +
+  // phase-level sort recovery.
+  std::vector<pgxd::net::CrashEvent> crashes;
+  bool detector = false;
+  bool recovery = false;
   pgxd::core::SortConfig sort_cfg;
 };
+
+// Parses "--crash=rank@at_us[:restart_after_us]" entries (comma-separated),
+// e.g. "2@1500" (rank 2 crash-stops at 1.5ms, never restarts) or
+// "2@1500:4000,0@9000" (rank 2 restarts its ports 4ms after the crash and
+// rank 0 dies at 9ms).
+std::vector<pgxd::net::CrashEvent> parse_crashes(const std::string& spec) {
+  std::vector<pgxd::net::CrashEvent> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    const std::size_t at_sep = entry.find('@');
+    if (at_sep == std::string::npos) {
+      std::fprintf(stderr, "bad --crash entry '%s' (want rank@at_us[:restart_after_us])\n",
+                   entry.c_str());
+      std::exit(2);
+    }
+    pgxd::net::CrashEvent ev;
+    ev.rank = std::stoul(entry.substr(0, at_sep));
+    const std::size_t colon = entry.find(':', at_sep);
+    const std::string at_us = colon == std::string::npos
+                                  ? entry.substr(at_sep + 1)
+                                  : entry.substr(at_sep + 1, colon - at_sep - 1);
+    ev.at = static_cast<pgxd::sim::SimTime>(std::stoll(at_us)) *
+            pgxd::sim::kMicrosecond;
+    if (colon != std::string::npos)
+      ev.restart_after =
+          static_cast<pgxd::sim::SimTime>(std::stoll(entry.substr(colon + 1))) *
+          pgxd::sim::kMicrosecond;
+    out.push_back(ev);
+  }
+  return out;
+}
 
 bool write_file(const std::string& path, const std::string& body) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -90,6 +131,15 @@ pgxd::rt::ClusterConfig cluster_config(const Options& opt) {
   cfg.machines = opt.p;
   cfg.threads_per_machine = opt.threads;
   cfg.seed = opt.seed;
+  cfg.net.faults.crashes = opt.crashes;
+  if (opt.detector) cfg.detector.enabled = true;
+  if (opt.recovery) {
+    // The recovery supervisor's prerequisites (see RecoveryConfig).
+    cfg.detector.enabled = true;
+    cfg.reliable.enabled = true;
+    cfg.reliable.fail_fast = true;
+    cfg.allow_undrained = true;
+  }
   return cfg;
 }
 
@@ -145,6 +195,25 @@ int run_pgxd(const Options& opt) {
               Table::fmt_pct(st.balance.min_share).c_str(),
               Table::fmt_pct(st.balance.max_share).c_str());
 
+  if (opt.sort_cfg.recovery.enabled) {
+    const auto& rc = st.recovery;
+    std::printf("recovery: %llu failed attempt(s) re-run; final attempt %d "
+                "completed on %zu/%zu members\n",
+                static_cast<unsigned long long>(rc.recoveries),
+                rc.final_attempt, rc.final_members, opt.p);
+    std::printf("recovery: %llu shard(s) regenerated, %llu abort "
+                "broadcast(s), %llu hedged re-request(s) (%llu chunks "
+                "re-sent)\n",
+                static_cast<unsigned long long>(rc.regenerated_shards),
+                static_cast<unsigned long long>(rc.abort_broadcasts),
+                static_cast<unsigned long long>(rc.hedged_rerequests),
+                static_cast<unsigned long long>(rc.hedged_chunks_resent));
+    std::printf("recovery: wasted work %.6f machine-s, time-to-recover max "
+                "%.6f s\n\n",
+                pgxd::sim::to_seconds(rc.wasted_work_ns),
+                pgxd::sim::to_seconds(rc.time_to_recover_max_ns));
+  }
+
   std::vector<std::uint64_t> sizes;
   for (const auto& part : sorter.partitions()) sizes.push_back(part.size());
   print_loads(opt, sizes);
@@ -172,6 +241,37 @@ int run_pgxd(const Options& opt) {
   }
 
   if (opt.validate) {
+    if (opt.sort_cfg.recovery.enabled) {
+      // A recovered run redistributes dead ranks' shards, so the
+      // input<->machine provenance check does not apply; verify order and
+      // key-permutation instead (the exactly-once provenance audit already
+      // ran in-sim on the attempt membership).
+      std::vector<Key> got;
+      got.reserve(opt.n);
+      const Key* prev = nullptr;
+      for (const auto& part : sorter.partitions()) {
+        for (const auto& item : part) {
+          if (prev != nullptr && item.key < *prev) {
+            std::printf("\nvalidation: FAILED — global order violated\n");
+            return 1;
+          }
+          prev = &item.key;
+          got.push_back(item.key);
+        }
+      }
+      std::vector<Key> want;
+      want.reserve(opt.n);
+      for (const auto& s : input) want.insert(want.end(), s.begin(), s.end());
+      std::sort(want.begin(), want.end());
+      if (got != want) {
+        std::printf("\nvalidation: FAILED — output is not a permutation of "
+                    "the input\n");
+        return 1;
+      }
+      std::printf("\nvalidation: OK (order, permutation; in-sim "
+                  "exactly-once audit)\n");
+      return 0;
+    }
     const auto report = pgxd::core::validate_sorted(sorter.partitions(), input);
     std::printf("\nvalidation: %s%s%s\n", report.ok() ? "OK" : "FAILED — ",
                 report.ok() ? "" : report.failure.c_str(),
@@ -284,6 +384,13 @@ int main(int argc, char** argv) {
   flags.declare("buffered", "256KB-chunked exchange (pgxd)", "true");
   flags.declare("sample-factor", "sample size in multiples of X (pgxd)", "1.0");
   flags.declare("buffer-bytes", "read buffer size in bytes (pgxd)", "262144");
+  flags.declare("crash",
+                "crash-stop schedule rank@at_us[:restart_after_us],... "
+                "(pgxd only)", "");
+  flags.declare("detector", "heartbeat failure detector", "false");
+  flags.declare("recovery",
+                "crash recovery: detector + fail-fast delivery + sort "
+                "re-run on survivors (pgxd only)", "false");
   flags.parse(argc, argv);
 
   Options opt;
@@ -305,6 +412,15 @@ int main(int argc, char** argv) {
   opt.sort_cfg.buffered_exchange = flags.boolean("buffered");
   opt.sort_cfg.sample_factor = flags.f64("sample-factor");
   opt.sort_cfg.read_buffer_bytes = flags.u64("buffer-bytes");
+  if (!flags.str("crash").empty()) opt.crashes = parse_crashes(flags.str("crash"));
+  opt.detector = flags.boolean("detector");
+  opt.recovery = flags.boolean("recovery");
+  opt.sort_cfg.recovery.enabled = opt.recovery;
+  if ((!opt.crashes.empty() || opt.recovery) && opt.engine != "pgxd") {
+    std::fprintf(stderr,
+                 "--crash/--recovery are only supported by --engine=pgxd\n");
+    return 2;
+  }
 
   if (opt.engine == "pgxd") return run_pgxd(opt);
   if (opt.engine == "spark") return run_spark(opt);

@@ -10,7 +10,11 @@ schema language cannot express:
   * per-phase and per-load min <= mean <= max;
   * load totals match run.n, and splitter boundary_error has machines-1
     entries bounded by max_error;
-  * required sort.* metric counters are present in the merged registry.
+  * required sort.* metric counters are present in the merged registry;
+  * the recovery section is self-consistent: mean time-to-recover never
+    exceeds the max, final_members never exceeds machines, a clean run
+    (recoveries == 0) reports zero recovery cost, and a recovery-enabled
+    run with recoveries > 0 shrank or kept the membership.
 
 Usage: validate_report.py report.json [schema.json]
 Exit code 0 on success; prints every violation and exits 1 otherwise.
@@ -123,6 +127,27 @@ def semantic_checks(doc, errors):
     for name in REQUIRED_COUNTERS:
         if name not in counters:
             errors.append("metrics.counters: missing %r" % name)
+
+    rec = doc.get("recovery", {})
+    if rec.get("time_to_recover_mean_ns", 0) > \
+            rec.get("time_to_recover_max_ns", 0) + 1e-9:
+        errors.append("recovery: time_to_recover_mean_ns exceeds "
+                      "time_to_recover_max_ns")
+    if machines and rec.get("final_members", 0) > machines:
+        errors.append("recovery: final_members=%r exceeds run.machines=%r" %
+                      (rec.get("final_members"), machines))
+    if rec.get("recoveries", 0) == 0:
+        # A rank can be dead before attempt 0 (shards regenerate without a
+        # re-run), but wasted work and time-to-recover only accrue when a
+        # failed attempt was actually thrown away.
+        for zero_key in ("wasted_work_ns", "time_to_recover_max_ns"):
+            if rec.get(zero_key, 0) != 0:
+                errors.append("recovery: %s=%r nonzero with recoveries=0" %
+                              (zero_key, rec.get(zero_key)))
+    if not rec.get("enabled", False):
+        if machines and rec.get("final_members", 0) != machines:
+            errors.append("recovery: disabled run must report "
+                          "final_members == machines")
 
 
 def main(argv):
