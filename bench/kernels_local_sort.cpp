@@ -10,7 +10,9 @@
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "sort/balanced_merge.hpp"
+#include "sort/local_sort.hpp"
 #include "sort/merge.hpp"
+#include "sort/parallel_kway_merge.hpp"
 #include "sort/parallel_sort.hpp"
 #include "sort/quicksort.hpp"
 #include "sort/soa_merge.hpp"
@@ -90,6 +92,61 @@ void BM_QuicksortClassicPartition(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_QuicksortClassicPartition)->Arg(1 << 20);
+
+// Ablation: block partition with the SIMD classify disabled. The gap to
+// BM_Quicksort is the win attributable to the AVX2/SSE compress-store
+// classify alone.
+void BM_QuicksortNoSimd(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto base = random_keys(n, 0);
+  pgxd::sort::QuicksortConfig cfg;
+  cfg.simd_partition = false;
+  for (auto _ : state) {
+    auto v = base;
+    pgxd::sort::quicksort(std::span<std::uint64_t>(v), {}, cfg);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_QuicksortNoSimd)->Arg(1 << 20);
+
+// LSD radix sort on full-width and 32-bit-wide keys — the data points
+// behind the adaptive crossover's constants (sort/local_sort.hpp).
+void BM_RadixSort(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto domain = static_cast<std::uint64_t>(state.range(1));
+  const auto base = random_keys(n, domain);
+  for (auto _ : state) {
+    auto v = base;
+    pgxd::sort::radix_sort(v);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RadixSort)
+    ->Args({1 << 20, 0})                       // 8 passes
+    ->Args({1 << 20, std::int64_t{1} << 32});  // 4 passes
+
+// The adaptive local sort as the sorter's step (1) runs it: full-width
+// keys stay on the comparison sort at this size, 32-bit-wide keys flip to
+// radix.
+void BM_LocalSortAdaptive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto domain = static_cast<std::uint64_t>(state.range(1));
+  const auto base = random_keys(n, domain);
+  for (auto _ : state) {
+    auto v = base;
+    pgxd::sort::local_sort(v, pgxd::sort::LocalSortAlgo::kAdaptive);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_LocalSortAdaptive)
+    ->Args({1 << 20, 0})
+    ->Args({1 << 20, std::int64_t{1} << 32});
 
 void BM_StdSort(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -249,6 +306,68 @@ void BM_BalancedMergeSoaTree(benchmark::State& state) {
                           static_cast<std::int64_t>(base.size()));
 }
 BENCHMARK(BM_BalancedMergeSoaTree)->Arg(4)->Arg(8)->Arg(32);
+
+// Single-pass parallel k-way SoA merge over the same input shape as
+// BM_BalancedMergeSoaTree: splitter search + one loser tree per range on a
+// 3-worker pool (4 merging threads incl. the caller). The tentpole claim —
+// one move per element instead of one per level — is this bench against
+// that one.
+void BM_ParallelKwayMergeSoa(benchmark::State& state) {
+  const auto runs = static_cast<std::size_t>(state.range(0));
+  const std::size_t per_run = (1u << 21) / runs;
+  Rng rng(5);
+  std::vector<std::uint64_t> base;
+  std::vector<std::size_t> bounds{0};
+  for (std::size_t r = 0; r < runs; ++r) {
+    std::vector<std::uint64_t> run(per_run);
+    for (auto& x : run) x = rng.next();
+    std::sort(run.begin(), run.end());
+    base.insert(base.end(), run.begin(), run.end());
+    bounds.push_back(base.size());
+  }
+  std::vector<std::uint32_t> perm_base(base.size());
+  std::vector<std::uint64_t> key_out;
+  std::vector<std::uint32_t> perm_out;
+  pgxd::ThreadPool pool(3);
+  for (auto _ : state) {
+    pgxd::sort::parallel_kway_merge_soa(base, perm_base, bounds, key_out,
+                                        perm_out, {}, &pool);
+    benchmark::DoNotOptimize(key_out.data());
+    benchmark::DoNotOptimize(perm_out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(base.size()));
+}
+BENCHMARK(BM_ParallelKwayMergeSoa)->Arg(4)->Arg(8)->Arg(32);
+
+// Sequential single-range variant: isolates the loser tree's one-move-
+// per-element gain from the added merge parallelism.
+void BM_ParallelKwayMergeSoaSeq(benchmark::State& state) {
+  const auto runs = static_cast<std::size_t>(state.range(0));
+  const std::size_t per_run = (1u << 21) / runs;
+  Rng rng(5);
+  std::vector<std::uint64_t> base;
+  std::vector<std::size_t> bounds{0};
+  for (std::size_t r = 0; r < runs; ++r) {
+    std::vector<std::uint64_t> run(per_run);
+    for (auto& x : run) x = rng.next();
+    std::sort(run.begin(), run.end());
+    base.insert(base.end(), run.begin(), run.end());
+    bounds.push_back(base.size());
+  }
+  std::vector<std::uint32_t> perm_base(base.size());
+  std::vector<std::uint64_t> key_out;
+  std::vector<std::uint32_t> perm_out;
+  for (auto _ : state) {
+    pgxd::sort::parallel_kway_merge_soa(base, perm_base, bounds, key_out,
+                                        perm_out, {}, nullptr, 1);
+    benchmark::DoNotOptimize(key_out.data());
+    benchmark::DoNotOptimize(perm_out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(base.size()));
+}
+BENCHMARK(BM_ParallelKwayMergeSoaSeq)->Arg(32);
 
 void BM_ParallelMergePieces(benchmark::State& state) {
   const auto pieces = static_cast<std::size_t>(state.range(0));

@@ -48,7 +48,7 @@ int main() {
   sort_a.set_input(metrics);
   sort_b.set_input(ids);
   const auto together =
-      pgxd::core::sort_simultaneously<Key, std::less<Key>>(shared,
+      pgxd::core::sort_simultaneously<Key>(shared,
                                                            {&sort_a, &sort_b});
 
   // The same two sorts, back to back on fresh clusters.

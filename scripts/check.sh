@@ -197,6 +197,29 @@ THRESHOLD = 0.30  # fail when throughput drops by more than this
 with open(sys.argv[1]) as f: base = json.load(f)
 with open(sys.argv[2]) as f: now = json.load(f)
 
+# The tentpole kernels must exist (with throughput numbers) on BOTH sides:
+# the skip-if-absent rule below must never silently drop them from the gate.
+REQUIRED = [
+    "BM_ParallelKwayMergeSoa/4",
+    "BM_ParallelKwayMergeSoa/8",
+    "BM_ParallelKwayMergeSoa/32",
+    "BM_ParallelKwayMergeSoaSeq/32",
+    "BM_QuicksortNoSimd/1048576",
+    "BM_RadixSort/1048576/0",
+    "BM_RadixSort/1048576/4294967296",
+    "BM_LocalSortAdaptive/1048576/0",
+    "BM_LocalSortAdaptive/1048576/4294967296",
+]
+missing = [
+    name for name in REQUIRED
+    for side in (base, now)
+    if not (side.get("kernels_local_sort", {}).get(name) or {}).get(
+        "items_per_second")
+]
+if missing:
+    print(f"perf gate FAILED: required benches absent: {sorted(set(missing))}")
+    sys.exit(1)
+
 failures = []
 for suite in ("kernels_local_sort", "kernels_network"):
     for name, b in base.get(suite, {}).items():

@@ -5,13 +5,13 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <optional>
 #include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
 #include "core/distributed_sort.hpp"
+#include "sort/comparator.hpp"
 
 namespace pgxd::core {
 
@@ -26,7 +26,7 @@ struct Location {
 // Read-only view over the sorted, distributed output of a DistributedSorter.
 // Smaller keys live on smaller machine ids (the sort's postcondition), so
 // global order is (machine, index) lexicographic.
-template <typename Key, typename Comp = std::less<Key>>
+template <typename Key, typename Comp = sort::Less>
 class SortedSequence {
  public:
   using ItemT = Item<Key>;

@@ -9,8 +9,30 @@
 #include "common/stats.hpp"
 #include "runtime/buffered_writer.hpp"
 #include "sim/time.hpp"
+#include "sort/local_sort.hpp"
 
 namespace pgxd::core {
+
+// Final-merge strategy for step (6). All three run on real data; they only
+// differ in data movement and intra-merge parallelism.
+enum class MergeAlgo {
+  // Fig. 2 pairwise balanced merge tree (the paper's handler): every
+  // element moves once per level, ceil(log2 R) levels, merges parallel.
+  kPairwiseTree,
+  // Single-pass parallel loser-tree k-way merge
+  // (sort/parallel_kway_merge.hpp): splitter search cuts the output into
+  // per-thread ranges, each merged by one loser tree — one move per
+  // element. Bit-identical output to the tree. The default.
+  kParallelKway,
+  // One sequential loser tree (the historical k-way ablation).
+  kSequentialKway,
+};
+const char* merge_algo_name(MergeAlgo a);
+
+// Local-sort strategy for step (1); the enum lives with the kernel in
+// sort/local_sort.hpp.
+using sort::LocalSortAlgo;
+const char* local_sort_algo_name(LocalSortAlgo a);
 
 // The six steps of Sec. IV, used to index StepTimings (Fig. 7).
 enum class Step : std::size_t {
@@ -106,8 +128,17 @@ struct SortConfig {
   double sample_factor = 1.0;
   // Fig. 3c duplicate-splitter investigator.
   bool use_investigator = true;
-  // Fig. 2 balanced merge handler for the final merge; false = sequential
-  // k-way heap merge (ablation).
+  // Final-merge strategy (see MergeAlgo). kParallelKway and kPairwiseTree
+  // produce bit-identical output; kSequentialKway is the no-parallelism
+  // ablation.
+  MergeAlgo final_merge = MergeAlgo::kParallelKway;
+  // Local-sort strategy for step (1): comparison sort, radix, or the
+  // adaptive per-shard crossover (default). Non-integer keys and custom
+  // comparators always take the comparison path.
+  LocalSortAlgo local_sort = LocalSortAlgo::kAdaptive;
+  // Legacy merge-ablation switch: false forces kSequentialKway regardless
+  // of `final_merge` (the pre-strategy-enum CLI and tests flip this one
+  // bool). Use effective_final_merge() when dispatching.
   bool balanced_final_merge = true;
   // Send-while-receive exchange; false = send everything, barrier, then
   // receive (bulk-synchronous ablation).
@@ -140,6 +171,10 @@ struct SortConfig {
   // Crash-stop recovery (see RecoveryConfig); disabled by default, and the
   // clean path is byte-identical with it disabled.
   RecoveryConfig recovery{};
+
+  MergeAlgo effective_final_merge() const {
+    return balanced_final_merge ? final_merge : MergeAlgo::kSequentialKway;
+  }
 };
 
 struct MachineStats {

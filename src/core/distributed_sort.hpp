@@ -55,6 +55,8 @@
 #include "sim/trace.hpp"
 #include "sort/balanced_merge.hpp"
 #include "sort/kway_merge.hpp"
+#include "sort/local_sort.hpp"
+#include "sort/parallel_kway_merge.hpp"
 #include "sort/quicksort.hpp"
 #include "sort/samples.hpp"
 #include "sort/soa_merge.hpp"
@@ -105,7 +107,7 @@ struct SortMsg {
   }
 };
 
-template <typename Key, typename Comp = std::less<Key>>
+template <typename Key, typename Comp = sort::Less>
 class DistributedSorter {
  public:
   using Msg = SortMsg<Key>;
@@ -722,10 +724,20 @@ class DistributedSorter {
     const std::size_t n = shard.size();
     std::vector<Key> local = shard;
     {
-      // Scratch for the in-node sort (the Fig. 2 ping-pong buffer).
+      // Scratch for the in-node sort (the Fig. 2 ping-pong buffer / radix
+      // scatter buffer).
       rt::TempAlloc scratch_mem(mem, n * sizeof(Key));
-      sort::quicksort(std::span<Key>(local), comp_);
-      co_await m.charge_local_parallel_sort(n);
+      const sort::LocalSortStats ls =
+          sort::local_sort(local, cfg_.local_sort, comp_);
+      if (ls.used_radix) {
+        co_await m.charge_local_radix_sort(n, ls.radix_passes);
+        if (telemetry) {
+          reg.counter("sort.local.radix_sorts").inc(1);
+          reg.counter("sort.local.radix_passes").inc(ls.radix_passes);
+        }
+      } else {
+        co_await m.charge_local_parallel_sort(n);
+      }
     }
     if (telemetry) reg.counter("sort.local.items").inc(n);
     stamp(Step::kLocalSort, n * sizeof(Key));
@@ -870,9 +882,11 @@ class DistributedSorter {
     // offsets plus one range-start per source, merges keys with a compact
     // u32 permutation, and materializes Item records (key + reconstructed
     // provenance) once at the very end. Item records are built per element
-    // in the AoS path instead. Falls back to AoS for the k-way ablation and
-    // for partitions beyond u32 indexing.
-    const bool soa = cfg_.soa_final_merge && cfg_.balanced_final_merge &&
+    // in the AoS path instead. Falls back to AoS for the sequential k-way
+    // ablation and for partitions beyond u32 indexing.
+    const MergeAlgo merge_algo = cfg_.effective_final_merge();
+    const bool soa = cfg_.soa_final_merge &&
+                     merge_algo != MergeAlgo::kSequentialKway &&
                      total_recv <= std::numeric_limits<std::uint32_t>::max();
     const bool use_pool = cfg_.use_buffer_pool;
     // PGX.D keeps a fixed set of request buffers per machine; this is the
@@ -1098,30 +1112,52 @@ class DistributedSorter {
     local.shrink_to_fit();
     stamp(Step::kExchange, exchange_wire_sent);
 
-    // ---- Step 6: final balanced merge ---------------------------------------
+    // ---- Step 6: final merge ------------------------------------------------
     {
       std::vector<std::size_t> bounds(offsets.begin(), offsets.end());
       std::size_t nonempty_runs = 0;
       for (std::size_t s = 0; s < q; ++s)
         nonempty_runs += (recv_counts[s] > 0);
+      const std::size_t runs = std::max<std::size_t>(1, nonempty_runs);
       if (soa) {
-        // Keys + u32 permutation travel through the Fig. 2 tree (each level
-        // moves sizeof(Key) + 4 bytes per element instead of sizeof(Item));
-        // the output partition is then written directly from whichever
-        // ping-pong buffer holds the result — no staging copy-back — with
-        // provenance reconstructed from each element's pre-merge position.
+        // Bare keys + u32 permutation merge as SoA planes; the output
+        // partition is then written directly from the result planes — no
+        // staging copy-back — with provenance reconstructed from each
+        // element's pre-merge position.
         std::vector<std::uint32_t> perm(total_recv);
         std::iota(perm.begin(), perm.end(), 0u);
         std::vector<Key> key_scratch;
         std::vector<std::uint32_t> perm_scratch;
         rt::TempAlloc scratch_mem(
             mem, total_recv * (sizeof(Key) + 2 * sizeof(std::uint32_t)));
-        const auto res = sort::balanced_merge_soa(
-            recv_keys, perm, std::move(bounds), key_scratch, perm_scratch,
-            comp_);
-        const std::vector<Key>& mk = res.in_scratch ? key_scratch : recv_keys;
-        const std::vector<std::uint32_t>& mp =
-            res.in_scratch ? perm_scratch : perm;
+        const Key* mk = nullptr;
+        const std::uint32_t* mp = nullptr;
+        if (merge_algo == MergeAlgo::kParallelKway) {
+          // Single pass: splitter search + per-range loser trees. The DES
+          // sorter has no real pool, so the per-range split is exercised
+          // for real (sequentially here) with the simulated machine's
+          // thread count, while the cost model charges it as parallel.
+          const auto kres = sort::parallel_kway_merge_soa(
+              recv_keys, perm, bounds, key_scratch, perm_scratch, comp_,
+              /*pool=*/nullptr, /*ranges=*/m.threads());
+          mk = key_scratch.data();
+          mp = perm_scratch.data();
+          if (telemetry) {
+            reg.counter("sort.merge.kway_ranges").inc(kres.ranges);
+            reg.counter("sort.merge.kway_select_rounds")
+                .inc(kres.select_rounds);
+          }
+          co_await m.charge_parallel_kway_merge(total_recv, runs);
+        } else {
+          // Fig. 2 pairwise tree: each level moves sizeof(Key) + 4 bytes
+          // per element instead of sizeof(Item).
+          const auto res = sort::balanced_merge_soa(
+              recv_keys, perm, std::move(bounds), key_scratch, perm_scratch,
+              comp_);
+          mk = (res.in_scratch ? key_scratch : recv_keys).data();
+          mp = (res.in_scratch ? perm_scratch : perm).data();
+          co_await m.charge_balanced_merge(total_recv, runs);
+        }
         for (std::size_t i = 0; i < total_recv; ++i) {
           const std::size_t pos = mp[i];
           const std::size_t s =
@@ -1134,25 +1170,36 @@ class DistributedSorter {
                     Provenance{static_cast<std::uint32_t>(ctx.members[s]),
                                src_lo[s] + (pos - offsets[s])}};
         }
-        co_await m.charge_balanced_merge(
-            total_recv, std::max<std::size_t>(1, nonempty_runs));
       } else {
         std::vector<ItemT> scratch;
         rt::TempAlloc scratch_mem(mem, total_recv * sizeof(ItemT));
         auto item_less = [this](const ItemT& a, const ItemT& b) {
           return comp_(a.key, b.key);
         };
-        if (cfg_.balanced_final_merge) {
+        if (merge_algo == MergeAlgo::kParallelKway) {
+          const auto kres = sort::parallel_kway_merge(
+              out, bounds, scratch, item_less, /*pool=*/nullptr,
+              /*ranges=*/m.threads());
+          out.swap(scratch);
+          if (telemetry) {
+            reg.counter("sort.merge.kway_ranges").inc(kres.ranges);
+            reg.counter("sort.merge.kway_select_rounds")
+                .inc(kres.select_rounds);
+          }
+          co_await m.charge_parallel_kway_merge(total_recv, runs);
+        } else if (merge_algo == MergeAlgo::kPairwiseTree) {
           sort::balanced_merge(out, std::move(bounds), scratch, item_less);
-          co_await m.charge_balanced_merge(
-              total_recv, std::max<std::size_t>(1, nonempty_runs));
+          co_await m.charge_balanced_merge(total_recv, runs);
         } else {
           // Ablation: one sequential k-way loser-tree pass (real kernel).
           sort::kway_merge(out, bounds, scratch, item_less);
-          co_await m.charge_naive_kway_merge(
-              total_recv, std::max<std::size_t>(1, nonempty_runs));
+          co_await m.charge_naive_kway_merge(total_recv, runs);
         }
       }
+      if (telemetry)
+        reg.counter(std::string("sort.merge.algo.") +
+                    merge_algo_name(merge_algo))
+            .inc(1);
     }
     recv_keys = std::vector<Key>();
     recv_keys_mem.reset();
@@ -1234,7 +1281,7 @@ class DistributedSorter {
 // have a distinct sort_id and its input installed via set_input(). Not
 // recovery-aware: crash scheduling during a simultaneous run is undefined
 // behavior at the application layer (use DistributedSorter::run).
-template <typename Key, typename Comp>
+template <typename Key, typename Comp = sort::Less>
 sim::SimTime sort_simultaneously(
     rt::Cluster<SortMsg<Key>>& cluster,
     std::vector<DistributedSorter<Key, Comp>*> sorters) {

@@ -8,7 +8,6 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <functional>
 #include <optional>
 #include <vector>
 
@@ -16,6 +15,7 @@
 #include "core/api.hpp"
 #include "core/distributed_sort.hpp"
 #include "runtime/cluster.hpp"
+#include "sort/comparator.hpp"
 
 namespace pgxd::core {
 
@@ -42,7 +42,7 @@ struct QueryResult {
 // Runs distributed queries against the partitions produced by a
 // DistributedSorter. The cluster must be the one that produced them (or an
 // identically-sized one); rank 0 coordinates.
-template <typename Key, typename Comp = std::less<Key>>
+template <typename Key, typename Comp = sort::Less>
 class DistributedQueries {
  public:
   using Msg = QueryMsg<Key>;

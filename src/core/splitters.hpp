@@ -16,11 +16,11 @@
 
 #include <algorithm>
 #include <cstddef>
-#include <functional>
 #include <span>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "sort/comparator.hpp"
 
 namespace pgxd::core {
 
@@ -37,7 +37,7 @@ struct PartitionPlan {
 
 // Computes the send ranges for `parts` destinations over locally sorted
 // `keys` given `parts - 1` sorted splitters.
-template <typename Key, typename Comp = std::less<Key>>
+template <typename Key, typename Comp = sort::Less>
 PartitionPlan plan_partition(std::span<const Key> keys,
                              std::span<const Key> splitters,
                              bool use_investigator, Comp comp = {}) {

@@ -6,11 +6,11 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
 #include "core/distributed_sort.hpp"
+#include "sort/comparator.hpp"
 
 namespace pgxd::core {
 
@@ -29,7 +29,7 @@ struct ValidationReport {
 
 // Validates sorter output against the original input shards. O(n log n)
 // time and O(n) extra memory (copies both sides for the multiset check).
-template <typename Key, typename Comp = std::less<Key>>
+template <typename Key, typename Comp = sort::Less>
 ValidationReport validate_sorted(
     const std::vector<std::vector<Item<Key>>>& partitions,
     const std::vector<std::vector<Key>>& input, Comp comp = {}) {

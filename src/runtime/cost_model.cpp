@@ -93,6 +93,41 @@ sim::SimTime CostModel::naive_kway_merge_time(std::size_t n,
   return ns(per_elem * static_cast<double>(n));
 }
 
+sim::SimTime CostModel::parallel_kway_merge_time(std::size_t n,
+                                                 std::size_t runs,
+                                                 unsigned workers) const {
+  if (runs <= 1 || n == 0) return copy_time(n);
+  workers = std::max(1u, workers);
+  const double per_elem =
+      loser_compare_ns_per_elem_log * std::max(1.0, log2_of(runs)) +
+      copy_ns_per_elem;
+  const auto serial = ns(per_elem * static_cast<double>(n));
+  // Splitter search: workers-1 independent boundaries, each a value-pivot
+  // binary search doing O(runs * log n) warm probes over the sorted runs.
+  // The boundaries are independent tasks, so the search parallelizes like
+  // the merge itself.
+  const auto serial_select =
+      ns(select_probe_ns * log2_of(n) * static_cast<double>(runs) *
+         static_cast<double>(workers > 1 ? workers - 1 : 0));
+  return parallel(serial_select + serial, workers);
+}
+
+sim::SimTime CostModel::local_radix_sort_time(std::size_t n, unsigned passes,
+                                              unsigned workers) const {
+  if (n < 2) return 0;
+  workers = std::max(1u, workers);
+  passes = std::max(1u, passes);
+  const std::size_t chunk = (n + workers - 1) / workers;
+  const double chunk_sort = radix_ns_per_elem_pass *
+                            static_cast<double>(passes) *
+                            static_cast<double>(chunk);
+  const double slowdown =
+      static_cast<double>(workers) / effective_workers(workers);
+  sim::SimTime t = ns(chunk_sort * slowdown + task_overhead_ns);
+  t += balanced_merge_time(n, workers, workers);
+  return t;
+}
+
 sim::SimTime CostModel::adaptive_sort_time(std::size_t n,
                                            std::size_t runs) const {
   if (n < 2) return 0;

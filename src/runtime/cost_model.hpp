@@ -31,6 +31,17 @@ struct CostModel {
   // Fraction of linear speedup the in-node parallel phases achieve
   // (memory-bandwidth ceiling across 2 sockets).
   double parallel_efficiency = 0.75;
+  // Loser-tree k-way merge: one tournament replay per element, c * log2(k)
+  // per element. Slightly cheaper per level than a two-way merge pass
+  // because only the tree path is touched, not the data, per level.
+  double loser_compare_ns_per_elem_log = 1.2;
+  // One LSD radix pass (count + scatter) per element at cache-exceeding
+  // sizes (matches sort::kRadixNsPerElemPass, measured on this host class).
+  double radix_ns_per_elem_pass = 3.8;
+  // One probe of the multisequence splitter search (kway_select): re-probes
+  // of the just-merged, cache-warm runs — much cheaper than the cold
+  // dependent-miss probes search_ns_per_probe models.
+  double select_probe_ns = 3.0;
 
   // Number of "effective" workers after the efficiency haircut.
   double effective_workers(unsigned workers) const;
@@ -56,6 +67,20 @@ struct CostModel {
   // Ablation baseline: one sequential k-way heap merge (n log2 k compares,
   // no intra-merge parallelism).
   sim::SimTime naive_kway_merge_time(std::size_t n, std::size_t runs) const;
+
+  // Single-pass parallel k-way merge (sort/parallel_kway_merge.hpp): a
+  // splitter search (workers * runs binary searches over n/runs-sized runs)
+  // cuts the output into per-worker ranges, then every element pays one
+  // loser-tree replay — n * log2(runs) compares total, split across
+  // workers, each element moved exactly once.
+  sim::SimTime parallel_kway_merge_time(std::size_t n, std::size_t runs,
+                                        unsigned workers) const;
+
+  // Step (1) radix local sort: `passes` counting+scatter sweeps over equal
+  // chunks per worker, then the same balanced merge of the per-thread runs
+  // as the comparison path.
+  sim::SimTime local_radix_sort_time(std::size_t n, unsigned passes,
+                                     unsigned workers) const;
 
   // Adaptive mergesort (TimSort) on data that decomposed into `runs`
   // natural runs: O(n) run detection plus n * ceil(log2 runs) of merging.

@@ -54,6 +54,15 @@ class Machine {
     return sim_.delay(cost_.naive_kway_merge_time(n, runs));
   }
 
+  auto charge_parallel_kway_merge(std::size_t n, std::size_t runs) {
+    return sim_.delay(cost_.parallel_kway_merge_time(n, runs, threads_));
+  }
+
+  // Step (1) radix path: `passes` counting sweeps per chunk + balanced merge.
+  auto charge_local_radix_sort(std::size_t n, unsigned passes) {
+    return sim_.delay(cost_.local_radix_sort_time(n, passes, threads_));
+  }
+
   auto charge_copy(std::size_t n) { return sim_.delay(cost_.copy_time(n)); }
 
   auto charge_binary_search(std::size_t n, std::size_t searches) {

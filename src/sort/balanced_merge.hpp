@@ -17,13 +17,13 @@
 
 #include <algorithm>
 #include <cstddef>
-#include <functional>
 #include <span>
 #include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
 #include "common/thread_pool.hpp"
+#include "sort/comparator.hpp"
 #include "sort/merge.hpp"
 
 namespace pgxd::sort {
@@ -64,7 +64,7 @@ struct BalancedMergeStats {
 // bounds[R] == data.size(), non-decreasing) into fully sorted order in
 // `data`, using `scratch` (resized to data.size()) as the ping-pong buffer.
 // `pool` may be null for sequential execution. Returns per-run statistics.
-template <typename T, typename Comp = std::less<T>>
+template <typename T, typename Comp = Less>
 BalancedMergeStats balanced_merge(std::vector<T>& data,
                                   std::vector<std::size_t> bounds,
                                   std::vector<T>& scratch, Comp comp = {},

@@ -1,0 +1,30 @@
+// Default ordering for the sort kernels.
+//
+// Every kernel in src/sort used to default its comparator to std::less<T>,
+// which drags <functional> — a large, std::function-bearing header — into
+// every hot-path translation unit for one empty functor. `Less` is the
+// transparent replacement: one heterogeneous operator< functor with no
+// include cost. Hot-path files must not include <functional>
+// (tools/lint_pgxd.py: hot-path-functional-include).
+//
+// `Less` is also the marker the type-specialized fast paths key on: the
+// SIMD block partition (sort/simd_partition.hpp) and the radix local sort
+// (sort/local_sort.hpp) only engage when the comparator is exactly `Less`,
+// because only then is "operator< on the raw key bits" known to be the
+// ordering being requested.
+// pgxd-lint: hot-path  (tools/lint_pgxd.py: no std::function, naked new,
+// or std::set in this file)
+#pragma once
+
+namespace pgxd::sort {
+
+struct Less {
+  using is_transparent = void;
+  template <typename A, typename B>
+  constexpr bool operator()(const A& a, const B& b) const
+      noexcept(noexcept(a < b)) {
+    return a < b;
+  }
+};
+
+}  // namespace pgxd::sort

@@ -1,18 +1,26 @@
-// Sequential k-way merge with a loser tree — the classical alternative to
-// the paper's Fig. 2 balanced merge tree, used as the real data path of the
-// merge-strategy ablation. One comparison per element per tree level
-// (log2 k), but inherently sequential: no intra-merge parallelism.
+// Loser-tree k-way merge — the classical alternative to the paper's Fig. 2
+// balanced merge tree. One comparison per element per tree level (log2 k),
+// and every element is moved exactly once.
+//
+// The tournament engine is exposed as a *range* primitive
+// (`kway_merge_range`): it starts from arbitrary per-run cursors and emits
+// exactly `count` elements in merged order. `kway_merge` runs one engine
+// over the whole buffer (the sequential merge-strategy ablation);
+// sort/parallel_kway_merge.hpp cuts the output into per-thread ranges via
+// multisequence selection and runs one engine per range — the single-pass
+// parallel final merge.
 // pgxd-lint: hot-path  (tools/lint_pgxd.py: no std::function, naked new,
 // or std::set in this file)
 #pragma once
 
 #include <bit>
 #include <cstddef>
-#include <functional>
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "sort/comparator.hpp"
 
 namespace pgxd::sort {
 
@@ -21,31 +29,36 @@ struct KwayMergeStats {
   std::uint64_t comparisons = 0;
 };
 
-// Merges the sorted runs described by `bounds` (size R+1, bounds[0] == 0,
-// bounds[R] == data.size()) into sorted order in `data`, via one pass
-// through a loser tree. Stable across runs (ties resolve to the lower run
-// index).
-template <typename T, typename Comp = std::less<T>>
-KwayMergeStats kway_merge(std::vector<T>& data,
-                          const std::vector<std::size_t>& bounds,
-                          std::vector<T>& scratch, Comp comp = {}) {
-  PGXD_CHECK(!bounds.empty());
-  PGXD_CHECK(bounds.front() == 0);
-  PGXD_CHECK(bounds.back() == data.size());
-  KwayMergeStats stats;
+// Tournament engine: merges the next `count` elements of the k-way merge of
+// the sorted runs over `keys` described by `bounds` (size R+1; run r is
+// [bounds[r], bounds[r+1])), starting from `cursor` (size R, with
+// bounds[r] <= cursor[r] <= bounds[r+1]; advanced in place). Emits each
+// element's *source position* in ascending merged order: emit(pos) with
+// keys[pos] the next element. Returns the comparison count.
+//
+// Stability: ties resolve to the lower run index — the same convention as
+// merge_into / the Fig. 2 tree, and the one kway_select's boundary cursors
+// assume, so disjoint ranges of one merge concatenate into exactly the
+// stable merge of the whole input.
+template <typename K, typename Comp, typename Emit>
+std::uint64_t kway_merge_range(const K* keys,
+                               std::span<const std::size_t> bounds,
+                               std::span<std::size_t> cursor,
+                               std::size_t count, Comp comp, Emit&& emit) {
   const std::size_t runs = bounds.size() - 1;
-  stats.runs = runs;
-  if (runs <= 1) return stats;
-
-  scratch.resize(data.size());
+  PGXD_DCHECK(cursor.size() == runs);
+  std::uint64_t comparisons = 0;
+  if (count == 0) return comparisons;
+  if (runs == 1) {
+    for (std::size_t i = 0; i < count; ++i) emit(cursor[0]++);
+    PGXD_DCHECK(cursor[0] <= bounds[1]);
+    return comparisons;
+  }
 
   // Tournament tree over k leaves (padded to a power of two with exhausted
-  // sentinels). tree_[i] holds the *loser* run index at internal node i;
+  // sentinels). losers[i] holds the losing run index at internal node i;
   // the overall winner is tracked separately.
   const std::size_t k = std::bit_ceil(runs);
-  std::vector<std::size_t> cursor(runs);
-  for (std::size_t r = 0; r < runs; ++r) cursor[r] = bounds[r];
-
   auto exhausted = [&](std::size_t r) {
     return r >= runs || cursor[r] >= bounds[r + 1];
   };
@@ -54,9 +67,9 @@ KwayMergeStats kway_merge(std::vector<T>& data,
   auto beats = [&](std::size_t a, std::size_t b) {
     if (exhausted(b)) return true;
     if (exhausted(a)) return false;
-    ++stats.comparisons;
-    if (comp(data[cursor[a]], data[cursor[b]])) return true;
-    if (comp(data[cursor[b]], data[cursor[a]])) return false;
+    ++comparisons;
+    if (comp(keys[cursor[a]], keys[cursor[b]])) return true;
+    if (comp(keys[cursor[b]], keys[cursor[a]])) return false;
     return a < b;
   };
 
@@ -81,9 +94,9 @@ KwayMergeStats kway_merge(std::vector<T>& data,
     winner = level[0];
   }
 
-  for (std::size_t out = 0; out < data.size(); ++out) {
+  for (std::size_t out = 0; out < count; ++out) {
     PGXD_DCHECK(!exhausted(winner));
-    scratch[out] = data[cursor[winner]];
+    emit(cursor[winner]);
     ++cursor[winner];
     // Replay the winner's path to the root.
     std::size_t node = (k + winner) / 2;
@@ -92,6 +105,32 @@ KwayMergeStats kway_merge(std::vector<T>& data,
       node /= 2;
     }
   }
+  return comparisons;
+}
+
+// Merges the sorted runs described by `bounds` (size R+1, bounds[0] == 0,
+// bounds[R] == data.size()) into sorted order in `data`, via one pass
+// through a loser tree. Stable across runs (ties resolve to the lower run
+// index).
+template <typename T, typename Comp = Less>
+KwayMergeStats kway_merge(std::vector<T>& data,
+                          const std::vector<std::size_t>& bounds,
+                          std::vector<T>& scratch, Comp comp = {}) {
+  PGXD_CHECK(!bounds.empty());
+  PGXD_CHECK(bounds.front() == 0);
+  PGXD_CHECK(bounds.back() == data.size());
+  KwayMergeStats stats;
+  const std::size_t runs = bounds.size() - 1;
+  stats.runs = runs;
+  if (runs <= 1) return stats;
+
+  scratch.resize(data.size());
+  std::vector<std::size_t> cursor(bounds.begin(), bounds.end() - 1);
+  std::size_t out = 0;
+  stats.comparisons = kway_merge_range(
+      data.data(), std::span<const std::size_t>(bounds),
+      std::span<std::size_t>(cursor), data.size(), comp,
+      [&](std::size_t pos) { scratch[out++] = data[pos]; });
   data.swap(scratch);
   return stats;
 }

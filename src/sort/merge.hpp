@@ -13,18 +13,18 @@
 #pragma once
 
 #include <cstddef>
-#include <functional>
 #include <span>
 #include <vector>
 
 #include "common/assert.hpp"
 #include "common/thread_pool.hpp"
+#include "sort/comparator.hpp"
 
 namespace pgxd::sort {
 
 // Stable sequential merge of sorted ranges a and b into out
 // (out.size() == a.size() + b.size(); out must not alias a or b).
-template <typename T, typename Comp = std::less<T>>
+template <typename T, typename Comp = Less>
 void merge_into(std::span<const T> a, std::span<const T> b, std::span<T> out,
                 Comp comp = {}) {
   PGXD_CHECK(out.size() == a.size() + b.size());
@@ -38,7 +38,7 @@ void merge_into(std::span<const T> a, std::span<const T> b, std::span<T> out,
 // Merge-Path co-rank: returns i (and implicitly j = k - i) such that the
 // stable merge of a and b has exactly a[0..i) and b[0..j) in its first k
 // output slots. O(log(min(|a|, |b|, k))).
-template <typename T, typename Comp = std::less<T>>
+template <typename T, typename Comp = Less>
 std::size_t co_rank(std::size_t k, std::span<const T> a, std::span<const T> b,
                     Comp comp = {}) {
   PGXD_CHECK(k <= a.size() + b.size());
@@ -74,7 +74,7 @@ struct MergeSegment {
   std::size_t b_n = 0;
 };
 
-template <typename T, typename Comp = std::less<T>>
+template <typename T, typename Comp = Less>
 void run_merge_segment(const MergeSegment<T>& seg, Comp comp = {}) {
   merge_into(std::span<const T>(seg.a, seg.a_n),
              std::span<const T>(seg.b, seg.b_n),
@@ -85,7 +85,7 @@ void run_merge_segment(const MergeSegment<T>& seg, Comp comp = {}) {
 // co_rank) and appends them to `segs` without running them. Used by the
 // balanced merge handler to build one flat segment list per merge level, so
 // nothing ever blocks inside a pool worker.
-template <typename T, typename Comp = std::less<T>>
+template <typename T, typename Comp = Less>
 void append_merge_segments(std::span<const T> a, std::span<const T> b,
                            std::span<T> out, Comp comp, std::size_t pieces,
                            std::vector<MergeSegment<T>>& segs) {
@@ -112,7 +112,7 @@ void append_merge_segments(std::span<const T> a, std::span<const T> b,
 // (i, j) split for each cut point comes from co_rank, so segments merge
 // independently. Falls back to the sequential kernel for small inputs or a
 // null pool. Must be called from outside the pool's workers.
-template <typename T, typename Comp = std::less<T>>
+template <typename T, typename Comp = Less>
 void parallel_merge(std::span<const T> a, std::span<const T> b, std::span<T> out,
                     Comp comp = {}, ThreadPool* pool = nullptr,
                     std::size_t pieces = 0) {

@@ -1,0 +1,281 @@
+// Single-pass parallel k-way merge — the final-merge strategy that replaces
+// the upper levels of the Fig. 2 pairwise tree (sort/balanced_merge.hpp /
+// sort/soa_merge.hpp).
+//
+// The pairwise tree moves every element once per level (ceil(log2 R)
+// times); at R = 32 runs that is 5 full passes over the partition, and the
+// committed bench baseline shows it topping out at ~1/6th of a single
+// MergeInto pass. Here every element is moved exactly once:
+//
+//   1. *Splitter search*: the merged output [0, n) is cut into near-equal
+//      per-thread ranges. Each interior boundary is located by
+//      multisequence selection (kway_select): a value-pivot binary search
+//      across all R runs at once, the classic multiway-partition algorithm
+//      (Varman et al.; also __gnu_parallel::multiseq_partition).
+//   2. *Per-range loser trees*: each range merges independently with the
+//      tournament engine from sort/kway_merge.hpp, paying log2(R)
+//      comparisons but only ONE move per element, writing straight into its
+//      disjoint slice of the destination.
+//
+// Boundary cursors deal equal keys to the lower run first — the same tie
+// rule as the loser tree and merge_into — so the concatenated ranges are
+// *bit-identical* to the stable sequential merge (and to the Fig. 2 tree),
+// permutation plane included. tests/parallel_kway_merge_test.cpp holds that
+// property under a randomized sweep.
+// pgxd-lint: hot-path  (tools/lint_pgxd.py: no std::function, naked new,
+// or std::set in this file)
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/thread_pool.hpp"
+#include "sort/comparator.hpp"
+#include "sort/kway_merge.hpp"
+#include "sort/merge.hpp"
+
+namespace pgxd::sort {
+
+struct ParallelKwayMergeStats {
+  std::size_t runs = 0;
+  std::size_t ranges = 1;          // independent loser trees
+  std::uint64_t comparisons = 0;   // across all ranges
+  std::uint64_t select_rounds = 0; // pivot rounds over all splitter searches
+};
+
+// Multisequence selection: finds per-run cursors that split the stable
+// k-way merge of the sorted runs over `keys` (run r at
+// [bounds[r], bounds[r+1])) at global rank `k` — cursor[r] elements of run r
+// belong to the merged prefix of length k, sum(cursor[r] - bounds[r]) == k.
+// Equal keys on the boundary are dealt to the lower run first, matching the
+// loser tree's tie rule, so the prefix is exactly the first k elements of
+// the stable merge.
+//
+// Value-pivot binary search: keep a candidate window per run, draw the
+// pivot from the largest window, rank it exactly across all runs with
+// lower/upper_bound, and discard the side of every window the rank rules
+// out. Every copy of the true boundary value stays inside the windows, and
+// the pivot's window strictly shrinks each round, so the terminating branch
+// (count_lt <= k <= count_le) is always reached. O(R log n) per round,
+// O(log n) rounds in practice.
+template <typename K, typename Comp = Less>
+std::vector<std::size_t> kway_select(const K* keys,
+                                     std::span<const std::size_t> bounds,
+                                     std::size_t k, Comp comp = {},
+                                     std::uint64_t* rounds = nullptr) {
+  const std::size_t runs = bounds.size() - 1;
+  std::vector<std::size_t> cur(runs);
+  for (std::size_t r = 0; r < runs; ++r) cur[r] = bounds[r];
+  PGXD_CHECK(k <= bounds[runs] - bounds[0]);
+  if (k == 0) return cur;
+  if (k == bounds[runs] - bounds[0]) {
+    for (std::size_t r = 0; r < runs; ++r) cur[r] = bounds[r + 1];
+    return cur;
+  }
+
+  std::vector<std::size_t> lo(runs), hi(runs), lb(runs), ub(runs);
+  for (std::size_t r = 0; r < runs; ++r) {
+    lo[r] = bounds[r];
+    hi[r] = bounds[r + 1];
+  }
+  for (;;) {
+    // Pivot from the largest window (deterministic: ties -> lowest run).
+    std::size_t p = runs;
+    std::size_t best = 0;
+    for (std::size_t r = 0; r < runs; ++r) {
+      const std::size_t width = hi[r] - lo[r];
+      if (width > best) {
+        best = width;
+        p = r;
+      }
+    }
+    // The boundary value always survives inside some window (see above), so
+    // the windows cannot all drain before the terminating branch fires.
+    PGXD_CHECK_MSG(p < runs, "kway_select: candidate windows drained");
+    if (rounds != nullptr) ++*rounds;
+    const K& pivot = keys[lo[p] + (hi[p] - lo[p]) / 2];
+
+    // Exact global rank of the pivot value: count_lt strictly-smaller
+    // elements, count_le smaller-or-equal.
+    std::size_t count_lt = 0, count_le = 0;
+    for (std::size_t r = 0; r < runs; ++r) {
+      lb[r] = static_cast<std::size_t>(
+          std::lower_bound(keys + bounds[r], keys + bounds[r + 1], pivot,
+                           comp) -
+          keys);
+      ub[r] = static_cast<std::size_t>(
+          std::upper_bound(keys + bounds[r], keys + bounds[r + 1], pivot,
+                           comp) -
+          keys);
+      count_lt += lb[r] - bounds[r];
+      count_le += ub[r] - bounds[r];
+    }
+    if (k < count_lt) {
+      // Boundary < pivot: nothing >= pivot can sit on the boundary.
+      for (std::size_t r = 0; r < runs; ++r)
+        hi[r] = std::max(lo[r], std::min(hi[r], lb[r]));
+    } else if (k > count_le) {
+      // Boundary > pivot: nothing <= pivot can sit on the boundary.
+      for (std::size_t r = 0; r < runs; ++r)
+        lo[r] = std::min(hi[r], std::max(lo[r], ub[r]));
+    } else {
+      // The pivot value spans the boundary: take every strictly-smaller
+      // element, then deal the k - count_lt equal keys to the lowest runs
+      // first (the loser tree's tie order).
+      std::size_t rem = k - count_lt;
+      for (std::size_t r = 0; r < runs; ++r) {
+        const std::size_t take = std::min(ub[r] - lb[r], rem);
+        cur[r] = lb[r] + take;
+        rem -= take;
+      }
+      PGXD_DCHECK(rem == 0);
+      return cur;
+    }
+  }
+}
+
+namespace detail {
+
+// Output ranges for one parallel k-way merge: `want` ranges clamped so no
+// range merges fewer than kMinMergePiece elements.
+inline std::size_t clamp_kway_ranges(std::size_t want, std::size_t n) {
+  want = std::max<std::size_t>(1, want);
+  return std::min(want, std::max<std::size_t>(1, n / kMinMergePiece));
+}
+
+// Per-range starting cursors (row-major `ranges` x R) for output boundaries
+// at n*i/ranges, plus select-round accounting.
+template <typename K, typename Comp>
+std::vector<std::size_t> kway_range_cursors(
+    const K* keys, std::span<const std::size_t> bounds, std::size_t ranges,
+    Comp comp, std::uint64_t& rounds) {
+  const std::size_t runs = bounds.size() - 1;
+  const std::size_t n = bounds[runs] - bounds[0];
+  std::vector<std::size_t> cursors(ranges * runs);
+  for (std::size_t r = 0; r < runs; ++r) cursors[r] = bounds[r];
+  for (std::size_t i = 1; i < ranges; ++i) {
+    const auto cut = kway_select(keys, bounds, n * i / ranges, comp, &rounds);
+    std::copy(cut.begin(), cut.end(), cursors.begin() + i * runs);
+  }
+  return cursors;
+}
+
+}  // namespace detail
+
+// Single-pass parallel k-way merge of full records: merges the sorted runs
+// of `src` described by `bounds` into `dst` (resized to src.size()). With a
+// pool, output ranges merge concurrently (caller participates via
+// run_all); `ranges` overrides the split count — e.g. a DES caller with no
+// real pool can still exercise the splitter search by asking for the
+// simulated machine's thread count.
+template <typename T, typename Comp = Less>
+ParallelKwayMergeStats parallel_kway_merge(const std::vector<T>& src,
+                                           const std::vector<std::size_t>& bounds,
+                                           std::vector<T>& dst, Comp comp = {},
+                                           ThreadPool* pool = nullptr,
+                                           std::size_t ranges = 0) {
+  PGXD_CHECK(!bounds.empty());
+  PGXD_CHECK(bounds.front() == 0);
+  PGXD_CHECK(bounds.back() == src.size());
+  ParallelKwayMergeStats stats;
+  const std::size_t n = src.size();
+  const std::size_t runs = bounds.size() - 1;
+  stats.runs = runs;
+  dst.resize(n);
+  if (n == 0) return stats;
+  if (runs <= 1) {
+    std::copy(src.begin(), src.end(), dst.begin());
+    return stats;
+  }
+
+  const std::span<const std::size_t> bspan(bounds);
+  if (ranges == 0) ranges = pool ? pool->workers() + 1 : 1;
+  ranges = detail::clamp_kway_ranges(ranges, n);
+  stats.ranges = ranges;
+  auto cursors =
+      detail::kway_range_cursors(src.data(), bspan, ranges, comp,
+                                 stats.select_rounds);
+
+  std::vector<std::uint64_t> comps(ranges, 0);
+  auto run_range = [&](std::size_t i) {
+    std::span<std::size_t> cur(cursors.data() + i * runs, runs);
+    const std::size_t k0 = n * i / ranges;
+    const std::size_t k1 = n * (i + 1) / ranges;
+    std::size_t out = k0;
+    comps[i] = kway_merge_range(src.data(), bspan, cur, k1 - k0, comp,
+                                [&](std::size_t pos) { dst[out++] = src[pos]; });
+  };
+  if (pool != nullptr && ranges > 1)
+    pool->run_all(ranges, run_range);
+  else
+    for (std::size_t i = 0; i < ranges; ++i) run_range(i);
+  stats.comparisons = std::accumulate(comps.begin(), comps.end(),
+                                      std::uint64_t{0});
+  return stats;
+}
+
+// SoA variant for the distributed final merge: bare keys plus the compact
+// u32 permutation move through ONE pass (sizeof(Key) + 4 bytes per element,
+// once — versus once per level in balanced_merge_soa). The merged result
+// always lands in (key_out, perm_out); there is no ping-pong and no
+// copy-back, the caller reads the output planes directly (the same
+// no-staging contract as SoaMergeResult with in_scratch == true).
+template <typename K, typename Comp = Less>
+ParallelKwayMergeStats parallel_kway_merge_soa(
+    const std::vector<K>& keys, const std::vector<std::uint32_t>& perm,
+    const std::vector<std::size_t>& bounds, std::vector<K>& key_out,
+    std::vector<std::uint32_t>& perm_out, Comp comp = {},
+    ThreadPool* pool = nullptr, std::size_t ranges = 0) {
+  PGXD_CHECK(!bounds.empty());
+  PGXD_CHECK(bounds.front() == 0);
+  PGXD_CHECK(bounds.back() == keys.size());
+  PGXD_CHECK(perm.size() == keys.size());
+  ParallelKwayMergeStats stats;
+  const std::size_t n = keys.size();
+  const std::size_t runs = bounds.size() - 1;
+  stats.runs = runs;
+  key_out.resize(n);
+  perm_out.resize(n);
+  if (n == 0) return stats;
+  if (runs <= 1) {
+    std::copy(keys.begin(), keys.end(), key_out.begin());
+    std::copy(perm.begin(), perm.end(), perm_out.begin());
+    return stats;
+  }
+
+  const std::span<const std::size_t> bspan(bounds);
+  if (ranges == 0) ranges = pool ? pool->workers() + 1 : 1;
+  ranges = detail::clamp_kway_ranges(ranges, n);
+  stats.ranges = ranges;
+  auto cursors =
+      detail::kway_range_cursors(keys.data(), bspan, ranges, comp,
+                                 stats.select_rounds);
+
+  std::vector<std::uint64_t> comps(ranges, 0);
+  auto run_range = [&](std::size_t i) {
+    std::span<std::size_t> cur(cursors.data() + i * runs, runs);
+    const std::size_t k0 = n * i / ranges;
+    const std::size_t k1 = n * (i + 1) / ranges;
+    std::size_t out = k0;
+    comps[i] = kway_merge_range(keys.data(), bspan, cur, k1 - k0, comp,
+                                [&](std::size_t pos) {
+                                  key_out[out] = keys[pos];
+                                  perm_out[out] = perm[pos];
+                                  ++out;
+                                });
+  };
+  if (pool != nullptr && ranges > 1)
+    pool->run_all(ranges, run_range);
+  else
+    for (std::size_t i = 0; i < ranges; ++i) run_range(i);
+  stats.comparisons = std::accumulate(comps.begin(), comps.end(),
+                                      std::uint64_t{0});
+  return stats;
+}
+
+}  // namespace pgxd::sort

@@ -11,13 +11,13 @@
 #pragma once
 
 #include <cstddef>
-#include <functional>
 #include <span>
 #include <vector>
 
 #include "common/assert.hpp"
 #include "common/thread_pool.hpp"
 #include "sort/balanced_merge.hpp"
+#include "sort/comparator.hpp"
 #include "sort/quicksort.hpp"
 
 namespace pgxd::sort {
@@ -29,7 +29,7 @@ struct ParallelSortStats {
 
 // Sorts `data` using `chunks` equal pieces (defaults to pool workers + 1).
 // `scratch` is reused across calls to avoid reallocation in the hot path.
-template <typename T, typename Comp = std::less<T>>
+template <typename T, typename Comp = Less>
 ParallelSortStats parallel_sort(std::vector<T>& data, std::vector<T>& scratch,
                                 Comp comp = {}, ThreadPool* pool = nullptr,
                                 std::size_t chunks = 0,
@@ -66,7 +66,7 @@ ParallelSortStats parallel_sort(std::vector<T>& data, std::vector<T>& scratch,
 }
 
 // Convenience overload that owns its scratch buffer.
-template <typename T, typename Comp = std::less<T>>
+template <typename T, typename Comp = Less>
 ParallelSortStats parallel_sort(std::vector<T>& data, Comp comp = {},
                                 ThreadPool* pool = nullptr,
                                 std::size_t chunks = 0,

@@ -15,9 +15,14 @@
 //     pivot value, and one left-binding partition pass peels off the entire
 //     run of duplicates in O(n) instead of recursing on it — duplicate-heavy
 //     inputs (the paper's right-skewed distribution, Table II) sort in
-//     O(n log #distinct).
+//     O(n log #distinct);
+//   * a *vectorized classify step* for the block partition: for raw
+//     uint64_t keys under the default ordering, the per-block offset fill
+//     runs as SIMD compare + compress-store (sort/simd_partition.hpp),
+//     runtime-dispatched (AVX2 / SSE4.2 / scalar) so portable and
+//     sanitizer builds are unaffected.
 //
-// Both refinements are individually switchable via QuicksortConfig so the
+// The refinements are individually switchable via QuicksortConfig so the
 // bench suite can attribute their wins. This is the per-thread local sort of
 // the paper's step (1).
 // pgxd-lint: hot-path  (tools/lint_pgxd.py: no std::function, naked new,
@@ -28,11 +33,12 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <span>
 #include <utility>
 
 #include "common/assert.hpp"
+#include "sort/comparator.hpp"
+#include "sort/simd_partition.hpp"
 
 namespace pgxd::sort {
 
@@ -46,10 +52,15 @@ struct QuicksortConfig {
   bool block_partition = true;
   // Peel pivot-equal runs in one pass (duplicate-heavy inputs).
   bool equal_fast_path = true;
+  // Vectorize the block classify loops (sort/simd_partition.hpp) when the
+  // host supports it and the keys are raw uint64_t under the default
+  // ordering; false forces the scalar loops (attribution benches, exotic
+  // hosts). Only meaningful with block_partition.
+  bool simd_partition = true;
 };
 
 // Straight insertion sort; the base case for quicksort.
-template <typename T, typename Comp = std::less<T>>
+template <typename T, typename Comp = Less>
 void insertion_sort(std::span<T> data, Comp comp = {}) {
   for (std::size_t i = 1; i < data.size(); ++i) {
     T value = std::move(data[i]);
@@ -124,7 +135,8 @@ std::size_t partition_right(std::span<T> data, Comp comp) {
 // comparison result, so the comparison never feeds a branch; the swap pass
 // then pairs misplaced elements from both ends.
 template <typename T, typename Comp>
-std::size_t partition_right_block(std::span<T> data, Comp comp) {
+std::size_t partition_right_block(std::span<T> data, Comp comp,
+                                  [[maybe_unused]] simd::PartitionIsa isa) {
   const std::size_t n = data.size();
   const T pivot = data[0];
 
@@ -138,6 +150,43 @@ std::size_t partition_right_block(std::span<T> data, Comp comp) {
   std::size_t nl = 0, nr = 0;  // pending offsets per side
   std::size_t sl = 0, sr = 0;  // consumed prefix of each offset buffer
 
+  // Classify one left-side block starting at l: ascending offsets of
+  // elements >= pivot (must move right). SIMD compare + compress-store when
+  // the kernels apply, the scalar unconditional-write loop otherwise.
+  const auto fill_left = [&](std::size_t count) {
+    sl = 0;
+#if PGXD_SIMD_PARTITION_X86
+    if constexpr (simd::kSimdPartitionKeys<T, Comp>) {
+      if (isa != simd::PartitionIsa::kScalar) {
+        nl = simd::classify_ge(isa, data.data() + l, count, pivot, offs_l);
+        return;
+      }
+    }
+#endif
+    for (std::size_t i = 0; i < count; ++i) {
+      offs_l[nl] = static_cast<std::uint8_t>(i);
+      nl += !comp(data[l + i], pivot);
+    }
+  };
+  // Classify one right-side block ending at r (scanned leftwards):
+  // ascending offsets i with data[r - 1 - i] < pivot (must move left).
+  const auto fill_right = [&](std::size_t count) {
+    sr = 0;
+#if PGXD_SIMD_PARTITION_X86
+    if constexpr (simd::kSimdPartitionKeys<T, Comp>) {
+      if (isa != simd::PartitionIsa::kScalar) {
+        nr = simd::classify_lt_rev(isa, data.data() + r, count, pivot,
+                                   offs_r);
+        return;
+      }
+    }
+#endif
+    for (std::size_t i = 0; i < count; ++i) {
+      offs_r[nr] = static_cast<std::uint8_t>(i);
+      nr += comp(data[r - 1 - i], pivot);
+    }
+  };
+
   const auto swap_pending = [&](std::size_t count) {
     for (std::size_t i = 0; i < count; ++i)
       std::swap(data[l + offs_l[sl + i]], data[r - 1 - offs_r[sr + i]]);
@@ -148,20 +197,8 @@ std::size_t partition_right_block(std::span<T> data, Comp comp) {
   };
 
   while (r - l > 2 * kPartitionBlock) {
-    if (nl == 0) {
-      sl = 0;
-      for (std::size_t i = 0; i < kPartitionBlock; ++i) {
-        offs_l[nl] = static_cast<std::uint8_t>(i);
-        nl += !comp(data[l + i], pivot);  // >= pivot: must move right
-      }
-    }
-    if (nr == 0) {
-      sr = 0;
-      for (std::size_t i = 0; i < kPartitionBlock; ++i) {
-        offs_r[nr] = static_cast<std::uint8_t>(i);
-        nr += comp(data[r - 1 - i], pivot);  // < pivot: must move left
-      }
-    }
+    if (nl == 0) fill_left(kPartitionBlock);
+    if (nr == 0) fill_right(kPartitionBlock);
     swap_pending(std::min(nl, nr));
     if (nl == 0) l += kPartitionBlock;
     if (nr == 0) r -= kPartitionBlock;
@@ -182,20 +219,8 @@ std::size_t partition_right_block(std::span<T> data, Comp comp) {
     lsz = unknown / 2;
     rsz = unknown - lsz;
   }
-  if (nl == 0 && lsz > 0) {
-    sl = 0;
-    for (std::size_t i = 0; i < lsz; ++i) {
-      offs_l[nl] = static_cast<std::uint8_t>(i);
-      nl += !comp(data[l + i], pivot);
-    }
-  }
-  if (nr == 0 && rsz > 0) {
-    sr = 0;
-    for (std::size_t i = 0; i < rsz; ++i) {
-      offs_r[nr] = static_cast<std::uint8_t>(i);
-      nr += comp(data[r - 1 - i], pivot);
-    }
-  }
+  if (nl == 0 && lsz > 0) fill_left(lsz);
+  if (nr == 0 && rsz > 0) fill_right(rsz);
   swap_pending(std::min(nl, nr));
   // A fully-fixed final block joins its side's finished zone.
   if (nl == 0) l += lsz;
@@ -279,7 +304,8 @@ std::size_t partition_left(std::span<T> data, Comp comp) {
 // is the range minimum — the trigger for the equal-elements fast path.
 template <typename T, typename Comp>
 void introsort_loop(std::span<T> data, Comp comp, int depth_budget,
-                    const T* pred, const QuicksortConfig& cfg) {
+                    const T* pred, const QuicksortConfig& cfg,
+                    simd::PartitionIsa isa) {
   while (data.size() > kInsertionCutoff) {
     if (depth_budget-- == 0) {
       std::make_heap(data.begin(), data.end(), comp);
@@ -295,18 +321,18 @@ void introsort_loop(std::span<T> data, Comp comp, int depth_budget,
       continue;
     }
     const std::size_t cut = cfg.block_partition
-                                ? partition_right_block(data, comp)
+                                ? partition_right_block(data, comp, isa)
                                 : partition_right(data, comp);
     // The pivot at `cut` is final: recurse on the smaller side, iterate on
     // the larger, threading the correct predecessor into each.
     std::span<T> left = data.first(cut);
     std::span<T> right = data.subspan(cut + 1);
     if (left.size() < right.size()) {
-      introsort_loop(left, comp, depth_budget, pred, cfg);
+      introsort_loop(left, comp, depth_budget, pred, cfg, isa);
       pred = &data[cut];
       data = right;
     } else {
-      introsort_loop(right, comp, depth_budget, &data[cut], cfg);
+      introsort_loop(right, comp, depth_budget, &data[cut], cfg, isa);
       data = left;
     }
   }
@@ -315,13 +341,19 @@ void introsort_loop(std::span<T> data, Comp comp, int depth_budget,
 
 }  // namespace detail
 
-template <typename T, typename Comp = std::less<T>>
+template <typename T, typename Comp = Less>
 void quicksort(std::span<T> data, Comp comp = {},
                const QuicksortConfig& cfg = {}) {
   if (data.size() < 2) return;
+  // Resolve the partition ISA once per sort: a CPUID-cached probe when the
+  // SIMD kernels apply to (T, Comp) and the config wants them, else scalar.
+  simd::PartitionIsa isa = simd::PartitionIsa::kScalar;
+  if constexpr (simd::kSimdPartitionKeys<T, Comp>) {
+    if (cfg.block_partition && cfg.simd_partition) isa = simd::partition_isa();
+  }
   const int depth_budget = 2 * static_cast<int>(std::bit_width(data.size()));
   detail::introsort_loop(data, comp, depth_budget,
-                         static_cast<const T*>(nullptr), cfg);
+                         static_cast<const T*>(nullptr), cfg, isa);
 }
 
 }  // namespace pgxd::sort

@@ -10,11 +10,11 @@
 
 #include <algorithm>
 #include <cstddef>
-#include <functional>
 #include <span>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "sort/comparator.hpp"
 
 namespace pgxd::sort {
 
@@ -38,7 +38,7 @@ std::vector<T> regular_samples(std::span<const T> data, std::size_t count) {
 // duplicated splitters (handled downstream by the investigator); an empty
 // pool yields default-constructed splitters, which only happens when the
 // whole dataset is (close to) empty.
-template <typename T, typename Comp = std::less<T>>
+template <typename T, typename Comp = Less>
 std::vector<T> select_splitters(std::span<const T> sorted_samples,
                                 std::size_t parts,
                                 [[maybe_unused]] Comp comp = {}) {
@@ -65,7 +65,7 @@ struct WeightedSample {
   double weight;
 };
 
-template <typename T, typename Comp = std::less<T>>
+template <typename T, typename Comp = Less>
 std::vector<T> select_splitters_weighted(
     std::span<const WeightedSample<T>> sorted_samples, std::size_t parts,
     [[maybe_unused]] Comp comp = {}) {

@@ -1,0 +1,267 @@
+// Vectorized block classification for the BlockQuicksort partition
+// (sort/quicksort.hpp).
+//
+// The branchless block partition spends its time filling two small offset
+// buffers: "which of these 64 contiguous elements are on the wrong side of
+// the pivot". That classify loop is a pure compare + compress-store pattern:
+//
+//   AVX2:   load 4 u64 lanes -> biased signed compare against the pivot ->
+//           movemask -> a 16-entry lookup table maps the mask to its set-bit
+//           positions packed into one u32 -> one 4-byte store + popcount
+//           advance. No per-element branches, no per-element stores.
+//   SSE4.2: the same with 2 lanes (_mm_cmpgt_epi64) and a 4-entry table.
+//
+// u64 has no unsigned vector compare, so both kernels flip the sign bit of
+// each operand (x ^ 2^63) and compare signed — the standard order-preserving
+// bias.
+//
+// Dispatch is at runtime via __builtin_cpu_supports, probed once: portable
+// and sanitizer builds (or unsupported hosts) take the scalar loop in
+// quicksort.hpp, and QuicksortConfig::simd_partition can force it off for
+// attribution benches. The kernels only engage for uint64_t keys under the
+// default `Less` ordering (sort/comparator.hpp) — any other type or
+// comparator means "operator< on the raw bits" is not the requested order.
+//
+// All vector loads read whole lanes inside [data, data + count), never past
+// the block, so ASan sees nothing the scalar loop wouldn't do.
+// pgxd-lint: hot-path  (tools/lint_pgxd.py: no std::function, naked new,
+// or std::set in this file)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "sort/comparator.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define PGXD_SIMD_PARTITION_X86 1
+#include <immintrin.h>
+#else
+#define PGXD_SIMD_PARTITION_X86 0
+#endif
+
+namespace pgxd::sort::simd {
+
+enum class PartitionIsa { kScalar, kSse42, kAvx2 };
+
+// True when the SIMD classify kernels apply: raw uint64_t keys ordered by
+// the default transparent comparator.
+template <typename T, typename Comp>
+inline constexpr bool kSimdPartitionKeys =
+    std::is_same_v<T, std::uint64_t> && std::is_same_v<Comp, Less>;
+
+inline PartitionIsa detect_partition_isa() {
+#if PGXD_SIMD_PARTITION_X86
+  if (__builtin_cpu_supports("avx2")) return PartitionIsa::kAvx2;
+  if (__builtin_cpu_supports("sse4.2")) return PartitionIsa::kSse42;
+#endif
+  return PartitionIsa::kScalar;
+}
+
+// CPUID probe cached for the process; never changes at runtime.
+inline PartitionIsa partition_isa() {
+  static const PartitionIsa isa = detect_partition_isa();
+  return isa;
+}
+
+#if PGXD_SIMD_PARTITION_X86
+
+namespace detail {
+
+// Compress-store tables: entry [mask] packs the positions of mask's set
+// bits into consecutive bytes of one little-endian word (unused high bytes
+// are zero; they are stored but sit past the valid prefix and are
+// overwritten or never read). `fwd` emits set-bit lanes low-to-high (for
+// ascending loads); `rev` emits 3-lane / 1-lane complements high-to-low
+// (for descending loads, where lane j holds offset base + lanes-1-j).
+struct Pack4 {
+  std::uint32_t fwd[16];
+  std::uint32_t rev[16];
+};
+
+constexpr Pack4 make_pack4() {
+  Pack4 p{};
+  for (unsigned m = 0; m < 16; ++m) {
+    std::uint32_t f = 0;
+    unsigned nf = 0;
+    for (unsigned lane = 0; lane < 4; ++lane)
+      if ((m >> lane) & 1u) f |= lane << (8 * nf++);
+    std::uint32_t r = 0;
+    unsigned nr = 0;
+    for (unsigned lane = 4; lane-- > 0;)
+      if ((m >> lane) & 1u) r |= (3u - lane) << (8 * nr++);
+    p.fwd[m] = f;
+    p.rev[m] = r;
+  }
+  return p;
+}
+
+inline constexpr Pack4 kPack4 = make_pack4();
+
+struct Pack2 {
+  std::uint16_t fwd[4];
+  std::uint16_t rev[4];
+};
+
+constexpr Pack2 make_pack2() {
+  Pack2 p{};
+  for (unsigned m = 0; m < 4; ++m) {
+    std::uint16_t f = 0;
+    unsigned nf = 0;
+    for (unsigned lane = 0; lane < 2; ++lane)
+      if ((m >> lane) & 1u)
+        f = static_cast<std::uint16_t>(f | lane << (8 * nf++));
+    std::uint16_t r = 0;
+    unsigned nr = 0;
+    for (unsigned lane = 2; lane-- > 0;)
+      if ((m >> lane) & 1u)
+        r = static_cast<std::uint16_t>(r | (1u - lane) << (8 * nr++));
+    p.fwd[m] = f;
+    p.rev[m] = r;
+  }
+  return p;
+}
+
+inline constexpr Pack2 kPack2 = make_pack2();
+
+}  // namespace detail
+
+// Fills `offs` with the ascending offsets i in [0, count) where
+// data[i] >= pivot (the left block: elements that must move right).
+// Returns the offset count. count <= 64 so every offset fits uint8_t.
+__attribute__((target("avx2"))) inline std::size_t classify_ge_avx2(
+    const std::uint64_t* data, std::size_t count, std::uint64_t pivot,
+    std::uint8_t* offs) {
+  const __m256i bias = _mm256_set1_epi64x(
+      static_cast<long long>(0x8000000000000000ull));
+  const __m256i piv = _mm256_xor_si256(
+      _mm256_set1_epi64x(static_cast<long long>(pivot)), bias);
+  std::size_t n = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m256i v = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i)), bias);
+    const unsigned lt = static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpgt_epi64(piv, v))));
+    const unsigned ge = ~lt & 0xFu;
+    const std::uint32_t w =
+        detail::kPack4.fwd[ge] + static_cast<std::uint32_t>(i) * 0x01010101u;
+    std::memcpy(offs + n, &w, sizeof(w));
+    n += static_cast<std::size_t>(__builtin_popcount(ge));
+  }
+  for (; i < count; ++i) {
+    offs[n] = static_cast<std::uint8_t>(i);
+    n += static_cast<std::size_t>(data[i] >= pivot);
+  }
+  return n;
+}
+
+// Fills `offs` with the ascending offsets i in [0, count) where
+// end[-1 - i] < pivot (the right block, scanned leftwards: elements that
+// must move left). Returns the offset count.
+__attribute__((target("avx2"))) inline std::size_t classify_lt_rev_avx2(
+    const std::uint64_t* end, std::size_t count, std::uint64_t pivot,
+    std::uint8_t* offs) {
+  const __m256i bias = _mm256_set1_epi64x(
+      static_cast<long long>(0x8000000000000000ull));
+  const __m256i piv = _mm256_xor_si256(
+      _mm256_set1_epi64x(static_cast<long long>(pivot)), bias);
+  std::size_t n = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    // Lane j holds end[-4 - i + j], i.e. offset i + 3 - j: the rev table
+    // emits lanes high-to-low so offsets come out ascending.
+    const __m256i v = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(end - i - 4)),
+        bias);
+    const unsigned lt = static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpgt_epi64(piv, v))));
+    const std::uint32_t w =
+        detail::kPack4.rev[lt] + static_cast<std::uint32_t>(i) * 0x01010101u;
+    std::memcpy(offs + n, &w, sizeof(w));
+    n += static_cast<std::size_t>(__builtin_popcount(lt));
+  }
+  for (; i < count; ++i) {
+    offs[n] = static_cast<std::uint8_t>(i);
+    n += static_cast<std::size_t>(end[-1 - static_cast<std::ptrdiff_t>(i)] <
+                                  pivot);
+  }
+  return n;
+}
+
+__attribute__((target("sse4.2"))) inline std::size_t classify_ge_sse42(
+    const std::uint64_t* data, std::size_t count, std::uint64_t pivot,
+    std::uint8_t* offs) {
+  const __m128i bias =
+      _mm_set1_epi64x(static_cast<long long>(0x8000000000000000ull));
+  const __m128i piv =
+      _mm_xor_si128(_mm_set1_epi64x(static_cast<long long>(pivot)), bias);
+  std::size_t n = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    const __m128i v = _mm_xor_si128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i)), bias);
+    const unsigned lt = static_cast<unsigned>(
+        _mm_movemask_pd(_mm_castsi128_pd(_mm_cmpgt_epi64(piv, v))));
+    const unsigned ge = ~lt & 0x3u;
+    const std::uint16_t w = static_cast<std::uint16_t>(
+        detail::kPack2.fwd[ge] + static_cast<std::uint32_t>(i) * 0x0101u);
+    std::memcpy(offs + n, &w, sizeof(w));
+    n += static_cast<std::size_t>(__builtin_popcount(ge));
+  }
+  for (; i < count; ++i) {
+    offs[n] = static_cast<std::uint8_t>(i);
+    n += static_cast<std::size_t>(data[i] >= pivot);
+  }
+  return n;
+}
+
+__attribute__((target("sse4.2"))) inline std::size_t classify_lt_rev_sse42(
+    const std::uint64_t* end, std::size_t count, std::uint64_t pivot,
+    std::uint8_t* offs) {
+  const __m128i bias =
+      _mm_set1_epi64x(static_cast<long long>(0x8000000000000000ull));
+  const __m128i piv =
+      _mm_xor_si128(_mm_set1_epi64x(static_cast<long long>(pivot)), bias);
+  std::size_t n = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    const __m128i v = _mm_xor_si128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(end - i - 2)), bias);
+    const unsigned lt = static_cast<unsigned>(
+        _mm_movemask_pd(_mm_castsi128_pd(_mm_cmpgt_epi64(piv, v))));
+    const std::uint16_t w = static_cast<std::uint16_t>(
+        detail::kPack2.rev[lt] + static_cast<std::uint32_t>(i) * 0x0101u);
+    std::memcpy(offs + n, &w, sizeof(w));
+    n += static_cast<std::size_t>(__builtin_popcount(lt));
+  }
+  for (; i < count; ++i) {
+    offs[n] = static_cast<std::uint8_t>(i);
+    n += static_cast<std::size_t>(end[-1 - static_cast<std::ptrdiff_t>(i)] <
+                                  pivot);
+  }
+  return n;
+}
+
+// ISA-dispatched entry points (isa must not be kScalar).
+inline std::size_t classify_ge(PartitionIsa isa, const std::uint64_t* data,
+                               std::size_t count, std::uint64_t pivot,
+                               std::uint8_t* offs) {
+  return isa == PartitionIsa::kAvx2
+             ? classify_ge_avx2(data, count, pivot, offs)
+             : classify_ge_sse42(data, count, pivot, offs);
+}
+
+inline std::size_t classify_lt_rev(PartitionIsa isa, const std::uint64_t* end,
+                                   std::size_t count, std::uint64_t pivot,
+                                   std::uint8_t* offs) {
+  return isa == PartitionIsa::kAvx2
+             ? classify_lt_rev_avx2(end, count, pivot, offs)
+             : classify_lt_rev_sse42(end, count, pivot, offs);
+}
+
+#endif  // PGXD_SIMD_PARTITION_X86
+
+}  // namespace pgxd::sort::simd

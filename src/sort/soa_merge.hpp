@@ -22,7 +22,6 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <span>
 #include <utility>
 #include <vector>
@@ -30,6 +29,7 @@
 #include "common/assert.hpp"
 #include "common/thread_pool.hpp"
 #include "sort/balanced_merge.hpp"
+#include "sort/comparator.hpp"
 #include "sort/merge.hpp"
 
 namespace pgxd::sort {
@@ -50,7 +50,7 @@ struct SoaMergeSegment {
 
 // Stable sequential merge of the segment's two key runs, moving the
 // permutation in lockstep.
-template <typename K, typename Comp = std::less<K>>
+template <typename K, typename Comp = Less>
 void run_soa_merge_segment(const SoaMergeSegment<K>& seg, Comp comp = {}) {
   std::size_t i = 0, j = 0, k = 0;
   while (i < seg.a_n && j < seg.b_n) {
@@ -74,7 +74,7 @@ void run_soa_merge_segment(const SoaMergeSegment<K>& seg, Comp comp = {}) {
 
 // Cuts one key+permutation merge into `pieces` independent segments via
 // co_rank on the keys and appends them to `segs`.
-template <typename K, typename Comp = std::less<K>>
+template <typename K, typename Comp = Less>
 void append_soa_merge_segments(const K* a_key, const std::uint32_t* a_perm,
                                std::size_t a_n, const K* b_key,
                                const std::uint32_t* b_perm, std::size_t b_n,
@@ -118,7 +118,7 @@ struct SoaMergeResult {
 // result lives in (keys, perm) or in (key_scratch, perm_scratch) per
 // `in_scratch`. `perm` is typically identity-initialized by the caller; this
 // routine only permutes it alongside the keys.
-template <typename K, typename Comp = std::less<K>>
+template <typename K, typename Comp = Less>
 SoaMergeResult balanced_merge_soa(std::vector<K>& keys,
                                   std::vector<std::uint32_t>& perm,
                                   std::vector<std::size_t> bounds,

@@ -14,12 +14,12 @@
 
 #include <algorithm>
 #include <cstddef>
-#include <functional>
 #include <span>
 #include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "sort/comparator.hpp"
 
 namespace pgxd::sort {
 
@@ -520,7 +520,7 @@ class TimSorter {
 }  // namespace detail
 
 // Stable adaptive mergesort; O(n) on already-sorted or reverse-sorted input.
-template <typename T, typename Comp = std::less<T>>
+template <typename T, typename Comp = Less>
 TimSortStats timsort(std::span<T> data, Comp comp = {}) {
   detail::TimSorter<T, Comp> sorter(data, comp);
   return sorter.sort();

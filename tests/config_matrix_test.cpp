@@ -1,5 +1,5 @@
 // Property sweep over the full SortConfig switch matrix: every combination
-// of {investigator, balanced merge, async exchange, buffered exchange,
+// of {investigator, final-merge strategy, async exchange, buffered exchange,
 // SoA final merge} must produce a correct sort on both easy and adversarial
 // data. Catches interactions between ablation paths that single-switch
 // tests miss. (The buffer pool stays at its default — on — here; its
@@ -20,7 +20,7 @@ using Sorter = DistributedSorter<Key>;
 
 struct MatrixParam {
   bool investigator;
-  bool balanced_merge;
+  MergeAlgo merge;
   bool async_exchange;
   bool buffered;
   bool soa_merge;
@@ -41,7 +41,7 @@ TEST_P(ConfigMatrix, SortsCorrectly) {
 
   SortConfig cfg;
   cfg.use_investigator = param.investigator;
-  cfg.balanced_final_merge = param.balanced_merge;
+  cfg.final_merge = param.merge;
   cfg.async_exchange = param.async_exchange;
   cfg.buffered_exchange = param.buffered;
   cfg.soa_final_merge = param.soa_merge;
@@ -61,13 +61,14 @@ TEST_P(ConfigMatrix, SortsCorrectly) {
 std::vector<MatrixParam> all_combinations() {
   std::vector<MatrixParam> out;
   for (bool inv : {true, false})
-    for (bool bal : {true, false})
+    for (auto merge : {MergeAlgo::kParallelKway, MergeAlgo::kPairwiseTree,
+                       MergeAlgo::kSequentialKway})
       for (bool async_ex : {true, false})
         for (bool buf : {true, false})
           for (bool soa : {true, false})
             for (auto dist : {gen::Distribution::kUniform,
                               gen::Distribution::kRightSkewed})
-              out.push_back(MatrixParam{inv, bal, async_ex, buf, soa, dist});
+              out.push_back(MatrixParam{inv, merge, async_ex, buf, soa, dist});
   return out;
 }
 
@@ -75,7 +76,9 @@ std::string matrix_name(const ::testing::TestParamInfo<MatrixParam>& info) {
   const auto& p = info.param;
   std::string name;
   name += p.investigator ? "Inv" : "NoInv";
-  name += p.balanced_merge ? "Bal" : "Kway";
+  name += p.merge == MergeAlgo::kParallelKway
+              ? "Kway"
+              : (p.merge == MergeAlgo::kPairwiseTree ? "Tree" : "KwaySeq");
   name += p.async_exchange ? "Async" : "Bsp";
   name += p.buffered ? "Buf" : "Whole";
   name += p.soa_merge ? "Soa" : "Aos";

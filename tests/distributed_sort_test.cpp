@@ -376,7 +376,7 @@ TEST(DistributedSort, SimultaneousSortsBothCorrect) {
   Sorter s2(cluster, SortConfig{}, /*sort_id=*/1);
   s1.set_input(a);
   s2.set_input(b);
-  const auto elapsed = sort_simultaneously<Key, std::less<Key>>(
+  const auto elapsed = sort_simultaneously<Key>(
       cluster, {&s1, &s2});
   EXPECT_GT(elapsed, 0);
   verify_sorted(s1, a);
@@ -393,7 +393,7 @@ TEST(DistributedSort, SimultaneousCheaperThanSequentialRuns) {
   Sorter s2(shared, SortConfig{}, 1);
   s1.set_input(a);
   s2.set_input(b);
-  const auto together = sort_simultaneously<Key, std::less<Key>>(
+  const auto together = sort_simultaneously<Key>(
       shared, {&s1, &s2});
 
   rt::Cluster<Sorter::Msg> c1(test_cluster(machines));

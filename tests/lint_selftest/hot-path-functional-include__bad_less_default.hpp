@@ -1,0 +1,10 @@
+// Fixture: a hot-path header pulling in <functional> just to spell a
+// std::less<T> default comparator. The fix is sort::Less
+// (sort/comparator.hpp).
+// pgxd-lint: hot-path
+#pragma once
+
+#include <functional>
+
+template <typename T, typename Comp = std::less<T>>
+void sorted_thing(T* data, Comp comp = {});

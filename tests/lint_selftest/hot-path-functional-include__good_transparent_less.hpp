@@ -1,0 +1,15 @@
+// Fixture: the include-hygiene fix — a hot-path header whose default
+// comparator is a transparent functor, with no <functional> include.
+// pgxd-lint: hot-path
+#pragma once
+
+struct FixtureLess {
+  using is_transparent = void;
+  template <typename A, typename B>
+  constexpr bool operator()(const A& a, const B& b) const {
+    return a < b;
+  }
+};
+
+template <typename T, typename Comp = FixtureLess>
+void sorted_thing(T* data, Comp comp = {});

@@ -1,0 +1,164 @@
+// Tests for the strategy-selectable local sort: radix/comparison equality,
+// the adaptive crossover's decisions, comparator gating, and the SIMD
+// block-partition's equivalence with the scalar classify loop.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sort/local_sort.hpp"
+#include "sort/quicksort.hpp"
+#include "sort/simd_partition.hpp"
+
+namespace pgxd::sort {
+namespace {
+
+std::vector<std::uint64_t> random_keys(std::size_t n, std::uint64_t seed,
+                                       std::uint64_t domain = 0) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = domain ? rng.bounded(domain) : rng.next();
+  return v;
+}
+
+TEST(LocalSort, RadixAndComparisonAgree) {
+  for (std::uint64_t domain : {std::uint64_t{0}, std::uint64_t{1} << 32,
+                               std::uint64_t{100}}) {
+    auto a = random_keys(50000, 7 + domain, domain);
+    auto b = a;
+    const auto sa = local_sort(a, LocalSortAlgo::kComparison);
+    const auto sb = local_sort(b, LocalSortAlgo::kRadix);
+    EXPECT_FALSE(sa.used_radix);
+    EXPECT_TRUE(sb.used_radix);
+    EXPECT_EQ(a, b);
+    EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+  }
+}
+
+TEST(LocalSort, AdaptivePicksRadixForNarrowKeys) {
+  // 32 significant bits -> 4 passes; 4 * 3.8 < log2(n) * 1.6 from n = 2^13
+  // up, so a large narrow-key shard goes radix.
+  auto v = random_keys(1 << 15, 3, std::uint64_t{1} << 32);
+  const auto stats = local_sort(v, LocalSortAlgo::kAdaptive);
+  EXPECT_TRUE(stats.used_radix);
+  EXPECT_LE(stats.significant_bits, 32u);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(LocalSort, AdaptiveKeepsComparisonSortForSmallShards) {
+  auto v = random_keys(4000, 5, std::uint64_t{1} << 16);
+  const auto stats = local_sort(v, LocalSortAlgo::kAdaptive);
+  EXPECT_FALSE(stats.used_radix);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(LocalSort, AdaptiveKeepsComparisonSortForFullWidthMidSizes) {
+  // 64-bit-wide keys need 8 passes: 8 * 3.8 = 30.4 beats log2(n) * 1.6
+  // only past n ~ 2^19, so a 2^16 shard stays on the comparison sort.
+  auto v = random_keys(1 << 16, 9);
+  const auto stats = local_sort(v, LocalSortAlgo::kAdaptive);
+  EXPECT_FALSE(stats.used_radix);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(LocalSort, CustomComparatorAlwaysComparison) {
+  // Radix on raw bits would sort ascending; a greater-than comparator must
+  // route to the comparison path even when radix is demanded.
+  auto v = random_keys(20000, 11, std::uint64_t{1} << 20);
+  const auto stats =
+      local_sort(v, LocalSortAlgo::kRadix, std::greater<std::uint64_t>{});
+  EXPECT_FALSE(stats.used_radix);
+  EXPECT_TRUE(std::is_sorted(v.rbegin(), v.rend()));
+}
+
+TEST(LocalSort, SignedKeysAlwaysComparison) {
+  Rng rng(13);
+  std::vector<std::int64_t> v(20000);
+  for (auto& x : v) x = static_cast<std::int64_t>(rng.next());
+  const auto stats = local_sort(v, LocalSortAlgo::kRadix);
+  EXPECT_FALSE(stats.used_radix);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(LocalSort, EmptyAndTiny) {
+  std::vector<std::uint64_t> v;
+  EXPECT_FALSE(local_sort(v, LocalSortAlgo::kRadix).used_radix);
+  v = {9};
+  EXPECT_FALSE(local_sort(v, LocalSortAlgo::kRadix).used_radix);
+  v = {9, 3};
+  EXPECT_TRUE(local_sort(v, LocalSortAlgo::kRadix).used_radix);
+  EXPECT_EQ(v, (std::vector<std::uint64_t>{3, 9}));
+}
+
+TEST(SimdPartition, MatchesScalarPartition) {
+  // The SIMD classify must produce exactly the same sorted output as the
+  // scalar block partition on identical input, across distributions that
+  // stress the pivot (uniform, tie-heavy, presorted, sawtooth).
+  QuicksortConfig simd_on;
+  simd_on.simd_partition = true;
+  QuicksortConfig simd_off;
+  simd_off.simd_partition = false;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    for (int shape = 0; shape < 4; ++shape) {
+      std::vector<std::uint64_t> v;
+      switch (shape) {
+        case 0: v = random_keys(100000, seed); break;
+        case 1: v = random_keys(100000, seed, 30); break;
+        case 2:
+          v = random_keys(100000, seed);
+          std::sort(v.begin(), v.end());
+          break;
+        default:
+          v.resize(100000);
+          for (std::size_t i = 0; i < v.size(); ++i) v[i] = i % 1000;
+      }
+      auto a = v;
+      auto b = v;
+      quicksort(std::span<std::uint64_t>(a), Less{}, simd_on);
+      quicksort(std::span<std::uint64_t>(b), Less{}, simd_off);
+      EXPECT_EQ(a, b);
+      EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+    }
+  }
+}
+
+#if PGXD_SIMD_PARTITION_X86
+TEST(SimdPartition, ClassifyKernelsMatchScalar) {
+  // Direct kernel check at every count in [0, 64] and both directions,
+  // including ties on the pivot (>= left, < right — matching the scalar
+  // loops in partition_right_block).
+  const auto isa = simd::partition_isa();
+  if (isa == simd::PartitionIsa::kScalar) GTEST_SKIP() << "no SSE4.2/AVX2";
+  Rng rng(21);
+  for (std::size_t count = 0; count <= 64; ++count) {
+    std::vector<std::uint64_t> block(count ? count : 1);
+    for (auto& x : block) x = rng.bounded(8);  // many pivot ties
+    const std::uint64_t pivot = 4;
+    std::uint8_t got[64], want[64];
+    // Left block: offsets with data[i] >= pivot.
+    std::size_t wn = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      want[wn] = static_cast<std::uint8_t>(i);
+      wn += block[i] >= pivot;
+    }
+    std::size_t gn = simd::classify_ge(isa, block.data(), count, pivot, got);
+    ASSERT_EQ(gn, wn) << "count=" << count;
+    EXPECT_TRUE(std::equal(got, got + gn, want)) << "count=" << count;
+    // Right block: offsets with end[-1 - i] < pivot.
+    wn = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      want[wn] = static_cast<std::uint8_t>(i);
+      wn += block[count - 1 - i] < pivot;
+    }
+    gn = simd::classify_lt_rev(isa, block.data() + count, count, pivot, got);
+    ASSERT_EQ(gn, wn) << "count=" << count;
+    EXPECT_TRUE(std::equal(got, got + gn, want)) << "count=" << count;
+  }
+}
+#endif
+
+}  // namespace
+}  // namespace pgxd::sort

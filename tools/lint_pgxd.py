@@ -6,6 +6,10 @@ Rules (see docs/ARCHITECTURE.md "Correctness tooling"):
   hot-path-std-function    no std::function in files marked hot-path
   hot-path-naked-new       no naked new expressions in hot-path files
   hot-path-std-set         no std::set/std::multiset in hot-path files
+  hot-path-functional-include
+                           no #include <functional> in hot-path files;
+                           default comparators use sort::Less
+                           (sort/comparator.hpp)
   determinism-wall-clock   no wall/monotonic clock reads in src/sim, src/sort
   determinism-unseeded-rng no random_device/rand()/default-seeded engines
                            in src/sim, src/sort
@@ -50,6 +54,7 @@ ALL_RULES = (
     "hot-path-std-function",
     "hot-path-naked-new",
     "hot-path-std-set",
+    "hot-path-functional-include",
     "determinism-wall-clock",
     "determinism-unseeded-rng",
     "task-ref-capture",
@@ -200,6 +205,12 @@ def check_hot_path(ctx, out):
         out.append(Violation(ctx.rel, line, "hot-path-std-set",
                              "std::set in a hot-path file; use a sorted "
                              "vector or bitmap"))
+    for line, _ in code_matches(ctx, r"#\s*include\s*<functional>"):
+        out.append(Violation(ctx.rel, line, "hot-path-functional-include",
+                             "<functional> in a hot-path file; default "
+                             "comparators use sort::Less "
+                             "(sort/comparator.hpp) — justify real uses "
+                             "with allow(...)"))
 
 
 WALL_CLOCK_RE = (r"\b(system_clock|steady_clock|high_resolution_clock)\b"

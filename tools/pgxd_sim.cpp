@@ -381,6 +381,13 @@ int main(int argc, char** argv) {
   flags.declare("investigator", "duplicate-splitter investigator (pgxd)", "true");
   flags.declare("async", "asynchronous exchange (pgxd)", "true");
   flags.declare("balanced-merge", "Fig. 2 final merge (pgxd)", "true");
+  flags.declare("merge",
+                "final-merge strategy: kway (single-pass parallel) | "
+                "pairwise (Fig. 2 tree) | kway-seq (sequential ablation; "
+                "same as --balanced-merge=false) (pgxd)", "kway");
+  flags.declare("local-sort",
+                "step-1 local sort: adaptive | quicksort | radix (pgxd)",
+                "adaptive");
   flags.declare("buffered", "256KB-chunked exchange (pgxd)", "true");
   flags.declare("sample-factor", "sample size in multiples of X (pgxd)", "1.0");
   flags.declare("buffer-bytes", "read buffer size in bytes (pgxd)", "262144");
@@ -409,6 +416,30 @@ int main(int argc, char** argv) {
   opt.sort_cfg.use_investigator = flags.boolean("investigator");
   opt.sort_cfg.async_exchange = flags.boolean("async");
   opt.sort_cfg.balanced_final_merge = flags.boolean("balanced-merge");
+  {
+    const std::string merge = flags.str("merge");
+    if (merge == "kway") {
+      opt.sort_cfg.final_merge = pgxd::core::MergeAlgo::kParallelKway;
+    } else if (merge == "pairwise") {
+      opt.sort_cfg.final_merge = pgxd::core::MergeAlgo::kPairwiseTree;
+    } else if (merge == "kway-seq") {
+      opt.sort_cfg.final_merge = pgxd::core::MergeAlgo::kSequentialKway;
+    } else {
+      std::fprintf(stderr, "unknown --merge '%s'\n", merge.c_str());
+      return 2;
+    }
+    const std::string ls = flags.str("local-sort");
+    if (ls == "adaptive") {
+      opt.sort_cfg.local_sort = pgxd::core::LocalSortAlgo::kAdaptive;
+    } else if (ls == "quicksort") {
+      opt.sort_cfg.local_sort = pgxd::core::LocalSortAlgo::kComparison;
+    } else if (ls == "radix") {
+      opt.sort_cfg.local_sort = pgxd::core::LocalSortAlgo::kRadix;
+    } else {
+      std::fprintf(stderr, "unknown --local-sort '%s'\n", ls.c_str());
+      return 2;
+    }
+  }
   opt.sort_cfg.buffered_exchange = flags.boolean("buffered");
   opt.sort_cfg.sample_factor = flags.f64("sample-factor");
   opt.sort_cfg.read_buffer_bytes = flags.u64("buffer-bytes");
