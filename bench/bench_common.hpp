@@ -20,7 +20,10 @@
 #include "core/sort_report.hpp"
 #include "datagen/distributions.hpp"
 #include "graph/twitter.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/timeseries.hpp"
 #include "runtime/cluster.hpp"
+#include "sim/trace.hpp"
 #include "spark/sort_by_key.hpp"
 
 namespace pgxd::bench {
@@ -38,6 +41,9 @@ struct BenchEnv {
   unsigned threads = 32;
   std::uint64_t seed = 2017;
   rt::CostModel cost{};  // Table-I defaults, or host-calibrated
+  // Full causal telemetry: span trace + per-frame flow edges + time-series
+  // sampler on every run (the telemetry overhead gate's "on" side).
+  bool flows = false;
 };
 
 // Declares the shared flags on `flags`; call parse() afterwards.
@@ -51,6 +57,10 @@ inline void declare_common_flags(Flags& flags) {
                 "instead of the Table-I defaults",
                 "false");
   flags.declare("csv", "emit result tables as CSV (for plotting)", "false");
+  flags.declare("flows",
+                "record span trace + flow edges + time-series sampler on "
+                "every run (overhead-gate workload)",
+                "false");
 }
 
 // Prints `t` as an aligned table, or as CSV when --csv was passed.
@@ -67,6 +77,7 @@ inline BenchEnv env_from_flags(const Flags& flags) {
   env.procs = flags.u64_list("procs");
   env.threads = static_cast<unsigned>(flags.u64("threads"));
   env.seed = flags.u64("seed");
+  env.flows = flags.boolean("flows");
   if (flags.boolean("calibrate")) {
     env.cost = rt::calibrate();
     std::printf("calibrated cost model: sort %.3f ns/(elem*log2), merge %.3f "
@@ -139,6 +150,12 @@ inline PgxdRun run_pgxd(const BenchEnv& env, std::size_t p,
   // on-vs-off overhead through these benches).
   rt::Cluster<Sorter::Msg> cluster(cluster_config(env, p));
   Sorter sorter(cluster, cfg);
+  sim::Trace trace;
+  obs::TimeSeriesSampler sampler;
+  if (env.flows) {
+    sorter.set_trace(&trace);
+    sorter.set_sampler(&sampler);
+  }
   sorter.run(std::move(shards));
   PgxdRun run;
   run.stats = sorter.stats();
@@ -148,6 +165,11 @@ inline PgxdRun run_pgxd(const BenchEnv& env, std::size_t p,
   info.machines = p;
   info.seed = env.seed;
   run.report = core::build_sort_report(sorter, std::move(info));
+  if (env.flows) {
+    run.report.critical_path = obs::compute_critical_path(
+        trace, /*top_k=*/5, sorter.stats().total_time);
+    run.report.timeseries = sampler.dump();
+  }
   for (const auto& part : sorter.partitions()) {
     run.partition_sizes.push_back(part.size());
     if (part.empty())

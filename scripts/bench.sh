@@ -21,7 +21,15 @@ trap 'rm -rf "$TMP"' EXIT
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target kernels_local_sort kernels_network fig5_total_time
+  --target kernels_local_sort kernels_network fig5_total_time pgxd_sim_tool
+
+# Provenance for the snapshot's "meta" block: exact source revision (plus a
+# -dirty marker for uncommitted changes) and the effective SortConfig knobs
+# as the binary resolves them. The perf gate never compares "meta" — it
+# exists so a regression report can say what was actually measured.
+GIT_SHA="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
+if ! git diff --quiet HEAD 2>/dev/null; then GIT_SHA="$GIT_SHA-dirty"; fi
+"$BUILD_DIR/tools/pgxd_sim" --print-config > "$TMP/sort_config.json"
 
 # Kernel microbenchmarks, JSON so the perf gate can diff items_per_second.
 "$BUILD_DIR/bench/kernels_local_sort" \
@@ -37,9 +45,9 @@ E2E_START=$(date +%s.%N)
 "$BUILD_DIR/bench/fig5_total_time" > "$TMP/fig5.txt"
 E2E_SECS=$(python3 -c "import time,sys; print(f'{time.time()-float(sys.argv[1]):.3f}')" "$E2E_START")
 
-python3 - "$TMP" "$OUT" "$E2E_SECS" <<'PY'
+python3 - "$TMP" "$OUT" "$E2E_SECS" "$GIT_SHA" <<'PY'
 import json, sys
-tmp, out, e2e = sys.argv[1], sys.argv[2], float(sys.argv[3])
+tmp, out, e2e, git_sha = sys.argv[1], sys.argv[2], float(sys.argv[3]), sys.argv[4]
 
 def kernels(path):
     with open(path) as f:
@@ -54,9 +62,17 @@ def kernels(path):
         }
     return res
 
+with open(f"{tmp}/sort_config.json") as f:
+    sort_config = json.load(f)
+
 snapshot = {
     "schema": 1,
     "build_type": "Release",
+    "meta": {
+        "git_sha": git_sha,
+        "build_type": "Release",
+        "sort_config": sort_config,
+    },
     "kernels_local_sort": kernels(f"{tmp}/local_sort.json"),
     "kernels_network": kernels(f"{tmp}/network.json"),
     "e2e": {"fig5_total_time_wall_seconds": e2e},

@@ -10,10 +10,14 @@
 #                                    # results/BENCH_sort.json; fails on a
 #                                    # >30% throughput regression
 #   scripts/check.sh telemetry       # Release suite with PGXD_TELEMETRY=1,
-#                                    # pgxd_sim --report/--trace smoke test
-#                                    # validated against the checked-in
-#                                    # schema, and a <3% telemetry-overhead
-#                                    # gate on the fig5 e2e workload
+#                                    # validator self-test, pgxd_sim smoke
+#                                    # test with flow events + critical path
+#                                    # + sampler (--strict validated; flow
+#                                    # arrows and counter events asserted in
+#                                    # the chrome trace; artifacts kept in
+#                                    # $TELEMETRY_OUT for CI upload), and a
+#                                    # <3% overhead gate on the fig5 e2e
+#                                    # workload with the full causal stack on
 #   scripts/check.sh chaos           # crash-stop gate: release build, the
 #                                    # crash/recovery/fault test suites, and
 #                                    # a pgxd_sim --crash sweep (kill a rank
@@ -130,14 +134,26 @@ case "$MODE" in
     #    (SortConfig::telemetry defaults from this env var).
     PGXD_TELEMETRY=1 run_suite build-release
 
-    # 2. Flight-recorder smoke test: 4-rank exponential sort, report +
-    #    chrome trace, then schema + semantic validation.
-    TMP="$(mktemp -d /tmp/pgxd_telemetry.XXXXXX)"
-    trap 'rm -rf "$TMP"' EXIT
+    # 2. The report validator's own fixture matrix (lax + strict modes).
+    python3 tools/validate_report.py --selftest
+
+    # 3. Flight-recorder smoke test: 4-rank exponential sort with the full
+    #    causal stack (flow edges, critical path, time-series sampler), then
+    #    strict schema + semantic validation. Artifacts land in
+    #    $TELEMETRY_OUT when set (CI uploads them), else in a temp dir.
+    if [ -n "${TELEMETRY_OUT:-}" ]; then
+      OUT="$TELEMETRY_OUT"
+      mkdir -p "$OUT"
+    else
+      OUT="$(mktemp -d /tmp/pgxd_telemetry.XXXXXX)"
+      trap 'rm -rf "$OUT"' EXIT
+    fi
     build-release/tools/pgxd_sim --dist=exponential --n=200000 --p=4 \
-      --report="$TMP/report.json" --trace="$TMP/trace.json"
-    python3 tools/validate_report.py "$TMP/report.json" tools/report_schema.json
-    python3 - "$TMP/trace.json" <<'PY'
+      --critical-path --sample-us=200 \
+      --report="$OUT/report.json" --trace="$OUT/trace.json"
+    python3 tools/validate_report.py --strict "$OUT/report.json" \
+      tools/report_schema.json
+    python3 - "$OUT/trace.json" <<'PY'
 import json, sys
 with open(sys.argv[1]) as f: doc = json.load(f)
 events = doc["traceEvents"]
@@ -148,28 +164,45 @@ want = {"local-sort", "sampling", "splitter-select",
 missing = want - names
 assert not missing, f"chrome trace missing steps: {missing}"
 assert all("ts" in e and "dur" in e for e in complete)
-print(f"OK: chrome trace has {len(complete)} spans over {len(names)} step names")
+# Flow arrows: every "s" start has exactly one "f" finish with the same
+# (cat, id), and the finish binds to the enclosing slice ("bp": "e").
+starts = {(e["cat"], e["id"]) for e in events if e.get("ph") == "s"}
+finishes = {(e["cat"], e["id"]) for e in events if e.get("ph") == "f"}
+assert starts, "chrome trace has no flow events"
+assert starts == finishes, "unmatched flow start/finish pairs"
+assert all(e.get("bp") == "e" for e in events if e.get("ph") == "f")
+data_flows = sum(1 for c, _ in starts if c == "flow.data")
+assert data_flows > 0, "no data-frame flow edges"
+# Counter graphs from the time-series sampler.
+counters = [e for e in events if e.get("ph") == "C"]
+assert counters, "chrome trace has no counter events"
+counter_names = {e["name"] for e in counters}
+assert any(n.endswith("mailbox_depth") for n in counter_names), counter_names
+print(f"OK: chrome trace has {len(complete)} spans, {len(starts)} flow "
+      f"arrows ({data_flows} data), {len(counters)} counter samples")
 PY
 
-    # 3. Overhead gate: the fig5 e2e workload with telemetry off vs on must
-    #    stay within 3% wall-clock (best of N to shave scheduler noise).
+    # 4. Overhead gate: the fig5 e2e workload with telemetry off vs fully
+    #    on (metrics registry + flow edges + sampler) must stay within 3%
+    #    wall-clock (best of N to shave scheduler noise).
     python3 - build-release <<'PY'
 import subprocess, sys, time
 
 build = sys.argv[1]
 cmd = [f"{build}/bench/fig5_total_time", "--n=2097152", "--procs=8,16"]
 
-def best_of(env_extra, runs=3):
+def best_of(env_extra, extra_args=(), runs=3):
     best = float("inf")
     for _ in range(runs):
         env = dict(**__import__("os").environ, **env_extra)
         t0 = time.monotonic()
-        subprocess.run(cmd, check=True, env=env, stdout=subprocess.DEVNULL)
+        subprocess.run([*cmd, *extra_args], check=True, env=env,
+                       stdout=subprocess.DEVNULL)
         best = min(best, time.monotonic() - t0)
     return best
 
 off = best_of({"PGXD_TELEMETRY": "0"})
-on = best_of({"PGXD_TELEMETRY": "1"})
+on = best_of({"PGXD_TELEMETRY": "1"}, extra_args=["--flows=true"])
 ratio = on / off
 print(f"telemetry overhead: off {off:.3f}s, on {on:.3f}s ({ratio:.4f}x)")
 if ratio > 1.03:
@@ -221,6 +254,9 @@ if missing:
     sys.exit(1)
 
 failures = []
+# Only the kernel suites gate; other top-level keys — including the "meta"
+# provenance block (git SHA, build type, SortConfig) bench.sh embeds — are
+# descriptive, never compared.
 for suite in ("kernels_local_sort", "kernels_network"):
     for name, b in base.get(suite, {}).items():
         n = now.get(suite, {}).get(name)

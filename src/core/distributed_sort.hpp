@@ -50,6 +50,7 @@
 #include "core/provenance.hpp"
 #include "core/splitters.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "runtime/cluster.hpp"
 #include "runtime/errors.hpp"
 #include "sim/trace.hpp"
@@ -276,10 +277,48 @@ class DistributedSorter {
   // Optional span tracing: each machine's step becomes a (lane, label,
   // begin, end, bytes) span — see sim::Trace::render_gantt and
   // obs::chrome_trace_json. Declares the cluster size as the lane count so
-  // span-less ranks still show up.
+  // span-less ranks still show up, wires the comm layer to record one flow
+  // edge per physical frame it lands (data, retransmit, duplicate, ack),
+  // and names the engine tags so exports say "chunk", not "tag 3".
   void set_trace(sim::Trace* trace) {
     trace_ = trace;
-    if (trace_) trace_->set_lane_count(cluster_.size());
+    if (trace_) {
+      trace_->set_lane_count(cluster_.size());
+      trace_->name_tag(tag(kTagSamples), "samples");
+      trace_->name_tag(tag(kTagSplitters), "splitters");
+      trace_->name_tag(tag(kTagCounts), "counts");
+      trace_->name_tag(tag(kTagData), "chunk");
+      trace_->name_tag(tag(kTagCtrl), "ctrl");
+    }
+    cluster_.comm().set_trace(trace);
+  }
+
+  // Optional time-series telemetry: registers this sorter's live probes —
+  // per-rank mailbox depth, exchange BufferPool occupancy/outstanding
+  // chunks, failure-detector suspicion — on the sampler and attaches it to
+  // the cluster, which starts/stops its sampling loop around each run.
+  // The probes observe `this` and the cluster: the sampler must not
+  // outlive either while attached. nullptr detaches.
+  void set_sampler(obs::TimeSeriesSampler* sampler) {
+    if (sampler != nullptr) {
+      auto& comm = cluster_.comm();
+      for (std::size_t r = 0; r < cluster_.size(); ++r)
+        sampler->add("rank" + std::to_string(r) + ".mailbox_depth",
+                     [&comm, r] {
+                       return static_cast<double>(comm.pending_total(r));
+                     });
+      sampler->add("pool.free_buffers", [this] {
+        return static_cast<double>(pool_.free_buffers());
+      });
+      sampler->add("pool.outstanding_chunks", [this] {
+        return static_cast<double>(pool_.outstanding());
+      });
+      if (rt::FailureDetector* det = cluster_.detector())
+        sampler->add("detector.suspected_pairs", [det] {
+          return static_cast<double>(det->suspected_pair_count());
+        });
+    }
+    cluster_.set_sampler(sampler);
   }
 
  private:

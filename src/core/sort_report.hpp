@@ -16,8 +16,10 @@
 
 #include "common/assert.hpp"
 #include "core/config.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "sim/time.hpp"
 
 namespace pgxd::core {
@@ -109,6 +111,12 @@ struct SortReport {
   NetworkReport network;
   PoolReport pool;
   RecoveryReport recovery;
+  // Causal telemetry. Always emitted like recovery: a run without a trace
+  // reads as critical_path.computed == false and an empty timeseries, so
+  // the schema stays stable. Filled by the caller that owns the trace and
+  // sampler (pgxd_sim, benches) after build_sort_report.
+  obs::CriticalPathReport critical_path;
+  obs::TimeSeriesDump timeseries;
   obs::MetricsRegistry metrics;  // cluster-wide merge of per-rank registries
 
   std::string to_json() const {
@@ -196,6 +204,10 @@ struct SortReport {
          static_cast<std::int64_t>(recovery.time_to_recover_max_ns));
     w.kv("time_to_recover_mean_ns", recovery.time_to_recover_mean_ns);
     w.end_object();
+    w.key("critical_path");
+    critical_path.write_json(w);
+    w.key("timeseries");
+    timeseries.write_json(w);
     w.key("metrics");
     metrics.write_json(w);
     w.end_object();

@@ -1,0 +1,37 @@
+// Wire-frame header: trace-context metadata that rides every frame the
+// comm layer pushes through the fabric. The span id is assigned by the
+// sender once per logical message and is stable across retransmissions
+// and fabric duplicates — it is what lets a receiver (and the trace
+// exports built on sim::Trace::Flow) attribute any arriving physical
+// frame back to the exact send that caused it, PGX.D-debuggability for
+// the "why is this run slow" question the per-step timers cannot answer.
+//
+// The header models metadata that real fabrics carry in-band (cf. W3C
+// trace-context / OpenTelemetry span propagation); its modeled wire cost
+// is folded into the existing per-message byte counts rather than charged
+// separately.
+#pragma once
+
+#include <cstdint>
+
+namespace pgxd::net {
+
+enum class FrameKind : std::uint8_t { kData = 0, kAck = 1 };
+
+struct FrameHeader {
+  // Sender-assigned causal span id; 0 = unstamped (a message that never
+  // crossed the fabric, e.g. a local loopback post).
+  std::uint64_t span_id = 0;
+  FrameKind kind = FrameKind::kData;
+  // Transmission attempt this frame rode (0 = first transmission); lets
+  // the receiver side tag retransmit edges without consulting sender
+  // state.
+  std::uint16_t attempt = 0;
+
+  FrameHeader() = default;
+  FrameHeader(std::uint64_t span_id_in, FrameKind kind_in,
+              std::uint16_t attempt_in)
+      : span_id(span_id_in), kind(kind_in), attempt(attempt_in) {}
+};
+
+}  // namespace pgxd::net

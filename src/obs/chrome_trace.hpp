@@ -3,20 +3,32 @@
 // chrome://tracing and Perfetto load directly. Each trace lane becomes a
 // thread ("rank N") of one process; every span is a complete ("ph": "X")
 // event with microsecond timestamps and its byte metadata under args.
+//
+// Causal extensions: every sim::Trace::Flow edge becomes a flow-event pair
+// ("ph": "s" on the sender lane, "ph": "f" with "bp": "e" on the receiver
+// lane, matched by id + cat), which the viewer draws as arrows between
+// rank lanes — retransmitted and duplicate frames carry those flags under
+// args, so fault-fabric redelivery is visible at a glance. A time-series
+// dump (obs::TimeSeriesSampler) adds counter events ("ph": "C") that
+// render as live per-rank graphs under the lanes.
 #pragma once
 
 #include <string>
 
 #include "obs/json.hpp"
+#include "obs/timeseries.hpp"
 #include "sim/time.hpp"
 #include "sim/trace.hpp"
 
 namespace pgxd::obs {
 
 // Serializes `trace` as a Chrome trace_event JSON document. `process_name`
-// labels the single process row in the viewer.
+// labels the single process row in the viewer; `timeseries` (optional)
+// appends its series as counter events.
 inline std::string chrome_trace_json(const sim::Trace& trace,
-                                     const std::string& process_name = "pgxd") {
+                                     const std::string& process_name = "pgxd",
+                                     const TimeSeriesDump* timeseries =
+                                         nullptr) {
   JsonWriter w;
   w.begin_object();
   w.key("traceEvents");
@@ -62,6 +74,66 @@ inline std::string chrome_trace_json(const sim::Trace& trace,
     w.kv("bytes", s.bytes);
     w.end_object();
     w.end_object();
+  }
+
+  // Flow events: one "s"/"f" pair per recorded physical frame. The pair is
+  // matched by (cat, id); ids are unique per edge (not per span id — a
+  // retransmitted message draws one arrow per landed copy). "bp": "e"
+  // binds the arrow head to the enclosing receiver slice.
+  std::uint64_t edge_id = 0;
+  for (const auto& f : trace.flows()) {
+    const bool ack = f.kind == sim::Trace::FlowKind::kAck;
+    const std::string name =
+        ack ? std::string("ack") : trace.tag_label(f.tag);
+    const char* cat = ack ? "flow.ack" : "flow.data";
+    const std::uint64_t id = edge_id++;
+
+    w.begin_object();
+    w.kv("name", name);
+    w.kv("cat", cat);
+    w.kv("ph", "s");
+    w.kv("id", id);
+    w.kv("pid", 0);
+    w.kv("tid", static_cast<std::uint64_t>(f.src));
+    w.kv("ts", static_cast<double>(f.send) / 1e3);
+    w.key("args");
+    w.begin_object();
+    w.kv("span_id", f.span_id);
+    w.kv("bytes", f.bytes);
+    w.kv("retransmit", f.retransmit);
+    w.kv("duplicate", f.duplicate);
+    w.end_object();
+    w.end_object();
+
+    w.begin_object();
+    w.kv("name", name);
+    w.kv("cat", cat);
+    w.kv("ph", "f");
+    w.kv("bp", "e");
+    w.kv("id", id);
+    w.kv("pid", 0);
+    w.kv("tid", static_cast<std::uint64_t>(f.dst));
+    w.kv("ts", static_cast<double>(f.recv) / 1e3);
+    w.end_object();
+  }
+
+  // Counter events: each sampled point of each series, rendered by the
+  // viewer as a stacked graph track named after the series.
+  if (timeseries != nullptr) {
+    for (const auto& series : timeseries->series) {
+      for (const auto& p : series.points) {
+        w.begin_object();
+        w.kv("name", series.name);
+        w.kv("ph", "C");
+        w.kv("pid", 0);
+        w.kv("ts", static_cast<double>(p.t) / 1e3);
+        w.key("args");
+        w.begin_object();
+        w.kv("value", p.v);
+        w.end_object();
+        w.end_object();
+      }
+    }
   }
 
   w.end_array();

@@ -1,0 +1,303 @@
+// Critical-path analysis over a completed sim::Trace: which chain of
+// per-rank phase work and cross-rank message hops actually bounded the
+// run's end-to-end latency.
+//
+// The walk runs backward from the latest span end. Standing on lane L at
+// instant t (inside span S), the latest non-duplicate flow edge arriving
+// on L within S and at or before t is the event that enabled the work
+// ending at t: the walk charges (recv..t] to S's phase as compute, charges
+// the edge's wire time (send..recv] to the same phase, and jumps to the
+// sender at the send instant. With no such arrival, S's start enabled the
+// work: charge (S.begin..t] to S and continue on the same lane at S.begin.
+// Per-lane spans are contiguous from t=0 (engines stamp every step), so
+// the walk terminates at the run start and the charged segments sum to
+// exactly the end-to-end time — the report's total_ns reconciles with the
+// SortReport's total_time_ns by construction.
+//
+// When the caller passes the run's true end time (`run_end`), the walk
+// starts there instead of at the latest span end. The difference is the
+// protocol drain tail — under reliable delivery the last data span can end
+// well before the last ack lands — and the walk crosses it by starting on
+// the lane receiving the latest in-window flow (usually that final ack),
+// so the tail shows up as wire time instead of silently missing from the
+// total.
+//
+// Alongside the path, the analyzer reports per-phase slack (how much the
+// average lane finished ahead of the phase's last finisher — high slack =
+// stragglers) and the top-k blocking edges (the path's message hops ranked
+// by wire time — where faster links or fewer retransmits would shorten the
+// run).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+
+namespace pgxd::obs {
+
+// Per-phase attribution of the critical path, plus cluster-wide slack.
+struct CriticalPathPhase {
+  std::string name;
+  sim::SimTime compute_ns = 0;  // path time inside spans of this phase
+  sim::SimTime wire_ns = 0;     // path message hops landing in this phase
+  double share = 0.0;           // (compute + wire) / total
+  // Mean over lanes of (phase's cluster-wide last end − the lane's own
+  // last end): how long the average rank idled waiting for the phase's
+  // straggler. 0 = perfectly balanced.
+  sim::SimTime slack_mean_ns = 0;
+};
+
+// One message hop on the critical path.
+struct CriticalPathEdge {
+  std::uint64_t span_id = 0;
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  sim::SimTime send = 0;
+  sim::SimTime recv = 0;
+  std::uint64_t bytes = 0;
+  std::string label;  // engine tag label ("chunk", "samples", ...) or "ack"
+  bool retransmit = false;
+};
+
+struct CriticalPathReport {
+  bool computed = false;
+  sim::SimTime total_ns = 0;    // == compute_ns + wire_ns == end-to-end
+  sim::SimTime compute_ns = 0;
+  sim::SimTime wire_ns = 0;
+  std::size_t hops = 0;         // message hops on the path
+  std::size_t start_lane = 0;   // lane where the walk terminated (run start)
+  std::size_t end_lane = 0;     // lane owning the final span end
+  std::vector<CriticalPathPhase> phases;      // by first appearance on path
+  std::vector<CriticalPathEdge> top_edges;    // by wire time, descending
+
+  void write_json(JsonWriter& w) const {
+    w.begin_object();
+    w.key("computed");
+    w.value(computed);
+    w.key("total_ns");
+    w.value(static_cast<std::uint64_t>(total_ns));
+    w.key("compute_ns");
+    w.value(static_cast<std::uint64_t>(compute_ns));
+    w.key("wire_ns");
+    w.value(static_cast<std::uint64_t>(wire_ns));
+    w.key("hops");
+    w.value(static_cast<std::uint64_t>(hops));
+    w.key("start_lane");
+    w.value(static_cast<std::uint64_t>(start_lane));
+    w.key("end_lane");
+    w.value(static_cast<std::uint64_t>(end_lane));
+    w.key("phases");
+    w.begin_array();
+    for (const auto& p : phases) {
+      w.begin_object();
+      w.kv("name", p.name);
+      w.key("compute_ns");
+      w.value(static_cast<std::uint64_t>(p.compute_ns));
+      w.key("wire_ns");
+      w.value(static_cast<std::uint64_t>(p.wire_ns));
+      w.key("share");
+      w.value(p.share);
+      w.key("slack_mean_ns");
+      w.value(static_cast<std::uint64_t>(p.slack_mean_ns));
+      w.end_object();
+    }
+    w.end_array();
+    w.key("top_edges");
+    w.begin_array();
+    for (const auto& e : top_edges) {
+      w.begin_object();
+      w.key("span_id");
+      w.value(e.span_id);
+      w.key("src");
+      w.value(static_cast<std::uint64_t>(e.src));
+      w.key("dst");
+      w.value(static_cast<std::uint64_t>(e.dst));
+      w.key("send_ns");
+      w.value(static_cast<std::uint64_t>(e.send));
+      w.key("recv_ns");
+      w.value(static_cast<std::uint64_t>(e.recv));
+      w.key("wire_ns");
+      w.value(static_cast<std::uint64_t>(e.recv - e.send));
+      w.key("bytes");
+      w.value(e.bytes);
+      w.kv("label", e.label);
+      w.key("retransmit");
+      w.value(e.retransmit);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+};
+
+inline CriticalPathReport compute_critical_path(const sim::Trace& trace,
+                                                std::size_t top_k = 5,
+                                                sim::SimTime run_end = 0) {
+  CriticalPathReport out;
+  const auto& spans = trace.spans();
+  if (spans.empty()) return out;
+
+  const std::size_t lanes = trace.lane_count();
+
+  // Per-lane span indices ordered by begin; per-lane incoming non-duplicate
+  // flows ordered by recv.
+  std::vector<std::vector<const sim::Trace::Span*>> lane_spans(lanes);
+  for (const auto& s : spans) lane_spans[s.lane].push_back(&s);
+  for (auto& v : lane_spans)
+    std::sort(v.begin(), v.end(),
+              [](const sim::Trace::Span* a, const sim::Trace::Span* b) {
+                return a->begin < b->begin;
+              });
+
+  std::vector<std::vector<const sim::Trace::Flow*>> lane_inflows(lanes);
+  for (const auto& f : trace.flows())
+    if (!f.duplicate && f.dst < lanes) lane_inflows[f.dst].push_back(&f);
+  for (auto& v : lane_inflows)
+    std::sort(v.begin(), v.end(),
+              [](const sim::Trace::Flow* a, const sim::Trace::Flow* b) {
+                return a->recv < b->recv;
+              });
+
+  // The path's terminus: the latest span end anywhere.
+  std::size_t lane = 0;
+  sim::SimTime t = spans.front().end;
+  for (const auto& s : spans)
+    if (s.end > t || (s.end == t && s.lane < lane)) {
+      t = s.end;
+      lane = s.lane;
+    }
+  // Extend to the run's true end when the caller knows it: the drain tail
+  // belongs to the lane receiving the latest flow inside it (the final
+  // ack), falling back to the latest-span lane when nothing arrived.
+  if (run_end > t) {
+    const sim::Trace::Flow* tail = nullptr;
+    for (const auto& f : trace.flows())
+      if (!f.duplicate && f.dst < lanes && f.recv > t && f.recv <= run_end &&
+          (tail == nullptr || f.recv > tail->recv))
+        tail = &f;
+    if (tail != nullptr) lane = tail->dst;
+    t = run_end;
+  }
+  out.end_lane = lane;
+  const sim::SimTime t_end = t;
+
+  std::map<std::string, CriticalPathPhase> by_phase;
+  std::vector<std::string> phase_order;
+  auto phase_slot = [&](const std::string& name) -> CriticalPathPhase& {
+    auto it = by_phase.find(name);
+    if (it == by_phase.end()) {
+      phase_order.push_back(name);
+      it = by_phase.emplace(name, CriticalPathPhase{}).first;
+      it->second.name = name;
+    }
+    return it->second;
+  };
+
+  std::vector<CriticalPathEdge> path_edges;
+
+  // Each iteration either strictly decreases t or consumes a span start, so
+  // the walk is bounded by spans + flows; the explicit cap turns a logic
+  // bug into a loud stop instead of a hang.
+  std::size_t fuel = spans.size() + trace.flows().size() + lanes + 2;
+  while (fuel-- > 0) {
+    // The span on `lane` covering the work that ends at t: the last span
+    // beginning strictly before t (work at t was enabled at or before it).
+    const auto& ls = lane_spans[lane];
+    const sim::Trace::Span* cur = nullptr;
+    for (auto it = ls.rbegin(); it != ls.rend(); ++it)
+      if ((*it)->begin < t) {
+        cur = *it;
+        break;
+      }
+    if (cur == nullptr) break;  // run start on this lane — path complete
+
+    // Latest arrival on this lane inside (cur.begin, t]. Edges that cannot
+    // move the walk strictly earlier (zero-latency hops, send at/after t)
+    // are skipped rather than followed, so progress is guaranteed.
+    const sim::Trace::Flow* in = nullptr;
+    const auto& fl = lane_inflows[lane];
+    for (auto it = fl.rbegin(); it != fl.rend(); ++it) {
+      if ((*it)->recv > t) continue;
+      if ((*it)->recv <= cur->begin) break;
+      if ((*it)->send >= (*it)->recv || (*it)->send >= t) continue;
+      in = *it;
+      break;
+    }
+
+    CriticalPathPhase& slot = phase_slot(cur->label);
+    if (in != nullptr) {
+      slot.compute_ns += t - in->recv;
+      slot.wire_ns += in->recv - in->send;
+      CriticalPathEdge e;
+      e.span_id = in->span_id;
+      e.src = in->src;
+      e.dst = in->dst;
+      e.send = in->send;
+      e.recv = in->recv;
+      e.bytes = in->bytes;
+      e.label = in->kind == sim::Trace::FlowKind::kAck
+                    ? std::string("ack")
+                    : trace.tag_label(in->tag);
+      e.retransmit = in->retransmit;
+      path_edges.push_back(std::move(e));
+      t = in->send;
+      lane = in->src;
+    } else {
+      slot.compute_ns += t - cur->begin;
+      t = cur->begin;
+    }
+  }
+  out.start_lane = lane;
+
+  // Totals and shares.
+  sim::SimTime t_start = t;
+  out.total_ns = t_end - t_start;
+  for (const auto& name : phase_order) {
+    const auto& p = by_phase[name];
+    out.compute_ns += p.compute_ns;
+    out.wire_ns += p.wire_ns;
+  }
+  out.hops = path_edges.size();
+  out.computed = true;
+
+  // Per-phase slack: mean over participating lanes of how far before the
+  // phase's cluster-wide last end each lane finished it.
+  std::map<std::string, std::map<std::size_t, sim::SimTime>> phase_lane_end;
+  for (const auto& s : spans) {
+    auto& m = phase_lane_end[s.label];
+    auto [it, fresh] = m.emplace(s.lane, s.end);
+    if (!fresh) it->second = std::max(it->second, s.end);
+  }
+  for (const auto& name : phase_order) {
+    CriticalPathPhase& p = by_phase[name];
+    const auto& m = phase_lane_end[name];
+    sim::SimTime last = 0;
+    for (const auto& [l, e] : m) last = std::max(last, e);
+    sim::SimTime slack_sum = 0;
+    for (const auto& [l, e] : m) slack_sum += last - e;
+    p.slack_mean_ns =
+        m.empty() ? 0 : slack_sum / static_cast<sim::SimTime>(m.size());
+    p.share = out.total_ns == 0
+                  ? 0.0
+                  : static_cast<double>(p.compute_ns + p.wire_ns) /
+                        static_cast<double>(out.total_ns);
+    out.phases.push_back(p);
+  }
+
+  // Top-k blocking edges by wire time.
+  std::sort(path_edges.begin(), path_edges.end(),
+            [](const CriticalPathEdge& a, const CriticalPathEdge& b) {
+              return (a.recv - a.send) > (b.recv - b.send);
+            });
+  if (path_edges.size() > top_k) path_edges.resize(top_k);
+  out.top_edges = std::move(path_edges);
+  return out;
+}
+
+}  // namespace pgxd::obs

@@ -13,6 +13,7 @@
 #include "common/assert.hpp"
 #include "net/fabric.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/cost_model.hpp"
 #include "runtime/failure_detector.hpp"
@@ -75,6 +76,13 @@ class Cluster {
   // Null unless ClusterConfig::detector.enabled.
   FailureDetector* detector() { return detector_.get(); }
 
+  // Attaches a time-series sampler: its loop starts with each run_on and
+  // is stopped (timer cancelled, clock untouched) when the last spawned
+  // program completes — the same lifecycle as the failure detector, so an
+  // idle sampler never delays quiescence. nullptr detaches. The caller
+  // owns the sampler and reads it back after the run.
+  void set_sampler(obs::TimeSeriesSampler* sampler) { sampler_ = sampler; }
+
   // Telemetry export for one rank: its NIC counters plus the comm layer's
   // protocol counters. Per-rank registries merged across the cluster yield
   // fabric-wide totals.
@@ -106,6 +114,7 @@ class Cluster {
     const sim::SimTime start = sim_.now();
     remaining_programs_ = ranks.size();
     if (detector_) detector_->start();
+    if (sampler_) sampler_->start(sim_);
     for (std::size_t r : ranks) {
       PGXD_CHECK(r < machines_.size());
       sim_.spawn(wrap_completion(factory(*machines_[r])));
@@ -147,7 +156,10 @@ class Cluster {
   sim::Task<void> wrap_completion_impl(sim::Task<void> program) {
     co_await std::move(program);
     PGXD_CHECK(remaining_programs_ > 0);
-    if (--remaining_programs_ == 0 && detector_) detector_->request_stop();
+    if (--remaining_programs_ == 0) {
+      if (detector_) detector_->request_stop();
+      if (sampler_) sampler_->request_stop();
+    }
   }
 
   ClusterConfig cfg_;
@@ -156,6 +168,7 @@ class Cluster {
   Comm<Payload> comm_;
   std::vector<std::unique_ptr<Machine>> machines_;
   std::unique_ptr<FailureDetector> detector_;
+  obs::TimeSeriesSampler* sampler_ = nullptr;
   std::size_t remaining_programs_ = 0;
 };
 

@@ -44,11 +44,13 @@
 #include "common/assert.hpp"
 #include "common/rng.hpp"
 #include "net/fabric.hpp"
+#include "net/frame.hpp"
 #include "runtime/errors.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
 #include "sim/timeout.hpp"
+#include "sim/trace.hpp"
 
 namespace pgxd::rt {
 
@@ -64,6 +66,9 @@ struct Message {
   std::size_t src = 0;
   int tag = 0;
   std::uint64_t bytes = 0;  // modeled wire size
+  // Trace context: sender-assigned span id + transmission attempt, stamped
+  // by Comm on every remote message (local loopbacks stay unstamped).
+  net::FrameHeader hdr{};
   Payload payload{};
 
   Message() = default;
@@ -160,6 +165,12 @@ class Comm {
     suspects_ = std::move(hook);
   }
 
+  // Causal tracing: when a trace is installed, every physical frame that
+  // lands on a receiver (data frames, retransmitted and duplicated copies,
+  // ack frames) records a sim::Trace::Flow edge carrying the sender's span
+  // id. nullptr detaches; recording costs one branch when detached.
+  void set_trace(sim::Trace* trace) { trace_ = trace; }
+
   // Raises RankCrashedError when `rank` is crash-stopped right now — the
   // DES analogue of the process dying mid-instruction. Every comm
   // operation a rank initiates passes through this, so a crashed rank's
@@ -200,6 +211,7 @@ class Comm {
       mailbox(dst, tag).send(std::move(msg));
       return;
     }
+    msg.hdr.span_id = ++next_span_;
     if (rcfg_.enabled) {
       if (rcfg_.fail_fast && unreachable_[dst] != 0) {
         // The destination is already known dead: drop at the source
@@ -266,6 +278,15 @@ class Comm {
 
   std::size_t pending(std::size_t rank, int tag) {
     return mailbox(rank, tag).size();
+  }
+
+  // Messages delivered to `rank` but not yet received, across all tags —
+  // the sampler's per-rank mailbox-depth probe.
+  std::size_t pending_total(std::size_t rank) const {
+    PGXD_CHECK(rank < machines_);
+    std::size_t n = 0;
+    for (const auto& [tag, ch] : mailboxes_[rank]) n += ch->size();
+    return n;
   }
 
   // Messages delivered but never received, across all ranks and tags. A
@@ -376,6 +397,7 @@ class Comm {
       mailbox(dst, tag).send(std::move(msg));
       co_return;
     }
+    msg.hdr.span_id = ++next_span_;
     if (rcfg_.enabled) {
       if (rcfg_.fail_fast && unreachable_[dst] != 0) {
         ++rstats_.peer_unreachable;
@@ -410,12 +432,19 @@ class Comm {
   // and a dropped message is simply lost — the resulting blocked receive
   // surfaces in Cluster::run's quiescence diagnostics.
   sim::Task<void> deliver(std::size_t src, std::size_t dst, int tag, Msg msg) {
+    const sim::SimTime sent_at = sim_.now();
     const net::Delivery d = co_await fabric_.transfer(src, dst, msg.bytes);
     if (!d.delivered()) co_return;
     for (int c = 1; c < d.copies; ++c) {
       Msg copy = msg;
+      record_flow_edge(msg.hdr.span_id, src, dst, tag,
+                       sim::Trace::FlowKind::kData, msg.bytes, sent_at,
+                       /*retransmit=*/false, /*duplicate=*/true);
       mailbox(dst, tag).send(std::move(copy));
     }
+    record_flow_edge(msg.hdr.span_id, src, dst, tag,
+                     sim::Trace::FlowKind::kData, msg.bytes, sent_at,
+                     /*retransmit=*/false, /*duplicate=*/false);
     mailbox(dst, tag).send(std::move(msg));
   }
 
@@ -455,9 +484,20 @@ class Comm {
         ++rstats_.retransmits;
         rstats_.retransmitted_bytes += rec->bytes;
       }
+      // The header's span id is stable across attempts (move of the payload
+      // leaves the scalar header intact); the attempt rides the frame so
+      // receivers can tag retransmit edges without sender state.
+      rec->msg.hdr.attempt =
+          static_cast<std::uint16_t>(std::min(attempt, 0xffff));
+      const std::uint64_t span = rec->msg.hdr.span_id;
+      const sim::SimTime sent_at = sim_.now();
       const net::Delivery d = co_await fabric_.transfer(src, dst, rec->bytes);
-      for (int c = 0; c < d.copies; ++c)
-        on_data_frame(src, dst, tag, seq, *rec);
+      for (int c = 0; c < d.copies; ++c) {
+        const bool accepted = on_data_frame(src, dst, tag, seq, *rec);
+        record_flow_edge(span, src, dst, tag, sim::Trace::FlowKind::kData,
+                         rec->bytes, sent_at, /*retransmit=*/attempt > 0,
+                         /*duplicate=*/!accepted);
+      }
       if (!rec->acked) {
         sim::Timeout timer(sim_, jittered(rto));
         rec->timer = &timer;
@@ -479,26 +519,38 @@ class Comm {
   // Receiver side of a data frame (same address space: invoked directly by
   // the completing transfer). Delivers to the mailbox exactly once per
   // seq; always acks, because a duplicate frame usually means a lost ack.
-  void on_data_frame(std::size_t src, std::size_t dst, int tag,
+  // Returns whether this frame was the copy admitted to the mailbox (the
+  // caller tags dedup-suppressed copies as duplicate flow edges).
+  bool on_data_frame(std::size_t src, std::size_t dst, int tag,
                      std::uint64_t seq, InFlight& rec) {
+    const std::uint64_t span = rec.msg.hdr.span_id;
+    bool accepted = false;
     if (dedup_[pair_index(src, dst)].accept(seq)) {
       PGXD_CHECK(!rec.delivered);
       rec.delivered = true;
+      accepted = true;
       mailbox(dst, tag).send(std::move(rec.msg));
     } else {
       ++rstats_.duplicates_suppressed;
     }
-    sim_.spawn(ack_proc(dst, src, seq));
+    sim_.spawn(ack_proc(dst, src, seq, span));
+    return accepted;
   }
 
   // Ack frame: real (droppable, duplicable) fabric traffic back to the
-  // sender.
+  // sender. Carries the acked message's span id so the trace can draw the
+  // return edge.
   sim::Task<void> ack_proc(std::size_t from, std::size_t to,
-                           std::uint64_t seq) {
+                           std::uint64_t seq, std::uint64_t span) {
     ++rstats_.acks_sent;
+    const sim::SimTime sent_at = sim_.now();
     const net::Delivery d =
         co_await fabric_.transfer(from, to, rcfg_.ack_wire_bytes);
-    if (d.delivered()) on_ack(to, from, seq);
+    if (!d.delivered()) co_return;
+    record_flow_edge(span, from, to, /*tag=*/-1, sim::Trace::FlowKind::kAck,
+                     rcfg_.ack_wire_bytes, sent_at, /*retransmit=*/false,
+                     /*duplicate=*/false);
+    on_ack(to, from, seq);
   }
 
   void on_ack(std::size_t src, std::size_t dst, std::uint64_t seq) {
@@ -510,6 +562,18 @@ class Comm {
     if (rec.acked) return;
     rec.acked = true;
     if (rec.timer != nullptr) rec.timer->cancel();
+  }
+
+  // One flow edge per physical frame that landed on a receiver, recorded
+  // at the arrival instant. No-op (one branch) when no trace is attached.
+  void record_flow_edge(std::uint64_t span, std::size_t src, std::size_t dst,
+                        int tag, sim::Trace::FlowKind kind,
+                        std::uint64_t bytes, sim::SimTime sent_at,
+                        bool retransmit, bool duplicate) {
+    if (trace_ == nullptr) return;
+    trace_->record_flow(sim::Trace::Flow(span, src, dst, sent_at, sim_.now(),
+                                         bytes, tag, kind, retransmit,
+                                         duplicate));
   }
 
   sim::SimTime jittered(sim::SimTime rto) {
@@ -540,6 +604,11 @@ class Comm {
   std::vector<char> unreachable_;
   std::function<bool(std::size_t, std::size_t)> suspects_;
   Rng backoff_rng_{0};
+  // Causal tracing: span-id source (stamped on every remote message even
+  // when untraced, so headers are always meaningful) and the optional
+  // flow-edge sink.
+  std::uint64_t next_span_ = 0;
+  sim::Trace* trace_ = nullptr;
 };
 
 }  // namespace pgxd::rt

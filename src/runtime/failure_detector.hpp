@@ -118,6 +118,22 @@ class FailureDetector {
     return s;
   }
 
+  // Count of (observer, peer) pairs currently past the silence threshold.
+  // Deliberately side-effect-free (no transition counting), so passive
+  // observers — the time-series sampler's suspicion probe — can poll it
+  // every tick without perturbing the `detector.suspicions` counter that
+  // reports and tests rely on.
+  std::size_t suspected_pair_count() const {
+    std::size_t n = 0;
+    const sim::SimTime now = sim_.now();
+    for (std::size_t observer = 0; observer < p_; ++observer)
+      for (std::size_t peer = 0; peer < p_; ++peer)
+        if (observer != peer &&
+            now - last_heard_[observer * p_ + peer] > cfg_.timeout)
+          ++n;
+    return n;
+  }
+
   // First member of `peers` that `observer` currently suspects, if any.
   std::optional<std::size_t> first_suspected(
       std::size_t observer, const std::vector<std::size_t>& peers) const {

@@ -5,6 +5,15 @@
 // (obs/chrome_trace.hpp) for chrome://tracing / Perfetto. Used by the
 // timeline bench to show how the asynchronous exchange overlaps steps
 // across machines, and handy when debugging any engine.
+//
+// Beyond spans, a trace also collects cross-lane *flow edges*: one record
+// per physical frame the comm layer lands on a receiver, carrying the
+// sender-assigned span id, send/receive instants, and fault-fabric
+// provenance (retransmit? redundant duplicate?). Flows are what make the
+// trace causal — the Chrome export draws them as arrows between rank
+// lanes, and obs::compute_critical_path walks them to find the dependency
+// chain that bounded end-to-end latency. The comm layer records them
+// (runtime/comm.hpp::set_trace); this layer only stores.
 #pragma once
 
 #include <cstdint>
@@ -29,15 +38,65 @@ class Trace {
     std::uint64_t bytes = 0;
   };
 
+  // What a flow edge's frame carried: application data or a protocol ack.
+  enum class FlowKind : std::uint8_t { kData = 0, kAck = 1 };
+
+  // One physical frame that reached a receiver. `span_id` identifies the
+  // logical message (stable across retransmits and fabric duplicates), so
+  // grouping edges by id reconstructs the delivery history of one send:
+  // under reliable delivery exactly one edge per id has duplicate == false
+  // (the copy the dedup window admitted to the mailbox).
+  struct Flow {
+    std::uint64_t span_id = 0;
+    std::size_t src = 0;  // sender lane
+    std::size_t dst = 0;  // receiver lane
+    SimTime send = 0;     // instant the frame left the sender
+    SimTime recv = 0;     // instant it landed on the receiver
+    std::uint64_t bytes = 0;
+    int tag = 0;               // engine tag; -1 for protocol acks
+    FlowKind kind = FlowKind::kData;
+    bool retransmit = false;  // frame was a retransmission (attempt > 0)
+    bool duplicate = false;   // redundant copy: dedup-suppressed or a
+                              // fabric duplicate of an already-landed frame
+
+    Flow() = default;
+    Flow(std::uint64_t id, std::size_t src_in, std::size_t dst_in,
+         SimTime send_in, SimTime recv_in, std::uint64_t bytes_in, int tag_in,
+         FlowKind kind_in, bool retransmit_in, bool duplicate_in)
+        : span_id(id), src(src_in), dst(dst_in), send(send_in), recv(recv_in),
+          bytes(bytes_in), tag(tag_in), kind(kind_in),
+          retransmit(retransmit_in), duplicate(duplicate_in) {}
+  };
+
   void record(std::size_t lane, std::string label, SimTime begin, SimTime end,
               std::uint64_t bytes = 0) {
     PGXD_CHECK(end >= begin);
     spans_.push_back(Span{lane, std::move(label), begin, end, bytes});
   }
 
+  void record_flow(Flow f) {
+    PGXD_CHECK(f.recv >= f.send);
+    flows_.push_back(std::move(f));
+  }
+
   const std::vector<Span>& spans() const { return spans_; }
+  const std::vector<Flow>& flows() const { return flows_; }
+
+  // Human label for an engine tag (e.g. "chunk" for the sorter's data
+  // tag), used by exports in place of the bare integer. Unnamed tags fall
+  // back to "tag <n>".
+  void name_tag(int tag, std::string label) {
+    tag_names_[tag] = std::move(label);
+  }
+  std::string tag_label(int tag) const {
+    auto it = tag_names_.find(tag);
+    return it != tag_names_.end() ? it->second : "tag " + std::to_string(tag);
+  }
+
   void clear() {
     spans_.clear();
+    flows_.clear();
+    tag_names_.clear();
     lane_count_ = 0;
   }
 
@@ -129,6 +188,8 @@ class Trace {
 
  private:
   std::vector<Span> spans_;
+  std::vector<Flow> flows_;
+  std::map<int, std::string> tag_names_;
   std::size_t lane_count_ = 0;
 };
 

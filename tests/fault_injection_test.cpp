@@ -12,12 +12,14 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "core/distributed_sort.hpp"
 #include "datagen/distributions.hpp"
 #include "net/fabric.hpp"
 #include "runtime/cluster.hpp"
+#include "sim/trace.hpp"
 
 namespace pgxd::core {
 namespace {
@@ -251,6 +253,49 @@ TEST(AppLevelDedup, DuplicatingFabricWithoutReliableLayer) {
     dup_chunks += ms.duplicate_chunks;
   EXPECT_GT(cluster.fabric().total_duplicated(), 0u);
   EXPECT_GT(dup_chunks, 0u);
+}
+
+// Causal flow tracing over a faulty fabric: every frame that lands records
+// a flow edge stamped with the sender's span id, and redelivery is labeled
+// rather than double-counted. The invariant under reliable delivery: each
+// span id resolves to EXACTLY ONE accepted (duplicate == false) data edge
+// — retransmitted and fabric-duplicated copies that land after the first
+// acceptance carry duplicate == true.
+TEST(FlowTracing, EverySpanResolvesToExactlyOneAcceptedEdge) {
+  const std::size_t p = 5;
+  auto shards = make_shards(gen::Distribution::kExponential, 20000, p);
+  net::FaultConfig fc;
+  fc.drop_prob = 0.05;
+  fc.duplicate_prob = 0.05;
+  rt::Cluster<Msg> cluster(faulty_cluster(p, fc));
+  sim::Trace trace;
+  Sorter sorter(cluster, chunky_sort_config());
+  sorter.set_trace(&trace);
+  sorter.run(shards);
+  verify_sorted(sorter, shards);
+
+  std::map<std::uint64_t, int> accepted_per_span;
+  std::size_t retransmit_edges = 0, duplicate_edges = 0, ack_edges = 0;
+  for (const auto& f : trace.flows()) {
+    if (f.kind == sim::Trace::FlowKind::kAck) {
+      ++ack_edges;
+      continue;
+    }
+    EXPECT_GT(f.span_id, 0u);
+    EXPECT_LE(f.send, f.recv);
+    if (f.retransmit) ++retransmit_edges;
+    if (f.duplicate) ++duplicate_edges;
+    if (!f.duplicate) ++accepted_per_span[f.span_id];
+  }
+  for (const auto& [span, n] : accepted_per_span)
+    EXPECT_EQ(n, 1) << "span " << span << " accepted " << n << " times";
+  // The fabric's faults are visible in the causal record, not absorbed.
+  EXPECT_GT(retransmit_edges, 0u);
+  EXPECT_GT(duplicate_edges, 0u);
+  EXPECT_GT(ack_edges, 0u);
+  // Dedup'd arrivals never reach the sorter as data.
+  for (const auto& ms : sorter.stats().machines)
+    EXPECT_EQ(ms.duplicate_chunks, 0u);
 }
 
 // Retry budget: a fabric whose blackout never ends defeats retransmission;

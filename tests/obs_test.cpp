@@ -1,6 +1,7 @@
 // Tests for the observability layer: JSON emitter, metrics registry
-// (counters, gauges, log-linear + fixed histograms, cross-rank merge), and
-// the Chrome trace_event exporter.
+// (counters, gauges, log-linear + fixed histograms, cross-rank merge), the
+// Chrome trace_event exporter (spans, flow arrows, counter graphs), the
+// time-series sampler, and the critical-path analyzer.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -8,8 +9,13 @@
 #include <vector>
 
 #include "obs/chrome_trace.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+#include "sim/timeout.hpp"
 #include "sim/trace.hpp"
 
 namespace pgxd {
@@ -201,6 +207,32 @@ TEST(MetricsRegistry, MergeFoldsAllInstrumentKinds) {
   EXPECT_EQ(a.histograms().at("h").max(), 1000u);
 }
 
+TEST(MetricsRegistry, SameNameAliasesToOneInstrument) {
+  // Two registrations under one name must hand back the same instrument —
+  // split instruments would silently fork the count between call sites.
+  obs::MetricsRegistry reg;
+  EXPECT_EQ(&reg.counter("sort.load.items"), &reg.counter("sort.load.items"));
+  EXPECT_EQ(&reg.gauge("pool.peak"), &reg.gauge("pool.peak"));
+  EXPECT_EQ(&reg.histogram("chunk.bytes"), &reg.histogram("chunk.bytes"));
+  reg.counter("sort.load.items").inc(2);
+  reg.counter("sort.load.items").inc(3);
+  EXPECT_EQ(reg.counter_value("sort.load.items"), 5u);
+}
+
+TEST(MetricsRegistry, MergeAllPreservesEveryInstrumentKind) {
+  std::vector<obs::MetricsRegistry> ranks(3);
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    ranks[r].counter("c").inc(10 * (r + 1));
+    ranks[r].gauge("g").set(static_cast<double>(r));
+    ranks[r].histogram("h").add(100 * (r + 1));
+  }
+  const obs::MetricsRegistry merged = obs::merge_all(ranks);
+  EXPECT_EQ(merged.counter_value("c"), 60u);   // sum
+  EXPECT_EQ(merged.gauge_value("g"), 2.0);     // max
+  EXPECT_EQ(merged.histograms().at("h").count(), 3u);
+  EXPECT_EQ(merged.histograms().at("h").sum(), 600u);
+}
+
 TEST(MetricsRegistry, MergeAllAcrossRanks) {
   std::vector<obs::MetricsRegistry> ranks(4);
   for (std::size_t r = 0; r < ranks.size(); ++r) {
@@ -254,6 +286,213 @@ TEST(ChromeTrace, EmptyTraceIsStillValidDocument) {
   const std::string json = obs::chrome_trace_json(t);
   EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
   EXPECT_EQ(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(ChromeTrace, SpanLabelsAreJsonEscaped) {
+  sim::Trace t;
+  t.record(0, "odd \"label\"\nwith\\escapes", 0, 1000);
+  const std::string json = obs::chrome_trace_json(t);
+  EXPECT_NE(json.find("odd \\\"label\\\"\\nwith\\\\escapes"),
+            std::string::npos);
+  // The raw unescaped forms must not leak into the document.
+  EXPECT_EQ(json.find("\nwith"), std::string::npos);
+}
+
+TEST(ChromeTrace, ManyLabelsKeepFullNames) {
+  // render_gantt folds labels past 62 into the '*' glyph; the Chrome
+  // export has no glyph alphabet and must keep every name verbatim.
+  sim::Trace t;
+  for (int i = 0; i < 70; ++i)
+    t.record(0, "label" + std::to_string(i), i * 10, i * 10 + 10);
+  const std::string json = obs::chrome_trace_json(t);
+  for (int i : {0, 26, 52, 69})
+    EXPECT_NE(json.find("\"label" + std::to_string(i) + "\""),
+              std::string::npos)
+        << i;
+  EXPECT_EQ(json.find("\"*\""), std::string::npos);
+}
+
+TEST(ChromeTrace, FlowEdgesBecomeMatchedArrowPairs) {
+  sim::Trace t;
+  t.set_lane_count(2);
+  t.record(0, "send/receive", 0, 500);
+  t.record(1, "send/receive", 0, 500);
+  t.name_tag(3, "chunk");
+  t.record_flow(sim::Trace::Flow(7, 0, 1, 100, 130, 4096, 3,
+                                 sim::Trace::FlowKind::kData,
+                                 /*retransmit=*/true, /*duplicate=*/false));
+  t.record_flow(sim::Trace::Flow(7, 1, 0, 140, 150, 16, -1,
+                                 sim::Trace::FlowKind::kAck,
+                                 /*retransmit=*/false, /*duplicate=*/false));
+  const std::string json = obs::chrome_trace_json(t);
+  // One "s"/"f" pair per edge, arrow head bound to the enclosing slice.
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"flow.data\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"flow.ack\""), std::string::npos);
+  // The data arrow carries the tag label and the causal metadata.
+  EXPECT_NE(json.find("\"name\":\"chunk\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"ack\""), std::string::npos);
+  EXPECT_NE(json.find("\"span_id\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"retransmit\":true"), std::string::npos);
+}
+
+TEST(ChromeTrace, TimeSeriesDumpBecomesCounterEvents) {
+  sim::Trace t;
+  t.record(0, "work", 0, 1000);
+  obs::TimeSeriesDump dump;
+  dump.interval = 100;
+  obs::TimeSeriesDump::Series s;
+  s.name = "rank0.mailbox_depth";
+  s.capacity = 8;
+  s.points.push_back(obs::TimeSeriesPoint(0, 0.0));
+  s.points.push_back(obs::TimeSeriesPoint(100, 3.0));
+  dump.series.push_back(std::move(s));
+  const std::string json = obs::chrome_trace_json(t, "pgxd", &dump);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"rank0.mailbox_depth\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":3"), std::string::npos);
+  // Without a dump, no counter events appear.
+  EXPECT_EQ(obs::chrome_trace_json(t).find("\"ph\":\"C\""),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------- TimeSeries
+
+TEST(TimeSeries, RingDropsOldestPastCapacity) {
+  obs::TimeSeries ts(3);
+  for (sim::SimTime t = 0; t < 5; ++t)
+    ts.push(t * 100, static_cast<double>(t));
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_EQ(ts.capacity(), 3u);
+  EXPECT_EQ(ts.dropped(), 2u);
+  // Oldest-first iteration over the surviving window.
+  EXPECT_EQ(ts.at(0).t, 200);
+  EXPECT_EQ(ts.at(2).t, 400);
+  EXPECT_EQ(ts.at(2).v, 4.0);
+}
+
+TEST(TimeSeriesSampler, SampleOnceSnapshotsEveryProbe) {
+  obs::TimeSeriesSampler sampler(/*interval=*/100, /*capacity=*/4);
+  double depth = 1.0;
+  sampler.add("depth", [&depth] { return depth; });
+  sampler.add("constant", [] { return 42.0; });
+  sampler.sample_once(0);
+  depth = 5.0;
+  sampler.sample_once(100);
+  const obs::TimeSeriesDump dump = sampler.dump();
+  ASSERT_EQ(dump.series.size(), 2u);
+  EXPECT_EQ(dump.interval, 100);
+  ASSERT_EQ(dump.series[0].points.size(), 2u);
+  EXPECT_EQ(dump.series[0].name, "depth");
+  EXPECT_EQ(dump.series[0].points[0].v, 1.0);
+  EXPECT_EQ(dump.series[0].points[1].v, 5.0);
+  EXPECT_EQ(dump.series[1].points[1].v, 42.0);
+}
+
+sim::Task<void> stop_sampler_at(sim::Simulator& sim, sim::SimTime at,
+                                obs::TimeSeriesSampler& sampler) {
+  co_await sim.delay(at);
+  sampler.request_stop();
+}
+
+TEST(TimeSeriesSampler, LoopSamplesOnIntervalAndStopsCleanly) {
+  sim::Simulator sim;
+  obs::TimeSeriesSampler sampler(/*interval=*/100, /*capacity=*/16);
+  sampler.add("clock", [&sim] { return static_cast<double>(sim.now()); });
+  sampler.start(sim);
+  sim.spawn(stop_sampler_at(sim, 450, sampler));
+  const sim::SimTime end = sim.run();
+  // Samples at 0, 100, ..., 400; the cancelled tick must not push the
+  // clock to 500.
+  EXPECT_EQ(end, 450);
+  EXPECT_FALSE(sampler.running());
+  const obs::TimeSeriesDump dump = sampler.dump();
+  ASSERT_EQ(dump.series.size(), 1u);
+  ASSERT_EQ(dump.series[0].points.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(dump.series[0].points[i].t, static_cast<sim::SimTime>(i * 100));
+    EXPECT_EQ(dump.series[0].points[i].v, static_cast<double>(i * 100));
+  }
+}
+
+// -------------------------------------------------------------- CriticalPath
+
+// Hand-built two-lane trace: lane 1's merge waits on a chunk from lane 0.
+//
+//   lane 0: [local-sort 0..100]   --chunk(send 70, recv 100)-->
+//   lane 1: [local-sort 0..80][merge 80..220]
+//
+// Expected path (backward from merge end 220): merge compute (100..220],
+// wire (70..100], then local-sort compute (0..70] on lane 0.
+sim::Trace make_two_lane_trace() {
+  sim::Trace t;
+  t.record(0, "local-sort", 0, 100);
+  t.record(1, "local-sort", 0, 80);
+  t.record(1, "merge", 80, 220);
+  t.name_tag(3, "chunk");
+  t.record_flow(sim::Trace::Flow(9, 0, 1, 70, 100, 4096, 3,
+                                 sim::Trace::FlowKind::kData,
+                                 /*retransmit=*/false, /*duplicate=*/false));
+  return t;
+}
+
+TEST(CriticalPath, WalksAcrossTheBlockingEdge) {
+  const sim::Trace t = make_two_lane_trace();
+  const obs::CriticalPathReport cp = obs::compute_critical_path(t);
+  EXPECT_TRUE(cp.computed);
+  EXPECT_EQ(cp.total_ns, 220);
+  EXPECT_EQ(cp.compute_ns, 190);  // 120 merge + 70 local-sort
+  EXPECT_EQ(cp.wire_ns, 30);
+  EXPECT_EQ(cp.hops, 1u);
+  EXPECT_EQ(cp.end_lane, 1u);
+  EXPECT_EQ(cp.start_lane, 0u);
+  ASSERT_EQ(cp.top_edges.size(), 1u);
+  EXPECT_EQ(cp.top_edges[0].span_id, 9u);
+  EXPECT_EQ(cp.top_edges[0].label, "chunk");
+  // Charged segments partition the end-to-end window exactly.
+  EXPECT_EQ(cp.compute_ns + cp.wire_ns, cp.total_ns);
+  double share_sum = 0.0;
+  for (const auto& p : cp.phases) share_sum += p.share;
+  EXPECT_NEAR(share_sum, 1.0, 1e-9);
+}
+
+TEST(CriticalPath, DuplicateEdgesNeverCarryThePath) {
+  sim::Trace t = make_two_lane_trace();
+  // A dedup-suppressed copy landing later than the real one must not
+  // hijack the walk (it did not enable any work).
+  t.record_flow(sim::Trace::Flow(9, 0, 1, 205, 210, 4096, 3,
+                                 sim::Trace::FlowKind::kData,
+                                 /*retransmit=*/true, /*duplicate=*/true));
+  const obs::CriticalPathReport cp = obs::compute_critical_path(t);
+  EXPECT_EQ(cp.hops, 1u);
+  ASSERT_EQ(cp.top_edges.size(), 1u);
+  EXPECT_EQ(cp.top_edges[0].recv, 100);
+}
+
+TEST(CriticalPath, RunEndExtendsThePathAcrossTheDrainTail) {
+  sim::Trace t = make_two_lane_trace();
+  // An ack landing on lane 0 after every span ended — the protocol drain.
+  t.record_flow(sim::Trace::Flow(9, 1, 0, 230, 260, 16, -1,
+                                 sim::Trace::FlowKind::kAck,
+                                 /*retransmit=*/false, /*duplicate=*/false));
+  const obs::CriticalPathReport cp =
+      obs::compute_critical_path(t, /*top_k=*/5, /*run_end=*/260);
+  EXPECT_EQ(cp.total_ns, 260);
+  EXPECT_EQ(cp.end_lane, 0u);  // the ack's receiver owns the tail
+  EXPECT_EQ(cp.compute_ns + cp.wire_ns, cp.total_ns);
+  // The final ack hop is on the path now.
+  bool saw_ack = false;
+  for (const auto& e : cp.top_edges) saw_ack |= e.label == "ack";
+  EXPECT_TRUE(saw_ack);
+}
+
+TEST(CriticalPath, EmptyTraceReportsNotComputed) {
+  sim::Trace t;
+  const obs::CriticalPathReport cp = obs::compute_critical_path(t);
+  EXPECT_FALSE(cp.computed);
+  EXPECT_EQ(cp.total_ns, 0);
 }
 
 }  // namespace

@@ -1,11 +1,12 @@
 // Tests for the span tracer and its Gantt rendering, plus the sorter's
-// trace integration.
+// trace integration (spans, cross-rank flow edges, critical path).
 #include <gtest/gtest.h>
 
 #include <string>
 
 #include "core/distributed_sort.hpp"
 #include "datagen/distributions.hpp"
+#include "obs/critical_path.hpp"
 #include "sim/trace.hpp"
 
 namespace pgxd {
@@ -105,6 +106,30 @@ TEST(Trace, RejectsBackwardSpan) {
   EXPECT_DEATH(t.record(0, "bad", 100, 50), "end >= begin");
 }
 
+TEST(Trace, RecordsFlowsAndTagNames) {
+  sim::Trace t;
+  t.name_tag(3, "chunk");
+  EXPECT_EQ(t.tag_label(3), "chunk");
+  EXPECT_EQ(t.tag_label(99), "tag 99");  // unnamed tags stay legible
+  t.record_flow(sim::Trace::Flow(11, 0, 1, 100, 150, 256, 3,
+                                 sim::Trace::FlowKind::kData,
+                                 /*retransmit=*/false, /*duplicate=*/false));
+  ASSERT_EQ(t.flows().size(), 1u);
+  EXPECT_EQ(t.flows()[0].span_id, 11u);
+  EXPECT_EQ(t.flows()[0].recv, 150);
+  t.clear();
+  EXPECT_TRUE(t.flows().empty());
+  EXPECT_EQ(t.tag_label(3), "tag 3");  // clear() drops names too
+}
+
+TEST(Trace, RejectsBackwardFlow) {
+  sim::Trace t;
+  EXPECT_DEATH(t.record_flow(sim::Trace::Flow(
+                   1, 0, 1, 150, 100, 0, 3, sim::Trace::FlowKind::kData,
+                   false, false)),
+               "recv >= f.send");
+}
+
 TEST(Trace, SorterEmitsSixSpansPerMachine) {
   using Sorter = core::DistributedSorter<std::uint64_t>;
   const std::size_t machines = 3;
@@ -135,6 +160,70 @@ TEST(Trace, SorterEmitsSixSpansPerMachine) {
   const std::string g = trace.render_gantt(60);
   EXPECT_NE(g.find("local-sort"), std::string::npos);
   EXPECT_NE(g.find("send/receive"), std::string::npos);
+}
+
+TEST(Trace, SorterRecordsFlowEdgesWithNamedTags) {
+  using Sorter = core::DistributedSorter<std::uint64_t>;
+  const std::size_t machines = 4;
+  gen::DataGenConfig dcfg;
+  std::vector<std::vector<std::uint64_t>> shards;
+  for (std::size_t r = 0; r < machines; ++r)
+    shards.push_back(gen::generate_shard(dcfg, 20000, machines, r));
+
+  rt::ClusterConfig ccfg;
+  ccfg.machines = machines;
+  ccfg.threads_per_machine = 4;
+  rt::Cluster<Sorter::Msg> cluster(ccfg);
+  sim::Trace trace;
+  Sorter sorter(cluster, core::SortConfig{});
+  sorter.set_trace(&trace);
+  sorter.run(shards);
+
+  // Every exchanged frame left a causal edge: samples up, splitters down,
+  // counts and chunks across.
+  EXPECT_FALSE(trace.flows().empty());
+  bool saw_chunk = false, saw_samples = false;
+  for (const auto& f : trace.flows()) {
+    EXPECT_LE(f.send, f.recv);
+    EXPECT_LT(f.src, machines);
+    EXPECT_LT(f.dst, machines);
+    EXPECT_GT(f.span_id, 0u);  // stamped by Comm before the fabric
+    const std::string label = trace.tag_label(f.tag);
+    saw_chunk |= label == "chunk";
+    saw_samples |= label == "samples";
+  }
+  EXPECT_TRUE(saw_chunk);
+  EXPECT_TRUE(saw_samples);
+}
+
+TEST(Trace, CriticalPathReconcilesWithSorterClock) {
+  using Sorter = core::DistributedSorter<std::uint64_t>;
+  const std::size_t machines = 4;
+  gen::DataGenConfig dcfg;
+  dcfg.dist = gen::Distribution::kExponential;
+  std::vector<std::vector<std::uint64_t>> shards;
+  for (std::size_t r = 0; r < machines; ++r)
+    shards.push_back(gen::generate_shard(dcfg, 40000, machines, r));
+
+  rt::ClusterConfig ccfg;
+  ccfg.machines = machines;
+  ccfg.threads_per_machine = 4;
+  rt::Cluster<Sorter::Msg> cluster(ccfg);
+  sim::Trace trace;
+  Sorter sorter(cluster, core::SortConfig{});
+  sorter.set_trace(&trace);
+  sorter.run(shards);
+
+  const obs::CriticalPathReport cp = obs::compute_critical_path(
+      trace, /*top_k=*/5, sorter.stats().total_time);
+  EXPECT_TRUE(cp.computed);
+  // The walk charges contiguous segments back to t=0, so the path total is
+  // exactly the run's end-to-end time — the SortReport invariant the
+  // validator enforces at 1%.
+  EXPECT_EQ(cp.total_ns, sorter.stats().total_time);
+  EXPECT_EQ(cp.compute_ns + cp.wire_ns, cp.total_ns);
+  EXPECT_GT(cp.hops, 0u);
+  EXPECT_FALSE(cp.top_edges.empty());
 }
 
 }  // namespace

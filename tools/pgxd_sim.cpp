@@ -11,6 +11,7 @@
 //   pgxd_sim --engine=radix --dist=uniform --p=8 --csv=true
 //   pgxd_sim --dist=exponential --p=4 --report=out.json --trace=out.trace.json
 #include <cstdio>
+#include <optional>
 #include <string>
 
 #include "baselines/bitonic.hpp"
@@ -43,12 +44,20 @@ struct Options {
   bool validate = true;
   std::string report_path;  // SortReport JSON (pgxd engine only)
   std::string trace_path;   // Chrome trace_event JSON (pgxd engine only)
+  // Causal telemetry (pgxd engine only): critical-path analysis over the
+  // span+flow trace, and the time-series sampler interval (0 = off).
+  bool critical_path = false;
+  std::uint64_t sample_us = 0;
   // Crash-stop fault schedule (pgxd only) and the machinery that survives
   // it: heartbeat failure detector + fail-fast reliable delivery +
   // phase-level sort recovery.
   std::vector<pgxd::net::CrashEvent> crashes;
   bool detector = false;
   bool recovery = false;
+  // Lossy-fabric knobs (pgxd only). Either implies reliable delivery —
+  // the sort is not drop-tolerant without it.
+  double drop_prob = 0.0;
+  double dup_prob = 0.0;
   pgxd::core::SortConfig sort_cfg;
 };
 
@@ -132,6 +141,9 @@ pgxd::rt::ClusterConfig cluster_config(const Options& opt) {
   cfg.threads_per_machine = opt.threads;
   cfg.seed = opt.seed;
   cfg.net.faults.crashes = opt.crashes;
+  cfg.net.faults.drop_prob = opt.drop_prob;
+  cfg.net.faults.duplicate_prob = opt.dup_prob;
+  if (opt.drop_prob > 0 || opt.dup_prob > 0) cfg.reliable.enabled = true;
   if (opt.detector) cfg.detector.enabled = true;
   if (opt.recovery) {
     // The recovery supervisor's prerequisites (see RecoveryConfig).
@@ -158,6 +170,40 @@ void print_loads(const Options& opt, const std::vector<std::uint64_t>& sizes) {
     t.print();
 }
 
+// Prints the --critical-path summary: path totals, per-phase attribution,
+// and the top blocking message hops.
+void print_critical_path(const pgxd::obs::CriticalPathReport& cp) {
+  std::printf("\ncritical path: %.6f s end-to-end over %zu message hop(s) "
+              "(compute %.1f%%, wire %.1f%%), rank %zu -> rank %zu\n",
+              pgxd::sim::to_seconds(cp.total_ns), cp.hops,
+              cp.total_ns
+                  ? 100.0 * static_cast<double>(cp.compute_ns) /
+                        static_cast<double>(cp.total_ns)
+                  : 0.0,
+              cp.total_ns
+                  ? 100.0 * static_cast<double>(cp.wire_ns) /
+                        static_cast<double>(cp.total_ns)
+                  : 0.0,
+              cp.start_lane, cp.end_lane);
+  Table phases({"phase", "on-path (s)", "share", "wire (s)", "slack mean (s)"});
+  for (const auto& p : cp.phases)
+    phases.row({p.name,
+                Table::fmt(pgxd::sim::to_seconds(p.compute_ns + p.wire_ns), 6),
+                Table::fmt_pct(p.share),
+                Table::fmt(pgxd::sim::to_seconds(p.wire_ns), 6),
+                Table::fmt(pgxd::sim::to_seconds(p.slack_mean_ns), 6)});
+  phases.print();
+  if (!cp.top_edges.empty()) {
+    Table edges({"blocking edge", "wire (s)", "bytes", "retransmit"});
+    for (const auto& e : cp.top_edges)
+      edges.row({e.label + " " + std::to_string(e.src) + " -> " +
+                     std::to_string(e.dst),
+                 Table::fmt(pgxd::sim::to_seconds(e.recv - e.send), 6),
+                 std::to_string(e.bytes), e.retransmit ? "yes" : "no"});
+    edges.print();
+  }
+}
+
 int run_pgxd(const Options& opt) {
   using Sorter = pgxd::core::DistributedSorter<Key>;
   auto shards = make_shards(opt);
@@ -165,9 +211,16 @@ int run_pgxd(const Options& opt) {
 
   pgxd::rt::Cluster<Sorter::Msg> cluster(cluster_config(opt));
   pgxd::sim::Trace trace;
-  const bool want_trace = opt.gantt || !opt.trace_path.empty();
+  const bool want_trace =
+      opt.gantt || !opt.trace_path.empty() || opt.critical_path;
   Sorter sorter(cluster, opt.sort_cfg);
   if (want_trace) sorter.set_trace(&trace);
+  std::optional<pgxd::obs::TimeSeriesSampler> sampler;
+  if (opt.sample_us > 0) {
+    sampler.emplace(static_cast<pgxd::sim::SimTime>(opt.sample_us) *
+                    pgxd::sim::kMicrosecond);
+    sorter.set_sampler(&*sampler);
+  }
   sorter.run(std::move(shards));
   const auto& st = sorter.stats();
 
@@ -222,6 +275,15 @@ int run_pgxd(const Options& opt) {
     std::printf("\nstep timeline:\n%s", trace.render_gantt(96).c_str());
   }
 
+  pgxd::obs::CriticalPathReport cp;
+  if (opt.critical_path) {
+    cp = pgxd::obs::compute_critical_path(trace, /*top_k=*/5,
+                                          sorter.stats().total_time);
+    print_critical_path(cp);
+  }
+  const pgxd::obs::TimeSeriesDump ts =
+      sampler ? sampler->dump() : pgxd::obs::TimeSeriesDump{};
+
   if (!opt.report_path.empty()) {
     pgxd::core::SortRunInfo info;
     info.engine = "pgxd";
@@ -229,13 +291,16 @@ int run_pgxd(const Options& opt) {
     info.n = opt.n;
     info.machines = opt.p;
     info.seed = opt.seed;
-    const auto report = pgxd::core::build_sort_report(sorter, std::move(info));
+    auto report = pgxd::core::build_sort_report(sorter, std::move(info));
+    report.critical_path = cp;
+    report.timeseries = ts;
     if (!write_file(opt.report_path, report.to_json() + "\n")) return 1;
     std::printf("\nsort report written to %s\n", opt.report_path.c_str());
   }
   if (!opt.trace_path.empty()) {
-    if (!write_file(opt.trace_path, pgxd::obs::chrome_trace_json(trace)))
-      return 1;
+    const std::string chrome = pgxd::obs::chrome_trace_json(
+        trace, "pgxd", sampler ? &ts : nullptr);
+    if (!write_file(opt.trace_path, chrome)) return 1;
     std::printf("chrome trace written to %s — load in Perfetto or "
                 "chrome://tracing\n", opt.trace_path.c_str());
   }
@@ -357,6 +422,48 @@ int run_radix(const Options& opt) {
                             sorter.stats().wire_bytes);
 }
 
+const char* merge_name(pgxd::core::MergeAlgo m) {
+  switch (m) {
+    case pgxd::core::MergeAlgo::kParallelKway: return "kway";
+    case pgxd::core::MergeAlgo::kPairwiseTree: return "pairwise";
+    case pgxd::core::MergeAlgo::kSequentialKway: return "kway-seq";
+  }
+  return "?";
+}
+
+const char* local_sort_name(pgxd::core::LocalSortAlgo a) {
+  switch (a) {
+    case pgxd::core::LocalSortAlgo::kAdaptive: return "adaptive";
+    case pgxd::core::LocalSortAlgo::kComparison: return "quicksort";
+    case pgxd::core::LocalSortAlgo::kRadix: return "radix";
+  }
+  return "?";
+}
+
+// --print-config: the effective SortConfig knobs as one JSON object on
+// stdout. scripts/bench.sh embeds this as the `meta.sort_config` block of
+// the committed benchmark baseline, so every baseline says exactly which
+// algorithm configuration produced it.
+int print_config(const pgxd::core::SortConfig& cfg) {
+  pgxd::obs::JsonWriter w;
+  w.begin_object();
+  w.kv("read_buffer_bytes", cfg.read_buffer_bytes);
+  w.kv("sample_factor", cfg.sample_factor);
+  w.kv("use_investigator", cfg.use_investigator);
+  w.kv("final_merge", merge_name(cfg.effective_final_merge()));
+  w.kv("local_sort", local_sort_name(cfg.local_sort));
+  w.kv("async_exchange", cfg.async_exchange);
+  w.kv("buffered_exchange", cfg.buffered_exchange);
+  w.kv("audit_exchange", cfg.audit_exchange);
+  w.kv("soa_final_merge", cfg.soa_final_merge);
+  w.kv("use_buffer_pool", cfg.use_buffer_pool);
+  w.kv("telemetry", cfg.telemetry);
+  w.kv("recovery_enabled", cfg.recovery.enabled);
+  w.end_object();
+  std::printf("%s\n", w.str().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -375,8 +482,19 @@ int main(int argc, char** argv) {
                 "write the SortReport flight-recorder JSON here (pgxd only; "
                 "implies telemetry)", "");
   flags.declare("trace",
-                "write a Chrome trace_event JSON of the step spans here "
-                "(pgxd only)", "");
+                "write a Chrome trace_event JSON of the step spans, flow "
+                "arrows, and counter graphs here (pgxd only)", "");
+  flags.declare("critical-path",
+                "walk the span+flow trace and print the longest dependency "
+                "chain: per-phase attribution, slack, top blocking edges "
+                "(pgxd only; also lands in --report)", "false");
+  flags.declare("sample-us",
+                "time-series sampler interval in simulated microseconds "
+                "(0 = off; series land in --report and --trace) (pgxd only)",
+                "0");
+  flags.declare("print-config",
+                "print the effective SortConfig knobs as JSON and exit",
+                "false");
   flags.declare("validate", "validate the sorted result", "true");
   flags.declare("investigator", "duplicate-splitter investigator (pgxd)", "true");
   flags.declare("async", "asynchronous exchange (pgxd)", "true");
@@ -395,6 +513,12 @@ int main(int argc, char** argv) {
                 "crash-stop schedule rank@at_us[:restart_after_us],... "
                 "(pgxd only)", "");
   flags.declare("detector", "heartbeat failure detector", "false");
+  flags.declare("drop",
+                "fabric drop probability in [0,1); nonzero enables reliable "
+                "delivery (pgxd only)", "0");
+  flags.declare("dup",
+                "fabric duplicate probability in [0,1]; nonzero enables "
+                "reliable delivery (pgxd only)", "0");
   flags.declare("recovery",
                 "crash recovery: detector + fail-fast delivery + sort "
                 "re-run on survivors (pgxd only)", "false");
@@ -443,13 +567,27 @@ int main(int argc, char** argv) {
   opt.sort_cfg.buffered_exchange = flags.boolean("buffered");
   opt.sort_cfg.sample_factor = flags.f64("sample-factor");
   opt.sort_cfg.read_buffer_bytes = flags.u64("buffer-bytes");
+  opt.critical_path = flags.boolean("critical-path");
+  opt.sample_us = flags.u64("sample-us");
   if (!flags.str("crash").empty()) opt.crashes = parse_crashes(flags.str("crash"));
   opt.detector = flags.boolean("detector");
   opt.recovery = flags.boolean("recovery");
   opt.sort_cfg.recovery.enabled = opt.recovery;
-  if ((!opt.crashes.empty() || opt.recovery) && opt.engine != "pgxd") {
+  opt.drop_prob = flags.f64("drop");
+  opt.dup_prob = flags.f64("dup");
+  if ((!opt.crashes.empty() || opt.recovery || opt.drop_prob > 0 ||
+       opt.dup_prob > 0) &&
+      opt.engine != "pgxd") {
     std::fprintf(stderr,
-                 "--crash/--recovery are only supported by --engine=pgxd\n");
+                 "--crash/--recovery/--drop/--dup are only supported by "
+                 "--engine=pgxd\n");
+    return 2;
+  }
+  if (flags.boolean("print-config")) return print_config(opt.sort_cfg);
+  if ((opt.critical_path || opt.sample_us > 0) && opt.engine != "pgxd") {
+    std::fprintf(stderr,
+                 "--critical-path/--sample-us are only supported by "
+                 "--engine=pgxd\n");
     return 2;
   }
 

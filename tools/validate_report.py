@@ -14,9 +14,22 @@ schema language cannot express:
   * the recovery section is self-consistent: mean time-to-recover never
     exceeds the max, final_members never exceeds machines, a clean run
     (recoveries == 0) reports zero recovery cost, and a recovery-enabled
-    run with recoveries > 0 shrank or kept the membership.
+    run with recoveries > 0 shrank or kept the membership;
+  * a computed critical_path reconciles with the run: total_ns equals
+    total_time_ns within 1%, compute + wire == total, phase shares sum to
+    1, and every on-path phase is one of the six step names;
+  * timeseries points are [t_ns, value] pairs with non-decreasing time and
+    at most `capacity` entries per series.
 
-Usage: validate_report.py report.json [schema.json]
+Usage: validate_report.py [--strict] report.json [schema.json]
+       validate_report.py --selftest
+
+--strict additionally rejects keys the schema does not declare, wherever
+the schema declares `properties` (schema-drift detector: a new C++ report
+field must land in the schema in the same change). --selftest runs the
+validator against built-in good/bad fixtures and exits non-zero if any
+fixture stops behaving as designed.
+
 Exit code 0 on success; prints every violation and exits 1 otherwise.
 """
 
@@ -56,7 +69,7 @@ def type_ok(value, expected):
     return False
 
 
-def validate(value, schema, path, errors):
+def validate(value, schema, path, errors, strict=False):
     expected = schema.get("type")
     if expected is not None and not type_ok(value, expected):
         errors.append("%s: expected %s, got %s" %
@@ -74,8 +87,16 @@ def validate(value, schema, path, errors):
         props = schema.get("properties", {})
         for key, sub in props.items():
             if key in value:
-                validate(value[key], sub, "%s.%s" % (path, key), errors)
-        if schema.get("additionalProperties") is False:
+                validate(value[key], sub, "%s.%s" % (path, key), errors,
+                         strict)
+        # additionalProperties: False always closes an object. In strict
+        # mode every object that declares properties is closed unless the
+        # schema explicitly opts out with additionalProperties: True —
+        # catching C++ report fields that never landed in the schema.
+        closed = schema.get("additionalProperties") is False or \
+            (strict and props and
+             schema.get("additionalProperties") is not True)
+        if closed:
             for key in value:
                 if key not in props:
                     errors.append("%s: unexpected key %r" % (path, key))
@@ -86,7 +107,7 @@ def validate(value, schema, path, errors):
         items = schema.get("items")
         if items is not None:
             for i, item in enumerate(value):
-                validate(item, items, "%s[%d]" % (path, i), errors)
+                validate(item, items, "%s[%d]" % (path, i), errors, strict)
 
 
 def semantic_checks(doc, errors):
@@ -149,13 +170,199 @@ def semantic_checks(doc, errors):
             errors.append("recovery: disabled run must report "
                           "final_members == machines")
 
+    # Critical path: the walk charges contiguous segments back to the run
+    # start, so its total must reconcile with the run's end-to-end time
+    # (1% tolerance covers any trailing non-span activity).
+    cp = doc.get("critical_path", {})
+    if cp.get("computed", False):
+        total = doc.get("total_time_ns", 0)
+        cp_total = cp.get("total_ns", 0)
+        if abs(cp_total - total) > max(1, 0.01 * total):
+            errors.append("critical_path: total_ns=%r differs from "
+                          "total_time_ns=%r by more than 1%%" %
+                          (cp_total, total))
+        if cp.get("compute_ns", 0) + cp.get("wire_ns", 0) != cp_total:
+            errors.append("critical_path: compute_ns + wire_ns != total_ns")
+        cp_phases = cp.get("phases", [])
+        share_sum = sum(p.get("share", 0) for p in cp_phases)
+        if cp_total and abs(share_sum - 1.0) > 0.01:
+            errors.append("critical_path: phase shares sum to %r, want 1.0" %
+                          share_sum)
+        for p in cp_phases:
+            if p.get("name") not in STEP_NAMES:
+                errors.append("critical_path: phase %r is not a step name" %
+                              p.get("name"))
+        if len(cp.get("top_edges", [])) > cp.get("hops", 0):
+            errors.append("critical_path: more top_edges than hops")
+        for i, e in enumerate(cp.get("top_edges", [])):
+            if e.get("recv_ns", 0) - e.get("send_ns", 0) != e.get("wire_ns"):
+                errors.append("critical_path.top_edges[%d]: wire_ns != "
+                              "recv_ns - send_ns" % i)
+
+    ts = doc.get("timeseries", {})
+    for name, series in ts.get("series", {}).items():
+        points = series.get("points", [])
+        cap = series.get("capacity", 0)
+        if cap and len(points) > cap:
+            errors.append("timeseries.%s: %d points exceed capacity %d" %
+                          (name, len(points), cap))
+        prev_t = None
+        for i, p in enumerate(points):
+            if not (isinstance(p, list) and len(p) == 2 and
+                    isinstance(p[0], int) and
+                    isinstance(p[1], (int, float))):
+                errors.append("timeseries.%s.points[%d]: want [t_ns, value]" %
+                              (name, i))
+                break
+            if prev_t is not None and p[0] < prev_t:
+                errors.append("timeseries.%s.points[%d]: time went backwards"
+                              % (name, i))
+                break
+            prev_t = p[0]
+
+
+def run_validation(doc, schema, strict):
+    errors = []
+    validate(doc, schema, "$", errors, strict)
+    if not errors:  # semantic checks assume the shape is right
+        semantic_checks(doc, errors)
+    return errors
+
+
+def make_valid_fixture():
+    """A minimal document that satisfies the schema and every semantic
+    check — the base the self-test mutates."""
+    machines, n = 2, 100
+    metric_names = ["local_sort", "sampling", "splitter_select",
+                    "partition_plan", "exchange", "final_merge"]
+    phases = [{"name": name, "metric": metric,
+               "min_ns": 10, "max_ns": 20, "mean_ns": 15.0}
+              for name, metric in zip(STEP_NAMES, metric_names)]
+    load_items = {"total": n, "min": 50, "max": 50, "mean": 50.0,
+                  "max_over_min": 1.0, "imbalance": 0.0}
+    load_bytes = {"total": 1200, "min": 600, "max": 600, "mean": 600.0,
+                  "max_over_min": 1.0, "imbalance": 0.0}
+    return {
+        "run": {"engine": "pgxd", "distribution": "uniform", "n": n,
+                "machines": machines, "seed": 1},
+        "total_time_ns": 1000,
+        "phases": phases,
+        "load": {"items": load_items, "bytes": load_bytes},
+        "splitters": {"boundary_error": [0.0], "max_error": 0.0,
+                      "mean_error": 0.0},
+        "network": {"bytes_sent": 0, "messages_sent": 0,
+                    "messages_dropped": 0, "messages_duplicated": 0,
+                    "retransmits": 0, "acks_received": 0,
+                    "duplicates_suppressed": 0, "duplicate_chunks": 0},
+        "pool": {"leases": 0, "reuses": 0, "fresh_allocs": 0, "returns": 0,
+                 "hit_rate": 0.0},
+        "recovery": {"enabled": False, "recoveries": 0, "final_attempt": 0,
+                     "final_members": machines, "regenerated_shards": 0,
+                     "abort_broadcasts": 0, "hedged_rerequests": 0,
+                     "hedged_chunks_resent": 0, "detector_suspicions": 0,
+                     "detector_heartbeats_sent": 0, "wasted_work_ns": 0,
+                     "time_to_recover_max_ns": 0,
+                     "time_to_recover_mean_ns": 0.0},
+        "critical_path": {"computed": False, "total_ns": 0, "compute_ns": 0,
+                          "wire_ns": 0, "hops": 0, "start_lane": 0,
+                          "end_lane": 0, "phases": [], "top_edges": []},
+        "timeseries": {"interval_ns": 0, "series": {}},
+        "metrics": {"counters": {name: 1 for name in REQUIRED_COUNTERS},
+                    "gauges": {}, "histograms": {}, "fixed_histograms": {}},
+    }
+
+
+def selftest(schema):
+    """Fixture matrix: (name, mutate(doc), lax_ok, strict_ok)."""
+    def identity(doc):
+        return doc
+
+    def unknown_top_level(doc):
+        doc["experimental_section"] = {"x": 1}
+        return doc
+
+    def unknown_nested(doc):
+        doc["run"]["git_sha"] = "abc123"
+        return doc
+
+    def missing_required(doc):
+        del doc["pool"]
+        return doc
+
+    def cp_total_mismatch(doc):
+        doc["critical_path"] = {
+            "computed": True, "total_ns": 2000, "compute_ns": 1800,
+            "wire_ns": 200, "hops": 1, "start_lane": 0, "end_lane": 1,
+            "phases": [{"name": "send/receive", "compute_ns": 1800,
+                        "wire_ns": 200, "share": 1.0, "slack_mean_ns": 0}],
+            "top_edges": [{"span_id": 1, "src": 0, "dst": 1, "send_ns": 100,
+                           "recv_ns": 300, "wire_ns": 200, "bytes": 64,
+                           "label": "chunk", "retransmit": False}],
+        }
+        return doc
+
+    def cp_consistent(doc):
+        doc = cp_total_mismatch(doc)
+        doc["critical_path"]["total_ns"] = 1000
+        doc["critical_path"]["compute_ns"] = 800
+        doc["critical_path"]["phases"][0]["compute_ns"] = 800
+        return doc
+
+    def ts_time_backwards(doc):
+        doc["timeseries"]["series"]["rank0.mailbox_depth"] = {
+            "capacity": 4, "dropped": 0, "points": [[200, 1.0], [100, 0.0]],
+        }
+        return doc
+
+    cases = [
+        ("valid", identity, True, True),
+        ("unknown top-level key", unknown_top_level, True, False),
+        ("unknown nested key", unknown_nested, True, False),
+        ("missing required section", missing_required, False, False),
+        ("critical_path total off by >1%", cp_total_mismatch, False, False),
+        ("critical_path consistent", cp_consistent, True, True),
+        ("timeseries time backwards", ts_time_backwards, False, False),
+    ]
+    failures = 0
+    for name, mutate, want_lax, want_strict in cases:
+        for strict, want in ((False, want_lax), (True, want_strict)):
+            doc = mutate(make_valid_fixture())
+            errors = run_validation(doc, schema, strict)
+            got = not errors
+            mode = "strict" if strict else "lax"
+            if got != want:
+                failures += 1
+                print("SELFTEST FAIL: %s [%s]: expected %s, got %s" %
+                      (name, mode, "pass" if want else "fail",
+                       "pass" if got else "fail"))
+                for e in errors[:3]:
+                    print("  " + e)
+    if failures:
+        return 1
+    print("OK: validator self-test passed (%d cases x lax/strict)" %
+          len(cases))
+    return 0
+
 
 def main(argv):
-    if len(argv) < 2 or len(argv) > 3:
+    args = argv[1:]
+    strict = "--strict" in args
+    run_self = "--selftest" in args
+    args = [a for a in args if a not in ("--strict", "--selftest")]
+
+    if run_self:
+        schema_path = args[0] if args else \
+            os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                         "report_schema.json")
+        with open(schema_path) as f:
+            schema = json.load(f)
+        return selftest(schema)
+
+    if len(args) < 1 or len(args) > 2:
         print(__doc__, file=sys.stderr)
         return 2
-    report_path = argv[1]
-    schema_path = argv[2] if len(argv) == 3 else \
+    report_path = args[0]
+    schema_path = args[1] if len(args) == 2 else \
         os.path.join(os.path.dirname(os.path.abspath(__file__)),
                      "report_schema.json")
     with open(report_path) as f:
@@ -163,16 +370,14 @@ def main(argv):
     with open(schema_path) as f:
         schema = json.load(f)
 
-    errors = []
-    validate(doc, schema, "$", errors)
-    if not errors:  # semantic checks assume the shape is right
-        semantic_checks(doc, errors)
+    errors = run_validation(doc, schema, strict)
     if errors:
         for e in errors:
             print("FAIL: %s" % e)
         return 1
-    print("OK: %s matches %s (%d phases, %d counters)" %
+    print("OK: %s matches %s%s (%d phases, %d counters)" %
           (report_path, os.path.basename(schema_path),
+           " [strict]" if strict else "",
            len(doc.get("phases", [])),
            len(doc.get("metrics", {}).get("counters", {}))))
     return 0
