@@ -1,0 +1,109 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "Release".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "pgxd::pgxd_common" for configuration "Release"
+set_property(TARGET pgxd::pgxd_common APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(pgxd::pgxd_common PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libpgxd_common.a"
+  )
+
+list(APPEND _cmake_import_check_targets pgxd::pgxd_common )
+list(APPEND _cmake_import_check_files_for_pgxd::pgxd_common "${_IMPORT_PREFIX}/lib/libpgxd_common.a" )
+
+# Import target "pgxd::pgxd_sim" for configuration "Release"
+set_property(TARGET pgxd::pgxd_sim APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(pgxd::pgxd_sim PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libpgxd_sim.a"
+  )
+
+list(APPEND _cmake_import_check_targets pgxd::pgxd_sim )
+list(APPEND _cmake_import_check_files_for_pgxd::pgxd_sim "${_IMPORT_PREFIX}/lib/libpgxd_sim.a" )
+
+# Import target "pgxd::pgxd_obs" for configuration "Release"
+set_property(TARGET pgxd::pgxd_obs APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(pgxd::pgxd_obs PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libpgxd_obs.a"
+  )
+
+list(APPEND _cmake_import_check_targets pgxd::pgxd_obs )
+list(APPEND _cmake_import_check_files_for_pgxd::pgxd_obs "${_IMPORT_PREFIX}/lib/libpgxd_obs.a" )
+
+# Import target "pgxd::pgxd_net" for configuration "Release"
+set_property(TARGET pgxd::pgxd_net APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(pgxd::pgxd_net PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libpgxd_net.a"
+  )
+
+list(APPEND _cmake_import_check_targets pgxd::pgxd_net )
+list(APPEND _cmake_import_check_files_for_pgxd::pgxd_net "${_IMPORT_PREFIX}/lib/libpgxd_net.a" )
+
+# Import target "pgxd::pgxd_runtime" for configuration "Release"
+set_property(TARGET pgxd::pgxd_runtime APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(pgxd::pgxd_runtime PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libpgxd_runtime.a"
+  )
+
+list(APPEND _cmake_import_check_targets pgxd::pgxd_runtime )
+list(APPEND _cmake_import_check_files_for_pgxd::pgxd_runtime "${_IMPORT_PREFIX}/lib/libpgxd_runtime.a" )
+
+# Import target "pgxd::pgxd_datagen" for configuration "Release"
+set_property(TARGET pgxd::pgxd_datagen APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(pgxd::pgxd_datagen PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libpgxd_datagen.a"
+  )
+
+list(APPEND _cmake_import_check_targets pgxd::pgxd_datagen )
+list(APPEND _cmake_import_check_files_for_pgxd::pgxd_datagen "${_IMPORT_PREFIX}/lib/libpgxd_datagen.a" )
+
+# Import target "pgxd::pgxd_graph" for configuration "Release"
+set_property(TARGET pgxd::pgxd_graph APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(pgxd::pgxd_graph PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libpgxd_graph.a"
+  )
+
+list(APPEND _cmake_import_check_targets pgxd::pgxd_graph )
+list(APPEND _cmake_import_check_files_for_pgxd::pgxd_graph "${_IMPORT_PREFIX}/lib/libpgxd_graph.a" )
+
+# Import target "pgxd::pgxd_core" for configuration "Release"
+set_property(TARGET pgxd::pgxd_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(pgxd::pgxd_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libpgxd_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets pgxd::pgxd_core )
+list(APPEND _cmake_import_check_files_for_pgxd::pgxd_core "${_IMPORT_PREFIX}/lib/libpgxd_core.a" )
+
+# Import target "pgxd::pgxd_spark" for configuration "Release"
+set_property(TARGET pgxd::pgxd_spark APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(pgxd::pgxd_spark PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libpgxd_spark.a"
+  )
+
+list(APPEND _cmake_import_check_targets pgxd::pgxd_spark )
+list(APPEND _cmake_import_check_files_for_pgxd::pgxd_spark "${_IMPORT_PREFIX}/lib/libpgxd_spark.a" )
+
+# Import target "pgxd::pgxd_analytics" for configuration "Release"
+set_property(TARGET pgxd::pgxd_analytics APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(pgxd::pgxd_analytics PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libpgxd_analytics.a"
+  )
+
+list(APPEND _cmake_import_check_targets pgxd::pgxd_analytics )
+list(APPEND _cmake_import_check_files_for_pgxd::pgxd_analytics "${_IMPORT_PREFIX}/lib/libpgxd_analytics.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

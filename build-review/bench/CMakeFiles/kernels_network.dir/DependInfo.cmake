@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build-review/src/net/CMakeFiles/pgxd_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/pgxd_obs.dir/DependInfo.cmake"
   "/root/repo/build-review/src/sim/CMakeFiles/pgxd_sim.dir/DependInfo.cmake"
   "/root/repo/build-review/src/common/CMakeFiles/pgxd_common.dir/DependInfo.cmake"
   )

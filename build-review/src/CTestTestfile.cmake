@@ -6,6 +6,7 @@
 # testing this directory and lists subdirectories to be tested as well.
 subdirs("common")
 subdirs("sim")
+subdirs("obs")
 subdirs("net")
 subdirs("runtime")
 subdirs("sort")

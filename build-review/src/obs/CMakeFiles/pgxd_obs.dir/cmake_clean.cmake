@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgxd_obs.dir/metrics.cpp.o"
+  "CMakeFiles/pgxd_obs.dir/metrics.cpp.o.d"
+  "libpgxd_obs.a"
+  "libpgxd_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgxd_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

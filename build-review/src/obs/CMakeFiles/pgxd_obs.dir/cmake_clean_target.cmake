@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpgxd_obs.a"
+)

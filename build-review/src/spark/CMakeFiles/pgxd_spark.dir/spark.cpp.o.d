@@ -72,6 +72,7 @@ src/spark/CMakeFiles/pgxd_spark.dir/spark.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/atomic_wide_counter.h \
  /usr/include/x86_64-linux-gnu/bits/struct_mutex.h \
  /usr/include/x86_64-linux-gnu/bits/struct_rwlock.h /usr/include/alloca.h \
+ /usr/include/x86_64-linux-gnu/bits/stdlib-bsearch.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-float.h \
  /usr/include/c++/12/bits/std_abs.h \
  /usr/include/c++/12/bits/ranges_algo.h \
@@ -119,6 +120,7 @@ src/spark/CMakeFiles/pgxd_spark.dir/spark.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/struct_FILE.h \
  /usr/include/x86_64-linux-gnu/bits/types/cookie_io_functions_t.h \
  /usr/include/x86_64-linux-gnu/bits/stdio_lim.h \
+ /usr/include/x86_64-linux-gnu/bits/stdio.h \
  /root/repo/src/common/stats.hpp /usr/include/c++/12/cstddef \
  /usr/include/c++/12/span /usr/include/c++/12/string \
  /usr/include/c++/12/bits/stringfwd.h \
@@ -214,9 +216,9 @@ src/spark/CMakeFiles/pgxd_spark.dir/spark.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/net/fabric.hpp /root/repo/src/common/rng.hpp \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/net/fabric.hpp /usr/include/c++/12/optional \
+ /root/repo/src/common/rng.hpp /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -237,20 +239,26 @@ src/spark/CMakeFiles/pgxd_spark.dir/spark.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/obs/metrics.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/obs/json.hpp \
  /root/repo/src/sim/simulator.hpp /usr/include/c++/12/coroutine \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/sim/task.hpp \
- /root/repo/src/sim/time.hpp /root/repo/src/runtime/comm.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/sim/sync.hpp \
- /usr/include/c++/12/optional /root/repo/src/sim/timeout.hpp \
- /root/repo/src/runtime/cost_model.hpp /root/repo/src/runtime/machine.hpp \
- /root/repo/src/runtime/memory.hpp /root/repo/src/sim/trace.hpp \
- /root/repo/src/sort/samples.hpp /root/repo/src/sort/timsort.hpp \
+ /root/repo/src/sim/time.hpp /root/repo/src/obs/timeseries.hpp \
+ /root/repo/src/sim/timeout.hpp /root/repo/src/runtime/comm.hpp \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/net/frame.hpp \
+ /root/repo/src/runtime/errors.hpp /root/repo/src/sim/sync.hpp \
+ /root/repo/src/sim/trace.hpp /root/repo/src/runtime/cost_model.hpp \
+ /root/repo/src/runtime/failure_detector.hpp \
+ /root/repo/src/runtime/machine.hpp /root/repo/src/runtime/memory.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/sort/samples.hpp \
+ /root/repo/src/sort/comparator.hpp /root/repo/src/sort/timsort.hpp \
  /root/repo/src/spark/cost_profile.hpp

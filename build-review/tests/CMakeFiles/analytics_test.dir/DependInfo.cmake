@@ -16,6 +16,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build-review/src/analytics/CMakeFiles/pgxd_analytics.dir/DependInfo.cmake"
   "/root/repo/build-review/src/runtime/CMakeFiles/pgxd_runtime.dir/DependInfo.cmake"
   "/root/repo/build-review/src/net/CMakeFiles/pgxd_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/pgxd_obs.dir/DependInfo.cmake"
   "/root/repo/build-review/src/sim/CMakeFiles/pgxd_sim.dir/DependInfo.cmake"
   "/root/repo/build-review/src/graph/CMakeFiles/pgxd_graph.dir/DependInfo.cmake"
   "/root/repo/build-review/src/datagen/CMakeFiles/pgxd_datagen.dir/DependInfo.cmake"

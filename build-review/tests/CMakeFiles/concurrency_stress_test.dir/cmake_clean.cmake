@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrency_stress_test.dir/concurrency_stress_test.cpp.o"
+  "CMakeFiles/concurrency_stress_test.dir/concurrency_stress_test.cpp.o.d"
+  "concurrency_stress_test"
+  "concurrency_stress_test.pdb"
+  "concurrency_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrency_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

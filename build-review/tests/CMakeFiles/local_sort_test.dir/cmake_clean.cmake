@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_sort_test.dir/local_sort_test.cpp.o"
+  "CMakeFiles/local_sort_test.dir/local_sort_test.cpp.o.d"
+  "local_sort_test"
+  "local_sort_test.pdb"
+  "local_sort_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_sort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

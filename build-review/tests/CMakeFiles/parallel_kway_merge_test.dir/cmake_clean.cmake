@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_kway_merge_test.dir/parallel_kway_merge_test.cpp.o"
+  "CMakeFiles/parallel_kway_merge_test.dir/parallel_kway_merge_test.cpp.o.d"
+  "parallel_kway_merge_test"
+  "parallel_kway_merge_test.pdb"
+  "parallel_kway_merge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_kway_merge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -131,16 +131,18 @@ tests/CMakeFiles/trace_test.dir/trace_test.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/select.h \
  /usr/include/x86_64-linux-gnu/bits/select.h \
  /usr/include/x86_64-linux-gnu/bits/types/sigset_t.h \
- /usr/include/alloca.h /usr/include/x86_64-linux-gnu/bits/stdlib-float.h \
+ /usr/include/alloca.h \
+ /usr/include/x86_64-linux-gnu/bits/stdlib-bsearch.h \
+ /usr/include/x86_64-linux-gnu/bits/stdlib-float.h \
  /usr/include/c++/12/bits/std_abs.h /usr/include/c++/12/cstdio \
  /usr/include/stdio.h /usr/include/x86_64-linux-gnu/bits/types/__fpos_t.h \
  /usr/include/x86_64-linux-gnu/bits/types/__fpos64_t.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct_FILE.h \
  /usr/include/x86_64-linux-gnu/bits/types/cookie_io_functions_t.h \
  /usr/include/x86_64-linux-gnu/bits/stdio_lim.h \
- /usr/include/c++/12/cerrno /usr/include/errno.h \
- /usr/include/x86_64-linux-gnu/bits/errno.h /usr/include/linux/errno.h \
- /usr/include/x86_64-linux-gnu/asm/errno.h \
+ /usr/include/x86_64-linux-gnu/bits/stdio.h /usr/include/c++/12/cerrno \
+ /usr/include/errno.h /usr/include/x86_64-linux-gnu/bits/errno.h \
+ /usr/include/linux/errno.h /usr/include/x86_64-linux-gnu/asm/errno.h \
  /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
@@ -300,9 +302,98 @@ tests/CMakeFiles/trace_test.dir/trace_test.cpp.o: \
  /root/repo/src/common/assert.hpp /root/repo/src/common/stats.hpp \
  /root/repo/src/core/config.hpp \
  /root/repo/src/runtime/buffered_writer.hpp /root/repo/src/sim/time.hpp \
- /root/repo/src/core/provenance.hpp /root/repo/src/core/splitters.hpp \
- /root/repo/src/runtime/cluster.hpp /root/repo/src/net/fabric.hpp \
- /root/repo/src/common/rng.hpp /usr/include/c++/12/cmath \
+ /root/repo/src/sort/local_sort.hpp /root/repo/src/sort/comparator.hpp \
+ /root/repo/src/sort/quicksort.hpp /root/repo/src/sort/simd_partition.hpp \
+ /usr/include/c++/12/cstring \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/immintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/x86gprintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/ia32intrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/adxintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/bmiintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/bmi2intrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/cetintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/cldemoteintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/clflushoptintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/clwbintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/clzerointrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/enqcmdintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/fxsrintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/lzcntintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/lwpintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/movdirintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/mwaitintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/mwaitxintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/pconfigintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/popcntintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/pkuintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/rdseedintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/rtmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/serializeintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/sgxintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/tbmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/tsxldtrkintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/uintrintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/waitpkgintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/wbnoinvdintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/xsaveintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/xsavecintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/xsaveoptintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/xsavesintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/xtestintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/hresetintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/mmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/xmmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/mm_malloc.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/emmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/pmmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/tmmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/smmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/wmmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avxintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avxvnniintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx2intrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512fintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512erintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512pfintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512cdintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512vlintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512bwintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512dqintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512vlbwintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512vldqintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512ifmaintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512ifmavlintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512vbmiintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512vbmivlintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx5124fmapsintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx5124vnniwintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512vpopcntdqintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512vbmi2intrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512vbmi2vlintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512vnniintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512vnnivlintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512vpopcntdqvlintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512bitalgintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512vp2intersectintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512vp2intersectvlintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512fp16intrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512fp16vlintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/shaintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/fmaintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/f16cintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/gfniintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/vaesintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/vpclmulqdqintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512bf16vlintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512bf16intrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/amxtileintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/amxint8intrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/amxbf16intrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/prfchwintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/keylockerintrin.h \
+ /root/repo/src/sort/radix_sort.hpp /root/repo/src/core/provenance.hpp \
+ /root/repo/src/core/splitters.hpp /root/repo/src/obs/metrics.hpp \
+ /root/repo/src/obs/json.hpp /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -324,25 +415,33 @@ tests/CMakeFiles/trace_test.dir/trace_test.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/sim/simulator.hpp /usr/include/c++/12/coroutine \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
+ /root/repo/src/obs/timeseries.hpp /root/repo/src/sim/simulator.hpp \
+ /usr/include/c++/12/coroutine /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/sim/task.hpp \
- /root/repo/src/runtime/comm.hpp /root/repo/src/sim/sync.hpp \
- /root/repo/src/sim/timeout.hpp /root/repo/src/runtime/cost_model.hpp \
+ /root/repo/src/sim/timeout.hpp /root/repo/src/runtime/cluster.hpp \
+ /root/repo/src/net/fabric.hpp /root/repo/src/common/rng.hpp \
+ /root/repo/src/runtime/comm.hpp /root/repo/src/net/frame.hpp \
+ /root/repo/src/runtime/errors.hpp /root/repo/src/sim/sync.hpp \
+ /root/repo/src/sim/trace.hpp /root/repo/src/runtime/cost_model.hpp \
+ /root/repo/src/runtime/failure_detector.hpp \
  /root/repo/src/runtime/machine.hpp /root/repo/src/runtime/memory.hpp \
- /root/repo/src/sim/trace.hpp /root/repo/src/sort/balanced_merge.hpp \
- /root/repo/src/common/thread_pool.hpp \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /root/repo/src/sort/balanced_merge.hpp \
+ /root/repo/src/common/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /usr/include/c++/12/thread /root/repo/src/sort/merge.hpp \
- /root/repo/src/sort/kway_merge.hpp /root/repo/src/sort/quicksort.hpp \
+ /root/repo/src/sort/kway_merge.hpp \
+ /root/repo/src/sort/parallel_kway_merge.hpp \
  /root/repo/src/sort/samples.hpp /root/repo/src/sort/soa_merge.hpp \
- /root/repo/src/datagen/distributions.hpp
+ /root/repo/src/datagen/distributions.hpp \
+ /root/repo/src/obs/critical_path.hpp

@@ -28,7 +28,29 @@ tools/CMakeFiles/pgxd_sim_tool.dir/pgxd_sim.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/stdio_lim.h \
  /usr/include/x86_64-linux-gnu/bits/floatn.h \
  /usr/include/x86_64-linux-gnu/bits/floatn-common.h \
- /usr/include/c++/12/string /usr/include/c++/12/bits/stringfwd.h \
+ /usr/include/x86_64-linux-gnu/bits/stdio.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/type_traits /usr/include/c++/12/exception \
+ /usr/include/c++/12/bits/exception.h \
+ /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/exception_defines.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/hash_bytes.h \
+ /usr/include/c++/12/new /usr/include/c++/12/bits/move.h \
+ /usr/include/c++/12/bits/nested_exception.h \
+ /usr/include/c++/12/initializer_list \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/functional_hash.h \
+ /usr/include/c++/12/bits/stl_construct.h \
+ /usr/include/c++/12/bits/stl_iterator_base_types.h \
+ /usr/include/c++/12/bits/iterator_concepts.h \
+ /usr/include/c++/12/concepts /usr/include/c++/12/bits/ptr_traits.h \
+ /usr/include/c++/12/bits/ranges_cmp.h \
+ /usr/include/c++/12/bits/stl_iterator_base_funcs.h \
+ /usr/include/c++/12/bits/concept_check.h \
+ /usr/include/c++/12/debug/assertions.h \
+ /usr/include/c++/12/bits/utility.h /usr/include/c++/12/compare \
+ /usr/include/c++/12/bits/invoke.h /usr/include/c++/12/string \
+ /usr/include/c++/12/bits/stringfwd.h \
  /usr/include/c++/12/bits/memoryfwd.h \
  /usr/include/c++/12/bits/char_traits.h \
  /usr/include/c++/12/bits/postypes.h /usr/include/c++/12/cwchar \
@@ -37,17 +59,7 @@ tools/CMakeFiles/pgxd_sim_tool.dir/pgxd_sim.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/mbstate_t.h \
  /usr/include/x86_64-linux-gnu/bits/types/locale_t.h \
  /usr/include/x86_64-linux-gnu/bits/types/__locale_t.h \
- /usr/include/c++/12/type_traits /usr/include/c++/12/compare \
- /usr/include/c++/12/concepts /usr/include/c++/12/bits/stl_construct.h \
- /usr/include/c++/12/new /usr/include/c++/12/bits/exception.h \
- /usr/include/c++/12/bits/move.h \
- /usr/include/c++/12/bits/stl_iterator_base_types.h \
- /usr/include/c++/12/bits/iterator_concepts.h \
- /usr/include/c++/12/bits/ptr_traits.h \
- /usr/include/c++/12/bits/ranges_cmp.h \
- /usr/include/c++/12/bits/stl_iterator_base_funcs.h \
- /usr/include/c++/12/bits/concept_check.h \
- /usr/include/c++/12/debug/assertions.h /usr/include/c++/12/cstdint \
+ /usr/include/c++/12/cstdint \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/stdint.h /usr/include/stdint.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-intn.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
@@ -55,7 +67,6 @@ tools/CMakeFiles/pgxd_sim_tool.dir/pgxd_sim.cpp.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++allocator.h \
  /usr/include/c++/12/bits/new_allocator.h \
  /usr/include/c++/12/bits/functexcept.h \
- /usr/include/c++/12/bits/exception_defines.h \
  /usr/include/c++/12/bits/cpp_type_traits.h \
  /usr/include/c++/12/bits/localefwd.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++locale.h \
@@ -72,17 +83,13 @@ tools/CMakeFiles/pgxd_sim_tool.dir/pgxd_sim.cpp.o: \
  /usr/include/c++/12/backward/binders.h \
  /usr/include/c++/12/ext/numeric_traits.h \
  /usr/include/c++/12/bits/stl_algobase.h \
- /usr/include/c++/12/bits/stl_pair.h /usr/include/c++/12/bits/utility.h \
- /usr/include/c++/12/debug/debug.h \
+ /usr/include/c++/12/bits/stl_pair.h /usr/include/c++/12/debug/debug.h \
  /usr/include/c++/12/bits/predefined_ops.h \
- /usr/include/c++/12/bits/refwrap.h /usr/include/c++/12/bits/invoke.h \
+ /usr/include/c++/12/bits/refwrap.h \
  /usr/include/c++/12/bits/range_access.h \
- /usr/include/c++/12/initializer_list \
  /usr/include/c++/12/bits/basic_string.h \
  /usr/include/c++/12/ext/alloc_traits.h \
  /usr/include/c++/12/bits/alloc_traits.h /usr/include/c++/12/string_view \
- /usr/include/c++/12/bits/functional_hash.h \
- /usr/include/c++/12/bits/hash_bytes.h \
  /usr/include/c++/12/bits/ranges_base.h \
  /usr/include/c++/12/bits/max_size_type.h /usr/include/c++/12/numbers \
  /usr/include/c++/12/bits/string_view.tcc \
@@ -108,6 +115,7 @@ tools/CMakeFiles/pgxd_sim_tool.dir/pgxd_sim.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/atomic_wide_counter.h \
  /usr/include/x86_64-linux-gnu/bits/struct_mutex.h \
  /usr/include/x86_64-linux-gnu/bits/struct_rwlock.h /usr/include/alloca.h \
+ /usr/include/x86_64-linux-gnu/bits/stdlib-bsearch.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-float.h \
  /usr/include/c++/12/bits/std_abs.h /usr/include/c++/12/cerrno \
  /usr/include/errno.h /usr/include/x86_64-linux-gnu/bits/errno.h \
@@ -129,12 +137,11 @@ tools/CMakeFiles/pgxd_sim_tool.dir/pgxd_sim.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/bit \
  /usr/include/c++/12/functional /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/uses_allocator.h \
- /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/typeinfo \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/vector \
@@ -149,9 +156,6 @@ tools/CMakeFiles/pgxd_sim_tool.dir/pgxd_sim.cpp.o: \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bits/unique_ptr.h \
  /usr/include/c++/12/ostream /usr/include/c++/12/ios \
- /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
- /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/bits/nested_exception.h \
  /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr-default.h \
@@ -238,44 +242,141 @@ tools/CMakeFiles/pgxd_sim_tool.dir/pgxd_sim.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/obs/metrics.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/obs/json.hpp \
  /root/repo/src/sim/simulator.hpp /usr/include/c++/12/coroutine \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/sim/task.hpp \
- /root/repo/src/sim/time.hpp /root/repo/src/runtime/comm.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/sim/sync.hpp \
- /usr/include/c++/12/optional /root/repo/src/sim/timeout.hpp \
- /root/repo/src/runtime/cost_model.hpp /root/repo/src/runtime/machine.hpp \
- /root/repo/src/runtime/memory.hpp /root/repo/src/sort/merge.hpp \
- /root/repo/src/common/thread_pool.hpp /usr/include/c++/12/atomic \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /root/repo/src/sim/time.hpp /root/repo/src/obs/timeseries.hpp \
+ /root/repo/src/sim/timeout.hpp /root/repo/src/runtime/comm.hpp \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/net/frame.hpp \
+ /root/repo/src/runtime/errors.hpp /root/repo/src/sim/sync.hpp \
+ /root/repo/src/sim/trace.hpp /root/repo/src/runtime/cost_model.hpp \
+ /root/repo/src/runtime/failure_detector.hpp \
+ /root/repo/src/runtime/machine.hpp /root/repo/src/runtime/memory.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/sort/merge.hpp \
+ /root/repo/src/common/thread_pool.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/thread /root/repo/src/baselines/radix.hpp \
- /root/repo/src/sort/radix_sort.hpp /root/repo/src/common/cli.hpp \
- /root/repo/src/common/table.hpp /root/repo/src/core/distributed_sort.hpp \
- /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/thread /root/repo/src/sort/comparator.hpp \
+ /root/repo/src/baselines/radix.hpp /root/repo/src/sort/radix_sort.hpp \
+ /root/repo/src/common/cli.hpp /root/repo/src/common/table.hpp \
+ /root/repo/src/core/distributed_sort.hpp /usr/include/c++/12/numeric \
+ /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/core/config.hpp \
  /root/repo/src/runtime/buffered_writer.hpp \
+ /root/repo/src/sort/local_sort.hpp /root/repo/src/sort/quicksort.hpp \
+ /root/repo/src/sort/simd_partition.hpp /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/immintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/x86gprintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/ia32intrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/adxintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/bmiintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/bmi2intrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/cetintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/cldemoteintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/clflushoptintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/clwbintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/clzerointrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/enqcmdintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/fxsrintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/lzcntintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/lwpintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/movdirintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/mwaitintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/mwaitxintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/pconfigintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/popcntintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/pkuintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/rdseedintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/rtmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/serializeintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/sgxintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/tbmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/tsxldtrkintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/uintrintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/waitpkgintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/wbnoinvdintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/xsaveintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/xsavecintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/xsaveoptintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/xsavesintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/xtestintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/hresetintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/mmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/xmmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/mm_malloc.h \
+ /usr/include/c++/12/stdlib.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/emmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/pmmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/tmmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/smmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/wmmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avxintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avxvnniintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx2intrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512fintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512erintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512pfintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512cdintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512vlintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512bwintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512dqintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512vlbwintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512vldqintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512ifmaintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512ifmavlintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512vbmiintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512vbmivlintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx5124fmapsintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx5124vnniwintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512vpopcntdqintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512vbmi2intrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512vbmi2vlintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512vnniintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512vnnivlintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512vpopcntdqvlintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512bitalgintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512vp2intersectintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512vp2intersectvlintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512fp16intrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512fp16vlintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/shaintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/fmaintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/f16cintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/gfniintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/vaesintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/vpclmulqdqintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512bf16vlintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/avx512bf16intrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/amxtileintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/amxint8intrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/amxbf16intrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/prfchwintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/keylockerintrin.h \
  /root/repo/src/core/provenance.hpp /root/repo/src/core/splitters.hpp \
- /root/repo/src/sim/trace.hpp /root/repo/src/sort/balanced_merge.hpp \
- /root/repo/src/sort/kway_merge.hpp /root/repo/src/sort/quicksort.hpp \
+ /root/repo/src/sort/balanced_merge.hpp \
+ /root/repo/src/sort/kway_merge.hpp \
+ /root/repo/src/sort/parallel_kway_merge.hpp \
  /root/repo/src/sort/samples.hpp /root/repo/src/sort/soa_merge.hpp \
+ /root/repo/src/core/sort_report.hpp /root/repo/src/obs/critical_path.hpp \
  /root/repo/src/core/validate.hpp \
  /root/repo/src/datagen/distributions.hpp \
- /root/repo/src/graph/twitter.hpp /root/repo/src/spark/sort_by_key.hpp \
- /root/repo/src/sort/timsort.hpp /root/repo/src/spark/cost_profile.hpp
+ /root/repo/src/graph/twitter.hpp /root/repo/src/obs/chrome_trace.hpp \
+ /root/repo/src/spark/sort_by_key.hpp /root/repo/src/sort/timsort.hpp \
+ /root/repo/src/spark/cost_profile.hpp
