@@ -24,6 +24,13 @@
 #                                    # at several instants x {restart, not},
 #                                    # master death, recovery report
 #                                    # validated against the schema)
+#   scripts/check.sh scale           # partition-at-scale gate: release
+#                                    # build, the balance-guarantee suite
+#                                    # (partition_test, refiner harness to
+#                                    # p=4096), then a p=1024 histogram-
+#                                    # refined pgxd_sim run and a two-level
+#                                    # AMS run, both --strict validated
+#                                    # against the report schema
 #   scripts/check.sh lint            # the static-analysis wall: custom
 #                                    # linter (self-test + repo), a
 #                                    # PGXD_WERROR=ON build (-Wall -Wextra
@@ -124,6 +131,36 @@ case "$MODE" in
     done
     python3 tools/validate_report.py "$TMP/report.json" tools/report_schema.json
     echo "chaos gate passed"
+    exit 0
+    ;;
+
+  scale)
+    configure_build build-release -DCMAKE_BUILD_TYPE=Release
+
+    # 1. The statistical balance-guarantee suite: partition kernels, the
+    #    multi-rank refiner harness up to p=4096 partitions, and the
+    #    end-to-end epsilon-balance matrix (p=64/256/1024 simulated ranks).
+    echo "== scale 1/2: partition_test (refiner harness to p=4096) =="
+    build-release/tests/partition_test
+
+    # 2. Smoke the CLI at p=1024 under both refined schemes; each run's
+    #    flight recorder must pass strict schema + semantic validation
+    #    (including the partition block's per-scheme invariants).
+    TMP="$(mktemp -d /tmp/pgxd_scale.XXXXXX)"
+    trap 'rm -rf "$TMP"' EXIT
+    echo "== scale 2/2: pgxd_sim p=1024 histogram + p=256 two-level =="
+    build-release/tools/pgxd_sim --n=500000 --p=1024 \
+      --partition=histogram --epsilon=0.05 \
+      --report="$TMP/histogram.json" > "$TMP/histogram.log"
+    grep -E 'partition|validation:' "$TMP/histogram.log" || true
+    python3 tools/validate_report.py --strict "$TMP/histogram.json" \
+      tools/report_schema.json
+    build-release/tools/pgxd_sim --n=500000 --p=256 \
+      --partition=two-level \
+      --report="$TMP/ams.json" > "$TMP/ams.log"
+    python3 tools/validate_report.py --strict "$TMP/ams.json" \
+      tools/report_schema.json
+    echo "scale gate passed"
     exit 0
     ;;
 

@@ -31,6 +31,29 @@ const char* local_sort_algo_name(LocalSortAlgo a) {
   return "unknown";
 }
 
+const char* partition_scheme_name(PartitionScheme s) {
+  switch (s) {
+    case PartitionScheme::kOneLevelSample: return "one-level-sample";
+    case PartitionScheme::kHistogramRefine: return "histogram-refine";
+    case PartitionScheme::kTwoLevelAms: return "two-level-ams";
+  }
+  return "unknown";
+}
+
+std::string SortConfig::validate() const {
+  if (partition_epsilon <= 0.0 || partition_epsilon > 1.0)
+    return "invalid SortConfig: partition_epsilon must be in (0, 1]";
+  if (partition_max_rounds < 1)
+    return "invalid SortConfig: partition_max_rounds must be >= 1";
+  if (partition == PartitionScheme::kTwoLevelAms && !async_exchange)
+    return "invalid SortConfig: kTwoLevelAms requires async_exchange (the "
+           "level-1 group exchange is send-while-receive by construction)";
+  if (partition == PartitionScheme::kHistogramRefine && sample_factor <= 0.0)
+    return "invalid SortConfig: kHistogramRefine requires a positive "
+           "sample_factor to seed the refinement";
+  return {};
+}
+
 const char* step_name(Step s) {
   switch (s) {
     case Step::kLocalSort: return "local-sort";

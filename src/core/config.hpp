@@ -10,6 +10,7 @@
 #include "runtime/buffered_writer.hpp"
 #include "sim/time.hpp"
 #include "sort/local_sort.hpp"
+#include "sort/partition.hpp"
 
 namespace pgxd::core {
 
@@ -33,6 +34,11 @@ const char* merge_algo_name(MergeAlgo a);
 // sort/local_sort.hpp.
 using sort::LocalSortAlgo;
 const char* local_sort_algo_name(LocalSortAlgo a);
+
+// Partitioning strategy for steps (2)-(4); the enum and the pure strategy
+// kernels live in sort/partition.hpp.
+using sort::PartitionScheme;
+const char* partition_scheme_name(PartitionScheme s);
 
 // The six steps of Sec. IV, used to index StepTimings (Fig. 7).
 enum class Step : std::size_t {
@@ -171,10 +177,28 @@ struct SortConfig {
   // Crash-stop recovery (see RecoveryConfig); disabled by default, and the
   // clean path is byte-identical with it disabled.
   RecoveryConfig recovery{};
+  // Partitioning strategy for splitter determination (see PartitionScheme):
+  // the paper's one-shot sampling (default), iterative histogram refinement
+  // to `partition_epsilon`, or the AMS-style two-level recursion over
+  // ~sqrt(p) rank groups.
+  PartitionScheme partition = PartitionScheme::kOneLevelSample;
+  // Balance target for kHistogramRefine: every partition is guaranteed
+  // within (1 +- epsilon) * N/p elements on distinct keys (duplicate runs
+  // are rebalanced by the investigator downstream). Must be in (0, 1].
+  double partition_epsilon = 0.05;
+  // Refinement round budget for kHistogramRefine; the refiner stops early
+  // once every boundary is certified within epsilon. Must be >= 1.
+  int partition_max_rounds = 10;
 
   MergeAlgo effective_final_merge() const {
     return balanced_final_merge ? final_merge : MergeAlgo::kSequentialKway;
   }
+
+  // Rejects contradictory knob combinations; returns an empty string when
+  // the configuration is valid, else a one-line reason. The sorter checks
+  // this in its constructor, so an invalid config dies loudly instead of
+  // running a subtly wrong sort.
+  std::string validate() const;
 };
 
 struct MachineStats {
@@ -191,6 +215,24 @@ struct MachineStats {
   std::uint64_t peak_temp_bytes = 0;
 };
 
+// Outcome of the partitioning strategy for one sort run (tentpole of the
+// scalable-partitioning layer): how hard the splitter determination worked
+// and how balanced the result came out, in the epsilon metric.
+struct PartitionStats {
+  PartitionScheme scheme = PartitionScheme::kOneLevelSample;
+  // Histogram refinement rounds executed (1 for the single-shot schemes:
+  // one sample gather == one round).
+  std::uint64_t rounds = 1;
+  double epsilon_target = 0.0;     // configured bound (histogram only)
+  // Worst relative partition-size deviation actually achieved:
+  // max_size / ideal - 1 over the final output partitions.
+  double achieved_epsilon = 0.0;
+  std::uint64_t groups = 1;        // AMS rank groups (1 for flat schemes)
+  std::uint64_t sample_keys = 0;   // sample keys gathered, all levels
+  std::uint64_t probe_keys = 0;    // candidate keys rank-certified (histogram)
+  std::uint64_t level1_items = 0;  // items moved by the AMS level-1 exchange
+};
+
 template <typename Key>
 struct SortStats {
   std::vector<MachineStats> machines;
@@ -202,6 +244,7 @@ struct SortStats {
   BalanceReport balance;
   std::vector<Key> splitters;
   RecoveryStats recovery;
+  PartitionStats partition;
 };
 
 }  // namespace pgxd::core

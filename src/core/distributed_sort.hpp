@@ -119,18 +119,33 @@ class DistributedSorter {
   // Tag layout; `sort_id` offsets the whole tag space so several sorts can
   // share one cluster run ("able to sort multiple different data
   // simultaneously"). kTagCtrl carries the recovery layer's out-of-band
-  // frames (abort fan-outs, straggler re-requests); tags 5-7 are reserved.
+  // frames (abort fan-outs, straggler re-requests). Tags 5-6 carry the
+  // histogram-refinement rounds, 8-11 the AMS level-1 exchange; tags 7 and
+  // 12-15 are reserved.
   static constexpr int kTagSamples = 0;
   static constexpr int kTagSplitters = 1;
   static constexpr int kTagCounts = 2;
   static constexpr int kTagData = 3;
   static constexpr int kTagCtrl = 4;
-  static constexpr int kTagStride = 8;
+  static constexpr int kTagProbe = 5;       // master -> members: probe/draw/done
+  static constexpr int kTagReply = 6;       // members -> master: round replies
+  static constexpr int kTagL1Samples = 8;   // AMS: samples to the global master
+  static constexpr int kTagGroupSplit = 9;  // AMS: coarse group splitters
+  static constexpr int kTagL1Counts = 10;   // AMS: bucket size to the partner
+  static constexpr int kTagL1Data = 11;     // AMS: the bucket itself
+  static constexpr int kTagStride = 16;
 
   // Control-frame kinds (counts[0]); counts[1] is the attempt number.
   static constexpr std::uint64_t kCtrlAbort = 1;
   // counts[2..] are the missing chunk indices of the addressed source.
   static constexpr std::uint64_t kCtrlReRequest = 2;
+
+  // Histogram-refinement frame kinds (kTagProbe counts[0]); counts[1] is a
+  // per-attempt round sequence number so a duplicating fabric's redelivered
+  // requests are recognized as stale.
+  static constexpr std::uint64_t kProbeCount = 1;  // count these probe keys
+  static constexpr std::uint64_t kProbeDraw = 2;   // draw inside these intervals
+  static constexpr std::uint64_t kProbeDone = 3;   // refinement finished
 
   // Exchange wire cost: keys only (provenance is reconstructed at the
   // receiver from the message's source and prov_base), plus a small
@@ -145,6 +160,8 @@ class DistributedSorter {
                     Comp comp = {})
       : cluster_(cluster), cfg_(cfg), base_tag_(sort_id * kTagStride),
         comp_(comp) {
+    const std::string why = cfg_.validate();
+    PGXD_CHECK_MSG(why.empty(), why.c_str());
     const std::size_t p = cluster_.size();
     input_.resize(p);
     output_.resize(p);
@@ -213,6 +230,23 @@ class DistributedSorter {
     stats_.splitters = splitters_;
     stats_.wire_bytes_total = wire_data_bytes_ + wire_control_bytes_;
     stats_.wire_bytes_samples = wire_control_bytes_;
+    stats_.partition.scheme = cfg_.partition;
+    stats_.partition.rounds = part_rounds_;
+    stats_.partition.epsilon_target =
+        cfg_.partition == PartitionScheme::kHistogramRefine
+            ? cfg_.partition_epsilon
+            : 0.0;
+    // Achieved epsilon in the balance metric: worst relative partition-size
+    // deviation over the final output (imbalance is max_size/ideal).
+    stats_.partition.achieved_epsilon =
+        stats_.balance.imbalance >= 1.0 ? stats_.balance.imbalance - 1.0
+                                        : 0.0;
+    stats_.partition.groups = part_groups_;
+    std::uint64_t sample_keys = 0;
+    for (const auto& ms : stats_.machines) sample_keys += ms.sample_count;
+    stats_.partition.sample_keys = sample_keys;
+    stats_.partition.probe_keys = part_probe_keys_;
+    stats_.partition.level1_items = part_level1_items_;
     if (stats_.recovery.final_members == 0)
       stats_.recovery.final_members = output_.size();
     if (cfg_.telemetry) {
@@ -229,6 +263,17 @@ class DistributedSorter {
       reg0.counter("sort.pool.fresh_allocs").inc(ps.fresh_allocs);
       reg0.counter("sort.pool.returns").inc(ps.returns);
       reg0.gauge("sort.pool.peak_free").set(static_cast<double>(ps.peak_free));
+      const PartitionStats& pt = stats_.partition;
+      reg0.counter(std::string("sort.partition.scheme.") +
+                   partition_scheme_name(pt.scheme))
+          .inc(1);
+      reg0.counter("sort.partition.rounds").inc(pt.rounds);
+      reg0.counter("sort.partition.sample_keys").inc(pt.sample_keys);
+      reg0.counter("sort.partition.probe_keys").inc(pt.probe_keys);
+      reg0.gauge("sort.partition.groups")
+          .set(static_cast<double>(pt.groups));
+      reg0.gauge("sort.partition.achieved_epsilon")
+          .set(pt.achieved_epsilon);
       if (cfg_.recovery.enabled) {
         const RecoveryStats& rc = stats_.recovery;
         reg0.counter("sort.recovery.recoveries").inc(rc.recoveries);
@@ -289,6 +334,12 @@ class DistributedSorter {
       trace_->name_tag(tag(kTagCounts), "counts");
       trace_->name_tag(tag(kTagData), "chunk");
       trace_->name_tag(tag(kTagCtrl), "ctrl");
+      trace_->name_tag(tag(kTagProbe), "probe");
+      trace_->name_tag(tag(kTagReply), "probe-reply");
+      trace_->name_tag(tag(kTagL1Samples), "l1-samples");
+      trace_->name_tag(tag(kTagGroupSplit), "group-splitters");
+      trace_->name_tag(tag(kTagL1Counts), "l1-counts");
+      trace_->name_tag(tag(kTagL1Data), "l1-bucket");
     }
     cluster_.comm().set_trace(trace);
   }
@@ -324,14 +375,22 @@ class DistributedSorter {
  private:
   // One sort attempt's membership: an ordered subset of the cluster's
   // physical ranks; members[0] is the master. The clean path runs attempt 0
-  // over all p ranks.
+  // over all p ranks. `scope` is the partitioning scope — the subset of
+  // members steps (2)-(6) run over, with scope[0] as their master. It
+  // equals `members` for the flat schemes; under kTwoLevelAms it shrinks to
+  // this rank's group after the level-1 exchange. Aborts and the failure
+  // detector always act on the full membership: any member's death dooms
+  // the attempt, whichever group it sat in.
   struct AttemptCtx {
     int attempt = 0;
     std::vector<std::size_t> members;
+    std::vector<std::size_t> scope;
 
     AttemptCtx() = default;
     AttemptCtx(int a, std::vector<std::size_t> m)
-        : attempt(a), members(std::move(m)) {}
+        : attempt(a), members(std::move(m)), scope(members) {}
+    AttemptCtx(int a, std::vector<std::size_t> m, std::vector<std::size_t> s)
+        : attempt(a), members(std::move(m)), scope(std::move(s)) {}
   };
 
   enum class AttemptOutcome { kNotRun, kOk, kCrashed, kAborted };
@@ -343,11 +402,33 @@ class DistributedSorter {
   struct ExchangeState {
     const std::vector<Key>* local = nullptr;
     const PartitionPlan* plan = nullptr;
+    // Two-hop (AMS) exchanges ship per-element origin provenance alongside
+    // each chunk (see pack_prov); nullptr for the flat single-hop schemes.
+    const std::vector<std::uint64_t>* lprov = nullptr;
     std::uint64_t chunk_elems = 0;
     bool use_pool = false;
 
     ExchangeState() = default;
   };
+
+  // Origin provenance packed into one u64 for the two-hop (AMS) path. The
+  // level-1 exchange destroys the "contiguous slice of the sender's sorted
+  // shard" property the flat exchange relies on, so the group exchange
+  // carries each element's true origin explicitly: machine in the top 24
+  // bits, index into the origin's locally sorted shard below. Shipped in
+  // the chunk's counts plane as audit metadata — not counted as modeled
+  // wire bytes, matching the provenance.hpp convention that provenance is
+  // an audit artifact, not protocol payload.
+  static constexpr std::uint64_t kProvIndexBits = 40;
+  static std::uint64_t pack_prov(std::size_t machine, std::uint64_t index) {
+    PGXD_CHECK(machine < (std::uint64_t{1} << (64 - kProvIndexBits)) &&
+               index < (std::uint64_t{1} << kProvIndexBits));
+    return (static_cast<std::uint64_t>(machine) << kProvIndexBits) | index;
+  }
+  static Provenance unpack_prov(std::uint64_t packed) {
+    return Provenance{static_cast<std::uint32_t>(packed >> kProvIndexBits),
+                      packed & ((std::uint64_t{1} << kProvIndexBits) - 1)};
+  }
 
   // Receiver-side straggler tracking for the exchange: inter-chunk arrival
   // gaps feed a q95-based hedge deadline; the chunk-dedup bitmap tells us
@@ -367,6 +448,11 @@ class DistributedSorter {
   static constexpr std::size_t kHedgeMaxChunksPerSource = 8;
   static constexpr std::size_t kHedgeMinGapSamples = 8;
   static constexpr std::size_t kHedgeMaxGapSamples = 512;
+  // Scope size above which the exchange-counts all-to-all is relayed
+  // through the scope master as q-entry vectors instead of per-pair u64
+  // messages (Step 4). Below it the per-pair path is both cheaper and the
+  // paper's literal shape.
+  static constexpr std::size_t kBatchedCountsScope = 64;
 
   int tag(int t) const { return base_tag_ + t; }
   void note_control_bytes(std::uint64_t b) { wire_control_bytes_ += b; }
@@ -445,6 +531,11 @@ class DistributedSorter {
       stats_.machines.assign(p, MachineStats{});
       outcomes_.assign(p, AttemptOutcome::kNotRun);
       abort_sent_.assign(p, 0);
+      part_rounds_ = 1;
+      part_probe_keys_ = 0;
+      part_level1_items_ = 0;
+      part_groups_ = 1;
+      part_refine_eps_ = 0.0;
       const sim::SimTime t0 = sim.now();
       const sim::SimTime elapsed = cluster_.run_on(
           members, [this, attempt, &members](rt::Machine& m) {
@@ -578,11 +669,13 @@ class DistributedSorter {
   sim::Task<void> resend_chunks(rt::Machine& m, const AttemptCtx& ctx,
                                 const Envelope& req, const ExchangeState& xs) {
     const std::size_t requester = req.src;
-    const std::size_t q = ctx.members.size();
+    // The exchange plan is indexed over the partition scope, not the full
+    // membership (they differ under kTwoLevelAms).
+    const std::size_t q = ctx.scope.size();
     std::size_t j = q;
     for (std::size_t k = 0; k < q; ++k)
-      if (ctx.members[k] == requester) j = k;
-    if (j == q) co_return;  // not a member of this attempt: stale frame
+      if (ctx.scope[k] == requester) j = k;
+    if (j == q) co_return;  // not in this rank's scope: stale frame
     const std::size_t lo = xs.plan->bounds[j];
     const std::size_t hi = xs.plan->bounds[j + 1];
     for (std::size_t i = 2; i < req.payload.counts.size(); ++i) {
@@ -602,7 +695,12 @@ class DistributedSorter {
       note_data_bytes(bytes);
       ++stats_.recovery.hedged_chunks_resent;
       co_await m.charge_copy(take);
-      Msg out = Msg::of_data(std::move(chunk), at, at - lo);
+      std::vector<std::uint64_t> pchunk;
+      if (xs.lprov != nullptr)
+        pchunk.assign(
+            xs.lprov->begin() + static_cast<std::ptrdiff_t>(at),
+            xs.lprov->begin() + static_cast<std::ptrdiff_t>(at + take));
+      Msg out(std::move(chunk), std::move(pchunk), at, at - lo);
       cluster_.comm().post(m.rank(), requester, tag(kTagData), std::move(out),
                            bytes);
     }
@@ -639,10 +737,10 @@ class DistributedSorter {
     if (rp.last_hedge != 0 && now - rp.last_hedge < deadline) return;
     rp.last_hedge = now;
     const std::size_t rank = m.rank();
-    const std::size_t q = ctx.members.size();
+    const std::size_t q = ctx.scope.size();
     std::size_t idx = q;
     for (std::size_t j = 0; j < q; ++j)
-      if (ctx.members[j] == rank) idx = j;
+      if (ctx.scope[j] == rank) idx = j;
     for (std::size_t j = 0; j < q; ++j) {
       if (j == idx) continue;
       const std::uint64_t cnt = (*rp.recv_counts)[j];
@@ -669,7 +767,7 @@ class DistributedSorter {
       note_control_bytes(bytes);
       ++stats_.recovery.hedged_rerequests;
       Msg msg = Msg::of_counts(std::move(req));
-      cluster_.comm().post(rank, ctx.members[j], tag(kTagCtrl),
+      cluster_.comm().post(rank, ctx.scope[j], tag(kTagCtrl),
                            std::move(msg), bytes);
     }
   }
@@ -717,6 +815,350 @@ class DistributedSorter {
     }
   }
 
+  // Per-rank regular-sample budget (Sec. IV-B): X = read_buffer / q bytes,
+  // scaled by sample_factor. kHistogramRefine seeds from a deliberately
+  // smaller sample and buys the precision back with refinement rounds —
+  // that is its whole sample-volume advantage.
+  std::uint64_t sample_budget(std::size_t q, std::size_t n,
+                              bool histogram) const {
+    const std::uint64_t x_bytes =
+        std::max<std::uint64_t>(1, cfg_.read_buffer_bytes / q);
+    auto count = static_cast<std::uint64_t>(
+        static_cast<double>(x_bytes) * cfg_.sample_factor /
+        static_cast<double>(sizeof(Key)));
+    if (histogram)
+      count =
+          std::max<std::uint64_t>(2, count / sort::kHistogramSampleDivisor);
+    return std::clamp<std::uint64_t>(count, 1, std::max<std::size_t>(n, 1));
+  }
+
+  // Master side of kHistogramRefine (Histogram Sort with Sampling): seed
+  // candidates from the small sample gather, then alternate counting rounds
+  // (exact global rank brackets for the probe set, summed over all members)
+  // and draw rounds (fresh candidates from inside the still-unresolved
+  // brackets) until every splitter boundary is certified within the epsilon
+  // target or the round budget is spent. Ends by releasing the members and
+  // broadcasting the final splitters on kTagSplitters, exactly like the
+  // one-shot scheme — steps (4)-(6) never know which scheme ran.
+  sim::Task<void> refine_splitters(rt::Machine& m, const AttemptCtx& ctx,
+                                   const std::vector<Key>& local,
+                                   const std::vector<Key>& samples,
+                                   std::size_t n) {
+    auto& comm = cluster_.comm();
+    const std::size_t rank = m.rank();
+    const std::size_t p = cluster_.size();
+    const std::size_t q = ctx.scope.size();
+    std::vector<std::size_t> midx(p, q);
+    for (std::size_t j = 0; j < q; ++j) midx[ctx.scope[j]] = j;
+    const std::size_t idx = midx[rank];
+    auto& mem = m.memory();
+
+    // Seed: gather the sample pool and learn the exact total element count
+    // from the piggybacked shard sizes (the refiner's targets need N, not
+    // an estimate).
+    std::vector<sort::WeightedSample<Key>> pool;
+    std::uint64_t total_n = n;
+    auto add_samples = [&pool](const std::vector<Key>& keys,
+                               std::uint64_t shard_n) {
+      if (keys.empty()) return;
+      const double w =
+          static_cast<double>(shard_n) / static_cast<double>(keys.size());
+      for (const auto& k : keys)
+        pool.push_back(sort::WeightedSample<Key>{k, w});
+    };
+    add_samples(samples, n);
+    std::vector<bool> sampled(q, false);
+    sampled[idx] = true;
+    for (std::size_t distinct = 1; distinct < q;) {
+      auto msg = co_await recv_sort(m, ctx, tag(kTagSamples), nullptr,
+                                    nullptr);
+      const std::size_t sj = midx[msg.src];
+      PGXD_CHECK_MSG(sj < q,
+                     "samples from a rank outside the attempt membership");
+      if (sampled[sj]) continue;
+      sampled[sj] = true;
+      ++distinct;
+      total_n += msg.payload.prov_base;
+      add_samples(msg.payload.keys, msg.payload.prov_base);
+    }
+    std::vector<Key> cands;
+    {
+      rt::TempAlloc pool_mem(mem, pool.size() * sizeof(Key) * 2);
+      std::sort(pool.begin(), pool.end(),
+                [this](const sort::WeightedSample<Key>& a,
+                       const sort::WeightedSample<Key>& b) {
+                  return comp_(a.key, b.key);
+                });
+      co_await m.compute_parallel(m.cost().sort_time(pool.size()));
+      cands = sort::select_splitters_weighted<Key, Comp>(pool, q, comp_);
+    }
+
+    sort::HistogramRefiner<Key, Comp> refiner(q, total_n,
+                                              cfg_.partition_epsilon, comp_);
+    std::vector<Key> probe = refiner.seed(std::move(cands));
+    const auto max_rounds =
+        static_cast<std::size_t>(cfg_.partition_max_rounds);
+    std::uint64_t seq = 0;
+    while (!refiner.done() && !probe.empty() &&
+           refiner.rounds() < max_rounds) {
+      // Counting round: broadcast the probe set; everyone (including us)
+      // contributes exact local rank brackets, summed into global ones.
+      ++seq;
+      for (std::size_t j = 1; j < q; ++j) {
+        std::vector<std::uint64_t> hdr;
+        hdr.push_back(kProbeCount);
+        hdr.push_back(seq);
+        std::vector<Key> req_keys = probe;
+        const std::uint64_t bytes = req_keys.size() * sizeof(Key) +
+                                    hdr.size() * sizeof(std::uint64_t);
+        note_control_bytes(bytes);
+        Msg req(std::move(req_keys), std::move(hdr), 0, 0);
+        comm.post(rank, ctx.scope[j], tag(kTagProbe), std::move(req), bytes);
+      }
+      std::vector<std::uint64_t> lo, hi;
+      sort::count_ranks<Key, Comp>(local, probe, lo, hi, comp_);
+      co_await m.compute(m.cost().histogram_round_time(n, probe.size()));
+      std::vector<bool> replied(q, false);
+      replied[idx] = true;
+      for (std::size_t distinct = 1; distinct < q;) {
+        auto msg = co_await recv_sort(m, ctx, tag(kTagReply), nullptr,
+                                      nullptr);
+        const std::size_t sj = midx[msg.src];
+        PGXD_CHECK_MSG(sj < q,
+                       "probe reply from a rank outside the membership");
+        const auto& c = msg.payload.counts;
+        if (c.empty() || c[0] != seq) continue;  // stale round: drop
+        if (replied[sj]) continue;
+        PGXD_CHECK_MSG(c.size() == 1 + 2 * probe.size(),
+                       "probe reply does not match the probe set");
+        replied[sj] = true;
+        ++distinct;
+        for (std::size_t i = 0; i < probe.size(); ++i) {
+          lo[i] += c[1 + i];
+          hi[i] += c[1 + probe.size() + i];
+        }
+      }
+      refiner.absorb_counts(lo, hi);
+      if (refiner.done() || refiner.rounds() >= max_rounds) break;
+      // Draw round: fresh candidates strictly inside the unresolved
+      // brackets, from every member.
+      const std::vector<sort::RefineInterval<Key>> ivs =
+          refiner.draw_intervals();
+      if (ivs.empty()) break;
+      ++seq;
+      std::vector<Key> ser;
+      std::vector<std::uint64_t> flags;
+      for (const auto& iv : ivs) {
+        ser.push_back(iv.has_lo ? iv.lo : Key{});
+        ser.push_back(iv.has_hi ? iv.hi : Key{});
+        flags.push_back((iv.has_lo ? 1u : 0u) | (iv.has_hi ? 2u : 0u));
+      }
+      for (std::size_t j = 1; j < q; ++j) {
+        std::vector<std::uint64_t> hdr;
+        hdr.push_back(kProbeDraw);
+        hdr.push_back(seq);
+        hdr.insert(hdr.end(), flags.begin(), flags.end());
+        std::vector<Key> req_keys = ser;
+        const std::uint64_t bytes = req_keys.size() * sizeof(Key) +
+                                    hdr.size() * sizeof(std::uint64_t);
+        note_control_bytes(bytes);
+        Msg req(std::move(req_keys), std::move(hdr), 0, 0);
+        comm.post(rank, ctx.scope[j], tag(kTagProbe), std::move(req), bytes);
+      }
+      std::vector<Key> drawn = sort::draw_candidates<Key, Comp>(
+          local, ivs, sort::kDrawPerInterval, comp_);
+      co_await m.charge_binary_search(n, 2 * ivs.size());
+      std::vector<bool> drew(q, false);
+      drew[idx] = true;
+      for (std::size_t distinct = 1; distinct < q;) {
+        auto msg = co_await recv_sort(m, ctx, tag(kTagReply), nullptr,
+                                      nullptr);
+        const std::size_t sj = midx[msg.src];
+        PGXD_CHECK_MSG(sj < q,
+                       "draw reply from a rank outside the membership");
+        const auto& c = msg.payload.counts;
+        if (c.empty() || c[0] != seq) continue;  // stale round: drop
+        if (drew[sj]) continue;
+        drew[sj] = true;
+        ++distinct;
+        drawn.insert(drawn.end(), msg.payload.keys.begin(),
+                     msg.payload.keys.end());
+      }
+      probe = refiner.absorb_draws(std::move(drawn));
+    }
+    part_rounds_ = std::max<std::uint64_t>(1, refiner.rounds());
+    part_probe_keys_ += refiner.probe_keys();
+    part_refine_eps_ = refiner.achieved_epsilon();
+
+    // Resolution round: the refiner certifies a boundary by a key whose
+    // duplicate run *brackets* the target rank — landing on that rank
+    // exactly means splitting the run by count, which no downstream
+    // consumer can derive from the key alone (the investigator splits dup
+    // runs heuristically, forfeiting the certified epsilon on dup-heavy
+    // data). One more exact counting round over the final splitter keys,
+    // kept per member this time, lets the master hand every member its
+    // duplicate take per boundary; the takes ride with the splitters.
+    splitters_ = refiner.splitters();
+    const std::size_t nb = splitters_.size();
+    std::vector<std::vector<std::uint64_t>> mem_lo(q), mem_hi(q);
+    if (nb > 0) {
+      ++seq;
+      for (std::size_t j = 1; j < q; ++j) {
+        std::vector<std::uint64_t> hdr;
+        hdr.push_back(kProbeCount);
+        hdr.push_back(seq);
+        std::vector<Key> req_keys = splitters_;
+        const std::uint64_t bytes = req_keys.size() * sizeof(Key) +
+                                    hdr.size() * sizeof(std::uint64_t);
+        note_control_bytes(bytes);
+        Msg req(std::move(req_keys), std::move(hdr), 0, 0);
+        comm.post(rank, ctx.scope[j], tag(kTagProbe), std::move(req), bytes);
+      }
+      sort::count_ranks<Key, Comp>(local, splitters_, mem_lo[idx],
+                                   mem_hi[idx], comp_);
+      co_await m.compute(m.cost().histogram_round_time(n, nb));
+      std::vector<bool> replied(q, false);
+      replied[idx] = true;
+      for (std::size_t distinct = 1; distinct < q;) {
+        auto msg = co_await recv_sort(m, ctx, tag(kTagReply), nullptr,
+                                      nullptr);
+        const std::size_t sj = midx[msg.src];
+        PGXD_CHECK_MSG(sj < q,
+                       "probe reply from a rank outside the membership");
+        const auto& c = msg.payload.counts;
+        if (c.empty() || c[0] != seq) continue;  // stale round: drop
+        if (replied[sj]) continue;
+        PGXD_CHECK_MSG(c.size() == 1 + 2 * nb,
+                       "resolution reply does not match the splitter set");
+        replied[sj] = true;
+        ++distinct;
+        mem_lo[sj].assign(c.begin() + 1,
+                          c.begin() + 1 + static_cast<std::ptrdiff_t>(nb));
+        mem_hi[sj].assign(c.begin() + 1 + static_cast<std::ptrdiff_t>(nb),
+                          c.end());
+      }
+      part_probe_keys_ += nb;
+    }
+    // Boundary i lands at global rank r = clamp(target, sum lo, sum hi);
+    // members contribute their duplicates in member order until r is met.
+    // For equal splitter keys r is non-decreasing in i over the same
+    // bracket, so per-member takes are monotone and bounds stay sorted.
+    std::vector<std::vector<std::uint64_t>> takes(
+        q, std::vector<std::uint64_t>(nb, 0));
+    std::uint64_t worst_err = 0;
+    for (std::size_t i = 0; i < nb; ++i) {
+      std::uint64_t glo = 0, ghi = 0;
+      for (std::size_t j = 0; j < q; ++j) {
+        glo += mem_lo[j][i];
+        ghi += mem_hi[j][i];
+      }
+      const std::uint64_t t = refiner.target(i);
+      const std::uint64_t r = std::clamp(t, glo, ghi);
+      worst_err = std::max(worst_err, r > t ? r - t : t - r);
+      std::uint64_t need = r - glo;
+      for (std::size_t j = 0; j < q && need > 0; ++j) {
+        const std::uint64_t d =
+            std::min<std::uint64_t>(mem_hi[j][i] - mem_lo[j][i], need);
+        takes[j][i] = d;
+        need -= d;
+      }
+    }
+    if (nb > 0 && total_n > 0)
+      part_refine_eps_ = 2.0 * static_cast<double>(q) *
+                         static_cast<double>(worst_err) /
+                         static_cast<double>(total_n);
+    if (cfg_.telemetry) {
+      obs::MetricsRegistry& mreg = metrics_[rank];
+      mreg.counter("sort.partition.refine_rounds").inc(refiner.rounds());
+      mreg.gauge("sort.partition.certified_epsilon").set(part_refine_eps_);
+    }
+    // Release the members from their service loops, then broadcast the
+    // final splitters exactly like the one-shot scheme — plus each
+    // member's dup-take vector in the counts plane.
+    ++seq;
+    for (std::size_t j = 1; j < q; ++j) {
+      std::vector<std::uint64_t> hdr;
+      hdr.push_back(kProbeDone);
+      hdr.push_back(seq);
+      const std::uint64_t bytes = hdr.size() * sizeof(std::uint64_t);
+      note_control_bytes(bytes);
+      comm.post(rank, ctx.scope[j], tag(kTagProbe),
+                Msg::of_counts(std::move(hdr)), bytes);
+    }
+    for (std::size_t j = 0; j < q; ++j) {
+      const std::size_t dst = ctx.scope[j];
+      const std::uint64_t bytes =
+          splitters_.size() * sizeof(Key) +
+          takes[j].size() * sizeof(std::uint64_t);
+      if (dst != rank) note_control_bytes(bytes);
+      Msg smsg(std::vector<Key>(splitters_), std::move(takes[j]), 0, 0);
+      comm.post(rank, dst, tag(kTagSplitters), std::move(smsg), bytes);
+    }
+    co_return;
+  }
+
+  // Member side of kHistogramRefine: answer the master's counting and draw
+  // requests in lockstep until the done frame arrives. Requests carry a
+  // sequence number so a duplicating fabric's redelivered requests are
+  // dropped instead of answered twice (the master additionally dedups
+  // replies by source and sequence).
+  sim::Task<void> serve_refinement(rt::Machine& m, const AttemptCtx& ctx,
+                                   const std::vector<Key>& local,
+                                   std::size_t n) {
+    auto& comm = cluster_.comm();
+    const std::size_t rank = m.rank();
+    const std::size_t master = ctx.scope[0];
+    std::uint64_t last_seq = 0;
+    for (;;) {
+      auto req = co_await recv_sort(m, ctx, tag(kTagProbe), nullptr, nullptr);
+      PGXD_CHECK_MSG(req.src == master && req.payload.counts.size() >= 2,
+                     "malformed histogram probe frame");
+      const std::uint64_t op = req.payload.counts[0];
+      const std::uint64_t seq = req.payload.counts[1];
+      if (op == kProbeDone) co_return;
+      if (seq <= last_seq) continue;  // duplicating fabric: stale copy
+      last_seq = seq;
+      if (op == kProbeCount) {
+        const std::vector<Key>& probes = req.payload.keys;
+        std::vector<std::uint64_t> lo, hi;
+        sort::count_ranks<Key, Comp>(local, probes, lo, hi, comp_);
+        co_await m.compute(m.cost().histogram_round_time(n, probes.size()));
+        std::vector<std::uint64_t> reply;
+        reply.reserve(1 + 2 * probes.size());
+        reply.push_back(seq);
+        reply.insert(reply.end(), lo.begin(), lo.end());
+        reply.insert(reply.end(), hi.begin(), hi.end());
+        const std::uint64_t bytes = reply.size() * sizeof(std::uint64_t);
+        note_control_bytes(bytes);
+        comm.post(rank, master, tag(kTagReply),
+                  Msg::of_counts(std::move(reply)), bytes);
+      } else {
+        PGXD_CHECK_MSG(op == kProbeDraw, "unknown histogram probe op");
+        const std::vector<Key>& ser = req.payload.keys;
+        PGXD_CHECK(ser.size() % 2 == 0 &&
+                   req.payload.counts.size() == 2 + ser.size() / 2);
+        std::vector<sort::RefineInterval<Key>> ivs(ser.size() / 2);
+        for (std::size_t i = 0; i < ivs.size(); ++i) {
+          const std::uint64_t f = req.payload.counts[2 + i];
+          ivs[i].lo = ser[2 * i];
+          ivs[i].hi = ser[2 * i + 1];
+          ivs[i].has_lo = (f & 1) != 0;
+          ivs[i].has_hi = (f & 2) != 0;
+        }
+        std::vector<Key> drawn = sort::draw_candidates<Key, Comp>(
+            local, ivs, sort::kDrawPerInterval, comp_);
+        co_await m.charge_binary_search(n, 2 * ivs.size());
+        std::vector<std::uint64_t> hdr;
+        hdr.push_back(seq);
+        const std::uint64_t bytes =
+            drawn.size() * sizeof(Key) + sizeof(std::uint64_t);
+        note_control_bytes(bytes);
+        Msg reply(std::move(drawn), std::move(hdr), 0, 0);
+        comm.post(rank, master, tag(kTagReply), std::move(reply), bytes);
+      }
+    }
+  }
+
   // One member's pipeline for one attempt, in member-index space: all
   // per-source bookkeeping is indexed 0..q-1 over ctx.members; provenance
   // and endpoints stay in physical rank space.
@@ -739,9 +1181,10 @@ class DistributedSorter {
     sim::SimTime mark = sim.now();
     // Closes the current paper step: per-step timing, a trace span tagged
     // with the bytes the step moved, and (telemetry on) a step-duration
-    // gauge in the rank's registry.
+    // gauge in the rank's registry. Accumulating (+=) because the two-level
+    // scheme visits the sampling..exchange steps twice — once per level.
     auto stamp = [&](Step s, std::uint64_t bytes = 0) {
-      ms.steps[s] = sim.now() - mark;
+      ms.steps[s] += sim.now() - mark;
       if (trace_) trace_->record(rank, step_name(s), mark, sim.now(), bytes);
       if (telemetry) {
         reg.gauge(std::string("sort.step.") + step_metric_suffix(s) + "_ns")
@@ -781,15 +1224,345 @@ class DistributedSorter {
     if (telemetry) reg.counter("sort.local.items").inc(n);
     stamp(Step::kLocalSort, n * sizeof(Key));
 
+    // ---- Partition scope ----------------------------------------------------
+    // Flat schemes partition once over the whole membership. kTwoLevelAms
+    // first routes whole key buckets between ~sqrt(q) contiguous rank
+    // groups (level 1: one partner per foreign group, so per-rank fan-out
+    // is ~sqrt(q) instead of q), then runs steps (2)-(6) within this rank's
+    // group. Group contiguity plus the ordered coarse splitters keep the
+    // global output sorted in rank order.
+    std::vector<std::size_t> scope = ctx.members;
+    // After a level-1 exchange, elements of `local` originate from other
+    // ranks' shards: `lprov[i]` records element i's true origin (pack_prov)
+    // so the group exchange can ship it and the final provenance — and the
+    // exactly-once audit — still point at original shard positions.
+    std::vector<std::uint64_t> lprov;
+    bool two_hop = false;
+    if (cfg_.partition == PartitionScheme::kTwoLevelAms) {
+      const sort::AmsLayout layout = sort::ams_layout(q);
+      part_groups_ = layout.groups;
+      if (layout.groups > 1) {
+        const std::size_t g_me = layout.group_of(idx);
+
+        // Level-1 sampling: the same regular-sample machinery, but the
+        // master only needs groups-1 coarse splitters out of it.
+        const std::uint64_t l1_sample_count =
+            sample_budget(q, n, /*histogram=*/false);
+        std::vector<Key> samples =
+            sort::regular_samples<Key>(local, l1_sample_count);
+        ms.sample_count += samples.size();
+        co_await m.charge_copy(samples.size());
+        if (rank != master) {
+          // prov_base carries the shard size so the master can weight
+          // samples from unequal shards.
+          const std::uint64_t bytes = samples.size() * sizeof(Key);
+          note_control_bytes(bytes);
+          co_await comm.send(rank, master, tag(kTagL1Samples),
+                             Msg::of_data(samples, n, 0), bytes);
+        }
+        if (telemetry)
+          reg.counter("sort.sampling.samples").inc(samples.size());
+        stamp(Step::kSampling, samples.size() * sizeof(Key));
+
+        std::vector<Key> gsplit;
+        if (rank == master) {
+          std::vector<sort::WeightedSample<Key>> gpool;
+          auto add_samples = [&gpool](const std::vector<Key>& keys,
+                                      std::uint64_t shard_n) {
+            if (keys.empty()) return;
+            const double w = static_cast<double>(shard_n) /
+                             static_cast<double>(keys.size());
+            for (const auto& k : keys)
+              gpool.push_back(sort::WeightedSample<Key>{k, w});
+          };
+          add_samples(samples, n);
+          std::vector<bool> sampled(q, false);
+          sampled[idx] = true;
+          for (std::size_t distinct = 1; distinct < q;) {
+            auto msg = co_await recv_sort(m, ctx, tag(kTagL1Samples), nullptr,
+                                          nullptr);
+            const std::size_t sj = midx[msg.src];
+            PGXD_CHECK_MSG(sj < q, "level-1 samples from a rank outside the "
+                                   "attempt membership");
+            if (sampled[sj]) continue;
+            sampled[sj] = true;
+            ++distinct;
+            add_samples(msg.payload.keys, msg.payload.prov_base);
+          }
+          {
+            rt::TempAlloc pool_mem(mem, gpool.size() * sizeof(Key) * 2);
+            std::sort(gpool.begin(), gpool.end(),
+                      [this](const sort::WeightedSample<Key>& a,
+                             const sort::WeightedSample<Key>& b) {
+                        return comp_(a.key, b.key);
+                      });
+            co_await m.compute_parallel(m.cost().sort_time(gpool.size()));
+            gsplit = sort::select_splitters_weighted<Key, Comp>(
+                gpool, layout.groups, comp_);
+          }
+          for (std::size_t j = 0; j < q; ++j) {
+            const std::size_t dst = ctx.members[j];
+            const std::uint64_t bytes = gsplit.size() * sizeof(Key);
+            if (dst != master) note_control_bytes(bytes);
+            comm.post(master, dst, tag(kTagGroupSplit), Msg::of_keys(gsplit),
+                      bytes);
+          }
+        }
+        auto gmsg = co_await recv_sort(m, ctx, tag(kTagGroupSplit), nullptr,
+                                       nullptr);
+        gsplit = std::move(gmsg.payload.keys);
+        stamp(Step::kSplitterSelect, gsplit.size() * sizeof(Key));
+
+        // Level-1 plan: one bucket per group, with the duplicate-splitter
+        // investigator balancing duplicate runs across group boundaries.
+        PartitionPlan gplan = plan_partition<Key, Comp>(
+            local, gsplit, cfg_.use_investigator, comp_);
+        ms.searches += gplan.searches;
+        ms.duplicate_groups += gplan.duplicate_groups;
+        co_await m.charge_binary_search(n, gplan.searches);
+
+        // Announce bucket sizes: a single u64 to each foreign group's
+        // partner. Receivers derive their expected sender set from the
+        // layout alone, so zero-sized buckets still need the frame.
+        const std::vector<std::uint64_t> gsizes = plan_sizes(gplan);
+        for (std::size_t g = 0; g < layout.groups; ++g) {
+          if (g == g_me) continue;
+          const std::size_t dst = ctx.members[layout.partner(idx, g)];
+          std::vector<std::uint64_t> one;
+          one.push_back(gsizes[g]);
+          const std::uint64_t bytes = sizeof(std::uint64_t);
+          note_control_bytes(bytes);
+          comm.post(rank, dst, tag(kTagL1Counts),
+                    Msg::of_counts(std::move(one)), bytes);
+        }
+        std::vector<std::size_t> senders;
+        for (std::size_t k = 0; k < q; ++k)
+          if (layout.group_of(k) != g_me && layout.partner(k, g_me) == idx)
+            senders.push_back(k);
+        std::vector<std::uint64_t> bucket_n(q, 0);
+        bucket_n[idx] = gsizes[g_me];
+        {
+          std::vector<bool> counted(q, false);
+          for (std::size_t got = 0; got < senders.size();) {
+            auto msg = co_await recv_sort(m, ctx, tag(kTagL1Counts), nullptr,
+                                          nullptr);
+            PGXD_CHECK(msg.payload.counts.size() == 1);
+            const std::size_t sj = midx[msg.src];
+            PGXD_CHECK_MSG(sj < q && layout.group_of(sj) != g_me &&
+                               layout.partner(sj, g_me) == idx,
+                           "level-1 counts from an unexpected sender");
+            if (counted[sj]) continue;
+            counted[sj] = true;
+            ++got;
+            bucket_n[sj] = msg.payload.counts[0];
+          }
+        }
+        stamp(Step::kPartitionPlan, layout.groups * sizeof(std::uint64_t));
+
+        // Level-1 bucket exchange: one message per (sender, foreign group)
+        // pair — O(q * sqrt(q)) messages cluster-wide instead of O(q^2).
+        std::uint64_t l1_wire_sent = 0;
+        for (std::size_t g = 0; g < layout.groups; ++g) {
+          if (g == g_me) continue;
+          const std::size_t dst = ctx.members[layout.partner(idx, g)];
+          const std::size_t lo = gplan.bounds[g];
+          const std::size_t hi = gplan.bounds[g + 1];
+          if (lo == hi) continue;
+          std::vector<Key> bucket(
+              local.begin() + static_cast<std::ptrdiff_t>(lo),
+              local.begin() + static_cast<std::ptrdiff_t>(hi));
+          const std::uint64_t bytes =
+              bucket.size() * kDataWireBytesPerKey + kChunkHeaderBytes;
+          note_data_bytes(bytes);
+          ms.sent_elements += bucket.size();
+          l1_wire_sent += bytes;
+          co_await m.charge_copy(bucket.size());
+          comm.post(rank, dst, tag(kTagL1Data),
+                    Msg::of_data(std::move(bucket), lo, 0), bytes);
+        }
+        // Contributors to this rank's group-local array, in member-index
+        // order, so the merged result is deterministic under any arrival
+        // order.
+        std::vector<std::size_t> contrib;
+        for (std::size_t k = 0; k < q; ++k)
+          if (bucket_n[k] > 0) contrib.push_back(k);
+        std::vector<std::size_t> roff(contrib.size() + 1, 0);
+        for (std::size_t c = 0; c < contrib.size(); ++c)
+          roff[c + 1] = roff[c] + bucket_n[contrib[c]];
+        const std::size_t l1_total = roff.back();
+        std::vector<Key> merged(l1_total);
+        // Origin of each merged element: a level-1 bucket is a contiguous
+        // slice of its sender's locally sorted shard, so origin indices are
+        // reconstructed from the sender rank and the bucket's prov_base —
+        // provenance still costs zero bytes on this hop.
+        std::vector<std::uint64_t> mprov(l1_total);
+        std::size_t expect_msgs = 0;
+        for (std::size_t c = 0; c < contrib.size(); ++c) {
+          if (contrib[c] != idx) {
+            ++expect_msgs;
+            continue;
+          }
+          std::copy(
+              local.begin() + static_cast<std::ptrdiff_t>(gplan.bounds[g_me]),
+              local.begin() +
+                  static_cast<std::ptrdiff_t>(gplan.bounds[g_me + 1]),
+              merged.begin() + static_cast<std::ptrdiff_t>(roff[c]));
+          for (std::size_t i = 0; i < bucket_n[idx]; ++i)
+            mprov[roff[c] + i] = pack_prov(rank, gplan.bounds[g_me] + i);
+        }
+        co_await m.charge_copy(bucket_n[idx]);
+        {
+          std::vector<bool> placed_from(q, false);
+          std::uint64_t l1_recv = 0;
+          for (std::size_t got = 0; got < expect_msgs;) {
+            auto msg = co_await recv_sort(m, ctx, tag(kTagL1Data), nullptr,
+                                          nullptr);
+            const std::size_t sj = midx[msg.src];
+            PGXD_CHECK_MSG(sj < q, "level-1 bucket from a rank outside the "
+                                   "attempt membership");
+            if (placed_from[sj]) continue;  // duplicating fabric: drop copy
+            placed_from[sj] = true;
+            ++got;
+            const auto it =
+                std::lower_bound(contrib.begin(), contrib.end(), sj);
+            PGXD_CHECK_MSG(it != contrib.end() && *it == sj &&
+                               msg.payload.keys.size() == bucket_n[sj],
+                           "level-1 bucket does not match its announced size");
+            const auto c = static_cast<std::size_t>(it - contrib.begin());
+            std::copy(msg.payload.keys.begin(), msg.payload.keys.end(),
+                      merged.begin() + static_cast<std::ptrdiff_t>(roff[c]));
+            for (std::size_t i = 0; i < msg.payload.keys.size(); ++i)
+              mprov[roff[c] + i] =
+                  pack_prov(msg.src, msg.payload.prov_base + i);
+            l1_recv += msg.payload.keys.size();
+            co_await m.charge_copy(msg.payload.keys.size());
+          }
+          ms.received_elements += l1_recv;
+          part_level1_items_ += l1_recv;
+          if (telemetry)
+            reg.counter("sort.partition.level1_items").inc(l1_recv);
+        }
+        local = std::move(merged);
+        // Re-establish the sorted-local invariant over the received runs,
+        // carrying each element's origin through the same permutation.
+        {
+          std::vector<std::size_t> bounds(roff.begin(), roff.end());
+          auto key_less = [this](const Key& a, const Key& b) {
+            return comp_(a, b);
+          };
+          if (l1_total <= std::numeric_limits<std::uint32_t>::max()) {
+            std::vector<std::uint32_t> perm(l1_total);
+            std::iota(perm.begin(), perm.end(), 0u);
+            std::vector<Key> kscr;
+            std::vector<std::uint32_t> pscr;
+            rt::TempAlloc scratch_mem(
+                mem, l1_total * (sizeof(Key) + 2 * sizeof(std::uint32_t)));
+            const auto res = sort::balanced_merge_soa(
+                local, perm, std::move(bounds), kscr, pscr, key_less);
+            if (res.in_scratch) local = std::move(kscr);
+            const std::uint32_t* mp = (res.in_scratch ? pscr : perm).data();
+            std::vector<std::uint64_t> permuted(l1_total);
+            for (std::size_t i = 0; i < l1_total; ++i)
+              permuted[i] = mprov[mp[i]];
+            mprov = std::move(permuted);
+          } else {
+            // Beyond u32 indexing: merge (key, origin) records directly.
+            std::vector<ItemT> items(l1_total);
+            for (std::size_t i = 0; i < l1_total; ++i)
+              items[i] = ItemT{local[i], unpack_prov(mprov[i])};
+            std::vector<ItemT> scratch;
+            rt::TempAlloc scratch_mem(mem, l1_total * sizeof(ItemT));
+            auto item_less = [this](const ItemT& a, const ItemT& b) {
+              return comp_(a.key, b.key);
+            };
+            sort::balanced_merge(items, std::move(bounds), scratch,
+                                 item_less);
+            for (std::size_t i = 0; i < l1_total; ++i) {
+              local[i] = items[i].key;
+              mprov[i] =
+                  pack_prov(items[i].prov.prev_machine,
+                            items[i].prov.prev_index);
+            }
+          }
+          co_await m.charge_balanced_merge(
+              l1_total, std::max<std::size_t>(1, contrib.size()));
+        }
+        lprov = std::move(mprov);
+        two_hop = true;
+        stamp(Step::kExchange, l1_wire_sent);
+        scope.assign(
+            ctx.members.begin() + static_cast<std::ptrdiff_t>(
+                                      layout.start[g_me]),
+            ctx.members.begin() + static_cast<std::ptrdiff_t>(
+                                      layout.start[g_me + 1]));
+      }
+    }
+
+    // Steps (2)-(6) over the partition scope.
+    AttemptCtx pctx(ctx.attempt, ctx.members, std::move(scope));
+    co_await partition_phase(m, std::move(pctx), std::move(local),
+                             std::move(lprov), two_hop);
+    co_return;
+  }
+
+  // Not a coroutine (GCC 12 pattern).
+  sim::Task<void> partition_phase(rt::Machine& m, AttemptCtx ctx,
+                                  std::vector<Key> local,
+                                  std::vector<std::uint64_t> lprov = {},
+                                  bool two_hop = false) {
+    return partition_phase_impl(m, std::move(ctx), std::move(local),
+                                std::move(lprov), two_hop);
+  }
+
+  // Steps (2)-(6) of the pipeline over ctx.scope — the full membership for
+  // the flat schemes, this rank's group after the AMS level-1 exchange. All
+  // per-source bookkeeping is indexed 0..q-1 over ctx.scope; aborts and the
+  // failure detector keep watching the full membership through recv_sort.
+  sim::Task<void> partition_phase_impl(rt::Machine& m, AttemptCtx ctx,
+                                       std::vector<Key> local,
+                                       std::vector<std::uint64_t> lprov,
+                                       bool two_hop) {
+    auto& comm = cluster_.comm();
+    const std::size_t rank = m.rank();
+    const std::size_t p = cluster_.size();
+    const std::size_t q = ctx.scope.size();
+    const std::size_t master = ctx.scope[0];
+    // Physical rank -> scope index (q = not in this rank's scope).
+    std::vector<std::size_t> midx(p, q);
+    for (std::size_t j = 0; j < q; ++j) midx[ctx.scope[j]] = j;
+    const std::size_t idx = midx[rank];
+    PGXD_CHECK_MSG(idx < q, "partition phase running on a non-scope rank");
+    auto& sim = cluster_.simulator();
+    auto& mem = m.memory();
+    MachineStats& ms = stats_.machines[rank];
+    obs::MetricsRegistry& reg = metrics_[rank];
+    const bool telemetry = cfg_.telemetry;
+    const std::size_t n = local.size();
+    // Explicit-provenance mode: a property of the attempt (the level-1
+    // exchange ran), shared by every scope member — a rank with an empty
+    // local array still receives origin planes from its peers.
+    const bool xprov = two_hop;
+    PGXD_CHECK(lprov.size() == (xprov ? n : 0));
+    const bool histogram =
+        cfg_.partition == PartitionScheme::kHistogramRefine;
+    sim::SimTime mark = sim.now();
+    auto stamp = [&](Step s, std::uint64_t bytes = 0) {
+      ms.steps[s] += sim.now() - mark;
+      if (trace_) trace_->record(rank, step_name(s), mark, sim.now(), bytes);
+      if (telemetry) {
+        reg.gauge(std::string("sort.step.") + step_metric_suffix(s) + "_ns")
+            .set(static_cast<double>(ms.steps[s]));
+        reg.counter(std::string("sort.step.") + step_metric_suffix(s) +
+                    "_bytes")
+            .inc(bytes);
+      }
+      mark = sim.now();
+    };
+
     // ---- Step 2: regular samples to the master ------------------------------
-    const std::uint64_t x_bytes =
-        std::max<std::uint64_t>(1, cfg_.read_buffer_bytes / q);
-    auto sample_count = static_cast<std::uint64_t>(
-        static_cast<double>(x_bytes) * cfg_.sample_factor /
-        static_cast<double>(sizeof(Key)));
-    sample_count = std::clamp<std::uint64_t>(sample_count, 1, std::max<std::size_t>(n, 1));
+    const std::uint64_t sample_count = sample_budget(q, n, histogram);
     std::vector<Key> samples = sort::regular_samples<Key>(local, sample_count);
-    ms.sample_count = samples.size();
+    ms.sample_count += samples.size();
     co_await m.charge_copy(samples.size());
     if (rank != master) {
       // prov_base carries the shard size so the master can weight samples
@@ -802,8 +1575,20 @@ class DistributedSorter {
     if (telemetry) reg.counter("sort.sampling.samples").inc(samples.size());
     stamp(Step::kSampling, samples.size() * sizeof(Key));
 
-    // ---- Step 3: master selects splitters, broadcast -------------------------
-    if (rank == master) {
+    // ---- Step 3: splitter determination -------------------------------------
+    // kOneLevelSample (and AMS level 2): the paper's one-shot master
+    // selection. kHistogramRefine: the master certifies candidate splitters
+    // by their exact global ranks over kTagProbe/kTagReply rounds until
+    // every boundary is within the epsilon target. Either way the final
+    // splitters arrive on kTagSplitters, so steps (4)-(6) are
+    // scheme-agnostic.
+    if (histogram) {
+      if (rank == master) {
+        co_await refine_splitters(m, ctx, local, samples, n);
+      } else {
+        co_await serve_refinement(m, ctx, local, n);
+      }
+    } else if (rank == master) {
       // Gather all sample vectors into the master's one read buffer. Each
       // sample represents shard_size/sample_count elements of its shard, so
       // splitter selection weights samples accordingly — shards may be of
@@ -845,7 +1630,7 @@ class DistributedSorter {
         splitters_ = sort::select_splitters_weighted<Key, Comp>(pool, q, comp_);
       }
       for (std::size_t j = 0; j < q; ++j) {
-        const std::size_t dst = ctx.members[j];
+        const std::size_t dst = ctx.scope[j];
         const std::uint64_t bytes = splitters_.size() * sizeof(Key);
         if (dst != master) note_control_bytes(bytes);
         comm.post(master, dst, tag(kTagSplitters), Msg::of_keys(splitters_),
@@ -855,40 +1640,124 @@ class DistributedSorter {
     auto splitters_msg = co_await recv_sort(m, ctx, tag(kTagSplitters),
                                             nullptr, nullptr);
     const std::vector<Key> splitters = std::move(splitters_msg.payload.keys);
+    const std::vector<std::uint64_t> dup_takes =
+        std::move(splitters_msg.payload.counts);
     stamp(Step::kSplitterSelect, splitters.size() * sizeof(Key));
 
-    // ---- Step 4: partition plan + counts broadcast ---------------------------
-    PartitionPlan plan = plan_partition<Key, Comp>(
-        local, splitters, cfg_.use_investigator, comp_);
-    ms.searches = plan.searches;
-    ms.duplicate_groups = plan.duplicate_groups;
+    // ---- Step 4: partition plan + counts exchange ----------------------------
+    PartitionPlan plan;
+    if (histogram && !splitters.empty() &&
+        dup_takes.size() == splitters.size()) {
+      // Exact-rank bounds from the refinement's resolution round: every
+      // duplicate of splitter i sits right of lower_bound, and the
+      // master's take says how many of ours move left of the boundary.
+      plan.bounds.assign(q + 1, 0);
+      plan.bounds[q] = n;
+      for (std::size_t i = 0; i < splitters.size(); ++i) {
+        const auto lb = static_cast<std::size_t>(
+            std::lower_bound(local.begin(), local.end(), splitters[i],
+                             comp_) -
+            local.begin());
+        const auto ub = static_cast<std::size_t>(
+            std::upper_bound(local.begin(), local.end(), splitters[i],
+                             comp_) -
+            local.begin());
+        const std::size_t b =
+            std::min(ub, lb + static_cast<std::size_t>(dup_takes[i]));
+        plan.bounds[i + 1] = std::max(b, plan.bounds[i]);
+      }
+      plan.searches = 2 * splitters.size();
+    } else {
+      plan = plan_partition<Key, Comp>(local, splitters,
+                                       cfg_.use_investigator, comp_);
+    }
+    ms.searches += plan.searches;
+    ms.duplicate_groups += plan.duplicate_groups;
     co_await m.charge_binary_search(n, plan.searches);
 
+    // Slim counts: each destination only needs its own element count, so
+    // one u64 travels per (sender, receiver) pair — not the full q-entry
+    // vector, whose transient bytes would grow O(q^3) cluster-wide. Past
+    // kBatchedCountsScope members that is q^2 tiny messages cluster-wide,
+    // and per-message overhead (headers, acks, event scheduling) dwarfs
+    // the payload — so large scopes relay the count matrix through the
+    // scope master instead: 2(q-1) q-entry messages, 2q^2 u64 transient.
     const std::vector<std::uint64_t> send_counts = plan_sizes(plan);
-    for (std::size_t j = 0; j < q; ++j) {
-      const std::size_t dst = ctx.members[j];
-      if (dst == rank) continue;
-      const std::uint64_t bytes = q * sizeof(std::uint64_t);
-      note_control_bytes(bytes);
-      comm.post(rank, dst, tag(kTagCounts), Msg::of_counts(send_counts), bytes);
-    }
-    // Receive everyone's counts; recv_counts[j] = elements member j sends
-    // us. As with the sample gather, wait for distinct sources so
-    // duplicated counts messages cannot starve a source.
     std::vector<std::uint64_t> recv_counts(q, 0);
-    recv_counts[idx] = send_counts[idx];
-    std::vector<bool> counted(q, false);
-    counted[idx] = true;
-    for (std::size_t distinct = 1; distinct < q;) {
-      auto msg = co_await recv_sort(m, ctx, tag(kTagCounts), nullptr, nullptr);
-      PGXD_CHECK(msg.payload.counts.size() == q);
-      const std::size_t sj = midx[msg.src];
-      PGXD_CHECK_MSG(sj < q,
-                     "counts from a rank outside the attempt membership");
-      if (counted[sj]) continue;
-      counted[sj] = true;
-      ++distinct;
-      recv_counts[sj] = msg.payload.counts[idx];
+    if (q > kBatchedCountsScope) {
+      if (rank == master) {
+        std::vector<std::vector<std::uint64_t>> matrix(q);
+        matrix[idx] = send_counts;
+        std::vector<bool> got(q, false);
+        got[idx] = true;
+        for (std::size_t distinct = 1; distinct < q;) {
+          auto msg =
+              co_await recv_sort(m, ctx, tag(kTagCounts), nullptr, nullptr);
+          const std::size_t sj = midx[msg.src];
+          PGXD_CHECK_MSG(sj < q,
+                         "counts from a rank outside the attempt membership");
+          if (got[sj]) continue;
+          PGXD_CHECK(msg.payload.counts.size() == q);
+          got[sj] = true;
+          ++distinct;
+          matrix[sj] = std::move(msg.payload.counts);
+        }
+        for (std::size_t j = 0; j < q; ++j) {
+          std::vector<std::uint64_t> col(q);
+          for (std::size_t s = 0; s < q; ++s) col[s] = matrix[s][j];
+          if (j == idx) {
+            recv_counts = std::move(col);
+            continue;
+          }
+          const std::uint64_t bytes = q * sizeof(std::uint64_t);
+          note_control_bytes(bytes);
+          comm.post(rank, ctx.scope[j], tag(kTagCounts),
+                    Msg::of_counts(std::move(col)), bytes);
+        }
+      } else {
+        const std::uint64_t bytes = q * sizeof(std::uint64_t);
+        note_control_bytes(bytes);
+        comm.post(rank, master, tag(kTagCounts),
+                  Msg::of_counts(std::vector<std::uint64_t>(send_counts)),
+                  bytes);
+        for (;;) {
+          auto msg =
+              co_await recv_sort(m, ctx, tag(kTagCounts), nullptr, nullptr);
+          if (msg.src != master) continue;  // stray frame: master's is law
+          PGXD_CHECK(msg.payload.counts.size() == q);
+          recv_counts = std::move(msg.payload.counts);
+          break;
+        }
+      }
+    } else {
+      for (std::size_t j = 0; j < q; ++j) {
+        const std::size_t dst = ctx.scope[j];
+        if (dst == rank) continue;
+        std::vector<std::uint64_t> one;
+        one.push_back(send_counts[j]);
+        const std::uint64_t bytes = sizeof(std::uint64_t);
+        note_control_bytes(bytes);
+        comm.post(rank, dst, tag(kTagCounts), Msg::of_counts(std::move(one)),
+                  bytes);
+      }
+      // Receive everyone's counts; recv_counts[j] = elements member j sends
+      // us. As with the sample gather, wait for distinct sources so
+      // duplicated counts messages cannot starve a source.
+      recv_counts[idx] = send_counts[idx];
+      std::vector<bool> counted(q, false);
+      counted[idx] = true;
+      for (std::size_t distinct = 1; distinct < q;) {
+        auto msg =
+            co_await recv_sort(m, ctx, tag(kTagCounts), nullptr, nullptr);
+        PGXD_CHECK(msg.payload.counts.size() == 1);
+        const std::size_t sj = midx[msg.src];
+        PGXD_CHECK_MSG(sj < q,
+                       "counts from a rank outside the attempt membership");
+        if (counted[sj]) continue;
+        counted[sj] = true;
+        ++distinct;
+        recv_counts[sj] = msg.payload.counts[0];
+      }
     }
     if (telemetry) {
       reg.counter("sort.plan.searches").inc(plan.searches);
@@ -946,6 +1815,14 @@ class DistributedSorter {
       recv_keys.resize(total_recv);
       recv_keys_mem.emplace(mem, total_recv * sizeof(Key));
     }
+    // Explicit origin plane for the two-hop exchange (SoA path); the AoS
+    // path unpacks origins straight into Item records instead.
+    std::vector<std::uint64_t> recv_prov;
+    std::optional<rt::TempAlloc> recv_prov_mem;
+    if (soa && xprov) {
+      recv_prov.resize(total_recv);
+      recv_prov_mem.emplace(mem, total_recv * sizeof(std::uint64_t));
+    }
 
     // Self range: a local memory move, not fabric traffic.
     {
@@ -956,6 +1833,15 @@ class DistributedSorter {
         std::copy(local.begin() + static_cast<std::ptrdiff_t>(lo),
                   local.begin() + static_cast<std::ptrdiff_t>(hi),
                   recv_keys.begin() + static_cast<std::ptrdiff_t>(offsets[idx]));
+        if (xprov)
+          std::copy(
+              lprov.begin() + static_cast<std::ptrdiff_t>(lo),
+              lprov.begin() + static_cast<std::ptrdiff_t>(hi),
+              recv_prov.begin() + static_cast<std::ptrdiff_t>(offsets[idx]));
+      } else if (xprov) {
+        for (std::size_t i = lo; i < hi; ++i)
+          out[offsets[idx] + (i - lo)] =
+              ItemT{local[i], unpack_prov(lprov[i])};
       } else {
         for (std::size_t i = lo; i < hi; ++i)
           out[offsets[idx] + (i - lo)] =
@@ -1035,10 +1921,19 @@ class DistributedSorter {
       const std::size_t at = offsets[sj] + msg.payload.rel_offset;
       PGXD_CHECK_MSG(at + keys.size() <= offsets[sj + 1],
                      "chunk overruns its source's receive range");
+      if (xprov)
+        PGXD_CHECK_MSG(msg.payload.counts.size() == keys.size(),
+                       "two-hop data chunk arrived without its origin plane");
       if (soa) {
         src_lo[sj] = base - msg.payload.rel_offset;
         std::copy(keys.begin(), keys.end(),
                   recv_keys.begin() + static_cast<std::ptrdiff_t>(at));
+        if (xprov)
+          std::copy(msg.payload.counts.begin(), msg.payload.counts.end(),
+                    recv_prov.begin() + static_cast<std::ptrdiff_t>(at));
+      } else if (xprov) {
+        for (std::size_t i = 0; i < keys.size(); ++i)
+          out[at + i] = ItemT{keys[i], unpack_prov(msg.payload.counts[i])};
       } else {
         const auto src32 = static_cast<std::uint32_t>(msg.src);
         for (std::size_t i = 0; i < keys.size(); ++i)
@@ -1058,6 +1953,7 @@ class DistributedSorter {
     ExchangeState xs;
     xs.local = &local;
     xs.plan = &plan;
+    if (xprov) xs.lprov = &lprov;
     xs.chunk_elems = chunk_elems;
     xs.use_pool = use_pool;
     RecvProgress rp;
@@ -1073,22 +1969,33 @@ class DistributedSorter {
     // In async mode the loop also drains chunks that have already arrived —
     // the paper's "simultaneous asynchronous send/receive" — which both
     // overlaps the copies and returns buffers to the pool for re-lease.
+    // In a scoped (AMS group) exchange the cluster-wide pool is shared by
+    // several concurrent exchanges, so "a buffer is outstanding" no longer
+    // implies "a chunk is in flight to a member of *this* exchange" — a
+    // whole group parked in the backpressure recv before posting any send
+    // would sleep through the pool refilling. Scoped senders therefore only
+    // block to drain chunks that have actually arrived and otherwise let
+    // the pool allocate fresh.
+    const bool scoped_exchange = q < ctx.members.size();
     for (std::size_t step = 1; step < q; ++step) {
       // Ring order starting after own member index spreads incast across
       // receivers.
       const std::size_t dstj = (idx + step) % q;
-      const std::size_t dst = ctx.members[dstj];
+      const std::size_t dst = ctx.scope[dstj];
       const std::size_t lo = plan.bounds[dstj];
       const std::size_t hi = plan.bounds[dstj + 1];
       for (std::size_t at = lo; at < hi;) {
         // Backpressure: with the pool dry and the outstanding cap reached,
         // block on a receive — placing the arrived chunk returns its buffer
         // — instead of allocating yet another. Deadlock-free: we only block
-        // while peers still owe us data, and every outstanding buffer is in
-        // flight to (or queued at) a machine that is still draining.
+        // while peers still owe us data, and (in the whole-membership case)
+        // every outstanding buffer is in flight to (or queued at) a machine
+        // that is still draining.
         while (use_pool && cfg_.async_exchange &&
                remote_placed < remote_expected && pool_.free_buffers() == 0 &&
-               pool_.outstanding() >= pool_cap) {
+               pool_.outstanding() >= pool_cap &&
+               (!scoped_exchange ||
+                comm.pending(rank, tag(kTagData)) > 0)) {
           auto msg = co_await recv_sort(m, ctx, tag(kTagData), &xs, &rp);
           const std::size_t placed = place_chunk(msg);
           if (placed > 0) co_await m.charge_copy(placed);
@@ -1100,6 +2007,10 @@ class DistributedSorter {
             use_pool ? pool_.acquire(take) : std::vector<Key>();
         chunk.reserve(take);
         chunk.assign(slice.begin(), slice.end());
+        std::vector<std::uint64_t> pchunk;
+        if (xprov)
+          pchunk.assign(lprov.begin() + static_cast<std::ptrdiff_t>(at),
+                        lprov.begin() + static_cast<std::ptrdiff_t>(at + take));
         const std::uint64_t bytes =
             take * kDataWireBytesPerKey + kChunkHeaderBytes;
         note_data_bytes(bytes);
@@ -1114,7 +2025,8 @@ class DistributedSorter {
         co_await m.charge_copy(take);  // pack the request buffer
         if (cfg_.async_exchange) {
           comm.post(rank, dst, tag(kTagData),
-                    Msg::of_data(std::move(chunk), at, at - lo), bytes);
+                    Msg(std::move(chunk), std::move(pchunk), at, at - lo),
+                    bytes);
           while (remote_placed < remote_expected &&
                  comm.pending(rank, tag(kTagData)) > 0) {
             auto msg = co_await recv_sort(m, ctx, tag(kTagData), &xs, &rp);
@@ -1123,7 +2035,8 @@ class DistributedSorter {
           }
         } else {
           co_await comm.send(rank, dst, tag(kTagData),
-                             Msg::of_data(std::move(chunk), at, at - lo),
+                             Msg(std::move(chunk), std::move(pchunk), at,
+                                 at - lo),
                              bytes);
         }
         at += take;
@@ -1144,11 +2057,14 @@ class DistributedSorter {
     for (std::size_t s = 0; s < q; ++s)
       PGXD_CHECK_MSG(cursor[s] == offsets[s + 1],
                      "exchange delivered wrong element counts");
-    ms.received_elements = total_recv;
-    // The local pre-sorted array can be released now; no recv_sort call
-    // below passes &xs, so no re-request can touch the freed storage.
+    ms.received_elements += total_recv;
+    // The local pre-sorted array (and its origin plane) can be released
+    // now; no recv_sort call below passes &xs, so no re-request can touch
+    // the freed storage.
     local.clear();
     local.shrink_to_fit();
+    lprov.clear();
+    lprov.shrink_to_fit();
     stamp(Step::kExchange, exchange_wire_sent);
 
     // ---- Step 6: final merge ------------------------------------------------
@@ -1199,6 +2115,10 @@ class DistributedSorter {
         }
         for (std::size_t i = 0; i < total_recv; ++i) {
           const std::size_t pos = mp[i];
+          if (xprov) {
+            out[i] = ItemT{mk[i], unpack_prov(recv_prov[pos])};
+            continue;
+          }
           const std::size_t s =
               static_cast<std::size_t>(
                   std::upper_bound(offsets.begin(), offsets.end(), pos) -
@@ -1206,7 +2126,7 @@ class DistributedSorter {
               1;
           out[i] =
               ItemT{mk[i],
-                    Provenance{static_cast<std::uint32_t>(ctx.members[s]),
+                    Provenance{static_cast<std::uint32_t>(ctx.scope[s]),
                                src_lo[s] + (pos - offsets[s])}};
         }
       } else {
@@ -1242,6 +2162,8 @@ class DistributedSorter {
     }
     recv_keys = std::vector<Key>();
     recv_keys_mem.reset();
+    recv_prov = std::vector<std::uint64_t>();
+    recv_prov_mem.reset();
     stamp(Step::kFinalMerge, total_recv * kStoredBytesPerItem);
 
     // ---- Exactly-once audit -------------------------------------------------
@@ -1252,26 +2174,53 @@ class DistributedSorter {
     // injection, or a hedged re-send slipping past dedup) breaks that.
     // Pure host-side verification; costs no simulated time.
     if (cfg_.audit_exchange) {
-      std::vector<std::vector<std::uint64_t>> prev_indices(q);
-      for (std::size_t s = 0; s < q; ++s)
-        prev_indices[s].reserve(recv_counts[s]);
-      for (const ItemT& item : out) {
-        PGXD_CHECK(item.prov.prev_machine < p);
-        const std::size_t sj = midx[item.prov.prev_machine];
-        PGXD_CHECK_MSG(sj < q,
-                       "exactly-once audit: element attributed to a rank "
-                       "outside the attempt membership");
-        prev_indices[sj].push_back(item.prov.prev_index);
-      }
-      for (std::size_t s = 0; s < q; ++s) {
-        PGXD_CHECK_MSG(prev_indices[s].size() == recv_counts[s],
-                       "exactly-once audit: received element count from a "
-                       "source disagrees with its announced count");
-        std::sort(prev_indices[s].begin(), prev_indices[s].end());
-        for (std::size_t i = 1; i < prev_indices[s].size(); ++i)
-          PGXD_CHECK_MSG(prev_indices[s][i] == prev_indices[s][i - 1] + 1,
-                         "exactly-once audit: an element was duplicated or "
-                         "lost in the exchange");
+      if (xprov) {
+        // Two-hop provenance names origin ranks anywhere in the attempt
+        // membership (not just this scope), and the level-1 merge destroys
+        // per-source contiguity — audit origin distinctness instead: a
+        // dropped-then-rehedged or duplicated delivery shows up as a
+        // repeated (machine, index) pair. Global coverage (every origin
+        // index present exactly once, cluster-wide) is the host validator's
+        // job; per-partition the strongest invariant is distinctness.
+        std::vector<std::vector<std::uint64_t>> prev_indices(p);
+        for (const ItemT& item : out) {
+          PGXD_CHECK(item.prov.prev_machine < p);
+          prev_indices[item.prov.prev_machine].push_back(
+              item.prov.prev_index);
+        }
+        std::uint64_t attributed = 0;
+        for (std::size_t s = 0; s < p; ++s) {
+          auto& v = prev_indices[s];
+          attributed += v.size();
+          std::sort(v.begin(), v.end());
+          for (std::size_t i = 1; i < v.size(); ++i)
+            PGXD_CHECK_MSG(v[i] != v[i - 1],
+                           "exactly-once audit: an element was duplicated "
+                           "in the two-hop exchange");
+        }
+        PGXD_CHECK(attributed == total_recv);
+      } else {
+        std::vector<std::vector<std::uint64_t>> prev_indices(q);
+        for (std::size_t s = 0; s < q; ++s)
+          prev_indices[s].reserve(recv_counts[s]);
+        for (const ItemT& item : out) {
+          PGXD_CHECK(item.prov.prev_machine < p);
+          const std::size_t sj = midx[item.prov.prev_machine];
+          PGXD_CHECK_MSG(sj < q,
+                         "exactly-once audit: element attributed to a rank "
+                         "outside the attempt membership");
+          prev_indices[sj].push_back(item.prov.prev_index);
+        }
+        for (std::size_t s = 0; s < q; ++s) {
+          PGXD_CHECK_MSG(prev_indices[s].size() == recv_counts[s],
+                         "exactly-once audit: received element count from a "
+                         "source disagrees with its announced count");
+          std::sort(prev_indices[s].begin(), prev_indices[s].end());
+          for (std::size_t i = 1; i < prev_indices[s].size(); ++i)
+            PGXD_CHECK_MSG(prev_indices[s][i] == prev_indices[s][i - 1] + 1,
+                           "exactly-once audit: an element was duplicated or "
+                           "lost in the exchange");
+        }
       }
     }
 
@@ -1300,6 +2249,16 @@ class DistributedSorter {
   std::vector<Key> splitters_;
   std::uint64_t wire_control_bytes_ = 0;
   std::uint64_t wire_data_bytes_ = 0;
+  // Partition-strategy accumulators for the current run, folded into
+  // stats_.partition by finalize(); the recovery supervisor resets them per
+  // attempt so only the successful attempt is reported. Written by the
+  // master (rounds, probe keys, certified epsilon) and by every rank
+  // (level-1 items) — single-threaded DES, so plain members suffice.
+  std::uint64_t part_rounds_ = 1;
+  std::uint64_t part_probe_keys_ = 0;
+  std::uint64_t part_level1_items_ = 0;
+  std::uint64_t part_groups_ = 1;
+  double part_refine_eps_ = 0.0;
   // Recovery supervisor state (only populated between run_recovering's
   // entry and its success): per-attempt inputs with dead shards re-dealt,
   // per-rank attempt outcomes, and the once-per-rank abort fan-out guard.

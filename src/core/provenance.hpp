@@ -8,6 +8,10 @@
 // machine's *locally sorted* sequence (the state the exchange ships).
 // Receivers reconstruct it from each chunk's source rank and base offset,
 // so provenance costs memory on the receiver but zero bytes on the wire.
+// Exception: the two-level (AMS) scheme's group exchange, where the
+// level-1 hop destroys contiguity — there each chunk carries packed
+// origins explicitly, treated as audit metadata outside the modeled wire
+// volume (see distributed_sort.hpp's pack_prov).
 #pragma once
 
 #include <cstdint>

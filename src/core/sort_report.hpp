@@ -63,6 +63,20 @@ struct SplitterReport {
   double mean_error = 0.0;
 };
 
+// Partitioning-scheme outcome: which strategy produced the splitters and
+// what it cost / certified. Always emitted; the one-level baseline reads as
+// rounds=1, groups=1, probe_keys=0, level1_items=0.
+struct PartitionReport {
+  std::string scheme = "one-level-sample";
+  std::uint64_t rounds = 1;
+  double epsilon_target = 0.0;
+  double achieved_epsilon = 0.0;
+  std::uint64_t groups = 1;
+  std::uint64_t sample_keys = 0;
+  std::uint64_t probe_keys = 0;
+  std::uint64_t level1_items = 0;
+};
+
 struct NetworkReport {
   std::uint64_t bytes_sent = 0;
   std::uint64_t messages_sent = 0;
@@ -108,6 +122,7 @@ struct SortReport {
   LoadReport items;
   LoadReport bytes;
   SplitterReport splitters;
+  PartitionReport partition;
   NetworkReport network;
   PoolReport pool;
   RecoveryReport recovery;
@@ -167,6 +182,17 @@ struct SortReport {
     w.end_array();
     w.kv("max_error", splitters.max_error);
     w.kv("mean_error", splitters.mean_error);
+    w.end_object();
+    w.key("partition");
+    w.begin_object();
+    w.kv("scheme", std::string_view(partition.scheme));
+    w.kv("rounds", partition.rounds);
+    w.kv("epsilon_target", partition.epsilon_target);
+    w.kv("achieved_epsilon", partition.achieved_epsilon);
+    w.kv("groups", partition.groups);
+    w.kv("sample_keys", partition.sample_keys);
+    w.kv("probe_keys", partition.probe_keys);
+    w.kv("level1_items", partition.level1_items);
     w.end_object();
     w.key("network");
     w.begin_object();
@@ -295,6 +321,16 @@ SortReport build_sort_report(const Sorter& sorter, SortRunInfo run) {
   if (!rep.splitters.boundary_error.empty())
     rep.splitters.mean_error /=
         static_cast<double>(rep.splitters.boundary_error.size());
+
+  const auto& pt = stats.partition;
+  rep.partition.scheme = partition_scheme_name(pt.scheme);
+  rep.partition.rounds = pt.rounds;
+  rep.partition.epsilon_target = pt.epsilon_target;
+  rep.partition.achieved_epsilon = pt.achieved_epsilon;
+  rep.partition.groups = pt.groups;
+  rep.partition.sample_keys = pt.sample_keys;
+  rep.partition.probe_keys = pt.probe_keys;
+  rep.partition.level1_items = pt.level1_items;
 
   rep.metrics = sorter.merged_metrics();
   const obs::MetricsRegistry& m = rep.metrics;

@@ -13,6 +13,8 @@ const char* name(Distribution d) {
     case Distribution::kNormal: return "normal";
     case Distribution::kRightSkewed: return "right-skewed";
     case Distribution::kExponential: return "exponential";
+    case Distribution::kZipf: return "zipf";
+    case Distribution::kFewDistinct: return "few-distinct";
   }
   return "unknown";
 }
@@ -43,6 +45,21 @@ std::uint64_t draw(const DataGenConfig& cfg, Rng& rng) {
       // Mean at domain/16; clamp the tail into the last key.
       const double x = rng.exponential(16.0 / domain);
       return static_cast<std::uint64_t>(std::min(x, domain - 1.0));
+    }
+    case Distribution::kZipf: {
+      // Log-uniform: exp(U * ln(domain)) spreads mass evenly across orders
+      // of magnitude, so half of all keys land below sqrt(domain).
+      const double x = std::exp(rng.uniform() * std::log(domain));
+      return static_cast<std::uint64_t>(std::min(x, domain - 1.0));
+    }
+    case Distribution::kFewDistinct: {
+      // Five distinct keys spread across the domain; 80% of draws hit the
+      // middle one, so its duplicate run spans most splitter positions.
+      const double u = rng.uniform();
+      if (u < 0.8) return cfg.domain / 2;
+      const auto which = static_cast<std::uint64_t>((u - 0.8) / 0.05);
+      const std::uint64_t step = std::max<std::uint64_t>(1, cfg.domain / 5);
+      return std::min(which * step + step / 3, cfg.domain - 1);
     }
   }
   PGXD_CHECK_MSG(false, "unreachable distribution");

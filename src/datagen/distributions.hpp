@@ -21,11 +21,28 @@ enum class Distribution {
   kNormal,
   kRightSkewed,
   kExponential,
+  // Heavy-tailed rank-frequency (log-uniform over the domain's magnitude):
+  // most mass lands on small keys, with every order of magnitude equally
+  // populated — the classic stress case for equidistant sampling.
+  kZipf,
+  // Adversarial for splitter selection: only a handful of distinct keys,
+  // with 80% of the mass on one of them. Any partitioning scheme that does
+  // not split duplicate runs (the investigator's job) collapses here.
+  kFewDistinct,
 };
 
+// The Fig. 4 set — the paper's four input datasets. Sweeps that reproduce
+// paper figures iterate exactly these.
 inline constexpr Distribution kAllDistributions[] = {
     Distribution::kUniform, Distribution::kNormal, Distribution::kRightSkewed,
     Distribution::kExponential};
+
+// The Fig. 4 set plus the partitioning stress cases; the balance-guarantee
+// test matrix and pgxd_sim iterate these.
+inline constexpr Distribution kAllDistributionsExtended[] = {
+    Distribution::kUniform,     Distribution::kNormal,
+    Distribution::kRightSkewed, Distribution::kExponential,
+    Distribution::kZipf,        Distribution::kFewDistinct};
 
 const char* name(Distribution d);
 

@@ -240,6 +240,162 @@ sim::Task<std::optional<std::vector<Payload>>> bounded_all_to_all_impl(
   co_return std::optional<std::vector<Payload>>(std::move(out));
 }
 
+// ---- Group-scoped variants ---------------------------------------------
+//
+// The same collectives over an ordered subset of the cluster's ranks — the
+// communicator a recursive (multi-level) partitioning scheme runs its
+// sub-phases over. members[0] is the group root; results are indexed by
+// *member position*, not physical rank. Every participant passes the same
+// member list (SPMD convention, like the tags and deadlines) and must be in
+// it. Messages never leave the group, so two disjoint groups can run the
+// same collective on the same tag concurrently; the bounded variants fan
+// abort frames out to the group only.
+
+template <typename Payload>
+sim::Task<Payload> group_broadcast_impl(Comm<Payload>& comm,
+                                        std::vector<std::size_t> members,
+                                        std::size_t rank, int tag,
+                                        Payload value, std::uint64_t bytes) {
+  PGXD_CHECK(!members.empty());
+  if (rank == members[0]) {
+    for (std::size_t dst : members) comm.post(rank, dst, tag, value, bytes);
+  }
+  auto msg = co_await comm.recv(rank, tag);
+  co_return std::move(msg.payload);
+}
+
+template <typename Payload>
+sim::Task<std::vector<Payload>> group_gather_impl(
+    Comm<Payload>& comm, std::vector<std::size_t> members, std::size_t rank,
+    int tag, Payload value, std::uint64_t bytes) {
+  const std::size_t q = members.size();
+  PGXD_CHECK(q > 0);
+  const std::size_t root = members[0];
+  std::vector<Payload> out;
+  if (rank != root) {
+    co_await comm.send(rank, root, tag, std::move(value), bytes);
+    co_return out;
+  }
+  out.resize(q);
+  out[0] = std::move(value);
+  for (std::size_t i = 0; i + 1 < q; ++i) {
+    auto msg = co_await comm.recv(root, tag);
+    std::size_t j = q;
+    for (std::size_t k = 0; k < q; ++k)
+      if (members[k] == msg.src) j = k;
+    PGXD_CHECK_MSG(j < q, "group gather: contribution from a non-member");
+    out[j] = std::move(msg.payload);
+  }
+  co_return out;
+}
+
+template <typename Payload>
+sim::Task<std::vector<Payload>> group_all_to_all_impl(
+    Comm<Payload>& comm, std::vector<std::size_t> members, std::size_t rank,
+    int tag, std::vector<Payload> values, std::vector<std::uint64_t> bytes) {
+  const std::size_t q = members.size();
+  PGXD_CHECK(values.size() == q);
+  PGXD_CHECK(bytes.size() == q);
+  std::size_t me = q;
+  for (std::size_t k = 0; k < q; ++k)
+    if (members[k] == rank) me = k;
+  PGXD_CHECK_MSG(me < q, "group all-to-all: caller is not a member");
+  std::vector<Payload> out(q);
+  for (std::size_t step = 1; step < q; ++step) {
+    const std::size_t dj = (me + step) % q;
+    comm.post(rank, members[dj], tag, std::move(values[dj]), bytes[dj]);
+  }
+  out[me] = std::move(values[me]);
+  for (std::size_t i = 0; i + 1 < q; ++i) {
+    auto msg = co_await comm.recv(rank, tag);
+    std::size_t j = q;
+    for (std::size_t k = 0; k < q; ++k)
+      if (members[k] == msg.src) j = k;
+    PGXD_CHECK_MSG(j < q, "group all-to-all: payload from a non-member");
+    out[j] = std::move(msg.payload);
+  }
+  co_return out;
+}
+
+template <typename Payload>
+void post_group_abort_frames(Comm<Payload>& comm,
+                             const std::vector<std::size_t>& members,
+                             std::size_t rank, int abort_tag) {
+  for (std::size_t dst : members) {
+    if (dst == rank) continue;
+    Payload empty{};
+    comm.post(rank, dst, abort_tag, std::move(empty), kAbortFrameBytes);
+  }
+}
+
+// Group-scoped bounded receive: identical to bounded_recv_impl except the
+// deadline-triggered abort broadcast stays inside the group.
+template <typename Payload>
+sim::Task<std::optional<Message<Payload>>> bounded_group_recv_impl(
+    Comm<Payload>& comm, const std::vector<std::size_t>& members,
+    std::size_t rank, int tag, int abort_tag, sim::SimTime deadline) {
+  auto& sim = comm.simulator();
+  for (;;) {
+    comm.throw_if_crashed(rank);
+    if (comm.try_recv(rank, abort_tag)) {
+      while (comm.try_recv(rank, abort_tag)) {}
+      co_return std::nullopt;
+    }
+    if (sim.now() >= deadline) {
+      post_group_abort_frames(comm, members, rank, abort_tag);
+      co_return std::nullopt;
+    }
+    const sim::SimTime slice =
+        std::min<sim::SimTime>(deadline, sim.now() + kBoundedPoll);
+    auto got = co_await comm.recv_until(rank, tag, slice);
+    if (got) co_return got;
+  }
+}
+
+template <typename Payload>
+sim::Task<std::optional<Payload>> bounded_group_broadcast_impl(
+    Comm<Payload>& comm, std::vector<std::size_t> members, std::size_t rank,
+    int tag, int abort_tag, Payload value, std::uint64_t bytes,
+    sim::SimTime deadline) {
+  PGXD_CHECK(!members.empty());
+  if (rank == members[0]) {
+    for (std::size_t dst : members) comm.post(rank, dst, tag, value, bytes);
+  }
+  auto msg = co_await bounded_group_recv_impl(comm, members, rank, tag,
+                                              abort_tag, deadline);
+  if (!msg) co_return std::nullopt;
+  co_return std::move(msg->payload);
+}
+
+template <typename Payload>
+sim::Task<std::optional<std::vector<Payload>>> bounded_group_gather_impl(
+    Comm<Payload>& comm, std::vector<std::size_t> members, std::size_t rank,
+    int tag, int abort_tag, Payload value, std::uint64_t bytes,
+    sim::SimTime deadline) {
+  const std::size_t q = members.size();
+  PGXD_CHECK(q > 0);
+  const std::size_t root = members[0];
+  if (rank != root) {
+    // Posted, not awaited: a dead root must not wedge the contributors.
+    comm.post(rank, root, tag, std::move(value), bytes);
+    std::vector<Payload> empty;
+    co_return std::optional<std::vector<Payload>>(std::move(empty));
+  }
+  std::vector<Payload> out(q);
+  out[0] = std::move(value);
+  for (std::size_t i = 0; i + 1 < q; ++i) {
+    auto msg = co_await bounded_group_recv_impl(comm, members, root, tag,
+                                                abort_tag, deadline);
+    if (!msg) co_return std::nullopt;
+    std::size_t j = q;
+    for (std::size_t k = 0; k < q; ++k)
+      if (members[k] == msg->src) j = k;
+    PGXD_CHECK_MSG(j < q, "group gather: contribution from a non-member");
+    out[j] = std::move(msg->payload);
+  }
+  co_return std::optional<std::vector<Payload>>(std::move(out));
+}
+
 }  // namespace detail
 
 // Broadcast: root's value reaches every rank (including the root itself).
@@ -325,6 +481,65 @@ sim::Task<std::optional<std::vector<Payload>>> bounded_all_to_all(
   return detail::bounded_all_to_all_impl(comm, rank, tag, abort_tag,
                                          std::move(values), std::move(bytes),
                                          deadline);
+}
+
+// Group broadcast: members[0]'s value reaches every member. Callers outside
+// the group must not participate. See the group-scoped contract in detail.
+template <typename Payload>
+sim::Task<Payload> group_broadcast(Comm<Payload>& comm,
+                                   std::vector<std::size_t> members,
+                                   std::size_t rank, int tag, Payload value,
+                                   std::uint64_t bytes) {
+  return detail::group_broadcast_impl(comm, std::move(members), rank, tag,
+                                      std::move(value), bytes);
+}
+
+// Group gather: members[0] receives every member's value, indexed by member
+// position; non-root members resolve to an empty vector.
+template <typename Payload>
+sim::Task<std::vector<Payload>> group_gather(Comm<Payload>& comm,
+                                             std::vector<std::size_t> members,
+                                             std::size_t rank, int tag,
+                                             Payload value,
+                                             std::uint64_t bytes) {
+  return detail::group_gather_impl(comm, std::move(members), rank, tag,
+                                   std::move(value), bytes);
+}
+
+// Group all-to-all: member at position j sends values[d] to the member at
+// position d; everyone receives a vector indexed by member position.
+// values.size() must equal members.size().
+template <typename Payload>
+sim::Task<std::vector<Payload>> group_all_to_all(
+    Comm<Payload>& comm, std::vector<std::size_t> members, std::size_t rank,
+    int tag, std::vector<Payload> values, std::vector<std::uint64_t> bytes) {
+  return detail::group_all_to_all_impl(comm, std::move(members), rank, tag,
+                                       std::move(values), std::move(bytes));
+}
+
+// Deadline-aware group broadcast: nullopt on deadline or abort; the abort
+// frames fan out to group members only, so a failing group cannot collapse
+// a concurrent sibling group's collective.
+template <typename Payload>
+sim::Task<std::optional<Payload>> bounded_group_broadcast(
+    Comm<Payload>& comm, std::vector<std::size_t> members, std::size_t rank,
+    int tag, int abort_tag, Payload value, std::uint64_t bytes,
+    sim::SimTime deadline) {
+  return detail::bounded_group_broadcast_impl(comm, std::move(members), rank,
+                                              tag, abort_tag, std::move(value),
+                                              bytes, deadline);
+}
+
+// Deadline-aware group gather: the group root resolves nullopt when any
+// member's contribution is missing at `deadline`; contributors post-and-go.
+template <typename Payload>
+sim::Task<std::optional<std::vector<Payload>>> bounded_group_gather(
+    Comm<Payload>& comm, std::vector<std::size_t> members, std::size_t rank,
+    int tag, int abort_tag, Payload value, std::uint64_t bytes,
+    sim::SimTime deadline) {
+  return detail::bounded_group_gather_impl(comm, std::move(members), rank, tag,
+                                           abort_tag, std::move(value), bytes,
+                                           deadline);
 }
 
 }  // namespace pgxd::rt

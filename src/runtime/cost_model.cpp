@@ -138,6 +138,15 @@ sim::SimTime CostModel::adaptive_sort_time(std::size_t n,
             merge_ns_per_elem * static_cast<double>(n) * std::max(1.0, levels));
 }
 
+sim::SimTime CostModel::histogram_round_time(std::size_t n,
+                                             std::size_t probes) const {
+  if (probes == 0) return 0;
+  // The monotone lower+upper bound walk restarts near the previous probe,
+  // but each probe still pays a dependent-miss search in the worst case;
+  // the reply pack is a linear touch of the 2*probes bracket words.
+  return binary_search_time(n, 2 * probes) + copy_time(2 * probes);
+}
+
 CostModel calibrate(std::size_t sample_n) {
   using Clock = std::chrono::steady_clock;
   CostModel m;

@@ -87,6 +87,11 @@ struct CostModel {
   // Already-sorted input (runs == 1) costs a single scan — the property
   // the paper cites for Spark choosing TimSort.
   sim::SimTime adaptive_sort_time(std::size_t n, std::size_t runs) const;
+
+  // One histogram-refinement round on a rank holding n sorted keys and
+  // answering for `probes` candidate keys: two monotone binary searches per
+  // probe (lower + upper bound) plus packing the rank-bracket reply.
+  sim::SimTime histogram_round_time(std::size_t n, std::size_t probes) const;
 };
 
 // Measures this host's real kernels (quicksort, merge, copy, binary search)

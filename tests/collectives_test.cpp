@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 #include <vector>
 
 #include "runtime/cluster.hpp"
@@ -134,6 +135,156 @@ TEST(Collectives, ConcurrentCollectivesWithDistinctTags) {
     EXPECT_EQ(a[r], Payload{1});
     EXPECT_EQ(b[r], Payload{2});
   }
+}
+
+// ---- Group-scoped collectives (the AMS partitioning substrate) ----------
+
+TEST(GroupCollectives, BroadcastReachesOnlyTheGroup) {
+  Cluster<Payload> cluster(tiny(6));
+  const std::vector<std::size_t> members = {1, 3, 4};  // root is members[0]
+  std::vector<Payload> got(6);
+  cluster.run([&](Machine& m) -> sim::Task<void> {
+    const bool in_group =
+        std::find(members.begin(), members.end(), m.rank()) != members.end();
+    if (!in_group) co_return;
+    Payload value = m.rank() == 1 ? Payload{42, 43} : Payload{};
+    std::vector<std::size_t> mine = members;
+    auto r = co_await group_broadcast(cluster.comm(), std::move(mine),
+                                      m.rank(), /*tag=*/21, std::move(value),
+                                      8);
+    got[m.rank()] = std::move(r);
+  });
+  for (std::size_t r : {1u, 3u, 4u}) EXPECT_EQ(got[r], (Payload{42, 43}));
+  for (std::size_t r : {0u, 2u, 5u}) EXPECT_TRUE(got[r].empty());
+}
+
+TEST(GroupCollectives, GatherIndexedByMemberPosition) {
+  Cluster<Payload> cluster(tiny(6));
+  const std::vector<std::size_t> members = {0, 2, 5};
+  std::vector<std::vector<Payload>> got(6);
+  cluster.run([&](Machine& m) -> sim::Task<void> {
+    const bool in_group =
+        std::find(members.begin(), members.end(), m.rank()) != members.end();
+    if (!in_group) co_return;
+    Payload mine{static_cast<int>(m.rank() * 100)};
+    std::vector<std::size_t> grp = members;
+    auto r = co_await group_gather(cluster.comm(), std::move(grp), m.rank(),
+                                   /*tag=*/22, std::move(mine), 4);
+    got[m.rank()] = std::move(r);
+  });
+  ASSERT_EQ(got[0].size(), 3u);  // root: one slot per member position
+  EXPECT_EQ(got[0][0], Payload{0});
+  EXPECT_EQ(got[0][1], Payload{200});
+  EXPECT_EQ(got[0][2], Payload{500});
+  EXPECT_TRUE(got[2].empty());
+  EXPECT_TRUE(got[5].empty());
+}
+
+TEST(GroupCollectives, AllToAllTransposesWithinTheGroup) {
+  Cluster<Payload> cluster(tiny(6));
+  const std::vector<std::size_t> members = {1, 2, 4};
+  std::vector<std::vector<Payload>> got(6);
+  cluster.run([&](Machine& m) -> sim::Task<void> {
+    const auto it = std::find(members.begin(), members.end(), m.rank());
+    if (it == members.end()) co_return;
+    const auto me = static_cast<int>(it - members.begin());
+    // Member position i sends {i, j} to member position j.
+    std::vector<Payload> values(members.size());
+    std::vector<std::uint64_t> bytes(members.size(), 8);
+    for (std::size_t j = 0; j < members.size(); ++j)
+      values[j] = Payload{me, static_cast<int>(j)};
+    std::vector<std::size_t> grp = members;
+    auto r = co_await group_all_to_all(cluster.comm(), std::move(grp),
+                                       m.rank(), /*tag=*/23,
+                                       std::move(values), bytes);
+    got[m.rank()] = std::move(r);
+  });
+  for (std::size_t j = 0; j < members.size(); ++j) {
+    const auto& g = got[members[j]];
+    ASSERT_EQ(g.size(), members.size());
+    for (std::size_t i = 0; i < members.size(); ++i)
+      EXPECT_EQ(g[i],
+                (Payload{static_cast<int>(i), static_cast<int>(j)}));
+  }
+}
+
+TEST(GroupCollectives, DisjointGroupsShareATagConcurrently) {
+  // The sorter runs one collective per AMS group on the same tag at the
+  // same time: disjoint memberships must not cross-talk.
+  Cluster<Payload> cluster(tiny(6));
+  const std::vector<std::size_t> ga = {0, 1, 2};
+  const std::vector<std::size_t> gb = {3, 4, 5};
+  std::vector<Payload> got(6);
+  cluster.run([&](Machine& m) -> sim::Task<void> {
+    const bool in_a = m.rank() < 3;
+    Payload value;
+    if (m.rank() == 0) value = Payload{-1};
+    if (m.rank() == 3) value = Payload{-2};
+    std::vector<std::size_t> grp = in_a ? ga : gb;
+    auto r = co_await group_broadcast(cluster.comm(), std::move(grp),
+                                      m.rank(), /*tag=*/24, std::move(value),
+                                      4);
+    got[m.rank()] = std::move(r);
+  });
+  for (std::size_t r : {0u, 1u, 2u}) EXPECT_EQ(got[r], Payload{-1});
+  for (std::size_t r : {3u, 4u, 5u}) EXPECT_EQ(got[r], Payload{-2});
+}
+
+TEST(GroupCollectives, BoundedAbortIsContainedToTheFailingGroup) {
+  // Group A's root is dead; its members must resolve nullopt at the
+  // deadline and fan abort frames to group A only — group B, running the
+  // same tags concurrently, completes with its value intact.
+  ClusterConfig cfg = tiny(6);
+  cfg.allow_undrained = true;
+  Cluster<Payload> cluster(cfg);
+  const std::vector<std::size_t> ga = {0, 1, 2};
+  const std::vector<std::size_t> gb = {3, 4, 5};
+  const sim::SimTime deadline = 2 * sim::kMillisecond;
+  std::vector<std::optional<Payload>> got(6, Payload{});
+  cluster.run([&](Machine& m) -> sim::Task<void> {
+    if (m.rank() == 0) co_return;  // group A's root never shows up
+    const bool in_a = m.rank() < 3;
+    Payload value = m.rank() == 3 ? Payload{9} : Payload{};
+    std::vector<std::size_t> grp = in_a ? ga : gb;
+    auto r = co_await bounded_group_broadcast(
+        cluster.comm(), std::move(grp), m.rank(), /*tag=*/25,
+        /*abort_tag=*/26, std::move(value), 4, deadline);
+    got[m.rank()] = std::move(r);
+  });
+  for (std::size_t r : {1u, 2u})
+    EXPECT_FALSE(got[r].has_value()) << "rank " << r;
+  for (std::size_t r : {3u, 4u, 5u}) {
+    ASSERT_TRUE(got[r].has_value()) << "rank " << r;
+    EXPECT_EQ(*got[r], Payload{9});
+  }
+}
+
+TEST(GroupCollectives, BoundedGatherMissingMemberNulloptAtRoot) {
+  ClusterConfig cfg = tiny(5);
+  cfg.allow_undrained = true;
+  Cluster<Payload> cluster(cfg);
+  const std::vector<std::size_t> members = {0, 1, 3};
+  const sim::SimTime deadline = 2 * sim::kMillisecond;
+  std::optional<std::vector<Payload>> root_got = std::vector<Payload>{};
+  std::vector<sim::SimTime> resolved_at(5, 0);
+  cluster.run([&](Machine& m) -> sim::Task<void> {
+    if (m.rank() == 3) co_return;  // one contribution never arrives
+    const bool in_group =
+        std::find(members.begin(), members.end(), m.rank()) != members.end();
+    if (!in_group) co_return;
+    Payload mine{static_cast<int>(m.rank())};
+    std::vector<std::size_t> grp = members;
+    auto r = co_await bounded_group_gather(cluster.comm(), std::move(grp),
+                                           m.rank(), /*tag=*/27,
+                                           /*abort_tag=*/28, std::move(mine),
+                                           4, deadline);
+    resolved_at[m.rank()] = cluster.simulator().now();
+    if (m.rank() == 0) root_got = std::move(r);
+  });
+  EXPECT_FALSE(root_got.has_value());
+  EXPECT_LE(resolved_at[0], deadline + kBoundedPoll);
+  // The contributor posted and resolved long before the root's deadline.
+  EXPECT_LT(resolved_at[1], deadline);
 }
 
 }  // namespace

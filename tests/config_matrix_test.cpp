@@ -1,9 +1,14 @@
 // Property sweep over the full SortConfig switch matrix: every combination
 // of {investigator, final-merge strategy, async exchange, buffered exchange,
-// SoA final merge} must produce a correct sort on both easy and adversarial
-// data. Catches interactions between ablation paths that single-switch
-// tests miss. (The buffer pool stays at its default — on — here; its
-// on/off behaviour has dedicated coverage in buffer_pool_test.)
+// SoA final merge, partition scheme} must produce a correct sort on both
+// easy and adversarial data. Catches interactions between ablation paths
+// that single-switch tests miss. (The buffer pool stays at its default — on
+// — here; its on/off behaviour has dedicated coverage in buffer_pool_test.)
+//
+// Combinations SortConfig::validate rejects (two-level AMS without the
+// async exchange) are asserted to be rejected rather than run: the sweep
+// fails if validate() ever starts accepting a combination the engine
+// cannot execute, or rejecting one it can.
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -24,6 +29,7 @@ struct MatrixParam {
   bool async_exchange;
   bool buffered;
   bool soa_merge;
+  PartitionScheme partition;
   gen::Distribution dist;
 };
 
@@ -45,6 +51,18 @@ TEST_P(ConfigMatrix, SortsCorrectly) {
   cfg.async_exchange = param.async_exchange;
   cfg.buffered_exchange = param.buffered;
   cfg.soa_final_merge = param.soa_merge;
+  cfg.partition = param.partition;
+
+  const std::string why = cfg.validate();
+  const bool invalid_combo =
+      param.partition == PartitionScheme::kTwoLevelAms && !param.async_exchange;
+  if (invalid_combo) {
+    EXPECT_FALSE(why.empty())
+        << "validate() accepted two-level AMS without async exchange";
+    EXPECT_NE(why.find("invalid SortConfig"), std::string::npos) << why;
+    return;  // constructing the sorter would abort on this config
+  }
+  ASSERT_TRUE(why.empty()) << why;
 
   rt::ClusterConfig ccfg;
   ccfg.machines = machines;
@@ -66,9 +84,13 @@ std::vector<MatrixParam> all_combinations() {
       for (bool async_ex : {true, false})
         for (bool buf : {true, false})
           for (bool soa : {true, false})
-            for (auto dist : {gen::Distribution::kUniform,
-                              gen::Distribution::kRightSkewed})
-              out.push_back(MatrixParam{inv, merge, async_ex, buf, soa, dist});
+            for (auto part : {PartitionScheme::kOneLevelSample,
+                              PartitionScheme::kHistogramRefine,
+                              PartitionScheme::kTwoLevelAms})
+              for (auto dist : {gen::Distribution::kUniform,
+                                gen::Distribution::kRightSkewed})
+                out.push_back(
+                    MatrixParam{inv, merge, async_ex, buf, soa, part, dist});
   return out;
 }
 
@@ -82,8 +104,39 @@ std::string matrix_name(const ::testing::TestParamInfo<MatrixParam>& info) {
   name += p.async_exchange ? "Async" : "Bsp";
   name += p.buffered ? "Buf" : "Whole";
   name += p.soa_merge ? "Soa" : "Aos";
+  name += p.partition == PartitionScheme::kOneLevelSample
+              ? "OneLevel"
+              : (p.partition == PartitionScheme::kHistogramRefine ? "Histogram"
+                                                                  : "TwoLevel");
   name += p.dist == gen::Distribution::kUniform ? "Uniform" : "Skewed";
   return name;
+}
+
+// The knob-range guards: every reject message carries the "invalid
+// SortConfig" prefix check.sh and the sweep above grep for.
+TEST(ConfigValidate, RejectsOutOfRangeKnobs) {
+  SortConfig cfg;
+  EXPECT_TRUE(cfg.validate().empty());
+
+  cfg.partition_epsilon = 0.0;
+  EXPECT_NE(cfg.validate().find("partition_epsilon"), std::string::npos);
+  cfg.partition_epsilon = 1.5;
+  EXPECT_NE(cfg.validate().find("partition_epsilon"), std::string::npos);
+  cfg.partition_epsilon = 0.05;
+
+  cfg.partition_max_rounds = 0;
+  EXPECT_NE(cfg.validate().find("partition_max_rounds"), std::string::npos);
+  cfg.partition_max_rounds = 10;
+
+  cfg.partition = PartitionScheme::kTwoLevelAms;
+  cfg.async_exchange = false;
+  EXPECT_NE(cfg.validate().find("async_exchange"), std::string::npos);
+  cfg.async_exchange = true;
+  EXPECT_TRUE(cfg.validate().empty());
+
+  cfg.partition = PartitionScheme::kHistogramRefine;
+  cfg.sample_factor = 0.0;
+  EXPECT_NE(cfg.validate().find("sample_factor"), std::string::npos);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSwitches, ConfigMatrix,

@@ -617,6 +617,121 @@ TEST(CrashRecoveryDeath, ExhaustedRecoveryBudgetIsUnrecoverable) {
   EXPECT_DEATH(doomed(), "unrecoverable sort: recovery budget exhausted");
 }
 
+// ---- Crash-stop chaos under the non-baseline partition schemes ---------
+//
+// Histogram refinement adds a master-driven lockstep probe protocol to
+// splitter selection, and two-level AMS adds a level-1 group exchange
+// before the scoped phase-2 sort; a rank killed inside either must funnel
+// into the same phase-level recovery: abort the attempt, regenerate the
+// dead shard, re-run on survivors, and pass the exactly-once audit there.
+// Crash instants are aimed by fractions of a clean pilot run (the
+// EveryPhase convention) plus one histogram kill aimed directly inside the
+// refinement window from the pilot's per-step wall times.
+
+SortConfig scheme_recovery_config(PartitionScheme scheme, double epsilon) {
+  SortConfig cfg = recovery_sort_config();
+  cfg.partition = scheme;
+  cfg.partition_epsilon = epsilon;
+  return cfg;
+}
+
+// Clean pilot over the identical stack; returns the full sorter stats so
+// callers can aim at per-step windows, not just the total.
+SortStats<Key> clean_scheme_stats(const std::vector<std::vector<Key>>& shards,
+                                  PartitionScheme scheme, double epsilon) {
+  rt::Cluster<Msg> cluster(recovery_cluster(shards.size(), {}));
+  Sorter sorter(cluster, scheme_recovery_config(scheme, epsilon));
+  sorter.run(shards);
+  return sorter.stats();
+}
+
+class SchemeCrash
+    : public ::testing::TestWithParam<std::tuple<PartitionScheme, double>> {};
+
+TEST_P(SchemeCrash, KilledRankRecoversUnderTheScheme) {
+  const auto [scheme, fraction] = GetParam();
+  const std::size_t p = 5;
+  auto shards = make_shards(gen::Distribution::kRightSkewed, 20000, p);
+  const sim::SimTime clean_total =
+      clean_scheme_stats(shards, scheme, 0.10).total_time;
+  ASSERT_GT(clean_total, 0);
+
+  net::FaultConfig fc;
+  // Rank 3 is the second AMS group's master at p=5 — the nastiest victim.
+  fc.crashes = {net::CrashEvent{
+      3, static_cast<sim::SimTime>(fraction *
+                                   static_cast<double>(clean_total))}};
+  rt::Cluster<Msg> cluster(recovery_cluster(p, fc));
+  Sorter sorter(cluster, scheme_recovery_config(scheme, 0.10));
+  sorter.set_shard_source([&shards](std::size_t r) { return shards[r]; });
+  sorter.run(shards);  // audit_exchange asserts exactly-once internally
+  verify_sorted(sorter, shards);
+
+  const auto& rec = sorter.stats().recovery;
+  EXPECT_GE(rec.recoveries, 1u);
+  EXPECT_EQ(rec.final_members, 4u);
+  EXPECT_TRUE(sorter.partitions()[3].empty());
+  EXPECT_GE(rec.regenerated_shards, 1u);
+}
+
+// The 0.35/0.5 fractions land inside the level-1 group exchange and the
+// phase-2 pipeline for AMS, and inside the probe rounds for histogram.
+INSTANTIATE_TEST_SUITE_P(
+    BothSchemes, SchemeCrash,
+    ::testing::Combine(::testing::Values(PartitionScheme::kHistogramRefine,
+                                         PartitionScheme::kTwoLevelAms),
+                       ::testing::Values(0.15, 0.35, 0.5, 0.7)));
+
+// Aimed shot: kill a member while the master is mid-refinement-round. The
+// refinement window on the master's wall clock starts after its local sort
+// + sampling and spans the splitter-select step; a tight epsilon keeps the
+// window wide (more rounds).
+TEST(SchemeCrash2, MidRefinementRoundKillRecovers) {
+  const std::size_t p = 5;
+  auto shards = make_shards(gen::Distribution::kZipf, 20000, p);
+  const auto pilot = clean_scheme_stats(
+      shards, PartitionScheme::kHistogramRefine, 0.01);
+  ASSERT_GE(pilot.partition.rounds, 2u)
+      << "pilot resolved without iterating; tighten epsilon";
+  const auto& master = pilot.machines[0];
+  const sim::SimTime refine_start =
+      master.steps[Step::kLocalSort] + master.steps[Step::kSampling];
+  const sim::SimTime crash_at =
+      refine_start + master.steps[Step::kSplitterSelect] / 2;
+
+  net::FaultConfig fc;
+  fc.crashes = {net::CrashEvent{2, crash_at}};
+  rt::Cluster<Msg> cluster(recovery_cluster(p, fc));
+  Sorter sorter(cluster,
+                scheme_recovery_config(PartitionScheme::kHistogramRefine,
+                                       0.01));
+  sorter.set_shard_source([&shards](std::size_t r) { return shards[r]; });
+  sorter.run(shards);
+  verify_sorted(sorter, shards);
+  EXPECT_GE(sorter.stats().recovery.recoveries, 1u);
+  EXPECT_EQ(sorter.stats().recovery.final_members, 4u);
+}
+
+TEST(SchemeCrash2, SchemeCrashScheduleReplaysBitIdentically) {
+  const std::size_t p = 5;
+  auto run_once = [&](PartitionScheme scheme) {
+    auto shards = make_shards(gen::Distribution::kRightSkewed, 8000, p);
+    const sim::SimTime clean_total =
+        clean_scheme_stats(shards, scheme, 0.10).total_time;
+    net::FaultConfig fc;
+    fc.crashes = {net::CrashEvent{3, clean_total * 2 / 5}};
+    rt::Cluster<Msg> cluster(recovery_cluster(p, fc));
+    Sorter sorter(cluster, scheme_recovery_config(scheme, 0.10));
+    sorter.set_shard_source([&shards](std::size_t r) { return shards[r]; });
+    sorter.run(shards);
+    return fingerprint(sorter);
+  };
+  EXPECT_EQ(run_once(PartitionScheme::kHistogramRefine),
+            run_once(PartitionScheme::kHistogramRefine));
+  EXPECT_EQ(run_once(PartitionScheme::kTwoLevelAms),
+            run_once(PartitionScheme::kTwoLevelAms));
+}
+
 TEST(CrashRecoveryDeath, RecoveryPrerequisitesAreChecked) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   auto doomed = [] {

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "core/distributed_sort.hpp"
+#include "datagen/distributions.hpp"
 #include "net/fabric.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sync.hpp"
@@ -459,3 +461,110 @@ TEST(NetFuzz, ConcurrentTransfersFromOneSourceArriveInIssueOrder) {
 
 }  // namespace
 }  // namespace pgxd::net
+
+// --- Partition schemes over a lossy fabric ----------------------------------
+//
+// The histogram-refinement and two-level protocols carry their own
+// duplicate armor (per-attempt probe sequence numbers, distinct-source
+// level-1 frames) on top of reliable delivery. A dropping + duplicating
+// fabric must neither change any partitioning decision between identical
+// runs nor corrupt the sorted output.
+namespace pgxd::core {
+namespace {
+
+using LKey = std::uint64_t;
+using LSorter = DistributedSorter<LKey>;
+
+struct LossyOutcome {
+  std::vector<LKey> splitters;
+  std::uint64_t rounds = 0;
+  std::uint64_t probe_keys = 0;
+  std::uint64_t groups = 0;
+  std::uint64_t level1_items = 0;
+  sim::SimTime total = 0;
+  std::uint64_t output_checksum = 0;
+  bool sorted = true;
+};
+
+LossyOutcome run_lossy_sort(std::uint64_t seed, PartitionScheme scheme) {
+  const std::size_t machines = 6;
+  const std::size_t n = 12'000;
+  gen::DataGenConfig dcfg;
+  dcfg.dist = gen::Distribution::kFewDistinct;
+  dcfg.seed = seed;
+  std::vector<std::vector<LKey>> shards;
+  for (std::size_t r = 0; r < machines; ++r)
+    shards.push_back(gen::generate_shard(dcfg, n, machines, r));
+
+  SortConfig cfg;
+  cfg.partition = scheme;
+  cfg.partition_epsilon = 0.10;
+
+  rt::ClusterConfig ccfg;
+  ccfg.machines = machines;
+  ccfg.threads_per_machine = 2;
+  ccfg.seed = seed;
+  ccfg.net.faults.drop_prob = 0.05;
+  ccfg.net.faults.duplicate_prob = 0.20;
+  ccfg.net.faults.seed = derive_seed(seed, 0x10 + 1);
+  ccfg.reliable.enabled = true;
+  ccfg.allow_undrained = true;
+  rt::Cluster<LSorter::Msg> cluster(ccfg);
+  LSorter sorter(cluster, cfg);
+  sorter.run(std::move(shards));
+
+  LossyOutcome out;
+  const auto& st = sorter.stats();
+  out.splitters = st.splitters;
+  out.rounds = st.partition.rounds;
+  out.probe_keys = st.partition.probe_keys;
+  out.groups = st.partition.groups;
+  out.level1_items = st.partition.level1_items;
+  out.total = st.total_time;
+  const LKey* prev = nullptr;
+  std::size_t got = 0;
+  for (const auto& part : sorter.partitions()) {
+    for (const auto& item : part) {
+      if (prev && item.key < *prev) out.sorted = false;
+      prev = &item.key;
+      ++got;
+      out.output_checksum =
+          out.output_checksum * 1099511628211ULL + item.key;
+    }
+  }
+  if (got != n) out.sorted = false;
+  return out;
+}
+
+class LossyPartitionFuzz
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LossyPartitionFuzz, HistogramRefineSurvivesAndReplays) {
+  const auto a =
+      run_lossy_sort(GetParam(), PartitionScheme::kHistogramRefine);
+  const auto b =
+      run_lossy_sort(GetParam(), PartitionScheme::kHistogramRefine);
+  EXPECT_TRUE(a.sorted);
+  EXPECT_EQ(a.splitters, b.splitters);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.probe_keys, b.probe_keys);
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.output_checksum, b.output_checksum);
+}
+
+TEST_P(LossyPartitionFuzz, TwoLevelAmsSurvivesAndReplays) {
+  const auto a = run_lossy_sort(GetParam(), PartitionScheme::kTwoLevelAms);
+  const auto b = run_lossy_sort(GetParam(), PartitionScheme::kTwoLevelAms);
+  EXPECT_TRUE(a.sorted);
+  EXPECT_GT(a.groups, 1u);
+  EXPECT_EQ(a.splitters, b.splitters);
+  EXPECT_EQ(a.level1_items, b.level1_items);
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.output_checksum, b.output_checksum);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LossyPartitionFuzz,
+                         ::testing::Values(5, 23));
+
+}  // namespace
+}  // namespace pgxd::core

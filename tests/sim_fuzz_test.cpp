@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "core/distributed_sort.hpp"
+#include "datagen/distributions.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
@@ -216,3 +218,107 @@ TEST(WhenAllFuzz, NestedTreesJoinCompletely) {
 
 }  // namespace
 }  // namespace pgxd::sim
+
+// --- Partition-scheme replay fuzz -------------------------------------------
+//
+// The sorter end-to-end on the DES: the same seed must reproduce every
+// partitioning decision bit-for-bit for each scheme — the splitters, the
+// histogram round count, the partition stats, the simulated end time, and
+// the sorted output itself. Any hidden nondeterminism (map iteration,
+// arrival-order dependence in the level-1 merge, stale-probe handling)
+// breaks this immediately.
+namespace pgxd::core {
+namespace {
+
+using SKey = std::uint64_t;
+using SorterT = DistributedSorter<SKey>;
+
+struct PartitionFingerprint {
+  std::vector<SKey> splitters;
+  std::uint64_t rounds = 0;
+  std::uint64_t probe_keys = 0;
+  std::uint64_t groups = 0;
+  std::uint64_t level1_items = 0;
+  double achieved_epsilon = 0.0;
+  sim::SimTime total = 0;
+  std::uint64_t output_checksum = 0;
+};
+
+PartitionFingerprint run_partition_replay(std::uint64_t seed,
+                                          PartitionScheme scheme) {
+  const std::size_t machines = 9;
+  const std::size_t n = 18'000;
+  gen::DataGenConfig dcfg;
+  dcfg.dist = (seed % 2) ? gen::Distribution::kZipf
+                         : gen::Distribution::kRightSkewed;
+  dcfg.seed = seed;
+  std::vector<std::vector<SKey>> shards;
+  for (std::size_t r = 0; r < machines; ++r)
+    shards.push_back(gen::generate_shard(dcfg, n, machines, r));
+
+  SortConfig cfg;
+  cfg.partition = scheme;
+  cfg.partition_epsilon = 0.08;
+
+  rt::ClusterConfig ccfg;
+  ccfg.machines = machines;
+  ccfg.threads_per_machine = 2;
+  ccfg.seed = seed;
+  rt::Cluster<SorterT::Msg> cluster(ccfg);
+  SorterT sorter(cluster, cfg);
+  sorter.run(std::move(shards));
+
+  PartitionFingerprint fp;
+  const auto& st = sorter.stats();
+  fp.splitters = st.splitters;
+  fp.rounds = st.partition.rounds;
+  fp.probe_keys = st.partition.probe_keys;
+  fp.groups = st.partition.groups;
+  fp.level1_items = st.partition.level1_items;
+  fp.achieved_epsilon = st.partition.achieved_epsilon;
+  fp.total = st.total_time;
+  for (const auto& part : sorter.partitions())
+    for (const auto& item : part)
+      fp.output_checksum = fp.output_checksum * 1099511628211ULL + item.key;
+  return fp;
+}
+
+void expect_identical(const PartitionFingerprint& a,
+                      const PartitionFingerprint& b) {
+  EXPECT_EQ(a.splitters, b.splitters);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.probe_keys, b.probe_keys);
+  EXPECT_EQ(a.groups, b.groups);
+  EXPECT_EQ(a.level1_items, b.level1_items);
+  EXPECT_EQ(a.achieved_epsilon, b.achieved_epsilon);
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.output_checksum, b.output_checksum);
+}
+
+class PartitionReplayFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PartitionReplayFuzz, HistogramRefineReplaysIdentically) {
+  const auto a =
+      run_partition_replay(GetParam(), PartitionScheme::kHistogramRefine);
+  const auto b =
+      run_partition_replay(GetParam(), PartitionScheme::kHistogramRefine);
+  expect_identical(a, b);
+  EXPECT_GE(a.rounds, 1u);
+  EXPECT_EQ(a.groups, 1u);
+}
+
+TEST_P(PartitionReplayFuzz, TwoLevelAmsReplaysIdentically) {
+  const auto a =
+      run_partition_replay(GetParam(), PartitionScheme::kTwoLevelAms);
+  const auto b =
+      run_partition_replay(GetParam(), PartitionScheme::kTwoLevelAms);
+  expect_identical(a, b);
+  EXPECT_GT(a.groups, 1u);
+  EXPECT_GT(a.level1_items, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionReplayFuzz,
+                         ::testing::Values(1, 7, 42));
+
+}  // namespace
+}  // namespace pgxd::core

@@ -120,7 +120,7 @@ std::vector<std::vector<Key>> make_shards(const Options& opt) {
   pgxd::gen::DataGenConfig dcfg;
   dcfg.seed = opt.seed;
   bool known = false;
-  for (auto d : pgxd::gen::kAllDistributions) {
+  for (auto d : pgxd::gen::kAllDistributionsExtended) {
     if (opt.dist == pgxd::gen::name(d)) {
       dcfg.dist = d;
       known = true;
@@ -459,6 +459,11 @@ int print_config(const pgxd::core::SortConfig& cfg) {
   w.kv("use_buffer_pool", cfg.use_buffer_pool);
   w.kv("telemetry", cfg.telemetry);
   w.kv("recovery_enabled", cfg.recovery.enabled);
+  w.kv("partition", std::string_view(pgxd::core::partition_scheme_name(
+                        cfg.partition)));
+  w.kv("partition_epsilon", cfg.partition_epsilon);
+  w.kv("partition_max_rounds",
+       static_cast<std::int64_t>(cfg.partition_max_rounds));
   w.end_object();
   std::printf("%s\n", w.str().c_str());
   return 0;
@@ -470,7 +475,8 @@ int main(int argc, char** argv) {
   pgxd::Flags flags;
   flags.declare("engine", "pgxd | spark | bitonic | radix", "pgxd");
   flags.declare("dist",
-                "uniform | normal | right-skewed | exponential | twitter",
+                "uniform | normal | right-skewed | exponential | zipf | "
+                "few-distinct | twitter",
                 "uniform");
   flags.declare("n", "total keys", "1048576");
   flags.declare("p", "machines", "8");
@@ -506,6 +512,16 @@ int main(int argc, char** argv) {
   flags.declare("local-sort",
                 "step-1 local sort: adaptive | quicksort | radix (pgxd)",
                 "adaptive");
+  flags.declare("partition",
+                "splitter-selection strategy: one-level (paper baseline) | "
+                "histogram (iterative histogram refinement to the --epsilon "
+                "balance target) | two-level (AMS-style sqrt(p) rank-group "
+                "recursion) (pgxd)", "one-level");
+  flags.declare("epsilon",
+                "histogram refinement balance target: certify every "
+                "partition within (1+epsilon) * N/p (pgxd)", "0.05");
+  flags.declare("max-rounds",
+                "histogram refinement round budget (pgxd)", "10");
   flags.declare("buffered", "256KB-chunked exchange (pgxd)", "true");
   flags.declare("sample-factor", "sample size in multiples of X (pgxd)", "1.0");
   flags.declare("buffer-bytes", "read buffer size in bytes (pgxd)", "262144");
@@ -561,6 +577,27 @@ int main(int argc, char** argv) {
       opt.sort_cfg.local_sort = pgxd::core::LocalSortAlgo::kRadix;
     } else {
       std::fprintf(stderr, "unknown --local-sort '%s'\n", ls.c_str());
+      return 2;
+    }
+  }
+  {
+    const std::string part = flags.str("partition");
+    if (part == "one-level" || part == "one-level-sample") {
+      opt.sort_cfg.partition = pgxd::core::PartitionScheme::kOneLevelSample;
+    } else if (part == "histogram" || part == "histogram-refine") {
+      opt.sort_cfg.partition = pgxd::core::PartitionScheme::kHistogramRefine;
+    } else if (part == "two-level" || part == "two-level-ams") {
+      opt.sort_cfg.partition = pgxd::core::PartitionScheme::kTwoLevelAms;
+    } else {
+      std::fprintf(stderr, "unknown --partition '%s'\n", part.c_str());
+      return 2;
+    }
+    opt.sort_cfg.partition_epsilon = flags.f64("epsilon");
+    opt.sort_cfg.partition_max_rounds =
+        static_cast<int>(flags.u64("max-rounds"));
+    const std::string why = opt.sort_cfg.validate();
+    if (!why.empty()) {
+      std::fprintf(stderr, "%s\n", why.c_str());
       return 2;
     }
   }

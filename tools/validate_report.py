@@ -11,6 +11,10 @@ schema language cannot express:
   * load totals match run.n, and splitter boundary_error has machines-1
     entries bounded by max_error;
   * required sort.* metric counters are present in the merged registry;
+  * the partition section is self-consistent per scheme: the one-level
+    baseline reports exactly one round, one group, and no probe/level-1
+    traffic; histogram refinement stays flat (one group, no level-1 items)
+    and respects its epsilon target's sign; two-level AMS never probes;
   * the recovery section is self-consistent: mean time-to-recover never
     exceeds the max, final_members never exceeds machines, a clean run
     (recoveries == 0) reports zero recovery cost, and a recovery-enabled
@@ -144,6 +148,35 @@ def semantic_checks(doc, errors):
             errors.append("splitters.boundary_error[%d]=%r exceeds max_error=%r"
                           % (i, e, max_err))
 
+    part = doc.get("partition", {})
+    scheme = part.get("scheme")
+    if scheme == "one-level-sample":
+        for key, want in (("rounds", 1), ("groups", 1), ("probe_keys", 0),
+                          ("level1_items", 0)):
+            if part.get(key, want) != want:
+                errors.append("partition: one-level-sample must report "
+                              "%s=%r, got %r" % (key, want, part.get(key)))
+        if part.get("epsilon_target", 0) != 0:
+            errors.append("partition: one-level-sample has no epsilon "
+                          "target, got %r" % part.get("epsilon_target"))
+    elif scheme == "histogram-refine":
+        for key, want in (("groups", 1), ("level1_items", 0)):
+            if part.get(key, want) != want:
+                errors.append("partition: histogram-refine must report "
+                              "%s=%r, got %r" % (key, want, part.get(key)))
+        if part.get("epsilon_target", 0) <= 0:
+            errors.append("partition: histogram-refine needs a positive "
+                          "epsilon_target, got %r" %
+                          part.get("epsilon_target"))
+    elif scheme == "two-level-ams":
+        if part.get("probe_keys", 0) != 0:
+            errors.append("partition: two-level-ams does not probe, got "
+                          "probe_keys=%r" % part.get("probe_keys"))
+    machines_for_groups = machines if machines else 1
+    if part.get("groups", 1) > machines_for_groups:
+        errors.append("partition: groups=%r exceeds run.machines=%r" %
+                      (part.get("groups"), machines))
+
     counters = doc.get("metrics", {}).get("counters", {})
     for name in REQUIRED_COUNTERS:
         if name not in counters:
@@ -250,6 +283,10 @@ def make_valid_fixture():
         "load": {"items": load_items, "bytes": load_bytes},
         "splitters": {"boundary_error": [0.0], "max_error": 0.0,
                       "mean_error": 0.0},
+        "partition": {"scheme": "one-level-sample", "rounds": 1,
+                      "epsilon_target": 0.0, "achieved_epsilon": 0.0,
+                      "groups": 1, "sample_keys": 4, "probe_keys": 0,
+                      "level1_items": 0},
         "network": {"bytes_sent": 0, "messages_sent": 0,
                     "messages_dropped": 0, "messages_duplicated": 0,
                     "retransmits": 0, "acks_received": 0,
@@ -308,6 +345,35 @@ def selftest(schema):
         doc["critical_path"]["phases"][0]["compute_ns"] = 800
         return doc
 
+    def partition_histogram_ok(doc):
+        doc["partition"] = {"scheme": "histogram-refine", "rounds": 3,
+                            "epsilon_target": 0.05,
+                            "achieved_epsilon": 0.02, "groups": 1,
+                            "sample_keys": 4, "probe_keys": 12,
+                            "level1_items": 0}
+        return doc
+
+    def partition_unknown_scheme(doc):
+        doc["partition"]["scheme"] = "three-level"
+        return doc
+
+    def partition_baseline_with_rounds(doc):
+        doc["partition"]["rounds"] = 4
+        return doc
+
+    def partition_histogram_no_target(doc):
+        doc = partition_histogram_ok(doc)
+        doc["partition"]["epsilon_target"] = 0.0
+        return doc
+
+    def partition_too_many_groups(doc):
+        doc["partition"] = {"scheme": "two-level-ams", "rounds": 1,
+                            "epsilon_target": 0.0,
+                            "achieved_epsilon": 0.01, "groups": 5,
+                            "sample_keys": 4, "probe_keys": 0,
+                            "level1_items": 10}
+        return doc
+
     def ts_time_backwards(doc):
         doc["timeseries"]["series"]["rank0.mailbox_depth"] = {
             "capacity": 4, "dropped": 0, "points": [[200, 1.0], [100, 0.0]],
@@ -321,6 +387,15 @@ def selftest(schema):
         ("missing required section", missing_required, False, False),
         ("critical_path total off by >1%", cp_total_mismatch, False, False),
         ("critical_path consistent", cp_consistent, True, True),
+        ("partition histogram consistent", partition_histogram_ok,
+         True, True),
+        ("partition unknown scheme", partition_unknown_scheme, False, False),
+        ("partition baseline claims rounds", partition_baseline_with_rounds,
+         False, False),
+        ("partition histogram without target", partition_histogram_no_target,
+         False, False),
+        ("partition groups exceed machines", partition_too_many_groups,
+         False, False),
         ("timeseries time backwards", ts_time_backwards, False, False),
     ]
     failures = 0
