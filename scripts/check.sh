@@ -37,6 +37,15 @@
 #                                    # -Wshadow -Wconversion as errors), and
 #                                    # clang-tidy over compile_commands.json
 #                                    # when a clang-tidy binary exists
+#   scripts/check.sh analyze         # the deadlock-analysis gate: protocol
+#                                    # analyzer (self-test + repo), the
+#                                    # wait-graph / deadlock-regression
+#                                    # suites, a perturbation fuzz smoke
+#                                    # (guarded two-level AMS across seeds,
+#                                    # zero false-positive aborts), and the
+#                                    # guard-off expected-deadlock check
+#                                    # (the wait-for graph must name the
+#                                    # buffer-pool cycle)
 #
 # Each mode gets its own build tree, so switching between them never forces
 # a full reconfigure of the main build. Every mode propagates non-zero exit
@@ -100,6 +109,58 @@ case "$MODE" in
         'examples/*.cpp' 'tools/*.cpp' |
       grep -v '^tests/lint_selftest/' |
       xargs -r "$TIDY" -p build-werror --quiet --warnings-as-errors='*'
+    exit 0
+    ;;
+
+  analyze)
+    echo "== analyze 1/4: protocol analyzer self-test =="
+    python3 tools/analyze_protocol.py --selftest tests/protocol_selftest
+
+    echo "== analyze 2/4: protocol analyzer over the repo =="
+    python3 tools/analyze_protocol.py
+
+    configure_build build-release -DCMAKE_BUILD_TYPE=Release
+
+    echo "== analyze 3/4: wait-graph + deadlock regression suites =="
+    build-release/tests/wait_graph_test
+    build-release/tests/deadlock_regression_test
+
+    # 4a. Perturbation fuzz smoke: the guarded two-level AMS config that the
+    #     regression suite pins must survive a seed sweep with zero
+    #     false-positive deadlock aborts (every seed is one deterministic
+    #     alternative delivery order; pgxd_sim exits non-zero if the sort
+    #     wedges or the output fails validation). Seed 7 is the committed
+    #     reproduction seed from tests/deadlock_regression_test.cpp — with
+    #     the guard ON it must pass like any other.
+    TMP="$(mktemp -d /tmp/pgxd_analyze.XXXXXX)"
+    trap 'rm -rf "$TMP"' EXIT
+    for seed in 1 7 42; do
+      echo "== analyze 4/4: perturbation smoke --perturb=$seed =="
+      build-release/tools/pgxd_sim --n=60000 --p=9 --partition=two-level \
+        --buffer-bytes=2048 --perturb="$seed" --perturb-jitter-ns=50 \
+        > "$TMP/perturb_$seed.log"
+      grep -E 'validation:|sorted' "$TMP/perturb_$seed.log" || true
+    done
+
+    # 4b. The negative control: with the pending guard off, the same config
+    #     must deadlock — and the wait-for graph must name the buffer-pool
+    #     cycle instead of hanging. A clean exit here means the regression
+    #     fixture has gone stale.
+    echo "== analyze 4/4: guard-off expected-deadlock check =="
+    if build-release/tools/pgxd_sim --n=60000 --p=9 --partition=two-level \
+        --buffer-bytes=2048 --pending-guard=false \
+        > "$TMP/wedge.log" 2>&1; then
+      echo "FAIL: guard-off run completed; the pool deadlock fixture is stale" >&2
+      exit 1
+    fi
+    if ! grep -q 'deadlocked' "$TMP/wedge.log" ||
+       ! grep -q 'buffer-pool' "$TMP/wedge.log"; then
+      echo "FAIL: guard-off run died without naming the buffer-pool cycle:" >&2
+      tail -n 20 "$TMP/wedge.log" >&2
+      exit 1
+    fi
+    grep -o 'wait-for cycle.*' "$TMP/wedge.log" | head -n 1
+    echo "analyze gate passed"
     exit 0
     ;;
 

@@ -151,9 +151,9 @@ class DistributedPageRank {
         ranks_[v] = (1.0 - cfg_.damping) * n_inv + cfg_.damping * next_[v];
       }
       co_await m.charge_copy(hi - lo);
-      co_await comm.barrier();  // iteration boundary
+      co_await comm.barrier(rank);  // iteration boundary
       for (graph::VertexId v = lo; v < hi; ++v) next_[v] = 0.0;
-      co_await comm.barrier();  // scratch cleared before anyone scatters
+      co_await comm.barrier(rank);  // scratch cleared before anyone scatters
     }
     co_return;
   }

@@ -138,7 +138,7 @@ class DistributedSssp {
           });
       if (rank == 0) rounds_completed_ = round + 1;
       if (total.changed == 0) break;
-      co_await comm.barrier();
+      co_await comm.barrier(rank);
     }
     co_return;
   }

@@ -81,7 +81,7 @@ class ThreadPool {
   void worker_loop();
   bool run_one();  // returns false if the queue was empty
 
-  std::mutex mu_;
+  std::mutex mu_;  // pgxd-lock-order: pool-queue rank 10
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
   std::deque<std::function<void()>> queue_;

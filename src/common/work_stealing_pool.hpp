@@ -54,7 +54,7 @@ class WorkStealingPool {
 
  private:
   struct Worker {
-    std::mutex mu;
+    std::mutex mu;  // pgxd-lock-order: worker-deque rank 10
     std::deque<std::function<void()>> deque;
     // Atomics, not plain counters: the thief bumps its own tallies while
     // holding the *victim's* deque lock, and stats() reads every worker's
@@ -72,7 +72,7 @@ class WorkStealingPool {
 
   std::vector<std::unique_ptr<Worker>> queues_;
   std::vector<std::thread> threads_;
-  std::mutex idle_mu_;
+  std::mutex idle_mu_;  // pgxd-lock-order: pool-idle rank 20
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
   std::atomic<std::int64_t> in_flight_{0};

@@ -54,6 +54,7 @@
 #include "runtime/cluster.hpp"
 #include "runtime/errors.hpp"
 #include "sim/trace.hpp"
+#include "sim/wait_graph.hpp"
 #include "sort/balanced_merge.hpp"
 #include "sort/kway_merge.hpp"
 #include "sort/local_sort.hpp"
@@ -306,6 +307,11 @@ class DistributedSorter {
   // Exchange buffer-pool counters (shared across the simulated machines,
   // which live in one address space).
   const rt::BufferPoolStats& pool_stats() const { return pool_.stats(); }
+  // Runtime wait-for graph counters (edges registered, detection passes,
+  // peak simultaneously-blocked ranks) for the report's waits section.
+  const sim::WaitGraph::Stats& wait_stats() const {
+    return cluster_.wait_graph().stats();
+  }
 
   // Per-rank telemetry (populated when SortConfig::telemetry is on).
   const obs::MetricsRegistry& metrics(std::size_t rank) const {
@@ -364,6 +370,9 @@ class DistributedSorter {
       sampler->add("pool.outstanding_chunks", [this] {
         return static_cast<double>(pool_.outstanding());
       });
+      sampler->add("waitgraph.blocked_ranks", [this] {
+        return static_cast<double>(cluster_.wait_graph().blocked());
+      });
       if (rt::FailureDetector* det = cluster_.detector())
         sampler->add("detector.suspected_pairs", [det] {
           return static_cast<double>(det->suspected_pair_count());
@@ -411,6 +420,21 @@ class DistributedSorter {
     ExchangeState() = default;
   };
 
+  // RAII annotation edge for the exchange's pool-backpressure park: the
+  // edge must come off whether the wrapped receive completes or throws
+  // (RankCrashedError / SortAbortedError unwind this coroutine frame), or
+  // a stale pool edge would misname every later deadlock cycle.
+  struct PoolWaitGuard {
+    sim::WaitGraph* graph;
+    std::size_t token;
+    PoolWaitGuard(sim::WaitGraph* g, std::size_t t) : graph(g), token(t) {}
+    PoolWaitGuard(const PoolWaitGuard&) = delete;
+    PoolWaitGuard& operator=(const PoolWaitGuard&) = delete;
+    ~PoolWaitGuard() {
+      if (graph != nullptr) graph->end_wait(token);
+    }
+  };
+
   // Origin provenance packed into one u64 for the two-hop (AMS) path. The
   // level-1 exchange destroys the "contiguous slice of the sender's sorted
   // shard" property the flat exchange relies on, so the group exchange
@@ -453,6 +477,11 @@ class DistributedSorter {
   // messages (Step 4). Below it the per-pair path is both cheaper and the
   // paper's literal shape.
   static constexpr std::size_t kBatchedCountsScope = 64;
+  // Scope size above which the exchange stops maintaining per-peer
+  // mailbox hold edges (the wait-for graph's naming metadata): holds are
+  // O(q) per rank, and a deadlock past this size is still detected and
+  // reported, just without per-peer attribution.
+  static constexpr std::size_t kWaitGraphHoldScope = 256;
 
   int tag(int t) const { return base_tag_ + t; }
   void note_control_bytes(std::uint64_t b) { wire_control_bytes_ += b; }
@@ -472,6 +501,12 @@ class DistributedSorter {
                                     100 * sim::kMicrosecond);
     return sim::kMillisecond;
   }
+
+  // pgxd-protocol: recovery-path
+  // Everything down to the matching end marker runs (or can run) while
+  // ranks are crashing: no plain blocking recv, no barrier, no unbounded
+  // collective is allowed here — only try_recv / recv_until / plain posts.
+  // tools/analyze_protocol.py enforces this.
 
   // Crash-recovery supervisor: run attempts over the live membership until
   // one completes with no member crashing mid-flight, regenerating dead
@@ -548,6 +583,10 @@ class DistributedSorter {
       // backpressure honest.
       comm.drain_mailboxes();
       pool_.reconcile_after_drain();
+      // Drained frames strand their pool-hold naming edges; with every
+      // attempt program finished nothing is in flight, so all pool holds
+      // are stale by construction.
+      cluster_.wait_graph().clear_holds(sim::WaitResource::pool());
       bool failed = false;
       std::optional<sim::SimTime> first_crash;
       for (std::size_t r : members) {
@@ -771,6 +810,7 @@ class DistributedSorter {
                            std::move(msg), bytes);
     }
   }
+  // pgxd-protocol: end-recovery-path
 
   // The sort's one receive primitive. Clean path (recovery off): a plain
   // blocking recv, byte-identical to the pre-recovery sorter. Recovery
@@ -786,6 +826,7 @@ class DistributedSorter {
       Envelope v = co_await comm.recv(rank, tg);
       co_return v;
     }
+    // pgxd-protocol: recovery-path
     auto& sim = cluster_.simulator();
     rt::FailureDetector* det = cluster_.detector();
     const sim::SimTime poll = poll_quantum();
@@ -813,6 +854,7 @@ class DistributedSorter {
       }
       if (rp != nullptr) maybe_hedge(m, ctx, *rp);
     }
+    // pgxd-protocol: end-recovery-path
   }
 
   // Per-rank regular-sample budget (Sec. IV-B): X = read_buffer / q bytes,
@@ -1870,6 +1912,20 @@ class DistributedSorter {
 
     const std::size_t remote_expected = total_recv - recv_counts[idx];
     std::size_t remote_placed = 0;
+    // Hold edges for deadlock *naming* (never detection): each peer that
+    // still owes this rank chunks "holds" the rank's data mailbox until
+    // its range is fully placed, and a pooled chunk in flight to dst means
+    // dst "holds" a pool buffer. Mailbox holds are O(q) per rank, so they
+    // are capped at kWaitGraphHoldScope members; past that a deadlock is
+    // still detected and reported, just without per-peer attribution.
+    auto& wg = cluster_.wait_graph();
+    const bool track_holds = q <= kWaitGraphHoldScope;
+    const auto mbox = sim::WaitResource::mailbox(rank, tag(kTagData));
+    if (track_holds) {
+      wg.clear_holds(mbox);  // stale holds from an aborted prior attempt
+      for (std::size_t s = 0; s < q; ++s)
+        if (s != idx && recv_counts[s] > 0) wg.add_hold(mbox, ctx.scope[s]);
+    }
     // Wire bytes this rank put on the fabric during the exchange (span
     // metadata for the send/receive step).
     std::uint64_t exchange_wire_sent = 0;
@@ -1913,7 +1969,10 @@ class DistributedSorter {
       if (seen_words[word] & bit) {
         ++ms.duplicate_chunks;
         if (c_dup_chunks) c_dup_chunks->inc();
-        if (use_pool) pool_.release(std::move(keys));
+        if (use_pool) {
+          pool_.release(std::move(keys));
+          wg.remove_hold(sim::WaitResource::pool(), rank);
+        }
         return 0;
       }
       seen_words[word] |= bit;
@@ -1942,8 +2001,13 @@ class DistributedSorter {
       const std::size_t placed = keys.size();
       cursor[sj] += placed;
       remote_placed += placed;
+      if (track_holds && cursor[sj] == offsets[sj + 1])
+        wg.remove_hold(mbox, ctx.scope[sj]);
       if (c_items_recv) c_items_recv->inc(placed);
-      if (use_pool) pool_.release(std::move(keys));
+      if (use_pool) {
+        pool_.release(std::move(keys));
+        wg.remove_hold(sim::WaitResource::pool(), rank);
+      }
       return placed;
     };
 
@@ -1994,8 +2058,17 @@ class DistributedSorter {
         while (use_pool && cfg_.async_exchange &&
                remote_placed < remote_expected && pool_.free_buffers() == 0 &&
                pool_.outstanding() >= pool_cap &&
-               (!scoped_exchange ||
+               (!scoped_exchange || !cfg_.scoped_pending_guard ||
                 comm.pending(rank, tag(kTagData)) > 0)) {
+          // Annotation edge: while parked here the rank is really waiting
+          // for a pool buffer, not just its mailbox. Never counted by the
+          // detector; it only enriches a deadlock cycle's naming. The
+          // guard's destructor drops the edge even when recv_sort throws
+          // (crash / abort translation).
+          PoolWaitGuard pw{&cluster_.wait_graph(),
+                           cluster_.wait_graph().begin_wait(
+                               rank, sim::WaitResource::pool(),
+                               /*annotation=*/true)};
           auto msg = co_await recv_sort(m, ctx, tag(kTagData), &xs, &rp);
           const std::size_t placed = place_chunk(msg);
           if (placed > 0) co_await m.charge_copy(placed);
@@ -2023,6 +2096,7 @@ class DistributedSorter {
           h_chunk_elems->add(take);
         }
         co_await m.charge_copy(take);  // pack the request buffer
+        if (use_pool) wg.add_hold(sim::WaitResource::pool(), dst);
         if (cfg_.async_exchange) {
           comm.post(rank, dst, tag(kTagData),
                     Msg(std::move(chunk), std::move(pchunk), at, at - lo),
@@ -2042,7 +2116,7 @@ class DistributedSorter {
         at += take;
       }
     }
-    if (!cfg_.async_exchange) co_await comm.barrier();
+    if (!cfg_.async_exchange) co_await comm.barrier(rank);
 
     // Receives: place each incoming chunk at its source's base offset plus
     // the chunk's own relative offset — correct under any arrival order —

@@ -115,6 +115,21 @@ struct RecoveryReport {
   double time_to_recover_mean_ns = 0.0;
 };
 
+// Runtime wait-for-graph summary: how often ranks blocked, what they
+// blocked on, and how many incremental deadlock checks ran. A run that
+// reaches the report by definition did not deadlock, so `deadlocks` is
+// zero here; the counter exists because the same Stats struct feeds the
+// abort diagnostic when a run does deadlock.
+struct WaitReport {
+  std::uint64_t mailbox_waits = 0;
+  std::uint64_t barrier_waits = 0;
+  std::uint64_t pool_waits = 0;    // annotation edges under pool backpressure
+  std::uint64_t holds_added = 0;
+  std::uint64_t deadlock_checks = 0;
+  std::uint64_t deadlocks = 0;
+  std::uint64_t max_blocked = 0;   // peak simultaneously-blocked ranks
+};
+
 struct SortReport {
   SortRunInfo run;
   sim::SimTime total_time_ns = 0;
@@ -126,6 +141,7 @@ struct SortReport {
   NetworkReport network;
   PoolReport pool;
   RecoveryReport recovery;
+  WaitReport waits;
   // Causal telemetry. Always emitted like recovery: a run without a trace
   // reads as critical_path.computed == false and an empty timeseries, so
   // the schema stays stable. Filled by the caller that owns the trace and
@@ -229,6 +245,16 @@ struct SortReport {
     w.kv("time_to_recover_max_ns",
          static_cast<std::int64_t>(recovery.time_to_recover_max_ns));
     w.kv("time_to_recover_mean_ns", recovery.time_to_recover_mean_ns);
+    w.end_object();
+    w.key("waits");
+    w.begin_object();
+    w.kv("mailbox_waits", waits.mailbox_waits);
+    w.kv("barrier_waits", waits.barrier_waits);
+    w.kv("pool_waits", waits.pool_waits);
+    w.kv("holds_added", waits.holds_added);
+    w.kv("deadlock_checks", waits.deadlock_checks);
+    w.kv("deadlocks", waits.deadlocks);
+    w.kv("max_blocked", waits.max_blocked);
     w.end_object();
     w.key("critical_path");
     critical_path.write_json(w);
@@ -366,6 +392,15 @@ SortReport build_sort_report(const Sorter& sorter, SortRunInfo run) {
       rc.recoveries ? static_cast<double>(rc.time_to_recover_total_ns) /
                           static_cast<double>(rc.recoveries)
                     : 0.0;
+
+  const auto& ws = sorter.wait_stats();
+  rep.waits.mailbox_waits = ws.mailbox_waits;
+  rep.waits.barrier_waits = ws.barrier_waits;
+  rep.waits.pool_waits = ws.pool_waits;
+  rep.waits.holds_added = ws.holds_added;
+  rep.waits.deadlock_checks = ws.deadlock_checks;
+  rep.waits.deadlocks = ws.deadlocks;
+  rep.waits.max_blocked = static_cast<std::uint64_t>(ws.max_blocked);
 
   const auto& ps = sorter.pool_stats();
   rep.pool.leases = ps.leases;

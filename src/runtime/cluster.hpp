@@ -20,6 +20,7 @@
 #include "runtime/machine.hpp"
 #include "sim/simulator.hpp"
 #include "sim/task.hpp"
+#include "sim/wait_graph.hpp"
 
 namespace pgxd::rt {
 
@@ -63,6 +64,13 @@ class Cluster {
             return det->suspects(observer, peer);
           });
     }
+    // Wait-for graph: every blocking recv/barrier registers an edge; the
+    // moment every live program is blocked with no satisfiable edge the
+    // graph stops the simulator, and run_on reports the named cycle
+    // instead of idling to quiescence behind heartbeat timers.
+    comm_.set_wait_graph(&graph_);
+    graph_.set_on_deadlock(
+        [this](const sim::WaitGraph::Deadlock&) { sim_.request_stop(); });
   }
 
   const ClusterConfig& config() const { return cfg_; }
@@ -75,6 +83,8 @@ class Cluster {
   std::size_t size() const { return machines_.size(); }
   // Null unless ClusterConfig::detector.enabled.
   FailureDetector* detector() { return detector_.get(); }
+  sim::WaitGraph& wait_graph() { return graph_; }
+  const sim::WaitGraph& wait_graph() const { return graph_; }
 
   // Attaches a time-series sampler: its loop starts with each run_on and
   // is stopped (timer cancelled, clock untouched) when the last spawned
@@ -117,9 +127,19 @@ class Cluster {
     if (sampler_) sampler_->start(sim_);
     for (std::size_t r : ranks) {
       PGXD_CHECK(r < machines_.size());
-      sim_.spawn(wrap_completion(factory(*machines_[r])));
+      graph_.process_spawned(r);
+      sim_.spawn(wrap_completion(r, factory(*machines_[r])));
     }
     sim_.run();
+    if (graph_.deadlock()) {
+      std::string diag =
+          "cluster run deadlocked — every live machine process is blocked "
+          "with no satisfiable wait edge; " +
+          graph_.deadlock()->description;
+      if (comm_.any_unreachable())
+        diag += "; peers marked unreachable:" + comm_.unreachable_report();
+      PGXD_CHECK_MSG(false, diag.c_str());
+    }
     if (!sim_.quiescent()) {
       std::string diag =
           "cluster run ended with blocked machine processes (deadlock: a "
@@ -144,8 +164,8 @@ class Cluster {
   // Non-coroutine wrapper (GCC 12: a prvalue Task argument bound to a
   // coroutine by-value parameter miscompiles; materialize it here and
   // forward an xvalue).
-  sim::Task<void> wrap_completion(sim::Task<void> program) {
-    return wrap_completion_impl(std::move(program));
+  sim::Task<void> wrap_completion(std::size_t rank, sim::Task<void> program) {
+    return wrap_completion_impl(rank, std::move(program));
   }
 
   // Counts program completions so the detector's heartbeat loops stop as
@@ -153,8 +173,12 @@ class Cluster {
   // horizon). An exception escaping `program` aborts the simulation as
   // before — engines that want crash tolerance install their own catching
   // wrapper underneath this one.
-  sim::Task<void> wrap_completion_impl(sim::Task<void> program) {
+  sim::Task<void> wrap_completion_impl(std::size_t rank,
+                                       sim::Task<void> program) {
     co_await std::move(program);
+    // A finished program can no longer act; this transition can complete
+    // the "everyone left is blocked" condition, so the graph re-checks.
+    graph_.process_done(rank);
     PGXD_CHECK(remaining_programs_ > 0);
     if (--remaining_programs_ == 0) {
       if (detector_) detector_->request_stop();
@@ -166,6 +190,7 @@ class Cluster {
   sim::Simulator sim_;
   net::Fabric fabric_;
   Comm<Payload> comm_;
+  sim::WaitGraph graph_;
   std::vector<std::unique_ptr<Machine>> machines_;
   std::unique_ptr<FailureDetector> detector_;
   obs::TimeSeriesSampler* sampler_ = nullptr;

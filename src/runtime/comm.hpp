@@ -51,6 +51,7 @@
 #include "sim/task.hpp"
 #include "sim/timeout.hpp"
 #include "sim/trace.hpp"
+#include "sim/wait_graph.hpp"
 
 namespace pgxd::rt {
 
@@ -126,7 +127,8 @@ class Comm {
       : sim_(sim), fabric_(fabric), machines_(fabric.machines()), rcfg_(rcfg),
         barrier_(sim, fabric.machines()), mailboxes_(fabric.machines()),
         inflight_(machines_ * machines_), next_seq_(machines_ * machines_, 0),
-        dedup_(machines_ * machines_), unreachable_(fabric.machines(), 0) {
+        dedup_(machines_ * machines_), unreachable_(fabric.machines(), 0),
+        inflight_to_(fabric.machines()), at_barrier_(fabric.machines(), 0) {
     PGXD_CHECK(rcfg_.initial_rto > 0 && rcfg_.max_rto >= rcfg_.initial_rto);
     PGXD_CHECK(rcfg_.max_attempts >= 1);
     PGXD_CHECK(rcfg_.backoff_jitter >= 0.0);
@@ -170,6 +172,46 @@ class Comm {
   // ack frames) records a sim::Trace::Flow edge carrying the sender's span
   // id. nullptr detaches; recording costs one branch when detached.
   void set_trace(sim::Trace* trace) { trace_ = trace; }
+
+  // Deadlock analysis: when a wait-for graph is attached, every blocking
+  // recv registers a mailbox wait edge, barrier(rank) registers a barrier
+  // wait edge plus the not-yet-arrived hold set, and the graph's
+  // satisfiability probe is wired to this comm's live message accounting
+  // (queued + handed + in-flight toward a mailbox). nullptr detaches.
+  void set_wait_graph(sim::WaitGraph* graph) {
+    graph_ = graph;
+    if (graph_ == nullptr) return;
+    graph_->set_satisfiable_probe([this](const sim::WaitResource& res) {
+      switch (res.kind) {
+        case sim::WaitResource::Kind::kMailbox:
+          return unconsumed(static_cast<std::size_t>(res.a),
+                            static_cast<int>(static_cast<long long>(res.b))) >
+                 0;
+        case sim::WaitResource::Kind::kBarrier:
+          // A released-but-not-yet-resumed waiter's edge is about to clear.
+          return barrier_release_pending_ > 0;
+        default:
+          return false;
+      }
+    });
+    // Until a rank arrives at the barrier it is what the barrier waits for.
+    for (std::size_t r = 0; r < machines_; ++r)
+      graph_->add_hold(sim::WaitResource::barrier(), r);
+  }
+  sim::WaitGraph* wait_graph() { return graph_; }
+
+  // Messages that can still satisfy a blocked recv(rank, tag): queued in
+  // the mailbox, handed to a woken-but-unresumed receiver, or in flight
+  // from any sender (posted but not yet landed, lost, or abandoned).
+  std::size_t unconsumed(std::size_t rank, int tag) {
+    PGXD_CHECK(rank < machines_);
+    auto& ch = mailbox(rank, tag);
+    std::size_t n = ch.size() + ch.handed_pending();
+    auto it = inflight_to_[rank].find(tag);
+    if (it != inflight_to_[rank].end())
+      n += static_cast<std::size_t>(it->second);
+    return n;
+  }
 
   // Raises RankCrashedError when `rank` is crash-stopped right now — the
   // DES analogue of the process dying mid-instruction. Every comm
@@ -219,10 +261,12 @@ class Comm {
         ++rstats_.peer_unreachable;
         return;
       }
+      note_inflight(dst, tag);
       sim_.spawn(post_send_proc(src, dst, tag,
                                 enqueue(src, dst, std::move(msg), bytes)));
       return;
     }
+    note_inflight(dst, tag);
     sim_.spawn(deliver(src, dst, tag, std::move(msg)));
   }
 
@@ -240,10 +284,35 @@ class Comm {
     return send_impl(src, dst, tag, std::move(payload), bytes);
   }
 
+  // Blocking receive registering a wait edge for the duration of the
+  // suspension (when a wait-for graph is attached). Wrapping the channel
+  // awaiter keeps sync.hpp graph-free; the edge brackets exactly the
+  // suspended window — an immediately-ready receive registers nothing.
+  struct [[nodiscard]] TrackedRecvAwaiter {
+    typename sim::Channel<Msg>::RecvAwaiter inner;
+    sim::WaitGraph* graph;
+    std::size_t rank;
+    int tag;
+    std::size_t token = sim::WaitGraph::kNoToken;
+
+    bool await_ready() const noexcept { return inner.await_ready(); }
+    void await_suspend(std::coroutine_handle<> h) {
+      inner.await_suspend(h);
+      // Registered last: the detection pass triggered by begin_wait must
+      // observe the channel's waiter bookkeeping already in place.
+      if (graph != nullptr)
+        token = graph->begin_wait(rank, sim::WaitResource::mailbox(rank, tag));
+    }
+    Msg await_resume() {
+      if (token != sim::WaitGraph::kNoToken) graph->end_wait(token);
+      return inner.await_resume();
+    }
+  };
+
   // Next message for (rank, tag); FIFO within the tag.
-  auto recv(std::size_t rank, int tag) {
+  TrackedRecvAwaiter recv(std::size_t rank, int tag) {
     PGXD_CHECK(rank < machines_);
-    return mailbox(rank, tag).recv();
+    return TrackedRecvAwaiter{mailbox(rank, tag).recv(), graph_, rank, tag};
   }
 
   // Deadline-bounded receive: resolves to the next message of `tag`, or to
@@ -268,13 +337,53 @@ class Comm {
     std::vector<Msg> out;
     out.reserve(count);
     for (std::size_t i = 0; i < count; ++i)
-      out.push_back(co_await mailbox(rank, tag).recv());
+      out.push_back(co_await recv(rank, tag));
     co_return out;
   }
 
+  // Barrier arrival with wait-graph bookkeeping: a suspended arriver trades
+  // its "not yet arrived" hold for a barrier wait edge; the last arriver
+  // re-arms every rank's hold for the next round and marks the released
+  // waiters satisfiable until each has actually resumed (the barrier
+  // analogue of Channel's handed-value window).
+  struct [[nodiscard]] TrackedBarrierAwaiter {
+    Comm& comm;
+    std::size_t rank;
+    std::size_t token = sim::WaitGraph::kNoToken;
+    bool suspended = false;
+
+    bool await_ready() const noexcept { return false; }
+    bool await_suspend(std::coroutine_handle<> h) {
+      comm.note_barrier_arrival(rank);
+      auto inner = comm.barrier_.arrive();
+      if (!inner.await_suspend(h)) {
+        // Last arriver: the round releases and this rank keeps running.
+        comm.note_barrier_release();
+        return false;
+      }
+      suspended = true;
+      // Registered last, so a detection pass triggered by begin_wait sees
+      // the barrier's arrival bookkeeping already in place.
+      if (comm.graph_ != nullptr)
+        token = comm.graph_->begin_wait(rank, sim::WaitResource::barrier());
+      return true;
+    }
+    void await_resume() {
+      if (token != sim::WaitGraph::kNoToken) comm.graph_->end_wait(token);
+      if (suspended) {
+        PGXD_DCHECK(comm.barrier_release_pending_ > 0);
+        --comm.barrier_release_pending_;
+      }
+    }
+  };
+
   // Full-cluster barrier (used between paper steps where required, and
-  // heavily by the Spark baseline's stage boundaries).
-  auto barrier() { return barrier_.arrive(); }
+  // heavily by the Spark baseline's stage boundaries). The rank names the
+  // arriver for deadlock diagnostics.
+  TrackedBarrierAwaiter barrier(std::size_t rank) {
+    PGXD_CHECK(rank < machines_);
+    return TrackedBarrierAwaiter{*this, rank};
+  }
 
   std::size_t pending(std::size_t rank, int tag) {
     return mailbox(rank, tag).size();
@@ -308,9 +417,14 @@ class Comm {
           out += " rank " + std::to_string(rank) + " waits on tag " +
                  std::to_string(tag) + " (" + std::to_string(ch->waiting()) +
                  " recv)";
-    if (barrier_.waiting() > 0)
+    if (barrier_.waiting() > 0) {
+      std::string ranks;
+      for (std::size_t r = 0; r < at_barrier_.size(); ++r)
+        if (at_barrier_[r] != 0) ranks += " " + std::to_string(r);
       out += " [" + std::to_string(barrier_.waiting()) +
-             " rank(s) stuck at the barrier]";
+             " rank(s) stuck at the barrier" +
+             (ranks.empty() ? std::string{} : ":" + ranks) + "]";
+    }
     if (out.empty()) out = " (none — processes are blocked elsewhere)";
     return out;
   }
@@ -403,6 +517,7 @@ class Comm {
         ++rstats_.peer_unreachable;
         throw PeerUnreachableError(src, dst);
       }
+      note_inflight(dst, tag);
       const bool acked = co_await reliable_send_proc(
           src, dst, tag, enqueue(src, dst, std::move(msg), bytes));
       if (!acked) {
@@ -413,6 +528,7 @@ class Comm {
       }
       co_return;
     }
+    note_inflight(dst, tag);
     co_await deliver(src, dst, tag, std::move(msg));
   }
 
@@ -434,7 +550,10 @@ class Comm {
   sim::Task<void> deliver(std::size_t src, std::size_t dst, int tag, Msg msg) {
     const sim::SimTime sent_at = sim_.now();
     const net::Delivery d = co_await fabric_.transfer(src, dst, msg.bytes);
-    if (!d.delivered()) co_return;
+    if (!d.delivered()) {
+      note_settled(dst, tag);  // lost on the fabric; nothing will arrive
+      co_return;
+    }
     for (int c = 1; c < d.copies; ++c) {
       Msg copy = msg;
       record_flow_edge(msg.hdr.span_id, src, dst, tag,
@@ -446,6 +565,7 @@ class Comm {
                      sim::Trace::FlowKind::kData, msg.bytes, sent_at,
                      /*retransmit=*/false, /*duplicate=*/false);
     mailbox(dst, tag).send(std::move(msg));
+    note_settled(dst, tag);  // landed: the mailbox now accounts for it
   }
 
   // The ack/retry state machine for one message: transmit, arm the RTO,
@@ -464,6 +584,7 @@ class Comm {
     sim::SimTime rto = rcfg_.initial_rto;
     for (int attempt = 0;; ++attempt) {
       if (fabric_.down(src, sim_.now())) {
+        if (!rec->delivered) note_settled(dst, tag);
         slot.erase(seq);
         co_return false;
       }
@@ -475,6 +596,7 @@ class Comm {
                        "(fabric too lossy for max_attempts/max_rto?)");
         ++rstats_.peer_unreachable;
         unreachable_[dst] = 1;
+        if (!rec->delivered) note_settled(dst, tag);
         slot.erase(seq);
         co_return false;
       }
@@ -530,6 +652,7 @@ class Comm {
       rec.delivered = true;
       accepted = true;
       mailbox(dst, tag).send(std::move(rec.msg));
+      note_settled(dst, tag);  // landed: the mailbox now accounts for it
     } else {
       ++rstats_.duplicates_suppressed;
     }
@@ -576,6 +699,40 @@ class Comm {
                                          duplicate));
   }
 
+  // In-flight accounting for the wait-graph satisfiability probe: one unit
+  // per remote message, held from post()/send() until the message lands in
+  // the destination mailbox, is lost on the unreliable fabric, or is
+  // abandoned by a fail-fast sender. Tracked unconditionally so a graph
+  // attached at cluster construction never sees a partial count.
+  void note_inflight(std::size_t dst, int tag) { ++inflight_to_[dst][tag]; }
+  void note_settled(std::size_t dst, int tag) {
+    auto it = inflight_to_[dst].find(tag);
+    PGXD_DCHECK(it != inflight_to_[dst].end() && it->second > 0);
+    if (it != inflight_to_[dst].end() && --it->second == 0)
+      inflight_to_[dst].erase(it);
+  }
+
+  void note_barrier_arrival(std::size_t rank) {
+    at_barrier_[rank] = 1;
+    if (graph_ != nullptr)
+      graph_->remove_hold(sim::WaitResource::barrier(), rank);
+  }
+
+  // Last arriver of a round: every suspended waiter has been scheduled to
+  // resume but still carries its wait edge until it actually runs. Count
+  // them satisfiable until then, and re-arm every rank's not-yet-arrived
+  // hold for the next round.
+  void note_barrier_release() {
+    std::size_t arrived = 0;
+    for (char a : at_barrier_) arrived += (a != 0) ? 1 : 0;
+    PGXD_DCHECK(arrived > 0);
+    barrier_release_pending_ += arrived - 1;  // everyone except the releaser
+    std::fill(at_barrier_.begin(), at_barrier_.end(), char{0});
+    if (graph_ != nullptr)
+      for (std::size_t r = 0; r < machines_; ++r)
+        graph_->add_hold(sim::WaitResource::barrier(), r);
+  }
+
   sim::SimTime jittered(sim::SimTime rto) {
     const auto span = static_cast<std::uint64_t>(
         static_cast<double>(rto) * rcfg_.backoff_jitter);
@@ -602,6 +759,17 @@ class Comm {
   std::vector<DedupWindow> dedup_;
   // Destinations given up on by fail-fast sends (reset by drain_mailboxes).
   std::vector<char> unreachable_;
+  // Wait-for graph integration (attached by Cluster; null when detached).
+  sim::WaitGraph* graph_ = nullptr;
+  // Remote messages headed for (dst, tag) that have not yet landed, been
+  // lost, or been abandoned — the satisfiability probe's in-flight term.
+  std::vector<std::map<int, std::int64_t>> inflight_to_;
+  // Ranks currently arrived-and-suspended at the barrier, for deadlock
+  // diagnostics naming.
+  std::vector<char> at_barrier_;
+  // Barrier waiters released but not yet resumed (their wait edges are
+  // still registered; the probe treats them as satisfiable).
+  std::size_t barrier_release_pending_ = 0;
   std::function<bool(std::size_t, std::size_t)> suspects_;
   Rng backoff_rng_{0};
   // Causal tracing: span-id source (stamped on every remote message even

@@ -170,7 +170,7 @@ class BufferPool {
   const BufferPoolStats& stats() const { return stats_; }
 
  private:
-  mutable std::mutex mu_;
+  mutable std::mutex mu_;  // pgxd-lock-order: buffer-pool rank 10
   std::vector<std::vector<T>> free_;
   BufferPoolStats stats_;
 };

@@ -41,7 +41,8 @@ Simulator::~Simulator() {
 void Simulator::schedule_at(SimTime at, std::coroutine_handle<> h) {
   PGXD_CHECK_MSG(at >= now_, "scheduling into the past");
   PGXD_CHECK(h != nullptr);
-  queue_.push(Scheduled{at, next_seq_++, h});
+  const std::uint64_t pri = perturb_.enabled ? perturb_rng_.next() : 0;
+  queue_.push(Scheduled{at, pri, next_seq_++, h});
 }
 
 std::uint64_t Simulator::schedule_cancellable(SimTime at,
@@ -108,7 +109,7 @@ void Simulator::step(const Scheduled& ev) {
 }
 
 SimTime Simulator::run() {
-  while (!queue_.empty()) {
+  while (!queue_.empty() && !stop_requested_) {
     Scheduled ev = queue_.top();
     queue_.pop();
     if (cancelled_.erase(ev.seq)) continue;  // cancelled timer: never fires
@@ -120,7 +121,7 @@ SimTime Simulator::run() {
 
 SimTime Simulator::run_until(SimTime t) {
   PGXD_CHECK(t >= now_);
-  while (!queue_.empty() && queue_.top().at <= t) {
+  while (!queue_.empty() && queue_.top().at <= t && !stop_requested_) {
     Scheduled ev = queue_.top();
     queue_.pop();
     if (cancelled_.erase(ev.seq)) continue;

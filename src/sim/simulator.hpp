@@ -15,10 +15,26 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/rng.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 
 namespace pgxd::sim {
+
+// Schedule-perturbation explorer (off by default). When enabled, events
+// scheduled for the same timestamp are delivered in a seeded-random order
+// instead of insertion order, and schedule_now() wake-ups — channel
+// handoffs, barrier releases, cancellation wakes — are jittered by a
+// seeded uniform draw from [0, wake_jitter]. Each seed yields one fully
+// deterministic alternative schedule, so an ordering bug found by the fuzz
+// sweep reproduces from its seed alone. Timed events (delay, deadlines)
+// keep their exact timestamps: perturbation explores *ordering* freedom
+// the simulation semantics already permit, not clock skew.
+struct PerturbConfig {
+  bool enabled = false;
+  std::uint64_t seed = 0;
+  SimTime wake_jitter = 0;
+};
 
 class Simulator {
  public:
@@ -32,7 +48,28 @@ class Simulator {
   // Schedules a suspended coroutine to be resumed at absolute time `at`.
   // This is the single wake-up entry point used by all awaitables.
   void schedule_at(SimTime at, std::coroutine_handle<> h);
-  void schedule_now(std::coroutine_handle<> h) { schedule_at(now_, h); }
+  // Same-instant wake-up; the only scheduling path the perturbation mode's
+  // wake jitter applies to (timed events keep exact timestamps).
+  void schedule_now(std::coroutine_handle<> h) {
+    schedule_at(now_ + wake_jitter(), h);
+  }
+
+  // Must be set before the first event is scheduled (the tiebreak keys of
+  // already-queued events cannot be rewritten).
+  void set_perturbation(const PerturbConfig& cfg) {
+    PGXD_CHECK_MSG(queue_.empty() && next_seq_ == 0,
+                   "set_perturbation after events were scheduled");
+    PGXD_CHECK_MSG(cfg.wake_jitter >= 0, "negative wake_jitter");
+    perturb_ = cfg;
+    perturb_rng_ = Rng(cfg.seed);
+  }
+  const PerturbConfig& perturbation() const { return perturb_; }
+
+  // Asks run()/run_until() to return before the next event. Used by the
+  // wait-for graph to abort a detected deadlock at the wedge instant
+  // instead of idling behind heartbeat timers.
+  void request_stop() { stop_requested_ = true; }
+  bool stop_requested() const { return stop_requested_; }
 
   // Like schedule_at, but returns a ticket that can remove the wake-up
   // before it fires (see cancel). Timeout builds on this so an abandoned
@@ -88,13 +125,25 @@ class Simulator {
 
   struct Scheduled {
     SimTime at;
+    // Same-timestamp tiebreak: 0 in normal runs (insertion order via seq),
+    // a seeded-random key under perturbation (seq still breaks pri ties,
+    // keeping the order total and deterministic per seed).
+    std::uint64_t pri;
     std::uint64_t seq;
     std::coroutine_handle<> handle;
 
     bool operator>(const Scheduled& o) const {
-      return at != o.at ? at > o.at : seq > o.seq;
+      if (at != o.at) return at > o.at;
+      if (pri != o.pri) return pri > o.pri;
+      return seq > o.seq;
     }
   };
+
+  SimTime wake_jitter() {
+    if (!perturb_.enabled || perturb_.wake_jitter == 0) return 0;
+    return static_cast<SimTime>(perturb_rng_.bounded(
+        static_cast<std::uint64_t>(perturb_.wake_jitter) + 1));
+  }
 
   void reclaim(std::coroutine_handle<> h, detail::PromiseBase& promise);
   void drain_reclaimed();
@@ -111,6 +160,9 @@ class Simulator {
   std::unordered_set<std::uint64_t> cancelled_;
   std::vector<std::coroutine_handle<>> reclaimed_;
   std::vector<std::coroutine_handle<>> roots_;  // frames owned by the simulator
+  PerturbConfig perturb_;
+  Rng perturb_rng_{0};
+  bool stop_requested_ = false;
 };
 
 }  // namespace pgxd::sim

@@ -202,7 +202,11 @@ class Channel {
       ch.waiters_.push_back(&w);
     }
     T await_resume() {
-      if (w.handed) return std::move(*w.handed);
+      if (w.handed) {
+        PGXD_DCHECK(ch.handed_pending_ > 0);
+        --ch.handed_pending_;
+        return std::move(*w.handed);
+      }
       PGXD_CHECK_MSG(!ch.values_.empty(), "channel resumed without a value");
       T v = std::move(ch.values_.front());
       ch.values_.pop_front();
@@ -225,7 +229,11 @@ class Channel {
       w.ticket = ch.sim_.schedule_cancellable(deadline, h);
     }
     std::optional<T> await_resume() {
-      if (w.handed) return std::move(w.handed);
+      if (w.handed) {
+        PGXD_DCHECK(ch.handed_pending_ > 0);
+        --ch.handed_pending_;
+        return std::move(w.handed);
+      }
       // Woken by the deadline (still queued): leave empty-handed.
       auto it = std::find(ch.waiters_.begin(), ch.waiters_.end(), &w);
       if (it != ch.waiters_.end()) {
@@ -253,6 +261,7 @@ class Channel {
         w->ticket = 0;
       }
       w->handed = std::move(value);
+      ++handed_pending_;
       sim_.schedule_now(w->handle);
       return;
     }
@@ -283,11 +292,17 @@ class Channel {
   // Receivers currently suspended in recv() (diagnostics: a non-empty
   // waiter list at the end of a run names who is blocked on what).
   std::size_t waiting() const { return waiters_.size(); }
+  // Values handed directly to a woken-but-not-yet-resumed receiver. The
+  // wait-for graph's satisfiability probe needs these: the receiver's wait
+  // edge is still registered during the handoff-to-resume window, and a
+  // handed value proves it is about to wake.
+  std::size_t handed_pending() const { return handed_pending_; }
 
  private:
   Simulator& sim_;
   std::deque<T> values_;
   std::deque<Waiter*> waiters_;
+  std::size_t handed_pending_ = 0;
 };
 
 }  // namespace pgxd::sim

@@ -160,7 +160,7 @@ class SparkSortByKey {
     auto bounds_msg = co_await comm.recv(rank, kTagBounds);
     const std::vector<Key> bounds = std::move(bounds_msg.payload.keys);
     // Stage boundary: every task of the sample stage must finish.
-    co_await comm.barrier();
+    co_await comm.barrier(rank);
     stamp(Stage::kSample);
 
     // --- Stage 2: map — classify rows, write shuffle files -----------------
@@ -179,7 +179,7 @@ class SparkSortByKey {
     co_await m.compute(serialization_time(wire_size(n)));
     // Spark 1.6 shuffle: map outputs are fully materialized before any
     // reduce fetch begins — a hard stage barrier, no overlap.
-    co_await comm.barrier();
+    co_await comm.barrier(rank);
     stamp(Stage::kMapShuffle);
 
     // --- Stage 3: reduce — fetch blocks, deserialize, TimSort --------------
@@ -229,7 +229,7 @@ class SparkSortByKey {
     co_await m.compute(static_cast<sim::SimTime>(
         static_cast<double>(m.cost().parallel(serial, m.threads())) *
         profile_.cpu_factor));
-    co_await comm.barrier();
+    co_await comm.barrier(rank);
     stamp(Stage::kReduceSort);
     co_return;
   }

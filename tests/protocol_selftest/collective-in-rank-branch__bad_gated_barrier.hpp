@@ -1,0 +1,16 @@
+// Fixture: a barrier inside the else-branch of a rank comparison is just
+// as rank-gated as one in the then-branch.
+#pragma once
+
+namespace fixture {
+
+template <typename Comm>
+sim::Task run(Comm& comm, std::size_t rank) {
+  if (rank != 0) {
+    do_local_work();
+  } else {
+    co_await comm.barrier(rank);
+  }
+}
+
+}  // namespace fixture

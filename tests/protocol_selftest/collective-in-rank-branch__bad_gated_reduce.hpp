@@ -1,0 +1,19 @@
+// Fixture: an all_reduce gated behind a rank comparison — the other
+// ranks never enter the collective and everyone hangs.
+#pragma once
+
+namespace fixture {
+
+template <typename Comm>
+sim::Task run(Comm& comm, std::size_t rank, std::size_t ranks) {
+  std::uint64_t local = 1;
+  if (rank == 0) {
+    auto total = co_await all_reduce(comm, rank, ranks, local);
+    (void)total;
+  }
+  comm.post(0, kTagDone, make_frame());
+  auto env = co_await comm.recv(0, kTagDone);
+  (void)env;
+}
+
+}  // namespace fixture

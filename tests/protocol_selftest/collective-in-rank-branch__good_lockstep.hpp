@@ -1,0 +1,22 @@
+// Fixture: collectives called unconditionally, and rank branches that
+// contain only point-to-point traffic — the legal shapes.
+#pragma once
+
+namespace fixture {
+
+template <typename Comm>
+sim::Task run(Comm& comm, std::size_t rank, std::size_t ranks) {
+  std::uint64_t local = compute(rank);
+  auto total = co_await all_reduce(comm, rank, ranks, local);
+  (void)total;
+  if (rank == 0) {
+    comm.post(1, kTagSeed, make_frame());
+  } else {
+    auto env = co_await comm.recv(0, kTagSeed);
+    (void)env;
+  }
+  comm.post(0, kTagSeed, make_frame());
+  co_await comm.barrier(rank);
+}
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Fixture: two annotated mutexes acquired in rank order in one path and
+// inverted in another — the inverted acquisition must be flagged.
+#pragma once
+
+#include <mutex>
+
+namespace fixture {
+
+class Scheduler {
+ public:
+  void forward() {
+    std::lock_guard<std::mutex> a(queue_mu_);
+    std::lock_guard<std::mutex> b(idle_mu_);
+    wake();
+  }
+
+  void inverted() {
+    std::lock_guard<std::mutex> b(idle_mu_);
+    std::lock_guard<std::mutex> a(queue_mu_);
+    wake();
+  }
+
+ private:
+  std::mutex queue_mu_;  // pgxd-lock-order: fixture-queue rank 10
+  std::mutex idle_mu_;   // pgxd-lock-order: fixture-idle rank 20
+};
+
+}  // namespace fixture

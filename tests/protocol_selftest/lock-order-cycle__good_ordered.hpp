@@ -1,0 +1,35 @@
+// Fixture: nested acquisitions strictly increasing in rank, plus
+// non-nested siblings at the same rank in separate scopes — all legal.
+#pragma once
+
+#include <mutex>
+
+namespace fixture {
+
+class Scheduler {
+ public:
+  void forward() {
+    std::lock_guard<std::mutex> a(queue_mu_);
+    {
+      std::lock_guard<std::mutex> b(idle_mu_);
+      wake();
+    }
+  }
+
+  void siblings() {
+    {
+      std::lock_guard<std::mutex> a(queue_mu_);
+      drain();
+    }
+    {
+      std::unique_lock<std::mutex> b(idle_mu_);
+      wake();
+    }
+  }
+
+ private:
+  std::mutex queue_mu_;  // pgxd-lock-order: fixture-queue rank 10
+  std::mutex idle_mu_;   // pgxd-lock-order: fixture-idle rank 20
+};
+
+}  // namespace fixture

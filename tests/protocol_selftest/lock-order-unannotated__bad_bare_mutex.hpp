@@ -1,0 +1,21 @@
+// Fixture: a std::mutex with no pgxd-lock-order annotation — cycle
+// analysis cannot rank it, so the declaration itself is a violation.
+#pragma once
+
+#include <mutex>
+
+namespace fixture {
+
+class Pool {
+ public:
+  void touch() {
+    std::lock_guard<std::mutex> g(mu_);
+    ++uses_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::size_t uses_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: annotated declarations, both trailing and line-above forms.
+#pragma once
+
+#include <mutex>
+
+namespace fixture {
+
+class Pool {
+ public:
+  void touch() {
+    std::lock_guard<std::mutex> g(mu_);
+    ++uses_;
+  }
+
+ private:
+  std::mutex mu_;  // pgxd-lock-order: fixture-pool rank 10
+  // pgxd-lock-order: fixture-idle rank 20
+  std::mutex idle_mu_;
+  std::size_t uses_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: recovery region using a plain blocking recv and a barrier —
+// both hang forever if the peer crashed, which is the one situation
+// recovery code must survive.
+#pragma once
+
+namespace fixture {
+
+// pgxd-protocol: recovery-path
+template <typename Comm>
+sim::Task recover(Comm& comm, std::size_t rank, std::size_t peer) {
+  auto env = co_await comm.recv(peer, kTagCtrl);
+  comm.post(peer, kTagCtrl, std::move(env.frame));
+  co_await comm.barrier(rank);
+}
+// pgxd-protocol: end-recovery-path
+
+}  // namespace fixture

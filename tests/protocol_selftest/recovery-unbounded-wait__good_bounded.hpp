@@ -1,0 +1,22 @@
+// Fixture: recovery region restricted to deadline-checked primitives —
+// try_recv, recv_until, and bounded_ collective wrappers all survive a
+// crashed peer.
+#pragma once
+
+namespace fixture {
+
+// pgxd-protocol: recovery-path
+template <typename Comm>
+sim::Task recover(Comm& comm, std::size_t rank, std::size_t ranks,
+                  std::size_t peer, sim::SimTime deadline) {
+  if (auto got = comm.try_recv(peer, kTagCtrl)) consume(*got);
+  auto env = co_await comm.recv_until(peer, kTagCtrl, deadline);
+  if (env) comm.post(peer, kTagCtrl, std::move(env->frame));
+  std::uint64_t local = 1;
+  auto total = co_await bounded_all_reduce(comm, rank, ranks, local,
+                                           deadline);
+  (void)total;
+}
+// pgxd-protocol: end-recovery-path
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: kTagGhost is received but never sent anywhere in the file —
+// the receive can never be satisfied from this protocol's own traffic.
+#pragma once
+
+namespace fixture {
+
+inline constexpr int kTagGhost = 3;
+
+template <typename Comm>
+void run(Comm& comm, std::size_t peer) {
+  auto env = comm.recv(peer, kTagGhost);
+  (void)env;
+}
+
+}  // namespace fixture

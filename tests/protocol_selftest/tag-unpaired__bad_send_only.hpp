@@ -1,0 +1,18 @@
+// Fixture: kTagOrphan is posted but no receive endpoint exists in the
+// file, so the tag-unpaired rule must fire.
+#pragma once
+
+namespace fixture {
+
+inline constexpr int kTagOrphan = 7;
+inline constexpr int kTagPaired = 8;
+
+template <typename Comm>
+void run(Comm& comm, std::size_t peer) {
+  comm.post(peer, kTagOrphan, make_frame());
+  comm.post(peer, kTagPaired, make_frame());
+  auto env = comm.recv(peer, kTagPaired);
+  (void)env;
+}
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// Fixture: every tag used as an endpoint appears on both sides; the
+// stride constant participates only in tag arithmetic, never as a call
+// argument, and must not be reported.
+#pragma once
+
+namespace fixture {
+
+inline constexpr int kTagPing = 0;
+inline constexpr int kTagPong = 1;
+inline constexpr int kTagBulk = 2;
+inline constexpr int kTagStride = 16;
+
+template <typename Comm>
+sim::Task run(Comm& comm, std::size_t rank, std::size_t peer) {
+  const int base = static_cast<int>(rank) * kTagStride;
+  (void)base;
+  comm.post(peer, kTagPing, make_frame());
+  auto env = co_await comm.recv(peer, kTagPong);
+  comm.post(peer, kTagPong, std::move(env.frame));
+  auto back = co_await comm.recv(peer, kTagPing);
+  (void)back;
+  comm.post(peer, kTagBulk, make_frame());
+  if (auto got = comm.try_recv(peer, kTagBulk)) consume(*got);
+}
+
+}  // namespace fixture

@@ -327,7 +327,7 @@ TEST(Cluster, BarrierSynchronizesMachines) {
   std::vector<sim::SimTime> after(4, -1);
   cluster.run([&](Machine& m) -> sim::Task<void> {
     co_await m.compute(static_cast<sim::SimTime>(100 * (m.rank() + 1)));
-    co_await cluster.comm().barrier();
+    co_await cluster.comm().barrier(m.rank());
     after[m.rank()] = cluster.simulator().now();
   });
   for (auto t : after) EXPECT_EQ(t, 400);
@@ -338,7 +338,7 @@ TEST(Cluster, RunReturnsElapsedAndIsRepeatable) {
     Cluster<int> cluster(tiny_cluster(3));
     return cluster.run([&](Machine& m) -> sim::Task<void> {
       co_await m.charge_local_parallel_sort(100000);
-      co_await cluster.comm().barrier();
+      co_await cluster.comm().barrier(m.rank());
       co_await m.charge_copy(5000);
     });
   };

@@ -48,7 +48,7 @@ ALLOW_RE = re.compile(r"pgxd-lint:\s*allow\(([a-z0-9-]+)\)(\s*--\s*(\S.*))?")
 # determinism contract applies (simulated time + seeded streams only).
 SCAN_DIRS = ("src", "tests", "bench", "tools", "examples")
 DETERMINISM_DIRS = ("src/sim", "src/sort")
-SKIP_DIR_NAMES = {"lint_selftest", "__pycache__"}
+SKIP_DIR_NAMES = {"lint_selftest", "protocol_selftest", "__pycache__"}
 
 ALL_RULES = (
     "hot-path-std-function",

@@ -58,6 +58,12 @@ struct Options {
   // the sort is not drop-tolerant without it.
   double drop_prob = 0.0;
   double dup_prob = 0.0;
+  // Schedule perturbation (pgxd only): 0 = the canonical schedule; any
+  // other value seeds one deterministic alternative delivery order (plus
+  // an optional mailbox wake-up jitter window), the deadlock suite's fuzz
+  // dimension.
+  std::uint64_t perturb_seed = 0;
+  std::uint64_t perturb_jitter_ns = 0;
   pgxd::core::SortConfig sort_cfg;
 };
 
@@ -210,6 +216,10 @@ int run_pgxd(const Options& opt) {
   const auto input = shards;
 
   pgxd::rt::Cluster<Sorter::Msg> cluster(cluster_config(opt));
+  if (opt.perturb_seed != 0)
+    cluster.simulator().set_perturbation(
+        {true, opt.perturb_seed,
+         static_cast<pgxd::sim::SimTime>(opt.perturb_jitter_ns)});
   pgxd::sim::Trace trace;
   const bool want_trace =
       opt.gantt || !opt.trace_path.empty() || opt.critical_path;
@@ -498,6 +508,17 @@ int main(int argc, char** argv) {
                 "time-series sampler interval in simulated microseconds "
                 "(0 = off; series land in --report and --trace) (pgxd only)",
                 "0");
+  flags.declare("perturb",
+                "schedule-perturbation seed: permute same-timestamp event "
+                "delivery deterministically (0 = canonical order) "
+                "(pgxd only)", "0");
+  flags.declare("perturb-jitter-ns",
+                "also jitter mailbox wake-ups by up to this many simulated "
+                "ns (needs --perturb) (pgxd only)", "0");
+  flags.declare("pending-guard",
+                "scoped-exchange pool-backpressure pending guard; false "
+                "reintroduces the shared-pool deadlock the analysis suite "
+                "regression-tests (pgxd only)", "true");
   flags.declare("print-config",
                 "print the effective SortConfig knobs as JSON and exit",
                 "false");
@@ -606,6 +627,13 @@ int main(int argc, char** argv) {
   opt.sort_cfg.read_buffer_bytes = flags.u64("buffer-bytes");
   opt.critical_path = flags.boolean("critical-path");
   opt.sample_us = flags.u64("sample-us");
+  opt.perturb_seed = flags.u64("perturb");
+  opt.perturb_jitter_ns = flags.u64("perturb-jitter-ns");
+  opt.sort_cfg.scoped_pending_guard = flags.boolean("pending-guard");
+  if (opt.perturb_jitter_ns > 0 && opt.perturb_seed == 0) {
+    std::fprintf(stderr, "--perturb-jitter-ns needs --perturb=SEED\n");
+    return 2;
+  }
   if (!flags.str("crash").empty()) opt.crashes = parse_crashes(flags.str("crash"));
   opt.detector = flags.boolean("detector");
   opt.recovery = flags.boolean("recovery");
@@ -621,10 +649,11 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (flags.boolean("print-config")) return print_config(opt.sort_cfg);
-  if ((opt.critical_path || opt.sample_us > 0) && opt.engine != "pgxd") {
+  if ((opt.critical_path || opt.sample_us > 0 || opt.perturb_seed != 0) &&
+      opt.engine != "pgxd") {
     std::fprintf(stderr,
-                 "--critical-path/--sample-us are only supported by "
-                 "--engine=pgxd\n");
+                 "--critical-path/--sample-us/--perturb are only supported "
+                 "by --engine=pgxd\n");
     return 2;
   }
 

@@ -19,6 +19,9 @@ schema language cannot express:
     exceeds the max, final_members never exceeds machines, a clean run
     (recoveries == 0) reports zero recovery cost, and a recovery-enabled
     run with recoveries > 0 shrank or kept the membership;
+  * the waits section is self-consistent: a report can only come from a
+    run that completed, so deadlocks must be 0, and max_blocked (peak
+    simultaneously-blocked ranks) never exceeds run.machines;
   * a computed critical_path reconciles with the run: total_ns equals
     total_time_ns within 1%, compute + wire == total, phase shares sum to
     1, and every on-path phase is one of the six step names;
@@ -203,6 +206,15 @@ def semantic_checks(doc, errors):
             errors.append("recovery: disabled run must report "
                           "final_members == machines")
 
+    waits = doc.get("waits", {})
+    if waits.get("deadlocks", 0) != 0:
+        errors.append("waits: deadlocks=%r in a completed run (a deadlocked "
+                      "run aborts before producing a report)" %
+                      waits.get("deadlocks"))
+    if machines and waits.get("max_blocked", 0) > machines:
+        errors.append("waits: max_blocked=%r exceeds run.machines=%r" %
+                      (waits.get("max_blocked"), machines))
+
     # Critical path: the walk charges contiguous segments back to the run
     # start, so its total must reconcile with the run's end-to-end time
     # (1% tolerance covers any trailing non-span activity).
@@ -300,6 +312,9 @@ def make_valid_fixture():
                      "detector_heartbeats_sent": 0, "wasted_work_ns": 0,
                      "time_to_recover_max_ns": 0,
                      "time_to_recover_mean_ns": 0.0},
+        "waits": {"mailbox_waits": 4, "barrier_waits": 0, "pool_waits": 0,
+                  "holds_added": 2, "deadlock_checks": 1, "deadlocks": 0,
+                  "max_blocked": 1},
         "critical_path": {"computed": False, "total_ns": 0, "compute_ns": 0,
                           "wire_ns": 0, "hops": 0, "start_lane": 0,
                           "end_lane": 0, "phases": [], "top_edges": []},
@@ -374,6 +389,14 @@ def selftest(schema):
                             "level1_items": 10}
         return doc
 
+    def waits_deadlock_in_report(doc):
+        doc["waits"]["deadlocks"] = 1
+        return doc
+
+    def waits_overblocked(doc):
+        doc["waits"]["max_blocked"] = 99
+        return doc
+
     def ts_time_backwards(doc):
         doc["timeseries"]["series"]["rank0.mailbox_depth"] = {
             "capacity": 4, "dropped": 0, "points": [[200, 1.0], [100, 0.0]],
@@ -395,6 +418,10 @@ def selftest(schema):
         ("partition histogram without target", partition_histogram_no_target,
          False, False),
         ("partition groups exceed machines", partition_too_many_groups,
+         False, False),
+        ("waits deadlock in completed run", waits_deadlock_in_report,
+         False, False),
+        ("waits max_blocked exceeds machines", waits_overblocked,
          False, False),
         ("timeseries time backwards", ts_time_backwards, False, False),
     ]
